@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Besides the
+pytest-benchmark timing, the artefact itself (rendered table or CSV series)
+is written under ``benchmarks/results/`` and echoed to stdout so a run with
+``pytest benchmarks/ --benchmark-only -s`` shows the reproduced data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where reproduced tables/figures are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_artifact(results_dir):
+    """Return a helper that writes an artefact and echoes a short preview."""
+
+    def _save(name: str, content: str, preview_lines: int = 30) -> Path:
+        path = results_dir / name
+        path.write_text(content + "\n")
+        preview = "\n".join(content.splitlines()[:preview_lines])
+        print(f"\n--- {name} ---\n{preview}\n--- (written to {path}) ---")
+        return path
+
+    return _save

@@ -1,0 +1,40 @@
+"""Ablation: branch-and-bound discretisation vs naive rounding (Sec. 3.2.2).
+
+The paper discretises the GP result with a floor/ceil branch-and-bound.  The
+ablation compares it against the naive ceil-then-trim rounding baseline: the
+B&B must never be worse, and the benchmark records how much it costs.
+"""
+
+import pytest
+
+from repro.core.discretize import discretize_counts, round_counts
+from repro.core.gp_step import solve_gp_step
+from repro.reporting.experiments import case_study
+
+CASES = ("alex-16", "alex-32", "vgg-16")
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_bb_discretization_runtime(benchmark, case):
+    problem = case_study(case, resource_limit_percent=70.0)
+    gp = solve_gp_step(problem)
+    result = benchmark(discretize_counts, problem, gp.counts_hat)
+    assert result.ii >= gp.ii_hat - 1e-9
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_naive_rounding_runtime(benchmark, case):
+    problem = case_study(case, resource_limit_percent=70.0)
+    gp = solve_gp_step(problem)
+    result = benchmark(round_counts, problem, gp.counts_hat)
+    assert result.ii >= gp.ii_hat - 1e-9
+
+
+@pytest.mark.parametrize("case", CASES)
+@pytest.mark.parametrize("constraint", [60.0, 70.0, 80.0])
+def test_bb_never_worse_than_rounding(case, constraint):
+    problem = case_study(case, resource_limit_percent=constraint)
+    gp = solve_gp_step(problem)
+    bb = discretize_counts(problem, gp.counts_hat)
+    rounded = round_counts(problem, gp.counts_hat)
+    assert bb.ii <= rounded.ii + 1e-9

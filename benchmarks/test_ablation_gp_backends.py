@@ -1,0 +1,31 @@
+"""Ablation: GP-step backends (exact bisection vs SLSQP vs barrier IPM).
+
+DESIGN.md calls out the choice of GP backend as a design decision worth
+ablating: all three must return the same relaxed optimum, and the bisection
+specialisation should be the fastest (it is the heuristic's default).
+"""
+
+import pytest
+
+from repro.core.gp_step import solve_gp_step
+from repro.reporting.experiments import case_study
+
+CASES = ("alex-16", "alex-32", "vgg-16")
+
+
+@pytest.mark.parametrize("backend", ["bisection", "slsqp", "interior-point"])
+@pytest.mark.parametrize("case", CASES)
+def test_gp_backend_runtime(benchmark, case, backend):
+    problem = case_study(case, resource_limit_percent=70.0)
+    result = benchmark(solve_gp_step, problem, backend)
+    reference = solve_gp_step(problem, backend="bisection")
+    assert result.ii_hat == pytest.approx(reference.ii_hat, rel=1e-3)
+
+
+def test_backends_agree_across_constraints():
+    for case in CASES:
+        for constraint in (60.0, 75.0, 90.0):
+            problem = case_study(case, resource_limit_percent=constraint)
+            bisection = solve_gp_step(problem, backend="bisection")
+            slsqp = solve_gp_step(problem, backend="slsqp")
+            assert bisection.ii_hat == pytest.approx(slsqp.ii_hat, rel=1e-3)

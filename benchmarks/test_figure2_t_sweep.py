@@ -1,0 +1,39 @@
+"""Figure 2: effect of the heuristic parameter T on the II (Alex-16, 2 FPGAs).
+
+Paper finding: across a 40-90 % resource-constraint range, the value of T
+(0 % to 30 %, delta = 1 %) has little effect on the achieved initiation
+interval, which justifies using T = 0 everywhere else.
+"""
+
+import math
+
+from repro.reporting.experiments import figure2
+
+#: Constraint grid and T values of the original figure.
+CONSTRAINTS = tuple(range(40, 91, 5))
+T_VALUES = (0.0, 2.5, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
+
+
+def test_figure2_t_sweep(benchmark, save_artifact):
+    figure = benchmark.pedantic(
+        figure2, kwargs={"constraints": CONSTRAINTS, "t_values": T_VALUES},
+        rounds=1, iterations=1,
+    )
+    save_artifact("figure2.csv", figure.to_csv())
+    save_artifact("figure2.txt", figure.to_ascii())
+
+    t0 = dict(figure.get("T0").points)
+    # The II decreases (weakly) as the resource constraint is relaxed.
+    finite = [(x, y) for x, y in sorted(t0.items()) if math.isfinite(y)]
+    assert finite[-1][1] <= finite[0][1] + 1e-9
+    # Paper range check: at high constraints the II approaches ~1 ms.
+    assert 0.9 <= finite[-1][1] <= 1.3
+
+    # "Little effect of T": every T curve stays within a modest band of T0 at
+    # every feasible constraint point.
+    for t_value in T_VALUES[1:]:
+        series = dict(figure.get(f"T{t_value:g}").points)
+        for x, y0 in t0.items():
+            y = series[x]
+            if math.isfinite(y0) and math.isfinite(y):
+                assert abs(y - y0) <= 0.35 * y0 + 1e-9

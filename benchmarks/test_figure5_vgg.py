@@ -1,0 +1,42 @@
+"""Figure 5: VGG-16 on 8 FPGAs -- GP+A vs MINLP vs MINLP+G.
+
+Qualitative shape to reproduce: II between roughly 10 and 24 ms, decreasing
+as the resource constraint is relaxed; MINLP is the lower envelope and GP+A
+tracks it closely; this is also the case where the runtime gap between the
+heuristic and the exact methods is largest.
+"""
+
+from repro.core.exact import ExactSettings
+from repro.reporting.experiments import figure5
+
+CONSTRAINTS = (55, 61, 65, 70, 75, 80)
+EXACT_SETTINGS = ExactSettings(max_nodes=2, time_limit_seconds=90.0)
+
+
+def test_figure5_vgg(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        figure5,
+        kwargs={"constraints": CONSTRAINTS, "exact_settings": EXACT_SETTINGS},
+        rounds=1, iterations=1,
+    )
+    save_artifact("figure5a.csv", result.versus_constraint.to_csv())
+    save_artifact("figure5b.csv", result.versus_utilization.to_csv())
+    save_artifact("figure5a.txt", result.versus_constraint.to_ascii())
+
+    panel_a = result.versus_constraint
+    gp = dict(panel_a.get("GP+A").points)
+    exact = dict(panel_a.get("MINLP").points)
+
+    for constraint in CONSTRAINTS:
+        x = float(constraint)
+        assert exact[x] <= gp[x] + 1e-9
+        assert 9.0 <= exact[x] <= 25.0
+        assert 9.0 <= gp[x] <= 25.0
+        assert gp[x] <= exact[x] * 1.35
+
+    assert exact[80.0] < exact[55.0]
+    assert gp[80.0] < gp[55.0]
+
+    # Runtime shape: the heuristic is orders of magnitude faster than the
+    # exact methods on the largest case study (paper: 100x-1000x vs Couenne).
+    assert result.speedup["minlp"]["geomean"] > 10.0

@@ -1,0 +1,41 @@
+"""Scaling benchmark: GP+A on synthetic pipelines of growing size.
+
+The paper motivates the heuristic with design-space exploration: the VGG
+case (20 kernels, 8 FPGAs, 160 integer variables) is already prohibitive for
+MINLP.  This benchmark measures how the heuristic scales as the pipeline
+grows well beyond the paper's networks.
+"""
+
+import pytest
+
+from repro.core.solvers import solve
+from repro.core.problem import AllocationProblem
+from repro.platform.presets import aws_f1
+from repro.workloads.synthetic import cnn_like_pipeline
+
+
+@pytest.mark.parametrize("num_conv", [8, 16, 24, 32])
+def test_gp_a_scaling(benchmark, num_conv):
+    pipeline = cnn_like_pipeline(num_conv=num_conv, num_pool=max(1, num_conv // 4), seed=11)
+    problem = AllocationProblem(
+        pipeline=pipeline,
+        platform=aws_f1(num_fpgas=8, resource_limit_percent=85.0),
+    )
+    outcome = benchmark(lambda: solve(problem, method="gp+a"))
+    if outcome.succeeded:
+        assert outcome.solution.is_feasible()
+        assert outcome.initiation_interval >= outcome.lower_bound - 1e-9
+
+
+def test_exact_min_ii_on_medium_synthetic(benchmark):
+    pipeline = cnn_like_pipeline(num_conv=8, num_pool=2, seed=11)
+    problem = AllocationProblem(
+        pipeline=pipeline,
+        platform=aws_f1(num_fpgas=4, resource_limit_percent=85.0),
+    )
+    outcome = benchmark.pedantic(
+        lambda: solve(problem, method="minlp"), rounds=1, iterations=1
+    )
+    heuristic = solve(problem, method="gp+a")
+    if outcome.succeeded and heuristic.succeeded:
+        assert outcome.initiation_interval <= heuristic.initiation_interval + 1e-9

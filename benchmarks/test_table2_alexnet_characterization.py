@@ -1,0 +1,35 @@
+"""Table 2: AlexNet kernel characterisation (Alex-32 and Alex-16).
+
+The paper's Table 2 is input data measured on AWS F1; the benchmark checks
+that the built-in workloads regenerate it exactly (it is the instance every
+other experiment consumes) and also exercises the analytic HLS cost model
+that substitutes for the hardware characterisation runs.
+"""
+
+import pytest
+
+from repro.hls import FIXED16, characterize_alexnet
+from repro.reporting.experiments import table2
+from repro.workloads.alexnet import ALEX16_EXPECTED_SUM, ALEX32_EXPECTED_SUM, alexnet_fp32, alexnet_fx16
+
+
+def test_table2_regeneration(benchmark, save_artifact):
+    table = benchmark(table2)
+    save_artifact("table2.txt", table.render())
+
+    alex32, alex16 = alexnet_fp32(), alexnet_fx16()
+    assert alex32.total_resources().dsp == pytest.approx(ALEX32_EXPECTED_SUM["dsp"], abs=0.01)
+    assert alex32.total_resources().bram == pytest.approx(ALEX32_EXPECTED_SUM["bram"], abs=0.01)
+    assert alex16.total_resources().dsp == pytest.approx(ALEX16_EXPECTED_SUM["dsp"], abs=0.01)
+    assert alex16.total_wcet_ms() == pytest.approx(ALEX16_EXPECTED_SUM["wcet"], abs=0.01)
+
+
+def test_table2_synthetic_characterization(benchmark, save_artifact):
+    """The HLS cost model's synthetic Table 2 equivalent (shape, not values)."""
+    pipeline = benchmark(characterize_alexnet, FIXED16)
+    save_artifact("table2_modeled.txt", pipeline.describe())
+    # Same structural properties as the measured table: conv layers dominate
+    # DSP, pooling uses none, and the total exceeds no single FPGA.
+    assert pipeline["POOL1"].resources.dsp == 0.0
+    conv_dsp = sum(pipeline[name].resources.dsp for name in pipeline.kernel_names if name.startswith("CONV"))
+    assert conv_dsp > 0.9 * pipeline.total_resources().dsp

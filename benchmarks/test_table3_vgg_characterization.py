@@ -1,0 +1,21 @@
+"""Table 3: VGG-16 kernel characterisation (16-bit fixed point)."""
+
+import pytest
+
+from repro.reporting.experiments import table3
+from repro.workloads.vgg import VGG16_EXPECTED_SUM, vgg16_fx16
+
+
+def test_table3_regeneration(benchmark, save_artifact):
+    table = benchmark(table3)
+    save_artifact("table3.txt", table.render())
+
+    pipeline = vgg16_fx16()
+    assert len(pipeline) == 17
+    assert pipeline.total_resources().bram == pytest.approx(VGG16_EXPECTED_SUM["bram"], abs=0.01)
+    assert pipeline.total_resources().dsp == pytest.approx(VGG16_EXPECTED_SUM["dsp"], abs=0.01)
+    assert pipeline.total_bandwidth() == pytest.approx(VGG16_EXPECTED_SUM["bw"], abs=0.15)
+    # The paper rounds the WCET sum to 0.4 s.
+    assert pipeline.total_wcet_ms() == pytest.approx(426.6, abs=0.5)
+    # Multi-FPGA motivation: the whole network exceeds one device's DSPs.
+    assert pipeline.total_resources().dsp > 100.0

@@ -1,0 +1,23 @@
+"""Table 4: spreading-function weights used for the three case studies."""
+
+import pytest
+
+from repro.core.objective import PAPER_WEIGHTS
+from repro.reporting.experiments import case_study, table4
+
+
+def test_table4_regeneration(benchmark, save_artifact):
+    table = benchmark(table4)
+    save_artifact("table4.txt", table.render())
+    assert PAPER_WEIGHTS[("alex-16", 2)].beta == pytest.approx(0.7)
+    assert PAPER_WEIGHTS[("alex-32", 4)].beta == pytest.approx(6.0)
+    assert PAPER_WEIGHTS[("vgg-16", 8)].beta == pytest.approx(50.0)
+
+
+def test_case_studies_pick_up_table4_weights(benchmark):
+    problems = benchmark(
+        lambda: [case_study(name) for name in ("alex-16", "alex-32", "vgg-16")]
+    )
+    betas = [problem.weights.beta for problem in problems]
+    assert betas == [0.7, 6.0, 50.0]
+    assert [problem.num_fpgas for problem in problems] == [2, 4, 8]

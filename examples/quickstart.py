@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: allocate AlexNet (16-bit) onto two AWS F1 FPGAs.
+
+Reproduces the basic workflow of the paper:
+
+1. load a characterised multi-kernel application (Table 2),
+2. describe the multi-FPGA platform and the per-FPGA resource constraint,
+3. run the GP+A heuristic and the exact minimum-II solver,
+4. inspect the initiation interval, spreading and per-FPGA placement,
+5. validate the analytic II against the discrete-event pipeline simulator.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import AllocationProblem, alexnet_fx16, aws_f1, solve
+from repro.simulation import simulate_allocation
+
+
+def main() -> None:
+    pipeline = alexnet_fx16()
+    print(pipeline.describe())
+    print()
+
+    platform = aws_f1(num_fpgas=2, resource_limit_percent=70.0)
+    problem = AllocationProblem(pipeline=pipeline, platform=platform)
+
+    heuristic = solve(problem, method="gp+a")
+    exact = solve(problem, method="minlp")
+
+    print("GP+A heuristic :", heuristic.summary())
+    print("Exact (MINLP)  :", exact.summary())
+    print()
+    assert heuristic.solution is not None and exact.solution is not None
+    print(heuristic.solution.describe())
+    print()
+
+    simulation = simulate_allocation(heuristic.solution, images=128)
+    print(
+        f"Simulated II = {simulation.measured_ii_ms:.3f} ms "
+        f"(analytic {simulation.analytic_ii_ms:.3f} ms, "
+        f"error {100 * simulation.ii_error:.2f}%)"
+    )
+    print(
+        f"Throughput   = {simulation.throughput_per_second:.1f} images/s, "
+        f"single-image latency = {simulation.pipeline_latency_ms:.3f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

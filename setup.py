@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (which PEP 660 editable
+installs require) can still install the package in development mode with
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

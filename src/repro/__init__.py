@@ -1,0 +1,63 @@
+"""repro -- Exact and heuristic allocation of multi-kernel applications to multi-FPGA platforms.
+
+A from-scratch Python reproduction of Shan et al., "Exact and Heuristic
+Allocation of Multi-kernel Applications to Multi-FPGA Platforms", DAC 2019.
+
+The top-level package re-exports the most common entry points::
+
+    from repro import aws_f1, alexnet_fx16, AllocationProblem, solve
+
+    problem = AllocationProblem(
+        pipeline=alexnet_fx16(),
+        platform=aws_f1(num_fpgas=2, resource_limit_percent=70.0),
+    )
+    outcome = solve(problem, method="gp+a")
+    print(outcome.solution.describe())
+"""
+
+from .core import (
+    AllocationProblem,
+    AllocationSolution,
+    ExactSettings,
+    HeuristicSettings,
+    ObjectiveWeights,
+    SolveOutcome,
+    SolveStatus,
+    default_weights,
+    solve,
+    solve_exact_min_ii,
+    solve_exact_weighted,
+    solve_gp_a,
+    solve_gp_step,
+)
+from .platform import FPGADevice, MultiFPGAPlatform, ResourceVector, XCVU9P, aws_f1
+from .workloads import Kernel, Pipeline, alexnet_fp32, alexnet_fx16, vgg16_fx16
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationProblem",
+    "AllocationSolution",
+    "ExactSettings",
+    "FPGADevice",
+    "HeuristicSettings",
+    "Kernel",
+    "MultiFPGAPlatform",
+    "ObjectiveWeights",
+    "Pipeline",
+    "ResourceVector",
+    "SolveOutcome",
+    "SolveStatus",
+    "XCVU9P",
+    "__version__",
+    "alexnet_fp32",
+    "alexnet_fx16",
+    "aws_f1",
+    "default_weights",
+    "solve",
+    "solve_exact_min_ii",
+    "solve_exact_weighted",
+    "solve_gp_a",
+    "solve_gp_step",
+    "vgg16_fx16",
+]

@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+Two sub-commands cover the common workflows::
+
+    repro-fpga solve --app alex-16 --fpgas 2 --resource 70 --method gp+a
+    repro-fpga experiment table2
+    repro-fpga experiment figure3 --output figure3.csv
+
+``python -m repro`` is equivalent to ``repro-fpga``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .core.exact import ExactSettings
+from .core.heuristic import HeuristicSettings
+from .core.solvers import METHODS, solve
+from .reporting import experiments
+from .reporting.series import FigureData
+
+_EXPERIMENTS = (
+    "table2",
+    "table3",
+    "table4",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "runtime",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fpga",
+        description="Exact and heuristic allocation of multi-kernel applications to multi-FPGA platforms",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve_parser = subparsers.add_parser("solve", help="solve one allocation problem")
+    solve_parser.add_argument(
+        "--app",
+        choices=sorted(experiments.CASE_STUDIES),
+        default="alex-16",
+        help="built-in application (AlexNet fx16/fp32 or VGG-16)",
+    )
+    solve_parser.add_argument("--fpgas", type=int, default=None, help="number of FPGAs (default: the paper's choice)")
+    solve_parser.add_argument("--resource", type=float, default=70.0, help="per-FPGA resource constraint in percent")
+    solve_parser.add_argument("--method", choices=METHODS, default="gp+a")
+    solve_parser.add_argument("--t", type=float, default=0.0, help="heuristic T parameter (percent)")
+    solve_parser.add_argument("--delta", type=float, default=1.0, help="heuristic delta parameter (percent)")
+    solve_parser.add_argument("--max-nodes", type=int, default=50, help="branch-and-bound node limit for exact methods")
+    solve_parser.add_argument("--time-limit", type=float, default=120.0, help="exact-method time limit (seconds)")
+
+    experiment_parser = subparsers.add_parser("experiment", help="regenerate a table or figure of the paper")
+    experiment_parser.add_argument("name", choices=_EXPERIMENTS)
+    experiment_parser.add_argument("--output", type=Path, default=None, help="write CSV output to this path")
+    experiment_parser.add_argument("--quick", action="store_true", help="use a reduced grid for a faster run")
+
+    return parser
+
+
+def _run_solve(args: argparse.Namespace) -> int:
+    problem = experiments.case_study(args.app, resource_limit_percent=args.resource)
+    if args.fpgas is not None:
+        problem = type(problem)(
+            pipeline=problem.pipeline,
+            platform=problem.platform.with_num_fpgas(args.fpgas),
+            weights=problem.weights,
+        )
+    outcome = solve(
+        problem,
+        method=args.method,
+        heuristic_settings=HeuristicSettings(t_percent=args.t, delta_percent=args.delta),
+        exact_settings=ExactSettings(max_nodes=args.max_nodes, time_limit_seconds=args.time_limit),
+    )
+    print(outcome.summary())
+    if outcome.solution is not None:
+        print()
+        print(outcome.solution.describe())
+        return 0
+    reason = outcome.details.get("reason", "no solution")
+    print(f"no allocation found: {reason}")
+    return 1
+
+
+def _write_or_print(text: str, output: Path | None) -> None:
+    if output is None:
+        print(text)
+    else:
+        output.write_text(text + "\n")
+        print(f"wrote {output}")
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "table2":
+        _write_or_print(experiments.table2().render(), args.output)
+    elif name == "table3":
+        _write_or_print(experiments.table3().render(), args.output)
+    elif name == "table4":
+        _write_or_print(experiments.table4().render(), args.output)
+    elif name == "figure2":
+        constraints = (50, 60, 70, 80, 90) if args.quick else tuple(range(40, 91, 5))
+        t_values = (0.0, 10.0, 30.0) if args.quick else (0.0, 2.5, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
+        figure = experiments.figure2(constraints=constraints, t_values=t_values)
+        _emit_figure(figure, args.output)
+    elif name in ("figure3", "figure4", "figure5"):
+        driver = getattr(experiments, name)
+        methods = ("gp+a", "minlp") if args.quick else ("gp+a", "minlp", "minlp+g")
+        result = driver(methods=methods)
+        _emit_figure(result.versus_constraint, args.output)
+        _emit_figure(result.versus_utilization, None)
+    elif name == "figure6":
+        methods = ("gp+a", "minlp") if args.quick else ("gp+a", "minlp", "minlp+g")
+        tables = experiments.figure6(methods=methods)
+        text = "\n\n".join(table.render() for table in tables.values())
+        _write_or_print(text, args.output)
+    elif name == "runtime":
+        methods = ("gp+a", "minlp") if args.quick else ("gp+a", "minlp", "minlp+g")
+        _write_or_print(experiments.runtime_table(methods=methods).render(), args.output)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(name)
+    return 0
+
+
+def _emit_figure(figure: FigureData, output: Path | None) -> None:
+    if output is not None:
+        output.write_text(figure.to_csv() + "\n")
+        print(f"wrote {output}")
+    print(figure.to_ascii())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "solve":
+        return _run_solve(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

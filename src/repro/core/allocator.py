@@ -1,0 +1,478 @@
+"""Greedy CU-to-FPGA allocation heuristic (Algorithm 1 of the paper).
+
+Given integer CU totals ``N_k`` (from the discretisation step), the allocator
+assigns them to FPGAs while:
+
+* allocating the most *critical* kernels first (those whose II suffers most
+  if a CU were dropped),
+* consolidating kernels onto already-occupied FPGAs (FPGAs are visited in
+  increasing order of resource slack), which minimises spreading,
+* splitting kernels that cannot fit on a single FPGA across empty FPGAs
+  first, and
+* retrying with a slightly relaxed per-FPGA constraint ``Rc = R + i * delta``
+  while ``Rc <= R + T`` when a complete allocation cannot be found.
+
+"Resource" means every active capacity dimension: on-chip resources *and*
+DRAM bandwidth, as in the paper ("we use the general term resource constraint
+to refer to both actual resource and bandwidth constraints").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal, Mapping
+
+from ..platform.resources import ResourceVector
+from .problem import AllocationProblem
+
+CriticalityRule = Literal["ii-impact", "resource", "wcet"]
+
+
+@dataclass(frozen=True)
+class AllocatorSettings:
+    """Tuning knobs of Algorithm 1.
+
+    ``portfolio=True`` runs one greedy pass per criticality rule and keeps the
+    best outcome; each pass is microseconds, and multi-dimensional packing is
+    sensitive enough to the visit order that this materially improves
+    robustness without leaving the paper's greedy framework.
+    """
+
+    t_percent: float = 0.0
+    delta_percent: float = 1.0
+    criticality: CriticalityRule = "ii-impact"
+    portfolio: bool = True
+    polish: bool = True
+
+    def __post_init__(self) -> None:
+        if self.t_percent < 0:
+            raise ValueError("T must be non-negative")
+        if self.delta_percent <= 0:
+            raise ValueError("delta must be positive")
+
+    def criticality_rules(self) -> tuple[CriticalityRule, ...]:
+        """Orderings attempted at every constraint-relaxation step."""
+        if not self.portfolio:
+            return (self.criticality,)
+        rules: list[CriticalityRule] = [self.criticality]
+        for rule in ("resource", "wcet", "ii-impact"):
+            if rule not in rules:
+                rules.append(rule)  # type: ignore[arg-type]
+        return tuple(rules)
+
+
+@dataclass(frozen=True)
+class AllocatorResult:
+    """Outcome of the greedy allocation."""
+
+    success: bool
+    counts: Mapping[str, tuple[int, ...]]
+    constraint_relaxation: float
+    iterations: int
+    unallocated: Mapping[str, int]
+
+
+@dataclass
+class _FPGAState:
+    """Mutable per-FPGA bookkeeping used during one allocation pass."""
+
+    index: int
+    resource_slack: dict[str, float]
+    bandwidth_slack: float
+    touched: bool = False
+
+    def normalized_slack(self, caps: dict[str, float], bandwidth_cap: float) -> float:
+        total = 0.0
+        for kind, cap in caps.items():
+            if cap > 0:
+                total += self.resource_slack[kind] / cap
+        if bandwidth_cap > 0:
+            total += self.bandwidth_slack / bandwidth_cap
+        return total
+
+    def fits(self, demand: dict[str, float], bandwidth_demand: float, tolerance: float = 1e-9) -> bool:
+        if bandwidth_demand > self.bandwidth_slack + tolerance:
+            return False
+        return all(demand[kind] <= self.resource_slack[kind] + tolerance for kind in demand)
+
+    def max_units(self, unit: dict[str, float], unit_bandwidth: float) -> int:
+        limit = math.inf
+        for kind, usage in unit.items():
+            if usage > 0:
+                limit = min(limit, self.resource_slack[kind] / usage)
+        if unit_bandwidth > 0:
+            limit = min(limit, self.bandwidth_slack / unit_bandwidth)
+        if math.isinf(limit):
+            return 10**9
+        return max(0, int(math.floor(limit + 1e-9)))
+
+    def place(self, unit: dict[str, float], unit_bandwidth: float, count: int) -> None:
+        for kind in unit:
+            self.resource_slack[kind] -= unit[kind] * count
+        self.bandwidth_slack -= unit_bandwidth * count
+        if count > 0:
+            self.touched = True
+
+
+class GreedyAllocator:
+    """Algorithm 1: criticality-driven, consolidation-biased CU placement."""
+
+    def __init__(self, problem: AllocationProblem, settings: AllocatorSettings = AllocatorSettings()):
+        self.problem = problem
+        self.settings = settings
+        self._kinds = [
+            dimension.name
+            for dimension in problem.capacity_dimensions()
+            if dimension.name != "bandwidth"
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def allocate(self, totals: Mapping[str, int]) -> AllocatorResult:
+        """Allocate ``N_k`` CUs per kernel to the platform's FPGAs.
+
+        Follows the retry loop of Algorithm 1: the per-FPGA constraint starts
+        at the problem's resource limit and is relaxed by ``delta`` points per
+        failed attempt, up to ``T`` extra points.
+        """
+        for name in self.problem.kernel_names:
+            if name not in totals:
+                raise KeyError(f"missing CU total for kernel {name!r}")
+            if totals[name] < 1:
+                raise ValueError(f"kernel {name!r} must have at least one CU")
+
+        extra = 0.0
+        iterations = 0
+        best: tuple[dict[str, list[int]], dict[str, int], float] | None = None
+        while True:
+            for rule in self.settings.criticality_rules():
+                iterations += 1
+                counts, unallocated = self._allocate_once(totals, extra, rule)
+                if not unallocated:
+                    return AllocatorResult(
+                        success=True,
+                        counts={name: tuple(values) for name, values in counts.items()},
+                        constraint_relaxation=extra,
+                        iterations=iterations,
+                        unallocated={},
+                    )
+                if best is None or self._partial_quality(counts) < self._partial_quality(best[0]):
+                    best = (counts, unallocated, extra)
+            extra += self.settings.delta_percent
+            if extra > self.settings.t_percent + 1e-9:
+                break
+
+        assert best is not None
+        counts, unallocated, used_extra = best
+        return AllocatorResult(
+            success=False,
+            counts={name: tuple(values) for name, values in counts.items()},
+            constraint_relaxation=used_extra,
+            iterations=iterations,
+            unallocated=dict(unallocated),
+        )
+
+    def _partial_quality(self, counts: Mapping[str, list[int]]) -> tuple[float, int]:
+        """Ranking key for incomplete allocations (smaller is better).
+
+        Primary: the initiation interval achievable with what was placed
+        (infinite when a kernel received nothing); secondary: negated number
+        of CUs placed.
+        """
+        ii = 0.0
+        placed_total = 0
+        for name in self.problem.kernel_names:
+            placed = sum(counts[name])
+            placed_total += placed
+            if placed <= 0:
+                ii = math.inf
+            else:
+                ii = max(ii, self.problem.wcet[name] / placed)
+        return (ii, -placed_total)
+
+    # ------------------------------------------------------------------ #
+    # One allocation pass at a fixed constraint relaxation
+    # ------------------------------------------------------------------ #
+    def _allocate_once(
+        self,
+        totals: Mapping[str, int],
+        extra_percent: float,
+        criticality_rule: CriticalityRule | None = None,
+    ) -> tuple[dict[str, list[int]], dict[str, int]]:
+        rule: CriticalityRule = criticality_rule or self.settings.criticality
+        problem = self.problem
+        caps_vector: ResourceVector = problem.platform.scaled_resource_limit(extra_percent)
+        caps = {kind: caps_vector[kind] for kind in self._kinds}
+        bandwidth_cap = min(100.0, problem.platform.bandwidth_limit + extra_percent)
+
+        fpgas = [
+            _FPGAState(
+                index=f,
+                resource_slack=dict(caps),
+                bandwidth_slack=bandwidth_cap,
+            )
+            for f in range(problem.num_fpgas)
+        ]
+        counts: dict[str, list[int]] = {
+            name: [0] * problem.num_fpgas for name in problem.kernel_names
+        }
+        remaining: dict[str, int] = {name: int(totals[name]) for name in problem.kernel_names}
+
+        # ------------------------------------------------------------------
+        # Phase 1 (lines 11-21): split kernels too large for a single FPGA
+        # over completely empty FPGAs first.
+        # ------------------------------------------------------------------
+        for name in self._sorted_kernels(totals, remaining, rule):
+            unit = self._unit_demand(name)
+            unit_bandwidth = problem.bandwidth_of(name)
+            while remaining[name] > 0 and not self._fits_single_fpga(
+                name, remaining[name], caps, bandwidth_cap
+            ):
+                empty = next((fpga for fpga in fpgas if not fpga.touched), None)
+                if empty is None:
+                    break
+                batch = min(remaining[name], empty.max_units(unit, unit_bandwidth))
+                if batch <= 0:
+                    break
+                empty.place(unit, unit_bandwidth, batch)
+                counts[name][empty.index] += batch
+                remaining[name] -= batch
+
+        # ------------------------------------------------------------------
+        # Phase 2 (lines 22-37): allocate every kernel, trying to fit it whole
+        # on the most occupied FPGA first (consolidation); if no FPGA can take
+        # it whole, spill "as many CUs as possible starting from the least
+        # occupied FPGA" across the platform.
+        # ------------------------------------------------------------------
+        for name in self._sorted_kernels(totals, remaining, rule):
+            if remaining[name] == 0:
+                continue
+            unit = self._unit_demand(name)
+            unit_bandwidth = problem.bandwidth_of(name)
+            ordered = sorted(
+                fpgas, key=lambda fpga: fpga.normalized_slack(caps, bandwidth_cap)
+            )
+            demand = {kind: unit[kind] * remaining[name] for kind in unit}
+            placed_whole = False
+            for fpga in ordered:
+                if fpga.fits(demand, unit_bandwidth * remaining[name]):
+                    fpga.place(unit, unit_bandwidth, remaining[name])
+                    counts[name][fpga.index] += remaining[name]
+                    remaining[name] = 0
+                    placed_whole = True
+                    break
+            if not placed_whole:
+                for fpga in reversed(ordered):  # least occupied first
+                    if remaining[name] == 0:
+                        break
+                    batch = min(remaining[name], fpga.max_units(unit, unit_bandwidth))
+                    if batch > 0:
+                        fpga.place(unit, unit_bandwidth, batch)
+                        counts[name][fpga.index] += batch
+                        remaining[name] -= batch
+
+        if self.settings.polish and any(count > 0 for count in remaining.values()):
+            self._polish(counts, remaining, fpgas)
+
+        unallocated = {name: count for name, count in remaining.items() if count > 0}
+        return counts, unallocated
+
+    # ------------------------------------------------------------------ #
+    # Repair pass for partial allocations
+    # ------------------------------------------------------------------ #
+    def _polish(
+        self,
+        counts: dict[str, list[int]],
+        remaining: dict[str, int],
+        fpgas: list[_FPGAState],
+    ) -> None:
+        """Rebalance a partial allocation so dropped CUs hurt the II least.
+
+        When the greedy pass could not place every CU, the initiation interval
+        is set by whichever kernel happened to run out of space.  This repair
+        pass repeatedly takes the bottleneck kernel (largest ``WCET/placed``)
+        and tries to host one more of its CUs, either directly in leftover
+        slack or by evicting one CU of a less critical kernel, as long as the
+        overall II strictly improves.  It never adds CUs beyond the requested
+        totals and never violates the (possibly relaxed) per-FPGA caps.
+        """
+        problem = self.problem
+
+        def execution_time(name: str, placed: int) -> float:
+            return math.inf if placed <= 0 else problem.wcet[name] / placed
+
+        def placed_count(name: str) -> int:
+            return sum(counts[name])
+
+        for _ in range(64 * len(problem.kernel_names)):
+            pending = [name for name, count in remaining.items() if count > 0]
+            if not pending:
+                return
+            bottleneck = max(
+                problem.kernel_names, key=lambda name: execution_time(name, placed_count(name))
+            )
+            if remaining.get(bottleneck, 0) <= 0:
+                return
+            current_ii = execution_time(bottleneck, placed_count(bottleneck))
+            unit = self._unit_demand(bottleneck)
+            unit_bandwidth = problem.bandwidth_of(bottleneck)
+
+            # 1) Free slack somewhere?
+            direct = next((fpga for fpga in fpgas if fpga.max_units(unit, unit_bandwidth) >= 1), None)
+            if direct is not None:
+                direct.place(unit, unit_bandwidth, 1)
+                counts[bottleneck][direct.index] += 1
+                remaining[bottleneck] -= 1
+                continue
+
+            # 2) Swap: evict one CU of another kernel if the net II improves.
+            best_swap: tuple[float, _FPGAState, str] | None = None
+            for fpga in fpgas:
+                for victim in problem.kernel_names:
+                    if victim == bottleneck or counts[victim][fpga.index] < 1:
+                        continue
+                    if placed_count(victim) <= 1:
+                        continue
+                    victim_unit = self._unit_demand(victim)
+                    freed_ok = all(
+                        fpga.resource_slack[kind] + victim_unit[kind] + 1e-9 >= unit[kind]
+                        for kind in unit
+                    ) and (
+                        fpga.bandwidth_slack + problem.bandwidth_of(victim) + 1e-9
+                        >= unit_bandwidth
+                    )
+                    if not freed_ok:
+                        continue
+                    new_ii = max(
+                        execution_time(bottleneck, placed_count(bottleneck) + 1),
+                        execution_time(victim, placed_count(victim) - 1),
+                        max(
+                            (
+                                execution_time(other, placed_count(other))
+                                for other in problem.kernel_names
+                                if other not in (bottleneck, victim)
+                            ),
+                            default=0.0,
+                        ),
+                    )
+                    if new_ii < current_ii - 1e-12 and (
+                        best_swap is None or new_ii < best_swap[0]
+                    ):
+                        best_swap = (new_ii, fpga, victim)
+            if best_swap is None:
+                return
+            _, fpga, victim = best_swap
+            victim_unit = self._unit_demand(victim)
+            fpga.place(victim_unit, problem.bandwidth_of(victim), -1)
+            counts[victim][fpga.index] -= 1
+            remaining[victim] = remaining.get(victim, 0) + 1
+            fpga.place(unit, unit_bandwidth, 1)
+            counts[bottleneck][fpga.index] += 1
+            remaining[bottleneck] -= 1
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _unit_demand(self, kernel_name: str) -> dict[str, float]:
+        resources = self.problem.resource_of(kernel_name)
+        return {kind: resources[kind] for kind in self._kinds}
+
+    def _fits_single_fpga(
+        self, kernel_name: str, count: int, caps: dict[str, float], bandwidth_cap: float
+    ) -> bool:
+        unit = self._unit_demand(kernel_name)
+        if any(unit[kind] * count > caps[kind] + 1e-9 for kind in unit):
+            return False
+        return self.problem.bandwidth_of(kernel_name) * count <= bandwidth_cap + 1e-9
+
+    def _sorted_kernels(
+        self,
+        totals: Mapping[str, int],
+        remaining: Mapping[str, int],
+        rule: CriticalityRule | None = None,
+    ) -> list[str]:
+        """Kernel names in decreasing criticality order."""
+        rule = rule or self.settings.criticality
+        problem = self.problem
+
+        def ii_impact(name: str) -> float:
+            total = max(1, int(totals[name]))
+            wcet = problem.wcet[name]
+            if total <= 1:
+                return math.inf
+            return wcet / (total - 1) - wcet / total
+
+        def resource_footprint(name: str) -> float:
+            unit = self._unit_demand(name)
+            per_cu = max(unit.values()) if unit else 0.0
+            return per_cu * remaining.get(name, totals[name])
+
+        if rule == "ii-impact":
+            key = lambda name: (ii_impact(name), resource_footprint(name))
+        elif rule == "resource":
+            key = lambda name: (resource_footprint(name), ii_impact(name))
+        elif rule == "wcet":
+            key = lambda name: (problem.wcet[name], resource_footprint(name))
+        else:  # pragma: no cover - guarded by the Literal type
+            raise ValueError(f"unknown criticality rule {rule!r}")
+        return sorted(problem.kernel_names, key=key, reverse=True)
+
+
+def allocate_cus(
+    problem: AllocationProblem,
+    totals: Mapping[str, int],
+    settings: AllocatorSettings = AllocatorSettings(),
+) -> AllocatorResult:
+    """Convenience wrapper around :class:`GreedyAllocator`."""
+    return GreedyAllocator(problem, settings).allocate(totals)
+
+
+def first_fit_decreasing_allocate(
+    problem: AllocationProblem, totals: Mapping[str, int]
+) -> AllocatorResult:
+    """Ablation baseline: plain first-fit-decreasing without criticality order.
+
+    CUs are placed one at a time, largest per-CU footprint first, into the
+    first FPGA with room (no consolidation bias, no constraint relaxation).
+    """
+    kinds = [
+        dimension.name
+        for dimension in problem.capacity_dimensions()
+        if dimension.name != "bandwidth"
+    ]
+    caps = {kind: problem.platform.resource_limit[kind] for kind in kinds}
+    bandwidth_cap = problem.platform.bandwidth_limit
+    fpgas = [
+        _FPGAState(index=f, resource_slack=dict(caps), bandwidth_slack=bandwidth_cap)
+        for f in range(problem.num_fpgas)
+    ]
+    counts = {name: [0] * problem.num_fpgas for name in problem.kernel_names}
+    remaining = {name: int(totals[name]) for name in problem.kernel_names}
+
+    def footprint(name: str) -> float:
+        resources = problem.resource_of(name)
+        return max(resources[kind] for kind in kinds) if kinds else 0.0
+
+    for name in sorted(problem.kernel_names, key=footprint, reverse=True):
+        unit = {kind: problem.resource_of(name)[kind] for kind in kinds}
+        unit_bandwidth = problem.bandwidth_of(name)
+        for _ in range(remaining[name]):
+            for fpga in fpgas:
+                if fpga.fits(unit, unit_bandwidth):
+                    fpga.place(unit, unit_bandwidth, 1)
+                    counts[name][fpga.index] += 1
+                    remaining[name] -= 1
+                    break
+            else:
+                break
+
+    unallocated = {name: count for name, count in remaining.items() if count > 0}
+    return AllocatorResult(
+        success=not unallocated,
+        counts={name: tuple(values) for name, values in counts.items()},
+        constraint_relaxation=0.0,
+        iterations=1,
+        unallocated=unallocated,
+    )

@@ -1,0 +1,179 @@
+"""Second-step discretisation of the GP result (Section 3.2.2).
+
+The GP step produces fractional totals ``N̂_k``.  Before allocation they must
+become integers ``N_k``.  The paper enforces integrality "by a
+branch-and-bound technique similar to those used in ILP": two subproblems
+with ``N_k <= floor(N̂_k)`` and ``N_k >= ceil(N̂_k)``, pruning subproblems
+whose (relaxed) cost exceeds the best cost found.
+
+This module runs that search on top of the generic branch-and-bound engine of
+:mod:`repro.minlp`, with the exact bisection solver providing each node's
+relaxation bound.  A naive rounding fallback is also provided for ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..gp.errors import InfeasibleError
+from ..minlp.bounds import VariableBounds
+from ..minlp.branch_and_bound import (
+    BBSettings,
+    BBStatus,
+    BranchAndBoundSolver,
+    RelaxationResult,
+)
+from ..minlp.errors import InfeasibleProblemError
+from .gp_step import build_minmax_problem
+from .problem import AllocationProblem
+
+
+@dataclass(frozen=True)
+class DiscretizationResult:
+    """Integer totals ``N_k`` together with the II they achieve."""
+
+    counts: Mapping[str, int]
+    ii: float
+    nodes_explored: int
+    proven_optimal: bool
+
+
+class DiscretizationError(Exception):
+    """Raised when no feasible integer totals exist."""
+
+
+def _aggregate_feasible(problem: AllocationProblem, counts: Mapping[str, int]) -> bool:
+    """Check the aggregated capacity constraints (eqs. 17-18) for integer totals."""
+    for dimension in problem.capacity_dimensions():
+        usage = dimension.usage(counts)
+        if usage > dimension.capacity * problem.num_fpgas + 1e-9:
+            return False
+    return True
+
+
+def _achieved_ii(problem: AllocationProblem, counts: Mapping[str, int]) -> float:
+    return max(problem.wcet[name] / counts[name] for name in problem.kernel_names)
+
+
+def discretize_counts(
+    problem: AllocationProblem,
+    counts_hat: Mapping[str, float],
+    max_nodes: int = 20_000,
+    time_limit_seconds: float = 30.0,
+) -> DiscretizationResult:
+    """Branch-and-bound discretisation of the fractional GP totals.
+
+    Finds integer ``N_k >= 1`` minimising ``max_k WCET_k / N_k`` subject to
+    the aggregated capacity constraints, starting the search from the
+    fractional optimum (floor/ceil branching as in the paper).
+
+    Raises
+    ------
+    DiscretizationError
+        If no feasible integer assignment exists.
+    """
+    names = problem.kernel_names
+    upper_bounds: dict[str, int] = {}
+    for name in names:
+        cap = problem.max_total_cus(name)
+        # No point in ever exceeding the (rounded-up) fractional optimum by
+        # more than the slack the capacity allows; the ceil of the GP value is
+        # the natural starting upper bound but the search may go above it, so
+        # keep the capacity-driven cap.
+        upper_bounds[name] = max(1, cap)
+    if any(upper_bounds[name] < 1 for name in names):
+        raise DiscretizationError("a kernel cannot fit even one CU on one FPGA")
+
+    bounds = VariableBounds.from_ranges({name: (1, upper_bounds[name]) for name in names})
+
+    def relaxation(node_bounds: VariableBounds) -> RelaxationResult:
+        min_counts = {name: float(node_bounds.lower(name)) for name in names}
+        max_counts = {name: float(node_bounds.upper(name)) for name in names}
+        minmax = build_minmax_problem(problem, min_counts=min_counts, max_counts=max_counts)
+        try:
+            ii, counts = minmax.solve()
+        except InfeasibleError:
+            return RelaxationResult.infeasible()
+        return RelaxationResult(feasible=True, objective=ii, solution=counts)
+
+    def evaluate(candidate: Mapping[str, int]) -> float | None:
+        counts = {name: int(candidate[name]) for name in names}
+        if any(count < 1 for count in counts.values()):
+            return None
+        if not _aggregate_feasible(problem, counts):
+            return None
+        return _achieved_ii(problem, counts)
+
+    def rounding(fractional: Mapping[str, float], node_bounds: VariableBounds) -> list[dict[str, int]]:
+        floor_candidate = {
+            name: int(max(node_bounds.lower(name), math.floor(fractional.get(name, 1.0))))
+            for name in names
+        }
+        ceil_candidate = {
+            name: int(
+                min(node_bounds.upper(name), max(1, math.ceil(fractional.get(name, 1.0) - 1e-9)))
+            )
+            for name in names
+        }
+        return [ceil_candidate, floor_candidate]
+
+    solver = BranchAndBoundSolver(
+        relaxation_solver=relaxation,
+        incumbent_evaluator=evaluate,
+        rounding_heuristic=rounding,
+        settings=BBSettings(max_nodes=max_nodes, time_limit_seconds=time_limit_seconds),
+    )
+
+    seed = {name: max(1, int(math.floor(counts_hat.get(name, 1.0)))) for name in names}
+    if not _aggregate_feasible(problem, seed):
+        seed = {name: 1 for name in names}
+    try:
+        result = solver.solve(bounds, initial_incumbent=seed)
+    except InfeasibleProblemError as error:
+        raise DiscretizationError(str(error)) from error
+    if not result.has_solution:
+        raise DiscretizationError("no feasible integer CU totals found")
+    counts = {name: int(result.solution[name]) for name in names}
+    return DiscretizationResult(
+        counts=counts,
+        ii=_achieved_ii(problem, counts),
+        nodes_explored=result.nodes_explored,
+        proven_optimal=result.status is BBStatus.OPTIMAL,
+    )
+
+
+def round_counts(
+    problem: AllocationProblem, counts_hat: Mapping[str, float]
+) -> DiscretizationResult:
+    """Naive discretisation: ceil everything, floor greedily until feasible.
+
+    Kept as an ablation baseline for the branch-and-bound discretiser: it is
+    fast but can be noticeably worse when the capacity is tight.
+    """
+    names = problem.kernel_names
+    counts = {name: max(1, int(math.ceil(counts_hat.get(name, 1.0) - 1e-9))) for name in names}
+
+    def most_reducible() -> str | None:
+        candidates = [name for name in names if counts[name] > 1]
+        if not candidates:
+            return None
+        # Reducing the kernel whose ET after reduction stays smallest hurts II least.
+        return min(candidates, key=lambda name: problem.wcet[name] / (counts[name] - 1))
+
+    guard = sum(counts.values()) + 1
+    while not _aggregate_feasible(problem, counts) and guard > 0:
+        guard -= 1
+        name = most_reducible()
+        if name is None:
+            raise DiscretizationError("cannot round the GP solution into the aggregate capacity")
+        counts[name] -= 1
+    if not _aggregate_feasible(problem, counts):
+        raise DiscretizationError("cannot round the GP solution into the aggregate capacity")
+    return DiscretizationResult(
+        counts=counts,
+        ii=_achieved_ii(problem, counts),
+        nodes_explored=0,
+        proven_optimal=False,
+    )

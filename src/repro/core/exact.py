@@ -1,0 +1,349 @@
+"""Exact solvers for the allocation MINLP (the paper's reference methods).
+
+Two solvers mirror the two MINLP configurations of Section 4:
+
+* :func:`solve_exact_min_ii` -- the ``beta = 0`` configuration ("MINLP" in
+  the figures).  The initiation interval depends only on the CU totals, so
+  the problem decomposes exactly into (i) a search over the smallest II whose
+  required CU totals (ii) pack into the FPGAs (a vector bin-packing
+  feasibility test).  Feasibility is monotone in II, so a binary search over
+  the discrete candidate II values ``WCET_k / m`` yields the proven optimum.
+
+* :func:`solve_exact_weighted` -- the general configuration with a spreading
+  weight ("MINLP+G").  A spatial branch-and-bound over the integer
+  ``n_{k,f}`` variables with the convex LP relaxation of
+  :mod:`repro.core.relaxations`, seeded with the GP+A incumbent.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..minlp.binpacking import PackingItemType, VectorBinPacker
+from ..minlp.bounds import VariableBounds
+from ..minlp.branch_and_bound import BBSettings, BBStatus, BranchAndBoundSolver
+from ..minlp.errors import InfeasibleProblemError
+from ..minlp.secant import spreading_of_kernel
+from .gp_step import solve_gp_step
+from .heuristic import HeuristicSettings, solve_gp_a
+from .problem import AllocationProblem
+from .relaxations import AllocationRelaxation, split_variable_name, variable_name
+from .solution import AllocationSolution, SolveOutcome, SolveStatus
+
+
+@dataclass(frozen=True)
+class ExactSettings:
+    """Limits for the exact solvers."""
+
+    max_nodes: int = 2_000
+    time_limit_seconds: float = 120.0
+    gap_tolerance: float = 1e-6
+    packing_placement: str = "balance"
+    packer_max_nodes: int = 200_000
+    symmetry_breaking: bool = True
+    seed_with_heuristic: bool = True
+
+
+# --------------------------------------------------------------------------- #
+# beta = 0: decomposed exact minimum-II solver ("MINLP")
+# --------------------------------------------------------------------------- #
+def _required_totals(problem: AllocationProblem, ii: float) -> dict[str, int]:
+    """Smallest integer CU totals achieving an initiation interval <= ii."""
+    totals: dict[str, int] = {}
+    for name in problem.kernel_names:
+        needed = problem.wcet[name] / ii
+        totals[name] = max(1, int(math.ceil(needed - 1e-9)))
+    return totals
+
+
+def _pack_totals(
+    problem: AllocationProblem, totals: Mapping[str, int], settings: ExactSettings
+):
+    """Try to pack the CU totals into the FPGAs; returns a PackingResult."""
+    dimensions = problem.capacity_dimensions()
+    capacity = [dimension.capacity for dimension in dimensions]
+    items = [
+        PackingItemType(
+            name=name,
+            count=int(totals[name]),
+            size=tuple(dimension.weights.get(name, 0.0) for dimension in dimensions),
+        )
+        for name in problem.kernel_names
+    ]
+    packer = VectorBinPacker(
+        num_bins=problem.num_fpgas,
+        capacity=capacity,
+        placement=settings.packing_placement,
+        max_backtrack_nodes=settings.packer_max_nodes,
+    )
+    return packer.pack(items)
+
+
+def candidate_ii_values(problem: AllocationProblem) -> list[float]:
+    """All candidate optimal II values ``WCET_k / m``, sorted increasingly.
+
+    The optimum of the ``beta = 0`` problem is always of this form because the
+    II is ``max_k WCET_k / N_k`` for integer ``N_k``.
+    """
+    candidates: set[float] = set()
+    for name in problem.kernel_names:
+        wcet = problem.wcet[name]
+        max_total = max(1, problem.max_total_cus(name))
+        for count in range(1, max_total + 1):
+            candidates.add(wcet / count)
+    return sorted(candidates)
+
+
+def solve_exact_min_ii(
+    problem: AllocationProblem, settings: ExactSettings = ExactSettings()
+) -> SolveOutcome:
+    """Exact minimum-II allocation (the beta = 0 "MINLP" reference)."""
+    start = time.perf_counter()
+    candidates = candidate_ii_values(problem)
+    try:
+        lower_bound = solve_gp_step(problem).ii_hat
+    except Exception as error:
+        return SolveOutcome(
+            method="minlp",
+            status=SolveStatus.INFEASIBLE,
+            solution=None,
+            runtime_seconds=time.perf_counter() - start,
+            details={"reason": f"relaxed problem infeasible: {error}"},
+        )
+
+    # Restrict to candidates that are not below the continuous lower bound.
+    candidates = [ii for ii in candidates if ii >= lower_bound - 1e-9]
+    if not candidates:
+        candidates = [lower_bound]
+
+    feasible_index: int | None = None
+    feasible_packing = None
+    low, high = 0, len(candidates) - 1
+    # Check the largest candidate first: if even that fails, it is infeasible.
+    packing = _pack_totals(problem, _required_totals(problem, candidates[high]), settings)
+    if not packing.feasible:
+        return SolveOutcome(
+            method="minlp",
+            status=SolveStatus.INFEASIBLE,
+            solution=None,
+            runtime_seconds=time.perf_counter() - start,
+            details={"reason": "even one CU per kernel cannot be packed"},
+        )
+    feasible_index, feasible_packing = high, packing
+
+    while low < high:
+        mid = (low + high) // 2
+        packing = _pack_totals(problem, _required_totals(problem, candidates[mid]), settings)
+        if packing.feasible:
+            feasible_index, feasible_packing = mid, packing
+            high = mid
+        else:
+            low = mid + 1
+
+    assert feasible_index is not None and feasible_packing is not None
+    counts = {
+        name: tuple(feasible_packing.assignment[name]) for name in problem.kernel_names
+    }
+    solution = AllocationSolution(problem=problem, counts=counts)
+    runtime = time.perf_counter() - start
+    return SolveOutcome(
+        method="minlp",
+        status=SolveStatus.OPTIMAL,
+        solution=solution,
+        runtime_seconds=runtime,
+        lower_bound=problem.weights.alpha * max(lower_bound, 0.0),
+        nodes_explored=len(candidates),
+        details={
+            "optimal_ii": solution.initiation_interval,
+            "candidates_considered": len(candidates),
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# General weighted objective: spatial branch-and-bound ("MINLP+G")
+# --------------------------------------------------------------------------- #
+def solve_exact_weighted(
+    problem: AllocationProblem, settings: ExactSettings = ExactSettings()
+) -> SolveOutcome:
+    """Exact (bounded-gap) solver for the weighted II + spreading objective."""
+    start = time.perf_counter()
+    names = problem.kernel_names
+    num_fpgas = problem.num_fpgas
+
+    if not problem.weights.spreading_enabled:
+        return solve_exact_min_ii(problem, settings)
+
+    # Upper bounds: no optimal solution uses more CUs of a kernel than needed
+    # to reach the relaxed GP optimum (extra CUs cannot reduce II further and
+    # only increase spreading), nor more than fit on one FPGA.
+    try:
+        gp_result = solve_gp_step(problem)
+    except Exception as error:  # infeasible relaxation
+        return SolveOutcome(
+            method="minlp+g",
+            status=SolveStatus.INFEASIBLE,
+            solution=None,
+            runtime_seconds=time.perf_counter() - start,
+            details={"reason": f"relaxed problem infeasible: {error}"},
+        )
+    total_caps = {
+        name: min(
+            problem.max_total_cus(name),
+            int(math.ceil(problem.wcet[name] / max(gp_result.ii_hat, 1e-12) - 1e-9)) + 1,
+        )
+        for name in names
+    }
+    ranges: dict[str, tuple[int, int]] = {}
+    for name in names:
+        per_fpga_cap = min(problem.max_cus_per_fpga(name), max(1, total_caps[name]))
+        for fpga in range(num_fpgas):
+            ranges[variable_name(name, fpga)] = (0, per_fpga_cap)
+    bounds = VariableBounds.from_ranges(ranges)
+
+    relaxation = AllocationRelaxation(
+        problem=problem,
+        weights=problem.weights,
+        symmetry_breaking=settings.symmetry_breaking,
+    )
+
+    def evaluate(candidate: Mapping[str, int]) -> float | None:
+        counts = _candidate_to_counts(problem, candidate)
+        if counts is None:
+            return None
+        solution = AllocationSolution(problem=problem, counts=counts)
+        if not solution.is_feasible():
+            return None
+        return solution.objective
+
+    def rounding(fractional: Mapping[str, float], node_bounds: VariableBounds):
+        rounded: dict[str, int] = {}
+        for name in names:
+            per_fpga = [fractional.get(variable_name(name, f), 0.0) for f in range(num_fpgas)]
+            floors = [int(math.floor(value + 1e-9)) for value in per_fpga]
+            target = max(1, int(round(sum(per_fpga))))
+            deficit = target - sum(floors)
+            order = sorted(
+                range(num_fpgas), key=lambda f: per_fpga[f] - floors[f], reverse=True
+            )
+            for position in range(max(0, deficit)):
+                floors[order[position % num_fpgas]] += 1
+            for fpga in range(num_fpgas):
+                low, up = node_bounds[variable_name(name, fpga)]
+                floors[fpga] = min(max(floors[fpga], low), up)
+            if sum(floors) < 1:
+                floors[order[0]] = max(1, floors[order[0]])
+            for fpga in range(num_fpgas):
+                rounded[variable_name(name, fpga)] = floors[fpga]
+        return [rounded]
+
+    incumbent: dict[str, int] | None = None
+    heuristic_outcome: SolveOutcome | None = None
+    if settings.seed_with_heuristic:
+        heuristic_outcome = solve_gp_a(problem, HeuristicSettings())
+        if heuristic_outcome.succeeded and heuristic_outcome.solution is not None:
+            incumbent = _solution_to_candidate(heuristic_outcome.solution, canonical=settings.symmetry_breaking)
+
+    solver = BranchAndBoundSolver(
+        relaxation_solver=relaxation.solve,
+        incumbent_evaluator=evaluate,
+        rounding_heuristic=rounding,
+        settings=BBSettings(
+            max_nodes=settings.max_nodes,
+            time_limit_seconds=settings.time_limit_seconds,
+            gap_tolerance=settings.gap_tolerance,
+        ),
+    )
+    try:
+        result = solver.solve(bounds, initial_incumbent=incumbent)
+    except InfeasibleProblemError:
+        return SolveOutcome(
+            method="minlp+g",
+            status=SolveStatus.INFEASIBLE,
+            solution=None,
+            runtime_seconds=time.perf_counter() - start,
+            details={"reason": "root relaxation infeasible"},
+        )
+
+    runtime = time.perf_counter() - start
+    if not result.has_solution:
+        return SolveOutcome(
+            method="minlp+g",
+            status=SolveStatus.INFEASIBLE,
+            solution=None,
+            runtime_seconds=runtime,
+            lower_bound=result.lower_bound,
+            nodes_explored=result.nodes_explored,
+            details={"reason": "no feasible integer point found within limits"},
+        )
+
+    counts = _candidate_to_counts(problem, result.solution)
+    assert counts is not None
+    solution = AllocationSolution(problem=problem, counts=counts)
+    status = SolveStatus.OPTIMAL if result.status is BBStatus.OPTIMAL else SolveStatus.FEASIBLE
+    return SolveOutcome(
+        method="minlp+g",
+        status=status,
+        solution=solution,
+        runtime_seconds=runtime,
+        lower_bound=result.lower_bound,
+        nodes_explored=result.nodes_explored,
+        details={
+            "gap": result.gap,
+            "seeded": incumbent is not None,
+            "heuristic_objective": heuristic_outcome.objective if heuristic_outcome else math.nan,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Helpers shared by the exact solvers
+# --------------------------------------------------------------------------- #
+def _candidate_to_counts(
+    problem: AllocationProblem, candidate: Mapping[str, int]
+) -> dict[str, tuple[int, ...]] | None:
+    counts: dict[str, tuple[int, ...]] = {}
+    for name in problem.kernel_names:
+        per_fpga = []
+        for fpga in range(problem.num_fpgas):
+            value = candidate.get(variable_name(name, fpga), 0)
+            if value < 0:
+                return None
+            per_fpga.append(int(value))
+        if sum(per_fpga) < 1:
+            return None
+        counts[name] = tuple(per_fpga)
+    return counts
+
+
+def _solution_to_candidate(
+    solution: AllocationSolution, canonical: bool = True
+) -> dict[str, int]:
+    """Convert an allocation into branch-and-bound variable values.
+
+    With ``canonical=True`` the FPGAs are re-ordered by decreasing load of
+    the dominant dimension so that the candidate satisfies the
+    symmetry-breaking constraints of the relaxation (FPGAs are identical, so
+    permutation preserves feasibility and objective).
+    """
+    problem = solution.problem
+    order = list(range(problem.num_fpgas))
+    if canonical:
+        order.sort(key=lambda f: solution.fpga_resource_usage(f).max_component(), reverse=True)
+    candidate: dict[str, int] = {}
+    for name in problem.kernel_names:
+        for new_index, old_index in enumerate(order):
+            candidate[variable_name(name, new_index)] = int(solution.counts[name][old_index])
+    return candidate
+
+
+def spreading_of_candidate(problem: AllocationProblem, candidate: Mapping[str, int]) -> float:
+    """Global spreading of a candidate assignment (used in tests)."""
+    worst = 0.0
+    for name in problem.kernel_names:
+        per_fpga = [candidate.get(variable_name(name, f), 0) for f in range(problem.num_fpgas)]
+        worst = max(worst, spreading_of_kernel(per_fpga))
+    return worst

@@ -1,0 +1,148 @@
+"""First step of the heuristic: the relaxed Geometric Program (Sec. 3.2.1).
+
+Setting ``beta = 0`` and letting ``n_kf`` take real values makes the problem
+symmetric across the ``F`` identical FPGAs, so the CUs distribute equally and
+only the totals ``N̂_k = F * n̂_k`` matter.  The resulting program
+(eqs. 14-18) minimises the relaxed initiation interval subject to aggregated
+(platform-wide) resource and bandwidth constraints.
+
+Three interchangeable backends solve it:
+
+* ``"bisection"`` (default): the exact specialised min-max solver of
+  :mod:`repro.gp.minmax`; fastest and used by the heuristic.
+* ``"slsqp"`` and ``"interior-point"``: the general GP backends operating on
+  the posynomial model, used to cross-validate the bisection optimum and as
+  drop-in replacements for GPkit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..gp import GPModel, Monomial, Variable, solve as solve_gp
+from ..gp.errors import InfeasibleError
+from ..gp.minmax import CapacityConstraint, MinMaxLatencyProblem
+from .problem import AllocationProblem
+
+#: Name of the initiation-interval variable in the posynomial model.
+II_VARIABLE = "II"
+
+
+@dataclass(frozen=True)
+class GPStepResult:
+    """Outcome of the GP step: relaxed II and fractional total CU counts."""
+
+    ii_hat: float
+    counts_hat: Mapping[str, float]
+    backend: str
+
+    def per_fpga_counts(self, num_fpgas: int) -> dict[str, float]:
+        """The symmetric per-FPGA counts ``n̂_k = N̂_k / F`` (eq. 11)."""
+        return {name: value / num_fpgas for name, value in self.counts_hat.items()}
+
+
+def build_minmax_problem(
+    problem: AllocationProblem,
+    min_counts: Mapping[str, float] | None = None,
+    max_counts: Mapping[str, float] | None = None,
+) -> MinMaxLatencyProblem:
+    """Build the aggregated min-max-latency problem (eqs. 14-18).
+
+    ``min_counts`` / ``max_counts`` override the default bounds
+    (``N̂_k >= 1``, no upper bound); the discretisation branch-and-bound uses
+    them to encode its box constraints.
+    """
+    wcet = problem.wcet
+    capacities = [
+        CapacityConstraint(
+            name=dimension.name,
+            weights=dimension.weights,
+            capacity=dimension.capacity * problem.num_fpgas,
+        )
+        for dimension in problem.capacity_dimensions()
+    ]
+    lower = {name: 1.0 for name in wcet}
+    if min_counts:
+        for name, value in min_counts.items():
+            lower[name] = max(lower.get(name, 1.0), float(value))
+    upper: dict[str, float] | None = None
+    explicit_upper = {
+        kernel.name: float(kernel.max_cus)
+        for kernel in problem.pipeline
+        if kernel.max_cus is not None
+    }
+    if max_counts or explicit_upper:
+        upper = dict(explicit_upper)
+        if max_counts:
+            for name, value in max_counts.items():
+                upper[name] = min(upper.get(name, float(value)), float(value))
+    return MinMaxLatencyProblem(
+        wcet=wcet, min_counts=lower, capacities=capacities, max_counts=upper
+    )
+
+
+def build_gp_model(problem: AllocationProblem) -> GPModel:
+    """Build the posynomial form of the relaxed problem (eqs. 14-18)."""
+    model = GPModel(name=f"gp-step[{problem.pipeline.name}]")
+    ii = model.new_variable(II_VARIABLE)
+    count_vars: dict[str, Variable] = {}
+    for kernel in problem.pipeline:
+        variable = model.new_variable(f"N[{kernel.name}]")
+        count_vars[kernel.name] = variable
+        # Eq. 15: WCET_k / N_k <= II  <=>  WCET_k * II^-1 * N_k^-1 <= 1.
+        model.add_constraint(Monomial(kernel.wcet_ms) / (ii * variable) <= 1.0)
+        # Eq. 16: N_k >= 1.
+        model.add_lower_bound(variable, 1.0)
+        if kernel.max_cus is not None:
+            model.add_upper_bound(variable, float(kernel.max_cus))
+    # Eqs. 17-18: aggregated capacity constraints, one per active dimension.
+    for dimension in problem.capacity_dimensions():
+        total_capacity = dimension.capacity * problem.num_fpgas
+        terms = None
+        for kernel_name, weight in dimension.weights.items():
+            if weight <= 0:
+                continue
+            term = (weight / total_capacity) * count_vars[kernel_name]
+            terms = term if terms is None else terms + term
+        if terms is not None:
+            model.add_constraint(terms <= 1.0)
+    model.set_objective(ii)
+    return model
+
+
+def solve_gp_step(problem: AllocationProblem, backend: str = "bisection") -> GPStepResult:
+    """Solve the relaxed GP and return ``(ÎI, N̂_k)``.
+
+    Raises
+    ------
+    repro.gp.errors.InfeasibleError
+        If even one CU per kernel exceeds the aggregated platform capacity.
+    """
+    if backend == "bisection":
+        minmax = build_minmax_problem(problem)
+        ii_hat, counts = minmax.solve()
+        return GPStepResult(ii_hat=ii_hat, counts_hat=counts, backend=backend)
+
+    model = build_gp_model(problem)
+    initial = _initial_point(problem)
+    result = solve_gp(model, backend=backend, initial_values=initial)
+    if not result.is_optimal:
+        raise InfeasibleError(
+            f"GP backend {backend!r} reported {result.status.value} for the relaxed problem"
+        )
+    counts = {
+        kernel.name: result.values[f"N[{kernel.name}]"] for kernel in problem.pipeline
+    }
+    return GPStepResult(ii_hat=result.values[II_VARIABLE], counts_hat=counts, backend=backend)
+
+
+def _initial_point(problem: AllocationProblem) -> dict[str, float]:
+    """A feasible starting point: one CU per kernel, II at its single-CU value.
+
+    Feasible whenever the aggregated capacity admits one CU per kernel, which
+    is exactly the feasibility condition of the relaxed problem.
+    """
+    values = {f"N[{kernel.name}]": 1.0 for kernel in problem.pipeline}
+    values[II_VARIABLE] = max(kernel.wcet_ms for kernel in problem.pipeline) * 1.001
+    return values

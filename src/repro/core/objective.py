@@ -1,0 +1,95 @@
+"""Objective components of the allocation problem (eqs. 4-5 of the paper).
+
+The goal function combines the initiation interval and the spreading metric
+linearly: ``g = alpha * II + beta * phi``.  The spreading of a kernel is
+``phi_k = sum_f n_kf / (1 + n_kf)`` (eq. 4): it is minimal (and close to 1)
+when all CUs sit on one FPGA and grows towards the number of FPGAs touched as
+the CUs spread out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..minlp.secant import spreading_of_kernel
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """Weights ``alpha`` (II) and ``beta`` (spreading) of the goal function."""
+
+    alpha: float = 1.0
+    beta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("objective weights must be non-negative")
+        if self.alpha == 0 and self.beta == 0:
+            raise ValueError("at least one objective weight must be positive")
+
+    @property
+    def spreading_enabled(self) -> bool:
+        return self.beta > 0
+
+    def goal(self, ii: float, phi: float) -> float:
+        """Evaluate ``g = alpha * II + beta * phi`` (eq. 5)."""
+        return self.alpha * ii + self.beta * phi
+
+
+#: Table 4 of the paper: weights chosen "to equalize the relative importance
+#: of II and phi" for the three reported case studies, keyed by
+#: (application name, number of FPGAs).
+PAPER_WEIGHTS: dict[tuple[str, int], ObjectiveWeights] = {
+    ("alex-16", 2): ObjectiveWeights(alpha=1.0, beta=0.7),
+    ("alex-32", 4): ObjectiveWeights(alpha=1.0, beta=6.0),
+    ("vgg-16", 8): ObjectiveWeights(alpha=1.0, beta=50.0),
+}
+
+
+def default_weights(application: str, num_fpgas: int) -> ObjectiveWeights:
+    """Return the Table 4 weights for a known case study, or II-only weights.
+
+    Unknown combinations default to ``alpha=1, beta=0`` (pure II
+    minimisation), which is always a safe choice.
+    """
+    return PAPER_WEIGHTS.get((application, num_fpgas), ObjectiveWeights())
+
+
+def balanced_weights(reference_ii_ms: float, num_fpgas: int, alpha: float = 1.0) -> ObjectiveWeights:
+    """Derive weights that equalise the importance of II and spreading.
+
+    The paper chooses ``beta`` "to equalize the relative importance of II and
+    phi in the optimization function".  A natural recipe: the spreading term
+    ranges over roughly ``[1, F]`` per kernel while II is on the order of a
+    reference value (e.g. the single-FPGA GP optimum), so
+    ``beta = alpha * reference_II / F`` makes the two terms commensurate.
+    """
+    if reference_ii_ms <= 0:
+        raise ValueError("reference_ii_ms must be positive")
+    if num_fpgas < 1:
+        raise ValueError("num_fpgas must be >= 1")
+    return ObjectiveWeights(alpha=alpha, beta=alpha * reference_ii_ms / num_fpgas)
+
+
+def kernel_spreading(counts_per_fpga: Sequence[float]) -> float:
+    """Spreading function of one kernel, ``phi_k`` (eq. 4)."""
+    return spreading_of_kernel(tuple(counts_per_fpga))
+
+
+def global_spreading(counts: Mapping[str, Sequence[float]]) -> float:
+    """Global spreading ``phi = max_k phi_k`` (constraint 7 of the paper)."""
+    if not counts:
+        raise ValueError("counts must not be empty")
+    return max(kernel_spreading(per_fpga) for per_fpga in counts.values())
+
+
+def initiation_interval(wcet: Mapping[str, float], totals: Mapping[str, float]) -> float:
+    """``II = max_k WCET_k / N_k`` (eqs. 1-2) for total CU counts ``N_k``."""
+    ii = 0.0
+    for name, wcet_value in wcet.items():
+        total = totals[name]
+        if total <= 0:
+            raise ValueError(f"kernel {name!r} has no CUs allocated")
+        ii = max(ii, wcet_value / total)
+    return ii

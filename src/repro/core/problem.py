@@ -1,0 +1,160 @@
+"""The multi-FPGA CU allocation problem (Section 3 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from ..platform.multi_fpga import MultiFPGAPlatform
+from ..platform.resources import RESOURCE_KINDS, ResourceVector
+from ..workloads.pipeline import Pipeline
+from .objective import ObjectiveWeights, default_weights
+
+
+@dataclass(frozen=True)
+class CapacityDimension:
+    """One capacity dimension of the allocation problem.
+
+    A dimension is either an on-chip resource kind (``bram``, ``dsp``, ...)
+    or the DRAM ``bandwidth``; it carries the per-CU weight of every kernel
+    and the per-FPGA capacity.
+    """
+
+    name: str
+    weights: Mapping[str, float]
+    capacity: float
+
+    def usage(self, totals: Mapping[str, float]) -> float:
+        """Capacity consumed by the given per-kernel CU counts on one FPGA."""
+        return sum(self.weights.get(kernel, 0.0) * count for kernel, count in totals.items())
+
+
+@dataclass(frozen=True)
+class AllocationProblem:
+    """A pipeline to be allocated onto a multi-FPGA platform.
+
+    Parameters
+    ----------
+    pipeline:
+        The application, a linear pipeline of characterised kernels.
+    platform:
+        The multi-FPGA platform (identical FPGAs, per-FPGA resource and
+        bandwidth caps).
+    weights:
+        Objective weights ``alpha`` / ``beta`` (Table 4).  Defaults to pure II
+        minimisation.
+    """
+
+    pipeline: Pipeline
+    platform: MultiFPGAPlatform
+    weights: ObjectiveWeights = ObjectiveWeights()
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def kernel_names(self) -> tuple[str, ...]:
+        return self.pipeline.kernel_names
+
+    @property
+    def num_fpgas(self) -> int:
+        return self.platform.num_fpgas
+
+    @property
+    def wcet(self) -> dict[str, float]:
+        """Per-kernel single-CU worst-case execution times (``WCET_k``)."""
+        return {kernel.name: kernel.wcet_ms for kernel in self.pipeline}
+
+    def resource_of(self, kernel_name: str) -> ResourceVector:
+        return self.pipeline[kernel_name].resources
+
+    def bandwidth_of(self, kernel_name: str) -> float:
+        return self.pipeline[kernel_name].bandwidth
+
+    # ------------------------------------------------------------------ #
+    # Capacity dimensions (constraints 9-10 of the paper)
+    # ------------------------------------------------------------------ #
+    def capacity_dimensions(self, include_inactive: bool = False) -> tuple[CapacityDimension, ...]:
+        """Per-FPGA capacity dimensions with non-trivial demand.
+
+        A resource kind is *active* if at least one kernel demands it; the
+        paper's tables only report BRAM and DSP because LUT/FF never bind.
+        Bandwidth is always included when any kernel consumes it.
+        """
+        dimensions: list[CapacityDimension] = []
+        for kind in RESOURCE_KINDS:
+            weights = {kernel.name: kernel.resources[kind] for kernel in self.pipeline}
+            if include_inactive or any(value > 0 for value in weights.values()):
+                dimensions.append(
+                    CapacityDimension(
+                        name=kind,
+                        weights=weights,
+                        capacity=self.platform.resource_limit[kind],
+                    )
+                )
+        bandwidth_weights = {kernel.name: kernel.bandwidth for kernel in self.pipeline}
+        if include_inactive or any(value > 0 for value in bandwidth_weights.values()):
+            dimensions.append(
+                CapacityDimension(
+                    name="bandwidth",
+                    weights=bandwidth_weights,
+                    capacity=self.platform.bandwidth_limit,
+                )
+            )
+        return tuple(dimensions)
+
+    def max_cus_per_fpga(self, kernel_name: str) -> int:
+        """Largest CU count of one kernel that fits into one (empty) FPGA."""
+        kernel = self.pipeline[kernel_name]
+        return kernel.max_cus_per_fpga(self.platform.resource_limit, self.platform.bandwidth_limit)
+
+    def max_total_cus(self, kernel_name: str) -> int:
+        """Upper bound on the total CU count of one kernel over the platform."""
+        per_fpga = self.max_cus_per_fpga(kernel_name)
+        kernel = self.pipeline[kernel_name]
+        total = per_fpga * self.num_fpgas
+        if kernel.max_cus is not None:
+            total = min(total, kernel.max_cus)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Quick feasibility screens
+    # ------------------------------------------------------------------ #
+    def is_trivially_infeasible(self) -> bool:
+        """True if even one CU per kernel cannot fit on the platform.
+
+        Checks only the aggregate capacity (a necessary condition); the exact
+        and heuristic solvers perform the full per-FPGA check.
+        """
+        for dimension in self.capacity_dimensions():
+            demand = sum(dimension.weights.values())
+            if demand > dimension.capacity * self.num_fpgas + 1e-9:
+                return True
+        for name in self.kernel_names:
+            if self.max_cus_per_fpga(name) < 1:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Variants
+    # ------------------------------------------------------------------ #
+    def with_resource_constraint(self, limit_percent: float) -> "AllocationProblem":
+        """Copy of the problem with a different uniform per-FPGA resource cap."""
+        return replace(self, platform=self.platform.with_resource_limit(limit_percent))
+
+    def with_weights(self, weights: ObjectiveWeights) -> "AllocationProblem":
+        """Copy of the problem with different objective weights."""
+        return replace(self, weights=weights)
+
+    def with_paper_weights(self) -> "AllocationProblem":
+        """Copy using the Table 4 weights for this (application, F) pair."""
+        return replace(
+            self, weights=default_weights(self.pipeline.name, self.platform.num_fpgas)
+        )
+
+    def describe(self) -> str:
+        return (
+            f"AllocationProblem({self.pipeline.name}: {len(self.pipeline)} kernels "
+            f"on {self.platform.describe()}, alpha={self.weights.alpha}, "
+            f"beta={self.weights.beta})"
+        )

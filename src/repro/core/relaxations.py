@@ -1,0 +1,281 @@
+"""Convex node relaxations for the exact (MINLP) allocation solver.
+
+At every branch-and-bound node the integer variables ``n_kf`` have box bounds
+``l <= n <= u``.  The continuous relaxation of the paper's problem
+(eqs. 5-10) restricted to that box is convex once the concave spreading terms
+``n/(1+n)`` are replaced by their secants over ``[l, u]`` (see
+:mod:`repro.minlp.secant`):
+
+* for a *fixed* initiation interval ``II`` the remaining problem is a linear
+  program (minimise the relaxed spreading ``phi``),
+* the optimal value ``g(II) = alpha * II + beta * phi*(II)`` is convex in
+  ``II`` (LP value convex in its right-hand side composed with the convex,
+  coordinate-wise decreasing coverage requirement ``max(1, WCET_k / II)``),
+
+so the node bound is obtained by a scalar convex search over ``II`` with one
+LP solve (scipy ``linprog``/HiGHS) per probe.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+from scipy import optimize
+
+from ..minlp.bounds import VariableBounds
+from ..minlp.branch_and_bound import RelaxationResult
+from ..minlp.secant import spreading_secant
+from .objective import ObjectiveWeights
+from .problem import AllocationProblem
+
+#: Safety margin subtracted from node bounds so that the inexactness of the
+#: scalar search can never prune the true optimum.
+BOUND_SAFETY = 1e-7
+
+
+def variable_name(kernel: str, fpga: int) -> str:
+    """Canonical name of the integer variable ``n_{k,f}`` (0-based FPGA)."""
+    return f"{kernel}|f{fpga}"
+
+
+def split_variable_name(name: str) -> tuple[str, int]:
+    """Inverse of :func:`variable_name`."""
+    kernel, _, fpga = name.rpartition("|f")
+    return kernel, int(fpga)
+
+
+@dataclass(frozen=True)
+class AllocationRelaxation:
+    """LP-based convex relaxation of the allocation MINLP over a bound box."""
+
+    problem: AllocationProblem
+    weights: ObjectiveWeights
+    symmetry_breaking: bool = True
+    ii_search_tolerance: float = 1e-6
+
+    # ------------------------------------------------------------------ #
+    # Public entry point (plugs into the branch-and-bound engine)
+    # ------------------------------------------------------------------ #
+    def solve(self, bounds: VariableBounds) -> RelaxationResult:
+        """Lower bound + fractional solution for a node's box bounds."""
+        names = self.problem.kernel_names
+        num_fpgas = self.problem.num_fpgas
+        lower = np.array(
+            [bounds.lower(variable_name(k, f)) for k in names for f in range(num_fpgas)],
+            dtype=float,
+        )
+        upper = np.array(
+            [bounds.upper(variable_name(k, f)) for k in names for f in range(num_fpgas)],
+            dtype=float,
+        )
+
+        ii_low, ii_high = self._ii_range(lower, upper)
+        if ii_low is None:
+            return RelaxationResult.infeasible()
+
+        if not self.weights.spreading_enabled:
+            # Pure II objective: phi* is irrelevant, the bound is alpha * II_min.
+            solution = self._solve_lp(ii_low, lower, upper)
+            if solution is None:
+                return RelaxationResult.infeasible()
+            values, _ = solution
+            return RelaxationResult(
+                feasible=True,
+                objective=self.weights.alpha * ii_low - BOUND_SAFETY,
+                solution=self._to_mapping(values),
+            )
+
+        evaluations: dict[float, tuple[np.ndarray, float]] = {}
+
+        def goal(ii: float) -> float:
+            solved = self._solve_lp(ii, lower, upper)
+            if solved is None:
+                return math.inf
+            values, phi = solved
+            evaluations[ii] = (values, phi)
+            return self.weights.goal(ii, phi)
+
+        best_ii = self._minimize_scalar(goal, ii_low, ii_high)
+        if best_ii not in evaluations:
+            value = goal(best_ii)
+            if math.isinf(value):
+                return RelaxationResult.infeasible()
+        values, phi = evaluations[best_ii]
+        return RelaxationResult(
+            feasible=True,
+            objective=self.weights.goal(best_ii, phi) - BOUND_SAFETY,
+            solution=self._to_mapping(values),
+        )
+
+    # ------------------------------------------------------------------ #
+    # II range and scalar search
+    # ------------------------------------------------------------------ #
+    def _ii_range(
+        self, lower: np.ndarray, upper: np.ndarray
+    ) -> tuple[float | None, float]:
+        """Feasible II interval endpoints for the node (None if infeasible)."""
+        names = self.problem.kernel_names
+        num_fpgas = self.problem.num_fpgas
+        wcet = self.problem.wcet
+
+        ii_high = max(wcet.values())
+        # Smallest II the box could possibly allow (all variables at upper bound).
+        ii_floor = 0.0
+        for index, name in enumerate(names):
+            total_upper = float(
+                np.sum(upper[index * num_fpgas : (index + 1) * num_fpgas])
+            )
+            if total_upper < 1.0 - 1e-9:
+                return None, ii_high
+            ii_floor = max(ii_floor, wcet[name] / max(total_upper, 1e-12))
+        ii_floor = max(ii_floor, 1e-9)
+
+        if self._solve_lp(ii_floor, lower, upper) is not None:
+            return ii_floor, ii_high
+        if self._solve_lp(ii_high, lower, upper) is None:
+            return None, ii_high
+        # Bisect for the smallest feasible II (LP feasibility is monotone in II).
+        low, high = ii_floor, ii_high
+        for _ in range(60):
+            if high - low <= self.ii_search_tolerance * max(1.0, high):
+                break
+            mid = 0.5 * (low + high)
+            if self._solve_lp(mid, lower, upper) is not None:
+                high = mid
+            else:
+                low = mid
+        return high, ii_high
+
+    def _minimize_scalar(self, goal, ii_low: float, ii_high: float) -> float:
+        """Golden-section search for the convex scalar goal over [ii_low, ii_high]."""
+        if ii_high <= ii_low * (1 + 1e-12):
+            return ii_low
+        invphi = (math.sqrt(5.0) - 1.0) / 2.0
+        a, b = ii_low, ii_high
+        c = b - invphi * (b - a)
+        d = a + invphi * (b - a)
+        goal_c, goal_d = goal(c), goal(d)
+        for _ in range(80):
+            if (b - a) <= self.ii_search_tolerance * max(1.0, b):
+                break
+            if goal_c <= goal_d:
+                b, d, goal_d = d, c, goal_c
+                c = b - invphi * (b - a)
+                goal_c = goal(c)
+            else:
+                a, c, goal_c = c, d, goal_d
+                d = a + invphi * (b - a)
+                goal_d = goal(d)
+        candidates = [(goal(a), a), (goal_c, c), (goal_d, d), (goal(b), b)]
+        best_value, best_ii = min(candidates, key=lambda pair: pair[0])
+        if math.isinf(best_value):
+            return ii_low
+        return best_ii
+
+    # ------------------------------------------------------------------ #
+    # The fixed-II linear program
+    # ------------------------------------------------------------------ #
+    def _solve_lp(
+        self, ii: float, lower: np.ndarray, upper: np.ndarray
+    ) -> tuple[np.ndarray, float] | None:
+        """Minimise relaxed spreading at fixed II; None if infeasible.
+
+        Variable vector: ``[n_11, ..., n_KF, phi]`` (phi only when beta > 0).
+        """
+        problem = self.problem
+        names = problem.kernel_names
+        num_fpgas = problem.num_fpgas
+        num_n = len(names) * num_fpgas
+        with_phi = self.weights.spreading_enabled
+        num_vars = num_n + (1 if with_phi else 0)
+
+        cost = np.zeros(num_vars)
+        if with_phi:
+            cost[-1] = 1.0
+
+        rows_ub: list[np.ndarray] = []
+        rhs_ub: list[float] = []
+
+        # Coverage: sum_f n_kf >= max(1, WCET_k / II)  ->  -sum_f n_kf <= -req.
+        for index, name in enumerate(names):
+            row = np.zeros(num_vars)
+            row[index * num_fpgas : (index + 1) * num_fpgas] = -1.0
+            rows_ub.append(row)
+            rhs_ub.append(-max(1.0, problem.wcet[name] / ii))
+
+        # Capacity constraints per FPGA and dimension.
+        for dimension in problem.capacity_dimensions():
+            for fpga in range(num_fpgas):
+                row = np.zeros(num_vars)
+                for index, name in enumerate(names):
+                    row[index * num_fpgas + fpga] = dimension.weights.get(name, 0.0)
+                rows_ub.append(row)
+                rhs_ub.append(dimension.capacity)
+
+        # Relaxed spreading: phi >= sum_f secant_kf(n_kf) for every kernel.
+        if with_phi:
+            for index, name in enumerate(names):
+                row = np.zeros(num_vars)
+                constant = 0.0
+                for fpga in range(num_fpgas):
+                    flat = index * num_fpgas + fpga
+                    segment = spreading_secant(lower[flat], upper[flat])
+                    row[flat] = segment.slope
+                    constant += segment.intercept
+                row[-1] = -1.0
+                rows_ub.append(row)
+                rhs_ub.append(-constant)
+
+        # Symmetry breaking among identical FPGAs: non-increasing load of the
+        # most critical dimension across the FPGA index.  Valid because any
+        # assignment can be permuted into this canonical order.
+        if self.symmetry_breaking and num_fpgas > 1:
+            dimension = self._symmetry_dimension()
+            if dimension is not None:
+                for fpga in range(num_fpgas - 1):
+                    row = np.zeros(num_vars)
+                    for index, name in enumerate(names):
+                        weight = dimension.weights.get(name, 0.0)
+                        row[index * num_fpgas + fpga] -= weight
+                        row[index * num_fpgas + fpga + 1] += weight
+                    rows_ub.append(row)
+                    rhs_ub.append(0.0)
+
+        var_bounds = [(lower[i], upper[i]) for i in range(num_n)]
+        if with_phi:
+            var_bounds.append((0.0, float(num_fpgas * len(names))))
+
+        result = optimize.linprog(
+            c=cost,
+            A_ub=np.vstack(rows_ub),
+            b_ub=np.array(rhs_ub),
+            bounds=var_bounds,
+            method="highs",
+        )
+        if not result.success:
+            return None
+        values = result.x[:num_n]
+        phi = float(result.x[-1]) if with_phi else 0.0
+        return values, phi
+
+    def _symmetry_dimension(self):
+        """Dimension used for the symmetry-breaking ordering (largest demand)."""
+        dimensions = self.problem.capacity_dimensions()
+        if not dimensions:
+            return None
+        return max(dimensions, key=lambda d: sum(d.weights.values()) / max(d.capacity, 1e-9))
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _to_mapping(self, values: np.ndarray) -> dict[str, float]:
+        names = self.problem.kernel_names
+        num_fpgas = self.problem.num_fpgas
+        mapping: dict[str, float] = {}
+        for index, name in enumerate(names):
+            for fpga in range(num_fpgas):
+                mapping[variable_name(name, fpga)] = float(values[index * num_fpgas + fpga])
+        return mapping

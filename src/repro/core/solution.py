@@ -1,0 +1,264 @@
+"""Allocation solutions and solve outcomes."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Sequence
+
+from ..platform.resources import ResourceVector, sum_resources
+from .objective import global_spreading, kernel_spreading
+from .problem import AllocationProblem
+
+#: Tolerance (percentage points) applied to capacity checks on solutions.
+CAPACITY_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class AllocationSolution:
+    """A concrete assignment of compute units to FPGAs.
+
+    Attributes
+    ----------
+    problem:
+        The problem this solution answers.
+    counts:
+        ``{kernel name: (n_k1, n_k2, ..., n_kF)}`` -- integer CU counts per
+        FPGA, in platform FPGA order.
+    """
+
+    problem: AllocationProblem
+    counts: Mapping[str, tuple[int, ...]]
+
+    def __post_init__(self) -> None:
+        num_fpgas = self.problem.num_fpgas
+        for name in self.problem.kernel_names:
+            if name not in self.counts:
+                raise ValueError(f"solution is missing kernel {name!r}")
+            per_fpga = self.counts[name]
+            if len(per_fpga) != num_fpgas:
+                raise ValueError(
+                    f"kernel {name!r} has {len(per_fpga)} FPGA entries, expected {num_fpgas}"
+                )
+            if any(count < 0 for count in per_fpga):
+                raise ValueError(f"kernel {name!r} has negative CU counts")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_totals_single_fpga(
+        cls, problem: AllocationProblem, totals: Mapping[str, int]
+    ) -> "AllocationSolution":
+        """Place all CUs of every kernel on FPGA 0 (useful for F=1 problems)."""
+        counts = {
+            name: tuple([int(totals[name])] + [0] * (problem.num_fpgas - 1))
+            for name in problem.kernel_names
+        }
+        return cls(problem=problem, counts=counts)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    def total_cus(self, kernel_name: str) -> int:
+        """Total CU count ``N_k`` of one kernel across all FPGAs (eq. 3)."""
+        return int(sum(self.counts[kernel_name]))
+
+    def totals(self) -> dict[str, int]:
+        """``{kernel: N_k}`` for every kernel."""
+        return {name: self.total_cus(name) for name in self.problem.kernel_names}
+
+    def execution_time(self, kernel_name: str) -> float:
+        """``ET_k = WCET_k / N_k`` (eq. 1)."""
+        total = self.total_cus(kernel_name)
+        if total <= 0:
+            return math.inf
+        return self.problem.pipeline[kernel_name].wcet_ms / total
+
+    @property
+    def initiation_interval(self) -> float:
+        """``II = max_k ET_k`` (eq. 2), in milliseconds."""
+        return max(self.execution_time(name) for name in self.problem.kernel_names)
+
+    @property
+    def throughput_per_second(self) -> float:
+        """Items processed per second (1000 / II[ms])."""
+        ii = self.initiation_interval
+        return math.inf if ii <= 0 else 1000.0 / ii
+
+    def spreading_of(self, kernel_name: str) -> float:
+        """``phi_k`` of one kernel (eq. 4)."""
+        return kernel_spreading(self.counts[kernel_name])
+
+    @property
+    def spreading(self) -> float:
+        """Global spreading ``phi = max_k phi_k``."""
+        return global_spreading(self.counts)
+
+    @property
+    def objective(self) -> float:
+        """Goal function ``g = alpha * II + beta * phi`` (eq. 5)."""
+        return self.problem.weights.goal(self.initiation_interval, self.spreading)
+
+    # ------------------------------------------------------------------ #
+    # Per-FPGA usage
+    # ------------------------------------------------------------------ #
+    def fpga_resource_usage(self, fpga_index: int) -> ResourceVector:
+        """On-chip resources used on one FPGA."""
+        return sum_resources(
+            self.problem.resource_of(name) * self.counts[name][fpga_index]
+            for name in self.problem.kernel_names
+        )
+
+    def fpga_bandwidth_usage(self, fpga_index: int) -> float:
+        """DRAM bandwidth used on one FPGA (percent)."""
+        return sum(
+            self.problem.bandwidth_of(name) * self.counts[name][fpga_index]
+            for name in self.problem.kernel_names
+        )
+
+    def fpga_kernel_usage(self, fpga_index: int) -> dict[str, ResourceVector]:
+        """Per-kernel resource usage on one FPGA (the bars of Figure 6)."""
+        usage: dict[str, ResourceVector] = {}
+        for name in self.problem.kernel_names:
+            count = self.counts[name][fpga_index]
+            if count > 0:
+                usage[name] = self.problem.resource_of(name) * count
+        return usage
+
+    def used_fpgas(self) -> list[int]:
+        """Indices of FPGAs hosting at least one CU."""
+        return [
+            f
+            for f in range(self.problem.num_fpgas)
+            if any(self.counts[name][f] > 0 for name in self.problem.kernel_names)
+        ]
+
+    @property
+    def average_utilization(self) -> float:
+        """Average over all FPGAs of the binding (max-component) resource use.
+
+        This is the quantity on the x-axis of Figures 3b-5b ("Average
+        Resource (%)"): how much of the critical resource each FPGA uses, on
+        average, including FPGAs left empty by consolidation.
+        """
+        per_fpga = [
+            self.fpga_resource_usage(f).max_component() for f in range(self.problem.num_fpgas)
+        ]
+        return sum(per_fpga) / len(per_fpga)
+
+    @property
+    def max_utilization(self) -> float:
+        """Largest per-FPGA binding resource usage (must be <= the constraint)."""
+        return max(
+            self.fpga_resource_usage(f).max_component() for f in range(self.problem.num_fpgas)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Feasibility
+    # ------------------------------------------------------------------ #
+    def violations(self, tolerance: float = CAPACITY_TOLERANCE) -> list[str]:
+        """Human-readable list of violated constraints (empty if feasible)."""
+        problems: list[str] = []
+        platform = self.problem.platform
+        for name in self.problem.kernel_names:
+            if self.total_cus(name) < 1:
+                problems.append(f"kernel {name!r} has no CUs (constraint 8)")
+        for f in range(self.problem.num_fpgas):
+            usage = self.fpga_resource_usage(f)
+            if usage.exceeds(platform.resource_limit, tolerance=tolerance):
+                problems.append(
+                    f"FPGA {f + 1} resource usage {usage.max_component():.2f}% exceeds "
+                    f"limit {platform.resource_limit.max_component():.2f}% (constraint 9)"
+                )
+            bandwidth = self.fpga_bandwidth_usage(f)
+            if bandwidth > platform.bandwidth_limit + tolerance:
+                problems.append(
+                    f"FPGA {f + 1} bandwidth {bandwidth:.2f}% exceeds "
+                    f"limit {platform.bandwidth_limit:.2f}% (constraint 10)"
+                )
+        return problems
+
+    def is_feasible(self, tolerance: float = CAPACITY_TOLERANCE) -> bool:
+        """True if the allocation respects every constraint of the problem."""
+        return not self.violations(tolerance=tolerance)
+
+    # ------------------------------------------------------------------ #
+    # Presentation
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        lines = [
+            f"Allocation of {self.problem.pipeline.name!r} on {self.problem.platform.describe()}",
+            f"  II = {self.initiation_interval:.4f} ms, phi = {self.spreading:.3f}, "
+            f"objective = {self.objective:.4f}",
+        ]
+        for f in range(self.problem.num_fpgas):
+            hosted = {
+                name: self.counts[name][f]
+                for name in self.problem.kernel_names
+                if self.counts[name][f] > 0
+            }
+            usage = self.fpga_resource_usage(f)
+            lines.append(
+                f"  FPGA {f + 1}: {hosted if hosted else 'empty'} "
+                f"(max resource {usage.max_component():.1f}%, "
+                f"BW {self.fpga_bandwidth_usage(f):.1f}%)"
+            )
+        return "\n".join(lines)
+
+
+class SolveStatus(Enum):
+    """Outcome classification of an allocation solve."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class SolveOutcome:
+    """Result of running one allocation method on one problem."""
+
+    method: str
+    status: SolveStatus
+    solution: AllocationSolution | None
+    runtime_seconds: float
+    lower_bound: float = math.nan
+    nodes_explored: int = 0
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.solution is not None and self.status in (
+            SolveStatus.OPTIMAL,
+            SolveStatus.FEASIBLE,
+        )
+
+    @property
+    def initiation_interval(self) -> float:
+        return self.solution.initiation_interval if self.solution else math.inf
+
+    @property
+    def objective(self) -> float:
+        return self.solution.objective if self.solution else math.inf
+
+    def summary(self) -> str:
+        if not self.succeeded:
+            return f"{self.method}: {self.status.value} ({self.runtime_seconds:.3f} s)"
+        assert self.solution is not None
+        return (
+            f"{self.method}: II={self.solution.initiation_interval:.3f} ms, "
+            f"phi={self.solution.spreading:.3f}, avg util="
+            f"{self.solution.average_utilization:.1f}%, "
+            f"{self.runtime_seconds:.3f} s"
+        )
+
+
+def solution_from_assignment(
+    problem: AllocationProblem, assignment: Mapping[str, Sequence[int]]
+) -> AllocationSolution:
+    """Build a solution from any mapping of per-FPGA CU count sequences."""
+    counts = {name: tuple(int(c) for c in assignment[name]) for name in problem.kernel_names}
+    return AllocationSolution(problem=problem, counts=counts)

@@ -1,0 +1,80 @@
+"""Cross-validation helpers for allocation solutions and solver outcomes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .problem import AllocationProblem
+from .solution import AllocationSolution, SolveOutcome
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Result of validating a solution against its problem."""
+
+    feasible: bool
+    violations: tuple[str, ...]
+    initiation_interval: float
+    spreading: float
+    objective: float
+    average_utilization: float
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+
+def validate_solution(
+    solution: AllocationSolution, tolerance: float = 1e-6
+) -> ValidationReport:
+    """Check every constraint of the paper's formulation on a solution."""
+    violations = tuple(solution.violations(tolerance=tolerance))
+    return ValidationReport(
+        feasible=not violations,
+        violations=violations,
+        initiation_interval=solution.initiation_interval,
+        spreading=solution.spreading,
+        objective=solution.objective,
+        average_utilization=solution.average_utilization,
+    )
+
+
+def check_outcome_consistency(outcome: SolveOutcome, tolerance: float = 1e-6) -> list[str]:
+    """Sanity checks of a solver outcome (used by tests and the CLI).
+
+    Returns a list of inconsistency descriptions (empty when everything is
+    consistent): a successful outcome must carry a feasible solution whose
+    objective is not below the reported lower bound.
+    """
+    issues: list[str] = []
+    if outcome.succeeded:
+        if outcome.solution is None:
+            issues.append("outcome marked successful but carries no solution")
+            return issues
+        report = validate_solution(outcome.solution, tolerance=tolerance)
+        if not report.feasible:
+            issues.extend(f"infeasible solution: {violation}" for violation in report.violations)
+        if (
+            outcome.lower_bound == outcome.lower_bound  # not NaN
+            and outcome.objective < outcome.lower_bound - 1e-6 * max(1.0, abs(outcome.lower_bound))
+        ):
+            issues.append(
+                f"objective {outcome.objective:.6f} is below the reported lower bound "
+                f"{outcome.lower_bound:.6f}"
+            )
+    return issues
+
+
+def compare_methods(
+    problem: AllocationProblem, outcomes: dict[str, SolveOutcome]
+) -> list[str]:
+    """Cross-method consistency checks (e.g. exact II <= heuristic II)."""
+    issues: list[str] = []
+    minlp = outcomes.get("minlp")
+    heuristic = outcomes.get("gp+a")
+    if minlp and heuristic and minlp.succeeded and heuristic.succeeded:
+        if minlp.initiation_interval > heuristic.initiation_interval + 1e-6:
+            issues.append(
+                "exact minimum II exceeds the heuristic II: "
+                f"{minlp.initiation_interval:.6f} > {heuristic.initiation_interval:.6f}"
+            )
+    return issues

@@ -1,0 +1,41 @@
+"""Design-space exploration: sweeps, method comparisons, runtime measurement."""
+
+from .compare import (
+    ComparisonPoint,
+    ComparisonSettings,
+    compare_methods_at,
+    compare_methods_over,
+    speedup_summary,
+)
+from .runtime import (
+    RuntimeMeasurement,
+    measure_method_runtime,
+    runtime_comparison,
+    speedups,
+    time_callable,
+)
+from .sweep import (
+    SweepPoint,
+    default_constraint_range,
+    fpga_count_sweep,
+    resource_constraint_sweep,
+    t_parameter_sweep,
+)
+
+__all__ = [
+    "ComparisonPoint",
+    "ComparisonSettings",
+    "RuntimeMeasurement",
+    "SweepPoint",
+    "compare_methods_at",
+    "compare_methods_over",
+    "default_constraint_range",
+    "fpga_count_sweep",
+    "measure_method_runtime",
+    "resource_constraint_sweep",
+    "runtime_comparison",
+    "speedup_summary",
+    "speedups",
+    "t_parameter_sweep",
+    "time_callable",
+]

@@ -1,0 +1,105 @@
+"""Method comparison harness (the GP+A / MINLP / MINLP+G curves of Figs. 3-5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.exact import ExactSettings
+from ..core.heuristic import HeuristicSettings
+from ..core.objective import ObjectiveWeights
+from ..core.problem import AllocationProblem
+from ..core.solution import SolveOutcome
+from ..core.solvers import solve
+
+
+@dataclass(frozen=True)
+class ComparisonPoint:
+    """All methods' outcomes at one resource constraint."""
+
+    resource_constraint: float
+    outcomes: Mapping[str, SolveOutcome]
+
+    def initiation_interval(self, method: str) -> float:
+        return self.outcomes[method].initiation_interval
+
+    def average_utilization(self, method: str) -> float:
+        outcome = self.outcomes[method]
+        if outcome.solution is None:
+            return float("nan")
+        return outcome.solution.average_utilization
+
+    def runtime(self, method: str) -> float:
+        return self.outcomes[method].runtime_seconds
+
+
+@dataclass(frozen=True)
+class ComparisonSettings:
+    """Settings shared by a full method comparison."""
+
+    methods: tuple[str, ...] = ("gp+a", "minlp", "minlp+g")
+    heuristic: HeuristicSettings = HeuristicSettings()
+    exact: ExactSettings = ExactSettings()
+    #: Weights used for the MINLP+G (and GP+A spreading report) runs; when
+    #: None the problem's own weights are used.
+    weights: ObjectiveWeights | None = None
+
+
+def compare_methods_at(
+    problem: AllocationProblem,
+    resource_constraint: float,
+    settings: ComparisonSettings = ComparisonSettings(),
+) -> ComparisonPoint:
+    """Run every requested method at one resource constraint."""
+    constrained = problem.with_resource_constraint(resource_constraint)
+    if settings.weights is not None:
+        constrained = constrained.with_weights(settings.weights)
+    outcomes: dict[str, SolveOutcome] = {}
+    for method in settings.methods:
+        outcomes[method] = solve(
+            constrained,
+            method=method,
+            heuristic_settings=settings.heuristic,
+            exact_settings=settings.exact,
+        )
+    return ComparisonPoint(resource_constraint=resource_constraint, outcomes=outcomes)
+
+
+def compare_methods_over(
+    problem: AllocationProblem,
+    constraints: Sequence[float],
+    settings: ComparisonSettings = ComparisonSettings(),
+) -> list[ComparisonPoint]:
+    """Run the full comparison over a resource-constraint grid (Figs. 3-5)."""
+    return [
+        compare_methods_at(problem, constraint, settings) for constraint in constraints
+    ]
+
+
+def speedup_summary(points: Sequence[ComparisonPoint], baseline: str, reference: str) -> dict[str, float]:
+    """Aggregate runtime speedup of ``baseline`` over ``reference``.
+
+    Returns min / geometric-mean / max speedups over the feasible points.
+    The paper reports GP+A being 100x-1000x faster than MINLP(+G).
+    """
+    ratios: list[float] = []
+    for point in points:
+        base = point.outcomes.get(baseline)
+        ref = point.outcomes.get(reference)
+        if base is None or ref is None:
+            continue
+        if not (base.succeeded and ref.succeeded):
+            continue
+        if base.runtime_seconds <= 0:
+            continue
+        ratios.append(ref.runtime_seconds / base.runtime_seconds)
+    if not ratios:
+        return {"min": float("nan"), "geomean": float("nan"), "max": float("nan")}
+    product = 1.0
+    for ratio in ratios:
+        product *= ratio
+    return {
+        "min": min(ratios),
+        "geomean": product ** (1.0 / len(ratios)),
+        "max": max(ratios),
+    }

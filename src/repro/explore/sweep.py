@@ -1,0 +1,122 @@
+"""Design-space exploration sweeps.
+
+The paper's evaluation is a family of sweeps: the per-FPGA resource
+constraint is varied and each point is solved with one or more methods
+(Figs. 2-5), or the heuristic parameter ``T`` is varied at a fixed ``delta``
+(Fig. 2).  This module provides those sweeps as reusable functions returning
+plain data points, which the reporting layer turns into tables/figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.exact import ExactSettings
+from ..core.heuristic import HeuristicSettings
+from ..core.problem import AllocationProblem
+from ..core.solution import SolveOutcome
+from ..core.solvers import solve
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (resource constraint, method) sample of a sweep."""
+
+    resource_constraint: float
+    method: str
+    outcome: SolveOutcome
+
+    @property
+    def feasible(self) -> bool:
+        return self.outcome.succeeded
+
+    @property
+    def initiation_interval(self) -> float:
+        return self.outcome.initiation_interval
+
+    @property
+    def average_utilization(self) -> float:
+        if self.outcome.solution is None:
+            return float("nan")
+        return self.outcome.solution.average_utilization
+
+    @property
+    def runtime_seconds(self) -> float:
+        return self.outcome.runtime_seconds
+
+
+def default_constraint_range(start: float = 40.0, stop: float = 90.0, step: float = 5.0) -> list[float]:
+    """The resource-constraint grid used across the paper's figures."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    values = []
+    value = start
+    while value <= stop + 1e-9:
+        values.append(round(value, 6))
+        value += step
+    return values
+
+
+def resource_constraint_sweep(
+    problem: AllocationProblem,
+    constraints: Sequence[float],
+    methods: Iterable[str] = ("gp+a",),
+    heuristic_settings: HeuristicSettings | None = None,
+    exact_settings: ExactSettings | None = None,
+) -> list[SweepPoint]:
+    """Solve the problem at every resource constraint with every method.
+
+    Infeasible points are kept in the result (their outcome reports the
+    status); the reporting layer decides whether to plot or skip them.
+    """
+    points: list[SweepPoint] = []
+    for constraint in constraints:
+        constrained = problem.with_resource_constraint(constraint)
+        for method in methods:
+            outcome = solve(
+                constrained,
+                method=method,
+                heuristic_settings=heuristic_settings,
+                exact_settings=exact_settings,
+            )
+            points.append(
+                SweepPoint(resource_constraint=constraint, method=method, outcome=outcome)
+            )
+    return points
+
+
+def t_parameter_sweep(
+    problem: AllocationProblem,
+    constraints: Sequence[float],
+    t_values: Sequence[float] = (0.0, 2.5, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0),
+    delta_percent: float = 1.0,
+) -> dict[float, list[SweepPoint]]:
+    """Figure 2 sweep: GP+A at several values of the T parameter.
+
+    Returns ``{T: [SweepPoint per constraint]}``.
+    """
+    results: dict[float, list[SweepPoint]] = {}
+    for t_value in t_values:
+        settings = HeuristicSettings(t_percent=t_value, delta_percent=delta_percent)
+        results[t_value] = resource_constraint_sweep(
+            problem, constraints, methods=("gp+a",), heuristic_settings=settings
+        )
+    return results
+
+
+def fpga_count_sweep(
+    problem: AllocationProblem,
+    fpga_counts: Sequence[int],
+    method: str = "gp+a",
+) -> list[tuple[int, SolveOutcome]]:
+    """Scalability sweep over the number of FPGAs (2 to 8 in the paper)."""
+    outcomes: list[tuple[int, SolveOutcome]] = []
+    for count in fpga_counts:
+        resized = AllocationProblem(
+            pipeline=problem.pipeline,
+            platform=problem.platform.with_num_fpgas(count),
+            weights=problem.weights,
+        )
+        outcomes.append((count, solve(resized, method=method)))
+    return outcomes

@@ -1,0 +1,331 @@
+"""Monomial / posynomial expression algebra for geometric programming.
+
+A *monomial* is ``c * x1^a1 * x2^a2 * ...`` with ``c > 0`` and real exponents.
+A *posynomial* is a sum of monomials.  Geometric programs minimise a
+posynomial subject to posynomial <= monomial constraints; after the
+variable change ``y = log x`` they become convex.
+
+The algebra here supports the natural Python operators so that models read
+like the paper's equations, e.g.::
+
+    ii, n = Variable("II"), Variable("N_conv1")
+    constraint = wcet / n <= ii          # eq. (15)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Union
+
+from .errors import NotMonomialError
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A strictly positive decision variable of a geometric program."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    # Any arithmetic on a Variable promotes it to a Monomial first.
+    def _as_monomial(self) -> "Monomial":
+        return Monomial(1.0, {self.name: 1.0})
+
+    def __mul__(self, other: "ExpressionLike") -> "Monomial | Posynomial":
+        return self._as_monomial() * other
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "ExpressionLike") -> "Monomial":
+        return self._as_monomial() / other
+
+    def __rtruediv__(self, other: "ExpressionLike") -> "Monomial | Posynomial":
+        return as_posynomial(other) / self._as_monomial()
+
+    def __pow__(self, power: Number) -> "Monomial":
+        return self._as_monomial() ** power
+
+    def __add__(self, other: "ExpressionLike") -> "Posynomial":
+        return self._as_monomial() + other
+
+    __radd__ = __add__
+
+    def __le__(self, other: "ExpressionLike") -> "PosynomialConstraint":
+        return self._as_monomial() <= other
+
+    def __ge__(self, other: "ExpressionLike") -> "PosynomialConstraint":
+        return self._as_monomial() >= other
+
+    def __hash__(self) -> int:
+        return hash(("Variable", self.name))
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Monomial:
+    """A positive coefficient times a product of variable powers."""
+
+    __slots__ = ("coefficient", "exponents")
+
+    def __init__(self, coefficient: Number, exponents: Mapping[str, float] | None = None):
+        coefficient = float(coefficient)
+        if not math.isfinite(coefficient) or coefficient <= 0:
+            raise ValueError(f"monomial coefficient must be finite and > 0, got {coefficient}")
+        cleaned = {
+            name: float(power)
+            for name, power in (exponents or {}).items()
+            if abs(power) > 0.0
+        }
+        object.__setattr__(self, "coefficient", coefficient)
+        object.__setattr__(self, "exponents", cleaned)
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover - immutability guard
+        raise AttributeError("Monomial is immutable")
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset(self.exponents)
+
+    def is_constant(self) -> bool:
+        return not self.exponents
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        """Evaluate at the given (positive) variable values."""
+        result = self.coefficient
+        for name, power in self.exponents.items():
+            value = values[name]
+            if value <= 0:
+                raise ValueError(f"variable {name!r} must be positive, got {value}")
+            result *= value**power
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def __mul__(self, other: "ExpressionLike") -> "Monomial | Posynomial":
+        if isinstance(other, Variable):
+            other = other._as_monomial()
+        if isinstance(other, (int, float)):
+            return Monomial(self.coefficient * other, self.exponents)
+        if isinstance(other, Monomial):
+            exponents = dict(self.exponents)
+            for name, power in other.exponents.items():
+                exponents[name] = exponents.get(name, 0.0) + power
+            return Monomial(self.coefficient * other.coefficient, exponents)
+        if isinstance(other, Posynomial):
+            return other * self
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "ExpressionLike") -> "Monomial":
+        if isinstance(other, Variable):
+            other = other._as_monomial()
+        if isinstance(other, (int, float)):
+            return Monomial(self.coefficient / other, self.exponents)
+        if isinstance(other, Monomial):
+            return self * other**-1
+        raise NotMonomialError("can only divide a monomial by a monomial or a scalar")
+
+    def __rtruediv__(self, other: "ExpressionLike") -> "Monomial | Posynomial":
+        return as_posynomial(other) / self
+
+    def __pow__(self, power: Number) -> "Monomial":
+        power = float(power)
+        return Monomial(
+            self.coefficient**power,
+            {name: exponent * power for name, exponent in self.exponents.items()},
+        )
+
+    def __add__(self, other: "ExpressionLike") -> "Posynomial":
+        return Posynomial((self,)) + other
+
+    __radd__ = __add__
+
+    def __le__(self, other: "ExpressionLike") -> "PosynomialConstraint":
+        return PosynomialConstraint(as_posynomial(self), as_monomial(other))
+
+    def __ge__(self, other: "ExpressionLike") -> "PosynomialConstraint":
+        return PosynomialConstraint(as_posynomial(other), as_monomial(self))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Monomial):
+            return NotImplemented
+        return (
+            math.isclose(self.coefficient, other.coefficient, rel_tol=1e-12, abs_tol=1e-12)
+            and self.exponents == other.exponents
+        )
+
+    def __hash__(self) -> int:
+        return hash((round(self.coefficient, 12), tuple(sorted(self.exponents.items()))))
+
+    def __str__(self) -> str:
+        parts = [f"{self.coefficient:g}"]
+        for name, power in sorted(self.exponents.items()):
+            if power == 1:
+                parts.append(name)
+            else:
+                parts.append(f"{name}^{power:g}")
+        return "*".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Monomial({self})"
+
+
+class Posynomial:
+    """A sum of monomials."""
+
+    __slots__ = ("monomials",)
+
+    def __init__(self, monomials: Iterable[Monomial]):
+        collected = tuple(monomials)
+        if not collected:
+            raise ValueError("a posynomial needs at least one monomial")
+        if not all(isinstance(m, Monomial) for m in collected):
+            raise TypeError("all terms of a posynomial must be monomials")
+        object.__setattr__(self, "monomials", _merge_terms(collected))
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover - immutability guard
+        raise AttributeError("Posynomial is immutable")
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> frozenset[str]:
+        names: set[str] = set()
+        for monomial in self.monomials:
+            names |= monomial.variables
+        return frozenset(names)
+
+    def is_monomial(self) -> bool:
+        return len(self.monomials) == 1
+
+    def as_monomial(self) -> Monomial:
+        if not self.is_monomial():
+            raise NotMonomialError(f"{self} is not a monomial")
+        return self.monomials[0]
+
+    def evaluate(self, values: Mapping[str, float]) -> float:
+        return sum(monomial.evaluate(values) for monomial in self.monomials)
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "ExpressionLike") -> "Posynomial":
+        other_posy = as_posynomial(other)
+        return Posynomial(self.monomials + other_posy.monomials)
+
+    __radd__ = __add__
+
+    def __mul__(self, other: "ExpressionLike") -> "Posynomial":
+        if isinstance(other, Variable):
+            other = other._as_monomial()
+        if isinstance(other, (int, float)):
+            other = Monomial(other)
+        if isinstance(other, Monomial):
+            return Posynomial(tuple(m * other for m in self.monomials))
+        if isinstance(other, Posynomial):
+            return Posynomial(tuple(a * b for a in self.monomials for b in other.monomials))
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "ExpressionLike") -> "Posynomial":
+        divisor = as_monomial(other)
+        return Posynomial(tuple(m / divisor for m in self.monomials))
+
+    def __le__(self, other: "ExpressionLike") -> "PosynomialConstraint":
+        return PosynomialConstraint(self, as_monomial(other))
+
+    def __ge__(self, other: "ExpressionLike") -> "PosynomialConstraint":
+        return PosynomialConstraint(as_posynomial(other), self.as_monomial())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Posynomial):
+            return NotImplemented
+        return set(self.monomials) == set(other.monomials)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.monomials))
+
+    def __str__(self) -> str:
+        return " + ".join(str(m) for m in self.monomials)
+
+    def __repr__(self) -> str:
+        return f"Posynomial({self})"
+
+
+@dataclass(frozen=True)
+class PosynomialConstraint:
+    """A GP-compatible constraint ``posynomial <= monomial``.
+
+    Stored in the normalised form ``posynomial / monomial <= 1``.
+    """
+
+    lhs: Posynomial
+    rhs: Monomial
+
+    @property
+    def normalized(self) -> Posynomial:
+        """Return ``lhs / rhs``, i.e. the posynomial that must be <= 1."""
+        return self.lhs / self.rhs
+
+    def is_satisfied(self, values: Mapping[str, float], tolerance: float = 1e-6) -> bool:
+        """Check the constraint at a point (with relative tolerance)."""
+        return self.normalized.evaluate(values) <= 1.0 + tolerance
+
+    def violation(self, values: Mapping[str, float]) -> float:
+        """Amount by which the normalised constraint exceeds 1 (0 if satisfied)."""
+        return max(0.0, self.normalized.evaluate(values) - 1.0)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} <= {self.rhs}"
+
+
+ExpressionLike = Union[Number, Variable, Monomial, Posynomial]
+
+
+def as_monomial(value: ExpressionLike) -> Monomial:
+    """Coerce a number, variable or single-term posynomial to a Monomial."""
+    if isinstance(value, Monomial):
+        return value
+    if isinstance(value, Variable):
+        return value._as_monomial()
+    if isinstance(value, (int, float)):
+        return Monomial(value)
+    if isinstance(value, Posynomial):
+        return value.as_monomial()
+    raise TypeError(f"cannot interpret {value!r} as a monomial")
+
+
+def as_posynomial(value: ExpressionLike) -> Posynomial:
+    """Coerce a number, variable or monomial to a Posynomial."""
+    if isinstance(value, Posynomial):
+        return value
+    if isinstance(value, (int, float, Variable, Monomial)):
+        return Posynomial((as_monomial(value),))
+    raise TypeError(f"cannot interpret {value!r} as a posynomial")
+
+
+def _merge_terms(monomials: tuple[Monomial, ...]) -> tuple[Monomial, ...]:
+    """Combine monomials with identical exponents by summing coefficients."""
+    merged: dict[tuple[tuple[str, float], ...], float] = {}
+    order: list[tuple[tuple[str, float], ...]] = []
+    for monomial in monomials:
+        key = tuple(sorted(monomial.exponents.items()))
+        if key not in merged:
+            merged[key] = 0.0
+            order.append(key)
+        merged[key] += monomial.coefficient
+    return tuple(Monomial(merged[key], dict(key)) for key in order)

@@ -1,0 +1,107 @@
+"""Log-space convexification of geometric programs.
+
+With the change of variables ``y = log x`` a posynomial
+``g(x) = sum_i c_i * prod_j x_j^{a_ij}`` becomes
+``log g = logsumexp(A y + b)`` with ``b_i = log c_i``, which is convex in
+``y``.  A GP in standard form therefore becomes the convex problem
+
+    minimize    logsumexp(A0 y + b0)
+    subject to  logsumexp(Ai y + bi) <= 0      for every constraint i.
+
+This module compiles a :class:`~repro.gp.model.GPModel` into a vectorised
+representation with value / gradient / Hessian callbacks that both solver
+backends share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .expressions import Posynomial
+from .model import GPModel
+
+
+@dataclass(frozen=True)
+class LogSumExpFunction:
+    """The convex function ``y -> logsumexp(A y + b)`` with derivatives."""
+
+    matrix: np.ndarray  # shape (terms, variables)
+    offset: np.ndarray  # shape (terms,)
+
+    def value(self, y: np.ndarray) -> float:
+        z = self.matrix @ y + self.offset
+        zmax = float(np.max(z))
+        return zmax + float(np.log(np.sum(np.exp(z - zmax))))
+
+    def softmax(self, y: np.ndarray) -> np.ndarray:
+        z = self.matrix @ y + self.offset
+        z = z - np.max(z)
+        weights = np.exp(z)
+        return weights / np.sum(weights)
+
+    def gradient(self, y: np.ndarray) -> np.ndarray:
+        sigma = self.softmax(y)
+        return self.matrix.T @ sigma
+
+    def hessian(self, y: np.ndarray) -> np.ndarray:
+        sigma = self.softmax(y)
+        weighted = self.matrix * sigma[:, None]
+        mean = self.matrix.T @ sigma
+        return self.matrix.T @ weighted - np.outer(mean, mean)
+
+
+@dataclass(frozen=True)
+class LogSpaceProgram:
+    """A GP compiled to log-space: objective + inequality functions <= 0."""
+
+    variable_names: tuple[str, ...]
+    objective: LogSumExpFunction
+    constraints: tuple[LogSumExpFunction, ...]
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variable_names)
+
+    def point_from_values(self, values: dict[str, float]) -> np.ndarray:
+        """Convert a ``{name: x}`` mapping to a log-space vector ``y``."""
+        missing = [name for name in self.variable_names if name not in values]
+        if missing:
+            raise KeyError(f"missing values for variables: {missing}")
+        return np.array([np.log(values[name]) for name in self.variable_names])
+
+    def values_from_point(self, y: np.ndarray) -> dict[str, float]:
+        """Convert a log-space vector back to positive variable values."""
+        return {name: float(np.exp(y[i])) for i, name in enumerate(self.variable_names)}
+
+    def max_constraint_value(self, y: np.ndarray) -> float:
+        """Largest constraint value at ``y`` (<= 0 means feasible)."""
+        if not self.constraints:
+            return -np.inf
+        return max(constraint.value(y) for constraint in self.constraints)
+
+    def is_feasible(self, y: np.ndarray, tolerance: float = 1e-7) -> bool:
+        return self.max_constraint_value(y) <= tolerance
+
+
+def _compile_posynomial(posynomial: Posynomial, names: tuple[str, ...]) -> LogSumExpFunction:
+    index = {name: i for i, name in enumerate(names)}
+    matrix = np.zeros((len(posynomial.monomials), len(names)))
+    offset = np.zeros(len(posynomial.monomials))
+    for row, monomial in enumerate(posynomial.monomials):
+        offset[row] = np.log(monomial.coefficient)
+        for name, power in monomial.exponents.items():
+            matrix[row, index[name]] = power
+    return LogSumExpFunction(matrix=matrix, offset=offset)
+
+
+def compile_to_logspace(model: GPModel) -> LogSpaceProgram:
+    """Compile a validated GP model into its log-space convex form."""
+    model.validate()
+    names = model.variable_names
+    objective = _compile_posynomial(model.objective, names)
+    constraints = tuple(
+        _compile_posynomial(constraint.normalized, names) for constraint in model.constraints
+    )
+    return LogSpaceProgram(variable_names=names, objective=objective, constraints=constraints)

@@ -1,0 +1,152 @@
+"""Exact bisection solver for min-max-latency geometric programs.
+
+The relaxed allocation problem of the paper (eqs. 14-18) has a special
+structure: minimise ``II`` subject to
+
+    N_k >= WCET_k / II           (latency coverage, eq. 15)
+    N_k >= 1                     (at least one CU, eq. 16)
+    sum_k N_k * w_{k,d} <= C_d   (one linear capacity constraint per
+                                  resource kind and for bandwidth, eqs. 17-18)
+
+For a fixed ``II`` the cheapest choice is ``N_k = max(1, WCET_k / II)``, and
+the capacity usage is non-increasing in ``II``; hence feasibility is monotone
+in ``II`` and the optimum can be found by bisection to machine precision.
+This provides an *exact* reference optimum used to validate the general GP
+backends, and a very fast default path for the heuristic's first step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .errors import InfeasibleError
+
+
+@dataclass(frozen=True)
+class CapacityConstraint:
+    """One linear capacity constraint ``sum_k N_k * weight_k <= capacity``."""
+
+    name: str
+    weights: Mapping[str, float]
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if any(weight < 0 for weight in self.weights.values()):
+            raise ValueError("capacity weights must be non-negative")
+
+    def usage(self, counts: Mapping[str, float]) -> float:
+        """Capacity consumed by the given CU counts."""
+        return sum(self.weights.get(name, 0.0) * counts.get(name, 0.0) for name in self.weights)
+
+    def is_satisfied(self, counts: Mapping[str, float], tolerance: float = 1e-9) -> bool:
+        return self.usage(counts) <= self.capacity + tolerance
+
+
+@dataclass(frozen=True)
+class MinMaxLatencyProblem:
+    """The min-max latency problem solved by the GP step of the heuristic."""
+
+    wcet: Mapping[str, float]
+    min_counts: Mapping[str, float]
+    capacities: Sequence[CapacityConstraint]
+    max_counts: Mapping[str, float] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.wcet:
+            raise ValueError("the problem needs at least one kernel")
+        for name, value in self.wcet.items():
+            if value <= 0:
+                raise ValueError(f"WCET of {name!r} must be positive")
+        for name in self.wcet:
+            if self.min_counts.get(name, 1.0) <= 0:
+                raise ValueError(f"minimum CU count of {name!r} must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Core relations
+    # ------------------------------------------------------------------ #
+    def counts_for_ii(self, ii: float) -> dict[str, float]:
+        """Cheapest fractional CU counts meeting a target initiation interval."""
+        if ii <= 0:
+            raise ValueError("II must be positive")
+        counts: dict[str, float] = {}
+        for name, wcet in self.wcet.items():
+            count = max(self.min_counts.get(name, 1.0), wcet / ii)
+            if self.max_counts is not None and name in self.max_counts:
+                count = min(count, self.max_counts[name])
+            counts[name] = count
+        return counts
+
+    def is_feasible_ii(self, ii: float, tolerance: float = 1e-9) -> bool:
+        """Whether the cheapest counts for ``ii`` satisfy all capacities."""
+        counts = self.counts_for_ii(ii)
+        if self.max_counts is not None:
+            for name, wcet in self.wcet.items():
+                if wcet / counts[name] > ii * (1 + 1e-12) + tolerance:
+                    return False
+        return all(constraint.is_satisfied(counts, tolerance) for constraint in self.capacities)
+
+    def achieved_ii(self, counts: Mapping[str, float]) -> float:
+        """Initiation interval achieved by a given CU-count assignment."""
+        return max(self.wcet[name] / counts[name] for name in self.wcet)
+
+    # ------------------------------------------------------------------ #
+    # Bounds
+    # ------------------------------------------------------------------ #
+    def lower_bound(self) -> float:
+        """A valid lower bound on the optimal II (work-conservation bound)."""
+        bound = 0.0
+        for constraint in self.capacities:
+            if constraint.capacity <= 0:
+                continue
+            work = sum(
+                self.wcet[name] * constraint.weights.get(name, 0.0) for name in self.wcet
+            )
+            if work > 0:
+                bound = max(bound, work / constraint.capacity)
+        return bound
+
+    def upper_bound_start(self) -> float:
+        """An II that is feasible whenever the problem is feasible at all.
+
+        With ``N_k`` at their minimum (typically 1 per kernel), the II equals
+        ``max_k WCET_k / min_count_k``; no smaller capacity usage is possible,
+        so if this is infeasible the whole problem is infeasible.
+        """
+        return max(
+            self.wcet[name] / self.min_counts.get(name, 1.0) for name in self.wcet
+        )
+
+    # ------------------------------------------------------------------ #
+    # Solve
+    # ------------------------------------------------------------------ #
+    def solve(self, tolerance: float = 1e-10, max_iterations: int = 200) -> tuple[float, dict[str, float]]:
+        """Return the optimal ``(II, counts)`` pair by bisection.
+
+        Raises
+        ------
+        InfeasibleError
+            If even the minimum CU counts violate a capacity constraint.
+        """
+        high = self.upper_bound_start()
+        if not self.is_feasible_ii(high):
+            raise InfeasibleError(
+                "minimum CU counts already exceed the platform capacity; "
+                "the relaxed allocation problem is infeasible"
+            )
+        low = max(self.lower_bound(), 1e-12)
+        if low > high:
+            low = high
+        # Shrink the interval; feasibility is monotone non-decreasing in II.
+        for _ in range(max_iterations):
+            if high - low <= tolerance * max(1.0, high):
+                break
+            mid = 0.5 * (low + high)
+            if self.is_feasible_ii(mid):
+                high = mid
+            else:
+                low = mid
+        counts = self.counts_for_ii(high)
+        return self.achieved_ii(counts), counts

@@ -1,0 +1,171 @@
+"""Geometric program model and solution containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping
+
+from .errors import ModelError
+from .expressions import (
+    ExpressionLike,
+    Monomial,
+    Posynomial,
+    PosynomialConstraint,
+    Variable,
+    as_monomial,
+    as_posynomial,
+)
+
+
+class SolveStatus(Enum):
+    """Outcome of a GP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class GPSolution:
+    """Result of solving a geometric program.
+
+    Attributes
+    ----------
+    status:
+        Solve outcome.
+    objective:
+        Optimal objective value (``float('inf')`` if not optimal).
+    values:
+        Optimal variable values keyed by variable name.
+    iterations:
+        Backend iteration count (0 if unknown).
+    backend:
+        Name of the backend that produced the solution.
+    """
+
+    status: SolveStatus
+    objective: float
+    values: Mapping[str, float]
+    iterations: int = 0
+    backend: str = ""
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+
+@dataclass
+class GPModel:
+    """A geometric program in standard form.
+
+    ``minimize f0(x)`` subject to ``fi(x) <= gi(x)`` where ``f`` are
+    posynomials and ``g`` are monomials, all variables strictly positive.
+
+    Example
+    -------
+    >>> ii = Variable("II")
+    >>> n = Variable("N")
+    >>> model = GPModel(name="toy")
+    >>> model.set_objective(ii)
+    >>> _ = model.add_constraint(10.0 / n <= ii)
+    >>> _ = model.add_constraint(0.2 * n <= 1.0)
+    """
+
+    name: str = "gp"
+    _objective: Posynomial | None = field(default=None, repr=False)
+    _constraints: list[PosynomialConstraint] = field(default_factory=list, repr=False)
+    _variables: dict[str, Variable] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+    def new_variable(self, name: str) -> Variable:
+        """Create (or return the existing) variable with the given name."""
+        if name not in self._variables:
+            self._variables[name] = Variable(name)
+        return self._variables[name]
+
+    def set_objective(self, objective: ExpressionLike) -> None:
+        """Set the posynomial objective to minimise."""
+        posy = as_posynomial(objective)
+        self._objective = posy
+        self._register(posy.variables)
+
+    def add_constraint(self, constraint: PosynomialConstraint) -> PosynomialConstraint:
+        """Add a ``posynomial <= monomial`` constraint."""
+        if not isinstance(constraint, PosynomialConstraint):
+            raise TypeError(
+                "add_constraint expects a PosynomialConstraint (use '<=' between expressions)"
+            )
+        self._constraints.append(constraint)
+        self._register(constraint.lhs.variables | constraint.rhs.variables)
+        return constraint
+
+    def add_leq(self, lhs: ExpressionLike, rhs: ExpressionLike) -> PosynomialConstraint:
+        """Convenience wrapper: add ``lhs <= rhs``."""
+        return self.add_constraint(as_posynomial(lhs) <= as_monomial(rhs))
+
+    def add_lower_bound(self, variable: Variable | str, bound: float) -> PosynomialConstraint:
+        """Add ``variable >= bound`` (GP form: ``bound / variable <= 1``)."""
+        if bound <= 0:
+            raise ValueError("GP variable bounds must be positive")
+        name = variable.name if isinstance(variable, Variable) else variable
+        var = self.new_variable(name)
+        return self.add_constraint(Monomial(bound) / var <= 1.0)
+
+    def add_upper_bound(self, variable: Variable | str, bound: float) -> PosynomialConstraint:
+        """Add ``variable <= bound``."""
+        if bound <= 0:
+            raise ValueError("GP variable bounds must be positive")
+        name = variable.name if isinstance(variable, Variable) else variable
+        var = self.new_variable(name)
+        return self.add_constraint(as_posynomial(var) <= Monomial(bound))
+
+    def _register(self, names: frozenset[str] | set[str]) -> None:
+        for name in names:
+            self._variables.setdefault(name, Variable(name))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def objective(self) -> Posynomial:
+        if self._objective is None:
+            raise ModelError("the model has no objective")
+        return self._objective
+
+    @property
+    def constraints(self) -> tuple[PosynomialConstraint, ...]:
+        return tuple(self._constraints)
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        """All variable names, sorted for deterministic vector ordering."""
+        return tuple(sorted(self._variables))
+
+    def validate(self) -> None:
+        """Raise :class:`ModelError` if the model is not a well-formed GP."""
+        if self._objective is None:
+            raise ModelError("the model has no objective")
+        if not self._variables:
+            raise ModelError("the model has no variables")
+
+    def check_feasible(self, values: Mapping[str, float], tolerance: float = 1e-6) -> bool:
+        """Return True if all constraints hold at ``values`` (within tolerance)."""
+        return all(constraint.is_satisfied(values, tolerance) for constraint in self._constraints)
+
+    def total_violation(self, values: Mapping[str, float]) -> float:
+        """Sum of constraint violations at ``values``."""
+        return sum(constraint.violation(values) for constraint in self._constraints)
+
+    def __str__(self) -> str:
+        lines = [f"GPModel {self.name!r}:"]
+        if self._objective is not None:
+            lines.append(f"  minimize {self._objective}")
+        for constraint in self._constraints:
+            lines.append(f"  s.t. {constraint}")
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Analytic HLS characterisation (offline substitute for AWS F1 profiling)."""
+
+from .cost_model import (
+    CUDesignPoint,
+    FIXED16,
+    FLOAT32,
+    HLSCostModel,
+    Precision,
+    characterize_alexnet,
+    characterize_vgg16,
+)
+
+__all__ = [
+    "CUDesignPoint",
+    "FIXED16",
+    "FLOAT32",
+    "HLSCostModel",
+    "Precision",
+    "characterize_alexnet",
+    "characterize_vgg16",
+]

@@ -1,0 +1,213 @@
+"""Analytic HLS characterisation cost model.
+
+The paper obtains each kernel's per-CU cost (resource %, bandwidth %, WCET)
+by synthesising CU variants with Xilinx SDAccel and running them on an AWS F1
+instance.  Neither the toolchain nor the hardware is available offline, so
+this module provides the closest synthetic equivalent: an analytic model of a
+tiled, unrolled convolution/pooling/normalisation accelerator in the style of
+Zhang et al. (FPGA'15), the design the paper's kernels follow.
+
+The model exercises the same code path the measured tables exercise -- it
+produces a :class:`~repro.workloads.kernel.Kernel` per layer, so new networks
+can be characterised and allocated without touching the optimisation code.
+The calibration constants were chosen so that AlexNet/VGG characterisations
+land in the same range as Tables 2-3; exact agreement is neither possible nor
+required (the optimisation consumes whatever numbers the characterisation
+provides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..platform.fpga import FPGADevice
+from ..platform.presets import XCVU9P
+from ..platform.resources import ResourceVector
+from ..workloads.cnn_layers import ConvLayer, Layer, NormLayer, PoolLayer
+from ..workloads.kernel import Kernel
+from ..workloads.pipeline import Pipeline
+
+
+@dataclass(frozen=True)
+class Precision:
+    """Arithmetic precision of a CU datapath."""
+
+    name: str
+    bytes_per_element: int
+    dsp_per_mac: float
+    lut_per_mac: float
+    #: Pipeline clock achievable at this precision (MHz); fixed point closes
+    #: timing more easily than single-precision floating point.
+    clock_mhz: float
+
+
+FLOAT32 = Precision(name="fp32", bytes_per_element=4, dsp_per_mac=5.0, lut_per_mac=250.0, clock_mhz=220.0)
+FIXED16 = Precision(name="fx16", bytes_per_element=2, dsp_per_mac=1.0, lut_per_mac=90.0, clock_mhz=280.0)
+
+
+@dataclass(frozen=True)
+class CUDesignPoint:
+    """One compute-unit implementation choice.
+
+    Parameters
+    ----------
+    unroll_out:
+        Output-channel unroll factor (parallel MAC lanes over output maps).
+    unroll_in:
+        Input-channel unroll factor.
+    tile_size:
+        Spatial tile edge kept in on-chip buffers.
+    """
+
+    unroll_out: int = 8
+    unroll_in: int = 8
+    tile_size: int = 14
+
+    def __post_init__(self) -> None:
+        for attr in ("unroll_out", "unroll_in", "tile_size"):
+            if getattr(self, attr) < 1:
+                raise ValueError(f"{attr} must be >= 1")
+
+    @property
+    def mac_lanes(self) -> int:
+        return self.unroll_out * self.unroll_in
+
+
+@dataclass(frozen=True)
+class HLSCostModel:
+    """Estimate per-CU resources, bandwidth and latency for CNN layers."""
+
+    device: FPGADevice = XCVU9P
+    precision: Precision = FIXED16
+    #: Fraction of the theoretical MAC throughput actually sustained (pipeline
+    #: stalls, edge tiles, memory waits).
+    efficiency: float = 0.65
+    #: BRAM blocks (18 kib) consumed per KiB of on-chip buffer.
+    bram_blocks_per_kib: float = 0.6
+    #: Fixed per-CU control/infrastructure overheads.
+    control_luts: int = 12_000
+    control_brams: int = 12
+
+    # ------------------------------------------------------------------ #
+    # Per-layer characterisation
+    # ------------------------------------------------------------------ #
+    def characterize_layer(self, layer: Layer, design: CUDesignPoint = CUDesignPoint()) -> Kernel:
+        """Return the single-CU characterisation of one layer."""
+        if isinstance(layer, ConvLayer):
+            return self._characterize_conv(layer, design)
+        if isinstance(layer, PoolLayer):
+            return self._characterize_pool(layer, design)
+        if isinstance(layer, NormLayer):
+            return self._characterize_norm(layer, design)
+        raise TypeError(f"unsupported layer type: {type(layer).__name__}")
+
+    def characterize_network(
+        self, name: str, layers: tuple[Layer, ...], design: CUDesignPoint = CUDesignPoint()
+    ) -> Pipeline:
+        """Characterise a whole network into a pipeline of kernels."""
+        return Pipeline(name=name, kernels=[self.characterize_layer(layer, design) for layer in layers])
+
+    # ------------------------------------------------------------------ #
+    # Layer-specific models
+    # ------------------------------------------------------------------ #
+    def _characterize_conv(self, layer: ConvLayer, design: CUDesignPoint) -> Kernel:
+        lanes = design.mac_lanes
+        dsp = lanes * self.precision.dsp_per_mac
+        luts = lanes * self.precision.lut_per_mac + self.control_luts
+
+        # On-chip buffers: input tile, output tile, weight slice (double buffered).
+        element_bytes = self.precision.bytes_per_element
+        tile_in = design.tile_size**2 * design.unroll_in * element_bytes
+        tile_out = design.tile_size**2 * design.unroll_out * element_bytes
+        weights = layer.kernel_size**2 * design.unroll_in * design.unroll_out * element_bytes
+        buffer_kib = 2.0 * (tile_in + tile_out + weights) / 1024.0
+        brams = buffer_kib * self.bram_blocks_per_kib + self.control_brams
+
+        cycles = layer.macs / (lanes * self.efficiency)
+        wcet_ms = cycles / (self.precision.clock_mhz * 1e3)
+
+        # Off-chip traffic per inference: inputs + outputs + weights (with the
+        # tiling reuse of the paper, weights stream once, feature maps once).
+        traffic_bytes = (
+            layer.input_elements + layer.output_elements + layer.weight_count
+        ) * element_bytes
+        bandwidth_percent = self._bandwidth_percent(traffic_bytes, wcet_ms)
+
+        return Kernel(
+            name=layer.name,
+            resources=self._resource_percent(brams, dsp, luts),
+            bandwidth=bandwidth_percent,
+            wcet_ms=wcet_ms,
+        )
+
+    def _characterize_pool(self, layer: PoolLayer, design: CUDesignPoint) -> Kernel:
+        lanes = max(1, design.unroll_out // 2)
+        dsp = 0.0  # comparisons map to LUTs, not DSP slices
+        luts = lanes * 40.0 + self.control_luts / 2
+        element_bytes = self.precision.bytes_per_element
+        buffer_kib = 2.0 * layer.kernel_size * layer.in_size * lanes * element_bytes / 1024.0
+        brams = buffer_kib * self.bram_blocks_per_kib + 1
+
+        cycles = layer.macs / (lanes * self.efficiency)
+        wcet_ms = cycles / (self.precision.clock_mhz * 1e3)
+        traffic_bytes = (layer.input_elements + layer.output_elements) * element_bytes
+        bandwidth_percent = self._bandwidth_percent(traffic_bytes, wcet_ms)
+        return Kernel(
+            name=layer.name,
+            resources=self._resource_percent(brams, dsp, luts),
+            bandwidth=bandwidth_percent,
+            wcet_ms=wcet_ms,
+        )
+
+    def _characterize_norm(self, layer: NormLayer, design: CUDesignPoint) -> Kernel:
+        lanes = max(1, design.unroll_out // 2)
+        dsp = lanes * self.precision.dsp_per_mac * 0.5
+        luts = lanes * 60.0 + self.control_luts / 2
+        element_bytes = self.precision.bytes_per_element
+        buffer_kib = 2.0 * layer.window * layer.in_size * lanes * element_bytes / 1024.0
+        brams = buffer_kib * self.bram_blocks_per_kib + 2
+
+        cycles = layer.macs / (lanes * self.efficiency)
+        wcet_ms = cycles / (self.precision.clock_mhz * 1e3)
+        traffic_bytes = (layer.input_elements + layer.output_elements) * element_bytes
+        bandwidth_percent = self._bandwidth_percent(traffic_bytes, wcet_ms)
+        return Kernel(
+            name=layer.name,
+            resources=self._resource_percent(brams, dsp, luts),
+            bandwidth=bandwidth_percent,
+            wcet_ms=wcet_ms,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Unit conversions
+    # ------------------------------------------------------------------ #
+    def _resource_percent(self, brams: float, dsp: float, luts: float) -> ResourceVector:
+        counts = self.device.absolute_counts()
+        return ResourceVector(
+            bram=min(100.0, 100.0 * brams / counts["bram"]),
+            dsp=min(100.0, 100.0 * dsp / counts["dsp"]),
+            lut=min(100.0, 100.0 * luts / counts["lut"]),
+            ff=min(100.0, 100.0 * luts * 1.3 / counts["ff"]),
+        )
+
+    def _bandwidth_percent(self, traffic_bytes: float, wcet_ms: float) -> float:
+        seconds = wcet_ms / 1e3
+        gbps = traffic_bytes / seconds / 1e9
+        return min(100.0, self.device.bandwidth_percent(gbps))
+
+
+def characterize_alexnet(precision: Precision = FIXED16) -> Pipeline:
+    """Characterise AlexNet with the analytic cost model (synthetic Table 2)."""
+    from ..workloads.cnn_layers import alexnet_layers
+
+    model = HLSCostModel(precision=precision)
+    suffix = "16" if precision is FIXED16 else "32"
+    return model.characterize_network(f"alex-{suffix}-modeled", alexnet_layers())
+
+
+def characterize_vgg16(precision: Precision = FIXED16) -> Pipeline:
+    """Characterise VGG-16 with the analytic cost model (synthetic Table 3)."""
+    from ..workloads.cnn_layers import vgg16_layers
+
+    model = HLSCostModel(precision=precision)
+    return model.characterize_network("vgg-16-modeled", vgg16_layers())

@@ -1,0 +1,243 @@
+"""Vector bin-packing feasibility for CU allocation.
+
+The beta = 0 variant of the paper's MINLP ("MINLP" curves in Figs. 3-5)
+decomposes exactly: the initiation interval depends only on the total CU
+counts ``N_k``, and a choice of counts is realisable iff the multiset of CUs
+(each CU of kernel ``k`` occupying the vector ``R_k`` plus bandwidth ``B_k``)
+packs into ``F`` identical bins with capacity ``(R, B)``.  This module
+provides that feasibility test: fast first-fit-decreasing, and an exact
+depth-first search with pruning when the heuristic fails.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class PackingItemType:
+    """A group of identical items (the CUs of one kernel)."""
+
+    name: str
+    count: int
+    size: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+        if any(s < 0 for s in self.size):
+            raise ValueError("item sizes must be non-negative")
+
+
+@dataclass(frozen=True)
+class PackingResult:
+    """Outcome of a packing attempt."""
+
+    feasible: bool
+    assignment: Mapping[str, tuple[int, ...]]  # kernel name -> CUs per bin
+    exact: bool  # True if infeasibility (when reported) is proven
+
+    @classmethod
+    def infeasible(cls, exact: bool) -> "PackingResult":
+        return cls(feasible=False, assignment={}, exact=exact)
+
+
+class VectorBinPacker:
+    """Pack groups of identical multi-dimensional items into identical bins."""
+
+    def __init__(
+        self,
+        num_bins: int,
+        capacity: Sequence[float],
+        tolerance: float = 1e-9,
+        max_backtrack_nodes: int = 200_000,
+        placement: str = "consolidate",
+    ):
+        if num_bins < 1:
+            raise ValueError("num_bins must be >= 1")
+        if any(c < 0 for c in capacity):
+            raise ValueError("capacities must be non-negative")
+        if placement not in ("consolidate", "balance"):
+            raise ValueError("placement must be 'consolidate' or 'balance'")
+        self.num_bins = num_bins
+        self.capacity = tuple(float(c) for c in capacity)
+        self.tolerance = tolerance
+        self.max_backtrack_nodes = max_backtrack_nodes
+        #: "consolidate" fills the fullest bin that still fits (few bins used);
+        #: "balance" fills the emptiest bin first, mimicking the spread-out
+        #: allocations that a pure II-minimising MINLP solver typically emits.
+        self.placement = placement
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def pack(self, items: Sequence[PackingItemType]) -> PackingResult:
+        """Try to pack all items; heuristics first, exact search as fallback."""
+        dims = len(self.capacity)
+        for item in items:
+            if len(item.size) != dims:
+                raise ValueError(
+                    f"item {item.name!r} has {len(item.size)} dimensions, expected {dims}"
+                )
+
+        if not self._aggregate_feasible(items):
+            return PackingResult.infeasible(exact=True)
+        if not self._single_item_feasible(items):
+            return PackingResult.infeasible(exact=True)
+
+        heuristic = self._first_fit_decreasing(items)
+        if heuristic is not None:
+            return PackingResult(feasible=True, assignment=heuristic, exact=True)
+
+        return self._exact_search(items)
+
+    # ------------------------------------------------------------------ #
+    # Quick necessary conditions
+    # ------------------------------------------------------------------ #
+    def _aggregate_feasible(self, items: Sequence[PackingItemType]) -> bool:
+        for dim in range(len(self.capacity)):
+            total = sum(item.count * item.size[dim] for item in items)
+            if total > self.num_bins * self.capacity[dim] + self.tolerance:
+                return False
+        return True
+
+    def _single_item_feasible(self, items: Sequence[PackingItemType]) -> bool:
+        for item in items:
+            if item.count == 0:
+                continue
+            for dim in range(len(self.capacity)):
+                if item.size[dim] > self.capacity[dim] + self.tolerance:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # First-fit decreasing
+    # ------------------------------------------------------------------ #
+    def _first_fit_decreasing(
+        self, items: Sequence[PackingItemType]
+    ) -> dict[str, tuple[int, ...]] | None:
+        """Greedy packing: biggest item groups first, each CU into the
+        fullest bin that still fits (best-fit flavour keeps bins consolidated)."""
+        order = sorted(
+            items,
+            key=lambda item: max(
+                item.size[dim] / self.capacity[dim] if self.capacity[dim] > 0 else 0.0
+                for dim in range(len(self.capacity))
+            ),
+            reverse=True,
+        )
+        loads = [[0.0] * len(self.capacity) for _ in range(self.num_bins)]
+        assignment = {item.name: [0] * self.num_bins for item in items}
+
+        for item in order:
+            for _ in range(item.count):
+                placed = False
+                if self.placement == "consolidate":
+                    candidates = sorted(range(self.num_bins), key=lambda b: -sum(loads[b]))
+                else:
+                    candidates = sorted(range(self.num_bins), key=lambda b: sum(loads[b]))
+                for bin_index in candidates:
+                    if self._fits(loads[bin_index], item.size):
+                        for dim in range(len(self.capacity)):
+                            loads[bin_index][dim] += item.size[dim]
+                        assignment[item.name][bin_index] += 1
+                        placed = True
+                        break
+                if not placed:
+                    return None
+        return {name: tuple(counts) for name, counts in assignment.items()}
+
+    def _fits(self, load: Sequence[float], size: Sequence[float]) -> bool:
+        return all(
+            load[dim] + size[dim] <= self.capacity[dim] + self.tolerance
+            for dim in range(len(self.capacity))
+        )
+
+    # ------------------------------------------------------------------ #
+    # Exact search
+    # ------------------------------------------------------------------ #
+    def _exact_search(self, items: Sequence[PackingItemType]) -> PackingResult:
+        """Depth-first search over per-kernel distributions with pruning.
+
+        Kernels are processed in decreasing size order; for each kernel the
+        search enumerates how many of its CUs go into each bin (bins visited
+        in a canonical order to limit symmetric duplicates).  The node budget
+        bounds worst-case effort; if it is exhausted the result is reported as
+        not proven exact.
+        """
+        order = sorted(
+            (item for item in items if item.count > 0),
+            key=lambda item: (max(item.size), item.count),
+            reverse=True,
+        )
+        loads = [[0.0] * len(self.capacity) for _ in range(self.num_bins)]
+        assignment: dict[str, list[int]] = {item.name: [0] * self.num_bins for item in items}
+        nodes = [0]
+
+        def place_kernel(kernel_index: int) -> bool:
+            if kernel_index == len(order):
+                return True
+            item = order[kernel_index]
+            return distribute(item, 0, item.count, kernel_index)
+
+        def distribute(item: PackingItemType, bin_index: int, remaining: int, kernel_index: int) -> bool:
+            nodes[0] += 1
+            if nodes[0] > self.max_backtrack_nodes:
+                return False
+            if remaining == 0:
+                return place_kernel(kernel_index + 1)
+            if bin_index == self.num_bins:
+                return False
+            max_here = self._max_count_in_bin(loads[bin_index], item.size, remaining)
+            # Try putting as many as possible first (consolidation bias), down to zero.
+            for count in range(max_here, -1, -1):
+                if count:
+                    for dim in range(len(self.capacity)):
+                        loads[bin_index][dim] += count * item.size[dim]
+                    assignment[item.name][bin_index] += count
+                if self._remaining_capacity_ok(loads, order, kernel_index, item, remaining - count):
+                    if distribute(item, bin_index + 1, remaining - count, kernel_index):
+                        return True
+                if count:
+                    for dim in range(len(self.capacity)):
+                        loads[bin_index][dim] -= count * item.size[dim]
+                    assignment[item.name][bin_index] -= count
+            return False
+
+        feasible = place_kernel(0)
+        exact = nodes[0] <= self.max_backtrack_nodes
+        if feasible:
+            return PackingResult(
+                feasible=True,
+                assignment={name: tuple(counts) for name, counts in assignment.items()},
+                exact=True,
+            )
+        return PackingResult.infeasible(exact=exact)
+
+    def _max_count_in_bin(self, load: Sequence[float], size: Sequence[float], remaining: int) -> int:
+        limit = remaining
+        for dim in range(len(self.capacity)):
+            if size[dim] > 0:
+                slack = self.capacity[dim] + self.tolerance - load[dim]
+                limit = min(limit, int(math.floor(slack / size[dim] + 1e-12)))
+        return max(0, limit)
+
+    def _remaining_capacity_ok(
+        self,
+        loads: Sequence[Sequence[float]],
+        order: Sequence[PackingItemType],
+        kernel_index: int,
+        current_item: PackingItemType,
+        current_remaining: int,
+    ) -> bool:
+        """Aggregate-slack pruning: remaining items must fit in total slack."""
+        for dim in range(len(self.capacity)):
+            slack = sum(self.capacity[dim] - load[dim] for load in loads)
+            demand = current_remaining * current_item.size[dim]
+            for item in order[kernel_index + 1 :]:
+                demand += item.count * item.size[dim]
+            if demand > slack + self.tolerance * self.num_bins:
+                return False
+        return True

@@ -1,0 +1,293 @@
+"""Generic best-first branch-and-bound engine for convexifiable MINLPs.
+
+The engine is deliberately problem-agnostic: it works with three callbacks,
+
+* a *relaxation solver* mapping integer box bounds to a lower bound and a
+  (possibly fractional) solution,
+* an *incumbent evaluator* mapping an integer point to its true objective
+  (or ``None`` when the point is infeasible for the original problem),
+* an optional *rounding heuristic* that proposes integer points near a
+  fractional relaxation solution to warm up the incumbent.
+
+The allocation-specific relaxations (the LP + initiation-interval search of
+:mod:`repro.core.exact`) plug into this engine; the paper's reference tool
+(Couenne) follows the same spatial branch-and-bound architecture.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable, Mapping
+
+from .bounds import VariableBounds
+from .errors import InfeasibleProblemError
+
+#: Tolerance under which a relaxation value is considered integral.
+INTEGRALITY_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class RelaxationResult:
+    """Outcome of solving one node's continuous relaxation."""
+
+    feasible: bool
+    objective: float
+    solution: Mapping[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def infeasible(cls) -> "RelaxationResult":
+        return cls(feasible=False, objective=math.inf, solution={})
+
+
+class BBStatus(Enum):
+    """Termination status of a branch-and-bound run."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"  # stopped at a limit with an incumbent but a gap
+    INFEASIBLE = "infeasible"
+    NO_SOLUTION = "no-solution"  # stopped at a limit without any incumbent
+
+
+@dataclass(frozen=True)
+class BBResult:
+    """Result of a branch-and-bound run."""
+
+    status: BBStatus
+    objective: float
+    solution: dict[str, int]
+    lower_bound: float
+    nodes_explored: int
+    runtime_seconds: float
+
+    @property
+    def gap(self) -> float:
+        """Relative optimality gap (0 when proven optimal)."""
+        if not math.isfinite(self.objective) or not math.isfinite(self.lower_bound):
+            return math.inf
+        if abs(self.objective) < 1e-12:
+            return abs(self.objective - self.lower_bound)
+        return max(0.0, (self.objective - self.lower_bound) / abs(self.objective))
+
+    @property
+    def has_solution(self) -> bool:
+        return bool(self.solution) and math.isfinite(self.objective)
+
+
+@dataclass(frozen=True)
+class BBSettings:
+    """Limits and tolerances of the search."""
+
+    max_nodes: int = 20_000
+    time_limit_seconds: float = 120.0
+    gap_tolerance: float = 1e-6
+    integrality_tolerance: float = INTEGRALITY_TOLERANCE
+
+
+RelaxationSolver = Callable[[VariableBounds], RelaxationResult]
+IncumbentEvaluator = Callable[[Mapping[str, int]], float | None]
+RoundingHeuristic = Callable[[Mapping[str, float], VariableBounds], Iterable[Mapping[str, int]]]
+
+
+@dataclass(order=True)
+class _Node:
+    """Priority-queue entry; ordered by relaxation bound (best-first)."""
+
+    bound: float
+    sequence: int
+    bounds: VariableBounds = field(compare=False)
+    relaxation: RelaxationResult = field(compare=False)
+    depth: int = field(compare=False, default=0)
+
+
+class BranchAndBoundSolver:
+    """Best-first branch-and-bound over integer box bounds."""
+
+    def __init__(
+        self,
+        relaxation_solver: RelaxationSolver,
+        incumbent_evaluator: IncumbentEvaluator,
+        rounding_heuristic: RoundingHeuristic | None = None,
+        settings: BBSettings = BBSettings(),
+    ):
+        self._relax = relaxation_solver
+        self._evaluate = incumbent_evaluator
+        self._round = rounding_heuristic
+        self._settings = settings
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        initial_bounds: VariableBounds,
+        initial_incumbent: Mapping[str, int] | None = None,
+    ) -> BBResult:
+        """Run the search starting from ``initial_bounds``.
+
+        ``initial_incumbent`` may seed the search with a known feasible point
+        (e.g. the GP+A heuristic solution), which dramatically improves
+        pruning on symmetric instances.
+        """
+        start = time.perf_counter()
+        settings = self._settings
+        counter = itertools.count()
+
+        best_objective = math.inf
+        best_solution: dict[str, int] = {}
+        if initial_incumbent is not None:
+            seeded = {name: int(round(value)) for name, value in initial_incumbent.items()}
+            value = self._evaluate(seeded)
+            if value is not None:
+                best_objective = value
+                best_solution = seeded
+
+        root_relaxation = self._relax(initial_bounds)
+        if not root_relaxation.feasible:
+            if best_solution:
+                # The caller's incumbent is feasible even though the root
+                # relaxation is not (should not happen for exact relaxations).
+                return BBResult(
+                    status=BBStatus.FEASIBLE,
+                    objective=best_objective,
+                    solution=best_solution,
+                    lower_bound=-math.inf,
+                    nodes_explored=0,
+                    runtime_seconds=time.perf_counter() - start,
+                )
+            raise InfeasibleProblemError("root relaxation is infeasible")
+
+        heap: list[_Node] = [
+            _Node(
+                bound=root_relaxation.objective,
+                sequence=next(counter),
+                bounds=initial_bounds,
+                relaxation=root_relaxation,
+            )
+        ]
+        nodes_explored = 0
+        global_lower = root_relaxation.objective
+
+        while heap:
+            if nodes_explored >= settings.max_nodes:
+                break
+            if time.perf_counter() - start > settings.time_limit_seconds:
+                break
+
+            node = heapq.heappop(heap)
+            global_lower = node.bound if not heap else min(node.bound, heap[0].bound)
+            if node.bound >= best_objective - settings.gap_tolerance * max(1.0, abs(best_objective)):
+                # Everything remaining is at least as bad as the incumbent.
+                global_lower = max(global_lower, node.bound)
+                break
+            nodes_explored += 1
+
+            fractional = self._fractional_variables(node.relaxation.solution, node.bounds)
+            if not fractional:
+                # Integral relaxation: candidate incumbent.
+                candidate = {
+                    name: int(round(node.relaxation.solution.get(name, node.bounds.lower(name))))
+                    for name in node.bounds
+                }
+                value = self._evaluate(candidate)
+                if value is not None and value < best_objective:
+                    best_objective = value
+                    best_solution = candidate
+                continue
+
+            # Try rounding heuristics to tighten the incumbent early.
+            if self._round is not None:
+                for proposal in self._round(node.relaxation.solution, node.bounds):
+                    candidate = {name: int(proposal[name]) for name in proposal}
+                    value = self._evaluate(candidate)
+                    if value is not None and value < best_objective:
+                        best_objective = value
+                        best_solution = candidate
+
+            branch_name, branch_value = self._select_branching(fractional)
+            floor_value = int(math.floor(branch_value))
+            children = []
+            lower, upper = node.bounds[branch_name]
+            if floor_value >= lower:
+                children.append(node.bounds.with_upper(branch_name, floor_value))
+            if floor_value + 1 <= upper:
+                children.append(node.bounds.with_lower(branch_name, floor_value + 1))
+
+            for child_bounds in children:
+                relaxation = self._relax(child_bounds)
+                if not relaxation.feasible:
+                    continue
+                if relaxation.objective >= best_objective - settings.gap_tolerance * max(
+                    1.0, abs(best_objective)
+                ):
+                    continue
+                heapq.heappush(
+                    heap,
+                    _Node(
+                        bound=relaxation.objective,
+                        sequence=next(counter),
+                        bounds=child_bounds,
+                        relaxation=relaxation,
+                        depth=node.depth + 1,
+                    ),
+                )
+
+        runtime = time.perf_counter() - start
+        if heap:
+            global_lower = min(global_lower, heap[0].bound)
+        else:
+            # Search exhausted: the incumbent (if any) is optimal.
+            global_lower = best_objective if math.isfinite(best_objective) else global_lower
+
+        if not math.isfinite(best_objective):
+            status = BBStatus.NO_SOLUTION if (heap or nodes_explored) else BBStatus.INFEASIBLE
+            return BBResult(
+                status=status,
+                objective=math.inf,
+                solution={},
+                lower_bound=global_lower,
+                nodes_explored=nodes_explored,
+                runtime_seconds=runtime,
+            )
+
+        gap = (best_objective - global_lower) / max(1e-12, abs(best_objective))
+        status = BBStatus.OPTIMAL if gap <= max(settings.gap_tolerance, 1e-9) * 10 else BBStatus.FEASIBLE
+        return BBResult(
+            status=status,
+            objective=best_objective,
+            solution=best_solution,
+            lower_bound=min(global_lower, best_objective),
+            nodes_explored=nodes_explored,
+            runtime_seconds=runtime,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _fractional_variables(
+        self, solution: Mapping[str, float], bounds: VariableBounds
+    ) -> dict[str, float]:
+        """Variables whose relaxation value is not (nearly) integral."""
+        tolerance = self._settings.integrality_tolerance
+        fractional: dict[str, float] = {}
+        for name in bounds:
+            value = solution.get(name)
+            if value is None:
+                continue
+            if abs(value - round(value)) > tolerance:
+                fractional[name] = value
+        return fractional
+
+    @staticmethod
+    def _select_branching(fractional: Mapping[str, float]) -> tuple[str, float]:
+        """Most-fractional branching rule."""
+        def distance(item: tuple[str, float]) -> float:
+            _, value = item
+            return abs(value - math.floor(value) - 0.5)
+
+        name, value = min(fractional.items(), key=distance)
+        return name, value

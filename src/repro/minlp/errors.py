@@ -1,0 +1,15 @@
+"""Exceptions raised by the MINLP package."""
+
+from __future__ import annotations
+
+
+class MINLPError(Exception):
+    """Base class for MINLP solver errors."""
+
+
+class InfeasibleProblemError(MINLPError):
+    """Raised when the root relaxation (or the whole problem) is infeasible."""
+
+
+class BranchingError(MINLPError):
+    """Raised when the solver cannot select a branching variable."""

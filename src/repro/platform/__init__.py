@@ -1,0 +1,26 @@
+"""FPGA platform models: resource vectors, devices and multi-FPGA clusters."""
+
+from .fpga import FPGADevice, FPGAState
+from .multi_fpga import MultiFPGAPlatform
+from .presets import XCVU9P, aws_f1, generic_platform
+from .resources import (
+    ALL_DIMENSIONS,
+    FEASIBILITY_TOLERANCE,
+    RESOURCE_KINDS,
+    ResourceVector,
+    sum_resources,
+)
+
+__all__ = [
+    "ALL_DIMENSIONS",
+    "FEASIBILITY_TOLERANCE",
+    "FPGADevice",
+    "FPGAState",
+    "MultiFPGAPlatform",
+    "RESOURCE_KINDS",
+    "ResourceVector",
+    "XCVU9P",
+    "aws_f1",
+    "generic_platform",
+    "sum_resources",
+]

@@ -1,0 +1,111 @@
+"""Multi-FPGA platform model.
+
+The paper targets an AWS F1 instance: a host CPU orchestrating up to eight
+identical Xilinx UltraScale+ FPGAs, each with its own DRAM banks (Fig. 1).
+The optimisation model only needs to know (i) how many identical FPGAs are
+available, (ii) the per-FPGA resource cap ``R`` and (iii) the per-FPGA
+bandwidth cap ``B``.  :class:`MultiFPGAPlatform` carries that information and
+the derating knob ("resource constraint" sweep of Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .fpga import FPGADevice
+from .resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class MultiFPGAPlatform:
+    """A cluster of identical FPGAs sharing a host CPU.
+
+    Parameters
+    ----------
+    device:
+        The FPGA device replicated across the platform.
+    num_fpgas:
+        Number of identical FPGAs (``F`` in the paper).
+    resource_limit:
+        Per-FPGA resource cap ``R``, percent of one device.  The paper sweeps
+        this value (the "resource constraint") between roughly 40 % and 90 %.
+    bandwidth_limit:
+        Per-FPGA DRAM bandwidth cap ``B``, percent of one device's bandwidth.
+    name:
+        Optional human-readable platform name.
+    """
+
+    device: FPGADevice
+    num_fpgas: int
+    resource_limit: ResourceVector
+    bandwidth_limit: float = 100.0
+    name: str = "multi-fpga"
+
+    def __post_init__(self) -> None:
+        if self.num_fpgas < 1:
+            raise ValueError(f"num_fpgas must be >= 1, got {self.num_fpgas}")
+        if self.bandwidth_limit <= 0:
+            raise ValueError("bandwidth_limit must be positive")
+        if self.resource_limit.max_component() <= 0:
+            raise ValueError("resource_limit must have at least one positive component")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def fpga_indices(self) -> range:
+        """Indices of the FPGAs, 0-based (the paper uses 1-based ``f``)."""
+        return range(self.num_fpgas)
+
+    def total_resources(self) -> ResourceVector:
+        """Aggregate resource capacity of the whole platform."""
+        return self.resource_limit * self.num_fpgas
+
+    def total_bandwidth(self) -> float:
+        """Aggregate bandwidth capacity (percent-of-one-FPGA units)."""
+        return self.bandwidth_limit * self.num_fpgas
+
+    # ------------------------------------------------------------------ #
+    # Constraint sweeps
+    # ------------------------------------------------------------------ #
+    def with_resource_limit(self, limit_percent: float) -> "MultiFPGAPlatform":
+        """Return a copy with a uniform per-FPGA resource cap.
+
+        This is the knob swept on the x-axis of Figures 2-5 ("Resource
+        Constraint (%)"): the same percentage cap applied to every resource
+        kind of every FPGA.
+        """
+        if limit_percent <= 0:
+            raise ValueError("resource limit must be positive")
+        return replace(self, resource_limit=ResourceVector.full(limit_percent))
+
+    def with_bandwidth_limit(self, limit_percent: float) -> "MultiFPGAPlatform":
+        """Return a copy with a different per-FPGA bandwidth cap."""
+        if limit_percent <= 0:
+            raise ValueError("bandwidth limit must be positive")
+        return replace(self, bandwidth_limit=limit_percent)
+
+    def with_num_fpgas(self, num_fpgas: int) -> "MultiFPGAPlatform":
+        """Return a copy with a different FPGA count."""
+        return replace(self, num_fpgas=num_fpgas)
+
+    def scaled_resource_limit(self, extra_percent: float) -> ResourceVector:
+        """Resource cap relaxed by ``extra_percent`` points (Algorithm 1's Rc).
+
+        The heuristic allocator searches "in the vicinity of the initial
+        resource constraint": ``Rc = R + i * delta`` while ``Rc < R + T``.
+        The relaxed cap never exceeds the full device (100 %).
+        """
+        relaxed = {
+            kind: min(100.0, value + extra_percent)
+            for kind, value in self.resource_limit.as_dict().items()
+        }
+        return ResourceVector.from_mapping(relaxed)
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        return (
+            f"{self.name}: {self.num_fpgas} x {self.device.name}, "
+            f"R={self.resource_limit.max_component():.1f}%, "
+            f"B={self.bandwidth_limit:.1f}%"
+        )

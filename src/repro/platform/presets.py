@@ -1,0 +1,72 @@
+"""Platform presets.
+
+The paper evaluates on AWS F1 instances with up to eight Xilinx Virtex
+UltraScale+ VU9P FPGAs, each attached to four DDR4 channels (Fig. 1).  The
+preset below models that platform; per-CU costs in the workload tables are
+already expressed as percentages of one such device, so the absolute counts
+matter only for the HLS characterisation cost model and for reporting.
+"""
+
+from __future__ import annotations
+
+from .fpga import FPGADevice
+from .multi_fpga import MultiFPGAPlatform
+from .resources import ResourceVector
+
+#: Xilinx Virtex UltraScale+ VU9P, the FPGA used on AWS F1 instances.
+#: Counts are the publicly documented device totals; bandwidth is 4 x DDR4-2400
+#: 64-bit channels (~19.2 GB/s each).
+XCVU9P = FPGADevice(
+    name="xcvu9p",
+    bram_blocks=2160,
+    dsp_slices=6840,
+    luts=1_182_240,
+    ffs=2_364_480,
+    dram_bandwidth_gbps=76.8,
+    dram_banks=4,
+)
+
+
+def aws_f1(
+    num_fpgas: int = 8,
+    resource_limit_percent: float = 100.0,
+    bandwidth_limit_percent: float = 100.0,
+) -> MultiFPGAPlatform:
+    """Return an AWS F1 style platform with ``num_fpgas`` VU9P devices.
+
+    Parameters
+    ----------
+    num_fpgas:
+        Number of FPGAs in the instance.  The paper uses 2, 4 and 8
+        (f1.2xlarge has 1, f1.4xlarge has 2, f1.16xlarge has 8).
+    resource_limit_percent:
+        Per-FPGA resource cap ``R`` applied uniformly to all resource kinds.
+    bandwidth_limit_percent:
+        Per-FPGA DRAM bandwidth cap ``B``.
+    """
+    if not 1 <= num_fpgas <= 8:
+        raise ValueError(f"AWS F1 instances provide 1 to 8 FPGAs, got {num_fpgas}")
+    return MultiFPGAPlatform(
+        device=XCVU9P,
+        num_fpgas=num_fpgas,
+        resource_limit=ResourceVector.full(resource_limit_percent),
+        bandwidth_limit=bandwidth_limit_percent,
+        name=f"aws-f1-{num_fpgas}x",
+    )
+
+
+def generic_platform(
+    num_fpgas: int,
+    resource_limit_percent: float = 100.0,
+    bandwidth_limit_percent: float = 100.0,
+    device: FPGADevice = XCVU9P,
+    name: str = "generic",
+) -> MultiFPGAPlatform:
+    """Return a platform with ``num_fpgas`` copies of an arbitrary device."""
+    return MultiFPGAPlatform(
+        device=device,
+        num_fpgas=num_fpgas,
+        resource_limit=ResourceVector.full(resource_limit_percent),
+        bandwidth_limit=bandwidth_limit_percent,
+        name=name,
+    )

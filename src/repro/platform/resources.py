@@ -1,0 +1,212 @@
+"""Resource vectors for FPGA capacity accounting.
+
+The paper's model (Section 3, Table 1) abstracts each compute unit's cost as a
+fraction of one FPGA's resources (BRAM, DSP, LUT, FF) plus a fraction of the
+FPGA's external DRAM bandwidth.  All optimisation constraints are of the form
+"the sum of per-CU fractions on one FPGA must not exceed a cap" -- so the
+natural datatype is a small named vector of fractions with element-wise
+arithmetic and an "any component exceeds" comparison.
+
+Resources are expressed in *percent of one FPGA* throughout, exactly as in
+Tables 2 and 3 of the paper.  100.0 means the full device.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+#: Canonical ordering of the on-chip resource kinds tracked by the model.
+RESOURCE_KINDS: tuple[str, ...] = ("bram", "dsp", "lut", "ff")
+
+#: Resource kinds plus the off-chip DRAM bandwidth dimension.
+ALL_DIMENSIONS: tuple[str, ...] = RESOURCE_KINDS + ("bandwidth",)
+
+#: Absolute tolerance (in percentage points) used by feasibility checks.
+FEASIBILITY_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A vector of FPGA resource fractions, in percent of one device.
+
+    Instances are immutable and support element-wise addition, subtraction,
+    scalar multiplication, and dominance comparisons.  They are used both for
+    per-CU costs (``Rk`` in the paper) and for capacities/constraints
+    (``R``).
+
+    Parameters
+    ----------
+    bram, dsp, lut, ff:
+        On-chip resource usage, percent of one FPGA.  Negative values are
+        rejected because neither costs nor capacities can be negative.
+    """
+
+    bram: float = 0.0
+    dsp: float = 0.0
+    lut: float = 0.0
+    ff: float = 0.0
+
+    def __post_init__(self) -> None:
+        for kind in RESOURCE_KINDS:
+            value = getattr(self, kind)
+            if not math.isfinite(value):
+                raise ValueError(f"resource {kind!r} must be finite, got {value!r}")
+            if value < 0:
+                raise ValueError(f"resource {kind!r} must be non-negative, got {value!r}")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zeros(cls) -> "ResourceVector":
+        """Return the all-zero resource vector."""
+        return cls()
+
+    @classmethod
+    def full(cls, value: float = 100.0) -> "ResourceVector":
+        """Return a vector with every component equal to ``value``."""
+        return cls(bram=value, dsp=value, lut=value, ff=value)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, float]) -> "ResourceVector":
+        """Build a vector from a mapping; missing kinds default to zero.
+
+        Unknown keys raise ``ValueError`` so that typos in workload
+        definitions are caught early.
+        """
+        unknown = set(mapping) - set(RESOURCE_KINDS)
+        if unknown:
+            raise ValueError(f"unknown resource kinds: {sorted(unknown)}")
+        return cls(**{kind: float(mapping.get(kind, 0.0)) for kind in RESOURCE_KINDS})
+
+    # ------------------------------------------------------------------ #
+    # Mapping-like access
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> dict[str, float]:
+        """Return the vector as a plain ``{kind: value}`` dictionary."""
+        return {kind: getattr(self, kind) for kind in RESOURCE_KINDS}
+
+    def __getitem__(self, kind: str) -> float:
+        if kind not in RESOURCE_KINDS:
+            raise KeyError(kind)
+        return getattr(self, kind)
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(self.as_dict().items())
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        return ResourceVector(
+            **{kind: getattr(self, kind) + getattr(other, kind) for kind in RESOURCE_KINDS}
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        """Element-wise difference, clamped at zero.
+
+        Clamping keeps slack computations well-defined when floating point
+        rounding would otherwise produce values like ``-1e-15``.
+        """
+        if not isinstance(other, ResourceVector):
+            return NotImplemented
+        return ResourceVector(
+            **{
+                kind: max(0.0, getattr(self, kind) - getattr(other, kind))
+                for kind in RESOURCE_KINDS
+            }
+        )
+
+    def __mul__(self, factor: float) -> "ResourceVector":
+        if not isinstance(factor, (int, float)):
+            return NotImplemented
+        if factor < 0:
+            raise ValueError("cannot scale a ResourceVector by a negative factor")
+        return ResourceVector(
+            **{kind: getattr(self, kind) * factor for kind in RESOURCE_KINDS}
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, divisor: float) -> "ResourceVector":
+        if not isinstance(divisor, (int, float)):
+            return NotImplemented
+        if divisor <= 0:
+            raise ValueError("cannot divide a ResourceVector by a non-positive factor")
+        return self * (1.0 / divisor)
+
+    # ------------------------------------------------------------------ #
+    # Comparisons and aggregates
+    # ------------------------------------------------------------------ #
+    def fits_within(
+        self, capacity: "ResourceVector", tolerance: float = FEASIBILITY_TOLERANCE
+    ) -> bool:
+        """Return True if every component is within ``capacity`` (+tolerance)."""
+        return all(
+            getattr(self, kind) <= getattr(capacity, kind) + tolerance
+            for kind in RESOURCE_KINDS
+        )
+
+    def exceeds(self, capacity: "ResourceVector", tolerance: float = FEASIBILITY_TOLERANCE) -> bool:
+        """Return True if any component exceeds ``capacity`` (+tolerance)."""
+        return not self.fits_within(capacity, tolerance=tolerance)
+
+    def dominates(self, other: "ResourceVector") -> bool:
+        """Return True if every component is >= the corresponding one in ``other``."""
+        return all(getattr(self, kind) >= getattr(other, kind) for kind in RESOURCE_KINDS)
+
+    def max_component(self) -> float:
+        """Return the largest component (the binding resource fraction)."""
+        return max(getattr(self, kind) for kind in RESOURCE_KINDS)
+
+    def max_kind(self) -> str:
+        """Return the name of the largest component."""
+        return max(RESOURCE_KINDS, key=lambda kind: getattr(self, kind))
+
+    def total(self) -> float:
+        """Return the sum of all components (useful for coarse sorting)."""
+        return sum(getattr(self, kind) for kind in RESOURCE_KINDS)
+
+    def utilization_of(self, capacity: "ResourceVector") -> float:
+        """Return the maximum component-wise ratio ``self / capacity``.
+
+        Components whose capacity is zero are ignored unless the usage is
+        non-zero, in which case the ratio is infinite.
+        """
+        worst = 0.0
+        for kind in RESOURCE_KINDS:
+            usage = getattr(self, kind)
+            cap = getattr(capacity, kind)
+            if cap <= 0:
+                if usage > FEASIBILITY_TOLERANCE:
+                    return math.inf
+                continue
+            worst = max(worst, usage / cap)
+        return worst
+
+    def is_zero(self, tolerance: float = FEASIBILITY_TOLERANCE) -> bool:
+        """Return True if every component is (numerically) zero."""
+        return all(abs(getattr(self, kind)) <= tolerance for kind in RESOURCE_KINDS)
+
+    def isclose(self, other: "ResourceVector", rel_tol: float = 1e-9, abs_tol: float = 1e-9) -> bool:
+        """Return True if the two vectors are element-wise close."""
+        return all(
+            math.isclose(getattr(self, kind), getattr(other, kind), rel_tol=rel_tol, abs_tol=abs_tol)
+            for kind in RESOURCE_KINDS
+        )
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{kind.upper()}={getattr(self, kind):.2f}%" for kind in RESOURCE_KINDS)
+        return f"ResourceVector({parts})"
+
+
+def sum_resources(vectors: Iterable[ResourceVector]) -> ResourceVector:
+    """Sum an iterable of resource vectors (empty sum is the zero vector)."""
+    total = ResourceVector.zeros()
+    for vector in vectors:
+        total = total + vector
+    return total

@@ -1,0 +1,38 @@
+"""Reporting: text tables, figure data series and per-experiment drivers."""
+
+from .experiments import (
+    CASE_STUDIES,
+    MethodComparisonFigure,
+    case_study,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    runtime_table,
+    table2,
+    table3,
+    table4,
+)
+from .series import FigureData, Series
+from .tables import TextTable, format_cell, percentage
+
+__all__ = [
+    "CASE_STUDIES",
+    "FigureData",
+    "MethodComparisonFigure",
+    "Series",
+    "TextTable",
+    "case_study",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "format_cell",
+    "percentage",
+    "runtime_table",
+    "table2",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,114 @@
+"""Data series containers and ASCII plotting for figure reproduction.
+
+Figures are reproduced as *data*: every figure driver returns one or more
+named (x, y) series.  This module holds the series container, CSV export and
+a small ASCII scatter/line plotter so results can be inspected directly in a
+terminal without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named sequence of (x, y) points."""
+
+    name: str
+    points: tuple[tuple[float, float], ...]
+
+    @classmethod
+    def from_xy(cls, name: str, xs: Sequence[float], ys: Sequence[float]) -> "Series":
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have the same length")
+        return cls(name=name, points=tuple(zip(map(float, xs), map(float, ys))))
+
+    @property
+    def xs(self) -> tuple[float, ...]:
+        return tuple(x for x, _ in self.points)
+
+    @property
+    def ys(self) -> tuple[float, ...]:
+        return tuple(y for _, y in self.points)
+
+    def finite_points(self) -> tuple[tuple[float, float], ...]:
+        """Points with finite y (infeasible sweep points are infinite)."""
+        return tuple((x, y) for x, y in self.points if math.isfinite(y))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass
+class FigureData:
+    """A figure reproduced as data: axis labels plus a set of series."""
+
+    name: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    caption: str = ""
+
+    def add_series(self, series: Series) -> None:
+        self.series.append(series)
+
+    def get(self, name: str) -> Series:
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def to_csv(self) -> str:
+        """Long-format CSV: series,x,y."""
+        lines = [f"series,{self.x_label},{self.y_label}"]
+        for series in self.series:
+            for x, y in series.points:
+                lines.append(f"{series.name},{x:g},{y:g}")
+        return "\n".join(lines)
+
+    def to_ascii(self, width: int = 72, height: int = 20) -> str:
+        """Render the figure as an ASCII scatter plot."""
+        markers = "ox+*#@%&"
+        finite = [
+            (x, y)
+            for series in self.series
+            for x, y in series.finite_points()
+        ]
+        if not finite:
+            return f"[{self.name}] (no finite data points)"
+        xs = [x for x, _ in finite]
+        ys = [y for _, y in finite]
+        x_min, x_max = min(xs), max(xs)
+        y_min, y_max = min(ys), max(ys)
+        x_span = (x_max - x_min) or 1.0
+        y_span = (y_max - y_min) or 1.0
+
+        grid = [[" "] * width for _ in range(height)]
+        for series_index, series in enumerate(self.series):
+            marker = markers[series_index % len(markers)]
+            for x, y in series.finite_points():
+                col = int(round((x - x_min) / x_span * (width - 1)))
+                row = int(round((y - y_min) / y_span * (height - 1)))
+                grid[height - 1 - row][col] = marker
+
+        lines = [f"{self.name}   ({self.y_label} vs {self.x_label})"]
+        if self.caption:
+            lines.append(self.caption)
+        lines.append(f"y: [{y_min:.3f}, {y_max:.3f}]")
+        lines.extend("  |" + "".join(row) for row in grid)
+        lines.append("  +" + "-" * width)
+        lines.append(f"   x: [{x_min:.3f}, {x_max:.3f}]")
+        legend = "   legend: " + ", ".join(
+            f"{markers[i % len(markers)]}={series.name}" for i, series in enumerate(self.series)
+        )
+        lines.append(legend)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_ascii()

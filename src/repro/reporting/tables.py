@@ -1,0 +1,74 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class TextTable:
+    """A small, dependency-free text table builder.
+
+    Cells are stored as strings; numeric helpers format floats consistently.
+    """
+
+    headers: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are converted with :func:`format_cell`."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([format_cell(cell) for cell in cells])
+
+    def render(self) -> str:
+        """Render the table with aligned columns."""
+        widths = [len(str(header)) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Iterable[str]) -> str:
+            return " | ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells))
+
+        parts = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(line(self.headers))
+        parts.append("-+-".join("-" * width for width in widths))
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        """Render the table as CSV text."""
+        def escape(cell: str) -> str:
+            if "," in cell or '"' in cell:
+                return '"' + cell.replace('"', '""') + '"'
+            return cell
+
+        lines = [",".join(escape(str(h)) for h in self.headers)]
+        lines.extend(",".join(escape(cell) for cell in row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_cell(value: object) -> str:
+    """Format one cell: floats get 3 decimals, everything else ``str``."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def percentage(value: float, decimals: int = 1) -> str:
+    """Format a percentage value."""
+    return f"{value:.{decimals}f}%"

@@ -1,0 +1,14 @@
+"""Discrete-event validation of allocations (substitute for AWS F1 runs)."""
+
+from .dram import BandwidthContentionModel
+from .engine import EventQueue
+from .pipeline_sim import PipelineSimulator, SimulationResult, StageTiming, simulate_allocation
+
+__all__ = [
+    "BandwidthContentionModel",
+    "EventQueue",
+    "PipelineSimulator",
+    "SimulationResult",
+    "StageTiming",
+    "simulate_allocation",
+]

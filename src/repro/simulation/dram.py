@@ -1,0 +1,73 @@
+"""DRAM bandwidth contention model.
+
+The paper constrains the *sum* of per-CU bandwidth demands on each FPGA to
+stay below the device bandwidth (constraint 10), precisely so that execution
+times remain at their measured values.  The simulator uses this model to show
+what happens when the constraint is violated: each FPGA whose aggregate
+demand exceeds its capacity slows every CU it hosts proportionally, and a
+kernel's service time is stretched by the worst slowdown among the FPGAs
+hosting its CUs (they work in lock-step on the same image).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..core.solution import AllocationSolution
+
+
+@dataclass(frozen=True)
+class BandwidthContentionModel:
+    """Per-FPGA slowdown factors derived from bandwidth oversubscription."""
+
+    fpga_slowdowns: tuple[float, ...]
+    kernel_fpgas: Mapping[str, tuple[int, ...]]
+
+    @classmethod
+    def from_solution(cls, solution: AllocationSolution) -> "BandwidthContentionModel":
+        """Build the contention model for a concrete allocation."""
+        problem = solution.problem
+        capacity = problem.platform.bandwidth_limit
+        slowdowns: list[float] = []
+        for fpga in range(problem.num_fpgas):
+            demand = solution.fpga_bandwidth_usage(fpga)
+            slowdowns.append(max(1.0, demand / capacity) if capacity > 0 else 1.0)
+        hosting = {
+            name: tuple(
+                f for f in range(problem.num_fpgas) if solution.counts[name][f] > 0
+            )
+            for name in problem.kernel_names
+        }
+        return cls(fpga_slowdowns=tuple(slowdowns), kernel_fpgas=hosting)
+
+    @classmethod
+    def ideal(cls, solution: AllocationSolution) -> "BandwidthContentionModel":
+        """A contention-free model (every slowdown is 1)."""
+        problem = solution.problem
+        hosting = {
+            name: tuple(
+                f for f in range(problem.num_fpgas) if solution.counts[name][f] > 0
+            )
+            for name in problem.kernel_names
+        }
+        return cls(
+            fpga_slowdowns=tuple(1.0 for _ in range(problem.num_fpgas)),
+            kernel_fpgas=hosting,
+        )
+
+    def fpga_slowdown(self, fpga_index: int) -> float:
+        """Slowdown factor of one FPGA (1.0 means no contention)."""
+        return self.fpga_slowdowns[fpga_index]
+
+    def kernel_slowdown(self, kernel_name: str) -> float:
+        """Slowdown of a kernel: the worst factor among its hosting FPGAs."""
+        fpgas = self.kernel_fpgas.get(kernel_name, ())
+        if not fpgas:
+            return 1.0
+        return max(self.fpga_slowdowns[f] for f in fpgas)
+
+    @property
+    def worst_slowdown(self) -> float:
+        """Largest slowdown on the platform."""
+        return max(self.fpga_slowdowns) if self.fpga_slowdowns else 1.0

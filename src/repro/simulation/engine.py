@@ -1,0 +1,90 @@
+"""Minimal discrete-event simulation engine.
+
+A deliberately small but general event-driven kernel (priority queue of
+timestamped events with callbacks) used by the pipeline simulator.  Keeping
+it separate makes the simulator logic readable and lets tests exercise the
+engine in isolation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """A time-ordered queue of callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past")
+        event = _ScheduledEvent(time=self._now + delay, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> _ScheduledEvent:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError("cannot schedule an event in the past")
+        event = _ScheduledEvent(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        event.cancelled = True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events in time order.
+
+        Stops when the queue empties, when the next event lies beyond
+        ``until``, or after ``max_events`` events.  Returns the simulation
+        time reached.
+        """
+        while self._heap:
+            if max_events is not None and self._processed >= max_events:
+                break
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def is_empty(self) -> bool:
+        return not any(not event.cancelled for event in self._heap)

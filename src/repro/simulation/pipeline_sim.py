@@ -1,0 +1,175 @@
+"""Discrete-event simulation of a task-level pipeline on a CU allocation.
+
+The optimisation model predicts ``II = max_k WCET_k / N_k`` analytically.
+This simulator executes the pipeline image-by-image on the allocated CUs,
+with (optional) DRAM bandwidth contention, and measures the steady-state
+initiation interval and end-to-end latency.  It serves three purposes:
+
+* validate that the analytic II matches the simulated II for feasible
+  allocations (tests assert this),
+* expose the penalty of over-committed DRAM bandwidth (the contention model
+  stretches stage service times on oversubscribed FPGAs),
+* exercise allocations end-to-end in the examples, standing in for the AWS F1
+  runs of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.solution import AllocationSolution
+from .dram import BandwidthContentionModel
+from .engine import EventQueue
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Simulated timing of one pipeline stage."""
+
+    kernel: str
+    service_time_ms: float
+    slowdown: float
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating a number of images through the pipeline."""
+
+    images: int
+    measured_ii_ms: float
+    analytic_ii_ms: float
+    pipeline_latency_ms: float
+    makespan_ms: float
+    throughput_per_second: float
+    stage_timings: tuple[StageTiming, ...]
+    completion_times_ms: tuple[float, ...] = field(repr=False, default=())
+
+    @property
+    def ii_error(self) -> float:
+        """Relative difference between measured and analytic II."""
+        if self.analytic_ii_ms <= 0:
+            return 0.0
+        return abs(self.measured_ii_ms - self.analytic_ii_ms) / self.analytic_ii_ms
+
+
+class PipelineSimulator:
+    """Simulate the host-orchestrated kernel pipeline of the paper.
+
+    Each kernel stage processes one image at a time: all its CUs work jointly
+    on the image, so the per-image service time is ``WCET_k / N_k`` (scaled by
+    the DRAM contention factor of the FPGAs hosting the CUs).  Stages are
+    connected by host-managed DRAM buffers with the given depth (1 reproduces
+    a strict pipeline; larger depths model multi-buffering).
+    """
+
+    def __init__(
+        self,
+        solution: AllocationSolution,
+        contention: BandwidthContentionModel | None = None,
+        buffer_depth: int = 1,
+    ):
+        if buffer_depth < 1:
+            raise ValueError("buffer_depth must be >= 1")
+        self.solution = solution
+        self.problem = solution.problem
+        self.contention = contention or BandwidthContentionModel.from_solution(solution)
+        self.buffer_depth = buffer_depth
+        self._stage_names = list(self.problem.kernel_names)
+        self._service_times = {
+            name: solution.execution_time(name) * self.contention.kernel_slowdown(name)
+            for name in self._stage_names
+        }
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def simulate(self, images: int = 64, warmup: int = 8) -> SimulationResult:
+        """Push ``images`` images through the pipeline and measure timing."""
+        if images < 1:
+            raise ValueError("images must be >= 1")
+        if warmup < 0 or warmup >= images:
+            warmup = max(0, images // 4)
+
+        queue = EventQueue()
+        num_stages = len(self._stage_names)
+        stage_free_at = [0.0] * num_stages
+        stage_done: list[dict[int, float]] = [dict() for _ in range(num_stages)]
+        completion: dict[int, float] = {}
+        start_times: dict[int, float] = {}
+
+        def schedule_stage(stage_index: int, image_index: int, ready_time: float) -> None:
+            """Start an image on a stage as soon as the stage and input are ready."""
+            service = self._service_times[self._stage_names[stage_index]]
+            # Back-pressure: with finite buffering a stage cannot run more than
+            # buffer_depth images ahead of its successor's completions.
+            start = max(ready_time, stage_free_at[stage_index])
+            if stage_index + 1 < num_stages:
+                gate_image = image_index - self.buffer_depth
+                if gate_image >= 0:
+                    downstream_done = stage_done[stage_index + 1].get(gate_image)
+                    if downstream_done is not None:
+                        start = max(start, downstream_done)
+            stage_free_at[stage_index] = start + service
+
+            def complete() -> None:
+                stage_done[stage_index][image_index] = queue.now
+                if stage_index == 0:
+                    start_times.setdefault(image_index, queue.now - service)
+                if stage_index + 1 < num_stages:
+                    schedule_stage(stage_index + 1, image_index, queue.now)
+                else:
+                    completion[image_index] = queue.now
+
+            queue.schedule_at(start + service, complete)
+
+        for image_index in range(images):
+            schedule_stage(0, image_index, 0.0)
+        queue.run()
+
+        completions = [completion[i] for i in range(images)]
+        measured_ii = self._steady_state_ii(completions, warmup)
+        first_latency = completions[0]
+        analytic_ii = self.solution.initiation_interval
+        makespan = completions[-1]
+        throughput = 1000.0 * (images - warmup) / (completions[-1] - completions[warmup - 1]) if warmup else (
+            1000.0 * images / makespan
+        )
+        timings = tuple(
+            StageTiming(
+                kernel=name,
+                service_time_ms=self._service_times[name],
+                slowdown=self.contention.kernel_slowdown(name),
+            )
+            for name in self._stage_names
+        )
+        return SimulationResult(
+            images=images,
+            measured_ii_ms=measured_ii,
+            analytic_ii_ms=analytic_ii,
+            pipeline_latency_ms=first_latency,
+            makespan_ms=makespan,
+            throughput_per_second=throughput,
+            stage_timings=timings,
+            completion_times_ms=tuple(completions),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _steady_state_ii(completions: list[float], warmup: int) -> float:
+        """Average inter-completion gap after the warm-up images."""
+        if len(completions) < 2:
+            return completions[0] if completions else 0.0
+        usable = completions[warmup:] if warmup < len(completions) - 1 else completions
+        if len(usable) < 2:
+            usable = completions
+        gaps = [b - a for a, b in zip(usable, usable[1:])]
+        return sum(gaps) / len(gaps)
+
+
+def simulate_allocation(
+    solution: AllocationSolution, images: int = 64, buffer_depth: int = 1
+) -> SimulationResult:
+    """Convenience wrapper: simulate an allocation with default settings."""
+    return PipelineSimulator(solution, buffer_depth=buffer_depth).simulate(images=images)

@@ -1,0 +1,50 @@
+"""Workload models: kernels, pipelines, CNN characterisations and generators."""
+
+from .alexnet import (
+    ALEX16_EXPECTED_SUM,
+    ALEX16_TABLE,
+    ALEX32_EXPECTED_SUM,
+    ALEX32_TABLE,
+    alexnet_fp32,
+    alexnet_fx16,
+)
+from .cnn_layers import (
+    ConvLayer,
+    Layer,
+    LayerType,
+    NormLayer,
+    PoolLayer,
+    alexnet_layers,
+    total_macs,
+    vgg16_layers,
+)
+from .kernel import Kernel
+from .pipeline import Pipeline
+from .synthetic import SyntheticSpec, cnn_like_pipeline, random_pipeline, scaled_pipeline
+from .vgg import VGG16_EXPECTED_SUM, VGG16_TABLE, vgg16_fx16
+
+__all__ = [
+    "ALEX16_EXPECTED_SUM",
+    "ALEX16_TABLE",
+    "ALEX32_EXPECTED_SUM",
+    "ALEX32_TABLE",
+    "ConvLayer",
+    "Kernel",
+    "Layer",
+    "LayerType",
+    "NormLayer",
+    "Pipeline",
+    "PoolLayer",
+    "SyntheticSpec",
+    "VGG16_EXPECTED_SUM",
+    "VGG16_TABLE",
+    "alexnet_fp32",
+    "alexnet_fx16",
+    "alexnet_layers",
+    "cnn_like_pipeline",
+    "random_pipeline",
+    "scaled_pipeline",
+    "total_macs",
+    "vgg16_fx16",
+    "vgg16_layers",
+]

@@ -1,0 +1,77 @@
+"""AlexNet workloads (Table 2 of the paper).
+
+The paper characterises two AlexNet variants on one AWS F1 FPGA:
+
+* **Alex-32** -- 32-bit floating point kernels,
+* **Alex-16** -- 16-bit fixed point kernels.
+
+Each row of Table 2 gives the BRAM %, DSP %, DRAM bandwidth % and WCET (ms)
+of one compute unit of the kernel.  Max-pooling layers POOL2 and POOL5 are
+merged into the preceding convolution (footnote 1 of the paper); the fully
+connected layers are not implemented.  LUT/FF usage is not reported in the
+paper ("these resources are much more critical"), so it defaults to zero and
+DSP/BRAM remain the binding constraints, exactly as in the original
+experiments.
+"""
+
+from __future__ import annotations
+
+from ..platform.resources import ResourceVector
+from .kernel import Kernel
+from .pipeline import Pipeline
+
+#: Table 2, Alex-32 columns: (name, BRAM %, DSP %, BW %, WCET ms).
+ALEX32_TABLE: tuple[tuple[str, float, float, float, float], ...] = (
+    ("CONV1", 13.07, 21.24, 1.3, 13.0),
+    ("POOL1", 2.84, 0.0, 7.03, 1.78),
+    ("NORM1", 6.10, 2.11, 5.7, 0.839),
+    ("CONV2", 8.73, 37.59, 2.4, 7.19),
+    ("NORM2", 7.75, 2.11, 3.7, 0.807),
+    ("CONV3", 5.22, 28.13, 5.0, 7.78),
+    ("CONV4", 2.13, 37.50, 3.7, 9.08),
+    ("CONV5", 8.73, 37.50, 4.2, 4.84),
+)
+
+#: Table 2, Alex-16 columns: (name, BRAM %, DSP %, BW %, WCET ms).
+ALEX16_TABLE: tuple[tuple[str, float, float, float, float], ...] = (
+    ("CONV1", 10.59, 4.31, 1.8, 5.16),
+    ("POOL1", 0.05, 0.0, 3.5, 1.78),
+    ("NORM1", 2.53, 0.06, 3.1, 0.78),
+    ("CONV2", 4.39, 7.63, 2.1, 4.11),
+    ("NORM2", 6.66, 0.06, 2.2, 0.67),
+    ("CONV3", 2.63, 5.66, 2.9, 6.70),
+    ("CONV4", 1.91, 7.55, 3.2, 5.06),
+    ("CONV5", 4.39, 7.55, 3.1, 3.29),
+)
+
+
+def _pipeline_from_table(
+    name: str, table: tuple[tuple[str, float, float, float, float], ...]
+) -> Pipeline:
+    """Build a :class:`Pipeline` from a (name, bram, dsp, bw, wcet) table."""
+    kernels = [
+        Kernel(
+            name=kernel_name,
+            resources=ResourceVector(bram=bram, dsp=dsp),
+            bandwidth=bandwidth,
+            wcet_ms=wcet,
+        )
+        for kernel_name, bram, dsp, bandwidth, wcet in table
+    ]
+    return Pipeline(name=name, kernels=kernels)
+
+
+def alexnet_fp32() -> Pipeline:
+    """AlexNet, 32-bit floating point kernels (Alex-32, Table 2 left half)."""
+    return _pipeline_from_table("alex-32", ALEX32_TABLE)
+
+
+def alexnet_fx16() -> Pipeline:
+    """AlexNet, 16-bit fixed point kernels (Alex-16, Table 2 right half)."""
+    return _pipeline_from_table("alex-16", ALEX16_TABLE)
+
+
+#: Expected aggregate values, used by tests to cross-check the tables against
+#: the "SUM" row printed in the paper.
+ALEX32_EXPECTED_SUM = {"bram": 54.57, "dsp": 166.18, "bw": 33.1, "wcet": 45.32}
+ALEX16_EXPECTED_SUM = {"bram": 33.15, "dsp": 32.82, "bw": 21.9, "wcet": 27.55}

@@ -1,0 +1,210 @@
+"""CNN layer geometry.
+
+The paper's flow starts "from CNN models which have already been partitioned
+into kernels and individually optimized for FPGA implementation" -- each
+convolutional / pooling / normalisation layer becomes one kernel.  This
+module records the layer shapes of AlexNet and VGG-16 so that the HLS cost
+model (:mod:`repro.hls`) can derive a synthetic characterisation (resource %,
+bandwidth %, WCET) for arbitrary networks, which is the offline substitute
+for profiling CU variants on an AWS F1 instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+
+class LayerType(Enum):
+    """Kind of CNN layer mapped to a kernel."""
+
+    CONVOLUTION = "conv"
+    POOLING = "pool"
+    NORMALIZATION = "norm"
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """Geometry of one convolutional layer.
+
+    All dimensions follow the usual CNN convention: ``in_channels`` input
+    feature maps of size ``in_size x in_size`` are convolved with
+    ``out_channels`` filters of size ``kernel_size x kernel_size`` using the
+    given ``stride`` and ``padding``.
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    in_size: int
+    kernel_size: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        for attr in ("in_channels", "out_channels", "in_size", "kernel_size", "stride", "groups"):
+            if getattr(self, attr) < 1:
+                raise ValueError(f"{attr} must be >= 1")
+        if self.padding < 0:
+            raise ValueError("padding must be >= 0")
+
+    @property
+    def layer_type(self) -> LayerType:
+        return LayerType.CONVOLUTION
+
+    @property
+    def out_size(self) -> int:
+        """Spatial size of the output feature maps."""
+        return (self.in_size + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations for one inference of this layer."""
+        per_output = self.kernel_size**2 * self.in_channels // self.groups
+        return per_output * self.out_channels * self.out_size**2
+
+    @property
+    def weight_count(self) -> int:
+        """Number of weights (excluding biases)."""
+        return self.kernel_size**2 * self.in_channels * self.out_channels // self.groups
+
+    @property
+    def input_elements(self) -> int:
+        return self.in_channels * self.in_size**2
+
+    @property
+    def output_elements(self) -> int:
+        return self.out_channels * self.out_size**2
+
+
+@dataclass(frozen=True)
+class PoolLayer:
+    """Geometry of one pooling layer (max or average)."""
+
+    name: str
+    channels: int
+    in_size: int
+    kernel_size: int
+    stride: int
+
+    def __post_init__(self) -> None:
+        for attr in ("channels", "in_size", "kernel_size", "stride"):
+            if getattr(self, attr) < 1:
+                raise ValueError(f"{attr} must be >= 1")
+
+    @property
+    def layer_type(self) -> LayerType:
+        return LayerType.POOLING
+
+    @property
+    def out_size(self) -> int:
+        return (self.in_size - self.kernel_size) // self.stride + 1
+
+    @property
+    def macs(self) -> int:
+        """Comparison/accumulate operations, counted like MACs for costing."""
+        return self.kernel_size**2 * self.channels * self.out_size**2
+
+    @property
+    def input_elements(self) -> int:
+        return self.channels * self.in_size**2
+
+    @property
+    def output_elements(self) -> int:
+        return self.channels * self.out_size**2
+
+    @property
+    def weight_count(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class NormLayer:
+    """Geometry of a local response normalisation layer (AlexNet-style)."""
+
+    name: str
+    channels: int
+    in_size: int
+    window: int = 5
+
+    def __post_init__(self) -> None:
+        for attr in ("channels", "in_size", "window"):
+            if getattr(self, attr) < 1:
+                raise ValueError(f"{attr} must be >= 1")
+
+    @property
+    def layer_type(self) -> LayerType:
+        return LayerType.NORMALIZATION
+
+    @property
+    def out_size(self) -> int:
+        return self.in_size
+
+    @property
+    def macs(self) -> int:
+        return self.window * self.channels * self.in_size**2
+
+    @property
+    def input_elements(self) -> int:
+        return self.channels * self.in_size**2
+
+    @property
+    def output_elements(self) -> int:
+        return self.channels * self.in_size**2
+
+    @property
+    def weight_count(self) -> int:
+        return 0
+
+
+Layer = ConvLayer | PoolLayer | NormLayer
+
+
+def alexnet_layers() -> tuple[Layer, ...]:
+    """AlexNet feature-extraction layers, with POOL2/POOL5 merged into the
+    preceding convolutions as in the paper (footnote 1)."""
+    return (
+        ConvLayer("CONV1", in_channels=3, out_channels=96, in_size=227, kernel_size=11, stride=4),
+        PoolLayer("POOL1", channels=96, in_size=55, kernel_size=3, stride=2),
+        NormLayer("NORM1", channels=96, in_size=27),
+        ConvLayer("CONV2", in_channels=96, out_channels=256, in_size=27, kernel_size=5, padding=2, groups=2),
+        NormLayer("NORM2", channels=256, in_size=27),
+        ConvLayer("CONV3", in_channels=256, out_channels=384, in_size=13, kernel_size=3, padding=1),
+        ConvLayer("CONV4", in_channels=384, out_channels=384, in_size=13, kernel_size=3, padding=1, groups=2),
+        ConvLayer("CONV5", in_channels=384, out_channels=256, in_size=13, kernel_size=3, padding=1, groups=2),
+    )
+
+
+def vgg16_layers() -> tuple[Layer, ...]:
+    """VGG-16 convolutional and pooling layers as kernelised in the paper.
+
+    Pooling layers 1, 3 and 5 are merged with the preceding convolution
+    (which is why only POOL2, POOL4, POOL7 and POOL10 appear in Table 3);
+    fully connected layers are not implemented.
+    """
+    return (
+        ConvLayer("CONV1", in_channels=3, out_channels=64, in_size=224, kernel_size=3, padding=1),
+        ConvLayer("CONV2", in_channels=64, out_channels=64, in_size=224, kernel_size=3, padding=1),
+        PoolLayer("POOL2", channels=64, in_size=224, kernel_size=2, stride=2),
+        ConvLayer("CONV3", in_channels=64, out_channels=128, in_size=112, kernel_size=3, padding=1),
+        ConvLayer("CONV4", in_channels=128, out_channels=128, in_size=112, kernel_size=3, padding=1),
+        PoolLayer("POOL4", channels=128, in_size=112, kernel_size=2, stride=2),
+        ConvLayer("CONV5", in_channels=128, out_channels=256, in_size=56, kernel_size=3, padding=1),
+        ConvLayer("CONV6", in_channels=256, out_channels=256, in_size=56, kernel_size=3, padding=1),
+        ConvLayer("CONV7", in_channels=256, out_channels=256, in_size=56, kernel_size=3, padding=1),
+        PoolLayer("POOL7", channels=256, in_size=56, kernel_size=2, stride=2),
+        ConvLayer("CONV8", in_channels=256, out_channels=512, in_size=28, kernel_size=3, padding=1),
+        ConvLayer("CONV9", in_channels=512, out_channels=512, in_size=28, kernel_size=3, padding=1),
+        ConvLayer("CONV10", in_channels=512, out_channels=512, in_size=28, kernel_size=3, padding=1),
+        PoolLayer("POOL10", channels=512, in_size=28, kernel_size=2, stride=2),
+        ConvLayer("CONV11", in_channels=512, out_channels=512, in_size=14, kernel_size=3, padding=1),
+        ConvLayer("CONV12", in_channels=512, out_channels=512, in_size=14, kernel_size=3, padding=1),
+        ConvLayer("CONV13", in_channels=512, out_channels=512, in_size=14, kernel_size=3, padding=1),
+    )
+
+
+def total_macs(layers: Iterable[Layer]) -> int:
+    """Total multiply-accumulate count of a layer sequence."""
+    return sum(layer.macs for layer in layers)

@@ -1,0 +1,119 @@
+"""Kernel model.
+
+A *kernel* is one stage of the application's task-level pipeline (one CNN
+layer, or a fused group of layers).  The optimisation model only needs its
+single-CU characterisation: the FPGA resources one compute unit consumes
+(``Rk``), the DRAM bandwidth it consumes (``Bk``) and its worst-case execution
+time with one CU (``WCETk``).  These are exactly the columns of Tables 2 and 3
+in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..platform.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """Single-CU characterisation of one pipeline kernel.
+
+    Parameters
+    ----------
+    name:
+        Kernel name (e.g. ``"CONV1"``).
+    resources:
+        Resources used by one compute unit of this kernel, percent of one
+        FPGA (``Rk``).
+    bandwidth:
+        DRAM bandwidth used by one compute unit, percent of one FPGA's
+        bandwidth (``Bk``).
+    wcet_ms:
+        Worst-case execution time of the kernel with a single CU, in
+        milliseconds (``WCETk``).
+    max_cus:
+        Optional upper bound on the number of CUs that make sense for this
+        kernel (e.g. limited by the amount of exploitable data parallelism).
+        ``None`` means unbounded.
+    """
+
+    name: str
+    resources: ResourceVector
+    bandwidth: float
+    wcet_ms: float
+    max_cus: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("kernel name must be non-empty")
+        if self.bandwidth < 0 or not math.isfinite(self.bandwidth):
+            raise ValueError(f"bandwidth must be finite and >= 0, got {self.bandwidth}")
+        if self.wcet_ms <= 0 or not math.isfinite(self.wcet_ms):
+            raise ValueError(f"wcet_ms must be finite and > 0, got {self.wcet_ms}")
+        if self.max_cus is not None and self.max_cus < 1:
+            raise ValueError("max_cus must be >= 1 when given")
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities used by the optimisation model
+    # ------------------------------------------------------------------ #
+    def execution_time(self, num_cus: float) -> float:
+        """Execution time with ``num_cus`` compute units (eq. 1 of the paper).
+
+        The model assumes perfect CU-level scaling: ``ET = WCET / N``.
+        ``num_cus`` may be fractional during the GP relaxation.
+        """
+        if num_cus <= 0:
+            raise ValueError("num_cus must be positive")
+        return self.wcet_ms / num_cus
+
+    def cus_for_latency(self, latency_ms: float) -> float:
+        """Minimum (fractional) CU count achieving ``latency_ms`` or better."""
+        if latency_ms <= 0:
+            raise ValueError("latency_ms must be positive")
+        return self.wcet_ms / latency_ms
+
+    def resource_demand(self, num_cus: float) -> ResourceVector:
+        """Total resources consumed by ``num_cus`` CUs of this kernel."""
+        if num_cus < 0:
+            raise ValueError("num_cus must be non-negative")
+        return self.resources * num_cus
+
+    def bandwidth_demand(self, num_cus: float) -> float:
+        """Total DRAM bandwidth consumed by ``num_cus`` CUs of this kernel."""
+        if num_cus < 0:
+            raise ValueError("num_cus must be non-negative")
+        return self.bandwidth * num_cus
+
+    def max_cus_per_fpga(self, capacity: ResourceVector, bandwidth_capacity: float) -> int:
+        """Largest integer CU count of this kernel that fits in one FPGA."""
+        limit = math.inf
+        for kind, usage in self.resources:
+            if usage > 0:
+                limit = min(limit, capacity[kind] / usage)
+        if self.bandwidth > 0:
+            limit = min(limit, bandwidth_capacity / self.bandwidth)
+        if math.isinf(limit):
+            return self.max_cus if self.max_cus is not None else 10**9
+        count = int(math.floor(limit + 1e-9))
+        if self.max_cus is not None:
+            count = min(count, self.max_cus)
+        return max(0, count)
+
+    def with_scaled_wcet(self, factor: float) -> "Kernel":
+        """Return a copy with the WCET scaled by ``factor`` (>0)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return replace(self, wcet_ms=self.wcet_ms * factor)
+
+    def critical_resource(self) -> str:
+        """Name of this kernel's most demanded resource kind."""
+        return self.resources.max_kind()
+
+    def __str__(self) -> str:
+        return (
+            f"Kernel({self.name}: R={self.resources.max_component():.2f}% "
+            f"[{self.critical_resource()}], B={self.bandwidth:.2f}%, "
+            f"WCET={self.wcet_ms:.3f} ms)"
+        )

@@ -1,0 +1,170 @@
+"""Linear kernel pipeline (the application model of the paper).
+
+An application is a set ``K`` of kernels organised in a linear pipeline
+(Section 3).  Kernels communicate through DRAM buffers orchestrated by the
+host; application throughput is the inverse of the initiation interval,
+``II = max_k ET_k``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..platform.resources import ResourceVector, sum_resources
+from .kernel import Kernel
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """A linear task-level pipeline of kernels.
+
+    Parameters
+    ----------
+    name:
+        Application name (e.g. ``"alexnet-16"``).
+    kernels:
+        Pipeline stages in execution order.  Names must be unique: the
+        optimisation variables are indexed by kernel name.
+    """
+
+    name: str
+    kernels: tuple[Kernel, ...] = field(default_factory=tuple)
+
+    def __init__(self, name: str, kernels: Iterable[Kernel]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "kernels", tuple(kernels))
+        if not self.name:
+            raise ValueError("pipeline name must be non-empty")
+        if not self.kernels:
+            raise ValueError("a pipeline needs at least one kernel")
+        names = [kernel.name for kernel in self.kernels]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate kernel names: {sorted(duplicates)}")
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    def __iter__(self) -> Iterator[Kernel]:
+        return iter(self.kernels)
+
+    def __getitem__(self, key: int | str) -> Kernel:
+        if isinstance(key, int):
+            return self.kernels[key]
+        for kernel in self.kernels:
+            if kernel.name == key:
+                return kernel
+        raise KeyError(key)
+
+    def __contains__(self, name: object) -> bool:
+        return any(kernel.name == name for kernel in self.kernels)
+
+    @property
+    def kernel_names(self) -> tuple[str, ...]:
+        """Names of the kernels, in pipeline order."""
+        return tuple(kernel.name for kernel in self.kernels)
+
+    def index_of(self, name: str) -> int:
+        """Return the pipeline position of kernel ``name``."""
+        for index, kernel in enumerate(self.kernels):
+            if kernel.name == name:
+                return index
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------ #
+    # Aggregate characterisation (the "SUM" rows of Tables 2-3)
+    # ------------------------------------------------------------------ #
+    def total_resources(self) -> ResourceVector:
+        """Sum of single-CU resources over all kernels."""
+        return sum_resources(kernel.resources for kernel in self.kernels)
+
+    def total_bandwidth(self) -> float:
+        """Sum of single-CU bandwidth over all kernels."""
+        return sum(kernel.bandwidth for kernel in self.kernels)
+
+    def total_wcet_ms(self) -> float:
+        """Sum of the single-CU WCETs (the single-CU pipeline latency)."""
+        return sum(kernel.wcet_ms for kernel in self.kernels)
+
+    # ------------------------------------------------------------------ #
+    # Performance model (eqs. 1-2)
+    # ------------------------------------------------------------------ #
+    def initiation_interval(self, cu_counts: Mapping[str, float]) -> float:
+        """Initiation interval for the given (possibly fractional) CU counts.
+
+        ``II = max_k WCET_k / N_k``.  Every kernel must be present with a
+        strictly positive count.
+        """
+        ii = 0.0
+        for kernel in self.kernels:
+            if kernel.name not in cu_counts:
+                raise KeyError(f"missing CU count for kernel {kernel.name!r}")
+            ii = max(ii, kernel.execution_time(cu_counts[kernel.name]))
+        return ii
+
+    def throughput(self, cu_counts: Mapping[str, float]) -> float:
+        """Steady-state throughput in items per second (1000 / II[ms])."""
+        ii = self.initiation_interval(cu_counts)
+        if ii <= 0:
+            return math.inf
+        return 1000.0 / ii
+
+    def bottleneck_kernel(self, cu_counts: Mapping[str, float]) -> Kernel:
+        """The kernel whose execution time determines the II."""
+        return max(self.kernels, key=lambda k: k.execution_time(cu_counts[k.name]))
+
+    def min_feasible_ii(self, total_resources: ResourceVector, total_bandwidth: float) -> float:
+        """Lower bound on II imposed by the aggregate platform capacity.
+
+        With every kernel perfectly parallelised, the total amount of work
+        that fits on the platform bounds the II from below:
+        ``II >= sum_k WCET_k * r_k / capacity`` per resource kind (and per the
+        bandwidth dimension), a standard work-conservation argument.
+        """
+        bound = 0.0
+        totals = total_resources.as_dict()
+        for kind, capacity in totals.items():
+            if capacity <= 0:
+                continue
+            work = sum(kernel.wcet_ms * kernel.resources[kind] for kernel in self.kernels)
+            bound = max(bound, work / capacity)
+        if total_bandwidth > 0:
+            work = sum(kernel.wcet_ms * kernel.bandwidth for kernel in self.kernels)
+            bound = max(bound, work / total_bandwidth)
+        return bound
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def subset(self, names: Sequence[str]) -> "Pipeline":
+        """Return a new pipeline containing only the named kernels (in order)."""
+        missing = [name for name in names if name not in self]
+        if missing:
+            raise KeyError(f"kernels not in pipeline: {missing}")
+        kept = [kernel for kernel in self.kernels if kernel.name in set(names)]
+        return Pipeline(name=f"{self.name}-subset", kernels=kept)
+
+    def renamed(self, name: str) -> "Pipeline":
+        """Return a copy of the pipeline with a different name."""
+        return Pipeline(name=name, kernels=self.kernels)
+
+    def describe(self) -> str:
+        """Multi-line human readable summary (mirrors Tables 2-3)."""
+        lines = [f"Pipeline {self.name!r} with {len(self)} kernels:"]
+        for kernel in self.kernels:
+            lines.append(
+                f"  {kernel.name:<10s} BRAM={kernel.resources.bram:6.2f}% "
+                f"DSP={kernel.resources.dsp:6.2f}% BW={kernel.bandwidth:5.2f}% "
+                f"WCET={kernel.wcet_ms:8.3f} ms"
+            )
+        totals = self.total_resources()
+        lines.append(
+            f"  {'SUM':<10s} BRAM={totals.bram:6.2f}% DSP={totals.dsp:6.2f}% "
+            f"BW={self.total_bandwidth():5.2f}% WCET={self.total_wcet_ms():8.3f} ms"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""JSON serialisation of workloads and allocation results.
+
+The paper's flow starts from kernels that were characterised elsewhere (HLS
+reports, on-board profiling).  In practice those characterisations live in
+files, so the library can read and write pipelines — and solved allocations —
+as plain JSON.  The format is deliberately flat and versioned so it can be
+produced by simple scripts around vendor tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..platform.resources import ResourceVector
+from .kernel import Kernel
+from .pipeline import Pipeline
+
+#: Format version written into every file; bump on incompatible changes.
+FORMAT_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """Raised when a document cannot be interpreted as a pipeline/allocation."""
+
+
+# --------------------------------------------------------------------------- #
+# Pipelines
+# --------------------------------------------------------------------------- #
+def kernel_to_dict(kernel: Kernel) -> dict[str, Any]:
+    """Convert one kernel to a JSON-compatible dictionary."""
+    payload: dict[str, Any] = {
+        "name": kernel.name,
+        "resources": kernel.resources.as_dict(),
+        "bandwidth_percent": kernel.bandwidth,
+        "wcet_ms": kernel.wcet_ms,
+    }
+    if kernel.max_cus is not None:
+        payload["max_cus"] = kernel.max_cus
+    return payload
+
+
+def kernel_from_dict(payload: Mapping[str, Any]) -> Kernel:
+    """Build a kernel from a dictionary produced by :func:`kernel_to_dict`."""
+    try:
+        return Kernel(
+            name=str(payload["name"]),
+            resources=ResourceVector.from_mapping(dict(payload.get("resources", {}))),
+            bandwidth=float(payload.get("bandwidth_percent", 0.0)),
+            wcet_ms=float(payload["wcet_ms"]),
+            max_cus=int(payload["max_cus"]) if "max_cus" in payload else None,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"invalid kernel record: {error}") from error
+
+
+def pipeline_to_dict(pipeline: Pipeline) -> dict[str, Any]:
+    """Convert a pipeline to a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": pipeline.name,
+        "kernels": [kernel_to_dict(kernel) for kernel in pipeline],
+    }
+
+
+def pipeline_from_dict(payload: Mapping[str, Any]) -> Pipeline:
+    """Build a pipeline from a dictionary produced by :func:`pipeline_to_dict`."""
+    version = payload.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise SerializationError(f"unsupported format_version {version!r}")
+    kernels = payload.get("kernels")
+    if not isinstance(kernels, list) or not kernels:
+        raise SerializationError("a pipeline document needs a non-empty 'kernels' list")
+    try:
+        name = str(payload["name"])
+    except KeyError as error:
+        raise SerializationError("a pipeline document needs a 'name'") from error
+    return Pipeline(name=name, kernels=[kernel_from_dict(entry) for entry in kernels])
+
+
+def save_pipeline(pipeline: Pipeline, path: str | Path) -> Path:
+    """Write a pipeline to a JSON file and return its path."""
+    path = Path(path)
+    path.write_text(json.dumps(pipeline_to_dict(pipeline), indent=2) + "\n")
+    return path
+
+
+def load_pipeline(path: str | Path) -> Pipeline:
+    """Read a pipeline from a JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"not valid JSON: {error}") from error
+    return pipeline_from_dict(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Allocations
+# --------------------------------------------------------------------------- #
+def allocation_to_dict(counts: Mapping[str, tuple[int, ...]], pipeline_name: str) -> dict[str, Any]:
+    """Serialise per-FPGA CU counts (as produced by AllocationSolution.counts)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "pipeline": pipeline_name,
+        "counts": {name: list(per_fpga) for name, per_fpga in counts.items()},
+    }
+
+
+def allocation_from_dict(payload: Mapping[str, Any]) -> dict[str, tuple[int, ...]]:
+    """Deserialise per-FPGA CU counts."""
+    counts = payload.get("counts")
+    if not isinstance(counts, Mapping) or not counts:
+        raise SerializationError("an allocation document needs a non-empty 'counts' mapping")
+    result: dict[str, tuple[int, ...]] = {}
+    for name, per_fpga in counts.items():
+        if not isinstance(per_fpga, (list, tuple)) or not per_fpga:
+            raise SerializationError(f"kernel {name!r} has an invalid per-FPGA list")
+        try:
+            result[str(name)] = tuple(int(value) for value in per_fpga)
+        except (TypeError, ValueError) as error:
+            raise SerializationError(f"kernel {name!r} has non-integer counts") from error
+    return result
+
+
+def save_allocation(
+    counts: Mapping[str, tuple[int, ...]], pipeline_name: str, path: str | Path
+) -> Path:
+    """Write an allocation to a JSON file and return its path."""
+    path = Path(path)
+    path.write_text(json.dumps(allocation_to_dict(counts, pipeline_name), indent=2) + "\n")
+    return path
+
+
+def load_allocation(path: str | Path) -> dict[str, tuple[int, ...]]:
+    """Read an allocation from a JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"not valid JSON: {error}") from error
+    return allocation_from_dict(payload)

@@ -1,0 +1,162 @@
+"""Synthetic pipeline generators.
+
+The paper's algorithms "do not depend at all on the considered networks"; the
+CNNs are only illustrative.  For testing, property-based checks and scaling
+benchmarks we generate random linear pipelines with controllable size and
+tightness.  The generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..platform.resources import ResourceVector
+from .kernel import Kernel
+from .pipeline import Pipeline
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of a random pipeline.
+
+    Parameters
+    ----------
+    num_kernels:
+        Number of pipeline stages.
+    min_wcet_ms, max_wcet_ms:
+        Range of the per-kernel single-CU worst-case execution times.
+    min_resource, max_resource:
+        Range (percent of one FPGA) of each kernel's dominant resource usage.
+    min_bandwidth, max_bandwidth:
+        Range (percent) of each kernel's per-CU bandwidth usage.
+    heavy_fraction:
+        Fraction of kernels that are "heavy" (resource usage drawn from the
+        top quarter of the resource range), mimicking the convolutional
+        layers that dominate Tables 2-3.
+    """
+
+    num_kernels: int = 8
+    min_wcet_ms: float = 0.5
+    max_wcet_ms: float = 50.0
+    min_resource: float = 0.5
+    max_resource: float = 40.0
+    min_bandwidth: float = 0.5
+    max_bandwidth: float = 8.0
+    heavy_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_kernels < 1:
+            raise ValueError("num_kernels must be >= 1")
+        if self.min_wcet_ms <= 0 or self.max_wcet_ms < self.min_wcet_ms:
+            raise ValueError("invalid WCET range")
+        if self.min_resource <= 0 or self.max_resource < self.min_resource:
+            raise ValueError("invalid resource range")
+        if self.min_bandwidth < 0 or self.max_bandwidth < self.min_bandwidth:
+            raise ValueError("invalid bandwidth range")
+        if not 0.0 <= self.heavy_fraction <= 1.0:
+            raise ValueError("heavy_fraction must be in [0, 1]")
+
+
+def random_pipeline(spec: SyntheticSpec = SyntheticSpec(), seed: int = 0) -> Pipeline:
+    """Generate a random linear pipeline according to ``spec``.
+
+    The same ``(spec, seed)`` pair always yields the same pipeline.
+    """
+    rng = random.Random(seed)
+    kernels: list[Kernel] = []
+    heavy_cutoff = spec.min_resource + 0.75 * (spec.max_resource - spec.min_resource)
+    for index in range(spec.num_kernels):
+        heavy = rng.random() < spec.heavy_fraction
+        if heavy:
+            dsp = rng.uniform(heavy_cutoff, spec.max_resource)
+            bram = rng.uniform(spec.min_resource, heavy_cutoff)
+        else:
+            dsp = rng.uniform(spec.min_resource, heavy_cutoff)
+            bram = rng.uniform(spec.min_resource, spec.max_resource * 0.4)
+        kernels.append(
+            Kernel(
+                name=f"K{index + 1}",
+                resources=ResourceVector(bram=bram, dsp=dsp),
+                bandwidth=rng.uniform(spec.min_bandwidth, spec.max_bandwidth),
+                wcet_ms=rng.uniform(spec.min_wcet_ms, spec.max_wcet_ms),
+            )
+        )
+    return Pipeline(name=f"synthetic-{spec.num_kernels}k-seed{seed}", kernels=kernels)
+
+
+def cnn_like_pipeline(num_conv: int = 10, num_pool: int = 3, seed: int = 0) -> Pipeline:
+    """Generate a pipeline that statistically resembles a CNN (Tables 2-3).
+
+    Convolutional kernels are DSP-heavy with moderate bandwidth; pooling
+    kernels use almost no DSP but relatively high bandwidth, as in the paper's
+    characterisation tables.  Pool layers are interleaved roughly evenly among
+    the convolution layers.
+    """
+    if num_conv < 1:
+        raise ValueError("num_conv must be >= 1")
+    if num_pool < 0:
+        raise ValueError("num_pool must be >= 0")
+    rng = random.Random(seed)
+    kernels: list[Kernel] = []
+    pool_positions = set()
+    if num_pool:
+        stride = max(1, num_conv // (num_pool + 1))
+        pool_positions = {stride * (i + 1) for i in range(num_pool)}
+    conv_index = 0
+    pool_index = 0
+    for position in range(num_conv + num_pool):
+        if position in pool_positions and pool_index < num_pool:
+            pool_index += 1
+            kernels.append(
+                Kernel(
+                    name=f"POOL{pool_index}",
+                    resources=ResourceVector(bram=rng.uniform(0.05, 12.0), dsp=rng.uniform(0.0, 0.1)),
+                    bandwidth=rng.uniform(3.5, 7.0),
+                    wcet_ms=rng.uniform(1.5, 14.0),
+                )
+            )
+        else:
+            conv_index += 1
+            kernels.append(
+                Kernel(
+                    name=f"CONV{conv_index}",
+                    resources=ResourceVector(bram=rng.uniform(1.9, 13.1), dsp=rng.uniform(3.0, 38.0)),
+                    bandwidth=rng.uniform(1.3, 5.0),
+                    wcet_ms=rng.uniform(3.0, 70.0),
+                )
+            )
+    # Ensure we emitted exactly num_conv CONV kernels even if positions collided.
+    while conv_index < num_conv:
+        conv_index += 1
+        kernels.append(
+            Kernel(
+                name=f"CONV{conv_index}",
+                resources=ResourceVector(bram=rng.uniform(1.9, 13.1), dsp=rng.uniform(3.0, 38.0)),
+                bandwidth=rng.uniform(1.3, 5.0),
+                wcet_ms=rng.uniform(3.0, 70.0),
+            )
+        )
+    return Pipeline(name=f"cnn-like-{num_conv}c{num_pool}p-seed{seed}", kernels=kernels)
+
+
+def scaled_pipeline(base: Pipeline, repetitions: int) -> Pipeline:
+    """Tile a pipeline ``repetitions`` times (for scaling benchmarks).
+
+    Kernel names are suffixed with the repetition index to keep them unique.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    kernels: list[Kernel] = []
+    for repetition in range(repetitions):
+        for kernel in base:
+            kernels.append(
+                Kernel(
+                    name=f"{kernel.name}_r{repetition + 1}",
+                    resources=kernel.resources,
+                    bandwidth=kernel.bandwidth,
+                    wcet_ms=kernel.wcet_ms,
+                    max_cus=kernel.max_cus,
+                )
+            )
+    return Pipeline(name=f"{base.name}-x{repetitions}", kernels=kernels)

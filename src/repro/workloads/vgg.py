@@ -1,0 +1,53 @@
+"""VGG-16 workload (Table 3 of the paper).
+
+The paper characterises the 16-bit fixed point VGG-16 kernels on one AWS F1
+FPGA.  Rows listing several layers (e.g. ``CONV6, 7`` or ``CONV11,12,13``)
+describe identical per-layer characterisations; the pipeline expands them to
+individual kernels (17 in total: 13 convolutions and 4 pooling layers), which
+matches the 17 kernels shown in Figure 6.
+"""
+
+from __future__ import annotations
+
+from ..platform.resources import ResourceVector
+from .kernel import Kernel
+from .pipeline import Pipeline
+
+#: Table 3 rows: (names, BRAM %, DSP %, BW %, WCET ms).  A row with several
+#: names expands into several identical kernels.
+VGG16_TABLE: tuple[tuple[tuple[str, ...], float, float, float, float], ...] = (
+    (("CONV1",), 3.67, 2.95, 2.0, 28.8),
+    (("CONV2",), 9.97, 15.14, 2.1, 67.8),
+    (("POOL2",), 11.62, 0.03, 5.2, 13.3),
+    (("CONV3",), 9.97, 15.14, 2.3, 22.7),
+    (("CONV4",), 9.97, 15.14, 2.4, 32.1),
+    (("POOL4",), 2.94, 0.03, 5.1, 6.9),
+    (("CONV5",), 8.32, 15.07, 2.0, 22.8),
+    (("CONV6", "CONV7"), 8.32, 15.05, 2.3, 32.9),
+    (("POOL7",), 1.50, 0.03, 5.0, 3.5),
+    (("CONV8",), 2.12, 15.02, 2.1, 24.5),
+    (("CONV9", "CONV10"), 2.12, 15.02, 2.5, 37.7),
+    (("POOL10",), 0.05, 0.01, 4.0, 2.1),
+    (("CONV11", "CONV12", "CONV13"), 2.12, 14.99, 2.6, 20.3),
+)
+
+
+def vgg16_fx16() -> Pipeline:
+    """VGG-16, 16-bit fixed point kernels (Table 3), expanded to 17 kernels."""
+    kernels: list[Kernel] = []
+    for names, bram, dsp, bandwidth, wcet in VGG16_TABLE:
+        for kernel_name in names:
+            kernels.append(
+                Kernel(
+                    name=kernel_name,
+                    resources=ResourceVector(bram=bram, dsp=dsp),
+                    bandwidth=bandwidth,
+                    wcet_ms=wcet,
+                )
+            )
+    return Pipeline(name="vgg-16", kernels=kernels)
+
+
+#: Expected aggregate values from the SUM row of Table 3 (WCET in ms; the
+#: paper prints 0.4 s, which is the rounded 426.6 ms).
+VGG16_EXPECTED_SUM = {"bram": 87.37, "dsp": 183.67, "bw": 49.7, "wcet": 426.6}

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objective import ObjectiveWeights
+from repro.core.problem import AllocationProblem
+from repro.platform.presets import aws_f1
+from repro.platform.resources import ResourceVector
+from repro.workloads.alexnet import alexnet_fp32, alexnet_fx16
+from repro.workloads.kernel import Kernel
+from repro.workloads.pipeline import Pipeline
+from repro.workloads.vgg import vgg16_fx16
+
+
+@pytest.fixture
+def tiny_pipeline() -> Pipeline:
+    """A three-kernel pipeline small enough for exhaustive reasoning."""
+    return Pipeline(
+        name="tiny",
+        kernels=[
+            Kernel("A", ResourceVector(bram=10.0, dsp=20.0), bandwidth=5.0, wcet_ms=10.0),
+            Kernel("B", ResourceVector(bram=5.0, dsp=10.0), bandwidth=2.0, wcet_ms=4.0),
+            Kernel("C", ResourceVector(bram=2.0, dsp=30.0), bandwidth=3.0, wcet_ms=12.0),
+        ],
+    )
+
+
+@pytest.fixture
+def tiny_problem(tiny_pipeline: Pipeline) -> AllocationProblem:
+    """The tiny pipeline on 2 FPGAs at an 80 % constraint."""
+    return AllocationProblem(
+        pipeline=tiny_pipeline,
+        platform=aws_f1(num_fpgas=2, resource_limit_percent=80.0),
+    )
+
+
+@pytest.fixture
+def tiny_weighted_problem(tiny_pipeline: Pipeline) -> AllocationProblem:
+    """The tiny problem with a spreading weight (for MINLP+G paths)."""
+    return AllocationProblem(
+        pipeline=tiny_pipeline,
+        platform=aws_f1(num_fpgas=2, resource_limit_percent=80.0),
+        weights=ObjectiveWeights(alpha=1.0, beta=1.0),
+    )
+
+
+@pytest.fixture
+def alex16_problem() -> AllocationProblem:
+    """Alex-16 on 2 FPGAs at 70 % (the paper's Figure 3 midpoint)."""
+    return AllocationProblem(
+        pipeline=alexnet_fx16(),
+        platform=aws_f1(num_fpgas=2, resource_limit_percent=70.0),
+    )
+
+
+@pytest.fixture
+def alex32_problem() -> AllocationProblem:
+    """Alex-32 on 4 FPGAs at 70 %."""
+    return AllocationProblem(
+        pipeline=alexnet_fp32(),
+        platform=aws_f1(num_fpgas=4, resource_limit_percent=70.0),
+    )
+
+
+@pytest.fixture
+def vgg_problem() -> AllocationProblem:
+    """VGG-16 on 8 FPGAs at 65 %."""
+    return AllocationProblem(
+        pipeline=vgg16_fx16(),
+        platform=aws_f1(num_fpgas=8, resource_limit_percent=65.0),
+    )

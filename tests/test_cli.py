@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.app == "alex-16"
+        assert args.method == "gp+a"
+        assert args.resource == 70.0
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.name == "table2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSolveCommand:
+    def test_solve_prints_allocation(self, capsys):
+        exit_code = main(["solve", "--app", "alex-16", "--resource", "75", "--method", "gp+a"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "II=" in captured
+        assert "FPGA 1" in captured
+
+    def test_solve_infeasible_returns_nonzero(self, capsys):
+        exit_code = main(["solve", "--app", "alex-16", "--resource", "12", "--method", "gp+a"])
+        assert exit_code == 1
+        assert "no allocation found" in capsys.readouterr().out
+
+    def test_solve_with_explicit_fpgas(self, capsys):
+        exit_code = main(["solve", "--app", "alex-16", "--fpgas", "3", "--resource", "70"])
+        assert exit_code == 0
+        assert "FPGA 3" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_table_experiments(self, capsys):
+        for name in ("table2", "table3", "table4"):
+            assert main(["experiment", name]) == 0
+        output = capsys.readouterr().out
+        assert "Table 4" in output
+
+    def test_figure2_quick_to_csv(self, tmp_path, capsys):
+        output = tmp_path / "figure2.csv"
+        exit_code = main(["experiment", "figure2", "--quick", "--output", str(output)])
+        assert exit_code == 0
+        content = output.read_text()
+        assert content.startswith("series,")
+        assert "T0" in content
+
+    def test_figure6_quick(self, capsys):
+        exit_code = main(["experiment", "figure6", "--quick"])
+        assert exit_code == 0
+        assert "SLACK" in capsys.readouterr().out

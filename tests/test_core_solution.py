@@ -1,0 +1,154 @@
+"""Tests for AllocationSolution metrics and feasibility checks."""
+
+import math
+
+import pytest
+
+from repro.core.solution import (
+    AllocationSolution,
+    SolveOutcome,
+    SolveStatus,
+    solution_from_assignment,
+)
+
+
+@pytest.fixture
+def balanced_solution(tiny_problem):
+    """A=2 (1+1), B=1, C=4 (2+2) -> II = 10/2 = 5."""
+    return AllocationSolution(
+        problem=tiny_problem,
+        counts={"A": (1, 1), "B": (1, 0), "C": (2, 2)},
+    )
+
+
+class TestSolutionMetrics:
+    def test_totals_and_execution_times(self, balanced_solution):
+        assert balanced_solution.total_cus("A") == 2
+        assert balanced_solution.totals() == {"A": 2, "B": 1, "C": 4}
+        assert balanced_solution.execution_time("A") == pytest.approx(5.0)
+        assert balanced_solution.execution_time("C") == pytest.approx(3.0)
+
+    def test_initiation_interval_and_throughput(self, balanced_solution):
+        assert balanced_solution.initiation_interval == pytest.approx(5.0)
+        assert balanced_solution.throughput_per_second == pytest.approx(200.0)
+
+    def test_spreading(self, balanced_solution):
+        # A: 1/2+1/2 = 1.0, B: 1/2, C: 2/3+2/3 = 4/3 -> phi = 4/3.
+        assert balanced_solution.spreading_of("B") == pytest.approx(0.5)
+        assert balanced_solution.spreading == pytest.approx(4.0 / 3.0)
+
+    def test_objective_uses_problem_weights(self, tiny_weighted_problem):
+        solution = AllocationSolution(
+            problem=tiny_weighted_problem,
+            counts={"A": (1, 1), "B": (1, 0), "C": (2, 2)},
+        )
+        expected = solution.initiation_interval + 1.0 * solution.spreading
+        assert solution.objective == pytest.approx(expected)
+
+    def test_fpga_usage(self, balanced_solution):
+        usage0 = balanced_solution.fpga_resource_usage(0)
+        # FPGA 0 hosts A x1 (10, 20), B x1 (5, 10), C x2 (4, 60).
+        assert usage0.bram == pytest.approx(19.0)
+        assert usage0.dsp == pytest.approx(90.0)
+        assert balanced_solution.fpga_bandwidth_usage(0) == pytest.approx(5 + 2 + 6)
+
+    def test_fpga_kernel_usage_only_lists_hosted(self, balanced_solution):
+        usage = balanced_solution.fpga_kernel_usage(1)
+        assert set(usage) == {"A", "C"}
+
+    def test_used_fpgas_and_utilizations(self, tiny_problem):
+        consolidated = AllocationSolution(
+            problem=tiny_problem, counts={"A": (1, 0), "B": (1, 0), "C": (1, 0)}
+        )
+        assert consolidated.used_fpgas() == [0]
+        assert consolidated.max_utilization == pytest.approx(60.0)
+        assert consolidated.average_utilization == pytest.approx(30.0)
+
+    def test_describe(self, balanced_solution):
+        text = balanced_solution.describe()
+        assert "II" in text and "FPGA 1" in text
+
+
+class TestSolutionValidation:
+    def test_feasible_solution(self, tiny_problem):
+        solution = AllocationSolution(
+            problem=tiny_problem, counts={"A": (1, 1), "B": (1, 0), "C": (1, 1)}
+        )
+        assert solution.is_feasible()
+        assert solution.violations() == []
+
+    def test_resource_violation_detected(self, balanced_solution):
+        # FPGA 0 uses 90 % DSP > 80 % cap.
+        assert not balanced_solution.is_feasible()
+        assert any("resource" in v for v in balanced_solution.violations())
+
+    def test_zero_cu_kernel_detected(self, tiny_problem):
+        solution = AllocationSolution(
+            problem=tiny_problem, counts={"A": (1, 0), "B": (0, 0), "C": (1, 0)}
+        )
+        assert any("no CUs" in v for v in solution.violations())
+
+    def test_bandwidth_violation_detected(self, tiny_pipeline):
+        from repro.core.problem import AllocationProblem
+        from repro.platform.presets import aws_f1
+
+        problem = AllocationProblem(
+            pipeline=tiny_pipeline,
+            platform=aws_f1(num_fpgas=2, resource_limit_percent=100.0).with_bandwidth_limit(5.0),
+        )
+        solution = AllocationSolution(
+            problem=problem, counts={"A": (1, 0), "B": (1, 0), "C": (0, 1)}
+        )
+        assert any("bandwidth" in v for v in solution.violations())
+
+    def test_structural_validation(self, tiny_problem):
+        with pytest.raises(ValueError, match="missing kernel"):
+            AllocationSolution(problem=tiny_problem, counts={"A": (1, 1)})
+        with pytest.raises(ValueError, match="FPGA entries"):
+            AllocationSolution(
+                problem=tiny_problem, counts={"A": (1,), "B": (1, 0), "C": (1, 0)}
+            )
+        with pytest.raises(ValueError, match="negative"):
+            AllocationSolution(
+                problem=tiny_problem, counts={"A": (1, -1), "B": (1, 0), "C": (1, 0)}
+            )
+
+    def test_from_totals_single_fpga(self, tiny_problem):
+        solution = AllocationSolution.from_totals_single_fpga(
+            tiny_problem, {"A": 1, "B": 1, "C": 1}
+        )
+        assert solution.counts["A"] == (1, 0)
+
+    def test_solution_from_assignment(self, tiny_problem):
+        solution = solution_from_assignment(
+            tiny_problem, {"A": [1, 0], "B": [0, 1], "C": [1, 1]}
+        )
+        assert solution.total_cus("C") == 2
+
+
+class TestSolveOutcome:
+    def test_successful_outcome(self, tiny_problem):
+        solution = AllocationSolution(
+            problem=tiny_problem, counts={"A": (1, 1), "B": (1, 0), "C": (1, 1)}
+        )
+        outcome = SolveOutcome(
+            method="gp+a",
+            status=SolveStatus.FEASIBLE,
+            solution=solution,
+            runtime_seconds=0.01,
+        )
+        assert outcome.succeeded
+        assert outcome.initiation_interval == solution.initiation_interval
+        assert "gp+a" in outcome.summary()
+
+    def test_failed_outcome(self):
+        outcome = SolveOutcome(
+            method="minlp",
+            status=SolveStatus.INFEASIBLE,
+            solution=None,
+            runtime_seconds=0.5,
+        )
+        assert not outcome.succeeded
+        assert math.isinf(outcome.initiation_interval)
+        assert math.isinf(outcome.objective)
+        assert "infeasible" in outcome.summary()

@@ -1,0 +1,121 @@
+"""Tests for the design-space exploration helpers (sweeps, comparisons, runtime)."""
+
+import math
+
+import pytest
+
+from repro.core.exact import ExactSettings
+from repro.core.heuristic import HeuristicSettings
+from repro.explore.compare import (
+    ComparisonSettings,
+    compare_methods_at,
+    compare_methods_over,
+    speedup_summary,
+)
+from repro.explore.runtime import (
+    measure_method_runtime,
+    runtime_comparison,
+    speedups,
+    time_callable,
+)
+from repro.explore.sweep import (
+    default_constraint_range,
+    fpga_count_sweep,
+    resource_constraint_sweep,
+    t_parameter_sweep,
+)
+
+FAST_EXACT = ExactSettings(max_nodes=2, time_limit_seconds=10.0)
+
+
+class TestSweeps:
+    def test_default_constraint_range(self):
+        values = default_constraint_range(40, 90, 10)
+        assert values == [40, 50, 60, 70, 80, 90]
+        with pytest.raises(ValueError):
+            default_constraint_range(step=0)
+
+    def test_resource_constraint_sweep_monotone_ii(self, alex16_problem):
+        points = resource_constraint_sweep(alex16_problem, [60, 75, 90], methods=("gp+a",))
+        feasible = [p for p in points if p.feasible]
+        assert len(feasible) == 3
+        iis = [p.initiation_interval for p in feasible]
+        # Loosening the constraint never makes the heuristic much worse;
+        # the extremes must be ordered.
+        assert iis[-1] <= iis[0] + 1e-9
+
+    def test_sweep_keeps_infeasible_points(self, alex16_problem):
+        # 8 % is below CONV1's single-CU BRAM demand, so no allocation exists.
+        points = resource_constraint_sweep(alex16_problem, [8, 80], methods=("gp+a",))
+        assert not points[0].feasible
+        assert math.isinf(points[0].initiation_interval)
+        assert math.isnan(points[0].average_utilization)
+        assert points[1].feasible
+
+    def test_sweep_multiple_methods(self, tiny_problem):
+        points = resource_constraint_sweep(tiny_problem, [80], methods=("gp+a", "minlp"))
+        assert {p.method for p in points} == {"gp+a", "minlp"}
+
+    def test_t_parameter_sweep_shape(self, alex16_problem):
+        results = t_parameter_sweep(alex16_problem, constraints=[70, 80], t_values=(0.0, 10.0))
+        assert set(results) == {0.0, 10.0}
+        assert len(results[0.0]) == 2
+
+    def test_fpga_count_sweep(self, alex16_problem):
+        outcomes = fpga_count_sweep(alex16_problem, [2, 4], method="gp+a")
+        assert [count for count, _ in outcomes] == [2, 4]
+        ii2 = outcomes[0][1].initiation_interval
+        ii4 = outcomes[1][1].initiation_interval
+        assert ii4 <= ii2 + 1e-9
+
+
+class TestComparisons:
+    def test_compare_methods_at(self, alex16_problem):
+        point = compare_methods_at(
+            alex16_problem, 70.0, ComparisonSettings(methods=("gp+a", "minlp"), exact=FAST_EXACT)
+        )
+        assert point.initiation_interval("minlp") <= point.initiation_interval("gp+a") + 1e-9
+        assert point.average_utilization("gp+a") > 0
+        assert point.runtime("gp+a") > 0
+
+    def test_compare_methods_over(self, alex16_problem):
+        points = compare_methods_over(
+            alex16_problem, [65, 80], ComparisonSettings(methods=("gp+a", "minlp"), exact=FAST_EXACT)
+        )
+        assert len(points) == 2
+        for point in points:
+            assert point.initiation_interval("minlp") <= point.initiation_interval("gp+a") + 1e-9
+
+    def test_speedup_summary(self, alex16_problem):
+        points = compare_methods_over(
+            alex16_problem, [70], ComparisonSettings(methods=("gp+a", "minlp"), exact=FAST_EXACT)
+        )
+        summary = speedup_summary(points, baseline="gp+a", reference="minlp")
+        assert summary["min"] <= summary["geomean"] <= summary["max"]
+
+    def test_speedup_summary_empty(self):
+        summary = speedup_summary([], baseline="gp+a", reference="minlp")
+        assert math.isnan(summary["geomean"])
+
+
+class TestRuntime:
+    def test_time_callable(self):
+        samples = time_callable(lambda: sum(range(1000)), repetitions=3)
+        assert len(samples) == 3
+        assert all(s >= 0 for s in samples)
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repetitions=0)
+
+    def test_measure_method_runtime(self, tiny_problem):
+        measurement = measure_method_runtime(tiny_problem, "gp+a", "tiny", repetitions=2)
+        assert measurement.method == "gp+a"
+        assert measurement.mean_seconds > 0
+        assert measurement.min_seconds <= measurement.median_seconds
+
+    def test_runtime_comparison_and_speedups(self, tiny_problem):
+        measurements = runtime_comparison(
+            [("tiny", tiny_problem)], methods=("gp+a", "minlp"), repetitions=1
+        )
+        assert len(measurements) == 2
+        ratios = speedups(measurements, baseline_method="gp+a")
+        assert "tiny" in ratios and "minlp" in ratios["tiny"]

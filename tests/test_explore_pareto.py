@@ -1,0 +1,94 @@
+"""Tests for the Pareto-front design-space exploration helpers."""
+
+import math
+
+import pytest
+
+from repro.explore.pareto import (
+    DesignPoint,
+    dominates,
+    explore_design_space,
+    pareto_front,
+    pareto_front_vectors,
+)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 1.0))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_incomparable_vectors(self):
+        assert not dominates((1.0, 3.0), (2.0, 1.0))
+        assert not dominates((2.0, 1.0), (1.0, 3.0))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+    def test_pareto_front_vectors(self):
+        vectors = [(1.0, 5.0), (2.0, 2.0), (5.0, 1.0), (3.0, 3.0), (2.0, 2.0)]
+        indices = pareto_front_vectors(vectors)
+        assert 0 in indices and 2 in indices
+        assert 3 not in indices  # dominated by (2, 2)
+
+
+class TestDesignSpaceExploration:
+    def test_grid_size_and_metrics(self, alex16_problem):
+        points = explore_design_space(
+            alex16_problem,
+            resource_constraints=[60.0, 80.0],
+            fpga_counts=[2, 4],
+            method="gp+a",
+        )
+        assert len(points) == 4
+        feasible = [p for p in points if p.outcome.succeeded]
+        assert feasible
+        for point in feasible:
+            assert point.initiation_interval > 0
+            assert point.average_utilization > 0
+            assert point.spreading >= 0.5
+
+    def test_more_fpgas_allow_lower_ii(self, alex16_problem):
+        points = explore_design_space(
+            alex16_problem, resource_constraints=[80.0], fpga_counts=[2, 8], method="gp+a"
+        )
+        by_count = {p.num_fpgas: p for p in points}
+        assert by_count[8].initiation_interval <= by_count[2].initiation_interval + 1e-9
+
+    def test_pareto_front_excludes_dominated_points(self, alex16_problem):
+        points = explore_design_space(
+            alex16_problem,
+            resource_constraints=[60.0, 70.0, 85.0],
+            fpga_counts=[2, 4],
+            method="gp+a",
+        )
+        front = pareto_front(points)
+        assert front
+        assert len(front) <= len(points)
+        # No point on the front is dominated by any other evaluated point.
+        for chosen in front:
+            for other in points:
+                if other.outcome.succeeded:
+                    assert not dominates(other.objectives(), chosen.objectives())
+
+    def test_infeasible_points_never_on_front(self, alex16_problem):
+        points = explore_design_space(
+            alex16_problem, resource_constraints=[8.0, 80.0], fpga_counts=[2], method="gp+a"
+        )
+        assert any(not p.outcome.succeeded for p in points)
+        front = pareto_front(points)
+        assert all(p.outcome.succeeded for p in front)
+        assert all(math.isfinite(p.initiation_interval) for p in front)
+
+    def test_design_point_objectives_tuple(self, alex16_problem):
+        points = explore_design_space(
+            alex16_problem, resource_constraints=[80.0], fpga_counts=[2], method="gp+a"
+        )
+        objectives = points[0].objectives()
+        assert len(objectives) == 3
+        assert objectives[1] == 2.0

@@ -1,0 +1,149 @@
+"""Unit tests for the monomial/posynomial expression algebra."""
+
+import pytest
+
+from repro.gp.errors import NotMonomialError
+from repro.gp.expressions import (
+    Monomial,
+    Posynomial,
+    PosynomialConstraint,
+    Variable,
+    as_monomial,
+    as_posynomial,
+)
+
+
+class TestMonomial:
+    def test_coefficient_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Monomial(0.0)
+        with pytest.raises(ValueError):
+            Monomial(-2.0, {"x": 1.0})
+
+    def test_zero_exponents_are_dropped(self):
+        m = Monomial(3.0, {"x": 0.0, "y": 2.0})
+        assert m.exponents == {"y": 2.0}
+        assert m.is_constant() is False
+        assert Monomial(1.0).is_constant() is True
+
+    def test_evaluate(self):
+        m = Monomial(2.0, {"x": 2.0, "y": -1.0})
+        assert m.evaluate({"x": 3.0, "y": 6.0}) == pytest.approx(2.0 * 9.0 / 6.0)
+
+    def test_evaluate_rejects_non_positive_values(self):
+        with pytest.raises(ValueError):
+            Monomial(1.0, {"x": 1.0}).evaluate({"x": 0.0})
+
+    def test_multiplication_adds_exponents(self):
+        x, y = Variable("x"), Variable("y")
+        product = (2 * x) * (3 * x * y)
+        assert isinstance(product, Monomial)
+        assert product.coefficient == pytest.approx(6.0)
+        assert product.exponents == {"x": 2.0, "y": 1.0}
+
+    def test_division_subtracts_exponents(self):
+        x = Variable("x")
+        ratio = (4 * x**2) / (2 * x)
+        assert ratio.coefficient == pytest.approx(2.0)
+        assert ratio.exponents == {"x": 1.0}
+
+    def test_power(self):
+        x = Variable("x")
+        squared = (2 * x) ** 2
+        assert squared.coefficient == pytest.approx(4.0)
+        assert squared.exponents == {"x": 2.0}
+        inverse = (2 * x) ** -1
+        assert inverse.evaluate({"x": 4.0}) == pytest.approx(1.0 / 8.0)
+
+    def test_scalar_division_of_constant_by_variable(self):
+        x = Variable("x")
+        expression = 10.0 / x
+        assert isinstance(expression, Posynomial)
+        assert expression.evaluate({"x": 5.0}) == pytest.approx(2.0)
+
+    def test_equality_and_hash(self):
+        a = Monomial(2.0, {"x": 1.0})
+        b = Monomial(2.0, {"x": 1.0})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestPosynomial:
+    def test_addition_builds_posynomial(self):
+        x, y = Variable("x"), Variable("y")
+        posy = x + 2 * y + 3
+        assert isinstance(posy, Posynomial)
+        assert posy.evaluate({"x": 1.0, "y": 2.0}) == pytest.approx(1 + 4 + 3)
+
+    def test_like_terms_are_merged(self):
+        x = Variable("x")
+        posy = as_posynomial(x) + x
+        assert len(posy.monomials) == 1
+        assert posy.monomials[0].coefficient == pytest.approx(2.0)
+
+    def test_product_of_posynomials_expands(self):
+        x, y = Variable("x"), Variable("y")
+        product = (x + 1) * (y + 2)
+        assert isinstance(product, Posynomial)
+        assert product.evaluate({"x": 1.0, "y": 1.0}) == pytest.approx((1 + 1) * (1 + 2))
+
+    def test_division_by_monomial_only(self):
+        x, y = Variable("x"), Variable("y")
+        ratio = (x + y) / (2 * x)
+        assert ratio.evaluate({"x": 1.0, "y": 3.0}) == pytest.approx(2.0)
+        with pytest.raises(NotMonomialError):
+            (x + y) / (x + y)
+
+    def test_as_monomial_raises_for_true_posynomial(self):
+        x, y = Variable("x"), Variable("y")
+        with pytest.raises(NotMonomialError):
+            (x + y).as_monomial()
+
+    def test_variables_property(self):
+        x, y = Variable("x"), Variable("y")
+        assert (x + 2 * y).variables == {"x", "y"}
+
+    def test_empty_posynomial_rejected(self):
+        with pytest.raises(ValueError):
+            Posynomial(())
+
+
+class TestConstraints:
+    def test_le_builds_constraint(self):
+        x = Variable("x")
+        constraint = 2 * x <= 10.0
+        assert isinstance(constraint, PosynomialConstraint)
+        assert constraint.is_satisfied({"x": 5.0})
+        assert not constraint.is_satisfied({"x": 6.0})
+
+    def test_ge_flips_sides(self):
+        x = Variable("x")
+        constraint = x >= 3.0  # i.e. 3 / x <= 1
+        assert constraint.is_satisfied({"x": 3.0})
+        assert not constraint.is_satisfied({"x": 2.0})
+
+    def test_normalized_form(self):
+        x, ii = Variable("x"), Variable("II")
+        constraint = 10.0 / x <= ii
+        normalized = constraint.normalized
+        assert normalized.evaluate({"x": 5.0, "II": 2.0}) == pytest.approx(1.0)
+
+    def test_violation_amount(self):
+        x = Variable("x")
+        constraint = x <= 2.0
+        assert constraint.violation({"x": 3.0}) == pytest.approx(0.5)
+        assert constraint.violation({"x": 1.0}) == 0.0
+
+
+class TestCoercions:
+    def test_as_monomial(self):
+        assert as_monomial(3).coefficient == 3.0
+        assert as_monomial(Variable("x")).exponents == {"x": 1.0}
+        with pytest.raises(TypeError):
+            as_monomial("not an expression")
+
+    def test_as_posynomial(self):
+        posy = as_posynomial(5.0)
+        assert posy.evaluate({}) == 5.0
+        with pytest.raises(TypeError):
+            as_posynomial(object())

@@ -1,0 +1,98 @@
+"""Tests for the analytic HLS characterisation cost model."""
+
+import pytest
+
+from repro.hls.cost_model import (
+    CUDesignPoint,
+    FIXED16,
+    FLOAT32,
+    HLSCostModel,
+    characterize_alexnet,
+    characterize_vgg16,
+)
+from repro.workloads.cnn_layers import ConvLayer, NormLayer, PoolLayer, alexnet_layers
+
+
+class TestDesignPoint:
+    def test_mac_lanes(self):
+        assert CUDesignPoint(unroll_out=4, unroll_in=8).mac_lanes == 32
+
+    def test_invalid_design_point(self):
+        with pytest.raises(ValueError):
+            CUDesignPoint(unroll_out=0)
+
+
+class TestLayerCharacterisation:
+    def test_conv_kernel_fields_positive(self):
+        model = HLSCostModel()
+        layer = ConvLayer("CONV", in_channels=64, out_channels=64, in_size=56, kernel_size=3, padding=1)
+        kernel = model.characterize_layer(layer)
+        assert kernel.name == "CONV"
+        assert kernel.wcet_ms > 0
+        assert kernel.resources.dsp > 0
+        assert kernel.resources.bram > 0
+        assert 0 < kernel.bandwidth <= 100.0
+
+    def test_pool_kernel_uses_no_dsp(self):
+        model = HLSCostModel()
+        kernel = model.characterize_layer(PoolLayer("POOL", channels=64, in_size=56, kernel_size=2, stride=2))
+        assert kernel.resources.dsp == 0.0
+
+    def test_norm_kernel(self):
+        model = HLSCostModel()
+        kernel = model.characterize_layer(NormLayer("NORM", channels=96, in_size=27))
+        assert kernel.wcet_ms > 0
+
+    def test_unknown_layer_type_rejected(self):
+        model = HLSCostModel()
+        with pytest.raises(TypeError):
+            model.characterize_layer("not a layer")
+
+    def test_more_unrolling_is_faster_but_bigger(self):
+        model = HLSCostModel()
+        layer = ConvLayer("CONV", in_channels=64, out_channels=64, in_size=56, kernel_size=3, padding=1)
+        small = model.characterize_layer(layer, CUDesignPoint(unroll_out=4, unroll_in=4))
+        large = model.characterize_layer(layer, CUDesignPoint(unroll_out=16, unroll_in=16))
+        assert large.wcet_ms < small.wcet_ms
+        assert large.resources.dsp > small.resources.dsp
+
+    def test_fixed_point_cheaper_and_faster_than_float(self):
+        layer = ConvLayer("CONV", in_channels=64, out_channels=64, in_size=56, kernel_size=3, padding=1)
+        fx = HLSCostModel(precision=FIXED16).characterize_layer(layer)
+        fp = HLSCostModel(precision=FLOAT32).characterize_layer(layer)
+        assert fx.resources.dsp < fp.resources.dsp
+        assert fx.wcet_ms < fp.wcet_ms
+
+
+class TestNetworkCharacterisation:
+    def test_characterize_network_preserves_layer_order(self):
+        model = HLSCostModel()
+        pipeline = model.characterize_network("alex", alexnet_layers())
+        assert pipeline.kernel_names[:3] == ("CONV1", "POOL1", "NORM1")
+        assert len(pipeline) == 8
+
+    def test_characterized_alexnet_in_plausible_range(self):
+        """The synthetic Table 2 equivalent: same order of magnitude as the paper."""
+        pipeline = characterize_alexnet(FIXED16)
+        totals = pipeline.total_resources()
+        assert 1.0 <= totals.dsp <= 150.0
+        assert 1.0 <= pipeline.total_wcet_ms() <= 300.0
+
+    def test_characterized_vgg_heavier_than_alexnet(self):
+        alex = characterize_alexnet(FIXED16)
+        vgg = characterize_vgg16(FIXED16)
+        assert vgg.total_wcet_ms() > alex.total_wcet_ms()
+
+    def test_characterized_network_is_allocatable(self):
+        """End-to-end: model a network, then allocate it with GP+A."""
+        from repro.core.problem import AllocationProblem
+        from repro.core.solvers import solve
+        from repro.platform.presets import aws_f1
+
+        pipeline = characterize_alexnet(FIXED16)
+        problem = AllocationProblem(
+            pipeline=pipeline, platform=aws_f1(num_fpgas=2, resource_limit_percent=70.0)
+        )
+        outcome = solve(problem, method="gp+a")
+        assert outcome.succeeded
+        assert outcome.solution.is_feasible()

@@ -1,0 +1,130 @@
+"""Integration tests: the full flow on the paper's case studies.
+
+These tests assert the *qualitative* results of Section 4: the heuristic
+tracks the exact minimum II, relaxing the constraint lowers the II, GP+A is
+dramatically faster than the exact search on the large case, and the
+consolidation behaviour of GP+A / MINLP+G versus MINLP.
+"""
+
+import pytest
+
+from repro.core.exact import ExactSettings
+from repro.core.solvers import solve
+from repro.core.validate import check_outcome_consistency
+from repro.reporting.experiments import case_study
+from repro.simulation import simulate_allocation
+
+FAST_EXACT = ExactSettings(max_nodes=3, time_limit_seconds=30.0)
+
+
+class TestAlex16CaseStudy:
+    """Alex-16 on 2 FPGAs (Figure 3)."""
+
+    @pytest.mark.parametrize("constraint", [60.0, 70.0, 85.0])
+    def test_heuristic_tracks_exact(self, constraint):
+        problem = case_study("alex-16", resource_limit_percent=constraint)
+        heuristic = solve(problem, method="gp+a")
+        exact = solve(problem, method="minlp")
+        assert heuristic.succeeded and exact.succeeded
+        assert exact.initiation_interval <= heuristic.initiation_interval + 1e-9
+        # Paper: GP+A tracks MINLP well -- allow a modest margin.
+        assert heuristic.initiation_interval <= exact.initiation_interval * 1.35
+
+    def test_ii_in_paper_range(self):
+        """Figure 3a: II between roughly 1.0 and 1.7 ms over 55-85 %."""
+        for constraint in (55.0, 70.0, 85.0):
+            problem = case_study("alex-16", resource_limit_percent=constraint)
+            outcome = solve(problem, method="gp+a")
+            assert 0.9 <= outcome.initiation_interval <= 1.8
+
+    def test_outcome_consistency(self):
+        problem = case_study("alex-16", resource_limit_percent=70.0)
+        for method in ("gp+a", "minlp"):
+            outcome = solve(problem, method=method)
+            assert check_outcome_consistency(outcome) == []
+
+    def test_simulation_confirms_analytic_ii(self):
+        problem = case_study("alex-16", resource_limit_percent=70.0)
+        outcome = solve(problem, method="gp+a")
+        result = simulate_allocation(outcome.solution, images=64)
+        assert result.ii_error < 1e-9
+
+
+class TestAlex32CaseStudy:
+    """Alex-32 on 4 FPGAs (Figure 4)."""
+
+    def test_ii_in_paper_range(self):
+        """Figure 4a: II between roughly 7 and 9.2 ms over 65-75 %."""
+        for constraint in (65.0, 70.0, 75.0):
+            problem = case_study("alex-32", resource_limit_percent=constraint)
+            outcome = solve(problem, method="gp+a")
+            assert outcome.succeeded
+            assert 6.8 <= outcome.initiation_interval <= 9.5
+
+    def test_exact_lower_bound_holds(self):
+        problem = case_study("alex-32", resource_limit_percent=70.0)
+        heuristic = solve(problem, method="gp+a")
+        exact = solve(problem, method="minlp")
+        assert exact.initiation_interval <= heuristic.initiation_interval + 1e-9
+
+
+class TestVGGCaseStudy:
+    """VGG on 8 FPGAs (Figures 5-6)."""
+
+    def test_ii_in_paper_range_and_monotone(self):
+        """Figure 5a: II between roughly 10 and 24 ms, decreasing with resources."""
+        iis = []
+        for constraint in (55.0, 65.0, 80.0):
+            problem = case_study("vgg-16", resource_limit_percent=constraint)
+            outcome = solve(problem, method="gp+a")
+            assert outcome.succeeded
+            assert 9.0 <= outcome.initiation_interval <= 25.0
+            iis.append(outcome.initiation_interval)
+        assert iis[-1] <= iis[0]
+
+    def test_heuristic_much_faster_than_exact(self):
+        """Section 4: the heuristic is orders of magnitude faster on VGG."""
+        problem = case_study("vgg-16", resource_limit_percent=65.0)
+        heuristic = solve(problem, method="gp+a")
+        exact = solve(problem, method="minlp")
+        assert heuristic.runtime_seconds * 5 < exact.runtime_seconds
+        assert exact.initiation_interval <= heuristic.initiation_interval + 1e-9
+
+    def test_consolidation_contrast(self):
+        """Figure 6: GP+A concentrates each kernel on fewer FPGAs than MINLP."""
+        problem = case_study("vgg-16", resource_limit_percent=61.0)
+        gp_a = solve(problem, method="gp+a")
+        exact = solve(problem, method="minlp")
+
+        def fpgas_per_kernel(solution):
+            return sum(
+                sum(1 for c in per_fpga if c > 0) for per_fpga in solution.counts.values()
+            ) / len(solution.counts)
+
+        assert fpgas_per_kernel(gp_a.solution) <= fpgas_per_kernel(exact.solution) + 1e-9
+        assert gp_a.solution.spreading <= exact.solution.spreading + 1e-9
+
+
+class TestWeightedObjective:
+    """MINLP+G behaviour (Table 4 weights)."""
+
+    def test_weighted_exact_consolidates_alex16(self):
+        problem = case_study("alex-16", resource_limit_percent=70.0)
+        weighted = solve(problem, method="minlp+g", exact_settings=FAST_EXACT)
+        exact = solve(problem, method="minlp")
+        assert weighted.succeeded
+        # Trading spreading against II can never push the II below the pure-II
+        # optimum, and the weighted goal must respect its own lower bound.
+        assert weighted.initiation_interval >= exact.initiation_interval - 1e-9
+        assert weighted.objective >= weighted.lower_bound - 1e-6
+
+    def test_weighted_goal_not_worse_than_heuristic(self):
+        problem = case_study("alex-16", resource_limit_percent=70.0)
+        weighted = solve(problem, method="minlp+g", exact_settings=FAST_EXACT)
+        heuristic = solve(problem, method="gp+a")
+        goal = problem.weights.goal
+        assert goal(
+            weighted.solution.initiation_interval, weighted.solution.spreading
+        ) <= goal(
+            heuristic.solution.initiation_interval, heuristic.solution.spreading
+        ) + 1e-6

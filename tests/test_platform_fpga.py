@@ -1,0 +1,105 @@
+"""Unit tests for the FPGA device and platform models."""
+
+import pytest
+
+from repro.platform.fpga import FPGADevice, FPGAState
+from repro.platform.multi_fpga import MultiFPGAPlatform
+from repro.platform.presets import XCVU9P, aws_f1, generic_platform
+from repro.platform.resources import ResourceVector
+
+
+class TestFPGADevice:
+    def test_preset_counts_positive(self):
+        assert XCVU9P.dsp_slices > 0
+        assert XCVU9P.bram_blocks > 0
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FPGADevice(name="bad", bram_blocks=0, dsp_slices=1, luts=1, ffs=1, dram_bandwidth_gbps=1)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            FPGADevice(name="bad", bram_blocks=1, dsp_slices=1, luts=1, ffs=1, dram_bandwidth_gbps=0)
+
+    def test_percent_round_trip(self):
+        usage = {"bram": 216.0, "dsp": 684.0, "lut": 0.0, "ff": 0.0}
+        percent = XCVU9P.to_percent(usage)
+        assert percent.bram == pytest.approx(10.0)
+        assert percent.dsp == pytest.approx(10.0)
+        back = XCVU9P.to_absolute(percent)
+        assert back["bram"] == pytest.approx(216.0)
+
+    def test_bandwidth_conversions(self):
+        percent = XCVU9P.bandwidth_percent(XCVU9P.dram_bandwidth_gbps / 2)
+        assert percent == pytest.approx(50.0)
+        assert XCVU9P.bandwidth_gbps(percent) == pytest.approx(XCVU9P.dram_bandwidth_gbps / 2)
+
+    def test_bandwidth_rejects_negative(self):
+        with pytest.raises(ValueError):
+            XCVU9P.bandwidth_percent(-1.0)
+
+
+class TestFPGAState:
+    def test_with_additional_accumulates(self):
+        state = FPGAState(device=XCVU9P)
+        state2 = state.with_additional(ResourceVector(dsp=10.0), bandwidth=5.0)
+        assert state2.used.dsp == 10.0
+        assert state2.used_bandwidth == 5.0
+        assert state.used.dsp == 0.0  # original untouched
+
+    def test_slack(self):
+        state = FPGAState(device=XCVU9P, used=ResourceVector(dsp=30.0))
+        slack = state.slack(ResourceVector.full(70.0))
+        assert slack.dsp == pytest.approx(40.0)
+        assert state.bandwidth_slack(100.0) == 100.0
+
+
+class TestMultiFPGAPlatform:
+    def test_aws_f1_preset(self):
+        platform = aws_f1(num_fpgas=8)
+        assert platform.num_fpgas == 8
+        assert platform.device is XCVU9P
+        assert platform.resource_limit.max_component() == 100.0
+
+    def test_aws_f1_rejects_too_many_fpgas(self):
+        with pytest.raises(ValueError):
+            aws_f1(num_fpgas=9)
+
+    def test_with_resource_limit(self):
+        platform = aws_f1(num_fpgas=2).with_resource_limit(61.0)
+        assert platform.resource_limit.dsp == 61.0
+        assert platform.resource_limit.bram == 61.0
+
+    def test_with_bandwidth_limit(self):
+        platform = aws_f1(num_fpgas=2).with_bandwidth_limit(80.0)
+        assert platform.bandwidth_limit == 80.0
+
+    def test_with_num_fpgas(self):
+        platform = aws_f1(num_fpgas=2).with_num_fpgas(4)
+        assert platform.num_fpgas == 4
+
+    def test_total_resources_scale_with_count(self):
+        platform = aws_f1(num_fpgas=4, resource_limit_percent=50.0)
+        assert platform.total_resources().dsp == pytest.approx(200.0)
+        assert platform.total_bandwidth() == pytest.approx(400.0)
+
+    def test_scaled_resource_limit_caps_at_100(self):
+        platform = aws_f1(num_fpgas=2, resource_limit_percent=95.0)
+        relaxed = platform.scaled_resource_limit(10.0)
+        assert relaxed.dsp == 100.0
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(ValueError):
+            MultiFPGAPlatform(device=XCVU9P, num_fpgas=0, resource_limit=ResourceVector.full(50.0))
+        with pytest.raises(ValueError):
+            aws_f1(num_fpgas=2).with_resource_limit(0.0)
+        with pytest.raises(ValueError):
+            aws_f1(num_fpgas=2).with_bandwidth_limit(-5.0)
+
+    def test_generic_platform(self):
+        platform = generic_platform(num_fpgas=3, resource_limit_percent=60.0, name="lab")
+        assert platform.num_fpgas == 3
+        assert "lab" in platform.describe()
+
+    def test_describe_mentions_device(self):
+        assert "xcvu9p" in aws_f1(num_fpgas=2).describe()

@@ -1,0 +1,139 @@
+"""Unit tests for ResourceVector arithmetic and comparisons."""
+
+import math
+
+import pytest
+
+from repro.platform.resources import RESOURCE_KINDS, ResourceVector, sum_resources
+
+
+class TestConstruction:
+    def test_default_is_zero(self):
+        vector = ResourceVector()
+        assert vector.is_zero()
+        assert vector.total() == 0.0
+
+    def test_full_sets_every_component(self):
+        vector = ResourceVector.full(70.0)
+        assert all(vector[kind] == 70.0 for kind in RESOURCE_KINDS)
+
+    def test_from_mapping_defaults_missing_to_zero(self):
+        vector = ResourceVector.from_mapping({"dsp": 12.5})
+        assert vector.dsp == 12.5
+        assert vector.bram == 0.0
+
+    def test_from_mapping_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown resource kinds"):
+            ResourceVector.from_mapping({"uram": 1.0})
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector(bram=-1.0)
+
+    def test_non_finite_component_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector(dsp=math.nan)
+
+
+class TestArithmetic:
+    def test_addition_is_elementwise(self):
+        a = ResourceVector(bram=1.0, dsp=2.0)
+        b = ResourceVector(bram=3.0, dsp=4.0, lut=1.0)
+        result = a + b
+        assert result.bram == 4.0
+        assert result.dsp == 6.0
+        assert result.lut == 1.0
+
+    def test_subtraction_clamps_at_zero(self):
+        a = ResourceVector(bram=1.0)
+        b = ResourceVector(bram=2.0)
+        assert (a - b).bram == 0.0
+
+    def test_scalar_multiplication(self):
+        vector = ResourceVector(dsp=7.55) * 4
+        assert vector.dsp == pytest.approx(30.2)
+
+    def test_right_multiplication(self):
+        vector = 3 * ResourceVector(bram=2.0)
+        assert vector.bram == 6.0
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector(bram=1.0) * -1
+
+    def test_division(self):
+        vector = ResourceVector(bram=10.0) / 4
+        assert vector.bram == 2.5
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector(bram=10.0) / 0
+
+
+class TestComparisons:
+    def test_fits_within(self):
+        usage = ResourceVector(bram=50.0, dsp=60.0)
+        cap = ResourceVector.full(70.0)
+        assert usage.fits_within(cap)
+        assert not usage.exceeds(cap)
+
+    def test_exceeds_single_dimension(self):
+        usage = ResourceVector(bram=10.0, dsp=75.0)
+        cap = ResourceVector.full(70.0)
+        assert usage.exceeds(cap)
+
+    def test_fits_within_respects_tolerance(self):
+        usage = ResourceVector(dsp=70.0 + 1e-9)
+        cap = ResourceVector.full(70.0)
+        assert usage.fits_within(cap)
+
+    def test_dominates(self):
+        big = ResourceVector.full(10.0)
+        small = ResourceVector(bram=1.0)
+        assert big.dominates(small)
+        assert not small.dominates(big)
+
+    def test_max_component_and_kind(self):
+        vector = ResourceVector(bram=10.0, dsp=35.0, lut=1.0)
+        assert vector.max_component() == 35.0
+        assert vector.max_kind() == "dsp"
+
+    def test_utilization_of(self):
+        usage = ResourceVector(bram=35.0, dsp=30.0)
+        cap = ResourceVector.full(70.0)
+        assert usage.utilization_of(cap) == pytest.approx(0.5)
+
+    def test_utilization_of_zero_capacity_is_infinite(self):
+        usage = ResourceVector(bram=1.0)
+        cap = ResourceVector(dsp=10.0)
+        assert math.isinf(usage.utilization_of(cap))
+
+    def test_isclose(self):
+        a = ResourceVector(bram=1.0)
+        b = ResourceVector(bram=1.0 + 1e-12)
+        assert a.isclose(b)
+
+
+class TestHelpers:
+    def test_as_dict_round_trip(self):
+        vector = ResourceVector(bram=1.0, dsp=2.0, lut=3.0, ff=4.0)
+        assert ResourceVector.from_mapping(vector.as_dict()) == vector
+
+    def test_getitem_and_iteration(self):
+        vector = ResourceVector(bram=5.0)
+        assert vector["bram"] == 5.0
+        assert dict(vector)["bram"] == 5.0
+        with pytest.raises(KeyError):
+            vector["unknown"]
+
+    def test_sum_resources(self):
+        total = sum_resources([ResourceVector(bram=1.0), ResourceVector(bram=2.0, dsp=3.0)])
+        assert total.bram == 3.0
+        assert total.dsp == 3.0
+
+    def test_sum_resources_empty(self):
+        assert sum_resources([]).is_zero()
+
+    def test_str_contains_components(self):
+        text = str(ResourceVector(bram=12.5))
+        assert "BRAM=12.50%" in text

@@ -1,0 +1,140 @@
+"""Tests for text tables, figure data series and the experiment drivers."""
+
+import math
+
+import pytest
+
+from repro.core.exact import ExactSettings
+from repro.reporting.experiments import (
+    CASE_STUDIES,
+    case_study,
+    figure2,
+    figure3,
+    figure6,
+    runtime_table,
+    table2,
+    table3,
+    table4,
+)
+from repro.reporting.series import FigureData, Series
+from repro.reporting.tables import TextTable, format_cell, percentage
+
+FAST_EXACT = ExactSettings(max_nodes=2, time_limit_seconds=10.0)
+
+
+class TestTextTable:
+    def test_render_aligns_columns(self):
+        table = TextTable(headers=["name", "value"], title="demo")
+        table.add_row("a", 1.5)
+        table.add_row("long-name", 2)
+        text = table.render()
+        assert "demo" in text
+        assert "long-name" in text
+        assert "1.500" in text
+
+    def test_row_length_checked(self):
+        table = TextTable(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_to_csv_escapes(self):
+        table = TextTable(headers=["name", "v"])
+        table.add_row("a,b", 1)
+        csv = table.to_csv()
+        assert '"a,b"' in csv
+
+    def test_format_cell(self):
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell(float("nan")) == "n/a"
+        assert format_cell(float("inf")) == "inf"
+        assert format_cell("text") == "text"
+        assert percentage(12.345) == "12.3%"
+
+
+class TestSeries:
+    def test_from_xy_and_accessors(self):
+        series = Series.from_xy("s", [1, 2], [3, 4])
+        assert series.xs == (1.0, 2.0)
+        assert series.ys == (3.0, 4.0)
+        assert len(series) == 2
+        with pytest.raises(ValueError):
+            Series.from_xy("s", [1], [1, 2])
+
+    def test_finite_points_filters_inf(self):
+        series = Series.from_xy("s", [1, 2], [3, math.inf])
+        assert series.finite_points() == ((1.0, 3.0),)
+
+    def test_figure_data_csv_and_ascii(self):
+        figure = FigureData(name="fig", x_label="x", y_label="y")
+        figure.add_series(Series.from_xy("a", [1, 2, 3], [3, 2, 1]))
+        figure.add_series(Series.from_xy("b", [1, 2, 3], [1, 2, 3]))
+        csv = figure.to_csv()
+        assert csv.splitlines()[0] == "series,x,y"
+        assert len(csv.splitlines()) == 7
+        ascii_plot = figure.to_ascii(width=20, height=5)
+        assert "legend" in ascii_plot
+        assert figure.get("a").name == "a"
+        with pytest.raises(KeyError):
+            figure.get("missing")
+
+    def test_empty_figure_ascii(self):
+        figure = FigureData(name="fig", x_label="x", y_label="y")
+        figure.add_series(Series.from_xy("a", [1.0], [math.inf]))
+        assert "no finite data" in figure.to_ascii()
+
+
+class TestExperimentDrivers:
+    def test_case_studies_registry(self):
+        assert set(CASE_STUDIES) == {"alex-16", "alex-32", "vgg-16"}
+        problem = case_study("alex-16", resource_limit_percent=70.0)
+        assert problem.num_fpgas == 2
+        assert problem.weights.beta == pytest.approx(0.7)
+        with pytest.raises(ValueError):
+            case_study("lenet")
+
+    def test_table2_matches_paper_sums(self):
+        text = table2().render()
+        assert "CONV1" in text
+        assert "54.570" in text  # Alex-32 BRAM sum
+        assert "166.180" in text  # Alex-32 DSP sum
+
+    def test_table3_contains_merged_rows_and_sum(self):
+        text = table3().render()
+        assert "CONV11, CONV12, CONV13" in text
+        assert "183.670" in text
+
+    def test_table4_weights(self):
+        text = table4().render()
+        assert "50.000" in text and "0.700" in text
+
+    def test_figure2_small_grid(self):
+        figure = figure2(constraints=(60, 80), t_values=(0.0, 10.0))
+        assert {series.name for series in figure.series} == {"T0", "T10"}
+        for series in figure.series:
+            assert len(series) == 2
+        # T has little effect: at every constraint the curves are close.
+        t0 = dict(figure.get("T0").points)
+        t10 = dict(figure.get("T10").points)
+        for x in (60.0, 80.0):
+            if math.isfinite(t0[x]) and math.isfinite(t10[x]):
+                assert abs(t0[x] - t10[x]) <= 0.35 * t0[x]
+
+    def test_figure3_quick_subset(self):
+        result = figure3(constraints=(70, 85), exact_settings=FAST_EXACT, methods=("gp+a", "minlp"))
+        panel_a = result.versus_constraint
+        gp = dict(panel_a.get("GP+A").points)
+        exact = dict(panel_a.get("MINLP").points)
+        for x in (70.0, 85.0):
+            assert exact[x] <= gp[x] + 1e-9
+        assert result.versus_utilization.series
+
+    def test_figure6_tables(self):
+        tables = figure6(resource_constraint=61.0, methods=("gp+a", "minlp"), exact_settings=FAST_EXACT)
+        assert set(tables) == {"gp+a", "minlp"}
+        text = tables["gp+a"].render()
+        assert "SLACK" in text and "CONV13" in text
+
+    def test_runtime_table_quick(self):
+        table = runtime_table(cases=("alex-16",), methods=("gp+a", "minlp"), repetitions=1)
+        text = table.render()
+        assert "alex-16" in text and "gp+a" in text

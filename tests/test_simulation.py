@@ -1,0 +1,159 @@
+"""Tests for the discrete-event engine, the DRAM model and the pipeline simulator."""
+
+import pytest
+
+from repro.core.problem import AllocationProblem
+from repro.core.solution import AllocationSolution
+from repro.core.solvers import solve
+from repro.platform.presets import aws_f1
+from repro.simulation.dram import BandwidthContentionModel
+from repro.simulation.engine import EventQueue
+from repro.simulation.pipeline_sim import PipelineSimulator, simulate_allocation
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(5.0, lambda: log.append("late"))
+        queue.schedule(1.0, lambda: log.append("early"))
+        queue.schedule(3.0, lambda: log.append("middle"))
+        queue.run()
+        assert log == ["early", "middle", "late"]
+        assert queue.now == 5.0
+        assert queue.processed_events == 3
+
+    def test_schedule_at_and_until(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule_at(2.0, lambda: log.append("a"))
+        queue.schedule_at(10.0, lambda: log.append("b"))
+        queue.run(until=5.0)
+        assert log == ["a"]
+        assert queue.now == 5.0
+        queue.run()
+        assert log == ["a", "b"]
+
+    def test_cancel(self):
+        queue = EventQueue()
+        log = []
+        event = queue.schedule(1.0, lambda: log.append("x"))
+        queue.cancel(event)
+        queue.run()
+        assert log == []
+        assert queue.is_empty()
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        log = []
+
+        def first():
+            log.append("first")
+            queue.schedule(1.0, lambda: log.append("second"))
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert log == ["first", "second"]
+        assert queue.now == pytest.approx(2.0)
+
+    def test_max_events_limit(self):
+        queue = EventQueue()
+        for _ in range(10):
+            queue.schedule(1.0, lambda: None)
+        queue.run(max_events=4)
+        assert queue.processed_events == 4
+
+
+class TestContentionModel:
+    def test_feasible_allocation_has_no_slowdown(self, alex16_problem):
+        outcome = solve(alex16_problem, method="gp+a")
+        model = BandwidthContentionModel.from_solution(outcome.solution)
+        assert model.worst_slowdown == pytest.approx(1.0)
+        for name in alex16_problem.kernel_names:
+            assert model.kernel_slowdown(name) == pytest.approx(1.0)
+
+    def test_oversubscribed_bandwidth_slows_down(self, tiny_pipeline):
+        problem = AllocationProblem(
+            pipeline=tiny_pipeline,
+            platform=aws_f1(num_fpgas=1, resource_limit_percent=100.0).with_bandwidth_limit(5.0),
+        )
+        solution = AllocationSolution(
+            problem=problem, counts={"A": (1,), "B": (1,), "C": (1,)}
+        )
+        model = BandwidthContentionModel.from_solution(solution)
+        # Total demand 10 % vs 5 % cap -> slowdown 2.
+        assert model.fpga_slowdown(0) == pytest.approx(2.0)
+        assert model.kernel_slowdown("A") == pytest.approx(2.0)
+
+    def test_ideal_model(self, tiny_problem):
+        solution = AllocationSolution(
+            problem=tiny_problem, counts={"A": (1, 0), "B": (1, 0), "C": (0, 1)}
+        )
+        assert BandwidthContentionModel.ideal(solution).worst_slowdown == 1.0
+
+
+class TestPipelineSimulator:
+    def test_measured_ii_matches_analytic_for_feasible_allocation(self, alex16_problem):
+        outcome = solve(alex16_problem, method="gp+a")
+        result = simulate_allocation(outcome.solution, images=64)
+        assert result.measured_ii_ms == pytest.approx(result.analytic_ii_ms, rel=1e-6)
+        assert result.ii_error < 1e-6
+
+    def test_latency_is_sum_of_stage_times(self, tiny_problem):
+        solution = AllocationSolution(
+            problem=tiny_problem, counts={"A": (1, 1), "B": (1, 0), "C": (1, 1)}
+        )
+        result = simulate_allocation(solution, images=16)
+        expected_latency = sum(
+            solution.execution_time(name) for name in tiny_problem.kernel_names
+        )
+        assert result.pipeline_latency_ms == pytest.approx(expected_latency, rel=1e-9)
+
+    def test_throughput_consistent_with_ii(self, alex16_problem):
+        outcome = solve(alex16_problem, method="gp+a")
+        result = simulate_allocation(outcome.solution, images=128)
+        assert result.throughput_per_second == pytest.approx(
+            1000.0 / result.measured_ii_ms, rel=0.05
+        )
+
+    def test_makespan_grows_linearly_with_images(self, tiny_problem):
+        solution = AllocationSolution(
+            problem=tiny_problem, counts={"A": (1, 1), "B": (1, 0), "C": (1, 1)}
+        )
+        short = simulate_allocation(solution, images=16)
+        long = simulate_allocation(solution, images=32)
+        ii = solution.initiation_interval
+        assert long.makespan_ms - short.makespan_ms == pytest.approx(16 * ii, rel=1e-6)
+
+    def test_contention_stretches_service_times(self, tiny_pipeline):
+        problem = AllocationProblem(
+            pipeline=tiny_pipeline,
+            platform=aws_f1(num_fpgas=1, resource_limit_percent=100.0).with_bandwidth_limit(5.0),
+        )
+        solution = AllocationSolution(
+            problem=problem, counts={"A": (1,), "B": (1,), "C": (1,)}
+        )
+        result = simulate_allocation(solution, images=32)
+        assert result.measured_ii_ms > solution.initiation_interval
+
+    def test_invalid_arguments(self, tiny_problem):
+        solution = AllocationSolution(
+            problem=tiny_problem, counts={"A": (1, 0), "B": (1, 0), "C": (1, 0)}
+        )
+        with pytest.raises(ValueError):
+            PipelineSimulator(solution, buffer_depth=0)
+        with pytest.raises(ValueError):
+            simulate_allocation(solution, images=0)
+
+    def test_stage_timings_reported(self, tiny_problem):
+        solution = AllocationSolution(
+            problem=tiny_problem, counts={"A": (1, 0), "B": (1, 0), "C": (1, 0)}
+        )
+        result = simulate_allocation(solution, images=8)
+        assert [timing.kernel for timing in result.stage_timings] == ["A", "B", "C"]
+        assert all(timing.service_time_ms > 0 for timing in result.stage_timings)

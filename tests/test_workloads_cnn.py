@@ -1,0 +1,128 @@
+"""Tests for the built-in CNN workloads (Tables 2-3) and layer geometry."""
+
+import pytest
+
+from repro.workloads.alexnet import (
+    ALEX16_EXPECTED_SUM,
+    ALEX32_EXPECTED_SUM,
+    alexnet_fp32,
+    alexnet_fx16,
+)
+from repro.workloads.cnn_layers import (
+    ConvLayer,
+    LayerType,
+    NormLayer,
+    PoolLayer,
+    alexnet_layers,
+    total_macs,
+    vgg16_layers,
+)
+from repro.workloads.vgg import VGG16_EXPECTED_SUM, vgg16_fx16
+
+
+class TestAlexNetTables:
+    def test_alex32_has_eight_kernels_in_order(self):
+        pipeline = alexnet_fp32()
+        assert pipeline.kernel_names == (
+            "CONV1", "POOL1", "NORM1", "CONV2", "NORM2", "CONV3", "CONV4", "CONV5",
+        )
+
+    def test_alex16_has_eight_kernels(self):
+        assert len(alexnet_fx16()) == 8
+
+    def test_alex32_sum_row_matches_paper(self):
+        pipeline = alexnet_fp32()
+        totals = pipeline.total_resources()
+        assert totals.bram == pytest.approx(ALEX32_EXPECTED_SUM["bram"], abs=0.01)
+        assert totals.dsp == pytest.approx(ALEX32_EXPECTED_SUM["dsp"], abs=0.01)
+        assert pipeline.total_bandwidth() == pytest.approx(ALEX32_EXPECTED_SUM["bw"], abs=0.15)
+        assert pipeline.total_wcet_ms() == pytest.approx(ALEX32_EXPECTED_SUM["wcet"], abs=0.01)
+
+    def test_alex16_sum_row_matches_paper(self):
+        pipeline = alexnet_fx16()
+        totals = pipeline.total_resources()
+        assert totals.bram == pytest.approx(ALEX16_EXPECTED_SUM["bram"], abs=0.01)
+        assert totals.dsp == pytest.approx(ALEX16_EXPECTED_SUM["dsp"], abs=0.01)
+        assert pipeline.total_bandwidth() == pytest.approx(ALEX16_EXPECTED_SUM["bw"], abs=0.15)
+        assert pipeline.total_wcet_ms() == pytest.approx(ALEX16_EXPECTED_SUM["wcet"], abs=0.01)
+
+    def test_fixed_point_uses_fewer_dsps_than_float(self):
+        # The central premise of Table 2: fx16 CONV kernels use far fewer DSPs.
+        fp32, fx16 = alexnet_fp32(), alexnet_fx16()
+        for name in ("CONV1", "CONV2", "CONV3", "CONV4", "CONV5"):
+            assert fx16[name].resources.dsp < fp32[name].resources.dsp
+
+    def test_pool_layers_use_no_dsp(self):
+        assert alexnet_fp32()["POOL1"].resources.dsp == 0.0
+        assert alexnet_fx16()["POOL1"].resources.dsp == 0.0
+
+
+class TestVGGTable:
+    def test_vgg_has_seventeen_kernels(self):
+        pipeline = vgg16_fx16()
+        assert len(pipeline) == 17
+        assert pipeline.kernel_names[0] == "CONV1"
+        assert pipeline.kernel_names[-1] == "CONV13"
+
+    def test_repeated_rows_expand_to_identical_kernels(self):
+        pipeline = vgg16_fx16()
+        assert pipeline["CONV6"].resources == pipeline["CONV7"].resources
+        assert pipeline["CONV11"].wcet_ms == pipeline["CONV13"].wcet_ms
+
+    def test_sum_row_matches_paper(self):
+        pipeline = vgg16_fx16()
+        totals = pipeline.total_resources()
+        assert totals.bram == pytest.approx(VGG16_EXPECTED_SUM["bram"], abs=0.01)
+        assert totals.dsp == pytest.approx(VGG16_EXPECTED_SUM["dsp"], abs=0.01)
+        assert pipeline.total_bandwidth() == pytest.approx(VGG16_EXPECTED_SUM["bw"], abs=0.15)
+        assert pipeline.total_wcet_ms() == pytest.approx(VGG16_EXPECTED_SUM["wcet"], abs=0.5)
+
+    def test_vgg_does_not_fit_on_one_fpga(self):
+        # 183.67 % DSP: the motivation for multi-FPGA allocation.
+        assert vgg16_fx16().total_resources().dsp > 100.0
+
+
+class TestLayerGeometry:
+    def test_conv_output_size(self):
+        layer = ConvLayer("c", in_channels=3, out_channels=96, in_size=227, kernel_size=11, stride=4)
+        assert layer.out_size == 55
+        assert layer.layer_type is LayerType.CONVOLUTION
+
+    def test_conv_macs_formula(self):
+        layer = ConvLayer("c", in_channels=2, out_channels=4, in_size=4, kernel_size=3, padding=1)
+        assert layer.out_size == 4
+        assert layer.macs == 3 * 3 * 2 * 4 * 4 * 4
+
+    def test_grouped_conv_reduces_macs_and_weights(self):
+        dense = ConvLayer("d", in_channels=4, out_channels=4, in_size=8, kernel_size=3, padding=1)
+        grouped = ConvLayer("g", in_channels=4, out_channels=4, in_size=8, kernel_size=3, padding=1, groups=2)
+        assert grouped.macs == dense.macs // 2
+        assert grouped.weight_count == dense.weight_count // 2
+
+    def test_pool_output_size_and_macs(self):
+        layer = PoolLayer("p", channels=8, in_size=8, kernel_size=2, stride=2)
+        assert layer.out_size == 4
+        assert layer.macs == 2 * 2 * 8 * 4 * 4
+        assert layer.weight_count == 0
+
+    def test_norm_layer(self):
+        layer = NormLayer("n", channels=8, in_size=8)
+        assert layer.out_size == 8
+        assert layer.macs == 5 * 8 * 64
+
+    def test_invalid_layers_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            ConvLayer("c", in_channels=0, out_channels=1, in_size=8, kernel_size=3)
+        with pytest.raises(ValueError):
+            PoolLayer("p", channels=1, in_size=0, kernel_size=2, stride=2)
+
+    def test_alexnet_layer_chain_is_consistent(self):
+        layers = alexnet_layers()
+        assert [layer.name for layer in layers][:3] == ["CONV1", "POOL1", "NORM1"]
+        assert total_macs(layers) > 5e8  # AlexNet features are ~0.66 GMAC
+
+    def test_vgg_layer_chain_is_consistent(self):
+        layers = vgg16_layers()
+        assert len(layers) == 17
+        assert total_macs(layers) > 1e10  # VGG-16 features are ~15 GMAC

@@ -1,0 +1,105 @@
+"""Tests for JSON serialisation of pipelines and allocations."""
+
+import json
+
+import pytest
+
+from repro.workloads.alexnet import alexnet_fx16
+from repro.workloads.serialization import (
+    SerializationError,
+    allocation_from_dict,
+    allocation_to_dict,
+    kernel_from_dict,
+    kernel_to_dict,
+    load_allocation,
+    load_pipeline,
+    pipeline_from_dict,
+    pipeline_to_dict,
+    save_allocation,
+    save_pipeline,
+)
+from repro.workloads.vgg import vgg16_fx16
+
+
+class TestKernelRoundTrip:
+    def test_round_trip_preserves_fields(self, tiny_pipeline):
+        for kernel in tiny_pipeline:
+            clone = kernel_from_dict(kernel_to_dict(kernel))
+            assert clone == kernel
+
+    def test_max_cus_round_trip(self, tiny_pipeline):
+        from dataclasses import replace
+
+        kernel = replace(tiny_pipeline[0], max_cus=3)
+        assert kernel_from_dict(kernel_to_dict(kernel)).max_cus == 3
+
+    def test_invalid_kernel_record(self):
+        with pytest.raises(SerializationError):
+            kernel_from_dict({"name": "X"})  # missing wcet_ms
+        with pytest.raises(SerializationError):
+            kernel_from_dict({"name": "X", "wcet_ms": -1.0})
+
+
+class TestPipelineRoundTrip:
+    @pytest.mark.parametrize("factory", [alexnet_fx16, vgg16_fx16])
+    def test_round_trip_preserves_characterisation(self, factory):
+        pipeline = factory()
+        clone = pipeline_from_dict(pipeline_to_dict(pipeline))
+        assert clone.kernel_names == pipeline.kernel_names
+        assert clone.total_wcet_ms() == pytest.approx(pipeline.total_wcet_ms())
+        assert clone.total_resources().isclose(pipeline.total_resources())
+
+    def test_file_round_trip(self, tmp_path, tiny_pipeline):
+        path = save_pipeline(tiny_pipeline, tmp_path / "tiny.json")
+        loaded = load_pipeline(path)
+        assert loaded.kernel_names == tiny_pipeline.kernel_names
+        # The file is plain JSON with a format version.
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+
+    def test_invalid_documents(self, tmp_path):
+        with pytest.raises(SerializationError):
+            pipeline_from_dict({"name": "x", "kernels": []})
+        with pytest.raises(SerializationError):
+            pipeline_from_dict({"kernels": [{"name": "k", "wcet_ms": 1.0}]})
+        with pytest.raises(SerializationError):
+            pipeline_from_dict({"format_version": 99, "name": "x", "kernels": [{}]})
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_pipeline(bad)
+
+    def test_loaded_pipeline_is_solvable(self, tmp_path):
+        from repro.core.problem import AllocationProblem
+        from repro.core.solvers import solve
+        from repro.platform.presets import aws_f1
+
+        path = save_pipeline(alexnet_fx16(), tmp_path / "alex.json")
+        problem = AllocationProblem(
+            pipeline=load_pipeline(path),
+            platform=aws_f1(num_fpgas=2, resource_limit_percent=70.0),
+        )
+        assert solve(problem, method="gp+a").succeeded
+
+
+class TestAllocationRoundTrip:
+    def test_round_trip(self, tmp_path, tiny_problem):
+        from repro.core.solvers import solve
+
+        outcome = solve(tiny_problem, method="gp+a")
+        counts = outcome.solution.counts
+        path = save_allocation(counts, tiny_problem.pipeline.name, tmp_path / "alloc.json")
+        loaded = load_allocation(path)
+        assert loaded == {name: tuple(values) for name, values in counts.items()}
+
+    def test_dict_round_trip(self):
+        counts = {"A": (1, 2), "B": (0, 1)}
+        assert allocation_from_dict(allocation_to_dict(counts, "p")) == counts
+
+    def test_invalid_allocation_documents(self):
+        with pytest.raises(SerializationError):
+            allocation_from_dict({"counts": {}})
+        with pytest.raises(SerializationError):
+            allocation_from_dict({"counts": {"A": []}})
+        with pytest.raises(SerializationError):
+            allocation_from_dict({"counts": {"A": ["x"]}})

@@ -1,0 +1,76 @@
+"""Tests for the synthetic pipeline generators."""
+
+import pytest
+
+from repro.workloads.synthetic import (
+    SyntheticSpec,
+    cnn_like_pipeline,
+    random_pipeline,
+    scaled_pipeline,
+)
+
+
+class TestRandomPipeline:
+    def test_deterministic_given_seed(self):
+        a = random_pipeline(seed=3)
+        b = random_pipeline(seed=3)
+        assert a.kernel_names == b.kernel_names
+        assert [k.wcet_ms for k in a] == [k.wcet_ms for k in b]
+
+    def test_different_seeds_differ(self):
+        a = random_pipeline(seed=1)
+        b = random_pipeline(seed=2)
+        assert [k.wcet_ms for k in a] != [k.wcet_ms for k in b]
+
+    def test_respects_spec_ranges(self):
+        spec = SyntheticSpec(num_kernels=12, min_wcet_ms=1.0, max_wcet_ms=2.0,
+                             min_resource=1.0, max_resource=5.0,
+                             min_bandwidth=0.5, max_bandwidth=1.0)
+        pipeline = random_pipeline(spec, seed=0)
+        assert len(pipeline) == 12
+        for kernel in pipeline:
+            assert 1.0 <= kernel.wcet_ms <= 2.0
+            assert kernel.resources.max_component() <= 5.0
+            assert 0.5 <= kernel.bandwidth <= 1.0
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(num_kernels=0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(min_wcet_ms=2.0, max_wcet_ms=1.0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(heavy_fraction=1.5)
+
+
+class TestCnnLikePipeline:
+    def test_kernel_counts(self):
+        pipeline = cnn_like_pipeline(num_conv=10, num_pool=3, seed=1)
+        names = pipeline.kernel_names
+        assert sum(1 for n in names if n.startswith("CONV")) == 10
+        assert sum(1 for n in names if n.startswith("POOL")) == 3
+
+    def test_pool_kernels_have_negligible_dsp(self):
+        pipeline = cnn_like_pipeline(num_conv=6, num_pool=2, seed=5)
+        for kernel in pipeline:
+            if kernel.name.startswith("POOL"):
+                assert kernel.resources.dsp <= 0.1
+            else:
+                assert kernel.resources.dsp >= 3.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            cnn_like_pipeline(num_conv=0)
+        with pytest.raises(ValueError):
+            cnn_like_pipeline(num_conv=2, num_pool=-1)
+
+
+class TestScaledPipeline:
+    def test_tiles_kernels_with_unique_names(self, tiny_pipeline):
+        scaled = scaled_pipeline(tiny_pipeline, repetitions=3)
+        assert len(scaled) == 9
+        assert len(set(scaled.kernel_names)) == 9
+        assert scaled.total_wcet_ms() == pytest.approx(3 * tiny_pipeline.total_wcet_ms())
+
+    def test_rejects_zero_repetitions(self, tiny_pipeline):
+        with pytest.raises(ValueError):
+            scaled_pipeline(tiny_pipeline, repetitions=0)
