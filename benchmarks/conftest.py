@@ -4,15 +4,42 @@ Every benchmark regenerates one table or figure of the paper.  Besides the
 pytest-benchmark timing, the artefact itself (rendered table or CSV series)
 is written under ``benchmarks/results/`` and echoed to stdout so a run with
 ``pytest benchmarks/ --benchmark-only -s`` shows the reproduced data.
+
+Each session that ran benchmarks also writes a compact perf snapshot to
+``benchmarks/results/BENCH_<rev>.json`` (see ``benchmarks/export_bench.py``)
+so successive PRs can track the performance trajectory; compare two
+snapshots with ``python benchmarks/export_bench.py compare A.json B.json``.
 """
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 import pytest
 
+sys.path.insert(0, str(Path(__file__).parent))
+
+from export_bench import snapshot_from_benchmarks, write_snapshot  # noqa: E402
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the ``BENCH_<rev>.json`` snapshot after a benchmark run.
+
+    pytest-benchmark finalises its stats in a hook *wrapper*, which runs
+    before plain implementations like this one, so the numbers are complete
+    here.  Skipped silently when no benchmark ran (e.g. unit-test-only
+    invocations) or the plugin is absent.
+    """
+    benchmark_session = getattr(session.config, "_benchmarksession", None)
+    if benchmark_session is None or not benchmark_session.benchmarks:
+        return
+    try:
+        write_snapshot(snapshot_from_benchmarks(benchmark_session.benchmarks))
+    except Exception:  # pragma: no cover - snapshots must never fail a run
+        pass
 
 
 @pytest.fixture(scope="session")

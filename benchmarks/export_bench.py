@@ -1,0 +1,155 @@
+"""Performance-snapshot helper for the benchmark suite.
+
+Every benchmark session writes a compact ``BENCH_<rev>.json`` snapshot under
+``benchmarks/results/`` (wired up in ``benchmarks/conftest.py``), so the
+performance trajectory of the repository can be tracked commit over commit.
+
+Standalone usage::
+
+    python benchmarks/export_bench.py run            # run benchmarks, snapshot
+    python benchmarks/export_bench.py run -k vgg     # extra pytest args pass through
+    python benchmarks/export_bench.py compare BENCH_a.json BENCH_b.json
+
+``compare`` prints a per-benchmark new/old runtime ratio table (values below
+1.0 mean the second snapshot is faster).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Stats kept per benchmark in the snapshot (seconds, except ``rounds``).
+SNAPSHOT_STATS = ("min", "mean", "median", "stddev", "rounds")
+
+
+def git_revision(short: bool = True) -> str:
+    """Current git revision, or ``"unknown"`` outside a repository."""
+    try:
+        argument = ["rev-parse", "--short", "HEAD"] if short else ["rev-parse", "HEAD"]
+        return (
+            subprocess.run(
+                ["git", *argument],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def snapshot_from_benchmarks(benchmarks: Iterable[Any], revision: str | None = None) -> dict:
+    """Compact snapshot from pytest-benchmark metadata objects."""
+    revision = revision or git_revision()
+    entries: dict[str, dict[str, float]] = {}
+    for benchmark in benchmarks:
+        if getattr(benchmark, "has_error", False):
+            continue
+        data = benchmark.as_dict()
+        stats = data.get("stats") or {}
+        entries[data["fullname"]] = {
+            key: stats[key] for key in SNAPSHOT_STATS if key in stats
+        }
+    return {
+        "revision": revision,
+        "unix_time": time.time(),
+        "benchmarks": entries,
+    }
+
+
+def snapshot_path(revision: str | None = None) -> Path:
+    return RESULTS_DIR / f"BENCH_{revision or git_revision()}.json"
+
+
+def write_snapshot(snapshot: dict, path: Path | None = None) -> Path:
+    """Write a snapshot to ``benchmarks/results/BENCH_<rev>.json``."""
+    path = path or snapshot_path(snapshot.get("revision"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_snapshot(path: Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def compare_snapshots(old: dict, new: dict) -> list[tuple[str, float, float, float]]:
+    """Per-benchmark (name, old mean, new mean, new/old ratio) rows."""
+    rows: list[tuple[str, float, float, float]] = []
+    old_benchmarks = old.get("benchmarks", {})
+    for name, stats in sorted(new.get("benchmarks", {}).items()):
+        base = old_benchmarks.get(name)
+        if not base or "mean" not in base or "mean" not in stats:
+            continue
+        if base["mean"] <= 0:
+            continue
+        rows.append((name, base["mean"], stats["mean"], stats["mean"] / base["mean"]))
+    return rows
+
+
+def render_comparison(rows: list[tuple[str, float, float, float]]) -> str:
+    if not rows:
+        return "no common benchmarks between the two snapshots"
+    width = max(len(name) for name, *_ in rows)
+    lines = [f"{'benchmark':<{width}}  {'old (s)':>12}  {'new (s)':>12}  {'new/old':>8}"]
+    for name, old_mean, new_mean, ratio in rows:
+        lines.append(f"{name:<{width}}  {old_mean:>12.6f}  {new_mean:>12.6f}  {ratio:>8.3f}")
+    return "\n".join(lines)
+
+
+def _run(extra_args: list[str]) -> int:
+    """Run the benchmark suite and leave the snapshot writing to conftest."""
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(Path(__file__).parent),
+        "--benchmark-only",
+        "-q",
+        *extra_args,
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT)
+    if completed.returncode == 0:
+        print(f"snapshot: {snapshot_path()}")
+    return completed.returncode
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("run", help="run the benchmark suite and write a snapshot")
+    compare_parser = commands.add_parser("compare", help="compare two snapshots")
+    compare_parser.add_argument("old", type=Path)
+    compare_parser.add_argument("new", type=Path)
+    # parse_known_args so pytest flags (-k, -x, ...) pass through untouched;
+    # argparse.REMAINDER cannot capture leading optionals inside subparsers.
+    args, passthrough = parser.parse_known_args(argv)
+    if args.command == "run":
+        return _run(passthrough)
+    if passthrough:
+        parser.error(f"unrecognized arguments: {' '.join(passthrough)}")
+    try:
+        old, new = load_snapshot(args.old), load_snapshot(args.new)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read snapshot: {error}", file=sys.stderr)
+        return 2
+    print(render_comparison(compare_snapshots(old, new)))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # output piped into head/less and closed early
+        sys.exit(0)

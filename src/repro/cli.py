@@ -5,6 +5,7 @@ Two sub-commands cover the common workflows::
     repro-fpga solve --app alex-16 --fpgas 2 --resource 70 --method gp+a
     repro-fpga experiment table2
     repro-fpga experiment figure3 --output figure3.csv
+    repro-fpga experiment figure2 --jobs 4   # sweep on a 4-worker process pool
 
 ``python -m repro`` is equivalent to ``repro-fpga``.
 """
@@ -19,6 +20,7 @@ from typing import Sequence
 from .core.exact import ExactSettings
 from .core.heuristic import HeuristicSettings
 from .core.solvers import METHODS, solve
+from .explore.executor import ExecutorSettings, SweepExecutor, available_workers
 from .reporting import experiments
 from .reporting.series import FigureData
 
@@ -62,8 +64,23 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("name", choices=_EXPERIMENTS)
     experiment_parser.add_argument("--output", type=Path, default=None, help="write CSV output to this path")
     experiment_parser.add_argument("--quick", action="store_true", help="use a reduced grid for a faster run")
+    experiment_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep experiments (0 = one per CPU, 1 = serial)",
+    )
 
     return parser
+
+
+def _executor_for(jobs: int) -> SweepExecutor:
+    """Build the sweep executor requested by ``--jobs``."""
+    if jobs == 0:
+        jobs = available_workers()
+    if jobs <= 1:
+        return SweepExecutor(ExecutorSettings(parallel=False))
+    return SweepExecutor(ExecutorSettings(parallel=True, max_workers=jobs))
 
 
 def _run_solve(args: argparse.Namespace) -> int:
@@ -100,6 +117,7 @@ def _write_or_print(text: str, output: Path | None) -> None:
 
 def _run_experiment(args: argparse.Namespace) -> int:
     name = args.name
+    executor = _executor_for(args.jobs)
     if name == "table2":
         _write_or_print(experiments.table2().render(), args.output)
     elif name == "table3":
@@ -109,12 +127,12 @@ def _run_experiment(args: argparse.Namespace) -> int:
     elif name == "figure2":
         constraints = (50, 60, 70, 80, 90) if args.quick else tuple(range(40, 91, 5))
         t_values = (0.0, 10.0, 30.0) if args.quick else (0.0, 2.5, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
-        figure = experiments.figure2(constraints=constraints, t_values=t_values)
+        figure = experiments.figure2(constraints=constraints, t_values=t_values, executor=executor)
         _emit_figure(figure, args.output)
     elif name in ("figure3", "figure4", "figure5"):
         driver = getattr(experiments, name)
         methods = ("gp+a", "minlp") if args.quick else ("gp+a", "minlp", "minlp+g")
-        result = driver(methods=methods)
+        result = driver(methods=methods, executor=executor)
         _emit_figure(result.versus_constraint, args.output)
         _emit_figure(result.versus_utilization, None)
     elif name == "figure6":
@@ -124,7 +142,9 @@ def _run_experiment(args: argparse.Namespace) -> int:
         _write_or_print(text, args.output)
     elif name == "runtime":
         methods = ("gp+a", "minlp") if args.quick else ("gp+a", "minlp", "minlp+g")
-        _write_or_print(experiments.runtime_table(methods=methods).render(), args.output)
+        _write_or_print(
+            experiments.runtime_table(methods=methods, executor=executor).render(), args.output
+        )
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(name)
     return 0

@@ -1,5 +1,6 @@
 """Core allocation flow: the paper's problem formulation, heuristic and exact solvers."""
 
+from .arrays import ProblemArrays, build_problem_arrays, problem_arrays
 from .allocator import (
     AllocatorResult,
     AllocatorSettings,
@@ -10,6 +11,8 @@ from .allocator import (
 from .discretize import (
     DiscretizationError,
     DiscretizationResult,
+    discretization_cache_clear,
+    discretization_cache_info,
     discretize_counts,
     round_counts,
 )
@@ -19,7 +22,13 @@ from .exact import (
     solve_exact_min_ii,
     solve_exact_weighted,
 )
-from .gp_step import GPStepResult, build_gp_model, build_minmax_problem, solve_gp_step
+from .gp_step import (
+    GPStepResult,
+    build_gp_model,
+    build_minmax_problem,
+    build_vectorized_minmax,
+    solve_gp_step,
+)
 from .heuristic import HeuristicSettings, solve_gp_a
 from .objective import (
     ObjectiveWeights,
@@ -53,6 +62,7 @@ __all__ = [
     "ExactSettings",
     "GPStepResult",
     "GreedyAllocator",
+    "ProblemArrays",
     "HeuristicSettings",
     "METHODS",
     "ObjectiveWeights",
@@ -64,16 +74,21 @@ __all__ = [
     "balanced_weights",
     "build_gp_model",
     "build_minmax_problem",
+    "build_problem_arrays",
+    "build_vectorized_minmax",
     "candidate_ii_values",
     "check_outcome_consistency",
     "compare_methods",
     "default_weights",
+    "discretization_cache_clear",
+    "discretization_cache_info",
     "discretize_counts",
     "first_fit_decreasing_allocate",
     "global_spreading",
     "initiation_interval",
     "kernel_spreading",
     "round_counts",
+    "problem_arrays",
     "solution_from_assignment",
     "solve",
     "solve_exact_min_ii",

@@ -15,6 +15,13 @@ assigns them to FPGAs while:
 "Resource" means every active capacity dimension: on-chip resources *and*
 DRAM bandwidth, as in the paper ("we use the general term resource constraint
 to refer to both actual resource and bandwidth constraints").
+
+The implementation is vectorized: per-FPGA slack is a ``(F, D)`` NumPy
+matrix and per-CU demand a ``(K, D)`` matrix (rows shared with the problem's
+memoized :class:`~repro.core.arrays.ProblemArrays`), so the capacity checks,
+the consolidation ordering and the repair pass's swap search are single
+array operations instead of per-kernel dict loops.  The placement decisions
+are unchanged from the scalar implementation.
 """
 
 from __future__ import annotations
@@ -23,10 +30,14 @@ import math
 from dataclasses import dataclass
 from typing import Literal, Mapping
 
-from ..platform.resources import ResourceVector
+import numpy as np
+
 from .problem import AllocationProblem
 
-CriticalityRule = Literal["ii-impact", "resource", "wcet"]
+CriticalityRule = Literal["ii-impact", "resource", "wcet", "footprint"]
+
+#: Feasibility slack used by every capacity comparison.
+_TOL = 1e-9
 
 
 @dataclass(frozen=True)
@@ -36,7 +47,10 @@ class AllocatorSettings:
     ``portfolio=True`` runs one greedy pass per criticality rule and keeps the
     best outcome; each pass is microseconds, and multi-dimensional packing is
     sensitive enough to the visit order that this materially improves
-    robustness without leaving the paper's greedy framework.
+    robustness without leaving the paper's greedy framework.  The portfolio
+    includes a plain first-fit-decreasing ordering (``"footprint"``: largest
+    per-CU footprint first), so Algorithm 1 dominates the FFD ablation
+    baseline by construction.
     """
 
     t_percent: float = 0.0
@@ -56,7 +70,7 @@ class AllocatorSettings:
         if not self.portfolio:
             return (self.criticality,)
         rules: list[CriticalityRule] = [self.criticality]
-        for rule in ("resource", "wcet", "ii-impact"):
+        for rule in ("resource", "wcet", "ii-impact", "footprint"):
             if rule not in rules:
                 rules.append(rule)  # type: ignore[arg-type]
         return tuple(rules)
@@ -73,59 +87,52 @@ class AllocatorResult:
     unallocated: Mapping[str, int]
 
 
-@dataclass
-class _FPGAState:
-    """Mutable per-FPGA bookkeeping used during one allocation pass."""
-
-    index: int
-    resource_slack: dict[str, float]
-    bandwidth_slack: float
-    touched: bool = False
-
-    def normalized_slack(self, caps: dict[str, float], bandwidth_cap: float) -> float:
-        total = 0.0
-        for kind, cap in caps.items():
-            if cap > 0:
-                total += self.resource_slack[kind] / cap
-        if bandwidth_cap > 0:
-            total += self.bandwidth_slack / bandwidth_cap
-        return total
-
-    def fits(self, demand: dict[str, float], bandwidth_demand: float, tolerance: float = 1e-9) -> bool:
-        if bandwidth_demand > self.bandwidth_slack + tolerance:
-            return False
-        return all(demand[kind] <= self.resource_slack[kind] + tolerance for kind in demand)
-
-    def max_units(self, unit: dict[str, float], unit_bandwidth: float) -> int:
-        limit = math.inf
-        for kind, usage in unit.items():
-            if usage > 0:
-                limit = min(limit, self.resource_slack[kind] / usage)
-        if unit_bandwidth > 0:
-            limit = min(limit, self.bandwidth_slack / unit_bandwidth)
-        if math.isinf(limit):
-            return 10**9
-        return max(0, int(math.floor(limit + 1e-9)))
-
-    def place(self, unit: dict[str, float], unit_bandwidth: float, count: int) -> None:
-        for kind in unit:
-            self.resource_slack[kind] -= unit[kind] * count
-        self.bandwidth_slack -= unit_bandwidth * count
-        if count > 0:
-            self.touched = True
-
-
 class GreedyAllocator:
     """Algorithm 1: criticality-driven, consolidation-biased CU placement."""
 
     def __init__(self, problem: AllocationProblem, settings: AllocatorSettings = AllocatorSettings()):
         self.problem = problem
         self.settings = settings
-        self._kinds = [
-            dimension.name
-            for dimension in problem.capacity_dimensions()
-            if dimension.name != "bandwidth"
+        arrays = problem.arrays()
+        self._arrays = arrays
+        self._names = arrays.names
+        self._num_kernels = len(arrays.names)
+        self._num_fpgas = problem.num_fpgas
+        self._wcet = arrays.wcet
+        # Per-CU demand matrix, one row per kernel over every active
+        # dimension (on-chip resource kinds plus bandwidth).
+        self._unit = np.ascontiguousarray(arrays.weights.T)
+        self._bandwidth_row = arrays.bandwidth_row
+        resource_columns = [
+            d for d in range(arrays.num_dimensions) if d != arrays.bandwidth_row
         ]
+        self._resource_columns = resource_columns
+        self._resource_kinds = tuple(arrays.dimension_names[d] for d in resource_columns)
+        if resource_columns:
+            self._per_cu_footprint = self._unit[:, resource_columns].max(axis=1)
+        else:
+            self._per_cu_footprint = np.zeros(self._num_kernels)
+        # Per-kernel demand rows and their positive-dimension slices, hoisted
+        # out of the placement loops (shared across every pass and polish).
+        self._unit_rows = [self._unit[kernel] for kernel in range(self._num_kernels)]
+        self._positive_columns = [
+            np.nonzero(row > 0)[0] for row in self._unit_rows
+        ]
+        self._positive_values = [
+            row[columns] for row, columns in zip(self._unit_rows, self._positive_columns)
+        ]
+        self._wcet_list = self._wcet.tolist()
+        self._per_cu_list = self._per_cu_footprint.tolist()
+        # Flat-list copies for the placement pass: at typical sizes (F <= 8,
+        # D <= 3) plain Python arithmetic beats per-call NumPy dispatch, so
+        # the sequential greedy pass runs on lists and only the batched
+        # pieces (oversize precheck, polish swap search) use arrays.
+        self._unit_lists = [row.tolist() for row in self._unit_rows]
+        self._positive_dim_lists = [
+            [(int(d), float(value)) for d, value in zip(columns, values)]
+            for columns, values in zip(self._positive_columns, self._positive_values)
+        ]
+        self._dim_range = range(arrays.num_dimensions)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -137,156 +144,242 @@ class GreedyAllocator:
         at the problem's resource limit and is relaxed by ``delta`` points per
         failed attempt, up to ``T`` extra points.
         """
-        for name in self.problem.kernel_names:
+        for name in self._names:
             if name not in totals:
                 raise KeyError(f"missing CU total for kernel {name!r}")
             if totals[name] < 1:
                 raise ValueError(f"kernel {name!r} must have at least one CU")
+        totals_vector = np.asarray([int(totals[name]) for name in self._names], dtype=np.int64)
+        # Criticality of losing one CU (eq. 1): fixed per requested totals,
+        # so computed once for every pass of the portfolio/retry loop.
+        impact = [
+            math.inf if count <= 1 else wcet / (count - 1) - wcet / count
+            for wcet, count in zip(self._wcet_list, totals_vector.tolist())
+        ]
 
         extra = 0.0
         iterations = 0
-        best: tuple[dict[str, list[int]], dict[str, int], float] | None = None
+        best: tuple[np.ndarray, np.ndarray, float] | None = None
+        best_quality: tuple[float, int] | None = None
         while True:
+            caps = self._caps_for(extra)
             for rule in self.settings.criticality_rules():
                 iterations += 1
-                counts, unallocated = self._allocate_once(totals, extra, rule)
-                if not unallocated:
+                counts, remaining, slack = self._allocate_once(
+                    totals_vector, caps, rule, impact
+                )
+                if remaining.any() and self.settings.polish:
+                    self._polish(counts, remaining, slack)
+                if not remaining.any():
                     return AllocatorResult(
                         success=True,
-                        counts={name: tuple(values) for name, values in counts.items()},
+                        counts=self._counts_mapping(counts),
                         constraint_relaxation=extra,
                         iterations=iterations,
                         unallocated={},
                     )
-                if best is None or self._partial_quality(counts) < self._partial_quality(best[0]):
-                    best = (counts, unallocated, extra)
+                quality = self._partial_quality(counts)
+                if best_quality is None or quality < best_quality:
+                    best, best_quality = (counts, remaining, extra), quality
             extra += self.settings.delta_percent
-            if extra > self.settings.t_percent + 1e-9:
+            if extra > self.settings.t_percent + _TOL:
                 break
 
         assert best is not None
-        counts, unallocated, used_extra = best
+        counts, remaining, used_extra = best
         return AllocatorResult(
             success=False,
-            counts={name: tuple(values) for name, values in counts.items()},
+            counts=self._counts_mapping(counts),
             constraint_relaxation=used_extra,
             iterations=iterations,
-            unallocated=dict(unallocated),
+            unallocated={
+                name: int(count)
+                for name, count in zip(self._names, remaining)
+                if count > 0
+            },
         )
 
-    def _partial_quality(self, counts: Mapping[str, list[int]]) -> tuple[float, int]:
+    def _counts_mapping(self, counts: np.ndarray) -> dict[str, tuple[int, ...]]:
+        return {
+            name: tuple(int(value) for value in row)
+            for name, row in zip(self._names, counts)
+        }
+
+    def _partial_quality(self, counts: np.ndarray) -> tuple[float, int]:
         """Ranking key for incomplete allocations (smaller is better).
 
         Primary: the initiation interval achievable with what was placed
         (infinite when a kernel received nothing); secondary: negated number
         of CUs placed.
         """
-        ii = 0.0
-        placed_total = 0
-        for name in self.problem.kernel_names:
-            placed = sum(counts[name])
-            placed_total += placed
-            if placed <= 0:
-                ii = math.inf
-            else:
-                ii = max(ii, self.problem.wcet[name] / placed)
-        return (ii, -placed_total)
+        placed = counts.sum(axis=1)
+        if np.any(placed <= 0):
+            ii = math.inf
+        else:
+            ii = float(np.max(self._wcet / placed))
+        return (ii, -int(placed.sum()))
 
     # ------------------------------------------------------------------ #
     # One allocation pass at a fixed constraint relaxation
     # ------------------------------------------------------------------ #
+    def _caps_for(self, extra_percent: float) -> np.ndarray:
+        """Per-FPGA capacity per dimension under a relaxed constraint."""
+        caps_vector = self.problem.platform.scaled_resource_limit(extra_percent)
+        caps = np.empty(self._arrays.num_dimensions)
+        for dimension, kind in enumerate(self._arrays.dimension_names):
+            if dimension == self._bandwidth_row:
+                caps[dimension] = min(100.0, self.problem.platform.bandwidth_limit + extra_percent)
+            else:
+                caps[dimension] = caps_vector[kind]
+        return caps
+
+    def _max_units(self, slack: np.ndarray, kernel: int) -> np.ndarray:
+        """How many CUs of one kernel each FPGA can still host, shape (F,).
+
+        Entries may be negative when the slack is already (numerically)
+        exhausted; callers treat any non-positive value as "no room".
+        """
+        columns = self._positive_columns[kernel]
+        if columns.size == 0:
+            return np.full(slack.shape[0], 10**9, dtype=np.int64)
+        with np.errstate(over="ignore"):
+            ratios = slack[:, columns] / self._positive_values[kernel]
+        limits = np.floor(ratios.min(axis=1) + _TOL)
+        # Subnormal demands can overflow the division to inf; that means
+        # "unlimited room", which must not wrap around the int64 cast.
+        limits[~np.isfinite(limits)] = 10**9
+        return np.minimum(limits, 10**9).astype(np.int64)
+
     def _allocate_once(
         self,
-        totals: Mapping[str, int],
-        extra_percent: float,
-        criticality_rule: CriticalityRule | None = None,
-    ) -> tuple[dict[str, list[int]], dict[str, int]]:
+        totals: np.ndarray,
+        caps: np.ndarray,
+        criticality_rule: CriticalityRule | None,
+        impact: list[float],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         rule: CriticalityRule = criticality_rule or self.settings.criticality
-        problem = self.problem
-        caps_vector: ResourceVector = problem.platform.scaled_resource_limit(extra_percent)
-        caps = {kind: caps_vector[kind] for kind in self._kinds}
-        bandwidth_cap = min(100.0, problem.platform.bandwidth_limit + extra_percent)
+        caps_list = caps.tolist()
+        caps_slack_list = [value + _TOL for value in caps_list]
+        num_fpgas = self._num_fpgas
+        dims = self._dim_range
 
-        fpgas = [
-            _FPGAState(
-                index=f,
-                resource_slack=dict(caps),
-                bandwidth_slack=bandwidth_cap,
-            )
-            for f in range(problem.num_fpgas)
-        ]
-        counts: dict[str, list[int]] = {
-            name: [0] * problem.num_fpgas for name in problem.kernel_names
-        }
-        remaining: dict[str, int] = {name: int(totals[name]) for name in problem.kernel_names}
+        slack = [list(caps_list) for _ in range(num_fpgas)]
+        counts = [[0] * num_fpgas for _ in range(self._num_kernels)]
+        remaining = [int(value) for value in totals]
+        touched = [False] * num_fpgas
+        inverse_caps = [1.0 / value if value > 0 else 0.0 for value in caps_list]
+
+        def max_units_one(row: list[float], kernel: int) -> int:
+            limit = 10**9
+            for dimension, value in self._positive_dim_lists[kernel]:
+                ratio = row[dimension] / value
+                if ratio < limit:
+                    limit = ratio
+            return int(limit + _TOL) if limit < 10**9 else 10**9
+
+        def place(row: list[float], unit_k: list[float], batch: int) -> None:
+            for dimension in dims:
+                row[dimension] -= unit_k[dimension] * batch
 
         # ------------------------------------------------------------------
         # Phase 1 (lines 11-21): split kernels too large for a single FPGA
-        # over completely empty FPGAs first.
+        # over completely empty FPGAs first.  One batched check finds the
+        # (usually empty) set of kernels that cannot fit whole.
         # ------------------------------------------------------------------
-        for name in self._sorted_kernels(totals, remaining, rule):
-            unit = self._unit_demand(name)
-            unit_bandwidth = problem.bandwidth_of(name)
-            while remaining[name] > 0 and not self._fits_single_fpga(
-                name, remaining[name], caps, bandwidth_cap
-            ):
-                empty = next((fpga for fpga in fpgas if not fpga.touched), None)
-                if empty is None:
-                    break
-                batch = min(remaining[name], empty.max_units(unit, unit_bandwidth))
-                if batch <= 0:
-                    break
-                empty.place(unit, unit_bandwidth, batch)
-                counts[name][empty.index] += batch
-                remaining[name] -= batch
+        oversized = ((self._unit * totals[:, None]) > np.asarray(caps_slack_list)).any(axis=1)
+        if oversized.any():
+            split_set = set(np.nonzero(oversized)[0].tolist())
+
+            def fits_single(kernel: int, count: int) -> bool:
+                unit_k = self._unit_lists[kernel]
+                return all(
+                    unit_k[dimension] * count <= caps_slack_list[dimension]
+                    for dimension in dims
+                )
+
+            for kernel in self._sorted_kernels(impact, remaining, rule):
+                if kernel not in split_set:
+                    continue
+                unit_k = self._unit_lists[kernel]
+                while remaining[kernel] > 0 and not fits_single(kernel, remaining[kernel]):
+                    target = next((f for f in range(num_fpgas) if not touched[f]), None)
+                    if target is None:
+                        break
+                    batch = min(remaining[kernel], max_units_one(slack[target], kernel))
+                    if batch <= 0:
+                        break
+                    place(slack[target], unit_k, batch)
+                    touched[target] = True
+                    counts[kernel][target] += batch
+                    remaining[kernel] -= batch
 
         # ------------------------------------------------------------------
         # Phase 2 (lines 22-37): allocate every kernel, trying to fit it whole
         # on the most occupied FPGA first (consolidation); if no FPGA can take
         # it whole, spill "as many CUs as possible starting from the least
-        # occupied FPGA" across the platform.
+        # occupied FPGA" across the platform.  The normalized slack driving
+        # the consolidation order is maintained incrementally per placement.
         # ------------------------------------------------------------------
-        for name in self._sorted_kernels(totals, remaining, rule):
-            if remaining[name] == 0:
+        fpga_range = range(num_fpgas)
+        norm_slack = [
+            sum(row[dimension] * inverse_caps[dimension] for dimension in dims)
+            for row in slack
+        ]
+        unit_norms = [
+            sum(unit[dimension] * inverse_caps[dimension] for dimension in dims)
+            for unit in self._unit_lists
+        ]
+        for kernel in self._sorted_kernels(impact, remaining, rule):
+            count = remaining[kernel]
+            if count == 0:
                 continue
-            unit = self._unit_demand(name)
-            unit_bandwidth = problem.bandwidth_of(name)
-            ordered = sorted(
-                fpgas, key=lambda fpga: fpga.normalized_slack(caps, bandwidth_cap)
-            )
-            demand = {kind: unit[kind] * remaining[name] for kind in unit}
+            unit_k = self._unit_lists[kernel]
+            unit_norm = unit_norms[kernel]
+            order = sorted(fpga_range, key=norm_slack.__getitem__)
+            demand = [value * count for value in unit_k]
             placed_whole = False
-            for fpga in ordered:
-                if fpga.fits(demand, unit_bandwidth * remaining[name]):
-                    fpga.place(unit, unit_bandwidth, remaining[name])
-                    counts[name][fpga.index] += remaining[name]
-                    remaining[name] = 0
+            for fpga in order:
+                row = slack[fpga]
+                fit = True
+                for dimension in dims:
+                    if demand[dimension] > row[dimension] + _TOL:
+                        fit = False
+                        break
+                if fit:
+                    place(row, unit_k, count)
+                    norm_slack[fpga] -= unit_norm * count
+                    touched[fpga] = True
+                    counts[kernel][fpga] += count
+                    remaining[kernel] = 0
                     placed_whole = True
                     break
             if not placed_whole:
-                for fpga in reversed(ordered):  # least occupied first
-                    if remaining[name] == 0:
+                for fpga in reversed(order):  # least occupied first
+                    count = remaining[kernel]
+                    if count == 0:
                         break
-                    batch = min(remaining[name], fpga.max_units(unit, unit_bandwidth))
+                    batch = min(count, max_units_one(slack[fpga], kernel))
                     if batch > 0:
-                        fpga.place(unit, unit_bandwidth, batch)
-                        counts[name][fpga.index] += batch
-                        remaining[name] -= batch
+                        place(slack[fpga], unit_k, batch)
+                        norm_slack[fpga] -= unit_norm * batch
+                        touched[fpga] = True
+                        counts[kernel][fpga] += batch
+                        remaining[kernel] -= batch
 
-        if self.settings.polish and any(count > 0 for count in remaining.values()):
-            self._polish(counts, remaining, fpgas)
-
-        unallocated = {name: count for name, count in remaining.items() if count > 0}
-        return counts, unallocated
+        return (
+            np.asarray(counts, dtype=np.int64),
+            np.asarray(remaining, dtype=np.int64),
+            np.asarray(slack),
+        )
 
     # ------------------------------------------------------------------ #
     # Repair pass for partial allocations
     # ------------------------------------------------------------------ #
     def _polish(
         self,
-        counts: dict[str, list[int]],
-        remaining: dict[str, int],
-        fpgas: list[_FPGAState],
+        counts: np.ndarray,
+        remaining: np.ndarray,
+        slack: np.ndarray,
     ) -> None:
         """Rebalance a partial allocation so dropped CUs hurt the II least.
 
@@ -297,127 +390,109 @@ class GreedyAllocator:
         slack or by evicting one CU of a less critical kernel, as long as the
         overall II strictly improves.  It never adds CUs beyond the requested
         totals and never violates the (possibly relaxed) per-FPGA caps.
+
+        The swap search evaluates every (FPGA, victim) pair in one vectorized
+        step per iteration instead of a Python double loop.
         """
-        problem = self.problem
+        wcet = self._wcet
+        unit = self._unit
+        num_kernels = self._num_kernels
 
-        def execution_time(name: str, placed: int) -> float:
-            return math.inf if placed <= 0 else problem.wcet[name] / placed
-
-        def placed_count(name: str) -> int:
-            return sum(counts[name])
-
-        for _ in range(64 * len(problem.kernel_names)):
-            pending = [name for name, count in remaining.items() if count > 0]
-            if not pending:
+        for _ in range(64 * num_kernels):
+            if not remaining.any():
                 return
-            bottleneck = max(
-                problem.kernel_names, key=lambda name: execution_time(name, placed_count(name))
+            placed = counts.sum(axis=1)
+            exec_time = np.divide(
+                wcet, placed, out=np.full(num_kernels, np.inf), where=placed > 0
             )
-            if remaining.get(bottleneck, 0) <= 0:
+            bottleneck = int(np.argmax(exec_time))
+            if remaining[bottleneck] <= 0:
                 return
-            current_ii = execution_time(bottleneck, placed_count(bottleneck))
-            unit = self._unit_demand(bottleneck)
-            unit_bandwidth = problem.bandwidth_of(bottleneck)
+            current_ii = float(exec_time[bottleneck])
+            unit_b = unit[bottleneck]
 
             # 1) Free slack somewhere?
-            direct = next((fpga for fpga in fpgas if fpga.max_units(unit, unit_bandwidth) >= 1), None)
-            if direct is not None:
-                direct.place(unit, unit_bandwidth, 1)
-                counts[bottleneck][direct.index] += 1
+            direct = np.nonzero(self._max_units(slack, bottleneck) >= 1)[0]
+            if direct.size:
+                fpga = int(direct[0])
+                slack[fpga] -= unit_b
+                counts[bottleneck, fpga] += 1
                 remaining[bottleneck] -= 1
                 continue
 
             # 2) Swap: evict one CU of another kernel if the net II improves.
-            best_swap: tuple[float, _FPGAState, str] | None = None
-            for fpga in fpgas:
-                for victim in problem.kernel_names:
-                    if victim == bottleneck or counts[victim][fpga.index] < 1:
-                        continue
-                    if placed_count(victim) <= 1:
-                        continue
-                    victim_unit = self._unit_demand(victim)
-                    freed_ok = all(
-                        fpga.resource_slack[kind] + victim_unit[kind] + 1e-9 >= unit[kind]
-                        for kind in unit
-                    ) and (
-                        fpga.bandwidth_slack + problem.bandwidth_of(victim) + 1e-9
-                        >= unit_bandwidth
-                    )
-                    if not freed_ok:
-                        continue
-                    new_ii = max(
-                        execution_time(bottleneck, placed_count(bottleneck) + 1),
-                        execution_time(victim, placed_count(victim) - 1),
-                        max(
-                            (
-                                execution_time(other, placed_count(other))
-                                for other in problem.kernel_names
-                                if other not in (bottleneck, victim)
-                            ),
-                            default=0.0,
-                        ),
-                    )
-                    if new_ii < current_ii - 1e-12 and (
-                        best_swap is None or new_ii < best_swap[0]
-                    ):
-                        best_swap = (new_ii, fpga, victim)
-            if best_swap is None:
+            # The post-swap II depends only on the victim kernel, not on the
+            # FPGA: max of the bottleneck's improved ET, the victim's degraded
+            # ET, and the largest ET among the untouched kernels.
+            new_bottleneck_et = wcet[bottleneck] / (placed[bottleneck] + 1)
+            victim_et = np.divide(
+                wcet, placed - 1, out=np.full(num_kernels, np.inf), where=placed > 1
+            )
+            # Largest current ET among kernels other than the bottleneck and
+            # the victim: the bottleneck is the top entry, so it is the
+            # second-largest ET -- unless the victim *is* that kernel, in
+            # which case it is the third-largest.
+            top_order = np.argsort(-exec_time, kind="stable")[:3]
+            runners = [int(k) for k in top_order if k != bottleneck][:2]
+            third = np.full(
+                num_kernels, exec_time[runners[0]] if runners else 0.0
+            )
+            if runners:
+                third[runners[0]] = exec_time[runners[1]] if len(runners) > 1 else 0.0
+            new_ii = np.maximum(victim_et, max(new_bottleneck_et, 0.0))
+            np.maximum(new_ii, third, out=new_ii)
+            eligible = (placed >= 2) & (new_ii < current_ii - 1e-12)
+            eligible[bottleneck] = False
+            if not eligible.any():
                 return
-            _, fpga, victim = best_swap
-            victim_unit = self._unit_demand(victim)
-            fpga.place(victim_unit, problem.bandwidth_of(victim), -1)
-            counts[victim][fpga.index] -= 1
-            remaining[victim] = remaining.get(victim, 0) + 1
-            fpga.place(unit, unit_bandwidth, 1)
-            counts[bottleneck][fpga.index] += 1
+            # Feasibility per (FPGA, victim): the victim has a CU there and
+            # evicting it frees enough room for one bottleneck CU.
+            frees_enough = np.all(
+                slack[:, None, :] + unit[None, :, :] + _TOL >= unit_b[None, None, :], axis=2
+            )
+            feasible = frees_enough & (counts.T >= 1) & eligible[None, :]
+            if not feasible.any():
+                return
+            score = np.where(feasible, new_ii[None, :], np.inf)
+            flat_best = int(np.argmin(score))  # first minimum in (FPGA, kernel) order
+            fpga, victim = divmod(flat_best, num_kernels)
+            if not np.isfinite(score[fpga, victim]):
+                return
+            slack[fpga] += unit[victim]
+            counts[victim, fpga] -= 1
+            remaining[victim] += 1
+            slack[fpga] -= unit_b
+            counts[bottleneck, fpga] += 1
             remaining[bottleneck] -= 1
 
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
-    def _unit_demand(self, kernel_name: str) -> dict[str, float]:
-        resources = self.problem.resource_of(kernel_name)
-        return {kind: resources[kind] for kind in self._kinds}
-
-    def _fits_single_fpga(
-        self, kernel_name: str, count: int, caps: dict[str, float], bandwidth_cap: float
-    ) -> bool:
-        unit = self._unit_demand(kernel_name)
-        if any(unit[kind] * count > caps[kind] + 1e-9 for kind in unit):
-            return False
-        return self.problem.bandwidth_of(kernel_name) * count <= bandwidth_cap + 1e-9
-
     def _sorted_kernels(
         self,
-        totals: Mapping[str, int],
-        remaining: Mapping[str, int],
-        rule: CriticalityRule | None = None,
-    ) -> list[str]:
-        """Kernel names in decreasing criticality order."""
-        rule = rule or self.settings.criticality
-        problem = self.problem
-
-        def ii_impact(name: str) -> float:
-            total = max(1, int(totals[name]))
-            wcet = problem.wcet[name]
-            if total <= 1:
-                return math.inf
-            return wcet / (total - 1) - wcet / total
-
-        def resource_footprint(name: str) -> float:
-            unit = self._unit_demand(name)
-            per_cu = max(unit.values()) if unit else 0.0
-            return per_cu * remaining.get(name, totals[name])
-
-        if rule == "ii-impact":
-            key = lambda name: (ii_impact(name), resource_footprint(name))
-        elif rule == "resource":
-            key = lambda name: (resource_footprint(name), ii_impact(name))
-        elif rule == "wcet":
-            key = lambda name: (problem.wcet[name], resource_footprint(name))
-        else:  # pragma: no cover - guarded by the Literal type
-            raise ValueError(f"unknown criticality rule {rule!r}")
-        return sorted(problem.kernel_names, key=key, reverse=True)
+        impact: list[float],
+        remaining: list[int] | np.ndarray,
+        rule: CriticalityRule,
+    ) -> list[int]:
+        """Kernel indices in decreasing criticality order."""
+        if rule == "footprint":
+            # The classic FFD ordering: largest per-CU footprint first.
+            keys = list(zip(self._per_cu_list, self._wcet_list))
+        else:
+            footprint = [
+                per_cu * count for per_cu, count in zip(self._per_cu_list, remaining)
+            ]
+            if rule == "ii-impact":
+                keys = list(zip(impact, footprint))
+            elif rule == "resource":
+                keys = list(zip(footprint, impact))
+            elif rule == "wcet":
+                keys = list(zip(self._wcet_list, footprint))
+            else:  # pragma: no cover - guarded by the Literal type
+                raise ValueError(f"unknown criticality rule {rule!r}")
+        keyed = list(zip(keys, range(self._num_kernels)))
+        keyed.sort(key=lambda item: item[0], reverse=True)
+        return [kernel for _, kernel in keyed]
 
 
 def allocate_cus(
@@ -436,42 +511,59 @@ def first_fit_decreasing_allocate(
 
     CUs are placed one at a time, largest per-CU footprint first, into the
     first FPGA with room (no consolidation bias, no constraint relaxation).
+    Like Algorithm 1, the baseline honours the problem's ``N_k >= 1``
+    constraint (eq. 16): it first seeds one CU of every kernel before packing
+    the remainder, so a partial result never leaves a kernel without any CU
+    while another kernel hoards the space -- without that, comparing the IIs
+    of two partial allocations would be meaningless.
     """
-    kinds = [
-        dimension.name
-        for dimension in problem.capacity_dimensions()
-        if dimension.name != "bandwidth"
-    ]
-    caps = {kind: problem.platform.resource_limit[kind] for kind in kinds}
-    bandwidth_cap = problem.platform.bandwidth_limit
-    fpgas = [
-        _FPGAState(index=f, resource_slack=dict(caps), bandwidth_slack=bandwidth_cap)
-        for f in range(problem.num_fpgas)
-    ]
-    counts = {name: [0] * problem.num_fpgas for name in problem.kernel_names}
-    remaining = {name: int(totals[name]) for name in problem.kernel_names}
+    arrays = problem.arrays()
+    num_fpgas = problem.num_fpgas
+    num_kernels = arrays.num_kernels
+    unit = np.ascontiguousarray(arrays.weights.T)
+    caps = arrays.capacity.copy()
+    slack = np.tile(caps, (num_fpgas, 1))
+    counts = np.zeros((num_kernels, num_fpgas), dtype=np.int64)
+    remaining = np.asarray([int(totals[name]) for name in arrays.names], dtype=np.int64)
 
-    def footprint(name: str) -> float:
-        resources = problem.resource_of(name)
-        return max(resources[kind] for kind in kinds) if kinds else 0.0
+    resource_columns = [d for d in range(arrays.num_dimensions) if d != arrays.bandwidth_row]
+    if resource_columns:
+        footprint = unit[:, resource_columns].max(axis=1)
+    else:
+        footprint = np.zeros(num_kernels)
+    order = sorted(range(num_kernels), key=lambda kernel: footprint[kernel], reverse=True)
 
-    for name in sorted(problem.kernel_names, key=footprint, reverse=True):
-        unit = {kind: problem.resource_of(name)[kind] for kind in kinds}
-        unit_bandwidth = problem.bandwidth_of(name)
-        for _ in range(remaining[name]):
-            for fpga in fpgas:
-                if fpga.fits(unit, unit_bandwidth):
-                    fpga.place(unit, unit_bandwidth, 1)
-                    counts[name][fpga.index] += 1
-                    remaining[name] -= 1
-                    break
-            else:
+    def place_one(kernel: int) -> bool:
+        unit_k = unit[kernel]
+        fits = np.all(unit_k <= slack + _TOL, axis=1)
+        hosts = np.nonzero(fits)[0]
+        if hosts.size == 0:
+            return False
+        fpga = int(hosts[0])
+        slack[fpga] -= unit_k
+        counts[kernel, fpga] += 1
+        remaining[kernel] -= 1
+        return True
+
+    # Coverage pass: one CU per kernel (eq. 16), largest footprint first.
+    for kernel in order:
+        if remaining[kernel] > 0:
+            place_one(kernel)
+    # Packing pass: the rest, one CU at a time, first fit.
+    for kernel in order:
+        while remaining[kernel] > 0:
+            if not place_one(kernel):
                 break
 
-    unallocated = {name: count for name, count in remaining.items() if count > 0}
+    unallocated = {
+        name: int(count) for name, count in zip(arrays.names, remaining) if count > 0
+    }
     return AllocatorResult(
         success=not unallocated,
-        counts={name: tuple(values) for name, values in counts.items()},
+        counts={
+            name: tuple(int(value) for value in row)
+            for name, row in zip(arrays.names, counts)
+        },
         constraint_relaxation=0.0,
         iterations=1,
         unallocated=unallocated,

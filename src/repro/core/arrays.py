@@ -1,0 +1,140 @@
+"""Kernel-indexed array form of an allocation problem (the vectorized core).
+
+The scalar model layers (:mod:`repro.core.problem`, :mod:`repro.gp.minmax`)
+index everything by kernel *name*, which reads well but makes the hot solver
+loops pay for a dict lookup per kernel per iteration.  This module flattens a
+problem into NumPy arrays once:
+
+* ``wcet``      -- per-kernel single-CU worst-case execution times, shape (K,)
+* ``weights``   -- per-CU demand of every active capacity dimension, shape
+  (D, K); the rows match :meth:`AllocationProblem.capacity_dimensions`
+  (on-chip resource kinds first, DRAM bandwidth last when active)
+* ``capacity``  -- the per-FPGA capacity of each dimension, shape (D,)
+
+The arrays are computed lazily and memoized per problem instance (problems
+are frozen, so the cache can never go stale), and every vectorized consumer
+-- the bisection kernel of :mod:`repro.gp.minmax`, the discretisation
+branch-and-bound and Algorithm 1 -- shares the same matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .problem import AllocationProblem
+
+#: Attribute used to memoize the arrays on the (frozen) problem instance.
+_CACHE_ATTRIBUTE = "_cached_problem_arrays"
+
+
+@dataclass(frozen=True)
+class ProblemArrays:
+    """Array view of one :class:`~repro.core.problem.AllocationProblem`."""
+
+    names: tuple[str, ...]
+    index: Mapping[str, int]
+    wcet: np.ndarray  # (K,) single-CU WCET per kernel
+    dimension_names: tuple[str, ...]  # active capacity dimensions
+    weights: np.ndarray  # (D, K) per-CU demand per dimension
+    capacity: np.ndarray  # (D,) per-FPGA capacity per dimension
+    explicit_max: np.ndarray  # (K,) per-kernel CU cap (inf when unbounded)
+    bandwidth_row: int  # row of the bandwidth dimension, -1 when inactive
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.names)
+
+    @property
+    def num_dimensions(self) -> int:
+        return len(self.dimension_names)
+
+    @property
+    def resource_rows(self) -> np.ndarray:
+        """Row indices of the on-chip resource dimensions (bandwidth excluded)."""
+        rows = [d for d in range(self.num_dimensions) if d != self.bandwidth_row]
+        return np.asarray(rows, dtype=np.intp)
+
+    # ------------------------------------------------------------------ #
+    # Conversions between name-keyed mappings and kernel-indexed vectors
+    # ------------------------------------------------------------------ #
+    def vector(self, values: Mapping[str, float], default: float = 0.0) -> np.ndarray:
+        """Kernel-indexed vector from a name-keyed mapping."""
+        return np.asarray(
+            [float(values.get(name, default)) for name in self.names], dtype=np.float64
+        )
+
+    def mapping(self, vector: Iterable[float]) -> dict[str, float]:
+        """Name-keyed mapping from a kernel-indexed vector."""
+        return {name: float(value) for name, value in zip(self.names, vector)}
+
+    def int_mapping(self, vector: Iterable[float]) -> dict[str, int]:
+        """Name-keyed integer mapping from a kernel-indexed vector."""
+        return {name: int(round(float(value))) for name, value in zip(self.names, vector)}
+
+    # ------------------------------------------------------------------ #
+    # Vectorized capacity checks
+    # ------------------------------------------------------------------ #
+    def aggregate_usage(self, counts: np.ndarray) -> np.ndarray:
+        """Platform-wide capacity usage of total CU counts, shape (D,)."""
+        return self.weights @ counts
+
+    def aggregate_feasible(
+        self, counts: np.ndarray, num_fpgas: int, tolerance: float = 1e-9
+    ) -> bool:
+        """Aggregated capacity constraints (eqs. 17-18) for total CU counts."""
+        return bool(np.all(self.weights @ counts <= self.capacity * num_fpgas + tolerance))
+
+    def achieved_ii(self, counts: np.ndarray) -> float:
+        """Initiation interval of total CU counts: ``max_k WCET_k / N_k``."""
+        return float(np.max(self.wcet / counts))
+
+
+def build_problem_arrays(problem: "AllocationProblem") -> ProblemArrays:
+    """Flatten a problem into :class:`ProblemArrays` (no memoization)."""
+    names = problem.kernel_names
+    index = {name: position for position, name in enumerate(names)}
+    wcet = np.asarray([problem.wcet[name] for name in names], dtype=np.float64)
+    dimensions = problem.capacity_dimensions()
+    weights = np.asarray(
+        [[dimension.weights.get(name, 0.0) for name in names] for dimension in dimensions],
+        dtype=np.float64,
+    ).reshape(len(dimensions), len(names))
+    capacity = np.asarray([dimension.capacity for dimension in dimensions], dtype=np.float64)
+    explicit_max = np.asarray(
+        [
+            float(kernel.max_cus) if kernel.max_cus is not None else np.inf
+            for kernel in problem.pipeline
+        ],
+        dtype=np.float64,
+    )
+    bandwidth_row = next(
+        (d for d, dimension in enumerate(dimensions) if dimension.name == "bandwidth"), -1
+    )
+    return ProblemArrays(
+        names=names,
+        index=index,
+        wcet=wcet,
+        dimension_names=tuple(dimension.name for dimension in dimensions),
+        weights=weights,
+        capacity=capacity,
+        explicit_max=explicit_max,
+        bandwidth_row=bandwidth_row,
+    )
+
+
+def problem_arrays(problem: "AllocationProblem") -> ProblemArrays:
+    """Memoized array view of a problem.
+
+    Problems are frozen dataclasses, so the arrays are computed once per
+    instance and stored on it (identity-keyed -- no hashing of the whole
+    pipeline on every access).
+    """
+    cached = getattr(problem, _CACHE_ATTRIBUTE, None)
+    if cached is None:
+        cached = build_problem_arrays(problem)
+        object.__setattr__(problem, _CACHE_ATTRIBUTE, cached)
+    return cached

@@ -22,9 +22,17 @@ import time
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from ..minlp.binpacking import PackingItemType, VectorBinPacker
 from ..minlp.bounds import VariableBounds
-from ..minlp.branch_and_bound import BBSettings, BBStatus, BranchAndBoundSolver
+from ..minlp.branch_and_bound import (
+    BBSettings,
+    BBStatus,
+    BranchAndBoundSolver,
+    RelaxationCache,
+    shared_relaxation_cache,
+)
 from ..minlp.errors import InfeasibleProblemError
 from ..minlp.secant import spreading_of_kernel
 from .gp_step import solve_gp_step
@@ -86,15 +94,15 @@ def candidate_ii_values(problem: AllocationProblem) -> list[float]:
     """All candidate optimal II values ``WCET_k / m``, sorted increasingly.
 
     The optimum of the ``beta = 0`` problem is always of this form because the
-    II is ``max_k WCET_k / N_k`` for integer ``N_k``.
+    II is ``max_k WCET_k / N_k`` for integer ``N_k``.  Computed as one
+    vectorized outer division over the memoized kernel arrays.
     """
-    candidates: set[float] = set()
-    for name in problem.kernel_names:
-        wcet = problem.wcet[name]
-        max_total = max(1, problem.max_total_cus(name))
-        for count in range(1, max_total + 1):
-            candidates.add(wcet / count)
-    return sorted(candidates)
+    arrays = problem.arrays()
+    per_kernel = [
+        arrays.wcet[index] / np.arange(1, max(1, problem.max_total_cus(name)) + 1)
+        for index, name in enumerate(arrays.names)
+    ]
+    return np.unique(np.concatenate(per_kernel)).tolist()
 
 
 def solve_exact_min_ii(
@@ -166,6 +174,25 @@ def solve_exact_min_ii(
 # --------------------------------------------------------------------------- #
 # General weighted objective: spatial branch-and-bound ("MINLP+G")
 # --------------------------------------------------------------------------- #
+def _weighted_relaxation_cache(
+    problem: AllocationProblem, settings: ExactSettings
+) -> RelaxationCache:
+    """Relaxation cache shared by MINLP+G runs over the same problem."""
+    try:
+        return shared_relaxation_cache(
+            (
+                "minlp+g",
+                problem.pipeline,
+                problem.platform,
+                problem.weights,
+                settings.symmetry_breaking,
+            )
+        )
+    except TypeError:  # unhashable ad hoc problem: private per-call cache
+        return RelaxationCache()
+
+
+
 def solve_exact_weighted(
     problem: AllocationProblem, settings: ExactSettings = ExactSettings()
 ) -> SolveOutcome:
@@ -256,6 +283,10 @@ def solve_exact_weighted(
             time_limit_seconds=settings.time_limit_seconds,
             gap_tolerance=settings.gap_tolerance,
         ),
+        # LP node relaxations are the dominant cost of this solver; runs
+        # over the same weighted problem (sweep re-solves) share one cache,
+        # and the hit/miss accounting lands in the outcome details.
+        relaxation_cache=_weighted_relaxation_cache(problem, settings),
     )
     try:
         result = solver.solve(bounds, initial_incumbent=incumbent)
@@ -295,6 +326,8 @@ def solve_exact_weighted(
             "gap": result.gap,
             "seeded": incumbent is not None,
             "heuristic_objective": heuristic_outcome.objective if heuristic_outcome else math.nan,
+            "relaxation_cache_hits": result.relaxation_cache_hits,
+            "relaxation_cache_misses": result.relaxation_cache_misses,
         },
     )
 

@@ -6,10 +6,14 @@ only the totals ``N̂_k = F * n̂_k`` matter.  The resulting program
 (eqs. 14-18) minimises the relaxed initiation interval subject to aggregated
 (platform-wide) resource and bandwidth constraints.
 
-Three interchangeable backends solve it:
+Four interchangeable backends solve it:
 
-* ``"bisection"`` (default): the exact specialised min-max solver of
-  :mod:`repro.gp.minmax`; fastest and used by the heuristic.
+* ``"bisection"`` (default): the vectorized exact min-max solver of
+  :mod:`repro.gp.minmax`, operating on the kernel-indexed arrays memoized on
+  the problem; fastest and used by the heuristic.
+* ``"bisection-scalar"``: the original name-keyed bisection solver, kept as
+  a cross-check reference for the vectorized kernel (the parity tests assert
+  the two agree on every case study).
 * ``"slsqp"`` and ``"interior-point"``: the general GP backends operating on
   the posynomial model, used to cross-validate the bisection optimum and as
   drop-in replacements for GPkit.
@@ -20,9 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from ..gp import GPModel, Monomial, Variable, solve as solve_gp
 from ..gp.errors import InfeasibleError
-from ..gp.minmax import CapacityConstraint, MinMaxLatencyProblem
+from ..gp.minmax import CapacityConstraint, MinMaxLatencyProblem, VectorizedMinMaxProblem
 from .problem import AllocationProblem
 
 #: Name of the initiation-interval variable in the posynomial model.
@@ -82,6 +88,23 @@ def build_minmax_problem(
     )
 
 
+def build_vectorized_minmax(problem: AllocationProblem) -> VectorizedMinMaxProblem:
+    """Array form of the aggregated min-max problem (eqs. 14-18).
+
+    Shares the kernel-indexed matrices memoized on the problem; capacities
+    are the platform-wide aggregates (per-FPGA capacity times ``F``).  Box
+    bounds are supplied per solve, so one instance serves every node of the
+    discretisation branch-and-bound.
+    """
+    arrays = problem.arrays()
+    return VectorizedMinMaxProblem(
+        names=arrays.names,
+        wcet=arrays.wcet,
+        weights=arrays.weights,
+        capacity=arrays.capacity * problem.num_fpgas,
+    )
+
+
 def build_gp_model(problem: AllocationProblem) -> GPModel:
     """Build the posynomial form of the relaxed problem (eqs. 14-18)."""
     model = GPModel(name=f"gp-step[{problem.pipeline.name}]")
@@ -120,6 +143,14 @@ def solve_gp_step(problem: AllocationProblem, backend: str = "bisection") -> GPS
         If even one CU per kernel exceeds the aggregated platform capacity.
     """
     if backend == "bisection":
+        arrays = problem.arrays()
+        vectorized = build_vectorized_minmax(problem)
+        max_counts = arrays.explicit_max if np.any(np.isfinite(arrays.explicit_max)) else None
+        ii_hat, count_vector = vectorized.solve(max_counts=max_counts)
+        return GPStepResult(
+            ii_hat=ii_hat, counts_hat=arrays.mapping(count_vector), backend=backend
+        )
+    if backend == "bisection-scalar":
         minmax = build_minmax_problem(problem)
         ii_hat, counts = minmax.solve()
         return GPStepResult(ii_hat=ii_hat, counts_hat=counts, backend=backend)

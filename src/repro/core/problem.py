@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from ..platform.multi_fpga import MultiFPGAPlatform
 from ..platform.resources import RESOURCE_KINDS, ResourceVector
 from ..workloads.pipeline import Pipeline
 from .objective import ObjectiveWeights, default_weights
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .arrays import ProblemArrays
 
 
 @dataclass(frozen=True)
@@ -54,7 +57,11 @@ class AllocationProblem:
     # ------------------------------------------------------------------ #
     @property
     def kernel_names(self) -> tuple[str, ...]:
-        return self.pipeline.kernel_names
+        names = self.__dict__.get("_cached_kernel_names")
+        if names is None:
+            names = self.pipeline.kernel_names
+            object.__setattr__(self, "_cached_kernel_names", names)
+        return names
 
     @property
     def num_fpgas(self) -> int:
@@ -62,8 +69,16 @@ class AllocationProblem:
 
     @property
     def wcet(self) -> dict[str, float]:
-        """Per-kernel single-CU worst-case execution times (``WCET_k``)."""
-        return {kernel.name: kernel.wcet_ms for kernel in self.pipeline}
+        """Per-kernel single-CU worst-case execution times (``WCET_k``).
+
+        Memoized per instance: the solver hot loops read this thousands of
+        times and the problem is frozen, so the dict can never go stale.
+        """
+        wcet = self.__dict__.get("_cached_wcet")
+        if wcet is None:
+            wcet = {kernel.name: kernel.wcet_ms for kernel in self.pipeline}
+            object.__setattr__(self, "_cached_wcet", wcet)
+        return wcet
 
     def resource_of(self, kernel_name: str) -> ResourceVector:
         return self.pipeline[kernel_name].resources
@@ -102,6 +117,17 @@ class AllocationProblem:
                 )
             )
         return tuple(dimensions)
+
+    def arrays(self) -> "ProblemArrays":
+        """Kernel-indexed NumPy view of the problem (memoized per instance).
+
+        The vectorized solver kernels (:mod:`repro.gp.minmax`, the
+        discretisation branch-and-bound and Algorithm 1) all share these
+        matrices instead of re-deriving per-kernel dicts in their hot loops.
+        """
+        from .arrays import problem_arrays
+
+        return problem_arrays(self)
 
     def max_cus_per_fpga(self, kernel_name: str) -> int:
         """Largest CU count of one kernel that fits into one (empty) FPGA."""

@@ -1,4 +1,9 @@
-"""Method comparison harness (the GP+A / MINLP / MINLP+G curves of Figs. 3-5)."""
+"""Method comparison harness (the GP+A / MINLP / MINLP+G curves of Figs. 3-5).
+
+Comparisons execute through :class:`~repro.explore.executor.SweepExecutor`;
+one task per (constraint, method) pair, with the constrained problem built
+once per constraint and shared by every method.
+"""
 
 from __future__ import annotations
 
@@ -10,7 +15,7 @@ from ..core.heuristic import HeuristicSettings
 from ..core.objective import ObjectiveWeights
 from ..core.problem import AllocationProblem
 from ..core.solution import SolveOutcome
-from ..core.solvers import solve
+from .executor import DEFAULT_EXECUTOR, SolveTask, SweepExecutor, run_solve_task
 
 
 @dataclass(frozen=True)
@@ -45,34 +50,56 @@ class ComparisonSettings:
     weights: ObjectiveWeights | None = None
 
 
+def _comparison_tasks(
+    problem: AllocationProblem,
+    constraints: Sequence[float],
+    settings: ComparisonSettings,
+) -> list[SolveTask]:
+    tasks: list[SolveTask] = []
+    for constraint in constraints:
+        constrained = problem.with_resource_constraint(constraint)
+        if settings.weights is not None:
+            constrained = constrained.with_weights(settings.weights)
+        for method in settings.methods:
+            tasks.append(
+                SolveTask(
+                    problem=constrained,
+                    method=method,
+                    heuristic_settings=settings.heuristic,
+                    exact_settings=settings.exact,
+                    tag=(constraint, method),
+                )
+            )
+    return tasks
+
+
 def compare_methods_at(
     problem: AllocationProblem,
     resource_constraint: float,
     settings: ComparisonSettings = ComparisonSettings(),
+    executor: SweepExecutor | None = None,
 ) -> ComparisonPoint:
     """Run every requested method at one resource constraint."""
-    constrained = problem.with_resource_constraint(resource_constraint)
-    if settings.weights is not None:
-        constrained = constrained.with_weights(settings.weights)
-    outcomes: dict[str, SolveOutcome] = {}
-    for method in settings.methods:
-        outcomes[method] = solve(
-            constrained,
-            method=method,
-            heuristic_settings=settings.heuristic,
-            exact_settings=settings.exact,
-        )
-    return ComparisonPoint(resource_constraint=resource_constraint, outcomes=outcomes)
+    return compare_methods_over(problem, [resource_constraint], settings, executor)[0]
 
 
 def compare_methods_over(
     problem: AllocationProblem,
     constraints: Sequence[float],
     settings: ComparisonSettings = ComparisonSettings(),
+    executor: SweepExecutor | None = None,
 ) -> list[ComparisonPoint]:
     """Run the full comparison over a resource-constraint grid (Figs. 3-5)."""
+    executor = executor or DEFAULT_EXECUTOR
+    tasks = _comparison_tasks(problem, constraints, settings)
+    outcomes = executor.map(run_solve_task, tasks)
+    by_constraint: dict[float, dict[str, SolveOutcome]] = {}
+    for task, outcome in zip(tasks, outcomes):
+        constraint, method = task.tag
+        by_constraint.setdefault(constraint, {})[method] = outcome
     return [
-        compare_methods_at(problem, constraint, settings) for constraint in constraints
+        ComparisonPoint(resource_constraint=constraint, outcomes=by_constraint[constraint])
+        for constraint in constraints
     ]
 
 

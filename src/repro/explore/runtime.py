@@ -1,4 +1,11 @@
-"""Solver runtime measurement (the CPU-time comparison of Section 4)."""
+"""Solver runtime measurement (the CPU-time comparison of Section 4).
+
+Measurements run through :class:`~repro.explore.executor.SweepExecutor`, but
+unlike the sweeps the default here is strictly serial even on multi-core
+hosts: concurrent workers contend for cores and would inflate the sampled
+wall-clock times.  Pass a pool executor explicitly only when indicative
+numbers are acceptable.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +18,10 @@ from ..core.exact import ExactSettings
 from ..core.heuristic import HeuristicSettings
 from ..core.problem import AllocationProblem
 from ..core.solvers import solve
+from .executor import ExecutorSettings, SweepExecutor
+
+#: Timing default: never auto-parallelize a measurement run.
+_SERIAL_EXECUTOR = SweepExecutor(ExecutorSettings(parallel=False))
 
 
 @dataclass(frozen=True)
@@ -67,26 +78,48 @@ def measure_method_runtime(
     return RuntimeMeasurement(method=method, case=case_name, samples_seconds=samples)
 
 
+@dataclass(frozen=True)
+class _MeasureTask:
+    """One (case, method) runtime measurement (picklable work unit)."""
+
+    case: str
+    problem: AllocationProblem
+    method: str
+    repetitions: int
+    exact_settings: ExactSettings | None
+
+
+def _run_measure_task(task: _MeasureTask) -> RuntimeMeasurement:
+    return measure_method_runtime(
+        task.problem,
+        task.method,
+        task.case,
+        repetitions=task.repetitions,
+        exact_settings=task.exact_settings,
+    )
+
+
 def runtime_comparison(
     cases: Sequence[tuple[str, AllocationProblem]],
     methods: Sequence[str] = ("gp+a", "minlp", "minlp+g"),
     repetitions: int = 1,
     exact_settings: ExactSettings | None = None,
+    executor: SweepExecutor | None = None,
 ) -> list[RuntimeMeasurement]:
     """Measure every method on every case (the Section 4 runtime table)."""
-    measurements: list[RuntimeMeasurement] = []
-    for case_name, problem in cases:
-        for method in methods:
-            measurements.append(
-                measure_method_runtime(
-                    problem,
-                    method,
-                    case_name,
-                    repetitions=repetitions,
-                    exact_settings=exact_settings,
-                )
-            )
-    return measurements
+    executor = executor or _SERIAL_EXECUTOR
+    tasks = [
+        _MeasureTask(
+            case=case_name,
+            problem=problem,
+            method=method,
+            repetitions=repetitions,
+            exact_settings=exact_settings,
+        )
+        for case_name, problem in cases
+        for method in methods
+    ]
+    return executor.map(_run_measure_task, tasks)
 
 
 def speedups(measurements: Sequence[RuntimeMeasurement], baseline_method: str = "gp+a") -> dict[str, dict[str, float]]:

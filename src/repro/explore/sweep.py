@@ -5,10 +5,18 @@ constraint is varied and each point is solved with one or more methods
 (Figs. 2-5), or the heuristic parameter ``T`` is varied at a fixed ``delta``
 (Fig. 2).  This module provides those sweeps as reusable functions returning
 plain data points, which the reporting layer turns into tables/figures.
+
+All sweeps execute through :class:`~repro.explore.executor.SweepExecutor`:
+pass an executor configured for a process pool to fan points out over CPUs,
+or keep the default chunked-serial execution.  Either way each constraint's
+problem is built once and shared by every method/parameter solved at that
+constraint, and the T-sweep solves the GP relaxation + discretisation once
+per constraint (they do not depend on ``T``) via the discretisation memo.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -16,7 +24,7 @@ from ..core.exact import ExactSettings
 from ..core.heuristic import HeuristicSettings
 from ..core.problem import AllocationProblem
 from ..core.solution import SolveOutcome
-from ..core.solvers import solve
+from .executor import DEFAULT_EXECUTOR, SolveTask, SweepExecutor, run_solve_task
 
 
 @dataclass(frozen=True)
@@ -47,15 +55,16 @@ class SweepPoint:
 
 
 def default_constraint_range(start: float = 40.0, stop: float = 90.0, step: float = 5.0) -> list[float]:
-    """The resource-constraint grid used across the paper's figures."""
+    """The resource-constraint grid used across the paper's figures.
+
+    The grid is generated from an integer index (``start + i * step``), not
+    by repeated addition, so fractional steps cannot accumulate drift and
+    silently drop the final point.
+    """
     if step <= 0:
         raise ValueError("step must be positive")
-    values = []
-    value = start
-    while value <= stop + 1e-9:
-        values.append(round(value, 6))
-        value += step
-    return values
+    count = int(math.floor((stop - start) / step + 1e-9)) + 1
+    return [round(start + index * step, 6) for index in range(max(0, count))]
 
 
 def resource_constraint_sweep(
@@ -64,26 +73,66 @@ def resource_constraint_sweep(
     methods: Iterable[str] = ("gp+a",),
     heuristic_settings: HeuristicSettings | None = None,
     exact_settings: ExactSettings | None = None,
+    executor: SweepExecutor | None = None,
 ) -> list[SweepPoint]:
     """Solve the problem at every resource constraint with every method.
 
     Infeasible points are kept in the result (their outcome reports the
     status); the reporting layer decides whether to plot or skip them.
     """
-    points: list[SweepPoint] = []
+    executor = executor or DEFAULT_EXECUTOR
+    method_list = list(methods)
+    tasks = []
     for constraint in constraints:
         constrained = problem.with_resource_constraint(constraint)
-        for method in methods:
-            outcome = solve(
-                constrained,
-                method=method,
-                heuristic_settings=heuristic_settings,
-                exact_settings=exact_settings,
+        for method in method_list:
+            tasks.append(
+                SolveTask(
+                    problem=constrained,
+                    method=method,
+                    heuristic_settings=heuristic_settings,
+                    exact_settings=exact_settings,
+                    tag=(constraint, method),
+                )
             )
-            points.append(
-                SweepPoint(resource_constraint=constraint, method=method, outcome=outcome)
+    outcomes = executor.map(run_solve_task, tasks)
+    return [
+        SweepPoint(resource_constraint=task.tag[0], method=task.tag[1], outcome=outcome)
+        for task, outcome in zip(tasks, outcomes)
+    ]
+
+
+def _run_t_sweep_chunk(task: "TSweepTask") -> list[tuple[float, SweepPoint]]:
+    """Solve one constraint for every T value (module-level for pickling).
+
+    Runs in a single worker so the GP + discretisation work, which is
+    independent of ``T``, is computed once and shared via the memo caches.
+    """
+    points: list[tuple[float, SweepPoint]] = []
+    for t_value in task.t_values:
+        settings = HeuristicSettings(t_percent=t_value, delta_percent=task.delta_percent)
+        outcome = run_solve_task(
+            SolveTask(problem=task.problem, method="gp+a", heuristic_settings=settings)
+        )
+        points.append(
+            (
+                t_value,
+                SweepPoint(
+                    resource_constraint=task.constraint, method="gp+a", outcome=outcome
+                ),
             )
+        )
     return points
+
+
+@dataclass(frozen=True)
+class TSweepTask:
+    """One constraint of a Figure 2 T-parameter sweep."""
+
+    problem: AllocationProblem
+    constraint: float
+    t_values: tuple[float, ...]
+    delta_percent: float
 
 
 def t_parameter_sweep(
@@ -91,32 +140,54 @@ def t_parameter_sweep(
     constraints: Sequence[float],
     t_values: Sequence[float] = (0.0, 2.5, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0),
     delta_percent: float = 1.0,
+    executor: SweepExecutor | None = None,
 ) -> dict[float, list[SweepPoint]]:
     """Figure 2 sweep: GP+A at several values of the T parameter.
 
-    Returns ``{T: [SweepPoint per constraint]}``.
+    Returns ``{T: [SweepPoint per constraint]}``.  Tasks are grouped by
+    constraint so every worker shares one GP relaxation + discretisation
+    across all ``T`` values of its constraint.
     """
-    results: dict[float, list[SweepPoint]] = {}
-    for t_value in t_values:
-        settings = HeuristicSettings(t_percent=t_value, delta_percent=delta_percent)
-        results[t_value] = resource_constraint_sweep(
-            problem, constraints, methods=("gp+a",), heuristic_settings=settings
+    executor = executor or DEFAULT_EXECUTOR
+    tasks = [
+        TSweepTask(
+            problem=problem.with_resource_constraint(constraint),
+            constraint=constraint,
+            t_values=tuple(t_values),
+            delta_percent=delta_percent,
         )
+        for constraint in constraints
+    ]
+    per_constraint = executor.map(_run_t_sweep_chunk, tasks)
+    results: dict[float, list[SweepPoint]] = {t_value: [] for t_value in t_values}
+    for chunk in per_constraint:
+        for t_value, point in chunk:
+            results[t_value].append(point)
     return results
+
+
+def _run_fpga_count_task(task: SolveTask) -> tuple[int, SolveOutcome]:
+    return task.tag[0], run_solve_task(task)
 
 
 def fpga_count_sweep(
     problem: AllocationProblem,
     fpga_counts: Sequence[int],
     method: str = "gp+a",
+    executor: SweepExecutor | None = None,
 ) -> list[tuple[int, SolveOutcome]]:
     """Scalability sweep over the number of FPGAs (2 to 8 in the paper)."""
-    outcomes: list[tuple[int, SolveOutcome]] = []
-    for count in fpga_counts:
-        resized = AllocationProblem(
-            pipeline=problem.pipeline,
-            platform=problem.platform.with_num_fpgas(count),
-            weights=problem.weights,
+    executor = executor or DEFAULT_EXECUTOR
+    tasks = [
+        SolveTask(
+            problem=AllocationProblem(
+                pipeline=problem.pipeline,
+                platform=problem.platform.with_num_fpgas(count),
+                weights=problem.weights,
+            ),
+            method=method,
+            tag=(count,),
         )
-        outcomes.append((count, solve(resized, method=method)))
-    return outcomes
+        for count in fpga_counts
+    ]
+    return executor.map(_run_fpga_count_task, tasks)

@@ -19,7 +19,7 @@ from .expressions import (
 )
 from .interior_point import BarrierSettings, solve_interior_point
 from .logspace import LogSpaceProgram, LogSumExpFunction, compile_to_logspace
-from .minmax import CapacityConstraint, MinMaxLatencyProblem
+from .minmax import CapacityConstraint, MinMaxLatencyProblem, VectorizedMinMaxProblem
 from .model import GPModel, GPSolution, SolveStatus
 from .slsqp_backend import solve_slsqp
 
@@ -58,6 +58,7 @@ __all__ = [
     "LogSpaceProgram",
     "LogSumExpFunction",
     "MinMaxLatencyProblem",
+    "VectorizedMinMaxProblem",
     "ModelError",
     "Monomial",
     "NotMonomialError",

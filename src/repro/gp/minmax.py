@@ -13,12 +13,24 @@ the capacity usage is non-increasing in ``II``; hence feasibility is monotone
 in ``II`` and the optimum can be found by bisection to machine precision.
 This provides an *exact* reference optimum used to validate the general GP
 backends, and a very fast default path for the heuristic's first step.
+
+Two implementations share that algorithm:
+
+* :class:`MinMaxLatencyProblem` -- the original name-keyed scalar solver,
+  kept as the cross-check reference backend;
+* :class:`VectorizedMinMaxProblem` -- the kernel-indexed NumPy form used by
+  the hot paths (GP step, discretisation branch-and-bound).  It runs the
+  *same* bisection with the same bracket and update sequence, so the two
+  agree to the bisection tolerance, and it accepts a ``lower_hint`` so a
+  branch-and-bound child node can warm-start from its parent's optimum.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from .errors import InfeasibleError
 
@@ -150,3 +162,247 @@ class MinMaxLatencyProblem:
                 low = mid
         counts = self.counts_for_ii(high)
         return self.achieved_ii(counts), counts
+
+
+class VectorizedMinMaxProblem:
+    """Array form of :class:`MinMaxLatencyProblem` over a fixed kernel order.
+
+    Built once per allocation problem (or per discretisation run) and then
+    solved many times with different box bounds: each branch-and-bound node
+    only supplies new ``min_counts`` / ``max_counts`` vectors while the WCET
+    vector, the ``(D, K)`` weight matrix and the capacity vector are reused.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        wcet: np.ndarray,
+        weights: np.ndarray,
+        capacity: np.ndarray,
+    ):
+        self.names = tuple(names)
+        self.wcet = np.asarray(wcet, dtype=np.float64)
+        self.weights = np.asarray(weights, dtype=np.float64).reshape(-1, len(self.names))
+        self.capacity = np.asarray(capacity, dtype=np.float64)
+        if self.wcet.size == 0:
+            raise ValueError("the problem needs at least one kernel")
+        if np.any(self.wcet <= 0):
+            raise ValueError("every WCET must be positive")
+        if np.any(self.capacity < 0):
+            raise ValueError("capacities must be non-negative")
+        if np.any(self.weights < 0):
+            raise ValueError("capacity weights must be non-negative")
+        # Work-conservation numerators (sum_k WCET_k * w_{k,d}) are constant
+        # across solves, so the per-node lower bound is a single division.
+        self._work = self.weights @ self.wcet
+
+    @classmethod
+    def from_scalar(cls, problem: MinMaxLatencyProblem) -> "VectorizedMinMaxProblem":
+        """Array view of a scalar problem (kernel order = WCET mapping order)."""
+        names = tuple(problem.wcet)
+        wcet = np.asarray([problem.wcet[name] for name in names], dtype=np.float64)
+        weights = np.asarray(
+            [[constraint.weights.get(name, 0.0) for name in names] for constraint in problem.capacities],
+            dtype=np.float64,
+        ).reshape(len(problem.capacities), len(names))
+        capacity = np.asarray(
+            [constraint.capacity for constraint in problem.capacities], dtype=np.float64
+        )
+        return cls(names=names, wcet=wcet, weights=weights, capacity=capacity)
+
+    # ------------------------------------------------------------------ #
+    # Core relations (mirroring the scalar implementation exactly)
+    # ------------------------------------------------------------------ #
+    def counts_for_ii(
+        self, ii: float, min_counts: np.ndarray, max_counts: np.ndarray | None
+    ) -> np.ndarray:
+        """Cheapest fractional CU counts meeting a target initiation interval."""
+        if ii <= 0:
+            raise ValueError("II must be positive")
+        counts = np.maximum(min_counts, self.wcet / ii)
+        if max_counts is not None:
+            counts = np.minimum(counts, max_counts)
+        return counts
+
+    def is_feasible_ii(
+        self,
+        ii: float,
+        min_counts: np.ndarray,
+        max_counts: np.ndarray | None,
+        tolerance: float = 1e-9,
+    ) -> bool:
+        """Whether the cheapest counts for ``ii`` satisfy all capacities."""
+        counts = self.counts_for_ii(ii, min_counts, max_counts)
+        if max_counts is not None:
+            if np.any(self.wcet / counts > ii * (1 + 1e-12) + tolerance):
+                return False
+        return bool(np.all(self.weights @ counts <= self.capacity + tolerance))
+
+    def lower_bound(self) -> float:
+        """A valid lower bound on the optimal II (work-conservation bound)."""
+        positive = self.capacity > 0
+        if not np.any(positive):
+            return 0.0
+        return float(max(0.0, np.max(self._work[positive] / self.capacity[positive])))
+
+    # ------------------------------------------------------------------ #
+    # Solve
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        min_counts: np.ndarray | None = None,
+        max_counts: np.ndarray | None = None,
+        lower_hint: float | None = None,
+        tolerance: float = 1e-10,
+        max_iterations: int = 200,
+    ) -> tuple[float, np.ndarray]:
+        """Return the optimal ``(II, counts)`` pair by bisection.
+
+        ``lower_hint`` tightens the initial bracket with an externally known
+        lower bound on the optimum (a branch-and-bound parent's objective:
+        shrinking the box can only worsen the optimum), which cuts the number
+        of bisection iterations without changing what the solver converges
+        to.
+
+        Raises
+        ------
+        InfeasibleError
+            If even the minimum CU counts violate a capacity constraint.
+        """
+        if min_counts is None:
+            min_counts = np.ones_like(self.wcet)
+        if np.any(min_counts <= 0):
+            raise ValueError("minimum CU counts must be positive")
+        high = float(np.max(self.wcet / min_counts))
+        if not self.is_feasible_ii(high, min_counts, max_counts):
+            raise InfeasibleError(
+                "minimum CU counts already exceed the platform capacity; "
+                "the relaxed allocation problem is infeasible"
+            )
+        low = max(self.lower_bound(), 1e-12)
+        if lower_hint is not None and lower_hint > low:
+            # Back off one ulp-scale step so a hint equal to the optimum
+            # (up to the parent's bisection tolerance) stays a lower bound.
+            low = min(high, lower_hint * (1.0 - 1e-9))
+            # The optimum usually sits at (or just above) the hint -- a
+            # branch-and-bound child most often inherits its parent's II.
+            # Probe geometrically outward from the hint before bisecting:
+            # a feasible probe pulls ``high`` next to ``low`` immediately,
+            # an infeasible one is a proven lower bound.
+            for factor in (1e-9, 1e-4, 1e-2, 0.25):
+                probe = lower_hint * (1.0 + factor)
+                if probe >= high:
+                    break
+                if self.is_feasible_ii(probe, min_counts, max_counts):
+                    high = probe
+                    break
+                low = probe
+        if low > high:
+            low = high
+        for _ in range(max_iterations):
+            if high - low <= tolerance * max(1.0, high):
+                break
+            mid = 0.5 * (low + high)
+            if self.is_feasible_ii(mid, min_counts, max_counts):
+                high = mid
+            else:
+                low = mid
+        counts = self.counts_for_ii(high, min_counts, max_counts)
+        return float(np.max(self.wcet / counts)), counts
+
+    def solve_exact(
+        self,
+        min_counts: np.ndarray | None = None,
+        max_counts: np.ndarray | None = None,
+        tolerance: float = 1e-9,
+    ) -> tuple[float, np.ndarray]:
+        """Closed-form optimum via the piecewise-linear breakpoint structure.
+
+        In ``t = 1/II`` the cheapest counts are ``clip(WCET_k * t, min_k,
+        max_k)``, so every capacity usage is piecewise linear and
+        non-decreasing in ``t`` with kinks only where a kernel starts growing
+        (``t = min_k / WCET_k``) or saturates (``t = max_k / WCET_k``).  The
+        largest feasible ``t`` per dimension is found by evaluating the usage
+        at every kink and interpolating the crossing segment -- no iteration,
+        a handful of small matrix operations per call.  Used by the
+        branch-and-bound node relaxations; agrees with :meth:`solve` to the
+        bisection tolerance (the bisection accepts capacities up to the same
+        ``tolerance`` slack, which is mirrored here).
+
+        Raises
+        ------
+        InfeasibleError
+            If even the minimum CU counts violate a capacity constraint.
+        """
+        if min_counts is None:
+            min_counts = np.ones_like(self.wcet)
+        if np.any(min_counts <= 0):
+            raise ValueError("minimum CU counts must be positive")
+        capacity_slack = self.capacity + tolerance
+        base_usage = self.weights @ min_counts
+        if np.any(base_usage > capacity_slack):
+            raise InfeasibleError(
+                "minimum CU counts already exceed the platform capacity; "
+                "the relaxed allocation problem is infeasible"
+            )
+        # Mirror the bisection's numerical floor (low = 1e-12): never report
+        # an II below it even when the problem is effectively unconstrained.
+        t_limit = 1e12
+        if max_counts is not None:
+            finite = np.isfinite(max_counts)
+            if np.any(finite):
+                t_limit = min(t_limit, float(np.min(max_counts[finite] / self.wcet[finite])))
+        t_starts = min_counts / self.wcet
+        kinks = [t_starts]
+        if max_counts is not None:
+            ends = max_counts / self.wcet
+            kinks.append(ends[np.isfinite(ends)])
+        ts = np.unique(np.concatenate(kinks))
+        ts = ts[ts <= t_limit]
+        if ts.size == 0 or ts[-1] < t_limit:
+            ts = np.append(ts, t_limit)
+        counts_at = np.outer(ts, self.wcet)
+        np.maximum(counts_at, min_counts, out=counts_at)
+        if max_counts is not None:
+            np.minimum(counts_at, max_counts, out=counts_at)
+        usage_at = counts_at @ self.weights.T  # (T, D)
+        t_best = t_limit
+        for dimension in range(self.capacity.size):
+            column = usage_at[:, dimension]
+            exceeding = np.nonzero(column > capacity_slack[dimension])[0]
+            if exceeding.size == 0:
+                continue
+            first = int(exceeding[0])
+            if first == 0:
+                # Usage already above capacity at the smallest kink; the
+                # curve is constant (= base usage <= capacity) below it, so
+                # the crossing sits exactly at that kink.
+                t_best = min(t_best, float(ts[0]))
+                continue
+            run = column[first] - column[first - 1]
+            rise = capacity_slack[dimension] - column[first - 1]
+            t_cross = ts[first - 1] + (ts[first] - ts[first - 1]) * rise / run
+            t_best = min(t_best, float(t_cross))
+        ii = 1.0 / t_best
+        counts = self.counts_for_ii(ii, min_counts, max_counts)
+        return float(np.max(self.wcet / counts)), counts
+
+    def solve_dict(
+        self,
+        min_counts: Mapping[str, float] | None = None,
+        max_counts: Mapping[str, float] | None = None,
+        **kwargs: float,
+    ) -> tuple[float, dict[str, float]]:
+        """Name-keyed convenience wrapper around :meth:`solve`."""
+        min_vector = (
+            np.asarray([min_counts.get(name, 1.0) for name in self.names], dtype=np.float64)
+            if min_counts is not None
+            else None
+        )
+        max_vector = (
+            np.asarray([max_counts.get(name, np.inf) for name in self.names], dtype=np.float64)
+            if max_counts is not None
+            else None
+        )
+        ii, counts = self.solve(min_counts=min_vector, max_counts=max_vector, **kwargs)
+        return ii, {name: float(value) for name, value in zip(self.names, counts)}

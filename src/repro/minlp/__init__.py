@@ -12,7 +12,10 @@ from .branch_and_bound import (
     BBSettings,
     BBStatus,
     BranchAndBoundSolver,
+    RelaxationCache,
     RelaxationResult,
+    shared_relaxation_cache,
+    shared_relaxation_caches_clear,
 )
 from .binpacking import PackingItemType, PackingResult, VectorBinPacker
 from .errors import BranchingError, InfeasibleProblemError, MINLPError
@@ -35,11 +38,14 @@ __all__ = [
     "MINLPError",
     "PackingItemType",
     "PackingResult",
+    "RelaxationCache",
     "RelaxationResult",
     "SecantSegment",
     "VariableBounds",
     "VectorBinPacker",
     "secant_gap",
+    "shared_relaxation_cache",
+    "shared_relaxation_caches_clear",
     "secant_of",
     "spreading_of_kernel",
     "spreading_secant",

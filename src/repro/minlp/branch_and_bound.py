@@ -12,11 +12,24 @@ The engine is deliberately problem-agnostic: it works with three callbacks,
 The allocation-specific relaxations (the LP + initiation-interval search of
 :mod:`repro.core.exact`) plug into this engine; the paper's reference tool
 (Couenne) follows the same spatial branch-and-bound architecture.
+
+Two performance features are built into the engine itself:
+
+* **Relaxation caching** -- node relaxations are memoized keyed on the node's
+  box bounds (a :class:`RelaxationCache` can also be shared across solver
+  instances, e.g. across the points of a design-space sweep, so identical
+  subproblems are never re-solved).  Hit/miss counts are reported on
+  :class:`BBResult`.
+* **Warm-starting** -- when the relaxation solver accepts a second argument,
+  each child node receives its parent's :class:`RelaxationResult`, whose
+  objective is a valid lower bound for the shrunken box and lets monotone
+  solvers (the min-max bisection) start from a much tighter bracket.
 """
 
 from __future__ import annotations
 
 import heapq
+import inspect
 import itertools
 import math
 import time
@@ -53,6 +66,82 @@ class BBStatus(Enum):
     NO_SOLUTION = "no-solution"  # stopped at a limit without any incumbent
 
 
+class RelaxationCache:
+    """Memo of relaxation results keyed on canonical node bounds.
+
+    Within one tree the boxes of distinct nodes are disjoint, so the payoff
+    comes from *sharing* a cache across solver runs: repeated solves of the
+    same problem (a sweep re-solving each constraint for several heuristic
+    parameters, a root relaxation that equals the already-solved GP step)
+    return instantly.  Use :func:`shared_relaxation_cache` with a value-key
+    identifying the underlying problem to get that sharing; node bounds
+    alone are not a safe key across different problems.  Eviction is FIFO
+    with a bounded entry count.
+    """
+
+    def __init__(self, max_entries: int = 8192):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._max_entries = max_entries
+        self._entries: dict[tuple, RelaxationResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_of(bounds: VariableBounds) -> tuple:
+        return tuple(sorted((name, *bounds[name]) for name in bounds))
+
+    def get(self, bounds: VariableBounds) -> "RelaxationResult | None":
+        result = self._entries.get(self.key_of(bounds))
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, bounds: VariableBounds, result: "RelaxationResult") -> None:
+        if len(self._entries) >= self._max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[self.key_of(bounds)] = result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Bounded registry of relaxation caches shared across solver runs, keyed by
+#: a caller-supplied value-key identifying the underlying problem.
+_SHARED_CACHES: "dict[tuple, RelaxationCache]" = {}
+_SHARED_CACHE_LIMIT = 64
+
+
+def shared_relaxation_cache(key: tuple, max_entries: int = 8192) -> RelaxationCache:
+    """Relaxation cache shared by every solver run over the same problem.
+
+    Node relaxations depend only on the problem data and the node's box
+    bounds, so separate branch-and-bound runs over one problem (repeated
+    discretisations, sweep re-solves) can reuse each other's node bounds.
+    The caller's ``key`` must identify the problem by value; the registry
+    keeps at most ``_SHARED_CACHE_LIMIT`` caches (FIFO eviction).
+    """
+    cache = _SHARED_CACHES.get(key)
+    if cache is None:
+        if len(_SHARED_CACHES) >= _SHARED_CACHE_LIMIT:
+            _SHARED_CACHES.pop(next(iter(_SHARED_CACHES)))
+        cache = RelaxationCache(max_entries=max_entries)
+        _SHARED_CACHES[key] = cache
+    return cache
+
+
+def shared_relaxation_caches_clear() -> None:
+    """Drop every shared relaxation cache (used by tests and benchmarks)."""
+    _SHARED_CACHES.clear()
+
+
 @dataclass(frozen=True)
 class BBResult:
     """Result of a branch-and-bound run."""
@@ -63,6 +152,8 @@ class BBResult:
     lower_bound: float
     nodes_explored: int
     runtime_seconds: float
+    relaxation_cache_hits: int = 0
+    relaxation_cache_misses: int = 0
 
     @property
     def gap(self) -> float:
@@ -88,9 +179,31 @@ class BBSettings:
     integrality_tolerance: float = INTEGRALITY_TOLERANCE
 
 
-RelaxationSolver = Callable[[VariableBounds], RelaxationResult]
+#: A relaxation solver maps node bounds to a bound + fractional solution; it
+#: may optionally accept the parent node's relaxation as a second positional
+#: argument to warm-start (``None`` at the root).
+RelaxationSolver = Callable[..., RelaxationResult]
 IncumbentEvaluator = Callable[[Mapping[str, int]], float | None]
 RoundingHeuristic = Callable[[Mapping[str, float], VariableBounds], Iterable[Mapping[str, int]]]
+
+
+def _accepts_parent(solver: RelaxationSolver) -> bool:
+    """Whether a relaxation solver takes a (bounds, parent) pair."""
+    try:
+        parameters = inspect.signature(solver).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins/C callables
+        return False
+    positional = [
+        parameter
+        for parameter in parameters.values()
+        if parameter.kind
+        in (inspect.Parameter.POSITIONAL_ONLY, inspect.Parameter.POSITIONAL_OR_KEYWORD)
+    ]
+    if any(
+        parameter.kind is inspect.Parameter.VAR_POSITIONAL for parameter in parameters.values()
+    ):
+        return True
+    return len(positional) >= 2
 
 
 @dataclass(order=True)
@@ -113,11 +226,30 @@ class BranchAndBoundSolver:
         incumbent_evaluator: IncumbentEvaluator,
         rounding_heuristic: RoundingHeuristic | None = None,
         settings: BBSettings = BBSettings(),
+        relaxation_cache: RelaxationCache | None = None,
     ):
         self._relax = relaxation_solver
+        self._relax_takes_parent = _accepts_parent(relaxation_solver)
         self._evaluate = incumbent_evaluator
         self._round = rounding_heuristic
         self._settings = settings
+        self._cache = relaxation_cache
+
+    def _solve_relaxation(
+        self, bounds: VariableBounds, parent: RelaxationResult | None = None
+    ) -> RelaxationResult:
+        """Solve one node's relaxation through the cache and warm start."""
+        if self._cache is not None:
+            cached = self._cache.get(bounds)
+            if cached is not None:
+                return cached
+        if self._relax_takes_parent:
+            result = self._relax(bounds, parent)
+        else:
+            result = self._relax(bounds)
+        if self._cache is not None:
+            self._cache.put(bounds, result)
+        return result
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -136,6 +268,13 @@ class BranchAndBoundSolver:
         start = time.perf_counter()
         settings = self._settings
         counter = itertools.count()
+        hits_before = self._cache.hits if self._cache is not None else 0
+        misses_before = self._cache.misses if self._cache is not None else 0
+
+        def cache_stats() -> tuple[int, int]:
+            if self._cache is None:
+                return 0, 0
+            return self._cache.hits - hits_before, self._cache.misses - misses_before
 
         best_objective = math.inf
         best_solution: dict[str, int] = {}
@@ -146,11 +285,12 @@ class BranchAndBoundSolver:
                 best_objective = value
                 best_solution = seeded
 
-        root_relaxation = self._relax(initial_bounds)
+        root_relaxation = self._solve_relaxation(initial_bounds)
         if not root_relaxation.feasible:
             if best_solution:
                 # The caller's incumbent is feasible even though the root
                 # relaxation is not (should not happen for exact relaxations).
+                hits, misses = cache_stats()
                 return BBResult(
                     status=BBStatus.FEASIBLE,
                     objective=best_objective,
@@ -158,6 +298,8 @@ class BranchAndBoundSolver:
                     lower_bound=-math.inf,
                     nodes_explored=0,
                     runtime_seconds=time.perf_counter() - start,
+                    relaxation_cache_hits=hits,
+                    relaxation_cache_misses=misses,
                 )
             raise InfeasibleProblemError("root relaxation is infeasible")
 
@@ -218,7 +360,7 @@ class BranchAndBoundSolver:
                 children.append(node.bounds.with_lower(branch_name, floor_value + 1))
 
             for child_bounds in children:
-                relaxation = self._relax(child_bounds)
+                relaxation = self._solve_relaxation(child_bounds, node.relaxation)
                 if not relaxation.feasible:
                     continue
                 if relaxation.objective >= best_objective - settings.gap_tolerance * max(
@@ -243,6 +385,7 @@ class BranchAndBoundSolver:
             # Search exhausted: the incumbent (if any) is optimal.
             global_lower = best_objective if math.isfinite(best_objective) else global_lower
 
+        hits, misses = cache_stats()
         if not math.isfinite(best_objective):
             status = BBStatus.NO_SOLUTION if (heap or nodes_explored) else BBStatus.INFEASIBLE
             return BBResult(
@@ -252,6 +395,8 @@ class BranchAndBoundSolver:
                 lower_bound=global_lower,
                 nodes_explored=nodes_explored,
                 runtime_seconds=runtime,
+                relaxation_cache_hits=hits,
+                relaxation_cache_misses=misses,
             )
 
         gap = (best_objective - global_lower) / max(1e-12, abs(best_objective))
@@ -263,6 +408,8 @@ class BranchAndBoundSolver:
             lower_bound=min(global_lower, best_objective),
             nodes_explored=nodes_explored,
             runtime_seconds=runtime,
+            relaxation_cache_hits=hits,
+            relaxation_cache_misses=misses,
         )
 
     # ------------------------------------------------------------------ #

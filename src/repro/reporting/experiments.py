@@ -20,6 +20,7 @@ from ..core.problem import AllocationProblem
 from ..core.solution import SolveOutcome
 from ..core.solvers import solve
 from ..explore.compare import ComparisonSettings, compare_methods_over, speedup_summary
+from ..explore.executor import SweepExecutor
 from ..explore.runtime import runtime_comparison, speedups
 from ..explore.sweep import t_parameter_sweep
 from ..platform.presets import aws_f1
@@ -114,6 +115,7 @@ def table4() -> TextTable:
 def figure2(
     constraints: Sequence[float] = tuple(range(40, 91, 5)),
     t_values: Sequence[float] = (0.0, 2.5, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0),
+    executor: SweepExecutor | None = None,
 ) -> FigureData:
     """Figure 2: Alex-16 on 2 FPGAs, II vs resource constraint for several T."""
     problem = case_study("alex-16")
@@ -123,7 +125,7 @@ def figure2(
         y_label="initiation interval (ms)",
         caption="Alex-16 on 2 FPGAs; GP+A heuristic with varying T (delta = 1%)",
     )
-    sweeps = t_parameter_sweep(problem, constraints, t_values=t_values)
+    sweeps = t_parameter_sweep(problem, constraints, t_values=t_values, executor=executor)
     for t_value, points in sweeps.items():
         xs = [p.resource_constraint for p in points]
         ys = [p.initiation_interval for p in points]
@@ -150,6 +152,7 @@ def _comparison_figure(
     constraints: Sequence[float],
     exact_settings: ExactSettings,
     methods: Sequence[str] = ("gp+a", "minlp", "minlp+g"),
+    executor: SweepExecutor | None = None,
 ) -> MethodComparisonFigure:
     problem = case_study(case)
     settings = ComparisonSettings(
@@ -157,7 +160,7 @@ def _comparison_figure(
         heuristic=HeuristicSettings(),
         exact=exact_settings,
     )
-    points = compare_methods_over(problem, constraints, settings)
+    points = compare_methods_over(problem, constraints, settings, executor=executor)
 
     panel_a = FigureData(
         name=f"{figure_name}a",
@@ -201,27 +204,30 @@ def figure3(
     constraints: Sequence[float] = (55, 60, 65, 70, 75, 80, 85),
     exact_settings: ExactSettings = ExactSettings(max_nodes=8, time_limit_seconds=60.0),
     methods: Sequence[str] = ("gp+a", "minlp", "minlp+g"),
+    executor: SweepExecutor | None = None,
 ) -> MethodComparisonFigure:
     """Figure 3: AlexNet 16-bit fixed point on 2 FPGAs."""
-    return _comparison_figure("figure3", "alex-16", constraints, exact_settings, methods)
+    return _comparison_figure("figure3", "alex-16", constraints, exact_settings, methods, executor=executor)
 
 
 def figure4(
     constraints: Sequence[float] = (65, 67, 70, 72, 75),
     exact_settings: ExactSettings = ExactSettings(max_nodes=8, time_limit_seconds=60.0),
     methods: Sequence[str] = ("gp+a", "minlp", "minlp+g"),
+    executor: SweepExecutor | None = None,
 ) -> MethodComparisonFigure:
     """Figure 4: AlexNet 32-bit floating point on 4 FPGAs."""
-    return _comparison_figure("figure4", "alex-32", constraints, exact_settings, methods)
+    return _comparison_figure("figure4", "alex-32", constraints, exact_settings, methods, executor=executor)
 
 
 def figure5(
     constraints: Sequence[float] = (55, 61, 65, 70, 75, 80),
     exact_settings: ExactSettings = ExactSettings(max_nodes=4, time_limit_seconds=90.0),
     methods: Sequence[str] = ("gp+a", "minlp", "minlp+g"),
+    executor: SweepExecutor | None = None,
 ) -> MethodComparisonFigure:
     """Figure 5: VGG 16-bit fixed point on 8 FPGAs."""
-    return _comparison_figure("figure5", "vgg-16", constraints, exact_settings, methods)
+    return _comparison_figure("figure5", "vgg-16", constraints, exact_settings, methods, executor=executor)
 
 
 # --------------------------------------------------------------------------- #
@@ -275,13 +281,15 @@ def runtime_table(
     resource_constraint: float = 70.0,
     repetitions: int = 1,
     exact_settings: ExactSettings = ExactSettings(max_nodes=8, time_limit_seconds=120.0),
+    executor: SweepExecutor | None = None,
 ) -> TextTable:
     """CPU-time comparison of the three methods on the three case studies."""
     problems = [
         (case, case_study(case, resource_limit_percent=resource_constraint)) for case in cases
     ]
     measurements = runtime_comparison(
-        problems, methods=methods, repetitions=repetitions, exact_settings=exact_settings
+        problems, methods=methods, repetitions=repetitions, exact_settings=exact_settings,
+        executor=executor,
     )
     by_case_speedup = speedups(measurements, baseline_method="gp+a")
     table = TextTable(

@@ -182,7 +182,7 @@ def test_minmax_solution_is_feasible_and_tight(wcets, weights, slack_factor):
     ),
     st.integers(min_value=1, max_value=4),
 )
-@settings(max_examples=60)
+@settings(max_examples=60, deadline=None)
 def test_packing_assignment_respects_capacity(item_specs, num_bins):
     items = [
         PackingItemType(name=f"i{i}", count=count, size=(size,))
