@@ -1,0 +1,75 @@
+"""Allocation service benchmarks: warm-cache latency and batch dedupe.
+
+Two service-level numbers matter for the ROADMAP's serving story:
+
+* the request rate a warm cache sustains on ``/solve``-equivalent calls
+  (the in-process ``AllocationService.solve_request`` path -- no HTTP, so
+  the number isolates fingerprint + cache + decode cost), and
+* the dedupe ratio of a large batch: 1000 requests over 64 distinct
+  problems must cost exactly 64 solves, the rest being cache/dedupe hits.
+
+The snapshots land in ``BENCH_<rev>.json`` via ``benchmarks/conftest.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import AllocationProblem
+from repro.platform.presets import aws_f1
+from repro.service import AllocationService, ResultStore, SolveRequest, solve_batch
+from repro.workloads.alexnet import alexnet_fx16
+
+#: The acceptance scenario of the service PR: 1000 requests, 64 unique.
+BATCH_TOTAL = 1000
+BATCH_UNIQUE = 64
+
+
+def _problems(count: int) -> list[AllocationProblem]:
+    base = AllocationProblem(
+        pipeline=alexnet_fx16(),
+        platform=aws_f1(num_fpgas=2, resource_limit_percent=70.0),
+    )
+    return [base.with_resource_constraint(40.0 + index * 50.0 / count) for index in range(count)]
+
+
+def test_warm_cache_solve_latency(benchmark):
+    """Requests/sec of a warm in-memory cache hit (the /solve hot path)."""
+    service = AllocationService()
+    request = SolveRequest(problem=_problems(1)[0])
+    service.solve_request(request)  # populate the cache
+
+    outcome, meta = benchmark(service.solve_request, request)
+    assert meta["cache"] == "memory"
+    assert outcome.succeeded
+    # Acceptance: a warm memory hit answers in < 1 ms on the container.
+    # (stats is None under --benchmark-disable, where nothing is timed.)
+    if benchmark.stats is not None:
+        assert benchmark.stats["mean"] < 1e-3
+
+
+def test_batch_dedupe_1000_requests_64_unique(benchmark):
+    """Cold batch of 1000 requests with 64 distinct problems: 64 solves."""
+    problems = _problems(BATCH_UNIQUE)
+    requests = [SolveRequest(problem=problems[index % BATCH_UNIQUE]) for index in range(BATCH_TOTAL)]
+
+    def run():
+        store = ResultStore()  # cold store each round: the benchmark measures dedupe + solves
+        return solve_batch(requests, store=store)
+
+    outcomes, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.total == BATCH_TOTAL
+    assert report.unique == BATCH_UNIQUE
+    assert report.solves == BATCH_UNIQUE
+    assert report.duplicates == BATCH_TOTAL - BATCH_UNIQUE
+    assert len(outcomes) == BATCH_TOTAL
+
+
+def test_batch_warm_replay_throughput(benchmark):
+    """Warm replay of the same 1000-request batch: zero solves, pure cache."""
+    problems = _problems(BATCH_UNIQUE)
+    requests = [SolveRequest(problem=problems[index % BATCH_UNIQUE]) for index in range(BATCH_TOTAL)]
+    store = ResultStore()
+    solve_batch(requests, store=store)  # warm it
+
+    _, report = benchmark(solve_batch, requests, store=store)
+    assert report.solves == 0
+    assert report.memory_hits == BATCH_UNIQUE

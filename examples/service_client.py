@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Query a running allocation service.
+
+Start the service in another terminal::
+
+    PYTHONPATH=src python -m repro serve --port 8000 --cache-dir /tmp/repro-cache
+
+then run::
+
+    PYTHONPATH=src python examples/service_client.py --url http://127.0.0.1:8000
+
+The script sends the same request twice to show the cache tiers at work
+(first answer comes from the solver, the second from the in-memory LRU), then
+submits a small batch with duplicates and prints the dedupe report.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import aws_f1, alexnet_fx16, AllocationProblem
+from repro.reporting.service import batch_report_table, service_stats_table
+from repro.service import ServiceClient, SolveRequest
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default="http://127.0.0.1:8000", help="service base URL")
+    args = parser.parse_args()
+
+    client = ServiceClient(args.url)
+    print("health:", client.health())
+
+    problem = AllocationProblem(
+        pipeline=alexnet_fx16(),
+        platform=aws_f1(num_fpgas=2, resource_limit_percent=70.0),
+    )
+
+    for attempt in ("cold", "warm"):
+        response = client.solve(problem)
+        print(
+            f"{attempt} /solve: answered by {response['cache']!r} "
+            f"in {response['latency_ms']:.3f} ms (fingerprint {response['fingerprint'][:12]}...)"
+        )
+    outcome = client.solve_outcome(problem)
+    print()
+    print(outcome.solution.describe())
+    print()
+
+    # A batch with duplicates: 30 requests over 6 distinct constraints.
+    requests = [
+        SolveRequest(problem=problem.with_resource_constraint(60.0 + (index % 6) * 5.0))
+        for index in range(30)
+    ]
+    _, report = client.solve_batch_outcomes(requests)
+    print(batch_report_table(report).render())
+    print()
+    print(service_stats_table(client.stats()).render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Load generator for the allocation service (and the CI smoke check).
+
+Issues a batch of ``--requests`` solve requests containing exactly
+``--unique`` distinct problems (the rest are duplicates), then replays the
+same batch one request at a time to exercise the single-solve path on a warm
+cache.  With ``--check`` the script asserts what the service must guarantee:
+
+* the batch performed exactly ``--unique`` solves (dedupe works),
+* the warm replay performed zero solves (the cache answers),
+* the reported cache counters are consistent with the traffic.
+
+Point it at a running server with ``--url``, or let it spawn one on an
+ephemeral port with ``--spawn`` (the mode CI uses)::
+
+    PYTHONPATH=src python examples/service_load_generator.py \
+        --spawn --requests 100 --unique 12 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import subprocess
+import sys
+import time
+
+from repro import aws_f1, alexnet_fx16, AllocationProblem
+from repro.reporting.service import batch_report_table, cache_stats_table
+from repro.service import ServiceClient, ServiceError, SolveRequest
+
+
+def build_requests(count: int, unique: int, seed: int) -> list[SolveRequest]:
+    """``count`` requests drawn (shuffled) from ``unique`` distinct problems."""
+    base = AllocationProblem(
+        pipeline=alexnet_fx16(),
+        platform=aws_f1(num_fpgas=2, resource_limit_percent=70.0),
+    )
+    problems = [base.with_resource_constraint(40.0 + index * 50.0 / unique) for index in range(unique)]
+    generator = random.Random(seed)
+    chosen = [problems[index % unique] for index in range(count)]
+    generator.shuffle(chosen)
+    return [SolveRequest(problem=problem) for problem in chosen]
+
+
+def wait_for_health(client: ServiceClient, timeout_seconds: float = 30.0) -> None:
+    deadline = time.time() + timeout_seconds
+    while True:
+        try:
+            client.health()
+            return
+        except ServiceError:
+            if time.time() > deadline:
+                raise
+            time.sleep(0.2)
+
+
+def spawn_server(port: int) -> subprocess.Popen:
+    environment = dict(os.environ)
+    source_root = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    existing = environment.get("PYTHONPATH", "")
+    environment["PYTHONPATH"] = source_root + (os.pathsep + existing if existing else "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port)],
+        env=environment,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default=None, help="base URL of a running service")
+    parser.add_argument("--spawn", action="store_true", help="spawn a server subprocess")
+    parser.add_argument("--port", type=int, default=8971, help="port used with --spawn")
+    parser.add_argument("--requests", type=int, default=100, help="requests per batch")
+    parser.add_argument("--unique", type=int, default=12, help="distinct problems in the batch")
+    parser.add_argument("--seed", type=int, default=7, help="shuffle seed")
+    parser.add_argument("--check", action="store_true", help="fail unless dedupe/cache stats hold")
+    args = parser.parse_args()
+    if args.requests < args.unique:
+        parser.error("--requests must be >= --unique")
+    if not args.spawn and args.url is None:
+        parser.error("pass --url or --spawn")
+
+    process: subprocess.Popen | None = None
+    try:
+        if args.spawn:
+            process = spawn_server(args.port)
+            args.url = f"http://127.0.0.1:{args.port}"
+        client = ServiceClient(args.url)
+        wait_for_health(client)
+
+        requests = build_requests(args.requests, args.unique, args.seed)
+
+        start = time.perf_counter()
+        _, report = client.solve_batch_outcomes(requests)
+        batch_seconds = time.perf_counter() - start
+        print(batch_report_table(report).render())
+        print(f"batch wall time: {batch_seconds:.3f} s "
+              f"({args.requests / batch_seconds:.0f} requests/s)\n")
+
+        warm_latencies = []
+        warm_solver_answers = 0
+        for request in requests:
+            response = client.solve(request.problem, method=request.method)
+            warm_latencies.append(response["latency_ms"])
+            warm_solver_answers += response["cache"] == "solver"
+        warm_latencies.sort()
+        p50 = warm_latencies[len(warm_latencies) // 2]
+        p99 = warm_latencies[int(len(warm_latencies) * 0.99) - 1]
+        print(f"warm /solve replay: p50 {p50:.3f} ms, p99 {p99:.3f} ms, "
+              f"{warm_solver_answers} solver answers\n")
+
+        stats = client.stats()
+        print(cache_stats_table(stats["cache"]).render())
+
+        if args.check:
+            failures = []
+            if report["solves"] != args.unique:
+                failures.append(f"batch solves {report['solves']} != unique {args.unique}")
+            if report["duplicates"] != args.requests - args.unique:
+                failures.append(f"duplicates {report['duplicates']} wrong")
+            if warm_solver_answers != 0:
+                failures.append(f"{warm_solver_answers} warm requests missed every cache tier")
+            if stats["cache"]["puts"] != args.unique:
+                failures.append(f"cache puts {stats['cache']['puts']} != unique {args.unique}")
+            if stats["service"]["solves"] != args.unique:
+                failures.append(f"service solves {stats['service']['solves']} != {args.unique}")
+            if failures:
+                print("\nCHECK FAILED:\n  " + "\n  ".join(failures))
+                return 1
+            print("\nCHECK PASSED: "
+                  f"{args.requests} requests -> {args.unique} solves, warm replay fully cached")
+        return 0
+    finally:
+        if process is not None:
+            process.terminate()
+            process.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,16 @@
 """Command-line interface.
 
-Two sub-commands cover the common workflows::
+Three sub-commands cover the common workflows::
 
     repro-fpga solve --app alex-16 --fpgas 2 --resource 70 --method gp+a
     repro-fpga experiment table2
     repro-fpga experiment figure3 --output figure3.csv
     repro-fpga experiment figure2 --jobs 4   # sweep on a 4-worker process pool
+    repro-fpga serve --port 8000 --jobs 4 --cache-dir ~/.cache/repro-fpga
+
+``serve`` starts the long-running allocation service: an HTTP JSON API
+(``/solve``, ``/solve_batch``, ``/health``, ``/stats``) backed by the
+fingerprint-keyed result cache of :mod:`repro.service`.
 
 ``python -m repro`` is equivalent to ``repro-fpga``.
 """
@@ -69,6 +74,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for sweep experiments (0 = one per CPU, 1 = serial)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the cache-backed allocation service over HTTP"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8000, help="TCP port (0 = ephemeral)")
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="persistent worker processes for batch fan-out (0 = one per CPU, 1 = in-process)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="directory for the on-disk result tier (omit for a memory-only cache)",
+    )
+    serve_parser.add_argument(
+        "--memory-capacity",
+        type=int,
+        default=4096,
+        help="entries held by the in-memory LRU tier",
     )
 
     return parser
@@ -150,6 +179,29 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    # Imported here so plain solve/experiment invocations stay lean.
+    from .reporting.service import service_stats_table
+    from .service import AllocationService, ResultStore, run_server
+
+    jobs = available_workers() if args.jobs == 0 else args.jobs
+    if jobs <= 1:
+        executor = SweepExecutor(ExecutorSettings(parallel=False))
+    else:
+        executor = SweepExecutor(
+            ExecutorSettings(parallel=True, max_workers=jobs), persistent=True
+        )
+    store = ResultStore(cache_dir=args.cache_dir, memory_capacity=args.memory_capacity)
+    service = AllocationService(store=store, executor=executor)
+    tier = f"memory+disk ({args.cache_dir})" if args.cache_dir else "memory-only"
+    print(f"result cache: {tier}; batch workers: {jobs}", flush=True)
+    try:
+        run_server(service, host=args.host, port=args.port)
+    finally:
+        print(service_stats_table(service.stats()).render())
+    return 0
+
+
 def _emit_figure(figure: FigureData, output: Path | None) -> None:
     if output is not None:
         output.write_text(figure.to_csv() + "\n")
@@ -165,6 +217,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_solve(args)
     if args.command == "experiment":
         return _run_experiment(args)
+    if args.command == "serve":
+        return _run_serve(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from ..platform.resources import ResourceVector, sum_resources
 from .objective import global_spreading, kernel_spreading
@@ -13,6 +13,53 @@ from .problem import AllocationProblem
 
 #: Tolerance (percentage points) applied to capacity checks on solutions.
 CAPACITY_TOLERANCE = 1e-6
+
+
+def json_safe(value: Any) -> Any:
+    """Deep-coerce a value into plain JSON-serialisable Python types.
+
+    The vectorized solve path (:mod:`repro.core.arrays`,
+    :mod:`repro.gp.minmax`) computes with NumPy, and its scalars/arrays can
+    leak into solver metadata: ``np.float64`` hides inside ``float`` checks
+    (it subclasses ``float``) but ``np.int64``, ``np.bool_`` and ``ndarray``
+    all break ``json.dumps``.  Every :class:`SolveOutcome` runs its payload
+    through this coercion at construction so results always serialise.
+    """
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)  # normalises np.float64 (a float subclass) too
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(item) for item in value]
+    if isinstance(value, Enum):
+        return json_safe(value.value)
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):  # numpy scalars and arrays, without importing numpy
+        return json_safe(tolist())
+    return value
+
+
+def _wire_safe(value: Any) -> Any:
+    """Replace non-finite floats with ``None`` for strict (RFC 8259) JSON.
+
+    Python's ``json`` would happily emit ``NaN``/``Infinity`` tokens that
+    every non-Python consumer of the HTTP API rejects, so the wire format
+    encodes them as ``null`` (:meth:`SolveOutcome.from_dict` maps a missing
+    or null ``lower_bound`` back to NaN).
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _wire_safe(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_wire_safe(item) for item in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -219,7 +266,13 @@ class SolveStatus(Enum):
 
 @dataclass(frozen=True)
 class SolveOutcome:
-    """Result of running one allocation method on one problem."""
+    """Result of running one allocation method on one problem.
+
+    Construction coerces every field to plain JSON-serialisable Python types
+    (see :func:`json_safe`), so an outcome can always be dumped with
+    ``json.dumps`` -- a requirement of the result cache of
+    :mod:`repro.service`, which persists outcomes by content fingerprint.
+    """
 
     method: str
     status: SolveStatus
@@ -228,6 +281,86 @@ class SolveOutcome:
     lower_bound: float = math.nan
     nodes_explored: int = 0
     details: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "runtime_seconds", float(self.runtime_seconds))
+        object.__setattr__(self, "lower_bound", float(self.lower_bound))
+        object.__setattr__(self, "nodes_explored", int(self.nodes_explored))
+        object.__setattr__(self, "details", json_safe(self.details))
+
+    # ------------------------------------------------------------------ #
+    # JSON round trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self, include_problem: bool = False) -> dict[str, Any]:
+        """JSON-compatible dictionary, invertible by :meth:`from_dict`.
+
+        The problem itself is omitted unless ``include_problem`` is set: the
+        service cache keys payloads by a fingerprint of the request, so the
+        caller always holds an equivalent problem to re-bind the solution to.
+        Non-finite floats (the default ``lower_bound`` is NaN) are encoded as
+        ``null`` so the document is strict RFC 8259 JSON -- parseable by any
+        client, not just Python's ``NaN``-tolerant ``json`` module.
+        """
+        payload: dict[str, Any] = {
+            "method": self.method,
+            "status": self.status.value,
+            "runtime_seconds": self.runtime_seconds,
+            "lower_bound": _wire_safe(self.lower_bound),
+            "nodes_explored": self.nodes_explored,
+            "details": _wire_safe(self.details),  # already json_safe from __post_init__
+            "solution": (
+                {"counts": {name: list(counts) for name, counts in self.solution.counts.items()}}
+                if self.solution is not None
+                else None
+            ),
+        }
+        if include_problem:
+            if self.solution is None:
+                raise ValueError(
+                    "cannot embed the problem: this outcome has no solution; "
+                    "serialise the problem separately with problem_to_dict"
+                )
+            from ..workloads.serialization import problem_to_dict
+
+            payload["problem"] = problem_to_dict(self.solution.problem)
+        return payload
+
+    @classmethod
+    def from_dict(
+        cls, payload: Mapping[str, Any], problem: AllocationProblem | None = None
+    ) -> "SolveOutcome":
+        """Rebuild an outcome from :meth:`to_dict` output.
+
+        ``problem`` supplies the problem to bind the solution to; when absent
+        the payload must embed one (``to_dict(include_problem=True)``).
+        """
+        if problem is None and "problem" in payload:
+            from ..workloads.serialization import problem_from_dict
+
+            problem = problem_from_dict(payload["problem"])
+        solution_payload = payload.get("solution")
+        solution: AllocationSolution | None = None
+        if solution_payload is not None:
+            if problem is None:
+                raise ValueError(
+                    "payload carries a solution but no problem to bind it to; "
+                    "pass problem= or serialise with include_problem=True"
+                )
+            solution = solution_from_assignment(problem, solution_payload["counts"])
+        try:
+            status = SolveStatus(payload["status"])
+        except (KeyError, ValueError) as error:
+            raise ValueError(f"invalid outcome status: {error}") from error
+        lower_bound = payload.get("lower_bound")
+        return cls(
+            method=str(payload["method"]),
+            status=status,
+            solution=solution,
+            runtime_seconds=float(payload["runtime_seconds"]),
+            lower_bound=math.nan if lower_bound is None else float(lower_bound),
+            nodes_explored=int(payload.get("nodes_explored", 0)),
+            details=dict(payload.get("details", {})),
+        )
 
     @property
     def succeeded(self) -> bool:

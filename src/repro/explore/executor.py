@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -80,10 +81,41 @@ def _run_chunk(function: Callable[[TaskT], ResultT], chunk: list[TaskT]) -> list
 
 
 class SweepExecutor:
-    """Maps a function over tasks, in order, serially or on a process pool."""
+    """Maps a function over tasks, in order, serially or on a process pool.
 
-    def __init__(self, settings: ExecutorSettings = ExecutorSettings()):
+    By default each :meth:`map` call spins a pool up and tears it down again,
+    which is right for one-shot sweeps.  A *persistent* executor
+    (``persistent=True``) keeps the pool alive between calls so a resident
+    service (``repro serve``) does not pay worker start-up -- nor lose the
+    workers' warm memo caches -- on every batch.  Call :meth:`close` (or use
+    the executor as a context manager) to release the workers.
+    """
+
+    def __init__(self, settings: ExecutorSettings = ExecutorSettings(), persistent: bool = False):
         self.settings = settings
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _persistent_pool(self) -> ProcessPoolExecutor:
+        """The resident pool, created once (the HTTP server maps concurrently)."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.settings.resolved_workers())
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool, if one was ever started."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -127,6 +159,16 @@ class SweepExecutor:
     def _map_pool(
         self, function: Callable[[TaskT], ResultT], chunks: list[list[TaskT]]
     ) -> list[ResultT]:
+        if self.persistent:
+            pool = self._persistent_pool()
+            try:
+                futures = [pool.submit(_run_chunk, function, chunk) for chunk in chunks]
+                return [result for future in futures for result in future.result()]
+            except BrokenProcessPool:
+                # A broken pool never recovers; drop it so the next map call
+                # starts fresh, and let map() fall back to the serial path.
+                self.close()
+                raise
         workers = min(self.settings.resolved_workers(), len(chunks))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_run_chunk, function, chunk) for chunk in chunks]

@@ -15,6 +15,7 @@ from .experiments import (
     table4,
 )
 from .series import FigureData, Series
+from .service import batch_report_table, cache_stats_table, service_stats_table
 from .tables import TextTable, format_cell, percentage
 
 __all__ = [
@@ -23,6 +24,9 @@ __all__ = [
     "MethodComparisonFigure",
     "Series",
     "TextTable",
+    "batch_report_table",
+    "cache_stats_table",
+    "service_stats_table",
     "case_study",
     "figure2",
     "figure3",

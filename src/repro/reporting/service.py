@@ -1,0 +1,49 @@
+"""Reporting for the allocation service: cache and batch counters as tables.
+
+The service's ``/stats`` endpoint and :class:`~repro.service.store.CacheStats`
+carry raw counters; these helpers render them in the same plain-text table
+format as the paper's experiment drivers, so CLI output, logs and CI smoke
+jobs all read the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .tables import TextTable
+
+
+def cache_stats_table(stats: Mapping[str, Any], title: str = "Result cache") -> TextTable:
+    """Render cache tier counters (``CacheStats.as_dict()`` or ``/stats['cache']``)."""
+    table = TextTable(headers=["counter", "value"], title=title)
+    for counter in ("memory_hits", "disk_hits", "misses", "puts", "evictions", "lookups"):
+        if counter in stats:
+            table.add_row(counter, int(stats[counter]))
+    if "hit_rate" in stats:
+        table.add_row("hit_rate", f"{100.0 * float(stats['hit_rate']):.1f}%")
+    return table
+
+
+def service_stats_table(stats: Mapping[str, Any]) -> TextTable:
+    """Render a full ``/stats`` document (service + cache counters)."""
+    table = TextTable(headers=["counter", "value"], title="Allocation service")
+    service = stats.get("service", {})
+    for counter in ("requests", "batches", "solves"):
+        if counter in service:
+            table.add_row(counter, int(service[counter]))
+    if "uptime_seconds" in service:
+        table.add_row("uptime_seconds", f"{float(service['uptime_seconds']):.1f}")
+    for tier, size in stats.get("cache_sizes", {}).items():
+        table.add_row(f"{tier}_entries", int(size))
+    return table
+
+
+def batch_report_table(report: Mapping[str, Any]) -> TextTable:
+    """Render a ``BatchReport.as_dict()`` (or ``/solve_batch['report']``)."""
+    table = TextTable(headers=["counter", "value"], title="Batch solve report")
+    for counter in ("total", "unique", "duplicates", "memory_hits", "disk_hits", "solves", "groups"):
+        if counter in report:
+            table.add_row(counter, int(report[counter]))
+    if "runtime_seconds" in report:
+        table.add_row("runtime_seconds", f"{float(report['runtime_seconds']):.3f}")
+    return table

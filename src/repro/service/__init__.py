@@ -1,0 +1,41 @@
+"""Allocation-as-a-service: fingerprints, result cache, batch API, server.
+
+The service layer turns the one-shot solver stack into a long-running,
+cache-backed engine:
+
+* :mod:`repro.service.canonical` -- stable content fingerprints of
+  ``(problem, method, settings)`` requests;
+* :mod:`repro.service.store` -- in-memory LRU + on-disk SQLite result tiers;
+* :mod:`repro.service.batch` -- deduped, memo-grouped batch solving;
+* :mod:`repro.service.server` -- the resident service and its HTTP JSON API;
+* :mod:`repro.service.client` -- a small stdlib client.
+"""
+
+from .batch import BatchReport, SolveRequest, request_from_dict, solve_batch
+from .canonical import canonical_json, canonical_request, fingerprint, group_key
+from .client import ServiceClient, ServiceError, request_to_dict
+from .server import AllocationHTTPServer, AllocationService, run_server, start_server
+from .store import CacheStats, MemoryTier, ResultStore, SqliteTier, StoreLookup
+
+__all__ = [
+    "AllocationHTTPServer",
+    "AllocationService",
+    "BatchReport",
+    "CacheStats",
+    "MemoryTier",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "SolveRequest",
+    "SqliteTier",
+    "StoreLookup",
+    "canonical_json",
+    "canonical_request",
+    "fingerprint",
+    "group_key",
+    "request_from_dict",
+    "request_to_dict",
+    "run_server",
+    "solve_batch",
+    "start_server",
+]

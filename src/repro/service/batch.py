@@ -1,0 +1,201 @@
+"""Batch solve API: dedupe by fingerprint, fan the rest out, cache results.
+
+``solve_batch`` is the core of the allocation service: given N requests it
+performs exactly as many solver invocations as there are *novel* problems --
+duplicates collapse onto one fingerprint, cached fingerprints are answered
+from the store, and only the remainder is executed (grouped so requests that
+share the expensive GP/discretisation work land in the same executor chunk,
+reusing the memo caches of :mod:`repro.core.discretize`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..core.exact import ExactSettings
+from ..core.heuristic import HeuristicSettings
+from ..core.problem import AllocationProblem
+from ..core.solution import SolveOutcome, SolveStatus
+from ..core.solvers import METHODS
+from ..explore.executor import DEFAULT_EXECUTOR, SolveTask, SweepExecutor, run_solve_task
+from ..workloads.serialization import SerializationError, problem_from_dict
+from .canonical import fingerprint as compute_fingerprint
+from .canonical import group_key as compute_group_key
+from .store import ResultStore
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One allocation request: a problem, a method and optional settings."""
+
+    problem: AllocationProblem
+    method: str = "gp+a"
+    heuristic_settings: HeuristicSettings | None = None
+    exact_settings: ExactSettings | None = None
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ValueError(f"unknown method {self.method!r}; options: {METHODS}")
+
+    def fingerprint(self) -> str:
+        """Canonical content fingerprint, memoized (the request is frozen)."""
+        cached = self.__dict__.get("_cached_fingerprint")
+        if cached is None:
+            cached = compute_fingerprint(
+                self.problem, self.method, self.heuristic_settings, self.exact_settings
+            )
+            object.__setattr__(self, "_cached_fingerprint", cached)
+        return cached
+
+    def group_key(self) -> str:
+        cached = self.__dict__.get("_cached_group_key")
+        if cached is None:
+            cached = compute_group_key(
+                self.problem, self.method, self.heuristic_settings, self.exact_settings
+            )
+            object.__setattr__(self, "_cached_group_key", cached)
+        return cached
+
+    def task(self) -> SolveTask:
+        return SolveTask(
+            problem=self.problem,
+            method=self.method,
+            heuristic_settings=self.heuristic_settings,
+            exact_settings=self.exact_settings,
+        )
+
+
+def _settings_from_dict(cls: type, payload: Mapping[str, Any] | None, label: str):
+    """Build a settings dataclass from a JSON mapping, rejecting unknown keys."""
+    if payload is None:
+        return None
+    if not isinstance(payload, Mapping):
+        raise SerializationError(f"{label} must be a JSON object")
+    known = {f.name for f in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+    unknown = set(payload) - known
+    if unknown:
+        raise SerializationError(f"unknown {label} fields: {sorted(unknown)}")
+    try:
+        return cls(**payload)
+    except (TypeError, ValueError) as error:
+        raise SerializationError(f"invalid {label}: {error}") from error
+
+
+def request_from_dict(payload: Mapping[str, Any]) -> SolveRequest:
+    """Build a :class:`SolveRequest` from a service JSON document."""
+    if not isinstance(payload, Mapping):
+        raise SerializationError("a solve request must be a JSON object")
+    if "problem" not in payload:
+        raise SerializationError("a solve request needs a 'problem' section")
+    method = str(payload.get("method", "gp+a"))
+    if method not in METHODS:
+        raise SerializationError(f"unknown method {method!r}; options: {METHODS}")
+    return SolveRequest(
+        problem=problem_from_dict(payload["problem"]),
+        method=method,
+        heuristic_settings=_settings_from_dict(
+            HeuristicSettings, payload.get("heuristic_settings"), "heuristic_settings"
+        ),
+        exact_settings=_settings_from_dict(
+            ExactSettings, payload.get("exact_settings"), "exact_settings"
+        ),
+    )
+
+
+@dataclass
+class BatchReport:
+    """Where each answer of one ``solve_batch`` call came from."""
+
+    total: int = 0
+    unique: int = 0
+    duplicates: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    solves: int = 0
+    groups: int = 0
+    runtime_seconds: float = 0.0
+    fingerprints: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "total": self.total,
+            "unique": self.unique,
+            "duplicates": self.duplicates,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "solves": self.solves,
+            "groups": self.groups,
+            "runtime_seconds": self.runtime_seconds,
+        }
+
+
+def solve_batch(
+    requests: Sequence[SolveRequest],
+    store: ResultStore | None = None,
+    executor: SweepExecutor | None = None,
+) -> tuple[list[SolveOutcome], BatchReport]:
+    """Answer a batch of requests with the minimum number of solves.
+
+    Returns the outcomes in request order plus a :class:`BatchReport` whose
+    counters prove the dedupe: ``solves`` equals the number of distinct
+    fingerprints that were in no cache tier.  Outcomes of duplicate requests
+    are the *same object* (they are semantically one result).
+
+    Cacheable outcomes (everything but ``ERROR``) are written back to the
+    store under their request fingerprint.
+    """
+    start = time.perf_counter()
+    executor = executor or DEFAULT_EXECUTOR
+    store = store if store is not None else ResultStore()
+    request_list = list(requests)
+
+    report = BatchReport(total=len(request_list))
+    fingerprints = [request.fingerprint() for request in request_list]
+    report.fingerprints = fingerprints
+
+    # First occurrence of every fingerprint defines the canonical request.
+    first_of: dict[str, SolveRequest] = {}
+    for request, print_ in zip(request_list, fingerprints):
+        first_of.setdefault(print_, request)
+    report.unique = len(first_of)
+    report.duplicates = report.total - report.unique
+
+    # Tier lookups for the unique fingerprints.
+    outcomes_by_print: dict[str, SolveOutcome] = {}
+    missing: list[tuple[str, SolveRequest]] = []
+    for print_, request in first_of.items():
+        lookup = store.get(print_)
+        if lookup.hit:
+            assert lookup.payload is not None
+            outcomes_by_print[print_] = SolveOutcome.from_dict(
+                json.loads(lookup.payload), problem=request.problem
+            )
+            if lookup.tier == "memory":
+                report.memory_hits += 1
+            else:
+                report.disk_hits += 1
+        else:
+            missing.append((print_, request))
+
+    # Solve the remainder, grouped so memo-sharing requests are contiguous
+    # (the executor chunks tasks in order; one worker keeps a group's GP and
+    # discretisation caches warm).
+    if missing:
+        keyed = sorted(
+            ((request.group_key(), print_, request) for print_, request in missing),
+            key=lambda item: item[0],
+        )
+        report.groups = len({key for key, _, _ in keyed})
+        tasks = [request.task() for _, _, request in keyed]
+        solved = executor.map(run_solve_task, tasks)
+        report.solves = len(solved)
+        for (_, print_, request), outcome in zip(keyed, solved):
+            outcomes_by_print[print_] = outcome
+            if outcome.status is not SolveStatus.ERROR:
+                store.put(print_, json.dumps(outcome.to_dict()))
+
+    report.runtime_seconds = time.perf_counter() - start
+    return [outcomes_by_print[print_] for print_ in fingerprints], report

@@ -1,0 +1,171 @@
+"""Canonical problem fingerprints for the allocation service.
+
+The cache key of the result store must identify a *semantically* identical
+request, not a byte-identical one: two callers describing the same pipeline
+with the kernels listed in a different order, the resource cap written as
+``70`` instead of ``70.0``, or the solver settings spelled in a different
+key order must hash to the same fingerprint.  This module builds that stable
+content hash on top of the workload serialization layer:
+
+* every number is coerced to a float and rendered by ``repr`` (shortest
+  round-trip form), so formatting differences vanish;
+* kernels are sorted by name -- allocation is order-free, the optimisation
+  variables are indexed by kernel name only;
+* display-only attributes (pipeline/platform/device names, absolute device
+  counts) are excluded -- the solvers operate purely on percentages;
+* solver settings irrelevant to the chosen method are dropped
+  (``"minlp"`` ignores the heuristic settings and forces ``beta = 0``);
+* the canonical document is serialised with sorted keys and hashed with
+  SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Any, Mapping
+
+from ..core.exact import ExactSettings
+from ..core.heuristic import HeuristicSettings
+from ..core.problem import AllocationProblem
+from ..core.solvers import METHODS
+from ..platform.resources import RESOURCE_KINDS
+
+#: Version tag mixed into every fingerprint; bump when the canonical form or
+#: the solver semantics behind it change incompatibly (old cache entries must
+#: not be served for requests they no longer describe).
+CANONICAL_VERSION = 1
+
+
+def canonical_value(value: Any) -> Any:
+    """Normalise a JSON-ish value for canonical serialisation.
+
+    Every number except ``bool`` becomes a float (``70`` and ``70.0``
+    canonicalise identically; ``repr`` of equal floats is equal), ``-0.0`` is
+    folded onto ``0.0``, and containers are normalised recursively.  Mapping
+    key order is irrelevant because :func:`canonical_json` sorts keys.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (int, float)):
+        number = float(value)
+        return 0.0 if number == 0.0 else number
+    if isinstance(value, Mapping):
+        return {str(key): canonical_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    raise TypeError(f"cannot canonicalise value of type {type(value).__name__}")
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON text of a canonicalised payload."""
+    return json.dumps(canonical_value(payload), sort_keys=True, separators=(",", ":"))
+
+
+# --------------------------------------------------------------------------- #
+# Canonical request documents
+# --------------------------------------------------------------------------- #
+def canonical_problem(problem: AllocationProblem) -> dict[str, Any]:
+    """Order- and formatting-independent document of one allocation problem.
+
+    Memoized on the (frozen) problem instance -- a batch of requests over a
+    handful of distinct problems canonicalises each problem once.  Callers
+    must treat the returned document as immutable.
+    """
+    cached = problem.__dict__.get("_cached_canonical_document")
+    if cached is not None:
+        return cached
+    kernels = []
+    for kernel in sorted(problem.pipeline, key=lambda k: k.name):
+        kernels.append(
+            {
+                "name": kernel.name,
+                "resources": {kind: kernel.resources[kind] for kind in RESOURCE_KINDS},
+                "bandwidth": kernel.bandwidth,
+                "wcet_ms": kernel.wcet_ms,
+                "max_cus": kernel.max_cus,
+            }
+        )
+    platform = problem.platform
+    document = {
+        "kernels": kernels,
+        "platform": {
+            "num_fpgas": platform.num_fpgas,
+            "resource_limit": {kind: platform.resource_limit[kind] for kind in RESOURCE_KINDS},
+            "bandwidth_limit": platform.bandwidth_limit,
+        },
+        "weights": {"alpha": problem.weights.alpha, "beta": problem.weights.beta},
+    }
+    object.__setattr__(problem, "_cached_canonical_document", document)
+    return document
+
+
+def canonical_request(
+    problem: AllocationProblem,
+    method: str = "gp+a",
+    heuristic_settings: HeuristicSettings | None = None,
+    exact_settings: ExactSettings | None = None,
+) -> dict[str, Any]:
+    """Canonical document of one ``(problem, method, settings)`` request.
+
+    Settings default to the solver defaults, so "no settings given" and
+    "defaults spelled out" are the same request.  Settings (and weights) that
+    the method provably ignores are normalised away:
+
+    * ``"minlp"`` never reads the heuristic settings and zeroes ``beta``;
+    * the exact methods are the only readers of :class:`ExactSettings`.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; options: {METHODS}")
+    problem_document = canonical_problem(problem)
+    if method == "minlp":
+        # Copy-on-write: the problem document is memoized and must stay pristine.
+        problem_document = {
+            **problem_document,
+            "weights": {**problem_document["weights"], "beta": 0.0},
+        }
+    document = {
+        "version": CANONICAL_VERSION,
+        "method": method,
+        "problem": problem_document,
+    }
+    if method == "gp+a":
+        document["heuristic_settings"] = asdict(heuristic_settings or HeuristicSettings())
+    else:
+        document["exact_settings"] = asdict(exact_settings or ExactSettings())
+    return document
+
+
+def fingerprint(
+    problem: AllocationProblem,
+    method: str = "gp+a",
+    heuristic_settings: HeuristicSettings | None = None,
+    exact_settings: ExactSettings | None = None,
+) -> str:
+    """SHA-256 content fingerprint of one allocation request."""
+    document = canonical_request(problem, method, heuristic_settings, exact_settings)
+    return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
+
+
+def group_key(
+    problem: AllocationProblem,
+    method: str = "gp+a",
+    heuristic_settings: HeuristicSettings | None = None,
+    exact_settings: ExactSettings | None = None,
+) -> str:
+    """Memo-sharing group of a request: same constrained problem + GP config.
+
+    Requests in one group reuse each other's per-process caches: the GP
+    relaxation and the discretisation memo depend on the problem (pipeline +
+    constraint) and the GP/discretisation settings, but *not* on the
+    allocator parameters ``T``/``delta``/``criticality``.  The batch API
+    sorts tasks by this key before handing them to the executor so one
+    worker solves the shared prefix once -- the same trick the Figure 2
+    T-sweep uses.
+    """
+    document = canonical_request(problem, method, heuristic_settings, exact_settings)
+    if method == "gp+a":
+        for allocator_only in ("t_percent", "delta_percent", "criticality"):
+            document["heuristic_settings"].pop(allocator_only, None)
+    return canonical_json(document)

@@ -1,0 +1,128 @@
+"""Small stdlib HTTP client for the allocation service.
+
+Mirrors the server's four endpoints.  Problems and settings are serialised
+with the same workload serialization layer the server parses with, and the
+returned outcome documents can be re-bound to local problem objects::
+
+    client = ServiceClient("http://127.0.0.1:8000")
+    response = client.solve(problem)                 # raw JSON document
+    outcome = client.solve_outcome(problem)          # bound SolveOutcome
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import asdict
+from typing import Any, Mapping, Sequence
+
+from ..core.exact import ExactSettings
+from ..core.heuristic import HeuristicSettings
+from ..core.problem import AllocationProblem
+from ..core.solution import SolveOutcome
+from ..workloads.serialization import problem_to_dict
+from .batch import SolveRequest
+
+
+class ServiceError(RuntimeError):
+    """Raised when the service answers with an error document or bad status."""
+
+
+def request_to_dict(request: SolveRequest) -> dict[str, Any]:
+    """Serialise a :class:`SolveRequest` into the service wire format."""
+    payload: dict[str, Any] = {
+        "problem": problem_to_dict(request.problem),
+        "method": request.method,
+    }
+    if request.heuristic_settings is not None:
+        payload["heuristic_settings"] = asdict(request.heuristic_settings)
+    if request.exact_settings is not None:
+        payload["exact_settings"] = asdict(request.exact_settings)
+    return payload
+
+
+class ServiceClient:
+    """Talk to a running allocation service over HTTP."""
+
+    def __init__(self, base_url: str, timeout_seconds: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_seconds = timeout_seconds
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(self, path: str, payload: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            url, data=data, headers={"Content-Type": "application/json"} if data else {}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_seconds) as response:
+                document = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8")).get("error", str(error))
+            except Exception:
+                message = str(error)
+            raise ServiceError(f"{path}: {message}") from error
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach {url}: {error.reason}") from error
+        if isinstance(document, Mapping) and "error" in document:
+            raise ServiceError(str(document["error"]))
+        return document
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        problem: AllocationProblem,
+        method: str = "gp+a",
+        heuristic_settings: HeuristicSettings | None = None,
+        exact_settings: ExactSettings | None = None,
+    ) -> dict[str, Any]:
+        """POST /solve; returns the raw response document."""
+        request = SolveRequest(
+            problem=problem,
+            method=method,
+            heuristic_settings=heuristic_settings,
+            exact_settings=exact_settings,
+        )
+        return self._request("/solve", request_to_dict(request))
+
+    def solve_outcome(
+        self,
+        problem: AllocationProblem,
+        method: str = "gp+a",
+        heuristic_settings: HeuristicSettings | None = None,
+        exact_settings: ExactSettings | None = None,
+    ) -> SolveOutcome:
+        """POST /solve and bind the returned outcome to ``problem``."""
+        response = self.solve(problem, method, heuristic_settings, exact_settings)
+        return SolveOutcome.from_dict(response["outcome"], problem=problem)
+
+    def solve_batch(self, requests: Sequence[SolveRequest]) -> dict[str, Any]:
+        """POST /solve_batch; returns the raw response document."""
+        payload = {"requests": [request_to_dict(request) for request in requests]}
+        return self._request("/solve_batch", payload)
+
+    def solve_batch_outcomes(
+        self, requests: Sequence[SolveRequest]
+    ) -> tuple[list[SolveOutcome], dict[str, Any]]:
+        """POST /solve_batch and bind each outcome to its request problem."""
+        response = self.solve_batch(requests)
+        outcomes = [
+            SolveOutcome.from_dict(document, problem=request.problem)
+            for document, request in zip(response["outcomes"], requests)
+        ]
+        return outcomes, response["report"]
+
+    def health(self) -> dict[str, Any]:
+        """GET /health."""
+        return self._request("/health")
+
+    def stats(self) -> dict[str, Any]:
+        """GET /stats."""
+        return self._request("/stats")

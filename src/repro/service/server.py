@@ -1,0 +1,265 @@
+"""The allocation service and its stdlib-only HTTP JSON front-end.
+
+:class:`AllocationService` is the resident, cache-backed solving engine --
+usable directly from Python (tests, notebooks, the batch API) -- and
+:func:`start_server` / :func:`run_server` expose it over HTTP with four
+endpoints:
+
+========================  ==========================================================
+``POST /solve``           one request ``{"problem": ..., "method": ...,
+                          "heuristic_settings"?: ..., "exact_settings"?: ...}``
+``POST /solve_batch``     ``{"requests": [...]}`` -- deduped, cache-backed batch
+``GET /health``           liveness + uptime
+``GET /stats``            cache tier counters, service counters, executor config
+========================  ==========================================================
+
+The server is a ``ThreadingHTTPServer``: requests are handled concurrently
+and meet at the thread-safe :class:`~repro.service.store.ResultStore`.  Solver
+fan-out inside a batch goes through the shared
+:class:`~repro.explore.executor.SweepExecutor` (use a persistent pool via
+``repro serve --jobs N``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from .. import __version__
+from ..core.solution import SolveOutcome, SolveStatus
+from ..core.solvers import solve
+from ..explore.executor import SweepExecutor
+from ..workloads.serialization import SerializationError
+from .batch import BatchReport, SolveRequest, request_from_dict, solve_batch
+from .store import ResultStore
+
+
+class AllocationService:
+    """Long-running, cache-backed allocation solving engine.
+
+    Parameters
+    ----------
+    store:
+        Result store; defaults to a memory-only store.  Pass one with a
+        ``cache_dir`` to survive restarts.
+    executor:
+        Sweep executor used by :meth:`solve_batch` fan-out; defaults to the
+        chunked-serial engine.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        executor: SweepExecutor | None = None,
+    ):
+        self.store = store if store is not None else ResultStore()
+        self.executor = executor or SweepExecutor()
+        self.started_unix = time.time()
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._batches = 0
+        self._solves = 0
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def solve_request(self, request: SolveRequest) -> tuple[SolveOutcome, dict[str, Any]]:
+        """Answer one request, consulting the cache tiers first.
+
+        Returns the outcome plus a metadata dict: the request fingerprint,
+        which tier answered (``"memory"``/``"disk"``/``"solver"``) and the
+        service-side latency in milliseconds.
+        """
+        start = time.perf_counter()
+        fingerprint = request.fingerprint()
+        lookup = self.store.get(fingerprint)
+        if lookup.hit:
+            assert lookup.payload is not None
+            outcome = SolveOutcome.from_dict(json.loads(lookup.payload), problem=request.problem)
+            source = lookup.tier
+        else:
+            outcome = solve(
+                request.problem,
+                method=request.method,
+                heuristic_settings=request.heuristic_settings,
+                exact_settings=request.exact_settings,
+            )
+            if outcome.status is not SolveStatus.ERROR:
+                self.store.put(fingerprint, json.dumps(outcome.to_dict()))
+            source = "solver"
+            with self._lock:
+                self._solves += 1
+        with self._lock:
+            self._requests += 1
+        meta = {
+            "fingerprint": fingerprint,
+            "cache": source,
+            "latency_ms": (time.perf_counter() - start) * 1000.0,
+        }
+        return outcome, meta
+
+    def solve_batch(self, requests: list[SolveRequest]) -> tuple[list[SolveOutcome], BatchReport]:
+        """Answer a batch via :func:`repro.service.batch.solve_batch`."""
+        outcomes, report = solve_batch(requests, store=self.store, executor=self.executor)
+        with self._lock:
+            self._requests += report.total
+            self._batches += 1
+            self._solves += report.solves
+        return outcomes, report
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """Service counters + cache tier counters, JSON-compatible."""
+        with self._lock:
+            service = {
+                "requests": self._requests,
+                "batches": self._batches,
+                "solves": self._solves,
+                "uptime_seconds": time.time() - self.started_unix,
+                "version": __version__,
+            }
+        return {
+            "service": service,
+            "cache": self.store.stats().as_dict(),
+            "cache_sizes": self.store.sizes(),
+        }
+
+    def close(self) -> None:
+        self.store.close()
+        close_pool = getattr(self.executor, "close", None)
+        if callable(close_pool):
+            close_pool()
+
+
+# --------------------------------------------------------------------------- #
+# HTTP layer
+# --------------------------------------------------------------------------- #
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four service endpoints onto an :class:`AllocationService`."""
+
+    server: "AllocationHTTPServer"
+    protocol_version = "HTTP/1.1"
+    #: Silence per-request stderr logging (flip for debugging).
+    quiet = True
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Mapping[str, Any], status: int = 200) -> None:
+        # allow_nan=False guarantees strict RFC 8259 JSON on the wire; the
+        # outcome documents already encode non-finite floats as null.
+        body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int = 400) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise SerializationError("request body is empty")
+        try:
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise SerializationError(f"request body is not valid JSON: {error}") from error
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        service = self.server.service
+        if self.path == "/health":
+            self._send_json(
+                {"status": "ok", "uptime_seconds": time.time() - service.started_unix}
+            )
+        elif self.path == "/stats":
+            self._send_json(service.stats())
+        else:
+            self._send_error_json(f"unknown endpoint {self.path!r}", status=404)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        service = self.server.service
+        try:
+            payload = self._read_json_body()
+            if self.path == "/solve":
+                request = request_from_dict(payload)
+                outcome, meta = service.solve_request(request)
+                self._send_json({**meta, "outcome": outcome.to_dict()})
+            elif self.path == "/solve_batch":
+                if not isinstance(payload, Mapping) or "requests" not in payload:
+                    raise SerializationError("a batch document needs a 'requests' list")
+                documents = payload["requests"]
+                if not isinstance(documents, list) or not documents:
+                    raise SerializationError("'requests' must be a non-empty list")
+                requests = [request_from_dict(document) for document in documents]
+                outcomes, report = service.solve_batch(requests)
+                self._send_json(
+                    {
+                        "report": report.as_dict(),
+                        "fingerprints": report.fingerprints,
+                        "outcomes": [outcome.to_dict() for outcome in outcomes],
+                    }
+                )
+            else:
+                self._send_error_json(f"unknown endpoint {self.path!r}", status=404)
+        except SerializationError as error:
+            self._send_error_json(str(error), status=400)
+        except ValueError as error:
+            self._send_error_json(str(error), status=400)
+        except Exception as error:  # pragma: no cover - last-resort 500
+            self._send_error_json(f"internal error: {error}", status=500)
+
+
+class AllocationHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server that owns an :class:`AllocationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: AllocationService):
+        super().__init__(address, _ServiceRequestHandler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+
+def start_server(
+    service: AllocationService, host: str = "127.0.0.1", port: int = 0
+) -> tuple[AllocationHTTPServer, threading.Thread]:
+    """Start a server on a background thread (``port=0`` picks a free port).
+
+    The caller owns shutdown: ``server.shutdown(); server.server_close();
+    service.close()``.
+    """
+    server = AllocationHTTPServer((host, port), service)
+    thread = threading.Thread(target=server.serve_forever, name="repro-serve", daemon=True)
+    thread.start()
+    return server, thread
+
+
+def run_server(service: AllocationService, host: str = "127.0.0.1", port: int = 8000) -> None:
+    """Serve until interrupted (the blocking entry point behind ``repro serve``)."""
+    server = AllocationHTTPServer((host, port), service)
+    print(f"allocation service listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+        service.close()

@@ -1,0 +1,244 @@
+"""Multi-tier result store: in-memory LRU in front of an on-disk SQLite tier.
+
+Payloads are opaque JSON strings (serialised :class:`~repro.core.solution.
+SolveOutcome` documents) keyed by the canonical request fingerprint of
+:mod:`repro.service.canonical`.  The memory tier answers repeat queries
+within a process in microseconds; the SQLite tier survives restarts, so a
+rebooted server keeps answering warm queries without re-solving.  Hits,
+misses, evictions and writes are counted per tier and surfaced through the
+reporting layer (:func:`repro.reporting.service.cache_stats_table`) and the
+server's ``/stats`` endpoint.
+
+All operations are thread-safe: the HTTP server handles requests on a
+thread pool and shares one store.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+#: File name of the SQLite tier inside a cache directory.
+SQLITE_FILENAME = "results.sqlite"
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`ResultStore` (cumulative since creation)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return (self.memory_hits + self.disk_hits) / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            memory_hits=self.memory_hits,
+            disk_hits=self.disk_hits,
+            misses=self.misses,
+            puts=self.puts,
+            evictions=self.evictions,
+        )
+
+
+class MemoryTier:
+    """A plain LRU mapping of fingerprint -> payload string."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("memory tier capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, str] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def get(self, fingerprint: str) -> str | None:
+        payload = self._entries.get(fingerprint)
+        if payload is not None:
+            self._entries.move_to_end(fingerprint)
+        return payload
+
+    def put(self, fingerprint: str, payload: str) -> int:
+        """Insert (or refresh) an entry; returns the number of evictions."""
+        if fingerprint in self._entries:
+            self._entries.move_to_end(fingerprint)
+            self._entries[fingerprint] = payload
+            return 0
+        self._entries[fingerprint] = payload
+        evicted = 0
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            evicted += 1
+        return evicted
+
+
+class SqliteTier:
+    """On-disk fingerprint -> payload table backed by SQLite.
+
+    A single connection is shared across threads behind the store's lock
+    (SQLite connections are not concurrency-safe by themselves).  Writes are
+    committed immediately: a crashed or killed server loses nothing that was
+    already answered.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._connection = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            " fingerprint TEXT PRIMARY KEY,"
+            " payload TEXT NOT NULL,"
+            " created_unix REAL NOT NULL)"
+        )
+        self._connection.commit()
+
+    def __len__(self) -> int:
+        row = self._connection.execute("SELECT COUNT(*) FROM results").fetchone()
+        return int(row[0])
+
+    def get(self, fingerprint: str) -> str | None:
+        row = self._connection.execute(
+            "SELECT payload FROM results WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def put(self, fingerprint: str, payload: str) -> None:
+        self._connection.execute(
+            "INSERT OR REPLACE INTO results (fingerprint, payload, created_unix) VALUES (?, ?, ?)",
+            (fingerprint, payload, time.time()),
+        )
+        self._connection.commit()
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+@dataclass
+class StoreLookup:
+    """Result of one store lookup: the payload (if any) and the tier it hit."""
+
+    payload: str | None
+    tier: str | None  # "memory", "disk" or None on a miss
+
+    @property
+    def hit(self) -> bool:
+        return self.payload is not None
+
+
+class ResultStore:
+    """LRU memory tier in front of an optional SQLite disk tier.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for the SQLite tier (created if missing).  ``None`` keeps
+        the store memory-only -- fine for tests and throwaway servers, but
+        results then die with the process.
+    memory_capacity:
+        Maximum number of payloads held by the LRU tier.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None, memory_capacity: int = 4096):
+        self._lock = threading.Lock()
+        self._memory = MemoryTier(capacity=memory_capacity)
+        self._disk = SqliteTier(Path(cache_dir) / SQLITE_FILENAME) if cache_dir else None
+        self._disk_size_at_close: int | None = None
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Lookup / insert
+    # ------------------------------------------------------------------ #
+    def get(self, fingerprint: str) -> StoreLookup:
+        """Look a fingerprint up, promoting disk hits into the memory tier."""
+        with self._lock:
+            payload = self._memory.get(fingerprint)
+            if payload is not None:
+                self._stats.memory_hits += 1
+                return StoreLookup(payload=payload, tier="memory")
+            if self._disk is not None:
+                payload = self._disk.get(fingerprint)
+                if payload is not None:
+                    self._stats.disk_hits += 1
+                    self._stats.evictions += self._memory.put(fingerprint, payload)
+                    return StoreLookup(payload=payload, tier="disk")
+            self._stats.misses += 1
+            return StoreLookup(payload=None, tier=None)
+
+    def put(self, fingerprint: str, payload: str) -> None:
+        """Write a payload into every tier."""
+        with self._lock:
+            self._stats.puts += 1
+            self._stats.evictions += self._memory.put(fingerprint, payload)
+            if self._disk is not None:
+                self._disk.put(fingerprint, payload)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> CacheStats:
+        """Snapshot of the cumulative counters (safe to mutate)."""
+        with self._lock:
+            return self._stats.snapshot()
+
+    def sizes(self) -> dict[str, int]:
+        """Current entry counts per tier."""
+        with self._lock:
+            sizes = {"memory": len(self._memory)}
+            if self._disk is not None:
+                sizes["disk"] = len(self._disk)
+            elif self._disk_size_at_close is not None:
+                sizes["disk"] = self._disk_size_at_close
+            return sizes
+
+    @property
+    def has_disk_tier(self) -> bool:
+        return self._disk is not None
+
+    def close(self) -> None:
+        """Close the disk tier; the store degrades to memory-only.
+
+        Idempotent, and every other operation stays safe afterwards (the
+        CLI renders a final stats table after shutting the service down).
+        """
+        with self._lock:
+            if self._disk is not None:
+                self._disk_size_at_close = len(self._disk)
+                self._disk.close()
+                self._disk = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

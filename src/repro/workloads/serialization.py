@@ -11,11 +11,16 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
+from ..platform.fpga import FPGADevice
+from ..platform.multi_fpga import MultiFPGAPlatform
 from ..platform.resources import ResourceVector
 from .kernel import Kernel
 from .pipeline import Pipeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..core.problem import AllocationProblem
 
 #: Format version written into every file; bump on incompatible changes.
 FORMAT_VERSION = 1
@@ -139,3 +144,118 @@ def load_allocation(path: str | Path) -> dict[str, tuple[int, ...]]:
     except json.JSONDecodeError as error:
         raise SerializationError(f"not valid JSON: {error}") from error
     return allocation_from_dict(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Platforms and whole allocation problems
+# --------------------------------------------------------------------------- #
+def device_to_dict(device: FPGADevice) -> dict[str, Any]:
+    """Convert an FPGA device to a JSON-compatible dictionary."""
+    return {
+        "name": device.name,
+        "bram_blocks": device.bram_blocks,
+        "dsp_slices": device.dsp_slices,
+        "luts": device.luts,
+        "ffs": device.ffs,
+        "dram_bandwidth_gbps": device.dram_bandwidth_gbps,
+        "dram_banks": device.dram_banks,
+    }
+
+
+def device_from_dict(payload: Mapping[str, Any]) -> FPGADevice:
+    """Build an FPGA device from a dictionary produced by :func:`device_to_dict`."""
+    try:
+        return FPGADevice(
+            name=str(payload["name"]),
+            bram_blocks=int(payload["bram_blocks"]),
+            dsp_slices=int(payload["dsp_slices"]),
+            luts=int(payload["luts"]),
+            ffs=int(payload["ffs"]),
+            dram_bandwidth_gbps=float(payload["dram_bandwidth_gbps"]),
+            dram_banks=int(payload.get("dram_banks", 4)),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"invalid device record: {error}") from error
+
+
+def platform_to_dict(platform: MultiFPGAPlatform) -> dict[str, Any]:
+    """Convert a multi-FPGA platform to a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": platform.name,
+        "device": device_to_dict(platform.device),
+        "num_fpgas": platform.num_fpgas,
+        "resource_limit": platform.resource_limit.as_dict(),
+        "bandwidth_limit": platform.bandwidth_limit,
+    }
+
+
+def platform_from_dict(payload: Mapping[str, Any]) -> MultiFPGAPlatform:
+    """Build a platform from a dictionary produced by :func:`platform_to_dict`."""
+    try:
+        return MultiFPGAPlatform(
+            device=device_from_dict(payload["device"]),
+            num_fpgas=int(payload["num_fpgas"]),
+            resource_limit=ResourceVector.from_mapping(dict(payload["resource_limit"])),
+            bandwidth_limit=float(payload.get("bandwidth_limit", 100.0)),
+            name=str(payload.get("name", "multi-fpga")),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"invalid platform record: {error}") from error
+
+
+def problem_to_dict(problem: "AllocationProblem") -> dict[str, Any]:
+    """Convert a whole allocation problem to a JSON-compatible dictionary.
+
+    The document embeds the pipeline, the platform and the objective weights,
+    so a problem can travel over the wire (the allocation service) or live on
+    disk next to solved results.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "pipeline": pipeline_to_dict(problem.pipeline),
+        "platform": platform_to_dict(problem.platform),
+        "weights": {"alpha": problem.weights.alpha, "beta": problem.weights.beta},
+    }
+
+
+def problem_from_dict(payload: Mapping[str, Any]) -> "AllocationProblem":
+    """Build an allocation problem from a dictionary of :func:`problem_to_dict`."""
+    # Imported lazily: repro.core imports repro.workloads at module load time.
+    from ..core.objective import ObjectiveWeights
+    from ..core.problem import AllocationProblem
+
+    for key in ("pipeline", "platform"):
+        if key not in payload:
+            raise SerializationError(f"a problem document needs a {key!r} section")
+    weights_payload = payload.get("weights", {})
+    if not isinstance(weights_payload, Mapping):
+        raise SerializationError("'weights' must be a mapping")
+    try:
+        weights = ObjectiveWeights(
+            alpha=float(weights_payload.get("alpha", 1.0)),
+            beta=float(weights_payload.get("beta", 0.0)),
+        )
+    except (TypeError, ValueError) as error:
+        raise SerializationError(f"invalid weights record: {error}") from error
+    return AllocationProblem(
+        pipeline=pipeline_from_dict(payload["pipeline"]),
+        platform=platform_from_dict(payload["platform"]),
+        weights=weights,
+    )
+
+
+def save_problem(problem: "AllocationProblem", path: str | Path) -> Path:
+    """Write an allocation problem to a JSON file and return its path."""
+    path = Path(path)
+    path.write_text(json.dumps(problem_to_dict(problem), indent=2) + "\n")
+    return path
+
+
+def load_problem(path: str | Path) -> "AllocationProblem":
+    """Read an allocation problem from a JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"not valid JSON: {error}") from error
+    return problem_from_dict(payload)

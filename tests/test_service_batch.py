@@ -1,0 +1,116 @@
+"""Tests for the deduped batch solve API (repro.service.batch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristic import HeuristicSettings
+from repro.core.problem import AllocationProblem
+from repro.core.solvers import solve
+from repro.platform.presets import aws_f1
+from repro.service.batch import SolveRequest, request_from_dict, solve_batch
+from repro.service.client import request_to_dict
+from repro.service.store import ResultStore
+from repro.workloads.serialization import SerializationError
+
+
+@pytest.fixture
+def tiny_problem_at(tiny_pipeline):
+    def build(resource: float) -> AllocationProblem:
+        return AllocationProblem(
+            pipeline=tiny_pipeline,
+            platform=aws_f1(num_fpgas=2, resource_limit_percent=resource),
+        )
+
+    return build
+
+
+class TestSolveBatchDedupe:
+    def test_1000_requests_64_unique_solve_exactly_64_times(self, tiny_problem_at):
+        # The acceptance scenario: a batch of 1000 requests containing 64
+        # distinct problems must perform exactly 64 solves, proven by both
+        # the batch report and the store counters.
+        unique = [tiny_problem_at(30.0 + index) for index in range(64)]
+        requests = [SolveRequest(problem=unique[index % 64]) for index in range(1000)]
+        store = ResultStore()
+        outcomes, report = solve_batch(requests, store=store)
+
+        assert report.total == 1000
+        assert report.unique == 64
+        assert report.duplicates == 936
+        assert report.solves == 64
+        assert report.memory_hits == 0 and report.disk_hits == 0
+        assert store.stats().puts == 64
+        assert len(outcomes) == 1000
+
+    def test_second_batch_is_answered_entirely_from_cache(self, tiny_problem_at):
+        requests = [SolveRequest(problem=tiny_problem_at(60.0 + (index % 4))) for index in range(20)]
+        store = ResultStore()
+        solve_batch(requests, store=store)
+        _, warm = solve_batch(requests, store=store)
+        assert warm.solves == 0
+        assert warm.memory_hits == 4 and warm.disk_hits == 0
+
+    def test_duplicates_share_one_outcome_object(self, tiny_problem_at):
+        request = SolveRequest(problem=tiny_problem_at(70.0))
+        outcomes, _ = solve_batch([request, request, request])
+        assert outcomes[0] is outcomes[1] is outcomes[2]
+
+    def test_outcomes_in_request_order_match_direct_solves(self, tiny_problem_at):
+        problems = [tiny_problem_at(resource) for resource in (80.0, 50.0, 80.0, 65.0)]
+        outcomes, report = solve_batch([SolveRequest(problem=p) for p in problems])
+        assert report.unique == 3
+        for problem, outcome in zip(problems, outcomes):
+            direct = solve(problem, method="gp+a")
+            assert outcome.solution.counts == direct.solution.counts
+            assert outcome.status == direct.status
+
+    def test_memo_grouping_counts_groups(self, tiny_problem_at):
+        # Same constrained problem under different allocator T values: one
+        # memo-sharing group, but distinct fingerprints (distinct solves).
+        problem = tiny_problem_at(75.0)
+        requests = [
+            SolveRequest(problem=problem, heuristic_settings=HeuristicSettings(t_percent=t))
+            for t in (0.0, 10.0, 20.0)
+        ]
+        _, report = solve_batch(requests)
+        assert report.unique == 3
+        assert report.solves == 3
+        assert report.groups == 1
+
+
+class TestRequestWireFormat:
+    def test_round_trip(self, tiny_problem_at):
+        request = SolveRequest(
+            problem=tiny_problem_at(70.0),
+            method="gp+a",
+            heuristic_settings=HeuristicSettings(t_percent=5.0),
+        )
+        clone = request_from_dict(request_to_dict(request))
+        assert clone.fingerprint() == request.fingerprint()
+        assert clone.method == "gp+a"
+        assert clone.heuristic_settings.t_percent == 5.0
+
+    def test_default_settings_stay_none_on_the_wire(self, tiny_problem_at):
+        request = SolveRequest(problem=tiny_problem_at(70.0))
+        payload = request_to_dict(request)
+        assert "heuristic_settings" not in payload
+        assert request_from_dict(payload).fingerprint() == request.fingerprint()
+
+    def test_unknown_method_rejected(self, tiny_problem_at):
+        payload = request_to_dict(SolveRequest(problem=tiny_problem_at(70.0)))
+        payload["method"] = "magic"
+        with pytest.raises(SerializationError, match="unknown method"):
+            request_from_dict(payload)
+        with pytest.raises(ValueError, match="unknown method"):
+            SolveRequest(problem=None, method="magic")
+
+    def test_unknown_settings_fields_rejected(self, tiny_problem_at):
+        payload = request_to_dict(SolveRequest(problem=tiny_problem_at(70.0)))
+        payload["heuristic_settings"] = {"t_percent": 5.0, "bogus": 1}
+        with pytest.raises(SerializationError, match="bogus"):
+            request_from_dict(payload)
+
+    def test_missing_problem_rejected(self):
+        with pytest.raises(SerializationError, match="problem"):
+            request_from_dict({"method": "gp+a"})

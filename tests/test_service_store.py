@@ -1,0 +1,121 @@
+"""Tests for the multi-tier result store (repro.service.store)."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service.store import MemoryTier, ResultStore, SqliteTier
+
+
+class TestMemoryTier:
+    def test_lru_evicts_least_recently_used(self):
+        tier = MemoryTier(capacity=2)
+        assert tier.put("a", "1") == 0
+        assert tier.put("b", "2") == 0
+        assert tier.get("a") == "1"  # refresh "a": "b" becomes the LRU entry
+        assert tier.put("c", "3") == 1
+        assert "b" not in tier
+        assert tier.get("a") == "1" and tier.get("c") == "3"
+
+    def test_put_refreshes_existing_key_without_eviction(self):
+        tier = MemoryTier(capacity=2)
+        tier.put("a", "1")
+        tier.put("b", "2")
+        assert tier.put("a", "new") == 0
+        assert tier.get("a") == "new"
+        assert len(tier) == 2
+
+
+class TestSqliteTier:
+    def test_round_trip_and_replace(self, tmp_path):
+        tier = SqliteTier(tmp_path / "cache" / "results.sqlite")
+        assert tier.get("k") is None
+        tier.put("k", "payload")
+        assert tier.get("k") == "payload"
+        tier.put("k", "payload2")
+        assert tier.get("k") == "payload2"
+        assert len(tier) == 1
+        tier.close()
+
+    def test_persists_across_connections(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        first = SqliteTier(path)
+        first.put("k", "payload")
+        first.close()
+        second = SqliteTier(path)
+        assert second.get("k") == "payload"
+        second.close()
+
+
+class TestResultStore:
+    def test_memory_only_store_counts_hits_and_misses(self):
+        store = ResultStore()
+        assert not store.has_disk_tier
+        assert not store.get("k").hit
+        store.put("k", "payload")
+        lookup = store.get("k")
+        assert lookup.hit and lookup.tier == "memory"
+        stats = store.stats()
+        assert stats.misses == 1 and stats.memory_hits == 1 and stats.puts == 1
+        assert stats.lookups == 2 and stats.hit_rate == 0.5
+
+    def test_eviction_counter(self):
+        store = ResultStore(memory_capacity=1)
+        store.put("a", "1")
+        store.put("b", "2")
+        assert store.stats().evictions == 1
+        assert not store.get("a").hit  # evicted, no disk tier to fall back to
+
+    def test_warm_restart_hits_disk_tier(self, tmp_path):
+        with ResultStore(cache_dir=tmp_path) as store:
+            store.put("k", "payload")
+            assert store.get("k").tier == "memory"
+        # A fresh store over the same directory models a restarted server.
+        with ResultStore(cache_dir=tmp_path) as reborn:
+            lookup = reborn.get("k")
+            assert lookup.hit and lookup.tier == "disk"
+            assert reborn.stats().disk_hits == 1
+            # The disk hit was promoted: the next lookup stays in memory.
+            assert reborn.get("k").tier == "memory"
+
+    def test_disk_tier_backfills_memory_evictions(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path, memory_capacity=1)
+        store.put("a", "1")
+        store.put("b", "2")  # evicts "a" from memory, both live on disk
+        assert store.get("a").tier == "disk"
+        assert store.sizes() == {"memory": 1, "disk": 2}
+        store.close()
+
+    def test_thread_safety_smoke(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path, memory_capacity=64)
+        errors: list[Exception] = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for index in range(50):
+                    key = f"{worker}-{index % 8}"
+                    store.put(key, "x" * 32)
+                    assert store.get(key).hit
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert store.stats().puts == 200
+        store.close()
+
+    def test_operations_stay_safe_after_close(self, tmp_path):
+        # The CLI renders a final stats table after the service is closed;
+        # a closed store must keep answering (degraded to memory-only).
+        store = ResultStore(cache_dir=tmp_path)
+        store.put("k", "payload")
+        store.close()
+        store.close()  # idempotent
+        assert store.sizes() == {"memory": 1, "disk": 1}
+        assert store.stats().puts == 1
+        assert store.get("k").tier == "memory"  # memory tier still serves
+        store.put("late", "x")  # no crash; memory-only from here on

@@ -1,0 +1,225 @@
+"""Property tests: SolveOutcome <-> JSON round trips and numpy coercion.
+
+The service cache persists serialised outcomes and replays them to later
+callers; any loss of fidelity here would silently corrupt served results,
+so the round trip is property-tested to 1e-12 on every rate and count.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.problem import AllocationProblem
+from repro.core.solution import SolveOutcome, SolveStatus, json_safe, solution_from_assignment
+from repro.platform.presets import aws_f1
+from repro.platform.resources import ResourceVector
+from repro.workloads.kernel import Kernel
+from repro.workloads.pipeline import Pipeline
+
+NUM_FPGAS = 3
+
+finite_floats = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def problems(draw):
+    kernel_count = draw(st.integers(min_value=1, max_value=4))
+    kernels = [
+        Kernel(
+            name=f"K{index}",
+            resources=ResourceVector(
+                bram=draw(st.floats(min_value=0.0, max_value=30.0)),
+                dsp=draw(st.floats(min_value=0.1, max_value=30.0)),
+            ),
+            bandwidth=draw(st.floats(min_value=0.0, max_value=10.0)),
+            wcet_ms=draw(st.floats(min_value=0.1, max_value=100.0)),
+        )
+        for index in range(kernel_count)
+    ]
+    return AllocationProblem(
+        pipeline=Pipeline(name="prop", kernels=kernels),
+        platform=aws_f1(num_fpgas=NUM_FPGAS, resource_limit_percent=80.0),
+    )
+
+
+@st.composite
+def outcomes(draw):
+    problem = draw(problems())
+    has_solution = draw(st.booleans())
+    solution = None
+    if has_solution:
+        counts = {
+            name: tuple(
+                draw(st.integers(min_value=0, max_value=9)) for _ in range(NUM_FPGAS)
+            )
+            for name in problem.kernel_names
+        }
+        # Constraint 8: every kernel needs at least one CU somewhere.
+        counts = {
+            name: per_fpga if sum(per_fpga) > 0 else (1,) + per_fpga[1:]
+            for name, per_fpga in counts.items()
+        }
+        solution = solution_from_assignment(problem, counts)
+    return (
+        SolveOutcome(
+            method=draw(st.sampled_from(["gp+a", "minlp", "minlp+g"])),
+            status=draw(st.sampled_from(list(SolveStatus))),
+            solution=solution,
+            runtime_seconds=draw(finite_floats),
+            lower_bound=draw(st.one_of(finite_floats, st.just(math.nan))),
+            nodes_explored=draw(st.integers(min_value=0, max_value=10**9)),
+            details={
+                "ii_hat": draw(finite_floats),
+                "counts_hat": {name: draw(finite_floats) for name in problem.kernel_names},
+                "note": draw(st.text(max_size=20)),
+            },
+        ),
+        problem,
+    )
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(outcomes())
+    def test_json_round_trip_is_faithful_to_1e_12(self, outcome_and_problem):
+        outcome, problem = outcome_and_problem
+        text = json.dumps(outcome.to_dict())
+        clone = SolveOutcome.from_dict(json.loads(text), problem=problem)
+
+        assert clone.method == outcome.method
+        assert clone.status == outcome.status
+        assert clone.nodes_explored == outcome.nodes_explored
+        assert math.isclose(clone.runtime_seconds, outcome.runtime_seconds, rel_tol=1e-12, abs_tol=1e-12)
+        if math.isnan(outcome.lower_bound):
+            assert math.isnan(clone.lower_bound)
+        else:
+            assert math.isclose(clone.lower_bound, outcome.lower_bound, rel_tol=1e-12, abs_tol=1e-12)
+        assert math.isclose(
+            clone.details["ii_hat"], outcome.details["ii_hat"], rel_tol=1e-12, abs_tol=1e-12
+        )
+        for name in problem.kernel_names:
+            assert math.isclose(
+                clone.details["counts_hat"][name],
+                outcome.details["counts_hat"][name],
+                rel_tol=1e-12,
+                abs_tol=1e-12,
+            )
+        assert clone.details["note"] == outcome.details["note"]
+
+        if outcome.solution is None:
+            assert clone.solution is None
+        else:
+            assert clone.solution.counts == outcome.solution.counts
+            # Derived rates must agree exactly: they are recomputed from
+            # identical integer counts and the identical problem.
+            assert math.isclose(
+                clone.initiation_interval, outcome.initiation_interval, rel_tol=1e-12
+            ) or (math.isinf(clone.initiation_interval) and math.isinf(outcome.initiation_interval))
+            assert math.isclose(clone.objective, outcome.objective, rel_tol=1e-12) or (
+                math.isinf(clone.objective) and math.isinf(outcome.objective)
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(outcomes())
+    def test_double_round_trip_is_identical_text(self, outcome_and_problem):
+        outcome, problem = outcome_and_problem
+        once = json.dumps(outcome.to_dict())
+        clone = SolveOutcome.from_dict(json.loads(once), problem=problem)
+        assert json.dumps(clone.to_dict()) == once
+
+
+class TestNumpyCoercion:
+    def test_numpy_scalars_and_arrays_coerce_at_the_boundary(self):
+        outcome = SolveOutcome(
+            method="gp+a",
+            status=SolveStatus.OPTIMAL,
+            solution=None,
+            runtime_seconds=np.float64(0.25),
+            lower_bound=np.float32(1.5),
+            nodes_explored=np.int64(12),
+            details={
+                "vector": np.arange(3),
+                "scalar": np.int32(7),
+                "flag": np.bool_(True),
+                "nested": {"values": (np.float64(1.0), np.int64(2))},
+            },
+        )
+        assert type(outcome.runtime_seconds) is float
+        assert type(outcome.lower_bound) is float
+        assert type(outcome.nodes_explored) is int
+        assert outcome.details["vector"] == [0, 1, 2]
+        assert type(outcome.details["scalar"]) is int
+        assert outcome.details["flag"] is True
+        assert outcome.details["nested"]["values"] == [1.0, 2]
+        # The point of the exercise: the payload dumps cleanly.
+        text = json.dumps(outcome.to_dict())
+        assert json.loads(text)["details"]["scalar"] == 7
+
+    def test_json_safe_passthrough_and_enum(self):
+        assert json_safe({"a": (1, 2.5, "x", None, True)}) == {"a": [1, 2.5, "x", None, True]}
+        assert json_safe(SolveStatus.OPTIMAL) == "optimal"
+
+    def test_embedded_problem_requires_solution(self, tiny_problem):
+        without_solution = SolveOutcome(
+            method="gp+a", status=SolveStatus.INFEASIBLE, solution=None, runtime_seconds=0.0
+        )
+        with pytest.raises(ValueError, match="no solution"):
+            without_solution.to_dict(include_problem=True)
+
+    def test_embedded_problem_round_trip(self, tiny_problem):
+        counts = {name: (1,) + (0,) * (tiny_problem.num_fpgas - 1) for name in tiny_problem.kernel_names}
+        outcome = SolveOutcome(
+            method="gp+a",
+            status=SolveStatus.FEASIBLE,
+            solution=solution_from_assignment(tiny_problem, counts),
+            runtime_seconds=0.1,
+        )
+        payload = json.loads(json.dumps(outcome.to_dict(include_problem=True)))
+        clone = SolveOutcome.from_dict(payload)  # no problem argument on purpose
+        assert clone.solution.counts == outcome.solution.counts
+        assert clone.solution.problem == tiny_problem
+
+    def test_solution_payload_without_problem_is_an_error(self, tiny_problem):
+        counts = {name: (1,) + (0,) * (tiny_problem.num_fpgas - 1) for name in tiny_problem.kernel_names}
+        outcome = SolveOutcome(
+            method="gp+a",
+            status=SolveStatus.FEASIBLE,
+            solution=solution_from_assignment(tiny_problem, counts),
+            runtime_seconds=0.1,
+        )
+        with pytest.raises(ValueError, match="no problem"):
+            SolveOutcome.from_dict(outcome.to_dict())
+
+
+class TestStrictWireJson:
+    def test_nan_lower_bound_encodes_as_null(self):
+        outcome = SolveOutcome(
+            method="gp+a", status=SolveStatus.INFEASIBLE, solution=None, runtime_seconds=0.01
+        )
+        assert math.isnan(outcome.lower_bound)
+        payload = outcome.to_dict()
+        # Strict RFC 8259: dumps must succeed with allow_nan=False (no
+        # NaN/Infinity tokens that non-Python HTTP clients reject).
+        text = json.dumps(payload, allow_nan=False)
+        clone = SolveOutcome.from_dict(json.loads(text))
+        assert math.isnan(clone.lower_bound)
+
+    def test_non_finite_details_encode_as_null(self):
+        outcome = SolveOutcome(
+            method="gp+a",
+            status=SolveStatus.INFEASIBLE,
+            solution=None,
+            runtime_seconds=0.01,
+            details={"ii": math.inf, "nested": [math.nan, 1.5]},
+        )
+        payload = outcome.to_dict()
+        json.dumps(payload, allow_nan=False)
+        assert payload["details"]["ii"] is None
+        assert payload["details"]["nested"] == [None, 1.5]

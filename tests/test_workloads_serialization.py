@@ -103,3 +103,49 @@ class TestAllocationRoundTrip:
             allocation_from_dict({"counts": {"A": []}})
         with pytest.raises(SerializationError):
             allocation_from_dict({"counts": {"A": ["x"]}})
+
+
+class TestProblemRoundTrip:
+    def test_platform_round_trip(self):
+        from repro.platform.presets import aws_f1
+        from repro.workloads.serialization import platform_from_dict, platform_to_dict
+
+        platform = aws_f1(num_fpgas=4, resource_limit_percent=65.0)
+        clone = platform_from_dict(json.loads(json.dumps(platform_to_dict(platform))))
+        assert clone == platform
+
+    def test_problem_round_trip(self, tiny_problem):
+        from repro.workloads.serialization import problem_from_dict, problem_to_dict
+
+        clone = problem_from_dict(json.loads(json.dumps(problem_to_dict(tiny_problem))))
+        assert clone == tiny_problem
+
+    def test_problem_file_round_trip(self, tmp_path, tiny_problem):
+        from repro.workloads.serialization import load_problem, save_problem
+
+        path = save_problem(tiny_problem, tmp_path / "problem.json")
+        assert load_problem(path) == tiny_problem
+
+    def test_weighted_problem_round_trip(self, tiny_weighted_problem):
+        from repro.workloads.serialization import problem_from_dict, problem_to_dict
+
+        clone = problem_from_dict(problem_to_dict(tiny_weighted_problem))
+        assert clone.weights == tiny_weighted_problem.weights
+
+    def test_invalid_problem_documents(self):
+        from repro.workloads.serialization import problem_from_dict
+
+        with pytest.raises(SerializationError):
+            problem_from_dict({"platform": {}})
+        with pytest.raises(SerializationError):
+            problem_from_dict({"pipeline": {}})
+        with pytest.raises(SerializationError):
+            problem_from_dict(
+                {"pipeline": {}, "platform": {}, "weights": {"alpha": -1.0}}
+            )
+
+    def test_invalid_device_record(self):
+        from repro.workloads.serialization import device_from_dict
+
+        with pytest.raises(SerializationError):
+            device_from_dict({"name": "x"})
