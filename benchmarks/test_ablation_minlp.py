@@ -8,10 +8,18 @@ symmetry never hurts the objective reached within a fixed node budget.
 import pytest
 
 from repro.core.exact import ExactSettings, solve_exact_weighted
+from repro.minlp.branch_and_bound import shared_relaxation_caches_clear
 from repro.reporting.experiments import case_study
 
 NODE_BUDGET = 3
 TIME_BUDGET = 60.0
+
+#: Hard ceiling for LP solves per relaxation node solve, enforced by the
+#: ``exact-smoke`` CI job: the incremental-assembly path of PR 3 needs one
+#: feasibility LP plus a handful of derivative-bracketed probes (measured
+#: 2-6); the pre-PR 3 bisection + golden-section search needed ~62.  A
+#: regression in the relaxation assembly or probe bracketing trips this.
+MAX_LP_SOLVES_PER_NODE = 12.0
 
 
 def _settings(seed: bool, symmetry: bool) -> ExactSettings:
@@ -40,6 +48,19 @@ def test_seeding_never_hurts_objective():
     assert seeded.succeeded
     if unseeded.succeeded:
         assert seeded.objective <= unseeded.objective + 1e-6
+
+
+def test_lp_solves_per_node_stay_bounded():
+    """Relaxation-assembly regressions fail loudly: LPs per node is capped."""
+    shared_relaxation_caches_clear()  # measure cold, not earlier tests' hits
+    problem = case_study("alex-16", resource_limit_percent=70.0)
+    outcome = solve_exact_weighted(problem, _settings(True, True))
+    assert outcome.succeeded
+    counters = outcome.counters
+    assert counters["node_solves"] > 0
+    assert counters["lp_solves"] / counters["node_solves"] <= MAX_LP_SOLVES_PER_NODE
+    # Every node pays exactly one feasibility LP (no bisection), never more.
+    assert counters["feasibility_lps"] <= counters["node_solves"]
 
 
 def test_symmetry_breaking_keeps_validity():

@@ -24,7 +24,12 @@ from typing import Mapping
 
 import numpy as np
 
-from ..minlp.binpacking import PackingItemType, VectorBinPacker
+from ..minlp.binpacking import (
+    PackingItemType,
+    PackingMemo,
+    VectorBinPacker,
+    shared_packing_memo,
+)
 from ..minlp.bounds import VariableBounds
 from ..minlp.branch_and_bound import (
     BBSettings,
@@ -67,13 +72,32 @@ def _required_totals(problem: AllocationProblem, ii: float) -> dict[str, int]:
     return totals
 
 
-def _pack_totals(
-    problem: AllocationProblem, totals: Mapping[str, int], settings: ExactSettings
-):
-    """Try to pack the CU totals into the FPGAs; returns a PackingResult."""
+def _packer_for(
+    problem: AllocationProblem, settings: ExactSettings
+) -> VectorBinPacker:
+    """Packer over the problem's capacity dimensions, with a shared memo.
+
+    The memo is shared between every packer with an identical configuration
+    (bin count, capacities, placement, budget), so the feasibility of a CU
+    count vector is established once across the candidate-II binary search,
+    repeated solves and design-space sweep points.
+    """
     dimensions = problem.capacity_dimensions()
-    capacity = [dimension.capacity for dimension in dimensions]
-    items = [
+    packer = VectorBinPacker(
+        num_bins=problem.num_fpgas,
+        capacity=[dimension.capacity for dimension in dimensions],
+        placement=settings.packing_placement,
+        max_backtrack_nodes=settings.packer_max_nodes,
+    )
+    packer.memo = shared_packing_memo(packer.config_key())
+    return packer
+
+
+def _pack_items(
+    problem: AllocationProblem, totals: Mapping[str, int]
+) -> list[PackingItemType]:
+    dimensions = problem.capacity_dimensions()
+    return [
         PackingItemType(
             name=name,
             count=int(totals[name]),
@@ -81,13 +105,13 @@ def _pack_totals(
         )
         for name in problem.kernel_names
     ]
-    packer = VectorBinPacker(
-        num_bins=problem.num_fpgas,
-        capacity=capacity,
-        placement=settings.packing_placement,
-        max_backtrack_nodes=settings.packer_max_nodes,
-    )
-    return packer.pack(items)
+
+
+def _pack_totals(
+    problem: AllocationProblem, totals: Mapping[str, int], settings: ExactSettings
+):
+    """Try to pack the CU totals into the FPGAs; returns a PackingResult."""
+    return _packer_for(problem, settings).pack(_pack_items(problem, totals))
 
 
 def candidate_ii_values(problem: AllocationProblem) -> list[float]:
@@ -127,11 +151,37 @@ def solve_exact_min_ii(
     if not candidates:
         candidates = [lower_bound]
 
+    packer = _packer_for(problem, settings)
+    packs = 0
+    search_nodes = 0
+    exact_searches = 0
+
+    def pack(ii: float):
+        nonlocal packs, search_nodes, exact_searches
+        result = packer.pack(_pack_items(problem, _required_totals(problem, ii)))
+        packs += 1
+        search_nodes += packer.last_nodes
+        if packer.last_nodes:
+            exact_searches += 1
+        return result
+
+    def counters() -> dict[str, int]:
+        # Packer-local memo counters: the shared memo's global hit/miss
+        # totals interleave across concurrent solves of the service.
+        return {
+            "packs": packs,
+            "packer_search_nodes": search_nodes,
+            "packer_exact_searches": exact_searches,
+            "packing_memo_hits": packer.memo_hits,
+            "packing_memo_misses": packer.memo_misses,
+            "candidates_considered": len(candidates),
+        }
+
     feasible_index: int | None = None
     feasible_packing = None
     low, high = 0, len(candidates) - 1
     # Check the largest candidate first: if even that fails, it is infeasible.
-    packing = _pack_totals(problem, _required_totals(problem, candidates[high]), settings)
+    packing = pack(candidates[high])
     if not packing.feasible:
         return SolveOutcome(
             method="minlp",
@@ -139,12 +189,13 @@ def solve_exact_min_ii(
             solution=None,
             runtime_seconds=time.perf_counter() - start,
             details={"reason": "even one CU per kernel cannot be packed"},
+            counters=counters(),
         )
     feasible_index, feasible_packing = high, packing
 
     while low < high:
         mid = (low + high) // 2
-        packing = _pack_totals(problem, _required_totals(problem, candidates[mid]), settings)
+        packing = pack(candidates[mid])
         if packing.feasible:
             feasible_index, feasible_packing = mid, packing
             high = mid
@@ -168,6 +219,7 @@ def solve_exact_min_ii(
             "optimal_ii": solution.initiation_interval,
             "candidates_considered": len(candidates),
         },
+        counters=counters(),
     )
 
 
@@ -287,6 +339,7 @@ def solve_exact_weighted(
         # over the same weighted problem (sweep re-solves) share one cache,
         # and the hit/miss accounting lands in the outcome details.
         relaxation_cache=_weighted_relaxation_cache(problem, settings),
+        counters_provider=relaxation.counters,
     )
     try:
         result = solver.solve(bounds, initial_incumbent=incumbent)
@@ -309,6 +362,7 @@ def solve_exact_weighted(
             lower_bound=result.lower_bound,
             nodes_explored=result.nodes_explored,
             details={"reason": "no feasible integer point found within limits"},
+            counters={**result.counters, "bb_nodes": result.nodes_explored},
         )
 
     counts = _candidate_to_counts(problem, result.solution)
@@ -326,6 +380,12 @@ def solve_exact_weighted(
             "gap": result.gap,
             "seeded": incumbent is not None,
             "heuristic_objective": heuristic_outcome.objective if heuristic_outcome else math.nan,
+            "relaxation_cache_hits": result.relaxation_cache_hits,
+            "relaxation_cache_misses": result.relaxation_cache_misses,
+        },
+        counters={
+            **result.counters,
+            "bb_nodes": result.nodes_explored,
             "relaxation_cache_hits": result.relaxation_cache_hits,
             "relaxation_cache_misses": result.relaxation_cache_misses,
         },

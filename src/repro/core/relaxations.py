@@ -14,6 +14,28 @@ At every branch-and-bound node the integer variables ``n_kf`` have box bounds
 
 so the node bound is obtained by a scalar convex search over ``II`` with one
 LP solve (scipy ``linprog``/HiGHS) per probe.
+
+The hot path is engineered to keep both the per-LP cost and the LP count per
+node low:
+
+* **Incremental assembly** -- the constraint matrix is built once per
+  relaxation instance; per node only the secant rows (bound-box-dependent)
+  and the variable bounds are patched, and per probe only the coverage
+  right-hand side (II-dependent).  Nothing is re-allocated in the loop.
+* **One-LP feasibility** -- the smallest feasible II of a box is the optimum
+  of a single auxiliary LP (maximise ``t`` subject to
+  ``sum_f n_kf >= WCET_k * t``), replacing the former 60-step feasibility
+  bisection; the result is memoized per bound box so sibling nodes sharing a
+  box never recompute it.
+* **Derivative-bracketed probing** -- the convex goal is minimised by
+  bracketing the sign change of its derivative, read off the coverage-row
+  duals of each probe LP, with a guarded regula-falsi step; this replaces the
+  fixed ~80-iteration golden-section search and typically needs an order of
+  magnitude fewer probes.  When a parent node's relaxation is available its
+  optimal II warm-starts the bracket.
+
+Every LP solve, probe and memo hit is counted (:meth:`counters`), so callers
+can assert LP-solves-per-node budgets end to end.
 """
 
 from __future__ import annotations
@@ -27,13 +49,15 @@ from scipy import optimize
 
 from ..minlp.bounds import VariableBounds
 from ..minlp.branch_and_bound import RelaxationResult
-from ..minlp.secant import spreading_secant
 from .objective import ObjectiveWeights
 from .problem import AllocationProblem
 
 #: Safety margin subtracted from node bounds so that the inexactness of the
 #: scalar search can never prune the true optimum.
 BOUND_SAFETY = 1e-7
+
+#: Entries kept in the per-bound-box minimum-feasible-II memo.
+_II_CACHE_LIMIT = 4096
 
 
 def variable_name(kernel: str, fpga: int) -> str:
@@ -47,6 +71,95 @@ def split_variable_name(name: str) -> tuple[str, int]:
     return kernel, int(fpga)
 
 
+class _RelaxationModel:
+    """Preassembled LP data shared by every node of one relaxation.
+
+    Holds two constraint systems over the flat variable vector
+    ``[n_11, ..., n_KF, extra]``:
+
+    * the *goal LP* (``extra`` = phi): coverage rows (RHS patched per II
+      probe), capacity rows (static), secant rows (coefficients patched per
+      bound box) and symmetry rows (static);
+    * the *feasibility LP* (``extra`` = t): fully static rows, only variable
+      bounds are patched per box.
+    """
+
+    def __init__(self, relaxation: "AllocationRelaxation"):
+        problem = relaxation.problem
+        self.names = problem.kernel_names
+        self.num_fpgas = problem.num_fpgas
+        num_k = len(self.names)
+        num_f = self.num_fpgas
+        num_n = num_k * num_f
+        self.num_k, self.num_n = num_k, num_n
+        self.wcet = np.array([problem.wcet[name] for name in self.names])
+        self.ii_high = float(self.wcet.max())
+
+        dimensions = problem.capacity_dimensions()
+        weights = np.array(
+            [[dim.weights.get(name, 0.0) for name in self.names] for dim in dimensions]
+        ).reshape(len(dimensions), num_k)
+        capacities = np.array([dim.capacity for dim in dimensions])
+
+        symmetry_dim = relaxation._symmetry_dimension() if (
+            relaxation.symmetry_breaking and num_f > 1
+        ) else None
+        sym_weights = (
+            np.array([symmetry_dim.weights.get(name, 0.0) for name in self.names])
+            if symmetry_dim is not None
+            else None
+        )
+        num_sym = num_f - 1 if sym_weights is not None else 0
+
+        def static_rows(matrix: np.ndarray, offset: int) -> int:
+            """Fill capacity + symmetry rows into ``matrix`` starting at ``offset``."""
+            for dim_index in range(len(dimensions)):
+                for fpga in range(num_f):
+                    matrix[offset, fpga:num_n:num_f] = weights[dim_index]
+                    offset += 1
+            if sym_weights is not None:
+                for fpga in range(num_f - 1):
+                    matrix[offset, fpga:num_n:num_f] -= sym_weights
+                    matrix[offset, fpga + 1 : num_n : num_f] += sym_weights
+                    offset += 1
+            return offset
+
+        num_cap = len(dimensions) * num_f
+
+        # --- goal LP: [n..., phi], rows: coverage | capacity | symmetry | secant
+        goal_rows = num_k + num_cap + num_sym + num_k
+        self.goal_a = np.zeros((goal_rows, num_n + 1))
+        self.goal_b = np.zeros(goal_rows)
+        for k in range(num_k):
+            self.goal_a[k, k * num_f : (k + 1) * num_f] = -1.0
+        end = static_rows(self.goal_a, num_k)
+        self.goal_b[num_k : num_k + num_cap] = np.repeat(capacities, num_f)
+        self.secant_offset = end
+        secant_rows = np.repeat(np.arange(num_k), num_f) + end
+        self.secant_index = (secant_rows, np.arange(num_n))
+        self.goal_a[end : end + num_k, -1] = -1.0
+        self.goal_cost = np.zeros(num_n + 1)
+        self.goal_cost[-1] = 1.0
+        self.goal_bounds = np.zeros((num_n + 1, 2))
+        self.goal_bounds[-1] = (0.0, float(num_f * num_k))
+
+        # --- feasibility LP: [n..., t], rows: coverage-t | min-one | capacity | symmetry
+        feas_rows = 2 * num_k + num_cap + num_sym
+        self.feas_a = np.zeros((feas_rows, num_n + 1))
+        self.feas_b = np.zeros(feas_rows)
+        for k in range(num_k):
+            self.feas_a[k, k * num_f : (k + 1) * num_f] = -1.0
+            self.feas_a[k, -1] = self.wcet[k]
+            self.feas_a[num_k + k, k * num_f : (k + 1) * num_f] = -1.0
+            self.feas_b[num_k + k] = -1.0
+        static_rows(self.feas_a, 2 * num_k)
+        self.feas_b[2 * num_k : 2 * num_k + num_cap] = np.repeat(capacities, num_f)
+        self.feas_cost = np.zeros(num_n + 1)
+        self.feas_cost[-1] = -1.0  # maximise t
+        self.feas_bounds = np.zeros((num_n + 1, 2))
+        self.feas_bounds[-1] = (0.0, np.inf)
+
+
 @dataclass(frozen=True)
 class AllocationRelaxation:
     """LP-based convex relaxation of the allocation MINLP over a bound box."""
@@ -57,209 +170,291 @@ class AllocationRelaxation:
     ii_search_tolerance: float = 1e-6
 
     # ------------------------------------------------------------------ #
+    # Cached state on the frozen instance
+    # ------------------------------------------------------------------ #
+    @property
+    def _model(self) -> _RelaxationModel:
+        model = self.__dict__.get("_cached_model")
+        if model is None:
+            model = _RelaxationModel(self)
+            object.__setattr__(self, "_cached_model", model)
+        return model
+
+    @property
+    def _counters(self) -> dict[str, int]:
+        counters = self.__dict__.get("_cached_counters")
+        if counters is None:
+            counters = {
+                "lp_solves": 0,
+                "feasibility_lps": 0,
+                "probe_lps": 0,
+                "node_solves": 0,
+                "ii_cache_hits": 0,
+                "ii_cache_misses": 0,
+            }
+            object.__setattr__(self, "_cached_counters", counters)
+        return counters
+
+    @property
+    def _ii_cache(self) -> dict[tuple, tuple]:
+        cache = self.__dict__.get("_cached_ii_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_cached_ii_cache", cache)
+        return cache
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of the instrumentation counters."""
+        return dict(self._counters)
+
+    # ------------------------------------------------------------------ #
     # Public entry point (plugs into the branch-and-bound engine)
     # ------------------------------------------------------------------ #
-    def solve(self, bounds: VariableBounds) -> RelaxationResult:
-        """Lower bound + fractional solution for a node's box bounds."""
-        names = self.problem.kernel_names
-        num_fpgas = self.problem.num_fpgas
+    def solve(
+        self, bounds: VariableBounds, parent: RelaxationResult | None = None
+    ) -> RelaxationResult:
+        """Lower bound + fractional solution for a node's box bounds.
+
+        ``parent`` (the enclosing node's relaxation, passed by the
+        branch-and-bound engine) warm-starts the scalar II search.
+        """
+        model = self._model
+        counters = self._counters
+        counters["node_solves"] += 1
+        names, num_f = model.names, model.num_fpgas
         lower = np.array(
-            [bounds.lower(variable_name(k, f)) for k in names for f in range(num_fpgas)],
+            [bounds.lower(variable_name(k, f)) for k in names for f in range(num_f)],
             dtype=float,
         )
         upper = np.array(
-            [bounds.upper(variable_name(k, f)) for k in names for f in range(num_fpgas)],
+            [bounds.upper(variable_name(k, f)) for k in names for f in range(num_f)],
             dtype=float,
         )
 
-        ii_low, ii_high = self._ii_range(lower, upper)
-        if ii_low is None:
+        ii_min, feasible_point = self._min_feasible_ii(lower, upper)
+        if ii_min is None:
             return RelaxationResult.infeasible()
+        ii_high = model.ii_high
 
         if not self.weights.spreading_enabled:
-            # Pure II objective: phi* is irrelevant, the bound is alpha * II_min.
-            solution = self._solve_lp(ii_low, lower, upper)
-            if solution is None:
-                return RelaxationResult.infeasible()
-            values, _ = solution
+            # Pure II objective: phi is irrelevant and the feasibility LP's
+            # point already satisfies coverage at ii_min -- zero further LPs.
             return RelaxationResult(
                 feasible=True,
-                objective=self.weights.alpha * ii_low - BOUND_SAFETY,
-                solution=self._to_mapping(values),
+                objective=self.weights.alpha * ii_min - BOUND_SAFETY,
+                solution=self._to_mapping(feasible_point),
+                metadata={"best_ii": ii_min},
             )
 
-        evaluations: dict[float, tuple[np.ndarray, float]] = {}
+        self._patch_box(lower, upper)
+        evaluations: dict[float, tuple[np.ndarray, float, float]] = {}
 
-        def goal(ii: float) -> float:
-            solved = self._solve_lp(ii, lower, upper)
+        def probe(ii: float) -> "tuple[float, float] | None":
+            solved = self._solve_goal_lp(ii)
             if solved is None:
-                return math.inf
-            values, phi = solved
-            evaluations[ii] = (values, phi)
-            return self.weights.goal(ii, phi)
+                return None
+            values, phi, derivative = solved
+            evaluations[ii] = (values, phi, derivative)
+            return self.weights.goal(ii, phi), derivative
 
-        best_ii = self._minimize_scalar(goal, ii_low, ii_high)
-        if best_ii not in evaluations:
-            value = goal(best_ii)
-            if math.isinf(value):
-                return RelaxationResult.infeasible()
-        values, phi = evaluations[best_ii]
+        self._bracket_minimum(probe, ii_min, ii_high, parent)
+        if not evaluations:
+            return RelaxationResult.infeasible()
+        best_ii = min(
+            evaluations, key=lambda ii: self.weights.goal(ii, evaluations[ii][1])
+        )
+        values, phi, _ = evaluations[best_ii]
         return RelaxationResult(
             feasible=True,
             objective=self.weights.goal(best_ii, phi) - BOUND_SAFETY,
             solution=self._to_mapping(values),
+            metadata={"best_ii": best_ii},
         )
 
     # ------------------------------------------------------------------ #
-    # II range and scalar search
+    # Minimum feasible II (one LP, memoized per bound box)
     # ------------------------------------------------------------------ #
-    def _ii_range(
+    def _min_feasible_ii(
         self, lower: np.ndarray, upper: np.ndarray
-    ) -> tuple[float | None, float]:
-        """Feasible II interval endpoints for the node (None if infeasible)."""
-        names = self.problem.kernel_names
-        num_fpgas = self.problem.num_fpgas
-        wcet = self.problem.wcet
+    ) -> "tuple[float, np.ndarray] | tuple[None, None]":
+        """Smallest II for which the box admits a feasible point, plus one
+        such point; ``(None, None)`` if the box is infeasible outright."""
+        model = self._model
+        counters = self._counters
+        cache = self._ii_cache
+        key = (lower.tobytes(), upper.tobytes())
+        cached = cache.get(key)
+        if cached is not None:
+            counters["ii_cache_hits"] += 1
+            return cached
+        counters["ii_cache_misses"] += 1
 
-        ii_high = max(wcet.values())
-        # Smallest II the box could possibly allow (all variables at upper bound).
-        ii_floor = 0.0
-        for index, name in enumerate(names):
-            total_upper = float(
-                np.sum(upper[index * num_fpgas : (index + 1) * num_fpgas])
+        result: "tuple[float, np.ndarray] | tuple[None, None]"
+        # Cheap screen: every kernel must be able to reach one CU in total.
+        totals_upper = upper.reshape(model.num_k, model.num_fpgas).sum(axis=1)
+        if np.any(totals_upper < 1.0 - 1e-9):
+            result = (None, None)
+        else:
+            ii_floor = float(np.max(model.wcet / np.maximum(totals_upper, 1e-12)))
+            ii_floor = max(ii_floor, 1e-9)
+            model.feas_bounds[: model.num_n, 0] = lower
+            model.feas_bounds[: model.num_n, 1] = upper
+            counters["lp_solves"] += 1
+            counters["feasibility_lps"] += 1
+            solved = optimize.linprog(
+                c=model.feas_cost,
+                A_ub=model.feas_a,
+                b_ub=model.feas_b,
+                bounds=model.feas_bounds,
+                method="highs",
             )
-            if total_upper < 1.0 - 1e-9:
-                return None, ii_high
-            ii_floor = max(ii_floor, wcet[name] / max(total_upper, 1e-12))
-        ii_floor = max(ii_floor, 1e-9)
-
-        if self._solve_lp(ii_floor, lower, upper) is not None:
-            return ii_floor, ii_high
-        if self._solve_lp(ii_high, lower, upper) is None:
-            return None, ii_high
-        # Bisect for the smallest feasible II (LP feasibility is monotone in II).
-        low, high = ii_floor, ii_high
-        for _ in range(60):
-            if high - low <= self.ii_search_tolerance * max(1.0, high):
-                break
-            mid = 0.5 * (low + high)
-            if self._solve_lp(mid, lower, upper) is not None:
-                high = mid
+            if not solved.success or -solved.fun <= 0.0:
+                result = (None, None)
             else:
-                low = mid
-        return high, ii_high
+                ii_min = max(ii_floor, 1.0 / float(-solved.fun))
+                result = (min(ii_min, model.ii_high), solved.x[: model.num_n])
 
-    def _minimize_scalar(self, goal, ii_low: float, ii_high: float) -> float:
-        """Golden-section search for the convex scalar goal over [ii_low, ii_high]."""
-        if ii_high <= ii_low * (1 + 1e-12):
-            return ii_low
-        invphi = (math.sqrt(5.0) - 1.0) / 2.0
-        a, b = ii_low, ii_high
-        c = b - invphi * (b - a)
-        d = a + invphi * (b - a)
-        goal_c, goal_d = goal(c), goal(d)
-        for _ in range(80):
-            if (b - a) <= self.ii_search_tolerance * max(1.0, b):
-                break
-            if goal_c <= goal_d:
-                b, d, goal_d = d, c, goal_c
-                c = b - invphi * (b - a)
-                goal_c = goal(c)
-            else:
-                a, c, goal_c = c, d, goal_d
-                d = a + invphi * (b - a)
-                goal_d = goal(d)
-        candidates = [(goal(a), a), (goal_c, c), (goal_d, d), (goal(b), b)]
-        best_value, best_ii = min(candidates, key=lambda pair: pair[0])
-        if math.isinf(best_value):
-            return ii_low
-        return best_ii
+        if len(cache) >= _II_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        cache[key] = result
+        return result
 
     # ------------------------------------------------------------------ #
-    # The fixed-II linear program
+    # Scalar search: derivative-sign bracketing of the convex goal
     # ------------------------------------------------------------------ #
-    def _solve_lp(
-        self, ii: float, lower: np.ndarray, upper: np.ndarray
-    ) -> tuple[np.ndarray, float] | None:
-        """Minimise relaxed spreading at fixed II; None if infeasible.
+    def _bracket_minimum(
+        self,
+        probe,
+        ii_low: float,
+        ii_high: float,
+        parent: RelaxationResult | None,
+    ) -> float | None:
+        """Minimise the convex goal over ``[ii_low, ii_high]``.
 
-        Variable vector: ``[n_11, ..., n_KF, phi]`` (phi only when beta > 0).
+        Each probe returns ``(goal, derivative)``; the derivative comes from
+        the LP duals, so bracketing its sign change costs one LP per step
+        (versus two-probes-per-step golden sectioning without derivatives).
+        The parent node's optimal II, when inside the interval, tightens the
+        initial bracket.
         """
-        problem = self.problem
-        names = problem.kernel_names
-        num_fpgas = problem.num_fpgas
-        num_n = len(names) * num_fpgas
-        with_phi = self.weights.spreading_enabled
-        num_vars = num_n + (1 if with_phi else 0)
+        alpha, beta = self.weights.alpha, self.weights.beta
+        tolerance = self.ii_search_tolerance
 
-        cost = np.zeros(num_vars)
-        if with_phi:
-            cost[-1] = 1.0
+        def model_minimizer(ii: float, derivative: float) -> float:
+            """Stationary point of the local model of the goal around a probe.
 
-        rows_ub: list[np.ndarray] = []
-        rhs_ub: list[float] = []
+            The LP value ``phi*`` is piecewise linear in ``s = 1/II``; the
+            probe's dual derivative identifies the local slope ``c`` of that
+            piece (``g' = alpha - beta * c / II^2``), whose piece-wide model
+            ``alpha * II + beta * (const + c / II)`` is minimised at
+            ``sqrt(beta * c / alpha)``.  Once the bracket reaches the optimal
+            piece this lands on the exact minimiser, so the search converges
+            in a handful of probes instead of a fixed golden-section budget.
+            """
+            c = (alpha - derivative) * ii * ii / beta
+            if c <= 0.0 or alpha <= 0.0:
+                return math.nan
+            return math.sqrt(beta * c / alpha)
 
-        # Coverage: sum_f n_kf >= max(1, WCET_k / II)  ->  -sum_f n_kf <= -req.
-        for index, name in enumerate(names):
-            row = np.zeros(num_vars)
-            row[index * num_fpgas : (index + 1) * num_fpgas] = -1.0
-            rows_ub.append(row)
-            rhs_ub.append(-max(1.0, problem.wcet[name] / ii))
+        probed_low = probe(ii_low)
+        if probed_low is None:
+            # The feasibility LP and the goal LP disagree within solver
+            # tolerance; nudge upward once before declaring infeasibility.
+            ii_low = min(ii_low * (1.0 + 1e-9) + 1e-12, ii_high)
+            probed_low = probe(ii_low)
+            if probed_low is None:
+                return None
+        goal_low, derivative_low = probed_low
+        if derivative_low >= 0.0 or ii_high <= ii_low * (1 + 1e-12):
+            return ii_low  # convex goal: nondecreasing derivative
 
-        # Capacity constraints per FPGA and dimension.
-        for dimension in problem.capacity_dimensions():
-            for fpga in range(num_fpgas):
-                row = np.zeros(num_vars)
-                for index, name in enumerate(names):
-                    row[index * num_fpgas + fpga] = dimension.weights.get(name, 0.0)
-                rows_ub.append(row)
-                rhs_ub.append(dimension.capacity)
+        lo, d_lo = ii_low, derivative_low
+        # At ii_high every coverage requirement is the constant 1, so the
+        # goal's derivative is exactly alpha > 0 -- no LP needed.
+        hi = ii_high
+        candidate = model_minimizer(lo, d_lo)
 
-        # Relaxed spreading: phi >= sum_f secant_kf(n_kf) for every kernel.
-        if with_phi:
-            for index, name in enumerate(names):
-                row = np.zeros(num_vars)
-                constant = 0.0
-                for fpga in range(num_fpgas):
-                    flat = index * num_fpgas + fpga
-                    segment = spreading_secant(lower[flat], upper[flat])
-                    row[flat] = segment.slope
-                    constant += segment.intercept
-                row[-1] = -1.0
-                rows_ub.append(row)
-                rhs_ub.append(-constant)
+        warm = parent.metadata.get("best_ii") if parent is not None else None
+        if warm is not None and lo < warm < hi:
+            candidate = float(warm)
 
-        # Symmetry breaking among identical FPGAs: non-increasing load of the
-        # most critical dimension across the FPGA index.  Valid because any
-        # assignment can be permuted into this canonical order.
-        if self.symmetry_breaking and num_fpgas > 1:
-            dimension = self._symmetry_dimension()
-            if dimension is not None:
-                for fpga in range(num_fpgas - 1):
-                    row = np.zeros(num_vars)
-                    for index, name in enumerate(names):
-                        weight = dimension.weights.get(name, 0.0)
-                        row[index * num_fpgas + fpga] -= weight
-                        row[index * num_fpgas + fpga + 1] += weight
-                    rows_ub.append(row)
-                    rhs_ub.append(0.0)
+        best = lo
+        for _ in range(80):
+            if (hi - lo) <= tolerance * max(1.0, hi):
+                break
+            width = hi - lo
+            margin = 1e-2 * width
+            if not math.isfinite(candidate) or not (lo + margin <= candidate <= hi - margin):
+                candidate = 0.5 * (lo + hi)
+            probed = probe(candidate)
+            if probed is None:  # pragma: no cover - should stay feasible
+                break
+            goal_value, derivative = probed
+            if derivative >= 0.0:
+                hi = candidate
+            else:
+                lo, d_lo = candidate, derivative
+            best = candidate
+            # Certified-enough minimum: for a convex goal the error of the
+            # best probe is at most |g'| times the bracket width.
+            if abs(derivative) * (hi - lo) <= tolerance * max(1.0, abs(goal_value)):
+                break
+            candidate = model_minimizer(best, derivative)
+        return best
 
-        var_bounds = [(lower[i], upper[i]) for i in range(num_n)]
-        if with_phi:
-            var_bounds.append((0.0, float(num_fpgas * len(names))))
+    # ------------------------------------------------------------------ #
+    # The fixed-II linear program (patched, never rebuilt)
+    # ------------------------------------------------------------------ #
+    def _patch_box(self, lower: np.ndarray, upper: np.ndarray) -> None:
+        """Write a node's secant rows and variable bounds into the goal LP."""
+        model = self._model
+        # Vectorized chords of the concave spreading term n/(1+n) on [l, u].
+        h_lower = lower / (1.0 + lower)
+        h_upper = upper / (1.0 + upper)
+        widths = upper - lower
+        with np.errstate(divide="ignore", invalid="ignore"):
+            slopes = np.where(widths > 0.0, (h_upper - h_lower) / widths, 0.0)
+        intercepts = h_lower - slopes * lower
+        model.goal_a[model.secant_index] = slopes
+        offset = model.secant_offset
+        model.goal_b[offset : offset + model.num_k] = -intercepts.reshape(
+            model.num_k, model.num_fpgas
+        ).sum(axis=1)
+        model.goal_bounds[: model.num_n, 0] = lower
+        model.goal_bounds[: model.num_n, 1] = upper
 
+    def _solve_goal_lp(self, ii: float) -> "tuple[np.ndarray, float, float] | None":
+        """Minimise relaxed spreading at fixed II; ``None`` if infeasible.
+
+        Returns the variable values, phi and the goal's derivative in II at
+        this probe (from the coverage-row duals).
+        """
+        model = self._model
+        counters = self._counters
+        requirements = np.maximum(1.0, model.wcet / ii)
+        model.goal_b[: model.num_k] = -requirements
+        counters["lp_solves"] += 1
+        counters["probe_lps"] += 1
         result = optimize.linprog(
-            c=cost,
-            A_ub=np.vstack(rows_ub),
-            b_ub=np.array(rhs_ub),
-            bounds=var_bounds,
+            c=model.goal_cost,
+            A_ub=model.goal_a,
+            b_ub=model.goal_b,
+            bounds=model.goal_bounds,
             method="highs",
         )
         if not result.success:
             return None
-        values = result.x[:num_n]
-        phi = float(result.x[-1]) if with_phi else 0.0
-        return values, phi
+        values = result.x[: model.num_n]
+        phi = float(result.x[-1])
+        # d(goal)/d(II) = alpha + beta * sum_k marginal_k * WCET_k / II^2 over
+        # the kernels whose coverage requirement is still WCET_k / II > 1
+        # (marginals of A_ub x <= b_ub are nonpositive, so the sum is <= 0).
+        marginals = result.ineqlin.marginals[: model.num_k]
+        active = model.wcet > ii
+        derivative = self.weights.alpha + self.weights.beta * float(
+            np.sum(marginals[active] * model.wcet[active])
+        ) / (ii * ii)
+        return values, phi, derivative
 
     def _symmetry_dimension(self):
         """Dimension used for the symmetry-breaking ordering (largest demand)."""
@@ -272,8 +467,8 @@ class AllocationRelaxation:
     # Helpers
     # ------------------------------------------------------------------ #
     def _to_mapping(self, values: np.ndarray) -> dict[str, float]:
-        names = self.problem.kernel_names
-        num_fpgas = self.problem.num_fpgas
+        names = self._model.names
+        num_fpgas = self._model.num_fpgas
         mapping: dict[str, float] = {}
         for index, name in enumerate(names):
             for fpga in range(num_fpgas):

@@ -281,12 +281,17 @@ class SolveOutcome:
     lower_bound: float = math.nan
     nodes_explored: int = 0
     details: Mapping[str, object] = field(default_factory=dict)
+    #: Work counters of the solve (LP solves, probes, packer search nodes,
+    #: memo hits, ...) -- additive across solves, so services can aggregate
+    #: them and performance tests can assert per-solve work budgets.
+    counters: Mapping[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "runtime_seconds", float(self.runtime_seconds))
         object.__setattr__(self, "lower_bound", float(self.lower_bound))
         object.__setattr__(self, "nodes_explored", int(self.nodes_explored))
         object.__setattr__(self, "details", json_safe(self.details))
+        object.__setattr__(self, "counters", json_safe(self.counters))
 
     # ------------------------------------------------------------------ #
     # JSON round trip
@@ -308,6 +313,7 @@ class SolveOutcome:
             "lower_bound": _wire_safe(self.lower_bound),
             "nodes_explored": self.nodes_explored,
             "details": _wire_safe(self.details),  # already json_safe from __post_init__
+            "counters": _wire_safe(self.counters),
             "solution": (
                 {"counts": {name: list(counts) for name, counts in self.solution.counts.items()}}
                 if self.solution is not None
@@ -360,6 +366,7 @@ class SolveOutcome:
             lower_bound=math.nan if lower_bound is None else float(lower_bound),
             nodes_explored=int(payload.get("nodes_explored", 0)),
             details=dict(payload.get("details", {})),
+            counters=dict(payload.get("counters", {})),
         )
 
     @property

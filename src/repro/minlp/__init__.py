@@ -17,7 +17,14 @@ from .branch_and_bound import (
     shared_relaxation_cache,
     shared_relaxation_caches_clear,
 )
-from .binpacking import PackingItemType, PackingResult, VectorBinPacker
+from .binpacking import (
+    PackingItemType,
+    PackingMemo,
+    PackingResult,
+    VectorBinPacker,
+    shared_packing_memo,
+    shared_packing_memos_clear,
+)
 from .errors import BranchingError, InfeasibleProblemError, MINLPError
 from .secant import (
     SecantSegment,
@@ -37,6 +44,7 @@ __all__ = [
     "InfeasibleProblemError",
     "MINLPError",
     "PackingItemType",
+    "PackingMemo",
     "PackingResult",
     "RelaxationCache",
     "RelaxationResult",
@@ -44,11 +52,12 @@ __all__ = [
     "VariableBounds",
     "VectorBinPacker",
     "secant_gap",
+    "shared_packing_memo",
+    "shared_packing_memos_clear",
     "shared_relaxation_cache",
     "shared_relaxation_caches_clear",
     "secant_of",
     "spreading_of_kernel",
     "spreading_secant",
     "spreading_term",
-    "VectorBinPacker",
 ]

@@ -7,13 +7,36 @@ counts ``N_k``, and a choice of counts is realisable iff the multiset of CUs
 packs into ``F`` identical bins with capacity ``(R, B)``.  This module
 provides that feasibility test: fast first-fit-decreasing, and an exact
 depth-first search with pruning when the heuristic fails.
+
+The exact search keeps its load state in a NumPy ``(bins x dims)`` matrix and
+prunes three ways:
+
+* **aggregate slack** -- the per-dimension demand of every item still to be
+  placed (a suffix sum precomputed once per search) must fit into the total
+  remaining slack, tracked incrementally in O(dims) per node;
+* **equal-bin symmetry breaking** -- bins are identical, so whenever a bin's
+  load equals the previous bin's load *before* the current item type was
+  placed there, the current bin may receive at most as many CUs as the
+  previous one (for the first item type all bins are empty, so its CUs can
+  only open bins in canonical non-increasing prefix order);
+* a **node budget** bounding worst-case effort; if it is exhausted a reported
+  infeasibility is flagged as not proven (``PackingResult.exact == False``).
+
+Because the same CU count vector is probed repeatedly -- by the binary search
+over candidate II values, by branch-and-bound nodes and by design-space sweep
+re-solves -- feasibility results can be memoized in a :class:`PackingMemo`
+shared across packer instances (mirroring the ``RelaxationCache`` of
+:mod:`repro.minlp.branch_and_bound`).
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 from typing import Mapping, Sequence
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -38,10 +61,91 @@ class PackingResult:
     feasible: bool
     assignment: Mapping[str, tuple[int, ...]]  # kernel name -> CUs per bin
     exact: bool  # True if infeasibility (when reported) is proven
+    nodes: int = 0  # exact-search nodes expended (0: screens/heuristic answered)
 
     @classmethod
-    def infeasible(cls, exact: bool) -> "PackingResult":
-        return cls(feasible=False, assignment={}, exact=exact)
+    def infeasible(cls, exact: bool, nodes: int = 0) -> "PackingResult":
+        return cls(feasible=False, assignment={}, exact=exact, nodes=nodes)
+
+
+class PackingMemo:
+    """Memo of packing results keyed on the CU count vector of the request.
+
+    One packer configuration (bin count, capacities, placement, node budget)
+    maps a given item multiset to a deterministic result, so results can be
+    reused across packer instances: the binary search of the exact minimum-II
+    solver probes overlapping count vectors for adjacent candidate II values,
+    and sweep re-solves repeat them wholesale.  Use :func:`shared_packing_memo`
+    with the packer's configuration key to get that sharing.  Eviction is FIFO
+    with a bounded entry count.
+    """
+
+    def __init__(self, max_entries: int = 16384):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._max_entries = max_entries
+        self._entries: dict[tuple, PackingResult] = {}
+        # Shared memos are hit concurrently by the threaded HTTP service;
+        # the lock keeps eviction-during-insert and counter updates safe.
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_of(items: Sequence[PackingItemType]) -> tuple:
+        return tuple((item.name, item.count, item.size) for item in items)
+
+    def get(self, items: Sequence[PackingItemType]) -> "PackingResult | None":
+        key = self.key_of(items)
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return result
+
+    def put(self, items: Sequence[PackingItemType], result: PackingResult) -> None:
+        key = self.key_of(items)
+        with self._lock:
+            if len(self._entries) >= self._max_entries:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = result
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+#: Bounded registry of packing memos shared across packer instances, keyed by
+#: the packer configuration (value-based, so equivalent problems share).
+_SHARED_MEMOS: "dict[tuple, PackingMemo]" = {}
+_SHARED_MEMO_LIMIT = 64
+_SHARED_MEMOS_LOCK = threading.Lock()
+
+
+def shared_packing_memo(key: tuple, max_entries: int = 16384) -> PackingMemo:
+    """Packing memo shared by every packer with the same configuration key."""
+    with _SHARED_MEMOS_LOCK:
+        memo = _SHARED_MEMOS.get(key)
+        if memo is None:
+            if len(_SHARED_MEMOS) >= _SHARED_MEMO_LIMIT:
+                _SHARED_MEMOS.pop(next(iter(_SHARED_MEMOS)))
+            memo = PackingMemo(max_entries=max_entries)
+            _SHARED_MEMOS[key] = memo
+    return memo
+
+
+def shared_packing_memos_clear() -> None:
+    """Drop every shared packing memo (used by tests and benchmarks)."""
+    with _SHARED_MEMOS_LOCK:
+        _SHARED_MEMOS.clear()
 
 
 class VectorBinPacker:
@@ -54,6 +158,7 @@ class VectorBinPacker:
         tolerance: float = 1e-9,
         max_backtrack_nodes: int = 200_000,
         placement: str = "consolidate",
+        memo: PackingMemo | None = None,
     ):
         if num_bins < 1:
             raise ValueError("num_bins must be >= 1")
@@ -69,12 +174,31 @@ class VectorBinPacker:
         #: "balance" fills the emptiest bin first, mimicking the spread-out
         #: allocations that a pure II-minimising MINLP solver typically emits.
         self.placement = placement
+        self.memo = memo
+        #: Exact-search nodes expended by the last :meth:`pack` call.
+        self.last_nodes = 0
+        #: Memo traffic of THIS packer instance.  Shared memos also keep
+        #: global ``hits``/``misses``, but those interleave across concurrent
+        #: solves; per-solve accounting must read the packer-local counters.
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    def config_key(self) -> tuple:
+        """Value key identifying this configuration (for shared memos)."""
+        return (
+            "pack",
+            self.num_bins,
+            self.capacity,
+            self.placement,
+            self.max_backtrack_nodes,
+            self.tolerance,
+        )
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
     def pack(self, items: Sequence[PackingItemType]) -> PackingResult:
-        """Try to pack all items; heuristics first, exact search as fallback."""
+        """Try to pack all items; memo and heuristics first, exact search last."""
         dims = len(self.capacity)
         for item in items:
             if len(item.size) != dims:
@@ -82,9 +206,24 @@ class VectorBinPacker:
                     f"item {item.name!r} has {len(item.size)} dimensions, expected {dims}"
                 )
 
+        self.last_nodes = 0
+        if self.memo is not None:
+            cached = self.memo.get(items)
+            if cached is not None:
+                self.memo_hits += 1
+                return cached
+            self.memo_misses += 1
+        result = self._pack_uncached(items)
+        if self.memo is not None:
+            self.memo.put(items, result)
+        return result
+
+    def _pack_uncached(self, items: Sequence[PackingItemType]) -> PackingResult:
         if not self._aggregate_feasible(items):
             return PackingResult.infeasible(exact=True)
         if not self._single_item_feasible(items):
+            return PackingResult.infeasible(exact=True)
+        if not self._counting_feasible(items):
             return PackingResult.infeasible(exact=True)
 
         heuristic = self._first_fit_decreasing(items)
@@ -109,6 +248,38 @@ class VectorBinPacker:
                 continue
             for dim in range(len(self.capacity)):
                 if item.size[dim] > self.capacity[dim] + self.tolerance:
+                    return False
+        return True
+
+    def _counting_feasible(self, items: Sequence[PackingItemType]) -> bool:
+        """Per-dimension slot-counting bound.
+
+        A bin cannot hold ``m + 1`` items each larger than ``C / (m + 1)``
+        (their sizes would sum past the capacity ``C``), so in any packing
+        ``#{CUs with size > C / (m + 1)} <= m * num_bins``.  This proves
+        infeasible many near-capacity instances on which the aggregate bound
+        is silent -- e.g. 33 CUs of size ~15 against 8 bins of capacity 70 --
+        without expanding a single search node.
+        """
+        total = sum(item.count for item in items)
+        # Larger m cannot violate the bound: the big-item count is <= total.
+        max_m = total // self.num_bins
+        for dim in range(len(self.capacity)):
+            cap = self.capacity[dim]
+            if cap <= 0:
+                continue  # a positive size never fits; _single_item_feasible caught it
+            sizes = sorted(
+                ((item.size[dim], item.count) for item in items if item.count),
+                reverse=True,
+            )
+            for m in range(1, max_m + 1):
+                threshold = cap / (m + 1) + self.tolerance
+                count = 0
+                for size, item_count in sizes:
+                    if size <= threshold:
+                        break
+                    count += item_count
+                if count > m * self.num_bins:
                     return False
         return True
 
@@ -161,83 +332,106 @@ class VectorBinPacker:
     def _exact_search(self, items: Sequence[PackingItemType]) -> PackingResult:
         """Depth-first search over per-kernel distributions with pruning.
 
-        Kernels are processed in decreasing size order; for each kernel the
-        search enumerates how many of its CUs go into each bin (bins visited
-        in a canonical order to limit symmetric duplicates).  The node budget
-        bounds worst-case effort; if it is exhausted the result is reported as
-        not proven exact.
+        Item types are processed in decreasing size order; for each type the
+        search enumerates how many of its CUs go into each bin, bins visited
+        left to right with the symmetry and slack pruning described in the
+        module docstring.  The node budget bounds worst-case effort; if it is
+        exhausted the result is reported as not proven exact.
         """
         order = sorted(
             (item for item in items if item.count > 0),
             key=lambda item: (max(item.size), item.count),
             reverse=True,
         )
-        loads = [[0.0] * len(self.capacity) for _ in range(self.num_bins)]
-        assignment: dict[str, list[int]] = {item.name: [0] * self.num_bins for item in items}
-        nodes = [0]
+        num_items = len(order)
+        dims = len(self.capacity)
+        num_bins = self.num_bins
+        tolerance = self.tolerance
+
+        sizes = np.array([item.size for item in order], dtype=float).reshape(num_items, dims)
+        counts = np.array([item.count for item in order], dtype=float)
+        # Per-dimension demand of item types i..end, computed once per search
+        # (suffix[i] serves every node at depth i; the old per-node re-summation
+        # over ``order[kernel_index + 1:]`` dominated the whole search).
+        suffix = np.zeros((num_items + 1, dims))
+        if num_items:
+            suffix[:-1] = np.cumsum((sizes * counts[:, None])[::-1], axis=0)[::-1]
+        positive = [np.flatnonzero(sizes[i] > 0) for i in range(num_items)]
+
+        capacity_tol = np.asarray(self.capacity, dtype=float) + tolerance
+        total_capacity = np.asarray(self.capacity, dtype=float) * num_bins
+        slack_tolerance = tolerance * num_bins
+        loads = np.zeros((num_bins, dims))
+        total_load = np.zeros(dims)
+        assignment: dict[str, list[int]] = {item.name: [0] * num_bins for item in items}
+        nodes = 0
+        exhausted = False
 
         def place_kernel(kernel_index: int) -> bool:
-            if kernel_index == len(order):
+            if kernel_index == num_items:
                 return True
-            item = order[kernel_index]
-            return distribute(item, 0, item.count, kernel_index)
+            return distribute(
+                kernel_index, 0, int(counts[kernel_index]), math.inf, None
+            )
 
-        def distribute(item: PackingItemType, bin_index: int, remaining: int, kernel_index: int) -> bool:
-            nodes[0] += 1
-            if nodes[0] > self.max_backtrack_nodes:
+        def distribute(
+            kernel_index: int,
+            bin_index: int,
+            remaining: int,
+            prev_count: float,
+            prev_before: "np.ndarray | None",
+        ) -> bool:
+            nonlocal nodes, exhausted, total_load
+            nodes += 1
+            if nodes > self.max_backtrack_nodes:
+                exhausted = True
                 return False
             if remaining == 0:
                 return place_kernel(kernel_index + 1)
-            if bin_index == self.num_bins:
+            if bin_index == num_bins:
                 return False
-            max_here = self._max_count_in_bin(loads[bin_index], item.size, remaining)
+            size = sizes[kernel_index]
+            active = positive[kernel_index]
+            load_before = loads[bin_index].copy()
+            max_here = remaining
+            if active.size:
+                limit = ((capacity_tol[active] - load_before[active]) / size[active]).min()
+                if limit < remaining:  # guards the int() against inf for tiny sizes
+                    max_here = int(math.floor(limit + 1e-12))
+            max_here = max(0, max_here)
+            # Symmetry: the previous bin looked identical before it received
+            # this item type, so only canonical non-increasing counts are tried.
+            if prev_before is not None and np.array_equal(load_before, prev_before):
+                max_here = min(max_here, int(prev_count))
+            item_name = order[kernel_index].name
             # Try putting as many as possible first (consolidation bias), down to zero.
             for count in range(max_here, -1, -1):
                 if count:
-                    for dim in range(len(self.capacity)):
-                        loads[bin_index][dim] += count * item.size[dim]
-                    assignment[item.name][bin_index] += count
-                if self._remaining_capacity_ok(loads, order, kernel_index, item, remaining - count):
-                    if distribute(item, bin_index + 1, remaining - count, kernel_index):
+                    placed = count * size
+                    loads[bin_index] += placed
+                    total_load += placed
+                    assignment[item_name][bin_index] += count
+                # Aggregate-slack pruning: everything still unplaced must fit
+                # into the total remaining slack (O(dims) via the suffix sums).
+                demand = suffix[kernel_index + 1] + (remaining - count) * size
+                if np.all(demand <= total_capacity - total_load + slack_tolerance):
+                    if distribute(
+                        kernel_index, bin_index + 1, remaining - count, count, load_before
+                    ):
                         return True
                 if count:
-                    for dim in range(len(self.capacity)):
-                        loads[bin_index][dim] -= count * item.size[dim]
-                    assignment[item.name][bin_index] -= count
+                    loads[bin_index] -= placed
+                    total_load -= placed
+                    assignment[item_name][bin_index] -= count
             return False
 
         feasible = place_kernel(0)
-        exact = nodes[0] <= self.max_backtrack_nodes
+        self.last_nodes = nodes
         if feasible:
             return PackingResult(
                 feasible=True,
-                assignment={name: tuple(counts) for name, counts in assignment.items()},
+                assignment={name: tuple(values) for name, values in assignment.items()},
                 exact=True,
+                nodes=nodes,
             )
-        return PackingResult.infeasible(exact=exact)
-
-    def _max_count_in_bin(self, load: Sequence[float], size: Sequence[float], remaining: int) -> int:
-        limit = remaining
-        for dim in range(len(self.capacity)):
-            if size[dim] > 0:
-                slack = self.capacity[dim] + self.tolerance - load[dim]
-                limit = min(limit, int(math.floor(slack / size[dim] + 1e-12)))
-        return max(0, limit)
-
-    def _remaining_capacity_ok(
-        self,
-        loads: Sequence[Sequence[float]],
-        order: Sequence[PackingItemType],
-        kernel_index: int,
-        current_item: PackingItemType,
-        current_remaining: int,
-    ) -> bool:
-        """Aggregate-slack pruning: remaining items must fit in total slack."""
-        for dim in range(len(self.capacity)):
-            slack = sum(self.capacity[dim] - load[dim] for load in loads)
-            demand = current_remaining * current_item.size[dim]
-            for item in order[kernel_index + 1 :]:
-                demand += item.count * item.size[dim]
-            if demand > slack + self.tolerance * self.num_bins:
-                return False
-        return True
+        return PackingResult.infeasible(exact=not exhausted, nodes=nodes)

@@ -32,6 +32,7 @@ import heapq
 import inspect
 import itertools
 import math
+import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
@@ -46,11 +47,17 @@ INTEGRALITY_TOLERANCE = 1e-6
 
 @dataclass(frozen=True)
 class RelaxationResult:
-    """Outcome of solving one node's continuous relaxation."""
+    """Outcome of solving one node's continuous relaxation.
+
+    ``metadata`` carries solver-specific warm-start hints (e.g. the optimal
+    II of the allocation relaxation); the engine passes the parent's result
+    to the relaxation solver, which may read them back.
+    """
 
     feasible: bool
     objective: float
     solution: Mapping[str, float] = field(default_factory=dict)
+    metadata: Mapping[str, float] = field(default_factory=dict)
 
     @classmethod
     def infeasible(cls) -> "RelaxationResult":
@@ -84,6 +91,9 @@ class RelaxationCache:
             raise ValueError("max_entries must be positive")
         self._max_entries = max_entries
         self._entries: dict[tuple, RelaxationResult] = {}
+        # Shared caches are hit concurrently by the threaded HTTP service;
+        # the lock keeps eviction-during-insert and counter updates safe.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -92,31 +102,38 @@ class RelaxationCache:
         return tuple(sorted((name, *bounds[name]) for name in bounds))
 
     def get(self, bounds: VariableBounds) -> "RelaxationResult | None":
-        result = self._entries.get(self.key_of(bounds))
-        if result is None:
-            self.misses += 1
-        else:
-            self.hits += 1
+        key = self.key_of(bounds)
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
         return result
 
     def put(self, bounds: VariableBounds, result: "RelaxationResult") -> None:
-        if len(self._entries) >= self._max_entries:
-            self._entries.pop(next(iter(self._entries)))
-        self._entries[self.key_of(bounds)] = result
+        key = self.key_of(bounds)
+        with self._lock:
+            if len(self._entries) >= self._max_entries:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = result
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 #: Bounded registry of relaxation caches shared across solver runs, keyed by
 #: a caller-supplied value-key identifying the underlying problem.
 _SHARED_CACHES: "dict[tuple, RelaxationCache]" = {}
 _SHARED_CACHE_LIMIT = 64
+_SHARED_CACHES_LOCK = threading.Lock()
 
 
 def shared_relaxation_cache(key: tuple, max_entries: int = 8192) -> RelaxationCache:
@@ -128,18 +145,20 @@ def shared_relaxation_cache(key: tuple, max_entries: int = 8192) -> RelaxationCa
     The caller's ``key`` must identify the problem by value; the registry
     keeps at most ``_SHARED_CACHE_LIMIT`` caches (FIFO eviction).
     """
-    cache = _SHARED_CACHES.get(key)
-    if cache is None:
-        if len(_SHARED_CACHES) >= _SHARED_CACHE_LIMIT:
-            _SHARED_CACHES.pop(next(iter(_SHARED_CACHES)))
-        cache = RelaxationCache(max_entries=max_entries)
-        _SHARED_CACHES[key] = cache
+    with _SHARED_CACHES_LOCK:
+        cache = _SHARED_CACHES.get(key)
+        if cache is None:
+            if len(_SHARED_CACHES) >= _SHARED_CACHE_LIMIT:
+                _SHARED_CACHES.pop(next(iter(_SHARED_CACHES)))
+            cache = RelaxationCache(max_entries=max_entries)
+            _SHARED_CACHES[key] = cache
     return cache
 
 
 def shared_relaxation_caches_clear() -> None:
     """Drop every shared relaxation cache (used by tests and benchmarks)."""
-    _SHARED_CACHES.clear()
+    with _SHARED_CACHES_LOCK:
+        _SHARED_CACHES.clear()
 
 
 @dataclass(frozen=True)
@@ -154,6 +173,9 @@ class BBResult:
     runtime_seconds: float
     relaxation_cache_hits: int = 0
     relaxation_cache_misses: int = 0
+    #: Instrumentation deltas from the relaxation solver's counters (LP
+    #: solves, probes, feasibility memo hits, ...) accumulated over this run.
+    counters: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def gap(self) -> float:
@@ -227,6 +249,7 @@ class BranchAndBoundSolver:
         rounding_heuristic: RoundingHeuristic | None = None,
         settings: BBSettings = BBSettings(),
         relaxation_cache: RelaxationCache | None = None,
+        counters_provider: "Callable[[], Mapping[str, int]] | None" = None,
     ):
         self._relax = relaxation_solver
         self._relax_takes_parent = _accepts_parent(relaxation_solver)
@@ -234,6 +257,9 @@ class BranchAndBoundSolver:
         self._round = rounding_heuristic
         self._settings = settings
         self._cache = relaxation_cache
+        #: Optional callable returning monotone instrumentation counters of
+        #: the relaxation solver; the per-run delta lands on ``BBResult``.
+        self._counters_provider = counters_provider
 
     def _solve_relaxation(
         self, bounds: VariableBounds, parent: RelaxationResult | None = None
@@ -276,6 +302,18 @@ class BranchAndBoundSolver:
                 return 0, 0
             return self._cache.hits - hits_before, self._cache.misses - misses_before
 
+        counters_before = (
+            dict(self._counters_provider()) if self._counters_provider is not None else {}
+        )
+
+        def counter_deltas() -> dict[str, int]:
+            if self._counters_provider is None:
+                return {}
+            return {
+                name: value - counters_before.get(name, 0)
+                for name, value in self._counters_provider().items()
+            }
+
         best_objective = math.inf
         best_solution: dict[str, int] = {}
         if initial_incumbent is not None:
@@ -300,6 +338,7 @@ class BranchAndBoundSolver:
                     runtime_seconds=time.perf_counter() - start,
                     relaxation_cache_hits=hits,
                     relaxation_cache_misses=misses,
+                    counters=counter_deltas(),
                 )
             raise InfeasibleProblemError("root relaxation is infeasible")
 
@@ -397,6 +436,7 @@ class BranchAndBoundSolver:
                 runtime_seconds=runtime,
                 relaxation_cache_hits=hits,
                 relaxation_cache_misses=misses,
+                counters=counter_deltas(),
             )
 
         gap = (best_objective - global_lower) / max(1e-12, abs(best_objective))
@@ -410,6 +450,7 @@ class BranchAndBoundSolver:
             runtime_seconds=runtime,
             relaxation_cache_hits=hits,
             relaxation_cache_misses=misses,
+            counters=counter_deltas(),
         )
 
     # ------------------------------------------------------------------ #

@@ -15,7 +15,12 @@ from .experiments import (
     table4,
 )
 from .series import FigureData, Series
-from .service import batch_report_table, cache_stats_table, service_stats_table
+from .service import (
+    batch_report_table,
+    cache_stats_table,
+    service_stats_table,
+    solver_stats_table,
+)
 from .tables import TextTable, format_cell, percentage
 
 __all__ = [
@@ -27,6 +32,7 @@ __all__ = [
     "batch_report_table",
     "cache_stats_table",
     "service_stats_table",
+    "solver_stats_table",
     "case_study",
     "figure2",
     "figure3",

@@ -24,8 +24,45 @@ def cache_stats_table(stats: Mapping[str, Any], title: str = "Result cache") -> 
     return table
 
 
+#: Solver work counters rendered by :func:`solver_stats_table`, in display
+#: order: the exact-path instrumentation of PR 3 (LP solves and probes of the
+#: node relaxations, branch-and-bound nodes, bin-packer search nodes and the
+#: feasibility/relaxation memo tiers).
+SOLVER_COUNTERS = (
+    "lp_solves",
+    "feasibility_lps",
+    "probe_lps",
+    "node_solves",
+    "bb_nodes",
+    "ii_cache_hits",
+    "ii_cache_misses",
+    "relaxation_cache_hits",
+    "relaxation_cache_misses",
+    "packs",
+    "packer_search_nodes",
+    "packer_exact_searches",
+    "packing_memo_hits",
+    "packing_memo_misses",
+    "candidates_considered",
+)
+
+
+def solver_stats_table(
+    counters: Mapping[str, Any], title: str = "Solver work counters"
+) -> TextTable:
+    """Render solver work counters (``/stats['solver']``, outcome counters or
+    a batch report's ``solver_counters``)."""
+    table = TextTable(headers=["counter", "value"], title=title)
+    for counter in SOLVER_COUNTERS:
+        if counter in counters:
+            table.add_row(counter, int(counters[counter]))
+    for counter in sorted(set(counters) - set(SOLVER_COUNTERS)):
+        table.add_row(counter, int(counters[counter]))
+    return table
+
+
 def service_stats_table(stats: Mapping[str, Any]) -> TextTable:
-    """Render a full ``/stats`` document (service + cache counters)."""
+    """Render a full ``/stats`` document (service + cache + solver counters)."""
     table = TextTable(headers=["counter", "value"], title="Allocation service")
     service = stats.get("service", {})
     for counter in ("requests", "batches", "solves"):
@@ -35,6 +72,8 @@ def service_stats_table(stats: Mapping[str, Any]) -> TextTable:
         table.add_row("uptime_seconds", f"{float(service['uptime_seconds']):.1f}")
     for tier, size in stats.get("cache_sizes", {}).items():
         table.add_row(f"{tier}_entries", int(size))
+    for counter, value in stats.get("solver", {}).items():
+        table.add_row(f"solver_{counter}", int(value))
     return table
 
 

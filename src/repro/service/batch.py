@@ -27,6 +27,14 @@ from .canonical import group_key as compute_group_key
 from .store import ResultStore
 
 
+def accumulate_counters(target: dict[str, int], source: Mapping[str, Any]) -> None:
+    """Sum numeric solver counters into ``target`` (shared by the batch
+    report and the service's ``/stats`` aggregate)."""
+    for name, value in source.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            target[name] = target.get(name, 0) + int(value)
+
+
 @dataclass(frozen=True)
 class SolveRequest:
     """One allocation request: a problem, a method and optional settings."""
@@ -118,6 +126,13 @@ class BatchReport:
     groups: int = 0
     runtime_seconds: float = 0.0
     fingerprints: list[str] = field(default_factory=list)
+    #: Solver work counters (LP solves, packer nodes, memo hits, ...) summed
+    #: over the freshly solved requests of the batch -- cached answers add
+    #: nothing, so these measure the actual work the batch caused.
+    solver_counters: dict[str, int] = field(default_factory=dict)
+
+    def add_solver_counters(self, counters: Mapping[str, Any]) -> None:
+        accumulate_counters(self.solver_counters, counters)
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -129,6 +144,7 @@ class BatchReport:
             "solves": self.solves,
             "groups": self.groups,
             "runtime_seconds": self.runtime_seconds,
+            "solver_counters": dict(self.solver_counters),
         }
 
 
@@ -194,6 +210,7 @@ def solve_batch(
         report.solves = len(solved)
         for (_, print_, request), outcome in zip(keyed, solved):
             outcomes_by_print[print_] = outcome
+            report.add_solver_counters(outcome.counters)
             if outcome.status is not SolveStatus.ERROR:
                 store.put(print_, json.dumps(outcome.to_dict()))
 

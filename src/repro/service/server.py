@@ -33,7 +33,13 @@ from ..core.solution import SolveOutcome, SolveStatus
 from ..core.solvers import solve
 from ..explore.executor import SweepExecutor
 from ..workloads.serialization import SerializationError
-from .batch import BatchReport, SolveRequest, request_from_dict, solve_batch
+from .batch import (
+    BatchReport,
+    SolveRequest,
+    accumulate_counters,
+    request_from_dict,
+    solve_batch,
+)
 from .store import ResultStore
 
 
@@ -62,6 +68,14 @@ class AllocationService:
         self._requests = 0
         self._batches = 0
         self._solves = 0
+        #: Aggregated solver work counters (LP solves, probes, packer search
+        #: nodes, memo hits, ...) over every non-cached solve this service
+        #: performed; cache hits add nothing, mirroring the actual work done.
+        self._solver_counters: dict[str, int] = {}
+
+    def _accumulate_solver_counters(self, counters: Mapping[str, Any]) -> None:
+        with self._lock:
+            accumulate_counters(self._solver_counters, counters)
 
     # ------------------------------------------------------------------ #
     # Solving
@@ -90,6 +104,7 @@ class AllocationService:
             if outcome.status is not SolveStatus.ERROR:
                 self.store.put(fingerprint, json.dumps(outcome.to_dict()))
             source = "solver"
+            self._accumulate_solver_counters(outcome.counters)
             with self._lock:
                 self._solves += 1
         with self._lock:
@@ -104,6 +119,7 @@ class AllocationService:
     def solve_batch(self, requests: list[SolveRequest]) -> tuple[list[SolveOutcome], BatchReport]:
         """Answer a batch via :func:`repro.service.batch.solve_batch`."""
         outcomes, report = solve_batch(requests, store=self.store, executor=self.executor)
+        self._accumulate_solver_counters(report.solver_counters)
         with self._lock:
             self._requests += report.total
             self._batches += 1
@@ -123,10 +139,13 @@ class AllocationService:
                 "uptime_seconds": time.time() - self.started_unix,
                 "version": __version__,
             }
+        with self._lock:
+            solver = dict(self._solver_counters)
         return {
             "service": service,
             "cache": self.store.stats().as_dict(),
             "cache_sizes": self.store.sizes(),
+            "solver": solver,
         }
 
     def close(self) -> None:

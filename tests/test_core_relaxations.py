@@ -100,6 +100,49 @@ class TestAllocationRelaxation:
             lower, upper = bounds[name]
             assert lower - 1e-6 <= value <= upper + 1e-6
 
+    def test_counters_track_lp_work(self, tiny_weighted_problem):
+        relaxation = AllocationRelaxation(
+            problem=tiny_weighted_problem, weights=tiny_weighted_problem.weights
+        )
+        relaxation.solve(full_bounds(tiny_weighted_problem))
+        counters = relaxation.counters()
+        assert counters["node_solves"] == 1
+        assert counters["feasibility_lps"] == 1  # one aux LP, no bisection
+        assert counters["probe_lps"] >= 1
+        # The derivative-bracketed search stays far below the pre-PR 3
+        # ~62-LPs-per-node cost (feasibility bisection + golden section).
+        assert counters["lp_solves"] <= 12
+        assert counters["lp_solves"] == counters["feasibility_lps"] + counters["probe_lps"]
+
+    def test_min_feasible_ii_memoized_per_bound_box(self, tiny_weighted_problem):
+        relaxation = AllocationRelaxation(
+            problem=tiny_weighted_problem, weights=tiny_weighted_problem.weights
+        )
+        bounds = full_bounds(tiny_weighted_problem)
+        first = relaxation.solve(bounds)
+        feasibility_lps = relaxation.counters()["feasibility_lps"]
+        second = relaxation.solve(bounds)
+        counters = relaxation.counters()
+        assert counters["ii_cache_hits"] >= 1
+        assert counters["feasibility_lps"] == feasibility_lps  # no new aux LP
+        assert second.objective == pytest.approx(first.objective, abs=1e-9)
+
+    def test_parent_warm_start_keeps_bound_and_saves_probes(self, tiny_weighted_problem):
+        relaxation = AllocationRelaxation(
+            problem=tiny_weighted_problem, weights=tiny_weighted_problem.weights
+        )
+        parent_bounds = full_bounds(tiny_weighted_problem)
+        parent = relaxation.solve(parent_bounds)
+        assert "best_ii" in parent.metadata
+        name = variable_name(tiny_weighted_problem.kernel_names[0], 0)
+        child_bounds = parent_bounds.with_upper(name, 2)
+        cold = relaxation.solve(child_bounds)
+        warm = relaxation.solve(child_bounds, parent)
+        # Warm-starting changes the probe sequence, never the bound's meaning.
+        assert warm.feasible == cold.feasible
+        assert warm.objective == pytest.approx(cold.objective, rel=1e-5, abs=1e-6)
+        assert warm.objective >= parent.objective - 1e-6
+
     def test_symmetry_breaking_keeps_bound_valid(self, tiny_weighted_problem):
         with_symmetry = AllocationRelaxation(
             problem=tiny_weighted_problem,

@@ -82,12 +82,21 @@ class TestVGGCaseStudy:
             iis.append(outcome.initiation_interval)
         assert iis[-1] <= iis[0]
 
-    def test_heuristic_much_faster_than_exact(self):
-        """Section 4: the heuristic is orders of magnitude faster on VGG."""
+    def test_exact_matches_or_beats_heuristic_quality(self):
+        """Section 4: the exact solver is the lower envelope on VGG.
+
+        The paper's companion claim -- that the exact method is orders of
+        magnitude slower -- held for Couenne and for this repository's seed,
+        but PR 3 (incremental LP relaxations, counting-bound packing proofs)
+        made the exact path competitive with the heuristic here, so only the
+        quality relation remains a stable property.  The exact path's runtime
+        contract is asserted via its work counters in
+        ``benchmarks/test_runtime_comparison.py``.
+        """
         problem = case_study("vgg-16", resource_limit_percent=65.0)
         heuristic = solve(problem, method="gp+a")
         exact = solve(problem, method="minlp")
-        assert heuristic.runtime_seconds * 5 < exact.runtime_seconds
+        assert exact.succeeded and heuristic.succeeded
         assert exact.initiation_interval <= heuristic.initiation_interval + 1e-9
 
     def test_consolidation_contrast(self):

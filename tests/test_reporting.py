@@ -83,6 +83,33 @@ class TestSeries:
         assert "no finite data" in figure.to_ascii()
 
 
+class TestServiceStatsTables:
+    def test_solver_stats_table_renders_known_and_extra_counters(self):
+        from repro.reporting.service import solver_stats_table
+
+        table = solver_stats_table(
+            {"lp_solves": 40, "packer_search_nodes": 0, "custom_counter": 3}
+        )
+        text = table.render()
+        assert "lp_solves" in text and "40" in text
+        assert "packer_search_nodes" in text
+        assert "custom_counter" in text  # unknown counters still rendered
+
+    def test_service_stats_table_includes_solver_section(self):
+        from repro.reporting.service import service_stats_table
+
+        table = service_stats_table(
+            {
+                "service": {"requests": 2, "batches": 0, "solves": 1},
+                "cache_sizes": {"memory": 1},
+                "solver": {"lp_solves": 14, "packs": 6},
+            }
+        )
+        text = table.render()
+        assert "solver_lp_solves" in text
+        assert "solver_packs" in text
+
+
 class TestExperimentDrivers:
     def test_case_studies_registry(self):
         assert set(CASE_STUDIES) == {"alex-16", "alex-32", "vgg-16"}

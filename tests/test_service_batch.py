@@ -43,6 +43,24 @@ class TestSolveBatchDedupe:
         assert store.stats().puts == 64
         assert len(outcomes) == 1000
 
+    def test_batch_report_aggregates_solver_counters(self, tiny_problem_at):
+        requests = [
+            SolveRequest(problem=tiny_problem_at(70.0), method="minlp"),
+            SolveRequest(problem=tiny_problem_at(75.0), method="minlp"),
+        ]
+        store = ResultStore()
+        _, report = solve_batch(requests, store=store)
+        # Two exact solves happened; their work counters sum onto the report.
+        assert report.solves == 2
+        assert report.solver_counters["packs"] >= 2
+        assert "candidates_considered" in report.solver_counters
+        assert report.as_dict()["solver_counters"] == report.solver_counters
+
+        # A fully cached replay performs no solver work.
+        _, warm_report = solve_batch(requests, store=store)
+        assert warm_report.solves == 0
+        assert warm_report.solver_counters == {}
+
     def test_second_batch_is_answered_entirely_from_cache(self, tiny_problem_at):
         requests = [SolveRequest(problem=tiny_problem_at(60.0 + (index % 4))) for index in range(20)]
         store = ResultStore()

@@ -93,6 +93,20 @@ class TestEndpoints:
         assert stats["cache"]["puts"] == 1
         assert stats["cache_sizes"]["memory"] == 1
 
+    def test_stats_expose_solver_work_counters(self, running_service, tiny_problem_at):
+        client, _, _ = running_service
+        outcome = client.solve_outcome(tiny_problem_at(70.0), method="minlp")
+        assert outcome.counters["packs"] > 0  # counters survive the wire format
+        stats = client.stats()
+        # The exact solve's work counters are aggregated into /stats.
+        assert stats["solver"]["packs"] >= 1
+        assert "packer_search_nodes" in stats["solver"]
+        assert "candidates_considered" in stats["solver"]
+        # A warm replay is answered from cache and must add no solver work.
+        before = dict(stats["solver"])
+        client.solve(tiny_problem_at(70.0), method="minlp")
+        assert client.stats()["solver"] == before
+
     def test_errors_return_json_400_and_404(self, running_service):
         client, _, server = running_service
         with pytest.raises(ServiceError, match="problem"):

@@ -80,6 +80,10 @@ def outcomes(draw):
                 "counts_hat": {name: draw(finite_floats) for name in problem.kernel_names},
                 "note": draw(st.text(max_size=20)),
             },
+            counters={
+                "lp_solves": draw(st.integers(min_value=0, max_value=10**9)),
+                "packer_search_nodes": draw(st.integers(min_value=0, max_value=10**9)),
+            },
         ),
         problem,
     )
@@ -112,6 +116,7 @@ class TestRoundTripProperty:
                 abs_tol=1e-12,
             )
         assert clone.details["note"] == outcome.details["note"]
+        assert clone.counters == outcome.counters  # integer counters are exact
 
         if outcome.solution is None:
             assert clone.solution is None
