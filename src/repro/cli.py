@@ -3,10 +3,16 @@
 Three sub-commands cover the common workflows::
 
     repro-fpga solve --app alex-16 --fpgas 2 --resource 70 --method gp+a
+    repro-fpga solve --app alex-16 --platform-spec fleet.json --method minlp
     repro-fpga experiment table2
     repro-fpga experiment figure3 --output figure3.csv
     repro-fpga experiment figure2 --jobs 4   # sweep on a 4-worker process pool
+    repro-fpga experiment hetero-skew        # heterogeneous class-skew sweep
     repro-fpga serve --port 8000 --jobs 4 --cache-dir ~/.cache/repro-fpga
+
+``--platform-spec`` points at a JSON platform document (written by
+``repro.workloads.serialization.save_platform``); a document with a
+``classes`` list describes a heterogeneous fleet of device classes.
 
 ``serve`` starts the long-running allocation service: an HTTP JSON API
 (``/solve``, ``/solve_batch``, ``/health``, ``/stats``) backed by the
@@ -39,6 +45,7 @@ _EXPERIMENTS = (
     "figure5",
     "figure6",
     "runtime",
+    "hetero-skew",
 )
 
 
@@ -58,7 +65,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="built-in application (AlexNet fx16/fp32 or VGG-16)",
     )
     solve_parser.add_argument("--fpgas", type=int, default=None, help="number of FPGAs (default: the paper's choice)")
-    solve_parser.add_argument("--resource", type=float, default=70.0, help="per-FPGA resource constraint in percent")
+    solve_parser.add_argument(
+        "--resource",
+        type=float,
+        default=None,
+        help="per-FPGA resource constraint in percent (default: 70)",
+    )
+    solve_parser.add_argument(
+        "--platform-spec",
+        type=Path,
+        default=None,
+        help=(
+            "JSON platform spec replacing the built-in platform; supports "
+            "heterogeneous fleets via a 'classes' list (see "
+            "workloads.serialization.save_platform).  Mutually exclusive "
+            "with --fpgas/--resource."
+        ),
+    )
     solve_parser.add_argument("--method", choices=METHODS, default="gp+a")
     solve_parser.add_argument("--t", type=float, default=0.0, help="heuristic T parameter (percent)")
     solve_parser.add_argument("--delta", type=float, default=1.0, help="heuristic delta parameter (percent)")
@@ -113,8 +136,27 @@ def _executor_for(jobs: int) -> SweepExecutor:
 
 
 def _run_solve(args: argparse.Namespace) -> int:
-    problem = experiments.case_study(args.app, resource_limit_percent=args.resource)
-    if args.fpgas is not None:
+    resource = 70.0 if args.resource is None else args.resource
+    problem = experiments.case_study(args.app, resource_limit_percent=resource)
+    if args.platform_spec is not None:
+        if args.fpgas is not None or args.resource is not None:
+            print(
+                "--platform-spec and --fpgas/--resource are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        from .workloads.serialization import SerializationError, load_platform
+
+        try:
+            platform = load_platform(args.platform_spec)
+        except (OSError, SerializationError) as error:
+            print(f"cannot load platform spec {args.platform_spec}: {error}", file=sys.stderr)
+            return 2
+        problem = type(problem)(
+            pipeline=problem.pipeline, platform=platform, weights=problem.weights
+        )
+        print(f"platform: {platform.describe()}")
+    elif args.fpgas is not None:
         problem = type(problem)(
             pipeline=problem.pipeline,
             platform=problem.platform.with_num_fpgas(args.fpgas),
@@ -174,6 +216,10 @@ def _run_experiment(args: argparse.Namespace) -> int:
         _write_or_print(
             experiments.runtime_table(methods=methods, executor=executor).render(), args.output
         )
+    elif name == "hetero-skew":
+        skews = (0.0, 10.0, 20.0) if args.quick else (0.0, 5.0, 10.0, 15.0, 20.0, 25.0)
+        figure = experiments.hetero_skew(skews=skews, executor=executor)
+        _emit_figure(figure, args.output)
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(name)
     return 0

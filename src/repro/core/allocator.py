@@ -223,14 +223,23 @@ class GreedyAllocator:
     # One allocation pass at a fixed constraint relaxation
     # ------------------------------------------------------------------ #
     def _caps_for(self, extra_percent: float) -> np.ndarray:
-        """Per-FPGA capacity per dimension under a relaxed constraint."""
-        caps_vector = self.problem.platform.scaled_resource_limit(extra_percent)
-        caps = np.empty(self._arrays.num_dimensions)
+        """Per-FPGA capacity matrix under a relaxed constraint, shape (F, D).
+
+        Every FPGA's caps are relaxed by the same ``extra_percent`` points
+        (clamped at the full device); on a homogeneous platform all rows are
+        identical.
+        """
+        platform = self.problem.platform
+        caps_vectors = platform.fpga_scaled_resource_limits(extra_percent)
+        bandwidth_limits = platform.fpga_bandwidth_limits()
+        caps = np.empty((self._num_fpgas, self._arrays.num_dimensions))
         for dimension, kind in enumerate(self._arrays.dimension_names):
             if dimension == self._bandwidth_row:
-                caps[dimension] = min(100.0, self.problem.platform.bandwidth_limit + extra_percent)
+                for fpga in range(self._num_fpgas):
+                    caps[fpga, dimension] = min(100.0, bandwidth_limits[fpga] + extra_percent)
             else:
-                caps[dimension] = caps_vector[kind]
+                for fpga in range(self._num_fpgas):
+                    caps[fpga, dimension] = caps_vectors[fpga][kind]
         return caps
 
     def _max_units(self, slack: np.ndarray, kernel: int) -> np.ndarray:
@@ -258,16 +267,18 @@ class GreedyAllocator:
         impact: list[float],
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         rule: CriticalityRule = criticality_rule or self.settings.criticality
-        caps_list = caps.tolist()
-        caps_slack_list = [value + _TOL for value in caps_list]
         num_fpgas = self._num_fpgas
         dims = self._dim_range
+        caps_rows = caps.tolist()  # (F, D): per-FPGA capacity rows
+        caps_slack_rows = [[value + _TOL for value in row] for row in caps_rows]
 
-        slack = [list(caps_list) for _ in range(num_fpgas)]
+        slack = [list(row) for row in caps_rows]
         counts = [[0] * num_fpgas for _ in range(self._num_kernels)]
         remaining = [int(value) for value in totals]
         touched = [False] * num_fpgas
-        inverse_caps = [1.0 / value if value > 0 else 0.0 for value in caps_list]
+        inverse_caps = [
+            [1.0 / value if value > 0 else 0.0 for value in row] for row in caps_rows
+        ]
 
         def max_units_one(row: list[float], kernel: int) -> int:
             limit = 10**9
@@ -284,17 +295,24 @@ class GreedyAllocator:
         # ------------------------------------------------------------------
         # Phase 1 (lines 11-21): split kernels too large for a single FPGA
         # over completely empty FPGAs first.  One batched check finds the
-        # (usually empty) set of kernels that cannot fit whole.
+        # (usually empty) set of kernels whose whole demand fits on no FPGA.
         # ------------------------------------------------------------------
-        oversized = ((self._unit * totals[:, None]) > np.asarray(caps_slack_list)).any(axis=1)
+        caps_slack_matrix = np.asarray(caps_slack_rows)
+        whole_demand = self._unit * totals[:, None]  # (K, D)
+        fits_somewhere = (
+            whole_demand[:, None, :] <= caps_slack_matrix[None, :, :]
+        ).all(axis=2)  # (K, F)
+        oversized = ~fits_somewhere.any(axis=1)
         if oversized.any():
             split_set = set(np.nonzero(oversized)[0].tolist())
 
             def fits_single(kernel: int, count: int) -> bool:
                 unit_k = self._unit_lists[kernel]
-                return all(
-                    unit_k[dimension] * count <= caps_slack_list[dimension]
-                    for dimension in dims
+                return any(
+                    all(
+                        unit_k[dimension] * count <= row[dimension] for dimension in dims
+                    )
+                    for row in caps_slack_rows
                 )
 
             for kernel in self._sorted_kernels(impact, remaining, rule):
@@ -302,10 +320,20 @@ class GreedyAllocator:
                     continue
                 unit_k = self._unit_lists[kernel]
                 while remaining[kernel] > 0 and not fits_single(kernel, remaining[kernel]):
-                    target = next((f for f in range(num_fpgas) if not touched[f]), None)
+                    # Of the still-empty FPGAs, open the one with the most
+                    # room for this kernel (on identical FPGAs this is the
+                    # first untouched one, the paper's index order).
+                    target = None
+                    target_units = 0
+                    for fpga in range(num_fpgas):
+                        if touched[fpga]:
+                            continue
+                        units = max_units_one(slack[fpga], kernel)
+                        if units > target_units:
+                            target, target_units = fpga, units
                     if target is None:
                         break
-                    batch = min(remaining[kernel], max_units_one(slack[target], kernel))
+                    batch = min(remaining[kernel], target_units)
                     if batch <= 0:
                         break
                     place(slack[target], unit_k, batch)
@@ -317,16 +345,21 @@ class GreedyAllocator:
         # Phase 2 (lines 22-37): allocate every kernel, trying to fit it whole
         # on the most occupied FPGA first (consolidation); if no FPGA can take
         # it whole, spill "as many CUs as possible starting from the least
-        # occupied FPGA" across the platform.  The normalized slack driving
-        # the consolidation order is maintained incrementally per placement.
+        # occupied FPGA" across the platform.  Occupancy is measured by the
+        # *normalized* residual (slack over own caps), so FPGAs of different
+        # classes compare by how full they are, not by absolute size; it is
+        # maintained incrementally per placement.
         # ------------------------------------------------------------------
         fpga_range = range(num_fpgas)
         norm_slack = [
-            sum(row[dimension] * inverse_caps[dimension] for dimension in dims)
-            for row in slack
+            sum(row[dimension] * inverse[dimension] for dimension in dims)
+            for row, inverse in zip(slack, inverse_caps)
         ]
         unit_norms = [
-            sum(unit[dimension] * inverse_caps[dimension] for dimension in dims)
+            [
+                sum(unit[dimension] * inverse[dimension] for dimension in dims)
+                for inverse in inverse_caps
+            ]
             for unit in self._unit_lists
         ]
         for kernel in self._sorted_kernels(impact, remaining, rule):
@@ -334,7 +367,7 @@ class GreedyAllocator:
             if count == 0:
                 continue
             unit_k = self._unit_lists[kernel]
-            unit_norm = unit_norms[kernel]
+            kernel_norms = unit_norms[kernel]
             order = sorted(fpga_range, key=norm_slack.__getitem__)
             demand = [value * count for value in unit_k]
             placed_whole = False
@@ -347,7 +380,7 @@ class GreedyAllocator:
                         break
                 if fit:
                     place(row, unit_k, count)
-                    norm_slack[fpga] -= unit_norm * count
+                    norm_slack[fpga] -= kernel_norms[fpga] * count
                     touched[fpga] = True
                     counts[kernel][fpga] += count
                     remaining[kernel] = 0
@@ -361,7 +394,7 @@ class GreedyAllocator:
                     batch = min(count, max_units_one(slack[fpga], kernel))
                     if batch > 0:
                         place(slack[fpga], unit_k, batch)
-                        norm_slack[fpga] -= unit_norm * batch
+                        norm_slack[fpga] -= kernel_norms[fpga] * batch
                         touched[fpga] = True
                         counts[kernel][fpga] += batch
                         remaining[kernel] -= batch
@@ -521,8 +554,8 @@ def first_fit_decreasing_allocate(
     num_fpgas = problem.num_fpgas
     num_kernels = arrays.num_kernels
     unit = np.ascontiguousarray(arrays.weights.T)
-    caps = arrays.capacity.copy()
-    slack = np.tile(caps, (num_fpgas, 1))
+    # One slack row per FPGA; rows differ across device classes.
+    slack = np.ascontiguousarray(arrays.fpga_capacity.T).copy()
     counts = np.zeros((num_kernels, num_fpgas), dtype=np.int64)
     remaining = np.asarray([int(totals[name]) for name in arrays.names], dtype=np.int64)
 

@@ -40,9 +40,11 @@ class ProblemArrays:
     wcet: np.ndarray  # (K,) single-CU WCET per kernel
     dimension_names: tuple[str, ...]  # active capacity dimensions
     weights: np.ndarray  # (D, K) per-CU demand per dimension
-    capacity: np.ndarray  # (D,) per-FPGA capacity per dimension
+    capacity: np.ndarray  # (D,) per-FPGA cap (uniform; max per FPGA if mixed)
     explicit_max: np.ndarray  # (K,) per-kernel CU cap (inf when unbounded)
     bandwidth_row: int  # row of the bandwidth dimension, -1 when inactive
+    fpga_capacity: np.ndarray  # (D, F) per-FPGA caps (columns differ across classes)
+    aggregate_capacity: np.ndarray  # (D,) platform-wide capacity
 
     @property
     def num_kernels(self) -> int:
@@ -85,8 +87,14 @@ class ProblemArrays:
     def aggregate_feasible(
         self, counts: np.ndarray, num_fpgas: int, tolerance: float = 1e-9
     ) -> bool:
-        """Aggregated capacity constraints (eqs. 17-18) for total CU counts."""
-        return bool(np.all(self.weights @ counts <= self.capacity * num_fpgas + tolerance))
+        """Aggregated capacity constraints (eqs. 17-18) for total CU counts.
+
+        ``num_fpgas`` is retained for signature compatibility; the aggregate
+        capacity is precomputed per problem (and accounts for per-class caps
+        on heterogeneous platforms).
+        """
+        del num_fpgas
+        return bool(np.all(self.weights @ counts <= self.aggregate_capacity + tolerance))
 
     def achieved_ii(self, counts: np.ndarray) -> float:
         """Initiation interval of total CU counts: ``max_k WCET_k / N_k``."""
@@ -104,6 +112,16 @@ def build_problem_arrays(problem: "AllocationProblem") -> ProblemArrays:
         dtype=np.float64,
     ).reshape(len(dimensions), len(names))
     capacity = np.asarray([dimension.capacity for dimension in dimensions], dtype=np.float64)
+    num_fpgas = problem.num_fpgas
+    fpga_capacity = np.asarray(
+        [dimension.fpga_capacities(num_fpgas) for dimension in dimensions], dtype=np.float64
+    ).reshape(len(dimensions), num_fpgas)
+    # The homogeneous aggregate stays the exact product the solvers always
+    # used (a float sum of F equal terms need not equal capacity * F).
+    if all(dimension.per_fpga is None for dimension in dimensions):
+        aggregate_capacity = capacity * num_fpgas
+    else:
+        aggregate_capacity = fpga_capacity.sum(axis=1)
     explicit_max = np.asarray(
         [
             float(kernel.max_cus) if kernel.max_cus is not None else np.inf
@@ -123,6 +141,8 @@ def build_problem_arrays(problem: "AllocationProblem") -> ProblemArrays:
         capacity=capacity,
         explicit_max=explicit_max,
         bandwidth_row=bandwidth_row,
+        fpga_capacity=fpga_capacity,
+        aggregate_capacity=aggregate_capacity,
     )
 
 

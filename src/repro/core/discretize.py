@@ -164,7 +164,7 @@ def discretize_counts(
     bounds = VariableBounds.from_ranges({name: (1, upper_bounds[name]) for name in names})
     minmax = build_vectorized_minmax(problem)
     wcet = arrays.wcet
-    aggregate_capacity = arrays.capacity * problem.num_fpgas
+    aggregate_capacity = arrays.aggregate_capacity
     weight_matrix = arrays.weights
 
     def relaxation(

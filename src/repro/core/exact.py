@@ -80,15 +80,30 @@ def _packer_for(
     The memo is shared between every packer with an identical configuration
     (bin count, capacities, placement, budget), so the feasibility of a CU
     count vector is established once across the candidate-II binary search,
-    repeated solves and design-space sweep points.
+    repeated solves and design-space sweep points.  On a heterogeneous
+    platform the packer receives one capacity row per FPGA (class-major
+    order) instead of the shared capacity vector.
     """
     dimensions = problem.capacity_dimensions()
-    packer = VectorBinPacker(
-        num_bins=problem.num_fpgas,
-        capacity=[dimension.capacity for dimension in dimensions],
-        placement=settings.packing_placement,
-        max_backtrack_nodes=settings.packer_max_nodes,
-    )
+    num_fpgas = problem.num_fpgas
+    if problem.platform.is_homogeneous:
+        packer = VectorBinPacker(
+            num_bins=num_fpgas,
+            capacity=[dimension.capacity for dimension in dimensions],
+            placement=settings.packing_placement,
+            max_backtrack_nodes=settings.packer_max_nodes,
+        )
+    else:
+        per_dimension = [dimension.fpga_capacities(num_fpgas) for dimension in dimensions]
+        packer = VectorBinPacker(
+            num_bins=num_fpgas,
+            bin_capacities=[
+                [capacities[fpga] for capacities in per_dimension]
+                for fpga in range(num_fpgas)
+            ],
+            placement=settings.packing_placement,
+            max_backtrack_nodes=settings.packer_max_nodes,
+        )
     packer.memo = shared_packing_memo(packer.config_key())
     return packer
 
@@ -174,6 +189,7 @@ def solve_exact_min_ii(
             "packer_exact_searches": exact_searches,
             "packing_memo_hits": packer.memo_hits,
             "packing_memo_misses": packer.memo_misses,
+            "packing_memo_dominance_hits": packer.memo_dominance_hits,
             "candidates_considered": len(candidates),
         }
 
@@ -246,9 +262,18 @@ def _weighted_relaxation_cache(
 
 
 def solve_exact_weighted(
-    problem: AllocationProblem, settings: ExactSettings = ExactSettings()
+    problem: AllocationProblem,
+    settings: ExactSettings = ExactSettings(),
+    bb_child_order: str = "fixed",
 ) -> SolveOutcome:
-    """Exact (bounded-gap) solver for the weighted II + spreading objective."""
+    """Exact (bounded-gap) solver for the weighted II + spreading objective.
+
+    ``bb_child_order`` selects the branch-and-bound child ordering
+    (``"fixed"`` or ``"bound"``, see :class:`~repro.minlp.branch_and_bound.
+    BBSettings`).  It is a search-path knob, deliberately not part of
+    :class:`ExactSettings`: it can change which of several optimal incumbents
+    is returned, so it must not silently alter cached-request fingerprints.
+    """
     start = time.perf_counter()
     names = problem.kernel_names
     num_fpgas = problem.num_fpgas
@@ -277,10 +302,18 @@ def solve_exact_weighted(
         for name in names
     }
     ranges: dict[str, tuple[int, int]] = {}
+    homogeneous = problem.platform.is_homogeneous
     for name in names:
-        per_fpga_cap = min(problem.max_cus_per_fpga(name), max(1, total_caps[name]))
-        for fpga in range(num_fpgas):
-            ranges[variable_name(name, fpga)] = (0, per_fpga_cap)
+        if homogeneous:
+            per_fpga_cap = min(problem.max_cus_per_fpga(name), max(1, total_caps[name]))
+            for fpga in range(num_fpgas):
+                ranges[variable_name(name, fpga)] = (0, per_fpga_cap)
+        else:
+            for fpga in range(num_fpgas):
+                cap = min(
+                    problem.max_cus_per_fpga(name, fpga), max(1, total_caps[name])
+                )
+                ranges[variable_name(name, fpga)] = (0, cap)
     bounds = VariableBounds.from_ranges(ranges)
 
     relaxation = AllocationRelaxation(
@@ -334,6 +367,7 @@ def solve_exact_weighted(
             max_nodes=settings.max_nodes,
             time_limit_seconds=settings.time_limit_seconds,
             gap_tolerance=settings.gap_tolerance,
+            child_order=bb_child_order,
         ),
         # LP node relaxations are the dominant cost of this solver; runs
         # over the same weighted problem (sweep re-solves) share one cache,
@@ -419,13 +453,31 @@ def _solution_to_candidate(
 
     With ``canonical=True`` the FPGAs are re-ordered by decreasing load of
     the dominant dimension so that the candidate satisfies the
-    symmetry-breaking constraints of the relaxation (FPGAs are identical, so
-    permutation preserves feasibility and objective).
+    symmetry-breaking constraints of the relaxation.  Only identically
+    capped FPGAs are interchangeable, so the reordering happens per run of
+    equal-capacity FPGAs (on a homogeneous platform that is the whole
+    platform, the original behaviour; it matches the capacity-equality
+    notion of the relaxation's symmetry rows).
     """
     problem = solution.problem
-    order = list(range(problem.num_fpgas))
-    if canonical:
-        order.sort(key=lambda f: solution.fpga_resource_usage(f).max_component(), reverse=True)
+    platform = problem.platform
+    caps = [
+        (platform.fpga_resource_limit(f), platform.fpga_bandwidth_limit(f))
+        for f in range(problem.num_fpgas)
+    ]
+    order: list[int] = []
+    start = 0
+    while start < problem.num_fpgas:
+        end = start
+        while end < problem.num_fpgas and caps[end] == caps[start]:
+            end += 1
+        block = list(range(start, end))
+        if canonical:
+            block.sort(
+                key=lambda f: solution.fpga_resource_usage(f).max_component(), reverse=True
+            )
+        order.extend(block)
+        start = end
     candidate: dict[str, int] = {}
     for name in problem.kernel_names:
         for new_index, old_index in enumerate(order):

@@ -64,7 +64,7 @@ def build_minmax_problem(
         CapacityConstraint(
             name=dimension.name,
             weights=dimension.weights,
-            capacity=dimension.capacity * problem.num_fpgas,
+            capacity=dimension.aggregate(problem.num_fpgas),
         )
         for dimension in problem.capacity_dimensions()
     ]
@@ -101,7 +101,7 @@ def build_vectorized_minmax(problem: AllocationProblem) -> VectorizedMinMaxProbl
         names=arrays.names,
         wcet=arrays.wcet,
         weights=arrays.weights,
-        capacity=arrays.capacity * problem.num_fpgas,
+        capacity=arrays.aggregate_capacity,
     )
 
 
@@ -121,7 +121,7 @@ def build_gp_model(problem: AllocationProblem) -> GPModel:
             model.add_upper_bound(variable, float(kernel.max_cus))
     # Eqs. 17-18: aggregated capacity constraints, one per active dimension.
     for dimension in problem.capacity_dimensions():
-        total_capacity = dimension.capacity * problem.num_fpgas
+        total_capacity = dimension.aggregate(problem.num_fpgas)
         terms = None
         for kernel_name, weight in dimension.weights.items():
             if weight <= 0:

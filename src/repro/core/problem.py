@@ -20,12 +20,28 @@ class CapacityDimension:
 
     A dimension is either an on-chip resource kind (``bram``, ``dsp``, ...)
     or the DRAM ``bandwidth``; it carries the per-CU weight of every kernel
-    and the per-FPGA capacity.
+    and the per-FPGA capacity.  On a heterogeneous platform the capacity
+    varies per FPGA: ``per_fpga`` holds the full expansion (platform FPGA
+    order) and ``capacity`` the largest per-FPGA value; on a homogeneous
+    platform ``per_fpga`` stays ``None`` and ``capacity`` is the uniform cap.
     """
 
     name: str
     weights: Mapping[str, float]
     capacity: float
+    per_fpga: tuple[float, ...] | None = None
+
+    def fpga_capacities(self, num_fpgas: int) -> tuple[float, ...]:
+        """Per-FPGA capacities, expanding the uniform cap when homogeneous."""
+        if self.per_fpga is not None:
+            return self.per_fpga
+        return (self.capacity,) * num_fpgas
+
+    def aggregate(self, num_fpgas: int) -> float:
+        """Platform-wide capacity (the RHS of the aggregated relaxation)."""
+        if self.per_fpga is not None:
+            return sum(self.per_fpga)
+        return self.capacity * num_fpgas
 
     def usage(self, totals: Mapping[str, float]) -> float:
         """Capacity consumed by the given per-kernel CU counts on one FPGA."""
@@ -94,26 +110,40 @@ class AllocationProblem:
 
         A resource kind is *active* if at least one kernel demands it; the
         paper's tables only report BRAM and DSP because LUT/FF never bind.
-        Bandwidth is always included when any kernel consumes it.
+        Bandwidth is always included when any kernel consumes it.  On a
+        heterogeneous platform each dimension carries the per-FPGA capacity
+        expansion (class-major platform order).
         """
+        homogeneous = self.platform.is_homogeneous
+        resource_limits = None if homogeneous else self.platform.fpga_resource_limits()
+        bandwidth_limits = None if homogeneous else self.platform.fpga_bandwidth_limits()
         dimensions: list[CapacityDimension] = []
         for kind in RESOURCE_KINDS:
             weights = {kernel.name: kernel.resources[kind] for kernel in self.pipeline}
             if include_inactive or any(value > 0 for value in weights.values()):
+                if resource_limits is None:
+                    capacity, per_fpga = self.platform.resource_limit[kind], None
+                else:
+                    per_fpga = tuple(limit[kind] for limit in resource_limits)
+                    capacity = max(per_fpga)
                 dimensions.append(
                     CapacityDimension(
-                        name=kind,
-                        weights=weights,
-                        capacity=self.platform.resource_limit[kind],
+                        name=kind, weights=weights, capacity=capacity, per_fpga=per_fpga
                     )
                 )
         bandwidth_weights = {kernel.name: kernel.bandwidth for kernel in self.pipeline}
         if include_inactive or any(value > 0 for value in bandwidth_weights.values()):
+            if bandwidth_limits is None:
+                capacity, per_fpga = self.platform.bandwidth_limit, None
+            else:
+                per_fpga = tuple(bandwidth_limits)
+                capacity = max(per_fpga)
             dimensions.append(
                 CapacityDimension(
                     name="bandwidth",
                     weights=bandwidth_weights,
-                    capacity=self.platform.bandwidth_limit,
+                    capacity=capacity,
+                    per_fpga=per_fpga,
                 )
             )
         return tuple(dimensions)
@@ -129,16 +159,43 @@ class AllocationProblem:
 
         return problem_arrays(self)
 
-    def max_cus_per_fpga(self, kernel_name: str) -> int:
-        """Largest CU count of one kernel that fits into one (empty) FPGA."""
+    def max_cus_per_fpga(self, kernel_name: str, fpga_index: int | None = None) -> int:
+        """Largest CU count of one kernel that fits into one (empty) FPGA.
+
+        Without ``fpga_index`` this is the best FPGA of the platform (the
+        uniform answer on a homogeneous platform); with it, the specific
+        FPGA's caps apply.
+        """
         kernel = self.pipeline[kernel_name]
-        return kernel.max_cus_per_fpga(self.platform.resource_limit, self.platform.bandwidth_limit)
+        platform = self.platform
+        if platform.is_homogeneous:
+            return kernel.max_cus_per_fpga(platform.resource_limit, platform.bandwidth_limit)
+        if fpga_index is not None:
+            return kernel.max_cus_per_fpga(
+                platform.fpga_resource_limit(fpga_index),
+                platform.fpga_bandwidth_limit(fpga_index),
+            )
+        return max(
+            kernel.max_cus_per_fpga(
+                device_class.resource_limit, device_class.bandwidth_limit
+            )
+            for device_class in platform.device_classes
+        )
 
     def max_total_cus(self, kernel_name: str) -> int:
         """Upper bound on the total CU count of one kernel over the platform."""
-        per_fpga = self.max_cus_per_fpga(kernel_name)
         kernel = self.pipeline[kernel_name]
-        total = per_fpga * self.num_fpgas
+        platform = self.platform
+        if platform.is_homogeneous:
+            total = self.max_cus_per_fpga(kernel_name) * self.num_fpgas
+        else:
+            total = sum(
+                device_class.count
+                * kernel.max_cus_per_fpga(
+                    device_class.resource_limit, device_class.bandwidth_limit
+                )
+                for device_class in platform.device_classes
+            )
         if kernel.max_cus is not None:
             total = min(total, kernel.max_cus)
         return total
@@ -154,7 +211,7 @@ class AllocationProblem:
         """
         for dimension in self.capacity_dimensions():
             demand = sum(dimension.weights.values())
-            if demand > dimension.capacity * self.num_fpgas + 1e-9:
+            if demand > dimension.aggregate(self.num_fpgas) + 1e-9:
                 return True
         for name in self.kernel_names:
             if self.max_cus_per_fpga(name) < 1:

@@ -41,6 +41,7 @@ can assert LP-solves-per-node budgets end to end.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -52,12 +53,117 @@ from ..minlp.branch_and_bound import RelaxationResult
 from .objective import ObjectiveWeights
 from .problem import AllocationProblem
 
+try:  # pragma: no cover - exercised only where highspy is installed
+    import highspy as _highspy
+except ImportError:  # the container image ships scipy's bundled HiGHS only
+    _highspy = None
+
 #: Safety margin subtracted from node bounds so that the inexactness of the
 #: scalar search can never prune the true optimum.
 BOUND_SAFETY = 1e-7
 
 #: Entries kept in the per-bound-box minimum-feasible-II memo.
 _II_CACHE_LIMIT = 4096
+
+
+def highspy_available() -> bool:
+    """Whether the persistent HiGHS LP backend can be used in this process."""
+    return _highspy is not None
+
+
+class _HighsBackendError(RuntimeError):
+    """Raised when the persistent HiGHS backend fails; callers fall back."""
+
+
+class _PersistentHighsLP:
+    """One HiGHS model kept hot across solves (rows are ``A x <= b``).
+
+    ``scipy.optimize.linprog`` re-parses the constraint system on every call,
+    which is ~40 % of the per-LP time of the incremental relaxation.  This
+    wrapper passes the model to HiGHS once and afterwards only hot-swaps the
+    row right-hand sides, the variable bounds and (for the goal LP) the
+    secant coefficients, so repeated solves skip the assembly entirely.
+    """
+
+    def __init__(self, cost: np.ndarray, matrix: np.ndarray, rhs: np.ndarray, bounds: np.ndarray):
+        if _highspy is None:  # pragma: no cover - guarded by the caller
+            raise _HighsBackendError("highspy is not installed")
+        num_rows, num_cols = matrix.shape
+        self._num_rows = num_rows
+        self._num_cols = num_cols
+        try:
+            solver = _highspy.Highs()
+            solver.setOptionValue("output_flag", False)
+            inf = _highspy.kHighsInf
+            lp = _highspy.HighsLp()
+            lp.num_col_ = num_cols
+            lp.num_row_ = num_rows
+            lp.col_cost_ = np.asarray(cost, dtype=np.float64)
+            lp.col_lower_ = np.asarray(bounds[:, 0], dtype=np.float64)
+            lp.col_upper_ = np.asarray(bounds[:, 1], dtype=np.float64)
+            lp.row_lower_ = np.full(num_rows, -inf)
+            lp.row_upper_ = np.asarray(rhs, dtype=np.float64)
+            lp.a_matrix_.format_ = _highspy.MatrixFormat.kColwise
+            starts = [0]
+            indices: list[int] = []
+            values: list[float] = []
+            for col in range(num_cols):
+                rows = np.nonzero(matrix[:, col])[0]
+                indices.extend(int(row) for row in rows)
+                values.extend(float(value) for value in matrix[rows, col])
+                starts.append(len(indices))
+            lp.a_matrix_.start_ = starts
+            lp.a_matrix_.index_ = indices
+            lp.a_matrix_.value_ = values
+            status = solver.passModel(lp)
+            if status == _highspy.HighsStatus.kError:
+                raise _HighsBackendError("HiGHS rejected the LP model")
+            self._solver = solver
+            self._inf = inf
+        except _HighsBackendError:
+            raise
+        except Exception as error:  # pragma: no cover - API drift guard
+            raise _HighsBackendError(f"failed to build the HiGHS model: {error}") from error
+
+    def sync(self, rhs: np.ndarray, bounds: np.ndarray) -> None:
+        """Push the current right-hand sides and variable bounds."""
+        try:
+            self._solver.changeRowsBoundsByRange(
+                0,
+                self._num_rows - 1,
+                np.full(self._num_rows, -self._inf),
+                np.asarray(rhs, dtype=np.float64),
+            )
+            self._solver.changeColsBoundsByRange(
+                0,
+                self._num_cols - 1,
+                np.asarray(bounds[:, 0], dtype=np.float64),
+                np.asarray(bounds[:, 1], dtype=np.float64),
+            )
+        except Exception as error:  # pragma: no cover - API drift guard
+            raise _HighsBackendError(f"failed to update the HiGHS model: {error}") from error
+
+    def set_coefficients(self, rows: np.ndarray, cols: np.ndarray, values: np.ndarray) -> None:
+        """Hot-swap individual matrix coefficients (the secant rows)."""
+        try:
+            for row, col, value in zip(rows, cols, values):
+                self._solver.changeCoeff(int(row), int(col), float(value))
+        except Exception as error:  # pragma: no cover - API drift guard
+            raise _HighsBackendError(f"failed to patch HiGHS coefficients: {error}") from error
+
+    def solve(self) -> "tuple[np.ndarray, np.ndarray] | None":
+        """Solve; returns ``(x, row_duals)`` or ``None`` when not optimal."""
+        try:
+            self._solver.run()
+            if self._solver.getModelStatus() != _highspy.HighsModelStatus.kOptimal:
+                return None
+            solution = self._solver.getSolution()
+            return (
+                np.asarray(solution.col_value, dtype=np.float64),
+                np.asarray(solution.row_dual, dtype=np.float64),
+            )
+        except Exception as error:  # pragma: no cover - API drift guard
+            raise _HighsBackendError(f"HiGHS solve failed: {error}") from error
 
 
 def variable_name(kernel: str, fpga: int) -> str:
@@ -99,7 +205,12 @@ class _RelaxationModel:
         weights = np.array(
             [[dim.weights.get(name, 0.0) for name in self.names] for dim in dimensions]
         ).reshape(len(dimensions), num_k)
-        capacities = np.array([dim.capacity for dim in dimensions])
+        # Per-FPGA capacity rows: one row per (dimension, FPGA).  On a
+        # heterogeneous platform the right-hand side varies per class; the
+        # one-class case degenerates to the uniform cap repeated F times.
+        fpga_capacities = np.array(
+            [dim.fpga_capacities(num_f) for dim in dimensions]
+        ).reshape(len(dimensions), num_f)
 
         symmetry_dim = relaxation._symmetry_dimension() if (
             relaxation.symmetry_breaking and num_f > 1
@@ -109,7 +220,22 @@ class _RelaxationModel:
             if symmetry_dim is not None
             else None
         )
-        num_sym = num_f - 1 if sym_weights is not None else 0
+        # FPGAs are interchangeable only when identically sized, so the
+        # symmetry-breaking ordering applies to adjacent pairs with equal
+        # capacity columns (platform FPGA order is class-major, so every
+        # class -- and every run of equal-capacity classes -- is contiguous;
+        # capacity equality also covers distinct classes with equal caps,
+        # e.g. the zero-skew endpoint of the skew sweep).
+        sym_pairs = (
+            [
+                f
+                for f in range(num_f - 1)
+                if np.array_equal(fpga_capacities[:, f], fpga_capacities[:, f + 1])
+            ]
+            if sym_weights is not None
+            else []
+        )
+        num_sym = len(sym_pairs)
 
         def static_rows(matrix: np.ndarray, offset: int) -> int:
             """Fill capacity + symmetry rows into ``matrix`` starting at ``offset``."""
@@ -118,7 +244,7 @@ class _RelaxationModel:
                     matrix[offset, fpga:num_n:num_f] = weights[dim_index]
                     offset += 1
             if sym_weights is not None:
-                for fpga in range(num_f - 1):
+                for fpga in sym_pairs:
                     matrix[offset, fpga:num_n:num_f] -= sym_weights
                     matrix[offset, fpga + 1 : num_n : num_f] += sym_weights
                     offset += 1
@@ -133,7 +259,7 @@ class _RelaxationModel:
         for k in range(num_k):
             self.goal_a[k, k * num_f : (k + 1) * num_f] = -1.0
         end = static_rows(self.goal_a, num_k)
-        self.goal_b[num_k : num_k + num_cap] = np.repeat(capacities, num_f)
+        self.goal_b[num_k : num_k + num_cap] = fpga_capacities.reshape(-1)
         self.secant_offset = end
         secant_rows = np.repeat(np.arange(num_k), num_f) + end
         self.secant_index = (secant_rows, np.arange(num_n))
@@ -153,7 +279,7 @@ class _RelaxationModel:
             self.feas_a[num_k + k, k * num_f : (k + 1) * num_f] = -1.0
             self.feas_b[num_k + k] = -1.0
         static_rows(self.feas_a, 2 * num_k)
-        self.feas_b[2 * num_k : 2 * num_k + num_cap] = np.repeat(capacities, num_f)
+        self.feas_b[2 * num_k : 2 * num_k + num_cap] = fpga_capacities.reshape(-1)
         self.feas_cost = np.zeros(num_n + 1)
         self.feas_cost[-1] = -1.0  # maximise t
         self.feas_bounds = np.zeros((num_n + 1, 2))
@@ -162,12 +288,22 @@ class _RelaxationModel:
 
 @dataclass(frozen=True)
 class AllocationRelaxation:
-    """LP-based convex relaxation of the allocation MINLP over a bound box."""
+    """LP-based convex relaxation of the allocation MINLP over a bound box.
+
+    ``lp_backend`` selects how the patched-in-place LPs are solved:
+    ``"auto"`` uses one persistent HiGHS model per LP (built once, RHS /
+    bounds / secant coefficients hot-swapped) when ``highspy`` is importable
+    and falls back to ``scipy.optimize.linprog`` otherwise; ``"scipy"`` and
+    ``"highs"`` force a specific backend.  Both backends solve the same
+    arrays, so relaxation values are identical; the persistent model skips
+    scipy's per-call model parse (~40 % of per-LP time).
+    """
 
     problem: AllocationProblem
     weights: ObjectiveWeights
     symmetry_breaking: bool = True
     ii_search_tolerance: float = 1e-6
+    lp_backend: str = "auto"
 
     # ------------------------------------------------------------------ #
     # Cached state on the frozen instance
@@ -206,6 +342,62 @@ class AllocationRelaxation:
     def counters(self) -> dict[str, int]:
         """Snapshot of the instrumentation counters."""
         return dict(self._counters)
+
+    # ------------------------------------------------------------------ #
+    # LP backend (persistent HiGHS when available, scipy otherwise)
+    # ------------------------------------------------------------------ #
+    @property
+    def active_lp_backend(self) -> str:
+        """The backend actually in use: ``"highs"`` or ``"scipy"``.
+
+        ``lp_backend="auto"`` honours the ``REPRO_LP_BACKEND`` environment
+        variable (``"scipy"`` or ``"highs"``) before probing for ``highspy``
+        -- the lever for pinning byte-reproducible scipy vertex choices (the
+        recorded homogeneous baseline) on hosts that have highspy installed.
+        """
+        backend = self.lp_backend
+        if backend == "auto":
+            backend = os.environ.get("REPRO_LP_BACKEND") or "auto"
+        if backend == "scipy":
+            return "scipy"
+        if backend in ("auto", "highs"):
+            if self.__dict__.get("_cached_highs_failed"):
+                return "scipy"
+            if highspy_available():
+                return "highs"
+            if backend == "highs":
+                raise RuntimeError("lp_backend='highs' requested but highspy is not installed")
+            return "scipy"
+        raise ValueError(f"unknown lp_backend {backend!r}")
+
+    def _highs_lp(self, which: str) -> "_PersistentHighsLP | None":
+        """The persistent goal/feasibility model, or ``None`` on fallback."""
+        if self.active_lp_backend != "highs":
+            return None
+        attribute = f"_cached_highs_{which}"
+        lp = self.__dict__.get(attribute)
+        if lp is None:
+            model = self._model
+            try:
+                if which == "goal":
+                    lp = _PersistentHighsLP(
+                        model.goal_cost, model.goal_a, model.goal_b, model.goal_bounds
+                    )
+                else:
+                    lp = _PersistentHighsLP(
+                        model.feas_cost, model.feas_a, model.feas_b, model.feas_bounds
+                    )
+            except _HighsBackendError:
+                object.__setattr__(self, "_cached_highs_failed", True)
+                return None
+            object.__setattr__(self, attribute, lp)
+        return lp
+
+    def _drop_highs(self) -> None:
+        """Forget the persistent models and fall back to scipy permanently."""
+        object.__setattr__(self, "_cached_highs_failed", True)
+        for which in ("goal", "feas"):
+            self.__dict__.pop(f"_cached_highs_{which}", None)
 
     # ------------------------------------------------------------------ #
     # Public entry point (plugs into the branch-and-bound engine)
@@ -301,18 +493,17 @@ class AllocationRelaxation:
             model.feas_bounds[: model.num_n, 1] = upper
             counters["lp_solves"] += 1
             counters["feasibility_lps"] += 1
-            solved = optimize.linprog(
-                c=model.feas_cost,
-                A_ub=model.feas_a,
-                b_ub=model.feas_b,
-                bounds=model.feas_bounds,
-                method="highs",
-            )
-            if not solved.success or -solved.fun <= 0.0:
+            solved = self._solve_lp("feas", model.feas_cost, model.feas_a, model.feas_b, model.feas_bounds)
+            if solved is None:
                 result = (None, None)
             else:
-                ii_min = max(ii_floor, 1.0 / float(-solved.fun))
-                result = (min(ii_min, model.ii_high), solved.x[: model.num_n])
+                values, _ = solved
+                t_value = float(values[-1])
+                if t_value <= 0.0:
+                    result = (None, None)
+                else:
+                    ii_min = max(ii_floor, 1.0 / t_value)
+                    result = (min(ii_min, model.ii_high), values[: model.num_n])
 
         if len(cache) >= _II_CACHE_LIMIT:
             cache.pop(next(iter(cache)))
@@ -422,6 +613,43 @@ class AllocationRelaxation:
         ).sum(axis=1)
         model.goal_bounds[: model.num_n, 0] = lower
         model.goal_bounds[: model.num_n, 1] = upper
+        goal_lp = self._highs_lp("goal")
+        if goal_lp is not None:
+            try:
+                goal_lp.set_coefficients(model.secant_index[0], model.secant_index[1], slopes)
+            except _HighsBackendError:
+                self._drop_highs()
+
+    def _solve_lp(
+        self,
+        which: str,
+        cost: np.ndarray,
+        matrix: np.ndarray,
+        rhs: np.ndarray,
+        bounds: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray] | None":
+        """Solve one patched LP; returns ``(x, row_duals)`` or ``None``.
+
+        Routes through the persistent HiGHS model when active (RHS and
+        variable bounds are re-synced; the matrix was already patched via
+        :meth:`_patch_box`) and through ``scipy.optimize.linprog`` otherwise.
+        Any HiGHS API failure permanently drops to the scipy path.
+        """
+        lp = self._highs_lp(which)
+        if lp is not None:
+            try:
+                lp.sync(rhs, bounds)
+                solved = lp.solve()
+            except _HighsBackendError:
+                self._drop_highs()
+            else:
+                return solved
+        result = optimize.linprog(
+            c=cost, A_ub=matrix, b_ub=rhs, bounds=bounds, method="highs"
+        )
+        if not result.success:
+            return None
+        return result.x, np.asarray(result.ineqlin.marginals, dtype=np.float64)
 
     def _solve_goal_lp(self, ii: float) -> "tuple[np.ndarray, float, float] | None":
         """Minimise relaxed spreading at fixed II; ``None`` if infeasible.
@@ -435,21 +663,18 @@ class AllocationRelaxation:
         model.goal_b[: model.num_k] = -requirements
         counters["lp_solves"] += 1
         counters["probe_lps"] += 1
-        result = optimize.linprog(
-            c=model.goal_cost,
-            A_ub=model.goal_a,
-            b_ub=model.goal_b,
-            bounds=model.goal_bounds,
-            method="highs",
-        )
-        if not result.success:
+        solved = self._solve_lp("goal", model.goal_cost, model.goal_a, model.goal_b, model.goal_bounds)
+        if solved is None:
             return None
-        values = result.x[: model.num_n]
-        phi = float(result.x[-1])
+        full_values, duals = solved
+        values = full_values[: model.num_n]
+        phi = float(full_values[-1])
         # d(goal)/d(II) = alpha + beta * sum_k marginal_k * WCET_k / II^2 over
         # the kernels whose coverage requirement is still WCET_k / II > 1
-        # (marginals of A_ub x <= b_ub are nonpositive, so the sum is <= 0).
-        marginals = result.ineqlin.marginals[: model.num_k]
+        # (marginals of A_ub x <= b_ub are nonpositive, so the sum is <= 0;
+        # HiGHS row duals follow the same convention, being what scipy's
+        # "highs" method reports as the marginals).
+        marginals = duals[: model.num_k]
         active = model.wcet > ii
         derivative = self.weights.alpha + self.weights.beta * float(
             np.sum(marginals[active] * model.wcet[active])

@@ -209,21 +209,23 @@ class AllocationSolution:
         """Human-readable list of violated constraints (empty if feasible)."""
         problems: list[str] = []
         platform = self.problem.platform
+        resource_limits = platform.fpga_resource_limits()
+        bandwidth_limits = platform.fpga_bandwidth_limits()
         for name in self.problem.kernel_names:
             if self.total_cus(name) < 1:
                 problems.append(f"kernel {name!r} has no CUs (constraint 8)")
         for f in range(self.problem.num_fpgas):
             usage = self.fpga_resource_usage(f)
-            if usage.exceeds(platform.resource_limit, tolerance=tolerance):
+            if usage.exceeds(resource_limits[f], tolerance=tolerance):
                 problems.append(
                     f"FPGA {f + 1} resource usage {usage.max_component():.2f}% exceeds "
-                    f"limit {platform.resource_limit.max_component():.2f}% (constraint 9)"
+                    f"limit {resource_limits[f].max_component():.2f}% (constraint 9)"
                 )
             bandwidth = self.fpga_bandwidth_usage(f)
-            if bandwidth > platform.bandwidth_limit + tolerance:
+            if bandwidth > bandwidth_limits[f] + tolerance:
                 problems.append(
                     f"FPGA {f + 1} bandwidth {bandwidth:.2f}% exceeds "
-                    f"limit {platform.bandwidth_limit:.2f}% (constraint 10)"
+                    f"limit {bandwidth_limits[f]:.2f}% (constraint 10)"
                 )
         return problems
 

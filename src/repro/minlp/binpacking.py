@@ -4,7 +4,9 @@ The beta = 0 variant of the paper's MINLP ("MINLP" curves in Figs. 3-5)
 decomposes exactly: the initiation interval depends only on the total CU
 counts ``N_k``, and a choice of counts is realisable iff the multiset of CUs
 (each CU of kernel ``k`` occupying the vector ``R_k`` plus bandwidth ``B_k``)
-packs into ``F`` identical bins with capacity ``(R, B)``.  This module
+packs into ``F`` bins.  The bins are identical on the paper's homogeneous
+platform; on a heterogeneous platform each bin carries its own capacity
+vector (``bin_capacities``, one row per FPGA in platform order).  This module
 provides that feasibility test: fast first-fit-decreasing, and an exact
 depth-first search with pruning when the heuristic fails.
 
@@ -14,11 +16,13 @@ prunes three ways:
 * **aggregate slack** -- the per-dimension demand of every item still to be
   placed (a suffix sum precomputed once per search) must fit into the total
   remaining slack, tracked incrementally in O(dims) per node;
-* **equal-bin symmetry breaking** -- bins are identical, so whenever a bin's
-  load equals the previous bin's load *before* the current item type was
-  placed there, the current bin may receive at most as many CUs as the
-  previous one (for the first item type all bins are empty, so its CUs can
-  only open bins in canonical non-increasing prefix order);
+* **equal-bin symmetry breaking** -- whenever a bin has the same capacity as
+  the previous bin (always, with identical bins; within one device class on
+  a mixed platform) and its load equals the previous bin's load *before* the
+  current item type was placed there, the current bin may receive at most as
+  many CUs as the previous one (for the first item type all bins of a class
+  are empty, so its CUs can only open bins in canonical non-increasing prefix
+  order per class);
 * a **node budget** bounding worst-case effort; if it is exhausted a reported
   infeasibility is flagged as not proven (``PackingResult.exact == False``).
 
@@ -26,13 +30,19 @@ Because the same CU count vector is probed repeatedly -- by the binary search
 over candidate II values, by branch-and-bound nodes and by design-space sweep
 re-solves -- feasibility results can be memoized in a :class:`PackingMemo`
 shared across packer instances (mirroring the ``RelaxationCache`` of
-:mod:`repro.minlp.branch_and_bound`).
+:mod:`repro.minlp.branch_and_bound`).  On top of the exact-key lookup the
+memo answers by *dominance*: packing feasibility is monotone in the count
+vector (remove CUs from a feasible packing and it stays feasible; add CUs to
+a proven-infeasible multiset and it stays infeasible), so a count vector
+packs if any componentwise-larger memoized vector packed and fails if a
+componentwise-smaller one provably failed.
 """
 
 from __future__ import annotations
 
 import math
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -78,39 +88,115 @@ class PackingMemo:
     and sweep re-solves repeat them wholesale.  Use :func:`shared_packing_memo`
     with the packer's configuration key to get that sharing.  Eviction is FIFO
     with a bounded entry count.
+
+    Beyond exact keys the memo exploits *dominance*: entries are bucketed by
+    their item signature (names and sizes, without counts), and
+    :meth:`get_dominated` answers a query from any memoized count vector that
+    is componentwise larger and packed (the stored assignment minus the
+    surplus CUs is a valid packing) or componentwise smaller and provably
+    failed (adding CUs cannot help).  This reuses monotone information across
+    the minimum-II binary search's candidates and across sweep re-solves.
     """
+
+    #: Per-signature cap on the dominance index.  Exact-key entries are
+    #: unlimited (up to ``max_entries``); the dominance scan is linear in the
+    #: bucket and runs under the memo lock, so it stays bounded regardless of
+    #: how many count vectors one workload probes.
+    DOMINANCE_BUCKET_LIMIT = 256
 
     def __init__(self, max_entries: int = 16384):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self._max_entries = max_entries
-        self._entries: dict[tuple, PackingResult] = {}
+        #: full key -> (signature, counts, result); FIFO order for eviction.
+        self._entries: "OrderedDict[tuple, tuple[tuple, tuple, PackingResult]]" = OrderedDict()
+        #: signature -> {counts: result}, the (bounded) dominance index.
+        self._by_signature: dict[tuple, dict[tuple, PackingResult]] = {}
         # Shared memos are hit concurrently by the threaded HTTP service;
         # the lock keeps eviction-during-insert and counter updates safe.
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.dominance_hits = 0
 
     @staticmethod
     def key_of(items: Sequence[PackingItemType]) -> tuple:
         return tuple((item.name, item.count, item.size) for item in items)
 
+    @staticmethod
+    def signature_of(items: Sequence[PackingItemType]) -> tuple:
+        """The count-free part of the key: item names and sizes, in order."""
+        return tuple((item.name, item.size) for item in items)
+
+    @staticmethod
+    def counts_of(items: Sequence[PackingItemType]) -> tuple[int, ...]:
+        return tuple(item.count for item in items)
+
     def get(self, items: Sequence[PackingItemType]) -> "PackingResult | None":
         key = self.key_of(items)
         with self._lock:
-            result = self._entries.get(key)
-            if result is None:
+            entry = self._entries.get(key)
+            if entry is None:
                 self.misses += 1
-            else:
-                self.hits += 1
-        return result
+                return None
+            self.hits += 1
+            return entry[2]
+
+    def get_dominated(self, items: Sequence[PackingItemType]) -> "PackingResult | None":
+        """Answer a query by dominance against the memoized count vectors.
+
+        Returns a derived :class:`PackingResult` (counted as a
+        ``dominance_hit``) or ``None`` when no stored vector dominates the
+        query.  Feasible answers carry an assignment obtained by stripping
+        the surplus CUs from the dominating packing; infeasible answers are
+        only derived from *proven* (``exact``) failures.
+        """
+        signature = self.signature_of(items)
+        counts = self.counts_of(items)
+        with self._lock:
+            bucket = self._by_signature.get(signature)
+            if not bucket:
+                return None
+            for stored_counts, result in bucket.items():
+                if result.feasible and all(
+                    stored >= wanted for stored, wanted in zip(stored_counts, counts)
+                ):
+                    derived = PackingResult(
+                        feasible=True,
+                        assignment=_strip_assignment(
+                            result.assignment, stored_counts, counts, items
+                        ),
+                        exact=True,
+                    )
+                    self.dominance_hits += 1
+                    return derived
+                if (
+                    not result.feasible
+                    and result.exact
+                    and all(
+                        stored <= wanted for stored, wanted in zip(stored_counts, counts)
+                    )
+                ):
+                    self.dominance_hits += 1
+                    return PackingResult.infeasible(exact=True)
+        return None
 
     def put(self, items: Sequence[PackingItemType], result: PackingResult) -> None:
         key = self.key_of(items)
+        signature = self.signature_of(items)
+        counts = self.counts_of(items)
         with self._lock:
-            if len(self._entries) >= self._max_entries:
-                self._entries.pop(next(iter(self._entries)))
-            self._entries[key] = result
+            if key not in self._entries and len(self._entries) >= self._max_entries:
+                _, (old_signature, old_counts, _) = self._entries.popitem(last=False)
+                old_bucket = self._by_signature.get(old_signature)
+                if old_bucket is not None:
+                    old_bucket.pop(old_counts, None)
+                    if not old_bucket:
+                        self._by_signature.pop(old_signature, None)
+            self._entries[key] = (signature, counts, result)
+            bucket = self._by_signature.setdefault(signature, {})
+            if counts in bucket or len(bucket) < self.DOMINANCE_BUCKET_LIMIT:
+                bucket[counts] = result
 
     def __len__(self) -> int:
         with self._lock:
@@ -119,8 +205,37 @@ class PackingMemo:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._by_signature.clear()
             self.hits = 0
             self.misses = 0
+            self.dominance_hits = 0
+
+
+def _strip_assignment(
+    assignment: Mapping[str, tuple[int, ...]],
+    stored_counts: Sequence[int],
+    wanted_counts: Sequence[int],
+    items: Sequence[PackingItemType],
+) -> dict[str, tuple[int, ...]]:
+    """Remove surplus CUs from a dominating packing (highest bins first).
+
+    Removing items from a feasible packing keeps every bin within capacity,
+    so any deterministic removal order yields a valid assignment; stripping
+    from the highest-indexed bins first keeps the canonical consolidated
+    prefix shape the exact search emits.
+    """
+    stripped: dict[str, tuple[int, ...]] = {}
+    for item, stored, wanted in zip(items, stored_counts, wanted_counts):
+        per_bin = list(assignment.get(item.name, ()))
+        surplus = stored - wanted
+        for bin_index in range(len(per_bin) - 1, -1, -1):
+            if surplus <= 0:
+                break
+            take = min(per_bin[bin_index], surplus)
+            per_bin[bin_index] -= take
+            surplus -= take
+        stripped[item.name] = tuple(per_bin)
+    return stripped
 
 
 #: Bounded registry of packing memos shared across packer instances, keyed by
@@ -149,25 +264,57 @@ def shared_packing_memos_clear() -> None:
 
 
 class VectorBinPacker:
-    """Pack groups of identical multi-dimensional items into identical bins."""
+    """Pack groups of identical multi-dimensional items into bins.
+
+    Bins are identical by default (``capacity`` is the shared capacity
+    vector, the paper's homogeneous platform); ``bin_capacities`` instead
+    gives every bin its own capacity row (a heterogeneous platform, one row
+    per FPGA in class-major platform order so equal-capacity bins are
+    adjacent and symmetry breaking stays effective within each class).
+    """
 
     def __init__(
         self,
         num_bins: int,
-        capacity: Sequence[float],
+        capacity: Sequence[float] | None = None,
         tolerance: float = 1e-9,
         max_backtrack_nodes: int = 200_000,
         placement: str = "consolidate",
         memo: PackingMemo | None = None,
+        bin_capacities: "Sequence[Sequence[float]] | None" = None,
     ):
         if num_bins < 1:
             raise ValueError("num_bins must be >= 1")
-        if any(c < 0 for c in capacity):
-            raise ValueError("capacities must be non-negative")
         if placement not in ("consolidate", "balance"):
             raise ValueError("placement must be 'consolidate' or 'balance'")
+        if (capacity is None) == (bin_capacities is None):
+            raise ValueError("pass exactly one of capacity or bin_capacities")
+        if bin_capacities is not None:
+            rows = tuple(tuple(float(c) for c in row) for row in bin_capacities)
+            if len(rows) != num_bins:
+                raise ValueError(
+                    f"bin_capacities has {len(rows)} rows, expected {num_bins}"
+                )
+            dims = {len(row) for row in rows}
+            if len(dims) != 1:
+                raise ValueError("every bin needs the same number of dimensions")
+            if any(c < 0 for row in rows for c in row):
+                raise ValueError("capacities must be non-negative")
+            self.uniform = all(row == rows[0] for row in rows)
+            self.bin_capacities = rows
+            #: Per-dimension ceiling over the bins (the uniform capacity when
+            #: all bins are identical) -- used by ordering heuristics only.
+            self.capacity = (
+                rows[0] if self.uniform else tuple(max(column) for column in zip(*rows))
+            )
+        else:
+            assert capacity is not None
+            if any(c < 0 for c in capacity):
+                raise ValueError("capacities must be non-negative")
+            self.uniform = True
+            self.capacity = tuple(float(c) for c in capacity)
+            self.bin_capacities = (self.capacity,) * num_bins
         self.num_bins = num_bins
-        self.capacity = tuple(float(c) for c in capacity)
         self.tolerance = tolerance
         self.max_backtrack_nodes = max_backtrack_nodes
         #: "consolidate" fills the fullest bin that still fits (few bins used);
@@ -182,10 +329,11 @@ class VectorBinPacker:
         #: solves; per-solve accounting must read the packer-local counters.
         self.memo_hits = 0
         self.memo_misses = 0
+        self.memo_dominance_hits = 0
 
     def config_key(self) -> tuple:
         """Value key identifying this configuration (for shared memos)."""
-        return (
+        key = (
             "pack",
             self.num_bins,
             self.capacity,
@@ -193,6 +341,9 @@ class VectorBinPacker:
             self.max_backtrack_nodes,
             self.tolerance,
         )
+        if not self.uniform:
+            key = key + (self.bin_capacities,)
+        return key
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -212,6 +363,12 @@ class VectorBinPacker:
             if cached is not None:
                 self.memo_hits += 1
                 return cached
+            dominated = self.memo.get_dominated(items)
+            if dominated is not None:
+                self.memo_dominance_hits += 1
+                # Promote to an exact entry so identical re-probes hit directly.
+                self.memo.put(items, dominated)
+                return dominated
             self.memo_misses += 1
         result = self._pack_uncached(items)
         if self.memo is not None:
@@ -238,7 +395,11 @@ class VectorBinPacker:
     def _aggregate_feasible(self, items: Sequence[PackingItemType]) -> bool:
         for dim in range(len(self.capacity)):
             total = sum(item.count * item.size[dim] for item in items)
-            if total > self.num_bins * self.capacity[dim] + self.tolerance:
+            if self.uniform:
+                slack = self.num_bins * self.capacity[dim]
+            else:
+                slack = sum(row[dim] for row in self.bin_capacities)
+            if total > slack + self.tolerance:
                 return False
         return True
 
@@ -246,40 +407,74 @@ class VectorBinPacker:
         for item in items:
             if item.count == 0:
                 continue
-            for dim in range(len(self.capacity)):
-                if item.size[dim] > self.capacity[dim] + self.tolerance:
+            if self.uniform:
+                for dim in range(len(self.capacity)):
+                    if item.size[dim] > self.capacity[dim] + self.tolerance:
+                        return False
+            else:
+                # Mixed bins: the item must fit whole into at least one bin.
+                if not any(
+                    all(
+                        item.size[dim] <= row[dim] + self.tolerance
+                        for dim in range(len(self.capacity))
+                    )
+                    for row in self.bin_capacities
+                ):
                     return False
         return True
 
     def _counting_feasible(self, items: Sequence[PackingItemType]) -> bool:
         """Per-dimension slot-counting bound.
 
-        A bin cannot hold ``m + 1`` items each larger than ``C / (m + 1)``
-        (their sizes would sum past the capacity ``C``), so in any packing
-        ``#{CUs with size > C / (m + 1)} <= m * num_bins``.  This proves
-        infeasible many near-capacity instances on which the aggregate bound
-        is silent -- e.g. 33 CUs of size ~15 against 8 bins of capacity 70 --
-        without expanding a single search node.
+        Identical bins: a bin cannot hold ``m + 1`` items each larger than
+        ``C / (m + 1)`` (their sizes would sum past the capacity ``C``), so in
+        any packing ``#{CUs with size > C / (m + 1)} <= m * num_bins``.  This
+        proves infeasible many near-capacity instances on which the aggregate
+        bound is silent -- e.g. 33 CUs of size ~15 against 8 bins of capacity
+        70 -- without expanding a single search node.
+
+        Mixed bins: the bound is applied per device class through its dual
+        form -- for every item size ``s``, bin ``b`` holds at most
+        ``floor(C_b / s)`` items at least that large, so
+        ``#{CUs with size >= s} <= sum_b floor(C_b / s)``.
         """
-        total = sum(item.count for item in items)
-        # Larger m cannot violate the bound: the big-item count is <= total.
-        max_m = total // self.num_bins
+        if self.uniform:
+            total = sum(item.count for item in items)
+            # Larger m cannot violate the bound: the big-item count is <= total.
+            max_m = total // self.num_bins
+            for dim in range(len(self.capacity)):
+                cap = self.capacity[dim]
+                if cap <= 0:
+                    continue  # a positive size never fits; _single_item_feasible caught it
+                sizes = sorted(
+                    ((item.size[dim], item.count) for item in items if item.count),
+                    reverse=True,
+                )
+                for m in range(1, max_m + 1):
+                    threshold = cap / (m + 1) + self.tolerance
+                    count = 0
+                    for size, item_count in sizes:
+                        if size <= threshold:
+                            break
+                        count += item_count
+                    if count > m * self.num_bins:
+                        return False
+            return True
         for dim in range(len(self.capacity)):
-            cap = self.capacity[dim]
-            if cap <= 0:
-                continue  # a positive size never fits; _single_item_feasible caught it
             sizes = sorted(
                 ((item.size[dim], item.count) for item in items if item.count),
                 reverse=True,
             )
-            for m in range(1, max_m + 1):
-                threshold = cap / (m + 1) + self.tolerance
-                count = 0
-                for size, item_count in sizes:
-                    if size <= threshold:
-                        break
-                    count += item_count
-                if count > m * self.num_bins:
+            cumulative = 0
+            for size, item_count in sizes:
+                cumulative += item_count
+                if size <= 0:
+                    break
+                slots = sum(
+                    int(math.floor((row[dim] + self.tolerance) / size))
+                    for row in self.bin_capacities
+                )
+                if cumulative > slots:
                     return False
         return True
 
@@ -310,7 +505,7 @@ class VectorBinPacker:
                 else:
                     candidates = sorted(range(self.num_bins), key=lambda b: sum(loads[b]))
                 for bin_index in candidates:
-                    if self._fits(loads[bin_index], item.size):
+                    if self._fits(loads[bin_index], item.size, bin_index):
                         for dim in range(len(self.capacity)):
                             loads[bin_index][dim] += item.size[dim]
                         assignment[item.name][bin_index] += 1
@@ -320,9 +515,10 @@ class VectorBinPacker:
                     return None
         return {name: tuple(counts) for name, counts in assignment.items()}
 
-    def _fits(self, load: Sequence[float], size: Sequence[float]) -> bool:
+    def _fits(self, load: Sequence[float], size: Sequence[float], bin_index: int) -> bool:
+        capacity = self.bin_capacities[bin_index]
         return all(
-            load[dim] + size[dim] <= self.capacity[dim] + self.tolerance
+            load[dim] + size[dim] <= capacity[dim] + self.tolerance
             for dim in range(len(self.capacity))
         )
 
@@ -358,8 +554,17 @@ class VectorBinPacker:
             suffix[:-1] = np.cumsum((sizes * counts[:, None])[::-1], axis=0)[::-1]
         positive = [np.flatnonzero(sizes[i] > 0) for i in range(num_items)]
 
-        capacity_tol = np.asarray(self.capacity, dtype=float) + tolerance
-        total_capacity = np.asarray(self.capacity, dtype=float) * num_bins
+        bin_caps = np.array(self.bin_capacities, dtype=float).reshape(num_bins, dims)
+        capacity_tol = bin_caps + tolerance
+        if self.uniform:
+            total_capacity = np.asarray(self.capacity, dtype=float) * num_bins
+        else:
+            total_capacity = bin_caps.sum(axis=0)
+        # Symmetry breaking between a bin and its predecessor is only valid
+        # when the two bins are interchangeable, i.e. identically sized.
+        same_caps_as_previous = [False] + [
+            bool(np.array_equal(bin_caps[b], bin_caps[b - 1])) for b in range(1, num_bins)
+        ]
         slack_tolerance = tolerance * num_bins
         loads = np.zeros((num_bins, dims))
         total_load = np.zeros(dims)
@@ -395,13 +600,20 @@ class VectorBinPacker:
             load_before = loads[bin_index].copy()
             max_here = remaining
             if active.size:
-                limit = ((capacity_tol[active] - load_before[active]) / size[active]).min()
+                limit = (
+                    (capacity_tol[bin_index, active] - load_before[active]) / size[active]
+                ).min()
                 if limit < remaining:  # guards the int() against inf for tiny sizes
                     max_here = int(math.floor(limit + 1e-12))
             max_here = max(0, max_here)
-            # Symmetry: the previous bin looked identical before it received
-            # this item type, so only canonical non-increasing counts are tried.
-            if prev_before is not None and np.array_equal(load_before, prev_before):
+            # Symmetry: the previous bin is the same size and looked identical
+            # before it received this item type, so only canonical
+            # non-increasing counts are tried.
+            if (
+                prev_before is not None
+                and same_caps_as_previous[bin_index]
+                and np.array_equal(load_before, prev_before)
+            ):
                 max_here = min(max_here, int(prev_count))
             item_name = order[kernel_index].name
             # Try putting as many as possible first (consolidation bias), down to zero.

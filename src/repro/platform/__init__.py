@@ -1,8 +1,17 @@
 """FPGA platform models: resource vectors, devices and multi-FPGA clusters."""
 
 from .fpga import FPGADevice, FPGAState
-from .multi_fpga import MultiFPGAPlatform
-from .presets import XCVU9P, aws_f1, generic_platform
+from .multi_fpga import DeviceClass, MultiFPGAPlatform
+from .presets import (
+    XCKU115,
+    XCVU9P,
+    aws_f1,
+    derated_die_platform,
+    generic_platform,
+    mixed_fleet,
+    relative_bandwidth,
+    relative_capacity,
+)
 from .resources import (
     ALL_DIMENSIONS,
     FEASIBILITY_TOLERANCE,
@@ -14,13 +23,19 @@ from .resources import (
 __all__ = [
     "ALL_DIMENSIONS",
     "FEASIBILITY_TOLERANCE",
+    "DeviceClass",
     "FPGADevice",
     "FPGAState",
     "MultiFPGAPlatform",
     "RESOURCE_KINDS",
     "ResourceVector",
+    "XCKU115",
     "XCVU9P",
     "aws_f1",
+    "derated_die_platform",
     "generic_platform",
+    "mixed_fleet",
+    "relative_bandwidth",
+    "relative_capacity",
     "sum_resources",
 ]

@@ -4,7 +4,10 @@ An :class:`FPGADevice` describes one FPGA of the target platform: its absolute
 on-chip resource counts, its DRAM bandwidth, and helpers to convert between
 absolute quantities and the percentage units used by the optimisation model
 (Tables 2-3 of the paper express every per-CU cost as a percent of one
-device).
+device).  In a heterogeneous platform each
+:class:`~repro.platform.multi_fpga.DeviceClass` carries one device; the
+percentage caps of every class are expressed relative to the platform's
+*reference* device (see :func:`repro.platform.presets.relative_capacity`).
 """
 
 from __future__ import annotations

@@ -1,16 +1,28 @@
-"""Platform presets.
+"""Platform presets, homogeneous and heterogeneous.
 
 The paper evaluates on AWS F1 instances with up to eight Xilinx Virtex
 UltraScale+ VU9P FPGAs, each attached to four DDR4 channels (Fig. 1).  The
-preset below models that platform; per-CU costs in the workload tables are
-already expressed as percentages of one such device, so the absolute counts
-matter only for the HLS characterisation cost model and for reporting.
+:func:`aws_f1` preset models that platform; per-CU costs in the workload
+tables are already expressed as percentages of one such device, so the
+absolute counts matter only for the HLS characterisation cost model and for
+reporting.
+
+Two heterogeneous presets model the mixed fleets the generalised platform
+abstraction exists for:
+
+* :func:`mixed_fleet` -- VU9P boards plus smaller KU115 boards, the
+  "multi-generation cluster" case.  The smaller device's capacity is
+  expressed as a percentage of the reference VU9P via
+  :func:`relative_capacity`, so the workload tables keep their meaning.
+* :func:`derated_die_platform` -- one device model with a subset of
+  full-capacity dies and a subset of derated dies (floorplan-constrained
+  SLRs), the "multi-die with uneven per-die capacity" case.
 """
 
 from __future__ import annotations
 
 from .fpga import FPGADevice
-from .multi_fpga import MultiFPGAPlatform
+from .multi_fpga import DeviceClass, MultiFPGAPlatform
 from .resources import ResourceVector
 
 #: Xilinx Virtex UltraScale+ VU9P, the FPGA used on AWS F1 instances.
@@ -25,6 +37,43 @@ XCVU9P = FPGADevice(
     dram_bandwidth_gbps=76.8,
     dram_banks=4,
 )
+
+#: Xilinx Kintex UltraScale KU115, a common smaller acceleration device
+#: (e.g. the KCU1500 board): roughly half the VU9P's BRAM/DSP and a quarter
+#: of its DRAM channels' bandwidth in this board configuration.
+XCKU115 = FPGADevice(
+    name="xcku115",
+    bram_blocks=2160,
+    dsp_slices=5520,
+    luts=663_360,
+    ffs=1_326_720,
+    dram_bandwidth_gbps=38.4,
+    dram_banks=2,
+)
+
+
+def relative_capacity(device: FPGADevice, reference: FPGADevice = XCVU9P) -> ResourceVector:
+    """Full capacity of ``device`` as a percentage of ``reference``.
+
+    The optimisation model expresses every quantity in percent of one
+    reference device (the workload tables of the paper), so a different
+    device joins a platform as a class whose resource cap is its capacity
+    relative to that reference -- capped at 100 % because per-CU costs are
+    only characterised up to one full reference device.
+    """
+    reference_counts = reference.absolute_counts()
+    device_counts = device.absolute_counts()
+    return ResourceVector.from_mapping(
+        {
+            kind: min(100.0, 100.0 * device_counts[kind] / reference_counts[kind])
+            for kind in reference_counts
+        }
+    )
+
+
+def relative_bandwidth(device: FPGADevice, reference: FPGADevice = XCVU9P) -> float:
+    """DRAM bandwidth of ``device`` as a percentage of ``reference``."""
+    return min(100.0, 100.0 * device.dram_bandwidth_gbps / reference.dram_bandwidth_gbps)
 
 
 def aws_f1(
@@ -69,4 +118,83 @@ def generic_platform(
         resource_limit=ResourceVector.full(resource_limit_percent),
         bandwidth_limit=bandwidth_limit_percent,
         name=name,
+    )
+
+
+def mixed_fleet(
+    num_large: int = 4,
+    num_small: int = 4,
+    resource_limit_percent: float = 100.0,
+    bandwidth_limit_percent: float = 100.0,
+    small_device: FPGADevice = XCKU115,
+) -> MultiFPGAPlatform:
+    """A mixed fleet: VU9P boards plus smaller boards, two device classes.
+
+    The resource cap of the small class is the small device's capacity
+    relative to the VU9P, scaled by the same ``resource_limit_percent``
+    sweep knob as the large class (the "resource constraint" of Section 4
+    applies fleet-wide as a fraction of each device).
+    """
+    if num_large < 1 or num_small < 1:
+        raise ValueError("a mixed fleet needs at least one FPGA of each class")
+    if not 0 < resource_limit_percent <= 100.0:
+        raise ValueError("resource_limit_percent must be in (0, 100]")
+    scale = resource_limit_percent / 100.0
+    bandwidth_scale = bandwidth_limit_percent / 100.0
+    small_resources = relative_capacity(small_device) * scale
+    small_bandwidth = relative_bandwidth(small_device) * bandwidth_scale
+    classes = (
+        DeviceClass(
+            device=XCVU9P,
+            count=num_large,
+            resource_limit=ResourceVector.full(resource_limit_percent),
+            bandwidth_limit=bandwidth_limit_percent,
+        ),
+        DeviceClass(
+            device=small_device,
+            count=num_small,
+            resource_limit=small_resources,
+            bandwidth_limit=small_bandwidth,
+        ),
+    )
+    return MultiFPGAPlatform.from_classes(
+        classes, name=f"mixed-{num_large}x{XCVU9P.name}+{num_small}x{small_device.name}"
+    )
+
+
+def derated_die_platform(
+    num_full: int = 4,
+    num_derated: int = 4,
+    resource_limit_percent: float = 100.0,
+    derate_percent: float = 80.0,
+    bandwidth_limit_percent: float = 100.0,
+) -> MultiFPGAPlatform:
+    """A multi-die model: full-capacity dies plus floorplan-derated dies.
+
+    Multi-die HLS floorplanning leaves some SLRs with less routable area
+    (crossing nets, shell logic); the derated class caps those dies at
+    ``derate_percent`` of the swept resource constraint.  Bandwidth is not
+    derated -- every die keeps its DRAM channels.
+    """
+    if num_full < 1 or num_derated < 1:
+        raise ValueError("the derated-die model needs at least one die of each class")
+    if not 0 < derate_percent < 100.0:
+        raise ValueError("derate_percent must be in (0, 100)")
+    derated_limit = resource_limit_percent * derate_percent / 100.0
+    classes = (
+        DeviceClass(
+            device=XCVU9P,
+            count=num_full,
+            resource_limit=ResourceVector.full(resource_limit_percent),
+            bandwidth_limit=bandwidth_limit_percent,
+        ),
+        DeviceClass(
+            device=XCVU9P,
+            count=num_derated,
+            resource_limit=ResourceVector.full(derated_limit),
+            bandwidth_limit=bandwidth_limit_percent,
+        ),
+    )
+    return MultiFPGAPlatform.from_classes(
+        classes, name=f"derated-{num_full}+{num_derated}@{derate_percent:.0f}%"
     )

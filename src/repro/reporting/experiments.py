@@ -23,7 +23,9 @@ from ..explore.compare import ComparisonSettings, compare_methods_over, speedup_
 from ..explore.executor import SweepExecutor
 from ..explore.runtime import runtime_comparison, speedups
 from ..explore.sweep import t_parameter_sweep
-from ..platform.presets import aws_f1
+from ..platform.multi_fpga import DeviceClass, MultiFPGAPlatform
+from ..platform.presets import XCVU9P, aws_f1
+from ..platform.resources import ResourceVector
 from ..workloads.alexnet import ALEX16_TABLE, ALEX32_TABLE, alexnet_fp32, alexnet_fx16
 from ..workloads.vgg import VGG16_TABLE, vgg16_fx16
 from .series import FigureData, Series
@@ -233,6 +235,84 @@ def figure5(
 # --------------------------------------------------------------------------- #
 # Figure 6: per-FPGA resource distribution for VGG at 61 %
 # --------------------------------------------------------------------------- #
+def skew_platform(
+    skew_percent: float,
+    base_constraint: float = 70.0,
+    num_full: int = 1,
+    num_derated: int = 1,
+) -> MultiFPGAPlatform:
+    """A two-class platform whose second class is derated by ``skew_percent``.
+
+    At zero skew the two classes share one capacity (the homogeneous case,
+    canonicalising to the plain ``aws_f1`` platform); growing skew widens the
+    gap between the full-capacity and the derated FPGAs while keeping the
+    aggregate capacity shrinking linearly -- the knob of the hetero-skew
+    benchmark.
+    """
+    if skew_percent < 0 or skew_percent >= base_constraint:
+        raise ValueError("skew must be in [0, base_constraint)")
+    classes = (
+        DeviceClass(XCVU9P, num_full, ResourceVector.full(base_constraint), 100.0),
+        DeviceClass(
+            XCVU9P, num_derated, ResourceVector.full(base_constraint - skew_percent), 100.0
+        ),
+    )
+    return MultiFPGAPlatform.from_classes(classes, name=f"skew-{skew_percent:g}")
+
+
+def hetero_skew(
+    skews: Sequence[float] = (0.0, 5.0, 10.0, 15.0, 20.0, 25.0),
+    methods: Sequence[str] = ("gp+a", "minlp"),
+    base_constraint: float = 70.0,
+    executor: SweepExecutor | None = None,
+) -> FigureData:
+    """Class-skew sweep: Alex-16 on a full + derated two-FPGA fleet.
+
+    Sweeps the capacity gap between the two device classes (the paper's
+    alex-16 platform with one die derated by the skew) and solves every
+    point with the heuristic and the exact method; the emerging gap between
+    the curves shows the solvers diverging on heterogeneous instances
+    exactly as they do on the paper's homogeneous resource-constraint
+    sweeps (Figs. 3-5).
+    """
+    from ..explore.executor import DEFAULT_EXECUTOR, SolveTask, run_solve_task
+
+    executor = executor or DEFAULT_EXECUTOR
+    pipeline = alexnet_fx16()
+    figure = FigureData(
+        name="hetero-skew",
+        x_label="class skew (%)",
+        y_label="initiation interval (ms)",
+        caption=(
+            f"Alex-16 on 1 full + 1 derated FPGA (R={base_constraint:g}%); "
+            "derated class at R - skew"
+        ),
+    )
+    tasks = [
+        SolveTask(
+            problem=AllocationProblem(
+                pipeline=pipeline,
+                platform=skew_platform(skew, base_constraint=base_constraint),
+                weights=default_weights(pipeline.name, 2),
+            ),
+            method=method,
+            tag=(method, skew),
+        )
+        for method in methods
+        for skew in skews
+    ]
+    outcomes = executor.map(run_solve_task, tasks)
+    for method in methods:
+        xs, ys = [], []
+        for task, outcome in zip(tasks, outcomes):
+            if task.tag[0] != method:
+                continue
+            xs.append(task.tag[1])
+            ys.append(outcome.initiation_interval)
+        figure.add_series(Series.from_xy(method, xs, ys))
+    return figure
+
+
 def figure6(
     resource_constraint: float = 61.0,
     exact_settings: ExactSettings = ExactSettings(max_nodes=4, time_limit_seconds=90.0),

@@ -22,9 +22,29 @@ from ..core.solution import SolveOutcome, SolveStatus
 from ..core.solvers import METHODS
 from ..explore.executor import DEFAULT_EXECUTOR, SolveTask, SweepExecutor, run_solve_task
 from ..workloads.serialization import SerializationError, problem_from_dict
+from .canonical import canonical_fpga_order
 from .canonical import fingerprint as compute_fingerprint
 from .canonical import group_key as compute_group_key
+from .canonical import outcome_payload_from_canonical, outcome_payload_to_canonical
 from .store import ResultStore
+
+
+def encode_outcome(outcome: SolveOutcome, problem: AllocationProblem) -> str:
+    """Serialise an outcome for the result store, in canonical FPGA order.
+
+    Fingerprints of heterogeneous platforms are invariant to the class
+    order, so the stored counts must be too; homogeneous payloads are
+    byte-identical to a plain ``to_dict`` dump.
+    """
+    return json.dumps(outcome_payload_to_canonical(outcome.to_dict(), problem))
+
+
+def decode_outcome(payload: str, problem: AllocationProblem) -> SolveOutcome:
+    """Rebind a stored payload to a request's problem (inverting the
+    canonical FPGA order for heterogeneous platforms)."""
+    return SolveOutcome.from_dict(
+        outcome_payload_from_canonical(json.loads(payload), problem), problem=problem
+    )
 
 
 def accumulate_counters(target: dict[str, int], source: Mapping[str, Any]) -> None:
@@ -186,9 +206,7 @@ def solve_batch(
         lookup = store.get(print_)
         if lookup.hit:
             assert lookup.payload is not None
-            outcomes_by_print[print_] = SolveOutcome.from_dict(
-                json.loads(lookup.payload), problem=request.problem
-            )
+            outcomes_by_print[print_] = decode_outcome(lookup.payload, request.problem)
             if lookup.tier == "memory":
                 report.memory_hits += 1
             else:
@@ -212,7 +230,26 @@ def solve_batch(
             outcomes_by_print[print_] = outcome
             report.add_solver_counters(outcome.counters)
             if outcome.status is not SolveStatus.ERROR:
-                store.put(print_, json.dumps(outcome.to_dict()))
+                store.put(print_, encode_outcome(outcome, request.problem))
 
     report.runtime_seconds = time.perf_counter() - start
-    return [outcomes_by_print[print_] for print_ in fingerprints], report
+    # Duplicate requests share one outcome object -- unless their platform
+    # spells the same fleet with the classes in a different order, in which
+    # case the counts must be permuted into *that* request's FPGA order
+    # (the same canonicalisation the store roundtrip performs).  Platforms
+    # with matching canonical FPGA orders (both identity for homogeneous or
+    # already-canonical fleets) agree position-by-position on every cap, so
+    # the object can be shared outright.
+    results: list[SolveOutcome] = []
+    for request, print_ in zip(request_list, fingerprints):
+        outcome = outcomes_by_print[print_]
+        owner = first_of[print_]
+        if (
+            request is not owner
+            and outcome.solution is not None
+            and canonical_fpga_order(request.problem.platform)
+            != canonical_fpga_order(owner.problem.platform)
+        ):
+            outcome = decode_outcome(encode_outcome(outcome, owner.problem), request.problem)
+        results.append(outcome)
+    return results, report

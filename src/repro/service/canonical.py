@@ -13,6 +13,16 @@ content hash on top of the workload serialization layer:
   variables are indexed by kernel name only;
 * display-only attributes (pipeline/platform/device names, absolute device
   counts) are excluded -- the solvers operate purely on percentages;
+* heterogeneous platforms canonicalise to their *sorted class multiset*:
+  device classes are merged by their capacity key (resource caps +
+  bandwidth cap) and listed in descending capacity order, so two platforms
+  describing the same fleet with the classes in a different order (or split
+  differently into equal-capacity classes) fingerprint identically.  A fleet
+  whose classes all share one capacity key canonicalises to the homogeneous
+  form.  Because the fingerprint is class-order-free while solutions index
+  FPGAs positionally, cached payloads are stored in *canonical FPGA order*
+  and permuted back into the requesting platform's order on a cache hit
+  (:func:`outcome_payload_to_canonical` / :func:`outcome_payload_from_canonical`);
 * solver settings irrelevant to the chosen method are dropped
   (``"minlp"`` ignores the heuristic settings and forces ``beta = 0``);
 * the canonical document is serialised with sorted keys and hashed with
@@ -30,6 +40,7 @@ from ..core.exact import ExactSettings
 from ..core.heuristic import HeuristicSettings
 from ..core.problem import AllocationProblem
 from ..core.solvers import METHODS
+from ..platform.multi_fpga import MultiFPGAPlatform
 from ..platform.resources import RESOURCE_KINDS
 
 #: Version tag mixed into every fingerprint; bump when the canonical form or
@@ -64,6 +75,114 @@ def canonical_json(payload: Any) -> str:
 
 
 # --------------------------------------------------------------------------- #
+# Platform canonicalisation (device classes and FPGA order)
+# --------------------------------------------------------------------------- #
+def _class_capacity_key(resource_limit, bandwidth_limit: float) -> tuple:
+    """The capacity identity of one device class: percentage caps only.
+
+    Devices are descriptive; two classes with the same caps are
+    interchangeable for the solvers, so they share one canonical key.
+    """
+    return tuple(resource_limit[kind] for kind in RESOURCE_KINDS) + (float(bandwidth_limit),)
+
+
+def _canonical_platform_document(platform: MultiFPGAPlatform) -> dict[str, Any]:
+    """Order-free platform document: homogeneous form, or sorted class multiset."""
+    groups: dict[tuple, int] = {}
+    for device_class in platform.device_classes:
+        key = _class_capacity_key(device_class.resource_limit, device_class.bandwidth_limit)
+        groups[key] = groups.get(key, 0) + device_class.count
+    if len(groups) == 1:
+        # One capacity class (the homogeneous case, however it was spelled):
+        # the original flat document, byte-identical for legacy platforms.
+        reference = platform.device_classes[0]
+        return {
+            "num_fpgas": platform.num_fpgas,
+            "resource_limit": {
+                kind: reference.resource_limit[kind] for kind in RESOURCE_KINDS
+            },
+            "bandwidth_limit": reference.bandwidth_limit,
+        }
+    classes = []
+    for key in sorted(groups, reverse=True):
+        resources = dict(zip(RESOURCE_KINDS, key[: len(RESOURCE_KINDS)]))
+        classes.append(
+            {
+                "count": groups[key],
+                "resource_limit": resources,
+                "bandwidth_limit": key[-1],
+            }
+        )
+    return {"num_fpgas": platform.num_fpgas, "classes": classes}
+
+
+def canonical_fpga_order(platform: MultiFPGAPlatform) -> "tuple[int, ...] | None":
+    """Original FPGA indices in canonical order, or ``None`` when identity.
+
+    Canonical order sorts FPGAs by descending class capacity key (stable, so
+    FPGAs with equal caps keep their relative order), matching the class
+    order of the canonical platform document.  Two platforms with the same
+    class multiset therefore agree position-by-position on the caps of the
+    canonically ordered FPGAs, which is what lets cached solutions transfer
+    between them.
+    """
+    if platform.is_homogeneous:
+        return None
+    keys = [
+        _class_capacity_key(
+            platform.fpga_resource_limit(fpga), platform.fpga_bandwidth_limit(fpga)
+        )
+        for fpga in range(platform.num_fpgas)
+    ]
+    if len(set(keys)) == 1:
+        return None  # one capacity class: every order is canonical
+    order = tuple(
+        sorted(range(platform.num_fpgas), key=lambda fpga: (tuple(-v for v in keys[fpga]), fpga))
+    )
+    if order == tuple(range(platform.num_fpgas)):
+        return None  # already canonical (all shipped presets): zero-copy path
+    return order
+
+
+def outcome_payload_to_canonical(
+    payload: dict[str, Any], problem: AllocationProblem
+) -> dict[str, Any]:
+    """Permute a ``SolveOutcome.to_dict`` payload into canonical FPGA order.
+
+    Applied before a payload enters the result store, so equivalent
+    heterogeneous platforms (same class multiset, any class order) share
+    cache entries.  Homogeneous payloads pass through untouched.
+    """
+    order = canonical_fpga_order(problem.platform)
+    solution = payload.get("solution")
+    if order is None or not solution:
+        return payload
+    solution["counts"] = {
+        name: [per_fpga[original] for original in order]
+        for name, per_fpga in solution["counts"].items()
+    }
+    return payload
+
+
+def outcome_payload_from_canonical(
+    payload: dict[str, Any], problem: AllocationProblem
+) -> dict[str, Any]:
+    """Inverse of :func:`outcome_payload_to_canonical` for cache hits."""
+    order = canonical_fpga_order(problem.platform)
+    solution = payload.get("solution")
+    if order is None or not solution:
+        return payload
+    permuted: dict[str, list[int]] = {}
+    for name, per_fpga in solution["counts"].items():
+        restored = [0] * len(per_fpga)
+        for position, original in enumerate(order):
+            restored[original] = per_fpga[position]
+        permuted[name] = restored
+    solution["counts"] = permuted
+    return payload
+
+
+# --------------------------------------------------------------------------- #
 # Canonical request documents
 # --------------------------------------------------------------------------- #
 def canonical_problem(problem: AllocationProblem) -> dict[str, Any]:
@@ -87,14 +206,9 @@ def canonical_problem(problem: AllocationProblem) -> dict[str, Any]:
                 "max_cus": kernel.max_cus,
             }
         )
-    platform = problem.platform
     document = {
         "kernels": kernels,
-        "platform": {
-            "num_fpgas": platform.num_fpgas,
-            "resource_limit": {kind: platform.resource_limit[kind] for kind in RESOURCE_KINDS},
-            "bandwidth_limit": platform.bandwidth_limit,
-        },
+        "platform": _canonical_platform_document(problem.platform),
         "weights": {"alpha": problem.weights.alpha, "beta": problem.weights.beta},
     }
     object.__setattr__(problem, "_cached_canonical_document", document)

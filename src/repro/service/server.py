@@ -37,6 +37,8 @@ from .batch import (
     BatchReport,
     SolveRequest,
     accumulate_counters,
+    decode_outcome,
+    encode_outcome,
     request_from_dict,
     solve_batch,
 )
@@ -92,7 +94,7 @@ class AllocationService:
         lookup = self.store.get(fingerprint)
         if lookup.hit:
             assert lookup.payload is not None
-            outcome = SolveOutcome.from_dict(json.loads(lookup.payload), problem=request.problem)
+            outcome = decode_outcome(lookup.payload, request.problem)
             source = lookup.tier
         else:
             outcome = solve(
@@ -102,7 +104,7 @@ class AllocationService:
                 exact_settings=request.exact_settings,
             )
             if outcome.status is not SolveStatus.ERROR:
-                self.store.put(fingerprint, json.dumps(outcome.to_dict()))
+                self.store.put(fingerprint, encode_outcome(outcome, request.problem))
             source = "solver"
             self._accumulate_solver_counters(outcome.counters)
             with self._lock:

@@ -28,10 +28,11 @@ class BandwidthContentionModel:
     def from_solution(cls, solution: AllocationSolution) -> "BandwidthContentionModel":
         """Build the contention model for a concrete allocation."""
         problem = solution.problem
-        capacity = problem.platform.bandwidth_limit
+        capacities = problem.platform.fpga_bandwidth_limits()
         slowdowns: list[float] = []
         for fpga in range(problem.num_fpgas):
             demand = solution.fpga_bandwidth_usage(fpga)
+            capacity = capacities[fpga]
             slowdowns.append(max(1.0, demand / capacity) if capacity > 0 else 1.0)
         hosting = {
             name: tuple(

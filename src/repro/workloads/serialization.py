@@ -14,7 +14,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
 from ..platform.fpga import FPGADevice
-from ..platform.multi_fpga import MultiFPGAPlatform
+from ..platform.multi_fpga import DeviceClass, MultiFPGAPlatform
 from ..platform.resources import ResourceVector
 from .kernel import Kernel
 from .pipeline import Pipeline
@@ -178,9 +178,37 @@ def device_from_dict(payload: Mapping[str, Any]) -> FPGADevice:
         raise SerializationError(f"invalid device record: {error}") from error
 
 
-def platform_to_dict(platform: MultiFPGAPlatform) -> dict[str, Any]:
-    """Convert a multi-FPGA platform to a JSON-compatible dictionary."""
+def device_class_to_dict(device_class: DeviceClass) -> dict[str, Any]:
+    """Convert one device class to a JSON-compatible dictionary."""
     return {
+        "device": device_to_dict(device_class.device),
+        "count": device_class.count,
+        "resource_limit": device_class.resource_limit.as_dict(),
+        "bandwidth_limit": device_class.bandwidth_limit,
+    }
+
+
+def device_class_from_dict(payload: Mapping[str, Any]) -> DeviceClass:
+    """Build a device class from :func:`device_class_to_dict` output."""
+    try:
+        return DeviceClass(
+            device=device_from_dict(payload["device"]),
+            count=int(payload["count"]),
+            resource_limit=ResourceVector.from_mapping(dict(payload["resource_limit"])),
+            bandwidth_limit=float(payload.get("bandwidth_limit", 100.0)),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"invalid device class record: {error}") from error
+
+
+def platform_to_dict(platform: MultiFPGAPlatform) -> dict[str, Any]:
+    """Convert a multi-FPGA platform to a JSON-compatible dictionary.
+
+    Homogeneous platforms keep the original flat document (older readers
+    stay compatible); heterogeneous platforms add a ``classes`` list with
+    one entry per device class, in platform (class-major) order.
+    """
+    document = {
         "format_version": FORMAT_VERSION,
         "name": platform.name,
         "device": device_to_dict(platform.device),
@@ -188,10 +216,31 @@ def platform_to_dict(platform: MultiFPGAPlatform) -> dict[str, Any]:
         "resource_limit": platform.resource_limit.as_dict(),
         "bandwidth_limit": platform.bandwidth_limit,
     }
+    if not platform.is_homogeneous:
+        document["classes"] = [
+            device_class_to_dict(device_class) for device_class in platform.device_classes
+        ]
+    return document
 
 
 def platform_from_dict(payload: Mapping[str, Any]) -> MultiFPGAPlatform:
     """Build a platform from a dictionary produced by :func:`platform_to_dict`."""
+    classes_payload = payload.get("classes")
+    if classes_payload is not None:
+        if not isinstance(classes_payload, list) or not classes_payload:
+            raise SerializationError("'classes' must be a non-empty list")
+        classes = tuple(device_class_from_dict(entry) for entry in classes_payload)
+        name = str(payload.get("name", "multi-fpga"))
+        try:
+            platform = MultiFPGAPlatform.from_classes(classes, name=name)
+        except ValueError as error:
+            raise SerializationError(f"invalid platform record: {error}") from error
+        if "num_fpgas" in payload and int(payload["num_fpgas"]) != platform.num_fpgas:
+            raise SerializationError(
+                f"num_fpgas {payload['num_fpgas']} does not match the class counts "
+                f"({platform.num_fpgas})"
+            )
+        return platform
     try:
         return MultiFPGAPlatform(
             device=device_from_dict(payload["device"]),
@@ -202,6 +251,22 @@ def platform_from_dict(payload: Mapping[str, Any]) -> MultiFPGAPlatform:
         )
     except (KeyError, TypeError, ValueError) as error:
         raise SerializationError(f"invalid platform record: {error}") from error
+
+
+def save_platform(platform: MultiFPGAPlatform, path: str | Path) -> Path:
+    """Write a platform spec to a JSON file and return its path."""
+    path = Path(path)
+    path.write_text(json.dumps(platform_to_dict(platform), indent=2) + "\n")
+    return path
+
+
+def load_platform(path: str | Path) -> MultiFPGAPlatform:
+    """Read a platform spec from a JSON file (the CLI ``--platform-spec``)."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"not valid JSON: {error}") from error
+    return platform_from_dict(payload)
 
 
 def problem_to_dict(problem: "AllocationProblem") -> dict[str, Any]:

@@ -10,7 +10,7 @@ class TestParser:
         args = build_parser().parse_args(["solve"])
         assert args.app == "alex-16"
         assert args.method == "gp+a"
-        assert args.resource == 70.0
+        assert args.resource is None  # _run_solve applies the 70 % default
 
     def test_experiment_choices(self):
         args = build_parser().parse_args(["experiment", "table2"])
@@ -61,3 +61,39 @@ class TestExperimentCommand:
         exit_code = main(["experiment", "figure6", "--quick"])
         assert exit_code == 0
         assert "SLACK" in capsys.readouterr().out
+
+
+class TestPlatformSpec:
+    def test_solve_with_platform_spec(self, tmp_path, capsys):
+        from repro.platform.presets import mixed_fleet
+        from repro.workloads.serialization import save_platform
+
+        spec = save_platform(
+            mixed_fleet(1, 1, resource_limit_percent=70.0), tmp_path / "fleet.json"
+        )
+        exit_code = main(
+            ["solve", "--app", "alex-16", "--platform-spec", str(spec), "--method", "minlp"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "xcku115" in captured
+        assert "II =" in captured
+
+    def test_platform_spec_conflicts_with_fpgas(self, tmp_path, capsys):
+        from repro.platform.presets import aws_f1
+        from repro.workloads.serialization import save_platform
+
+        spec = save_platform(aws_f1(num_fpgas=2), tmp_path / "plain.json")
+        exit_code = main(
+            ["solve", "--platform-spec", str(spec), "--fpgas", "4"]
+        )
+        assert exit_code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_hetero_skew_experiment_quick(self, tmp_path, capsys):
+        output = tmp_path / "skew.csv"
+        exit_code = main(["experiment", "hetero-skew", "--quick", "--output", str(output)])
+        assert exit_code == 0
+        assert output.exists()
+        header = output.read_text().splitlines()[0]
+        assert "class skew" in header

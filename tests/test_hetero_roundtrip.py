@@ -1,0 +1,217 @@
+"""Round-trip and fingerprint properties of heterogeneous platforms.
+
+Three contracts:
+
+* serialization -- any platform (random class lists included) survives
+  ``platform_to_dict`` / ``platform_from_dict`` exactly, and homogeneous
+  platforms keep the *legacy flat document* (no ``classes`` key);
+* fingerprints -- reordering a platform's device classes, or splitting one
+  class into several equal-capacity classes, never changes the canonical
+  fingerprint, while genuinely different fleets do;
+* cache transfer -- a cached outcome solved under one class order rebinds
+  onto any reordered-equivalent platform as a feasible solution.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import AllocationProblem
+from repro.core.validate import validate_solution
+from repro.platform.multi_fpga import DeviceClass, MultiFPGAPlatform
+from repro.platform.presets import XCKU115, XCVU9P, aws_f1, mixed_fleet
+from repro.platform.resources import ResourceVector
+from repro.service.batch import SolveRequest
+from repro.service.canonical import canonical_fpga_order, fingerprint
+from repro.service.server import AllocationService
+from repro.workloads.alexnet import alexnet_fx16
+from repro.workloads.serialization import (
+    platform_from_dict,
+    platform_to_dict,
+    problem_from_dict,
+    problem_to_dict,
+    save_platform,
+    load_platform,
+)
+
+DEVICES = (XCVU9P, XCKU115)
+
+
+@st.composite
+def device_classes(draw):
+    return DeviceClass(
+        device=DEVICES[draw(st.integers(min_value=0, max_value=1))],
+        count=draw(st.integers(min_value=1, max_value=4)),
+        resource_limit=ResourceVector.full(float(draw(st.integers(min_value=10, max_value=100)))),
+        bandwidth_limit=float(draw(st.integers(min_value=10, max_value=100))),
+    )
+
+
+@st.composite
+def platforms(draw):
+    classes = draw(st.lists(device_classes(), min_size=1, max_size=3))
+    return MultiFPGAPlatform.from_classes(tuple(classes), name=draw(st.sampled_from(["p", "fleet"])))
+
+
+@settings(max_examples=100, deadline=None)
+@given(platforms())
+def test_platform_roundtrip(platform):
+    assert platform_from_dict(platform_to_dict(platform)) == platform
+
+
+def test_homogeneous_document_keeps_legacy_format():
+    document = platform_to_dict(aws_f1(num_fpgas=4, resource_limit_percent=70.0))
+    assert "classes" not in document
+    assert document["num_fpgas"] == 4
+
+
+def test_heterogeneous_document_carries_classes():
+    document = platform_to_dict(mixed_fleet(2, 2))
+    assert len(document["classes"]) == 2
+    assert document["num_fpgas"] == 4
+
+
+def test_platform_file_roundtrip(tmp_path):
+    platform = mixed_fleet(2, 3, resource_limit_percent=70.0)
+    path = save_platform(platform, tmp_path / "platform.json")
+    assert load_platform(path) == platform
+
+
+def test_num_fpgas_class_mismatch_rejected():
+    from repro.workloads.serialization import SerializationError
+
+    document = platform_to_dict(mixed_fleet(2, 2))
+    document["num_fpgas"] = 7
+    with pytest.raises(SerializationError):
+        platform_from_dict(document)
+
+
+def test_problem_roundtrip_heterogeneous():
+    problem = AllocationProblem(pipeline=alexnet_fx16(), platform=mixed_fleet(2, 2, 70.0))
+    rebuilt = problem_from_dict(problem_to_dict(problem))
+    assert rebuilt.platform == problem.platform
+    assert rebuilt.pipeline.kernel_names == problem.pipeline.kernel_names
+
+
+# --------------------------------------------------------------------------- #
+# Fingerprint invariance
+# --------------------------------------------------------------------------- #
+def _problem_with(classes) -> AllocationProblem:
+    return AllocationProblem(
+        pipeline=alexnet_fx16(),
+        platform=MultiFPGAPlatform.from_classes(tuple(classes)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(device_classes(), min_size=2, max_size=3), st.randoms())
+def test_fingerprint_invariant_under_class_reordering(classes, rng):
+    shuffled = list(classes)
+    rng.shuffle(shuffled)
+    assert fingerprint(_problem_with(classes)) == fingerprint(_problem_with(shuffled))
+
+
+def test_fingerprint_invariant_under_class_splitting():
+    merged = (DeviceClass(XCVU9P, 4, ResourceVector.full(70.0), 100.0),
+              DeviceClass(XCKU115, 2, ResourceVector.full(35.0), 50.0))
+    split = (DeviceClass(XCVU9P, 1, ResourceVector.full(70.0), 100.0),
+             DeviceClass(XCKU115, 2, ResourceVector.full(35.0), 50.0),
+             DeviceClass(XCVU9P, 3, ResourceVector.full(70.0), 100.0))
+    assert fingerprint(_problem_with(merged)) == fingerprint(_problem_with(split))
+
+
+def test_single_capacity_fleet_fingerprints_as_homogeneous():
+    # Two classes with different devices but identical caps are one capacity
+    # class: they canonicalise to the plain homogeneous platform.
+    fleet = (DeviceClass(XCVU9P, 2, ResourceVector.full(70.0), 100.0),
+             DeviceClass(XCKU115, 2, ResourceVector.full(70.0), 100.0))
+    homogeneous = AllocationProblem(
+        pipeline=alexnet_fx16(), platform=aws_f1(num_fpgas=4, resource_limit_percent=70.0)
+    )
+    assert fingerprint(_problem_with(fleet)) == fingerprint(homogeneous)
+
+
+def test_different_fleets_fingerprint_differently():
+    fleet_a = (DeviceClass(XCVU9P, 2, ResourceVector.full(70.0), 100.0),
+               DeviceClass(XCKU115, 2, ResourceVector.full(35.0), 50.0))
+    fleet_b = (DeviceClass(XCVU9P, 2, ResourceVector.full(70.0), 100.0),
+               DeviceClass(XCKU115, 2, ResourceVector.full(36.0), 50.0))
+    assert fingerprint(_problem_with(fleet_a)) != fingerprint(_problem_with(fleet_b))
+
+
+def test_canonical_fpga_order():
+    platform = MultiFPGAPlatform.from_classes(
+        (DeviceClass(XCKU115, 2, ResourceVector.full(35.0), 50.0),
+         DeviceClass(XCVU9P, 2, ResourceVector.full(70.0), 100.0))
+    )
+    # Canonical order puts the larger class first: original indices 2, 3.
+    assert canonical_fpga_order(platform) == (2, 3, 0, 1)
+    assert canonical_fpga_order(aws_f1(num_fpgas=4)) is None
+
+
+# --------------------------------------------------------------------------- #
+# Cache transfer across equivalent platforms
+# --------------------------------------------------------------------------- #
+def test_cached_solution_transfers_to_reordered_platform():
+    big = DeviceClass(XCVU9P, 2, ResourceVector.full(70.0), 100.0)
+    small = DeviceClass(XCKU115, 2, ResourceVector.full(40.0), 50.0)
+    pipeline = alexnet_fx16()
+    request_ab = SolveRequest(
+        problem=AllocationProblem(
+            pipeline=pipeline, platform=MultiFPGAPlatform.from_classes((big, small))
+        )
+    )
+    request_ba = SolveRequest(
+        problem=AllocationProblem(
+            pipeline=pipeline, platform=MultiFPGAPlatform.from_classes((small, big))
+        )
+    )
+    assert request_ab.fingerprint() == request_ba.fingerprint()
+
+    service = AllocationService()
+    outcome_ab, meta_ab = service.solve_request(request_ab)
+    outcome_ba, meta_ba = service.solve_request(request_ba)
+    assert meta_ab["cache"] == "solver"
+    assert meta_ba["cache"] == "memory"
+    assert outcome_ab.succeeded and outcome_ba.succeeded
+    # Both rebound solutions are feasible for *their* platform and agree on
+    # the objective; the counts are permutations of each other by class.
+    assert validate_solution(outcome_ab.solution).feasible
+    assert validate_solution(outcome_ba.solution).feasible
+    assert outcome_ba.objective == outcome_ab.objective
+    for name in outcome_ab.solution.counts:
+        counts_ab = outcome_ab.solution.counts[name]
+        counts_ba = outcome_ba.solution.counts[name]
+        assert counts_ba == counts_ab[2:] + counts_ab[:2]
+
+
+def test_in_batch_duplicates_rebind_to_their_own_platform():
+    """Same-fingerprint requests inside ONE batch whose platforms order the
+    classes differently each get counts in their own FPGA order (the
+    code-review finding on in-batch dedup sharing)."""
+    from repro.service.batch import solve_batch
+
+    big = DeviceClass(XCVU9P, 2, ResourceVector.full(70.0), 100.0)
+    small = DeviceClass(XCKU115, 2, ResourceVector.full(40.0), 50.0)
+    pipeline = alexnet_fx16()
+    request_ab = SolveRequest(
+        problem=AllocationProblem(
+            pipeline=pipeline, platform=MultiFPGAPlatform.from_classes((big, small))
+        )
+    )
+    request_ba = SolveRequest(
+        problem=AllocationProblem(
+            pipeline=pipeline, platform=MultiFPGAPlatform.from_classes((small, big))
+        )
+    )
+    outcomes, report = solve_batch([request_ab, request_ba, request_ab])
+    assert report.solves == 1
+    for outcome in outcomes:
+        assert validate_solution(outcome.solution).feasible
+    # Identical-platform duplicates still share one object; the reordered
+    # platform gets a permuted rebinding.
+    assert outcomes[0] is outcomes[2]
+    assert outcomes[1] is not outcomes[0]
+    assert outcomes[1].objective == outcomes[0].objective
