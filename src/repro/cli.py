@@ -9,14 +9,18 @@ Three sub-commands cover the common workflows::
     repro-fpga experiment figure2 --jobs 4   # sweep on a 4-worker process pool
     repro-fpga experiment hetero-skew        # heterogeneous class-skew sweep
     repro-fpga serve --port 8000 --jobs 4 --cache-dir ~/.cache/repro-fpga
+    repro-fpga serve --shards 8 --workers 4 --cache-cap 268435456 --cache-ttl 86400
 
 ``--platform-spec`` points at a JSON platform document (written by
 ``repro.workloads.serialization.save_platform``); a document with a
 ``classes`` list describes a heterogeneous fleet of device classes.
 
 ``serve`` starts the long-running allocation service: an HTTP JSON API
-(``/solve``, ``/solve_batch``, ``/health``, ``/stats``) backed by the
-fingerprint-keyed result cache of :mod:`repro.service`.
+(``/solve``, ``/solve_batch`` with sync and async modes, ``/jobs``,
+``/health``, ``/stats``) backed by the fingerprint-keyed result cache of
+:mod:`repro.service` -- optionally sharded (``--shards``), bounded
+(``--cache-cap``/``--cache-ttl``) and drained by an async job worker pool
+(``--workers``).
 
 ``python -m repro`` is equivalent to ``repro-fpga``.
 """
@@ -120,7 +124,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--memory-capacity",
         type=int,
         default=4096,
-        help="entries held by the in-memory LRU tier",
+        help="entries held by the in-memory LRU tier (per store, split across shards)",
+    )
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="independent result-store shards selected by fingerprint prefix (1 = single store)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="background worker threads draining async /solve_batch jobs",
+    )
+    serve_parser.add_argument(
+        "--cache-cap",
+        type=int,
+        default=None,
+        help="byte cap on the on-disk result tier (oldest entries evicted; omit for unbounded)",
+    )
+    serve_parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        help="seconds before a cached result expires (omit for no expiry)",
     )
 
     return parser
@@ -228,7 +256,13 @@ def _run_experiment(args: argparse.Namespace) -> int:
 def _run_serve(args: argparse.Namespace) -> int:
     # Imported here so plain solve/experiment invocations stay lean.
     from .reporting.service import service_stats_table
-    from .service import AllocationService, ResultStore, run_server
+    from .service import (
+        AllocationService,
+        ResultStore,
+        ShardedResultStore,
+        StoreLimits,
+        run_server,
+    )
 
     jobs = available_workers() if args.jobs == 0 else args.jobs
     if jobs <= 1:
@@ -237,10 +271,30 @@ def _run_serve(args: argparse.Namespace) -> int:
         executor = SweepExecutor(
             ExecutorSettings(parallel=True, max_workers=jobs), persistent=True
         )
-    store = ResultStore(cache_dir=args.cache_dir, memory_capacity=args.memory_capacity)
-    service = AllocationService(store=store, executor=executor)
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    limits = StoreLimits(
+        memory_entries=args.memory_capacity,
+        disk_bytes=args.cache_cap,
+        ttl_seconds=args.cache_ttl,
+    )
+    if args.shards == 1:
+        store = ResultStore(cache_dir=args.cache_dir, limits=limits)
+    else:
+        store = ShardedResultStore(
+            cache_dir=args.cache_dir, num_shards=args.shards, limits=limits
+        )
+    service = AllocationService(store=store, executor=executor, job_workers=args.workers)
     tier = f"memory+disk ({args.cache_dir})" if args.cache_dir else "memory-only"
-    print(f"result cache: {tier}; batch workers: {jobs}", flush=True)
+    print(
+        f"result cache: {tier}; shards: {args.shards}; batch workers: {jobs}; "
+        f"async job workers: {args.workers}",
+        flush=True,
+    )
     try:
         run_server(service, host=args.host, port=args.port)
     finally:

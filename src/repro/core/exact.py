@@ -27,7 +27,9 @@ import numpy as np
 from ..minlp.binpacking import (
     PackingItemType,
     PackingMemo,
+    PackingResult,
     VectorBinPacker,
+    _strip_assignment,
     shared_packing_memo,
 )
 from ..minlp.bounds import VariableBounds
@@ -170,14 +172,64 @@ def solve_exact_min_ii(
     packs = 0
     search_nodes = 0
     exact_searches = 0
+    seed_packs = 0
+
+    # Heuristic packing seed (lazy).  When the exact search exhausts its node
+    # budget, the reported infeasibility is not proven, and treating it as a
+    # true failure drives the binary search to a *larger* II than the optimum
+    # (observed on alex-16 x 4 FPGAs at R <= 80 %, where the gp+a allocation
+    # at a smaller II is feasible but the search misses it within budget).
+    # The gp+a allocation is a feasible packing of its own CU totals, and
+    # packing feasibility is monotone in the count vector, so any candidate
+    # whose required totals are componentwise dominated by the heuristic's
+    # counts is feasible -- the proof is the heuristic assignment minus the
+    # surplus CUs.  The seed is consulted only after a budget-exhausted
+    # failure, so proven results (and recorded baselines) are untouched.
+    seed_counts: dict[str, tuple[int, ...]] | None | bool = False  # False = not yet computed
+
+    def heuristic_seed() -> dict[str, tuple[int, ...]] | None:
+        nonlocal seed_counts
+        if seed_counts is False:
+            seed_counts = None
+            heuristic = solve_gp_a(problem, HeuristicSettings())
+            if heuristic.succeeded and heuristic.solution is not None:
+                seed_counts = {
+                    name: tuple(heuristic.solution.counts[name])
+                    for name in problem.kernel_names
+                }
+        return seed_counts  # type: ignore[return-value]
+
+    def seeded_result(items: list[PackingItemType]) -> PackingResult | None:
+        if not settings.seed_with_heuristic:
+            return None
+        seed = heuristic_seed()
+        if seed is None:
+            return None
+        seed_totals = [sum(seed[item.name]) for item in items]
+        if any(total < item.count for total, item in zip(seed_totals, items)):
+            return None
+        wanted = [item.count for item in items]
+        return PackingResult(
+            feasible=True,
+            assignment=_strip_assignment(seed, seed_totals, wanted, items),
+            exact=True,
+        )
 
     def pack(ii: float):
-        nonlocal packs, search_nodes, exact_searches
-        result = packer.pack(_pack_items(problem, _required_totals(problem, ii)))
+        nonlocal packs, search_nodes, exact_searches, seed_packs
+        items = _pack_items(problem, _required_totals(problem, ii))
+        result = packer.pack(items)
         packs += 1
         search_nodes += packer.last_nodes
         if packer.last_nodes:
             exact_searches += 1
+        if not result.feasible and not result.exact:
+            seeded = seeded_result(items)
+            if seeded is not None:
+                result = seeded
+                seed_packs += 1
+                if packer.memo is not None:  # repeat probes answer directly
+                    packer.memo.put(items, seeded)
         return result
 
     def counters() -> dict[str, int]:
@@ -187,6 +239,7 @@ def solve_exact_min_ii(
             "packs": packs,
             "packer_search_nodes": search_nodes,
             "packer_exact_searches": exact_searches,
+            "packer_seed_packs": seed_packs,
             "packing_memo_hits": packer.memo_hits,
             "packing_memo_misses": packer.memo_misses,
             "packing_memo_dominance_hits": packer.memo_dominance_hits,

@@ -497,13 +497,36 @@ class VectorBinPacker:
         loads = [[0.0] * len(self.capacity) for _ in range(self.num_bins)]
         assignment = {item.name: [0] * self.num_bins for item in items}
 
+        # Fullness measure ordering the candidate bins.  Identical bins use
+        # absolute load (the historical ordering, kept byte-identical for
+        # every homogeneous baseline); a mixed fleet orders by
+        # fraction-of-own-capacity, like the allocator's normalized-residual
+        # consolidation: a small nearly-full device must outrank a large
+        # half-empty one, or its last slack goes unused while the large
+        # device burns the contiguous space that only it can offer to the
+        # biggest CUs.
+        if self.uniform:
+            def fullness(bin_index: int) -> float:
+                return sum(loads[bin_index])
+        else:
+            inverse_caps = [
+                tuple(1.0 / c if c > 0 else 0.0 for c in row)
+                for row in self.bin_capacities
+            ]
+
+            def fullness(bin_index: int) -> float:
+                return sum(
+                    load * inverse
+                    for load, inverse in zip(loads[bin_index], inverse_caps[bin_index])
+                )
+
         for item in order:
             for _ in range(item.count):
                 placed = False
                 if self.placement == "consolidate":
-                    candidates = sorted(range(self.num_bins), key=lambda b: -sum(loads[b]))
+                    candidates = sorted(range(self.num_bins), key=lambda b: -fullness(b))
                 else:
-                    candidates = sorted(range(self.num_bins), key=lambda b: sum(loads[b]))
+                    candidates = sorted(range(self.num_bins), key=fullness)
                 for bin_index in candidates:
                     if self._fits(loads[bin_index], item.size, bin_index):
                         for dim in range(len(self.capacity)):

@@ -16,11 +16,39 @@ from .tables import TextTable
 def cache_stats_table(stats: Mapping[str, Any], title: str = "Result cache") -> TextTable:
     """Render cache tier counters (``CacheStats.as_dict()`` or ``/stats['cache']``)."""
     table = TextTable(headers=["counter", "value"], title=title)
-    for counter in ("memory_hits", "disk_hits", "misses", "puts", "evictions", "lookups"):
+    for counter in (
+        "memory_hits",
+        "disk_hits",
+        "misses",
+        "puts",
+        "evictions",
+        "disk_evictions",
+        "ttl_evictions",
+        "lookups",
+    ):
         if counter in stats:
             table.add_row(counter, int(stats[counter]))
     if "hit_rate" in stats:
         table.add_row("hit_rate", f"{100.0 * float(stats['hit_rate']):.1f}%")
+    return table
+
+
+def jobs_table(stats: Mapping[str, Any], title: str = "Async jobs") -> TextTable:
+    """Render the job-queue counters (``/stats['jobs']``)."""
+    table = TextTable(headers=["counter", "value"], title=title)
+    for counter in (
+        "workers",
+        "submitted",
+        "completed",
+        "failed",
+        "pruned",
+        "retained",
+        "queued",
+        "running",
+        "done",
+    ):
+        if counter in stats:
+            table.add_row(counter, int(stats[counter]))
     return table
 
 
@@ -62,7 +90,7 @@ def solver_stats_table(
 
 
 def service_stats_table(stats: Mapping[str, Any]) -> TextTable:
-    """Render a full ``/stats`` document (service + cache + solver counters)."""
+    """Render a full ``/stats`` document (service + cache + jobs + solver)."""
     table = TextTable(headers=["counter", "value"], title="Allocation service")
     service = stats.get("service", {})
     for counter in ("requests", "batches", "solves"):
@@ -70,8 +98,20 @@ def service_stats_table(stats: Mapping[str, Any]) -> TextTable:
             table.add_row(counter, int(service[counter]))
     if "uptime_seconds" in service:
         table.add_row("uptime_seconds", f"{float(service['uptime_seconds']):.1f}")
+    if "cache_shards" in stats:
+        table.add_row("cache_shards", int(stats["cache_shards"]))
     for tier, size in stats.get("cache_sizes", {}).items():
         table.add_row(f"{tier}_entries", int(size))
+    for tier, size in stats.get("cache_bytes", {}).items():
+        table.add_row(f"{tier}_bytes", int(size))
+    cache = stats.get("cache", {})
+    for counter in ("evictions", "disk_evictions", "ttl_evictions"):
+        if cache.get(counter):
+            table.add_row(f"cache_{counter}", int(cache[counter]))
+    jobs = stats.get("jobs", {})
+    for counter in ("submitted", "completed", "failed", "queued", "running"):
+        if jobs.get(counter):
+            table.add_row(f"jobs_{counter}", int(jobs[counter]))
     for counter, value in stats.get("solver", {}).items():
         table.add_row(f"solver_{counter}", int(value))
     return table

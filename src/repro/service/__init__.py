@@ -5,29 +5,45 @@ cache-backed engine:
 
 * :mod:`repro.service.canonical` -- stable content fingerprints of
   ``(problem, method, settings)`` requests;
-* :mod:`repro.service.store` -- in-memory LRU + on-disk SQLite result tiers;
+* :mod:`repro.service.store` -- bounded in-memory LRU + on-disk SQLite
+  result tiers, single-store or sharded by fingerprint prefix;
 * :mod:`repro.service.batch` -- deduped, memo-grouped batch solving;
+* :mod:`repro.service.jobs` -- the async batch job queue and worker pool;
 * :mod:`repro.service.server` -- the resident service and its HTTP JSON API;
-* :mod:`repro.service.client` -- a small stdlib client.
+* :mod:`repro.service.client` -- a small stdlib client (sync + async polls).
 """
 
 from .batch import BatchReport, SolveRequest, request_from_dict, solve_batch
 from .canonical import canonical_json, canonical_request, fingerprint, group_key
 from .client import ServiceClient, ServiceError, request_to_dict
+from .jobs import Job, JobQueue
 from .server import AllocationHTTPServer, AllocationService, run_server, start_server
-from .store import CacheStats, MemoryTier, ResultStore, SqliteTier, StoreLookup
+from .store import (
+    CacheStats,
+    MemoryTier,
+    ResultStore,
+    ShardedResultStore,
+    SqliteTier,
+    StoreLimits,
+    StoreLookup,
+    shard_of,
+)
 
 __all__ = [
     "AllocationHTTPServer",
     "AllocationService",
     "BatchReport",
     "CacheStats",
+    "Job",
+    "JobQueue",
     "MemoryTier",
     "ResultStore",
     "ServiceClient",
     "ServiceError",
+    "ShardedResultStore",
     "SolveRequest",
     "SqliteTier",
+    "StoreLimits",
     "StoreLookup",
     "canonical_json",
     "canonical_request",
@@ -36,6 +52,7 @@ __all__ = [
     "request_from_dict",
     "request_to_dict",
     "run_server",
+    "shard_of",
     "solve_batch",
     "start_server",
 ]

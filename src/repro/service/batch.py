@@ -11,7 +11,9 @@ reusing the memo caches of :mod:`repro.core.discretize`).
 from __future__ import annotations
 
 import json
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
@@ -39,12 +41,55 @@ def encode_outcome(outcome: SolveOutcome, problem: AllocationProblem) -> str:
     return json.dumps(outcome_payload_to_canonical(outcome.to_dict(), problem))
 
 
-def decode_outcome(payload: str, problem: AllocationProblem) -> SolveOutcome:
+#: Bounded memo of decoded outcomes.  The store tiers cache *payload
+#: strings*; rebinding one to a problem costs a JSON parse plus solution
+#: reconstruction, which dominates the warm hit path of large batch
+#: replays.  Outcomes are frozen, so one decoded object can answer every
+#: request sharing the payload and an equal problem.  Entries keep the
+#: payload they were decoded from and only answer byte-identical payloads:
+#: two solves of one fingerprint yield semantically equal results but may
+#: differ in the wall-clock field, and a warm hit must return exactly what
+#: the store holds.
+_DECODE_MEMO_LIMIT = 4096
+_decode_memo: "OrderedDict[tuple, tuple[str, SolveOutcome]]" = OrderedDict()
+_decode_memo_lock = threading.Lock()
+
+
+def decode_memo_clear() -> None:
+    """Drop every memoized decoded outcome (used by tests)."""
+    with _decode_memo_lock:
+        _decode_memo.clear()
+
+
+def decode_outcome(
+    payload: str, problem: AllocationProblem, fingerprint: str | None = None
+) -> SolveOutcome:
     """Rebind a stored payload to a request's problem (inverting the
-    canonical FPGA order for heterogeneous platforms)."""
-    return SolveOutcome.from_dict(
+    canonical FPGA order for heterogeneous platforms).
+
+    With a ``fingerprint`` the decoded object is memoized: repeat warm hits
+    for the same (fingerprint, problem) pair skip the JSON parse entirely.
+    """
+    key: tuple | None = None
+    if fingerprint is not None:
+        try:
+            key = (fingerprint, problem)
+            with _decode_memo_lock:
+                entry = _decode_memo.get(key)
+                if entry is not None and entry[0] == payload:
+                    _decode_memo.move_to_end(key)
+                    return entry[1]
+        except TypeError:  # ad hoc unhashable problem: decode directly
+            key = None
+    outcome = SolveOutcome.from_dict(
         outcome_payload_from_canonical(json.loads(payload), problem), problem=problem
     )
+    if key is not None:
+        with _decode_memo_lock:
+            _decode_memo[key] = (payload, outcome)
+            while len(_decode_memo) > _DECODE_MEMO_LIMIT:
+                _decode_memo.popitem(last=False)
+    return outcome
 
 
 def accumulate_counters(target: dict[str, int], source: Mapping[str, Any]) -> None:
@@ -206,7 +251,9 @@ def solve_batch(
         lookup = store.get(print_)
         if lookup.hit:
             assert lookup.payload is not None
-            outcomes_by_print[print_] = decode_outcome(lookup.payload, request.problem)
+            outcomes_by_print[print_] = decode_outcome(
+                lookup.payload, request.problem, fingerprint=print_
+            )
             if lookup.tier == "memory":
                 report.memory_hits += 1
             else:

@@ -12,6 +12,7 @@ returned outcome documents can be re-bound to local problem objects::
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from dataclasses import asdict
@@ -107,6 +108,61 @@ class ServiceClient:
         """POST /solve_batch; returns the raw response document."""
         payload = {"requests": [request_to_dict(request) for request in requests]}
         return self._request("/solve_batch", payload)
+
+    # ------------------------------------------------------------------ #
+    # Async batches
+    # ------------------------------------------------------------------ #
+    def solve_batch_async(self, requests: Sequence[SolveRequest]) -> dict[str, Any]:
+        """POST /solve_batch with ``mode=async``; returns the queued job
+        document (poll :meth:`job` with its ``job_id``)."""
+        payload = {
+            "mode": "async",
+            "requests": [request_to_dict(request) for request in requests],
+        }
+        return self._request("/solve_batch", payload)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """GET /jobs/<id>; raises :class:`ServiceError` for unknown ids."""
+        return self._request(f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """GET /jobs; summaries of every retained async job."""
+        return self._request("/jobs")["jobs"]
+
+    def wait_for_job(
+        self,
+        job_id: str,
+        timeout_seconds: float = 60.0,
+        poll_seconds: float = 0.05,
+    ) -> dict[str, Any]:
+        """Poll ``/jobs/<id>`` until the job is ``done`` or ``failed``."""
+        deadline = time.monotonic() + timeout_seconds
+        while True:
+            document = self.job(job_id)
+            if document["status"] in ("done", "failed"):
+                return document
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {document['status']} after {timeout_seconds} s"
+                )
+            time.sleep(poll_seconds)
+
+    def solve_batch_async_outcomes(
+        self,
+        requests: Sequence[SolveRequest],
+        timeout_seconds: float = 60.0,
+        poll_seconds: float = 0.05,
+    ) -> tuple[list[SolveOutcome], dict[str, Any]]:
+        """Submit async, poll to completion, bind outcomes to the requests."""
+        job_id = self.solve_batch_async(requests)["job_id"]
+        document = self.wait_for_job(job_id, timeout_seconds, poll_seconds)
+        if document["status"] != "done":
+            raise ServiceError(f"job {job_id} failed: {document.get('error', 'unknown')}")
+        outcomes = [
+            SolveOutcome.from_dict(outcome_document, problem=request.problem)
+            for outcome_document, request in zip(document["outcomes"], requests)
+        ]
+        return outcomes, document["report"]
 
     def solve_batch_outcomes(
         self, requests: Sequence[SolveRequest]

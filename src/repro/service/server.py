@@ -2,22 +2,28 @@
 
 :class:`AllocationService` is the resident, cache-backed solving engine --
 usable directly from Python (tests, notebooks, the batch API) -- and
-:func:`start_server` / :func:`run_server` expose it over HTTP with four
-endpoints:
+:func:`start_server` / :func:`run_server` expose it over HTTP:
 
 ========================  ==========================================================
 ``POST /solve``           one request ``{"problem": ..., "method": ...,
                           "heuristic_settings"?: ..., "exact_settings"?: ...}``
-``POST /solve_batch``     ``{"requests": [...]}`` -- deduped, cache-backed batch
+``POST /solve_batch``     ``{"requests": [...]}`` -- deduped, cache-backed batch;
+                          with ``"mode": "async"`` it enqueues and returns a
+                          job id immediately instead of blocking
+``GET /jobs``             summaries of every retained async job
+``GET /jobs/<id>``        one async job (outcomes included once ``done``)
 ``GET /health``           liveness + uptime
-``GET /stats``            cache tier counters, service counters, executor config
+``GET /stats``            cache/job/service counters, solver work counters
 ========================  ==========================================================
 
 The server is a ``ThreadingHTTPServer``: requests are handled concurrently
-and meet at the thread-safe :class:`~repro.service.store.ResultStore`.  Solver
-fan-out inside a batch goes through the shared
-:class:`~repro.explore.executor.SweepExecutor` (use a persistent pool via
-``repro serve --jobs N``).
+and meet at the thread-safe result store (a single :class:`~repro.service.
+store.ResultStore` or a :class:`~repro.service.store.ShardedResultStore`
+whose shards each carry their own lock).  Solver fan-out inside a batch goes
+through the shared :class:`~repro.explore.executor.SweepExecutor` (use a
+persistent pool via ``repro serve --jobs N``); async batches drain through a
+:class:`~repro.service.jobs.JobQueue` worker pool (``repro serve
+--workers N``).
 """
 
 from __future__ import annotations
@@ -42,7 +48,8 @@ from .batch import (
     request_from_dict,
     solve_batch,
 )
-from .store import ResultStore
+from .jobs import JobQueue
+from .store import ResultStore, ShardedResultStore
 
 
 class AllocationService:
@@ -52,19 +59,31 @@ class AllocationService:
     ----------
     store:
         Result store; defaults to a memory-only store.  Pass one with a
-        ``cache_dir`` to survive restarts.
+        ``cache_dir`` to survive restarts, or a
+        :class:`~repro.service.store.ShardedResultStore` for concurrent
+        writers.
     executor:
         Sweep executor used by :meth:`solve_batch` fan-out; defaults to the
         chunked-serial engine.
+    job_workers:
+        Background worker threads draining the async batch queue (threads
+        start lazily on the first async submission).
+    job_retention:
+        Completed async jobs kept for polling before the oldest are pruned.
     """
 
     def __init__(
         self,
-        store: ResultStore | None = None,
+        store: "ResultStore | ShardedResultStore | None" = None,
         executor: SweepExecutor | None = None,
+        job_workers: int = 1,
+        job_retention: int = 256,
     ):
         self.store = store if store is not None else ResultStore()
         self.executor = executor or SweepExecutor()
+        self.jobs = JobQueue(
+            runner=self.solve_batch, workers=job_workers, max_retained=job_retention
+        )
         self.started_unix = time.time()
         self._lock = threading.Lock()
         self._requests = 0
@@ -94,7 +113,7 @@ class AllocationService:
         lookup = self.store.get(fingerprint)
         if lookup.hit:
             assert lookup.payload is not None
-            outcome = decode_outcome(lookup.payload, request.problem)
+            outcome = decode_outcome(lookup.payload, request.problem, fingerprint=fingerprint)
             source = lookup.tier
         else:
             outcome = solve(
@@ -128,11 +147,21 @@ class AllocationService:
             self._solves += report.solves
         return outcomes, report
 
+    def submit_batch(self, requests: list[SolveRequest]) -> dict[str, Any]:
+        """Enqueue an async batch; returns the queued job document."""
+        return self.jobs.submit(requests)
+
+    def job(self, job_id: str, include_outcomes: bool = True) -> dict[str, Any] | None:
+        return self.jobs.get(job_id, include_outcomes=include_outcomes)
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        return self.jobs.list_jobs()
+
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
     # ------------------------------------------------------------------ #
     def stats(self) -> dict[str, Any]:
-        """Service counters + cache tier counters, JSON-compatible."""
+        """Service counters + cache/job tier counters, JSON-compatible."""
         with self._lock:
             service = {
                 "requests": self._requests,
@@ -143,14 +172,23 @@ class AllocationService:
             }
         with self._lock:
             solver = dict(self._solver_counters)
-        return {
+        stats: dict[str, Any] = {
             "service": service,
             "cache": self.store.stats().as_dict(),
             "cache_sizes": self.store.sizes(),
+            "jobs": self.jobs.stats(),
             "solver": solver,
         }
+        shards = getattr(self.store, "num_shards", None)
+        if shards is not None:
+            stats["cache_shards"] = shards
+        payload_bytes = getattr(self.store, "payload_bytes", None)
+        if callable(payload_bytes):
+            stats["cache_bytes"] = payload_bytes()
+        return stats
 
     def close(self) -> None:
+        self.jobs.close()
         self.store.close()
         close_pool = getattr(self.executor, "close", None)
         if callable(close_pool):
@@ -208,6 +246,15 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             )
         elif self.path == "/stats":
             self._send_json(service.stats())
+        elif self.path == "/jobs":
+            self._send_json({"jobs": service.list_jobs()})
+        elif self.path.startswith("/jobs/"):
+            job_id = self.path[len("/jobs/"):]
+            document = service.job(job_id)
+            if document is None:
+                self._send_error_json(f"unknown job {job_id!r}", status=404)
+            else:
+                self._send_json(document)
         else:
             self._send_error_json(f"unknown endpoint {self.path!r}", status=404)
 
@@ -222,10 +269,16 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             elif self.path == "/solve_batch":
                 if not isinstance(payload, Mapping) or "requests" not in payload:
                     raise SerializationError("a batch document needs a 'requests' list")
+                mode = str(payload.get("mode", "sync"))
+                if mode not in ("sync", "async"):
+                    raise SerializationError(f"unknown batch mode {mode!r}; options: sync, async")
                 documents = payload["requests"]
                 if not isinstance(documents, list) or not documents:
                     raise SerializationError("'requests' must be a non-empty list")
                 requests = [request_from_dict(document) for document in documents]
+                if mode == "async":
+                    self._send_json(service.submit_batch(requests), status=202)
+                    return
                 outcomes, report = service.solve_batch(requests)
                 self._send_json(
                     {

@@ -1,4 +1,4 @@
-"""Multi-tier result store: in-memory LRU in front of an on-disk SQLite tier.
+"""Result store tiers: bounded LRU memory + SQLite disk, optionally sharded.
 
 Payloads are opaque JSON strings (serialised :class:`~repro.core.solution.
 SolveOutcome` documents) keyed by the canonical request fingerprint of
@@ -9,8 +9,27 @@ misses, evictions and writes are counted per tier and surfaced through the
 reporting layer (:func:`repro.reporting.service.cache_stats_table`) and the
 server's ``/stats`` endpoint.
 
+Two store shapes share one interface (``get``/``put``/``stats``/``sizes``/
+``close``):
+
+* :class:`ResultStore` -- one LRU front + one SQLite file behind one lock
+  (the PR 2 design, still the right choice for a single-threaded client);
+* :class:`ShardedResultStore` -- ``N`` independent :class:`ResultStore`
+  shards selected by fingerprint prefix, each with its own lock, LRU front
+  and SQLite file, so concurrent writers on distinct fingerprints stop
+  serialising behind one global lock.
+
+Both tiers accept :class:`StoreLimits`: entry caps, byte caps and a TTL.
+Admission is never refused -- an acknowledged ``put`` is always readable
+immediately afterwards (the just-written entry is exempt from the eviction
+pass that its own insert triggers); instead the *oldest* entries are evicted
+once a cap is exceeded, and expired entries are dropped lazily on access.
+Every eviction is counted (``evictions``, ``disk_evictions``,
+``ttl_evictions``) so capacity pressure is visible in ``/stats`` long before
+it becomes an incident.
+
 All operations are thread-safe: the HTTP server handles requests on a
-thread pool and shares one store.
+thread pool and shares one store with the async job workers.
 """
 
 from __future__ import annotations
@@ -18,24 +37,72 @@ from __future__ import annotations
 import sqlite3
 import threading
 import time
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 #: File name of the SQLite tier inside a cache directory.
 SQLITE_FILENAME = "results.sqlite"
 
 
+@dataclass(frozen=True)
+class StoreLimits:
+    """Admission-control knobs of one store (``None`` means unbounded).
+
+    ``memory_entries`` keeps the historical default of the PR 2 store; every
+    other cap defaults to unbounded so existing callers see no behaviour
+    change until they opt in.
+    """
+
+    memory_entries: int = 4096
+    memory_bytes: int | None = None
+    disk_entries: int | None = None
+    disk_bytes: int | None = None
+    ttl_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.memory_entries < 1:
+            raise ValueError("memory_entries must be >= 1")
+        for name in ("memory_bytes", "disk_entries", "disk_bytes"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 (or None for unbounded)")
+        if self.ttl_seconds is not None and self.ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None for no expiry)")
+
+    def per_shard(self, num_shards: int) -> "StoreLimits":
+        """Split the caps evenly across ``num_shards`` independent shards.
+
+        Entry/byte caps are divided (rounding up, and never below one entry
+        per shard) so the fleet-wide total stays at most ``caps + shards``;
+        the TTL applies to every shard unchanged.
+        """
+
+        def split(value: int | None) -> int | None:
+            return None if value is None else max(1, -(-value // num_shards))
+
+        return StoreLimits(
+            memory_entries=max(1, -(-self.memory_entries // num_shards)),
+            memory_bytes=split(self.memory_bytes),
+            disk_entries=split(self.disk_entries),
+            disk_bytes=split(self.disk_bytes),
+            ttl_seconds=self.ttl_seconds,
+        )
+
+
 @dataclass
 class CacheStats:
-    """Counters of one :class:`ResultStore` (cumulative since creation)."""
+    """Counters of one result store (cumulative since creation)."""
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    disk_evictions: int = 0
+    ttl_evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -53,6 +120,8 @@ class CacheStats:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "disk_evictions": self.disk_evictions,
+            "ttl_evictions": self.ttl_evictions,
             "lookups": self.lookups,
             "hit_rate": self.hit_rate,
         }
@@ -64,56 +133,145 @@ class CacheStats:
             misses=self.misses,
             puts=self.puts,
             evictions=self.evictions,
+            disk_evictions=self.disk_evictions,
+            ttl_evictions=self.ttl_evictions,
         )
+
+    def add(self, other: "CacheStats") -> "CacheStats":
+        """Sum per-shard counters into one fleet-wide view (in place)."""
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+        self.misses += other.misses
+        self.puts += other.puts
+        self.evictions += other.evictions
+        self.disk_evictions += other.disk_evictions
+        self.ttl_evictions += other.ttl_evictions
+        return self
 
 
 class MemoryTier:
-    """A plain LRU mapping of fingerprint -> payload string."""
+    """A bounded LRU mapping of fingerprint -> payload string.
 
-    def __init__(self, capacity: int = 4096):
+    Besides the entry cap of the PR 2 tier, the tier can bound its payload
+    bytes (``max_bytes``) and expire entries after ``ttl_seconds``.  Expiry
+    is lazy -- an expired entry is dropped when it is next touched (or when
+    it reaches the LRU head during an eviction pass) -- which is exactly
+    right for deterministic solver results: the TTL exists to bound staleness
+    across *schema* changes, not to free memory on a deadline.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        max_bytes: int | None = None,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.time,
+    ):
         if capacity < 1:
             raise ValueError("memory tier capacity must be >= 1")
         self.capacity = capacity
-        self._entries: OrderedDict[str, str] = OrderedDict()
+        self.max_bytes = max_bytes
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        #: fingerprint -> (payload, stored_at, payload_bytes); ordered
+        #: least-recently-used first.  The byte length is computed once per
+        #: insert (encoding a large payload on every eviction-loop iteration
+        #: would tax eviction-pressure workloads).
+        self._entries: OrderedDict[str, tuple[str, float, int]] = OrderedDict()
+        self._bytes = 0
+        self.evictions = 0
+        self.ttl_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def payload_bytes(self) -> int:
+        return self._bytes
+
     def __contains__(self, fingerprint: str) -> bool:
-        return fingerprint in self._entries
+        return self.get(fingerprint) is not None
+
+    def _expired(self, stored_at: float, now: float) -> bool:
+        return self.ttl_seconds is not None and now - stored_at > self.ttl_seconds
+
+    def _drop(self, fingerprint: str) -> None:
+        _, _, payload_bytes = self._entries.pop(fingerprint)
+        self._bytes -= payload_bytes
 
     def get(self, fingerprint: str) -> str | None:
-        payload = self._entries.get(fingerprint)
-        if payload is not None:
-            self._entries.move_to_end(fingerprint)
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            return None
+        payload, stored_at, _ = entry
+        if self._expired(stored_at, self._clock()):
+            self._drop(fingerprint)
+            self.ttl_evictions += 1
+            return None
+        self._entries.move_to_end(fingerprint)
         return payload
 
-    def put(self, fingerprint: str, payload: str) -> int:
-        """Insert (or refresh) an entry; returns the number of evictions."""
+    def put(self, fingerprint: str, payload: str, stored_at: float | None = None) -> int:
+        """Insert (or refresh) an entry; returns the number of cap evictions.
+
+        ``stored_at`` back-dates the entry's TTL clock -- a disk hit promoted
+        into this tier must keep its original write time, or promotion would
+        stretch the configured expiry to nearly twice its length.
+        """
+        now = self._clock()
         if fingerprint in self._entries:
-            self._entries.move_to_end(fingerprint)
-            self._entries[fingerprint] = payload
-            return 0
-        self._entries[fingerprint] = payload
+            self._drop(fingerprint)
+        self._entries[fingerprint] = (
+            payload,
+            now if stored_at is None else stored_at,
+            len(payload.encode("utf-8")),
+        )
+        self._bytes += self._entries[fingerprint][2]
         evicted = 0
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            evicted += 1
+        while len(self._entries) > 1 and (
+            len(self._entries) > self.capacity
+            or (self.max_bytes is not None and self._bytes > self.max_bytes)
+        ):
+            # Evict from the LRU head; the just-written entry sits at the
+            # tail, so an acknowledged put always survives its own eviction
+            # pass even when it alone exceeds the byte cap.
+            oldest, (_, oldest_stored_at, _) = next(iter(self._entries.items()))
+            self._drop(oldest)
+            if self._expired(oldest_stored_at, now):
+                self.ttl_evictions += 1
+            else:
+                evicted += 1
+        self.evictions += evicted
         return evicted
 
 
 class SqliteTier:
     """On-disk fingerprint -> payload table backed by SQLite.
 
-    A single connection is shared across threads behind the store's lock
-    (SQLite connections are not concurrency-safe by themselves).  Writes are
-    committed immediately: a crashed or killed server loses nothing that was
-    already answered.
+    A single connection is shared across threads behind the owning store's
+    lock (SQLite connections are not concurrency-safe by themselves).  Writes
+    are committed immediately: a crashed or killed server loses nothing that
+    was already answered.  Entry/byte caps evict the oldest rows first
+    (``created_unix`` order), and expired rows are dropped lazily on access;
+    both are counted on the tier (``evictions`` / ``ttl_evictions``).
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(
+        self,
+        path: str | Path,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.time,
+    ):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self.evictions = 0
+        self.ttl_evictions = 0
         self._connection = sqlite3.connect(str(self.path), check_same_thread=False)
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS results ("
@@ -122,23 +280,88 @@ class SqliteTier:
             " created_unix REAL NOT NULL)"
         )
         self._connection.commit()
+        row = self._connection.execute(
+            "SELECT COUNT(*), COALESCE(SUM(LENGTH(CAST(payload AS BLOB))), 0) FROM results"
+        ).fetchone()
+        self._entries = int(row[0])
+        self._bytes = int(row[1])
 
     def __len__(self) -> int:
-        row = self._connection.execute("SELECT COUNT(*) FROM results").fetchone()
-        return int(row[0])
+        return self._entries
+
+    @property
+    def payload_bytes(self) -> int:
+        return self._bytes
+
+    def _delete(self, fingerprint: str, payload_bytes: int) -> None:
+        self._connection.execute(
+            "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+        )
+        self._entries -= 1
+        self._bytes -= payload_bytes
+
+    def get_entry(self, fingerprint: str) -> tuple[str, float] | None:
+        """Payload plus its original write time (``None`` on miss/expiry)."""
+        row = self._connection.execute(
+            "SELECT payload, created_unix FROM results WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None:
+            return None
+        payload, created_unix = row
+        if self.ttl_seconds is not None and self._clock() - created_unix > self.ttl_seconds:
+            self._delete(fingerprint, len(payload.encode("utf-8")))
+            self._connection.commit()
+            self.ttl_evictions += 1
+            return None
+        return payload, float(created_unix)
 
     def get(self, fingerprint: str) -> str | None:
-        row = self._connection.execute(
-            "SELECT payload FROM results WHERE fingerprint = ?", (fingerprint,)
-        ).fetchone()
-        return None if row is None else row[0]
+        entry = self.get_entry(fingerprint)
+        return None if entry is None else entry[0]
 
-    def put(self, fingerprint: str, payload: str) -> None:
+    def put(self, fingerprint: str, payload: str) -> int:
+        """Write a payload; returns the number of cap evictions it caused."""
+        now = self._clock()
+        previous = self._connection.execute(
+            "SELECT LENGTH(CAST(payload AS BLOB)) FROM results WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
         self._connection.execute(
             "INSERT OR REPLACE INTO results (fingerprint, payload, created_unix) VALUES (?, ?, ?)",
-            (fingerprint, payload, time.time()),
+            (fingerprint, payload, now),
         )
+        if previous is None:
+            self._entries += 1
+        else:
+            self._bytes -= int(previous[0])
+        self._bytes += len(payload.encode("utf-8"))
+        evicted = self._evict_over_caps(protect=fingerprint, now=now)
         self._connection.commit()
+        return evicted
+
+    def _evict_over_caps(self, protect: str, now: float) -> int:
+        """Evict oldest-first until the caps hold, never touching ``protect``."""
+        evicted = 0
+        while self._entries > 1 and (
+            (self.max_entries is not None and self._entries > self.max_entries)
+            or (self.max_bytes is not None and self._bytes > self.max_bytes)
+        ):
+            row = self._connection.execute(
+                "SELECT fingerprint, LENGTH(CAST(payload AS BLOB)), created_unix FROM results"
+                " WHERE fingerprint != ? ORDER BY created_unix ASC, fingerprint ASC LIMIT 1",
+                (protect,),
+            ).fetchone()
+            if row is None:  # only the protected entry remains
+                break
+            fingerprint, payload_bytes, created_unix = row
+            self._delete(fingerprint, int(payload_bytes))
+            if self.ttl_seconds is not None and now - created_unix > self.ttl_seconds:
+                self.ttl_evictions += 1
+            else:
+                evicted += 1
+        self.evictions += evicted
+        return evicted
 
     def close(self) -> None:
         self._connection.close()
@@ -166,14 +389,40 @@ class ResultStore:
         the store memory-only -- fine for tests and throwaway servers, but
         results then die with the process.
     memory_capacity:
-        Maximum number of payloads held by the LRU tier.
+        Maximum number of payloads held by the LRU tier (shorthand for
+        ``limits.memory_entries``; ignored when ``limits`` is passed).
+    limits:
+        Full admission-control configuration (byte caps, disk caps, TTL).
     """
 
-    def __init__(self, cache_dir: str | Path | None = None, memory_capacity: int = 4096):
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        memory_capacity: int = 4096,
+        limits: StoreLimits | None = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.limits = limits if limits is not None else StoreLimits(memory_entries=memory_capacity)
         self._lock = threading.Lock()
-        self._memory = MemoryTier(capacity=memory_capacity)
-        self._disk = SqliteTier(Path(cache_dir) / SQLITE_FILENAME) if cache_dir else None
+        self._memory = MemoryTier(
+            capacity=self.limits.memory_entries,
+            max_bytes=self.limits.memory_bytes,
+            ttl_seconds=self.limits.ttl_seconds,
+            clock=clock,
+        )
+        self._disk = (
+            SqliteTier(
+                Path(cache_dir) / SQLITE_FILENAME,
+                max_entries=self.limits.disk_entries,
+                max_bytes=self.limits.disk_bytes,
+                ttl_seconds=self.limits.ttl_seconds,
+                clock=clock,
+            )
+            if cache_dir
+            else None
+        )
         self._disk_size_at_close: int | None = None
+        self._disk_counters_at_close = (0, 0)
         self._stats = CacheStats()
 
     # ------------------------------------------------------------------ #
@@ -187,10 +436,13 @@ class ResultStore:
                 self._stats.memory_hits += 1
                 return StoreLookup(payload=payload, tier="memory")
             if self._disk is not None:
-                payload = self._disk.get(fingerprint)
-                if payload is not None:
+                entry = self._disk.get_entry(fingerprint)
+                if entry is not None:
+                    payload, created_unix = entry
                     self._stats.disk_hits += 1
-                    self._stats.evictions += self._memory.put(fingerprint, payload)
+                    # Promote with the original write time so the promotion
+                    # does not restart the entry's TTL clock.
+                    self._memory.put(fingerprint, payload, stored_at=created_unix)
                     return StoreLookup(payload=payload, tier="disk")
             self._stats.misses += 1
             return StoreLookup(payload=None, tier=None)
@@ -199,7 +451,7 @@ class ResultStore:
         """Write a payload into every tier."""
         with self._lock:
             self._stats.puts += 1
-            self._stats.evictions += self._memory.put(fingerprint, payload)
+            self._memory.put(fingerprint, payload)
             if self._disk is not None:
                 self._disk.put(fingerprint, payload)
 
@@ -209,7 +461,14 @@ class ResultStore:
     def stats(self) -> CacheStats:
         """Snapshot of the cumulative counters (safe to mutate)."""
         with self._lock:
-            return self._stats.snapshot()
+            snapshot = self._stats.snapshot()
+            disk_evictions, disk_ttl = self._disk_counters_at_close
+            if self._disk is not None:
+                disk_evictions, disk_ttl = self._disk.evictions, self._disk.ttl_evictions
+            snapshot.evictions = self._memory.evictions
+            snapshot.disk_evictions = disk_evictions
+            snapshot.ttl_evictions = self._memory.ttl_evictions + disk_ttl
+            return snapshot
 
     def sizes(self) -> dict[str, int]:
         """Current entry counts per tier."""
@@ -220,6 +479,14 @@ class ResultStore:
             elif self._disk_size_at_close is not None:
                 sizes["disk"] = self._disk_size_at_close
             return sizes
+
+    def payload_bytes(self) -> dict[str, int]:
+        """Current payload byte totals per tier (admission-control telemetry)."""
+        with self._lock:
+            totals = {"memory": self._memory.payload_bytes}
+            if self._disk is not None:
+                totals["disk"] = self._disk.payload_bytes
+            return totals
 
     @property
     def has_disk_tier(self) -> bool:
@@ -234,10 +501,122 @@ class ResultStore:
         with self._lock:
             if self._disk is not None:
                 self._disk_size_at_close = len(self._disk)
+                self._disk_counters_at_close = (
+                    self._disk.evictions,
+                    self._disk.ttl_evictions,
+                )
                 self._disk.close()
                 self._disk = None
 
     def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def shard_of(fingerprint: str, num_shards: int) -> int:
+    """Deterministic shard index of a fingerprint.
+
+    Fingerprints are SHA-256 hex digests, so the leading 32 bits are already
+    uniformly distributed; anything else (tests, ad hoc keys) falls back to a
+    CRC so the mapping stays stable across processes and restarts -- shard
+    files written by one server must be found by the next.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    try:
+        prefix = int(fingerprint[:8], 16)
+    except ValueError:
+        prefix = zlib.crc32(fingerprint.encode("utf-8"))
+    return prefix % num_shards
+
+
+class ShardedResultStore:
+    """``N`` independent :class:`ResultStore` shards behind one interface.
+
+    The shard of a fingerprint is chosen by its hex prefix
+    (:func:`shard_of`), so each fingerprint lives in exactly one shard and a
+    restart with the same ``num_shards`` finds every entry again.  Each shard
+    owns its lock, LRU front and SQLite file (``shard-<i>/results.sqlite``
+    under ``cache_dir``); concurrent operations on different shards never
+    contend.  Store-level caps are split across the shards via
+    :meth:`StoreLimits.per_shard`.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        num_shards: int = 4,
+        memory_capacity: int = 4096,
+        limits: StoreLimits | None = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.limits = limits if limits is not None else StoreLimits(memory_entries=memory_capacity)
+        self.num_shards = num_shards
+        shard_limits = self.limits.per_shard(num_shards)
+        self._shards = [
+            ResultStore(
+                cache_dir=(Path(cache_dir) / f"shard-{index:02d}") if cache_dir else None,
+                limits=shard_limits,
+                clock=clock,
+            )
+            for index in range(num_shards)
+        ]
+
+    def shard_index(self, fingerprint: str) -> int:
+        return shard_of(fingerprint, self.num_shards)
+
+    def shard(self, fingerprint: str) -> ResultStore:
+        return self._shards[self.shard_index(fingerprint)]
+
+    # ------------------------------------------------------------------ #
+    # Lookup / insert (route to the owning shard)
+    # ------------------------------------------------------------------ #
+    def get(self, fingerprint: str) -> StoreLookup:
+        return self.shard(fingerprint).get(fingerprint)
+
+    def put(self, fingerprint: str, payload: str) -> None:
+        self.shard(fingerprint).put(fingerprint, payload)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> CacheStats:
+        """Fleet-wide counters (the sum over every shard)."""
+        total = CacheStats()
+        for shard in self._shards:
+            total.add(shard.stats())
+        return total
+
+    def per_shard_stats(self) -> list[CacheStats]:
+        return [shard.stats() for shard in self._shards]
+
+    def sizes(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for shard in self._shards:
+            for tier, size in shard.sizes().items():
+                totals[tier] = totals.get(tier, 0) + size
+        return totals
+
+    def payload_bytes(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for shard in self._shards:
+            for tier, size in shard.payload_bytes().items():
+                totals[tier] = totals.get(tier, 0) + size
+        return totals
+
+    @property
+    def has_disk_tier(self) -> bool:
+        return any(shard.has_disk_tier for shard in self._shards)
+
+    def close(self) -> None:
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedResultStore":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

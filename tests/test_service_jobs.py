@@ -1,0 +1,162 @@
+"""Unit tests of the async job queue (repro.service.jobs).
+
+The differential and HTTP suites cover the happy path end to end; this file
+pins the queue mechanics in isolation with a stub runner: lifecycle states,
+failure capture, retention pruning, shutdown semantics and the submit-path
+invariants the < 5 ms acceptance bound rests on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.batch import BatchReport
+from repro.service.jobs import JOB_STATUSES, JobQueue
+
+
+class _StubOutcome:
+    def __init__(self, tag: str):
+        self.tag = tag
+
+    def to_dict(self):
+        return {"tag": self.tag}
+
+
+def _ok_runner(requests):
+    report = BatchReport(total=len(requests), unique=len(set(requests)))
+    report.fingerprints = [f"fp-{request}" for request in requests]
+    outcome = _StubOutcome("shared")
+    # Duplicates share one outcome object, like the real solve_batch.
+    return [outcome for _ in requests], report
+
+
+class TestLifecycle:
+    def test_submit_run_poll(self):
+        with JobQueue(runner=_ok_runner, workers=1) as jobs:
+            submitted = jobs.submit(["a", "b", "a"])
+            assert submitted["status"] == "queued"
+            assert submitted["total"] == 3
+            finished = jobs.wait(submitted["job_id"])
+            assert finished["status"] == "done"
+            assert finished["report"]["total"] == 3
+            assert finished["fingerprints"] == ["fp-a", "fp-b", "fp-a"]
+            assert finished["outcomes"] == [{"tag": "shared"}] * 3
+            # Duplicate requests share one serialised document object.
+            assert finished["outcomes"][0] is finished["outcomes"][2]
+
+    def test_statuses_are_the_documented_lifecycle(self):
+        assert JOB_STATUSES == ("queued", "running", "done", "failed")
+
+    def test_empty_submission_rejected(self):
+        with JobQueue(runner=_ok_runner) as jobs:
+            with pytest.raises(ValueError, match="at least one request"):
+                jobs.submit([])
+
+    def test_unknown_job_id(self):
+        with JobQueue(runner=_ok_runner) as jobs:
+            assert jobs.get("job-missing") is None
+            with pytest.raises(KeyError):
+                jobs.wait("job-missing", timeout_seconds=0.1)
+
+
+class TestFailureIsolation:
+    def test_failed_batch_lands_in_error_and_worker_survives(self):
+        calls = []
+
+        def flaky_runner(requests):
+            calls.append(list(requests))
+            if len(calls) == 1:
+                raise RuntimeError("boom")
+            return _ok_runner(requests)
+
+        with JobQueue(runner=flaky_runner, workers=1) as jobs:
+            failed = jobs.wait(jobs.submit(["x"])["job_id"])
+            assert failed["status"] == "failed"
+            assert "RuntimeError: boom" in failed["error"]
+            assert "outcomes" not in failed
+            # The worker thread survived and serves the next job.
+            done = jobs.wait(jobs.submit(["y"])["job_id"])
+            assert done["status"] == "done"
+            assert jobs.stats()["failed"] == 1
+            assert jobs.stats()["completed"] == 1
+
+
+class TestRetention:
+    def test_oldest_finished_jobs_pruned_first(self):
+        with JobQueue(runner=_ok_runner, workers=1, max_retained=3) as jobs:
+            ids = [jobs.submit([f"r{i}"])["job_id"] for i in range(5)]
+            for job_id in ids:
+                try:
+                    jobs.wait(job_id, timeout_seconds=10.0)
+                except KeyError:
+                    pass  # already pruned; acceptable for the early ids
+            # FIFO draining: only the 3 newest finished jobs survive.
+            stats = jobs.stats()
+            assert stats["retained"] == 3
+            assert stats["pruned"] == 2
+            assert jobs.get(ids[0]) is None and jobs.get(ids[1]) is None
+            assert jobs.get(ids[-1])["status"] == "done"
+
+    def test_listing_is_summaries_in_submission_order(self):
+        with JobQueue(runner=_ok_runner, workers=1) as jobs:
+            ids = [jobs.submit(["a"])["job_id"] for _ in range(3)]
+            jobs.wait(ids[-1])
+            listed = jobs.list_jobs()
+            assert [job["job_id"] for job in listed] == ids
+            assert all("outcomes" not in job for job in listed)
+
+
+class TestShutdown:
+    def test_close_drains_pending_jobs_then_rejects_new_ones(self):
+        release = threading.Event()
+
+        def slow_runner(requests):
+            release.wait(timeout=10.0)
+            return _ok_runner(requests)
+
+        jobs = JobQueue(runner=slow_runner, workers=1)
+        pending = jobs.submit(["slow"])
+        closer = threading.Thread(target=jobs.close)
+        closer.start()
+        release.set()
+        closer.join(timeout=10.0)
+        assert not closer.is_alive()
+        assert jobs.get(pending["job_id"])["status"] == "done"  # drained, not dropped
+        with pytest.raises(RuntimeError, match="closed"):
+            jobs.submit(["late"])
+
+    def test_close_is_idempotent_and_safe_without_workers(self):
+        jobs = JobQueue(runner=_ok_runner)
+        jobs.close()
+        jobs.close()
+
+
+class TestSubmitPath:
+    def test_submit_does_no_solving_or_fingerprinting(self):
+        """The submit hot path may not touch the runner (that is what keeps
+        first-job-id latency in microseconds regardless of batch size)."""
+        started = threading.Event()
+
+        def gated_runner(requests):
+            started.set()
+            return _ok_runner(requests)
+
+        with JobQueue(runner=gated_runner, workers=1) as jobs:
+            start = time.perf_counter()
+            submitted = jobs.submit([f"r{i}" for i in range(10_000)])
+            submit_seconds = time.perf_counter() - start
+            assert submitted["status"] == "queued"
+            assert submit_seconds < 0.05  # generous CI bound; ~tens of us locally
+            jobs.wait(submitted["job_id"])
+            assert started.is_set()
+
+    def test_job_ids_are_unique_and_monotonic(self):
+        with JobQueue(runner=_ok_runner, workers=2) as jobs:
+            ids = [jobs.submit(["a"])["job_id"] for _ in range(20)]
+            assert len(set(ids)) == 20
+            assert ids == sorted(ids)
+            for job_id in ids:
+                assert jobs.wait(job_id, timeout_seconds=10.0)["status"] == "done"

@@ -9,6 +9,7 @@ import urllib.request
 import pytest
 
 from repro.core.problem import AllocationProblem
+from repro.core.solution import SolveOutcome
 from repro.platform.presets import aws_f1
 from repro.service import (
     AllocationService,
@@ -151,3 +152,71 @@ class TestWarmRestart:
             server.shutdown()
             server.server_close()
             reborn_service.close()
+
+
+class TestAsyncBatchEndpoints:
+    def test_async_batch_over_http_round_trip(self, running_service, tiny_problem_at):
+        """POST mode=async returns a queued job id immediately; polling
+        /jobs/<id> eventually serves the full outcome set, identically
+        deduped to the sync path."""
+        client, _, _ = running_service
+        problems = [tiny_problem_at(60.0 + (index % 4)) for index in range(20)]
+        requests = [SolveRequest(problem=problem) for problem in problems]
+
+        submitted = client.solve_batch_async(requests)
+        assert submitted["status"] == "queued"
+        assert submitted["total"] == 20
+        finished = client.wait_for_job(submitted["job_id"])
+        report = finished["report"]
+        assert report["total"] == 20 and report["unique"] == 4
+        assert report["solves"] == 4
+        outcomes = [
+            SolveOutcome.from_dict(document, problem=request.problem)
+            for document, request in zip(finished["outcomes"], requests)
+        ]
+        assert len(outcomes) == 20
+        assert all(outcome.succeeded for outcome in outcomes)
+        # A warm re-submission through the convenience wrapper: zero solves.
+        replay_outcomes, replay_report = client.solve_batch_async_outcomes(requests)
+        assert replay_report["solves"] == 0
+        assert [outcome.to_dict() for outcome in replay_outcomes] == [
+            outcome.to_dict() for outcome in outcomes
+        ]
+
+    def test_jobs_listing_and_unknown_job_404(self, running_service, tiny_problem_at):
+        client, _, _ = running_service
+        submitted = client.solve_batch_async(
+            [SolveRequest(problem=tiny_problem_at(70.0))]
+        )
+        client.wait_for_job(submitted["job_id"])
+        listed = client.jobs()
+        assert any(job["job_id"] == submitted["job_id"] for job in listed)
+        assert all("outcomes" not in job for job in listed)  # summaries only
+        with pytest.raises(ServiceError, match="unknown job"):
+            client.job("job-99999999")
+
+    def test_bad_batch_mode_is_rejected(self, running_service, tiny_problem_at):
+        client, _, _ = running_service
+        from repro.service.client import request_to_dict
+
+        payload = {
+            "mode": "later",
+            "requests": [request_to_dict(SolveRequest(problem=tiny_problem_at(70.0)))],
+        }
+        with pytest.raises(ServiceError, match="unknown batch mode"):
+            client._request("/solve_batch", payload)
+
+    def test_async_stats_and_sync_equivalence(self, running_service, tiny_problem_at):
+        """An async batch updates the same service counters as its sync twin
+        and the outcomes agree document-for-document."""
+        client, service, _ = running_service
+        requests = [SolveRequest(problem=tiny_problem_at(62.0)) for _ in range(3)]
+        async_outcomes, async_report = client.solve_batch_async_outcomes(requests)
+        sync_outcomes, sync_report = client.solve_batch_outcomes(requests)
+        assert async_report["solves"] == 1 and sync_report["solves"] == 0
+        for async_outcome, sync_outcome in zip(async_outcomes, sync_outcomes):
+            assert async_outcome.to_dict() == sync_outcome.to_dict()
+        stats = client.stats()
+        assert stats["jobs"]["submitted"] == 1
+        assert stats["jobs"]["completed"] == 1
+        assert stats["service"]["requests"] == 6
