@@ -9,9 +9,13 @@ Standalone usage::
     python benchmarks/export_bench.py run            # run benchmarks, snapshot
     python benchmarks/export_bench.py run -k vgg     # extra pytest args pass through
     python benchmarks/export_bench.py compare BENCH_a.json BENCH_b.json
+    python benchmarks/export_bench.py gate           # CI perf-regression gate
 
 ``compare`` prints a per-benchmark new/old runtime ratio table (values below
-1.0 mean the second snapshot is faster).
+1.0 mean the second snapshot is faster).  ``gate`` compares the current
+revision's snapshot against the newest checked-in snapshot and fails (exit
+1) when any pinned headline row regressed by more than
+``GATE_THRESHOLD``x.
 """
 
 from __future__ import annotations
@@ -29,6 +33,20 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: Stats kept per benchmark in the snapshot (seconds, except ``rounds``).
 SNAPSHOT_STATS = ("min", "mean", "median", "stddev", "rounds")
+
+#: Headline rows pinned by the CI perf gate (``gate`` subcommand): the
+#: runtime table, the exact-path wall clock, the paper's heuristic budget
+#: and the warm service replay.  Everything else is tracked but not gated --
+#: micro-benchmarks are too noisy on shared runners for a hard ratio check.
+PINNED_BENCHMARKS = (
+    "benchmarks/test_runtime_comparison.py::test_runtime_table",
+    "benchmarks/test_runtime_comparison.py::test_exact_path_wall_clock_budget",
+    "benchmarks/test_runtime_comparison.py::test_gp_a_runtime_within_paper_budget",
+    "benchmarks/test_service_throughput.py::test_async_warm_replay_throughput",
+)
+
+#: Maximum tolerated new/old mean-runtime ratio on a pinned row.
+GATE_THRESHOLD = 1.3
 
 
 def git_revision(short: bool = True) -> str:
@@ -108,6 +126,68 @@ def render_comparison(rows: list[tuple[str, float, float, float]]) -> str:
     return "\n".join(lines)
 
 
+def previous_snapshot_path(current: Path | None = None) -> Path | None:
+    """The newest snapshot on disk other than ``current`` (by recorded time).
+
+    Ordering uses the ``unix_time`` stamped inside each snapshot, not file
+    mtimes -- a fresh ``git clone`` resets every mtime to checkout time.
+    """
+    current = (current or snapshot_path()).resolve()
+    newest: tuple[float, Path] | None = None
+    for path in RESULTS_DIR.glob("BENCH_*.json"):
+        if path.resolve() == current:
+            continue
+        try:
+            stamp = float(load_snapshot(path).get("unix_time", 0.0))
+        except (OSError, json.JSONDecodeError, TypeError, ValueError):
+            continue
+        if newest is None or stamp > newest[0]:
+            newest = (stamp, path)
+    return newest[1] if newest else None
+
+
+def gate_snapshots(
+    old: dict,
+    new: dict,
+    threshold: float = GATE_THRESHOLD,
+    pins: Iterable[str] = PINNED_BENCHMARKS,
+) -> tuple[list[tuple[str, float, float, float]], list[tuple[str, float, float, float]]]:
+    """Split the pinned comparison rows into (checked, regressed)."""
+    pinned = set(pins)
+    checked = [row for row in compare_snapshots(old, new) if row[0] in pinned]
+    regressed = [row for row in checked if row[3] > threshold]
+    return checked, regressed
+
+
+def _gate(new_path: Path | None, old_path: Path | None, threshold: float) -> int:
+    new_path = new_path or snapshot_path()
+    if not new_path.exists():
+        print(f"gate: no snapshot for the current revision at {new_path}", file=sys.stderr)
+        print("gate: run the benchmark suite first (export_bench.py run)", file=sys.stderr)
+        return 2
+    old_path = old_path or previous_snapshot_path(new_path)
+    if old_path is None:
+        print("gate: no previous snapshot to compare against; passing")
+        return 0
+    try:
+        old, new = load_snapshot(old_path), load_snapshot(new_path)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"gate: cannot read snapshot: {error}", file=sys.stderr)
+        return 2
+    checked, regressed = gate_snapshots(old, new, threshold)
+    if not checked:
+        print(f"gate: no pinned rows shared with {old_path.name}; passing")
+        return 0
+    print(f"gate: {new_path.name} vs {old_path.name} (threshold {threshold:.2f}x)")
+    print(render_comparison(checked))
+    if regressed:
+        names = ", ".join(name for name, *_ in regressed)
+        print(f"gate: FAIL -- pinned rows regressed beyond {threshold:.2f}x: {names}")
+        return 1
+    print("gate: OK")
+    return 0
+
+
 def _run(extra_args: list[str]) -> int:
     """Run the benchmark suite and leave the snapshot writing to conftest."""
     command = [
@@ -132,11 +212,21 @@ def main(argv: list[str] | None = None) -> int:
     compare_parser = commands.add_parser("compare", help="compare two snapshots")
     compare_parser.add_argument("old", type=Path)
     compare_parser.add_argument("new", type=Path)
+    gate_parser = commands.add_parser(
+        "gate", help="fail when a pinned row regressed vs the previous snapshot"
+    )
+    gate_parser.add_argument("--new", type=Path, default=None)
+    gate_parser.add_argument("--old", type=Path, default=None)
+    gate_parser.add_argument("--threshold", type=float, default=GATE_THRESHOLD)
     # parse_known_args so pytest flags (-k, -x, ...) pass through untouched;
     # argparse.REMAINDER cannot capture leading optionals inside subparsers.
     args, passthrough = parser.parse_known_args(argv)
     if args.command == "run":
         return _run(passthrough)
+    if args.command == "gate":
+        if passthrough:
+            parser.error(f"unrecognized arguments: {' '.join(passthrough)}")
+        return _gate(args.new, args.old, args.threshold)
     if passthrough:
         parser.error(f"unrecognized arguments: {' '.join(passthrough)}")
     try:

@@ -578,15 +578,38 @@ def first_fit_decreasing_allocate(
         remaining[kernel] -= 1
         return True
 
+    def place_batch(kernel: int) -> None:
+        """Place all remaining CUs of one kernel, first fit, batched per FPGA.
+
+        Equivalent to placing one CU at a time into the first FPGA with room
+        (each FPGA fills up before the next is touched), but the per-FPGA
+        batch sizes come from one vectorized slack division instead of a
+        Python loop per CU.
+        """
+        unit_k = unit[kernel]
+        demanding = unit_k > 0.0
+        if not np.any(demanding):
+            counts[kernel, 0] += remaining[kernel]
+            remaining[kernel] = 0
+            return
+        per_dim = np.floor(
+            (slack[:, demanding] + _TOL) / unit_k[demanding]
+        )  # (F, demanded dims)
+        room = np.maximum(per_dim.min(axis=1), 0.0).astype(np.int64)  # (F,)
+        taken_before = np.concatenate(([0], np.cumsum(room)[:-1]))
+        batches = np.clip(remaining[kernel] - taken_before, 0, room)
+        counts[kernel] += batches
+        remaining[kernel] -= int(batches.sum())
+        slack[...] -= batches[:, None] * unit_k[None, :]
+
     # Coverage pass: one CU per kernel (eq. 16), largest footprint first.
     for kernel in order:
         if remaining[kernel] > 0:
             place_one(kernel)
-    # Packing pass: the rest, one CU at a time, first fit.
+    # Packing pass: the rest, first fit, one vectorized batch per kernel.
     for kernel in order:
-        while remaining[kernel] > 0:
-            if not place_one(kernel):
-                break
+        if remaining[kernel] > 0:
+            place_batch(kernel)
 
     unallocated = {
         name: int(count) for name, count in zip(arrays.names, remaining) if count > 0

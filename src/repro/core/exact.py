@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -45,7 +45,12 @@ from ..minlp.secant import spreading_of_kernel
 from .gp_step import solve_gp_step
 from .heuristic import HeuristicSettings, solve_gp_a
 from .problem import AllocationProblem
-from .relaxations import AllocationRelaxation, split_variable_name, variable_name
+from .relaxations import (
+    AllocationRelaxation,
+    SweepRelaxationBatch,
+    split_variable_name,
+    variable_name,
+)
 from .solution import AllocationSolution, SolveOutcome, SolveStatus
 
 
@@ -171,6 +176,7 @@ def solve_exact_min_ii(
     packer = _packer_for(problem, settings)
     packs = 0
     search_nodes = 0
+    completion_nodes = 0
     exact_searches = 0
     seed_packs = 0
 
@@ -216,12 +222,13 @@ def solve_exact_min_ii(
         )
 
     def pack(ii: float):
-        nonlocal packs, search_nodes, exact_searches, seed_packs
+        nonlocal packs, search_nodes, completion_nodes, exact_searches, seed_packs
         items = _pack_items(problem, _required_totals(problem, ii))
         result = packer.pack(items)
         packs += 1
         search_nodes += packer.last_nodes
-        if packer.last_nodes:
+        completion_nodes += packer.last_completion_nodes
+        if packer.last_nodes or packer.last_completion_nodes:
             exact_searches += 1
         if not result.feasible and not result.exact:
             seeded = seeded_result(items)
@@ -238,6 +245,7 @@ def solve_exact_min_ii(
         return {
             "packs": packs,
             "packer_search_nodes": search_nodes,
+            "packer_completion_nodes": completion_nodes,
             "packer_exact_searches": exact_searches,
             "packer_seed_packs": seed_packs,
             "packing_memo_hits": packer.memo_hits,
@@ -313,6 +321,82 @@ def _weighted_relaxation_cache(
         return RelaxationCache()
 
 
+def weighted_root_bounds(problem: AllocationProblem) -> VariableBounds:
+    """Root box bounds of the weighted exact search.
+
+    Upper bounds: no optimal solution uses more CUs of a kernel than needed
+    to reach the relaxed GP optimum (extra CUs cannot reduce II further and
+    only increase spreading), nor more than fit on one FPGA.  Raises when the
+    relaxed problem is infeasible (propagated from :func:`solve_gp_step`).
+    """
+    names = problem.kernel_names
+    num_fpgas = problem.num_fpgas
+    gp_result = solve_gp_step(problem)
+    total_caps = {
+        name: min(
+            problem.max_total_cus(name),
+            int(math.ceil(problem.wcet[name] / max(gp_result.ii_hat, 1e-12) - 1e-9)) + 1,
+        )
+        for name in names
+    }
+    ranges: dict[str, tuple[int, int]] = {}
+    homogeneous = problem.platform.is_homogeneous
+    for name in names:
+        if homogeneous:
+            per_fpga_cap = min(problem.max_cus_per_fpga(name), max(1, total_caps[name]))
+            for fpga in range(num_fpgas):
+                ranges[variable_name(name, fpga)] = (0, per_fpga_cap)
+        else:
+            for fpga in range(num_fpgas):
+                cap = min(
+                    problem.max_cus_per_fpga(name, fpga), max(1, total_caps[name])
+                )
+                ranges[variable_name(name, fpga)] = (0, cap)
+    return VariableBounds.from_ranges(ranges)
+
+
+def seed_sweep_relaxations(
+    problems: Sequence[AllocationProblem],
+    settings: ExactSettings = ExactSettings(),
+) -> list[int | None]:
+    """Batch-solve the root relaxations of a family of weighted sweep points.
+
+    The points of a resource-limit (or T) sweep share one relaxation model
+    skeleton; this primes each point's shared relaxation cache with its root
+    result computed on a single :class:`~repro.core.relaxations.
+    SweepRelaxationBatch` -- one model build and one persistent HiGHS
+    round-trip for the whole batch -- so the per-point ``minlp+g`` solves hit
+    the cache at the root.
+
+    Returns one entry per problem: the number of LPs the batch spent on that
+    point (``0`` when the root was already cached), or ``None`` when the
+    point was skipped (spreading disabled, incompatible skeleton, or an
+    infeasible relaxed problem -- those points solve exactly as before).
+    """
+    counts: list[int | None] = [None] * len(problems)
+    batch: SweepRelaxationBatch | None = None
+    for index, problem in enumerate(problems):
+        if not problem.weights.spreading_enabled:
+            continue
+        if batch is None:
+            batch = SweepRelaxationBatch(
+                problem, symmetry_breaking=settings.symmetry_breaking
+            )
+        if not batch.compatible(problem):
+            continue
+        try:
+            bounds = weighted_root_bounds(problem)
+        except Exception:
+            continue  # the per-point solve will report the infeasibility
+        cache = _weighted_relaxation_cache(problem, settings)
+        if cache.get(bounds) is not None:
+            counts[index] = 0
+            continue
+        result, used = batch.solve_point(problem, bounds)
+        cache.put(bounds, result)
+        counts[index] = used
+    return counts
+
 
 def solve_exact_weighted(
     problem: AllocationProblem,
@@ -334,11 +418,8 @@ def solve_exact_weighted(
     if not problem.weights.spreading_enabled:
         return solve_exact_min_ii(problem, settings)
 
-    # Upper bounds: no optimal solution uses more CUs of a kernel than needed
-    # to reach the relaxed GP optimum (extra CUs cannot reduce II further and
-    # only increase spreading), nor more than fit on one FPGA.
     try:
-        gp_result = solve_gp_step(problem)
+        bounds = weighted_root_bounds(problem)
     except Exception as error:  # infeasible relaxation
         return SolveOutcome(
             method="minlp+g",
@@ -347,27 +428,6 @@ def solve_exact_weighted(
             runtime_seconds=time.perf_counter() - start,
             details={"reason": f"relaxed problem infeasible: {error}"},
         )
-    total_caps = {
-        name: min(
-            problem.max_total_cus(name),
-            int(math.ceil(problem.wcet[name] / max(gp_result.ii_hat, 1e-12) - 1e-9)) + 1,
-        )
-        for name in names
-    }
-    ranges: dict[str, tuple[int, int]] = {}
-    homogeneous = problem.platform.is_homogeneous
-    for name in names:
-        if homogeneous:
-            per_fpga_cap = min(problem.max_cus_per_fpga(name), max(1, total_caps[name]))
-            for fpga in range(num_fpgas):
-                ranges[variable_name(name, fpga)] = (0, per_fpga_cap)
-        else:
-            for fpga in range(num_fpgas):
-                cap = min(
-                    problem.max_cus_per_fpga(name, fpga), max(1, total_caps[name])
-                )
-                ranges[variable_name(name, fpga)] = (0, cap)
-    bounds = VariableBounds.from_ranges(ranges)
 
     relaxation = AllocationRelaxation(
         problem=problem,
@@ -526,9 +586,8 @@ def _solution_to_candidate(
             end += 1
         block = list(range(start, end))
         if canonical:
-            block.sort(
-                key=lambda f: solution.fpga_resource_usage(f).max_component(), reverse=True
-            )
+            max_usage = solution.max_usage_per_fpga()
+            block.sort(key=lambda f: max_usage[f], reverse=True)
         order.extend(block)
         start = end
     candidate: dict[str, int] = {}

@@ -21,6 +21,8 @@ Four interchangeable backends solve it:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping
 
@@ -134,14 +136,74 @@ def build_gp_model(problem: AllocationProblem) -> GPModel:
     return model
 
 
+# --------------------------------------------------------------------------- #
+# Cross-call memo: the exact solvers bound and seed from the same relaxed GP
+# the heuristic solves, so one table/sweep pass computes each optimum once.
+# The relaxation is the beta = 0 symmetric program -- objective weights never
+# enter it -- so every weight variant of a problem shares the entry.
+# --------------------------------------------------------------------------- #
+_MEMO_MAX_ENTRIES = 256
+_memo: "OrderedDict[tuple, GPStepResult]" = OrderedDict()
+_memo_lock = threading.Lock()
+_memo_hits = 0
+_memo_misses = 0
+
+
+def gp_step_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters of the cross-call GP-step memo."""
+    return {"hits": _memo_hits, "misses": _memo_misses, "entries": len(_memo)}
+
+
+def gp_step_cache_clear() -> None:
+    """Empty the cross-call memo (used by tests and benchmarks)."""
+    global _memo_hits, _memo_misses
+    with _memo_lock:
+        _memo.clear()
+        _memo_hits = 0
+        _memo_misses = 0
+
+
+def _memo_key(problem: AllocationProblem, backend: str) -> tuple | None:
+    """Value-based memo key; ``None`` when the problem is unhashable."""
+    try:
+        key = (problem.pipeline, problem.platform, backend)
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
 def solve_gp_step(problem: AllocationProblem, backend: str = "bisection") -> GPStepResult:
     """Solve the relaxed GP and return ``(ÎI, N̂_k)``.
+
+    Results are memoized by problem value across calls (infeasibility is not;
+    the error path re-derives its message).
 
     Raises
     ------
     repro.gp.errors.InfeasibleError
         If even one CU per kernel exceeds the aggregated platform capacity.
     """
+    global _memo_hits, _memo_misses
+    key = _memo_key(problem, backend)
+    if key is not None:
+        with _memo_lock:
+            cached = _memo.get(key)
+            if cached is not None:
+                _memo.move_to_end(key)
+                _memo_hits += 1
+                return cached
+            _memo_misses += 1
+    result = _solve_gp_step_uncached(problem, backend)
+    if key is not None:
+        with _memo_lock:
+            if len(_memo) >= _MEMO_MAX_ENTRIES:
+                _memo.popitem(last=False)
+            _memo[key] = result
+    return result
+
+
+def _solve_gp_step_uncached(problem: AllocationProblem, backend: str) -> GPStepResult:
     if backend == "bisection":
         arrays = problem.arrays()
         vectorized = build_vectorized_minmax(problem)

@@ -9,11 +9,13 @@ chains them and packages the result.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..gp.errors import InfeasibleError
-from .allocator import AllocatorSettings, GreedyAllocator
+from .allocator import AllocatorResult, AllocatorSettings, GreedyAllocator
 from .discretize import DiscretizationError, discretize_counts, round_counts
 from .gp_step import solve_gp_step
 from .problem import AllocationProblem
@@ -38,6 +40,63 @@ class HeuristicSettings:
             delta_percent=self.delta_percent,
             criticality=self.criticality,  # type: ignore[arg-type]
         )
+
+
+# --------------------------------------------------------------------------- #
+# Cross-call memo of the allocation stage: the exact solvers seed from the
+# same GP+A run the gp+a table row measures, and the placement is a pure
+# function of (pipeline, platform, allocator settings, integer totals) --
+# objective weights never enter Algorithm 1 -- so every weight variant of a
+# problem shares the entry.  The GP and discretisation stages carry their own
+# memos (:mod:`repro.core.gp_step`, :mod:`repro.core.discretize`).
+# --------------------------------------------------------------------------- #
+_MEMO_MAX_ENTRIES = 512
+_memo: "OrderedDict[tuple, AllocatorResult]" = OrderedDict()
+_memo_lock = threading.Lock()
+_memo_hits = 0
+_memo_misses = 0
+
+
+def allocation_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters of the cross-call allocation memo."""
+    return {"hits": _memo_hits, "misses": _memo_misses, "entries": len(_memo)}
+
+
+def allocation_cache_clear() -> None:
+    """Empty the cross-call memo (used by tests and benchmarks)."""
+    global _memo_hits, _memo_misses
+    with _memo_lock:
+        _memo.clear()
+        _memo_hits = 0
+        _memo_misses = 0
+
+
+def _allocate_memoized(
+    problem: AllocationProblem,
+    settings: AllocatorSettings,
+    totals: "dict[str, int]",
+) -> AllocatorResult:
+    global _memo_hits, _memo_misses
+    try:
+        key = (problem.pipeline, problem.platform, settings, tuple(sorted(totals.items())))
+        hash(key)
+    except TypeError:
+        key = None
+    if key is not None:
+        with _memo_lock:
+            cached = _memo.get(key)
+            if cached is not None:
+                _memo.move_to_end(key)
+                _memo_hits += 1
+                return cached
+            _memo_misses += 1
+    result = GreedyAllocator(problem, settings).allocate(totals)
+    if key is not None:
+        with _memo_lock:
+            if len(_memo) >= _MEMO_MAX_ENTRIES:
+                _memo.popitem(last=False)
+            _memo[key] = result
+    return result
 
 
 def solve_gp_a(
@@ -88,8 +147,9 @@ def solve_gp_a(
     details["discretization_nodes"] = discretization.nodes_explored
     details["ii_after_discretization"] = discretization.ii
 
-    allocator = GreedyAllocator(problem, settings.allocator_settings())
-    allocation = allocator.allocate(discretization.counts)
+    allocation = _allocate_memoized(
+        problem, settings.allocator_settings(), dict(discretization.counts)
+    )
     details["allocator_iterations"] = allocation.iterations
     details["constraint_relaxation"] = allocation.constraint_relaxation
 

@@ -106,7 +106,7 @@ class AllocationProblem:
     # Capacity dimensions (constraints 9-10 of the paper)
     # ------------------------------------------------------------------ #
     def capacity_dimensions(self, include_inactive: bool = False) -> tuple[CapacityDimension, ...]:
-        """Per-FPGA capacity dimensions with non-trivial demand.
+        """Per-FPGA capacity dimensions with non-trivial demand (memoized).
 
         A resource kind is *active* if at least one kernel demands it; the
         paper's tables only report BRAM and DSP because LUT/FF never bind.
@@ -114,6 +114,12 @@ class AllocationProblem:
         heterogeneous platform each dimension carries the per-FPGA capacity
         expansion (class-major platform order).
         """
+        cached = getattr(self, "_cached_capacity_dimensions", None)
+        if cached is None:
+            cached = {}
+            object.__setattr__(self, "_cached_capacity_dimensions", cached)
+        if include_inactive in cached:
+            return cached[include_inactive]
         homogeneous = self.platform.is_homogeneous
         resource_limits = None if homogeneous else self.platform.fpga_resource_limits()
         bandwidth_limits = None if homogeneous else self.platform.fpga_bandwidth_limits()
@@ -146,7 +152,8 @@ class AllocationProblem:
                     per_fpga=per_fpga,
                 )
             )
-        return tuple(dimensions)
+        cached[include_inactive] = tuple(dimensions)
+        return cached[include_inactive]
 
     def arrays(self) -> "ProblemArrays":
         """Kernel-indexed NumPy view of the problem (memoized per instance).
@@ -221,9 +228,21 @@ class AllocationProblem:
     # ------------------------------------------------------------------ #
     # Variants
     # ------------------------------------------------------------------ #
-    def with_resource_constraint(self, limit_percent: float) -> "AllocationProblem":
-        """Copy of the problem with a different uniform per-FPGA resource cap."""
-        return replace(self, platform=self.platform.with_resource_limit(limit_percent))
+    def with_resource_constraint(
+        self, limit_percent: float, preserve_skew: bool = False
+    ) -> "AllocationProblem":
+        """Copy of the problem with a different per-FPGA resource cap.
+
+        ``preserve_skew`` keeps a heterogeneous platform's per-class capacity
+        ratios intact (the cap names the reference class; the rest scale
+        proportionally) instead of flattening every class to the same cap.
+        """
+        return replace(
+            self,
+            platform=self.platform.with_resource_limit(
+                limit_percent, preserve_skew=preserve_skew
+            ),
+        )
 
     def with_weights(self, weights: ObjectiveWeights) -> "AllocationProblem":
         """Copy of the problem with different objective weights."""

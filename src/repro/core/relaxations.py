@@ -53,10 +53,42 @@ from ..minlp.branch_and_bound import RelaxationResult
 from .objective import ObjectiveWeights
 from .problem import AllocationProblem
 
-try:  # pragma: no cover - exercised only where highspy is installed
-    import highspy as _highspy
-except ImportError:  # the container image ships scipy's bundled HiGHS only
-    _highspy = None
+class _HighsBindings:
+    """Uniform facade over the HiGHS python bindings.
+
+    The persistent backend runs on whichever bindings the host offers: the
+    ``highspy`` wheel when installed, otherwise scipy's vendored
+    ``scipy.optimize._highspy`` core (the same pybind11 module scipy's
+    ``linprog(method="highs")`` is built on).  Only the API surface common to
+    both is used -- notably the per-row/index-set bound setters rather than
+    the ``...ByRange`` conveniences the vendored build omits.
+    """
+
+    def __init__(self, module, solver_factory):
+        self.new_solver = solver_factory
+        self.inf = module.kHighsInf
+        self.HighsLp = module.HighsLp
+        self.MatrixFormat = module.MatrixFormat
+        self.HighsStatus = module.HighsStatus
+        self.HighsModelStatus = module.HighsModelStatus
+
+
+def _load_highs_bindings() -> "_HighsBindings | None":
+    try:  # pragma: no cover - exercised only where highspy is installed
+        import highspy
+
+        return _HighsBindings(highspy, highspy.Highs)
+    except ImportError:
+        pass
+    try:  # scipy >= 1.15 vendors the pybind11 HiGHS core
+        from scipy.optimize._highspy import _core as vendored
+
+        return _HighsBindings(vendored, vendored._Highs)
+    except Exception:  # pragma: no cover - ancient scipy without the module
+        return None
+
+
+_HIGHS_BINDINGS = _load_highs_bindings()
 
 #: Safety margin subtracted from node bounds so that the inexactness of the
 #: scalar search can never prune the true optimum.
@@ -68,7 +100,7 @@ _II_CACHE_LIMIT = 4096
 
 def highspy_available() -> bool:
     """Whether the persistent HiGHS LP backend can be used in this process."""
-    return _highspy is not None
+    return _HIGHS_BINDINGS is not None
 
 
 class _HighsBackendError(RuntimeError):
@@ -86,16 +118,25 @@ class _PersistentHighsLP:
     """
 
     def __init__(self, cost: np.ndarray, matrix: np.ndarray, rhs: np.ndarray, bounds: np.ndarray):
-        if _highspy is None:  # pragma: no cover - guarded by the caller
-            raise _HighsBackendError("highspy is not installed")
+        binding = _HIGHS_BINDINGS
+        if binding is None:  # pragma: no cover - guarded by the caller
+            raise _HighsBackendError("no HiGHS bindings are available")
         num_rows, num_cols = matrix.shape
         self._num_rows = num_rows
         self._num_cols = num_cols
+        self._binding = binding
+        self._col_index = np.arange(num_cols, dtype=np.int32)
+        self._last_rhs: "np.ndarray | None" = None
+        self._last_bounds: "np.ndarray | None" = None
         try:
-            solver = _highspy.Highs()
+            solver = binding.new_solver()
             solver.setOptionValue("output_flag", False)
-            inf = _highspy.kHighsInf
-            lp = _highspy.HighsLp()
+            # These LPs are tiny (tens of rows); presolve costs more than it
+            # saves and discards the basis that makes re-solves after an RHS
+            # hot-swap nearly free.
+            solver.setOptionValue("presolve", "off")
+            inf = binding.inf
+            lp = binding.HighsLp()
             lp.num_col_ = num_cols
             lp.num_row_ = num_rows
             lp.col_cost_ = np.asarray(cost, dtype=np.float64)
@@ -103,43 +144,53 @@ class _PersistentHighsLP:
             lp.col_upper_ = np.asarray(bounds[:, 1], dtype=np.float64)
             lp.row_lower_ = np.full(num_rows, -inf)
             lp.row_upper_ = np.asarray(rhs, dtype=np.float64)
-            lp.a_matrix_.format_ = _highspy.MatrixFormat.kColwise
-            starts = [0]
-            indices: list[int] = []
-            values: list[float] = []
-            for col in range(num_cols):
-                rows = np.nonzero(matrix[:, col])[0]
-                indices.extend(int(row) for row in rows)
-                values.extend(float(value) for value in matrix[rows, col])
-                starts.append(len(indices))
-            lp.a_matrix_.start_ = starts
-            lp.a_matrix_.index_ = indices
-            lp.a_matrix_.value_ = values
+            lp.a_matrix_.format_ = binding.MatrixFormat.kColwise
+            # Column-wise sparse assembly, vectorized: Fortran-order nonzero
+            # enumerates the entries column by column, rows ascending.
+            col_ids, row_ids = np.nonzero(matrix.T)
+            lp.a_matrix_.start_ = np.concatenate(
+                ([0], np.cumsum(np.bincount(col_ids, minlength=num_cols)))
+            ).astype(np.int32)
+            lp.a_matrix_.index_ = row_ids.astype(np.int32)
+            lp.a_matrix_.value_ = matrix[row_ids, col_ids]
             status = solver.passModel(lp)
-            if status == _highspy.HighsStatus.kError:
+            if status == binding.HighsStatus.kError:
                 raise _HighsBackendError("HiGHS rejected the LP model")
             self._solver = solver
             self._inf = inf
+            self._last_rhs = np.asarray(rhs, dtype=np.float64).copy()
+            self._last_bounds = np.asarray(bounds, dtype=np.float64).copy()
         except _HighsBackendError:
             raise
         except Exception as error:  # pragma: no cover - API drift guard
             raise _HighsBackendError(f"failed to build the HiGHS model: {error}") from error
 
     def sync(self, rhs: np.ndarray, bounds: np.ndarray) -> None:
-        """Push the current right-hand sides and variable bounds."""
+        """Push the current right-hand sides and variable bounds.
+
+        Uses the API surface common to the highspy wheel and scipy's vendored
+        core: the set-based column-bound setter exists in both, but row bounds
+        are only settable one row at a time, so changed rows are detected
+        against the last pushed right-hand side and patched individually.
+        """
         try:
-            self._solver.changeRowsBoundsByRange(
-                0,
-                self._num_rows - 1,
-                np.full(self._num_rows, -self._inf),
-                np.asarray(rhs, dtype=np.float64),
-            )
-            self._solver.changeColsBoundsByRange(
-                0,
-                self._num_cols - 1,
-                np.asarray(bounds[:, 0], dtype=np.float64),
-                np.asarray(bounds[:, 1], dtype=np.float64),
-            )
+            rhs = np.asarray(rhs, dtype=np.float64)
+            if self._last_rhs is None:
+                changed = range(self._num_rows)
+            else:
+                changed = np.nonzero(rhs != self._last_rhs)[0]
+            for row in changed:
+                self._solver.changeRowBounds(int(row), -self._inf, float(rhs[row]))
+            self._last_rhs = rhs.copy()
+            bounds = np.asarray(bounds, dtype=np.float64)
+            if self._last_bounds is None or not np.array_equal(bounds, self._last_bounds):
+                self._solver.changeColsBounds(
+                    self._num_cols,
+                    self._col_index,
+                    np.ascontiguousarray(bounds[:, 0]),
+                    np.ascontiguousarray(bounds[:, 1]),
+                )
+                self._last_bounds = bounds.copy()
         except Exception as error:  # pragma: no cover - API drift guard
             raise _HighsBackendError(f"failed to update the HiGHS model: {error}") from error
 
@@ -155,7 +206,7 @@ class _PersistentHighsLP:
         """Solve; returns ``(x, row_duals)`` or ``None`` when not optimal."""
         try:
             self._solver.run()
-            if self._solver.getModelStatus() != _highspy.HighsModelStatus.kOptimal:
+            if self._solver.getModelStatus() != self._binding.HighsModelStatus.kOptimal:
                 return None
             solution = self._solver.getSolution()
             return (
@@ -198,6 +249,9 @@ class _RelaxationModel:
         num_f = self.num_fpgas
         num_n = num_k * num_f
         self.num_k, self.num_n = num_k, num_n
+        self.var_names = tuple(
+            variable_name(kernel, fpga) for kernel in self.names for fpga in range(num_f)
+        )
         self.wcet = np.array([problem.wcet[name] for name in self.names])
         self.ii_high = float(self.wcet.max())
 
@@ -251,6 +305,9 @@ class _RelaxationModel:
             return offset
 
         num_cap = len(dimensions) * num_f
+        self.num_cap = num_cap
+        self.sym_pairs = tuple(sym_pairs)
+        self.fpga_capacities = fpga_capacities
 
         # --- goal LP: [n..., phi], rows: coverage | capacity | symmetry | secant
         goal_rows = num_k + num_cap + num_sym + num_k
@@ -292,8 +349,9 @@ class AllocationRelaxation:
 
     ``lp_backend`` selects how the patched-in-place LPs are solved:
     ``"auto"`` uses one persistent HiGHS model per LP (built once, RHS /
-    bounds / secant coefficients hot-swapped) when ``highspy`` is importable
-    and falls back to ``scipy.optimize.linprog`` otherwise; ``"scipy"`` and
+    bounds / secant coefficients hot-swapped) when HiGHS bindings are
+    available -- the ``highspy`` wheel or scipy's vendored core -- and falls
+    back to ``scipy.optimize.linprog`` otherwise; ``"scipy"`` and
     ``"highs"`` force a specific backend.  Both backends solve the same
     arrays, so relaxation values are identical; the persistent model skips
     scipy's per-call model parse (~40 % of per-LP time).
@@ -327,6 +385,7 @@ class AllocationRelaxation:
                 "node_solves": 0,
                 "ii_cache_hits": 0,
                 "ii_cache_misses": 0,
+                "lp_batched_solves": 0,
             }
             object.__setattr__(self, "_cached_counters", counters)
         return counters
@@ -366,7 +425,9 @@ class AllocationRelaxation:
             if highspy_available():
                 return "highs"
             if backend == "highs":
-                raise RuntimeError("lp_backend='highs' requested but highspy is not installed")
+                raise RuntimeError(
+                    "lp_backend='highs' requested but no HiGHS bindings are available"
+                )
             return "scipy"
         raise ValueError(f"unknown lp_backend {backend!r}")
 
@@ -413,15 +474,8 @@ class AllocationRelaxation:
         model = self._model
         counters = self._counters
         counters["node_solves"] += 1
-        names, num_f = model.names, model.num_fpgas
-        lower = np.array(
-            [bounds.lower(variable_name(k, f)) for k in names for f in range(num_f)],
-            dtype=float,
-        )
-        upper = np.array(
-            [bounds.upper(variable_name(k, f)) for k in names for f in range(num_f)],
-            dtype=float,
-        )
+        lower = np.array([bounds.lower(name) for name in model.var_names], dtype=float)
+        upper = np.array([bounds.upper(name) for name in model.var_names], dtype=float)
 
         ii_min, feasible_point = self._min_feasible_ii(lower, upper)
         if ii_min is None:
@@ -699,3 +753,110 @@ class AllocationRelaxation:
             for fpga in range(num_fpgas):
                 mapping[variable_name(name, fpga)] = float(values[index * num_fpgas + fpga])
         return mapping
+
+
+def _capacity_matrix(problem: AllocationProblem) -> np.ndarray:
+    """Per-FPGA capacities of every active dimension, shape (D, F)."""
+    dimensions = problem.capacity_dimensions()
+    num_f = problem.num_fpgas
+    return np.array([dim.fpga_capacities(num_f) for dim in dimensions]).reshape(
+        len(dimensions), num_f
+    )
+
+
+class SweepRelaxationBatch:
+    """One relaxation model shared by every point of a sweep.
+
+    A resource-limit or T sweep solves the same pipeline on the same platform
+    shape over and over; only the capacity right-hand sides differ between
+    points.  Building an :class:`AllocationRelaxation` per point re-assembles
+    the constraint matrices and re-passes the model to HiGHS every time.
+    This batch builds the model (and its persistent HiGHS LPs) **once** and,
+    per point, hot-swaps the capacity RHS segments of the goal and
+    feasibility LPs -- the same patched-in-place discipline the relaxation
+    already uses for coverage rows and secants, extended across sweep points.
+
+    Every LP solved through the batch is additionally counted as
+    ``lp_batched_solves``, which callers thread into the per-point outcome
+    counters (and from there into ``/stats`` and the reporting tables).
+
+    Points whose skeleton differs (kernel set, WCETs, demand weights,
+    symmetry structure, objective weights) are rejected by
+    :meth:`compatible`; callers fall back to the per-point path for those.
+    """
+
+    def __init__(self, problem: AllocationProblem, symmetry_breaking: bool = True):
+        self.base_problem = problem
+        self.relaxation = AllocationRelaxation(
+            problem=problem, weights=problem.weights, symmetry_breaking=symmetry_breaking
+        )
+        self.relaxation._model  # build the shared skeleton eagerly
+
+    def compatible(self, problem: AllocationProblem) -> bool:
+        """Whether a sweep point shares this batch's model skeleton."""
+        model = self.relaxation._model
+        if tuple(problem.kernel_names) != tuple(model.names):
+            return False
+        if problem.num_fpgas != model.num_fpgas:
+            return False
+        if problem.weights != self.base_problem.weights:
+            return False
+        wcet = np.array([problem.wcet[name] for name in model.names])
+        if not np.array_equal(wcet, model.wcet):
+            return False
+        dimensions = problem.capacity_dimensions()
+        base_dimensions = self.base_problem.capacity_dimensions()
+        if len(dimensions) != len(base_dimensions):
+            return False
+        for dimension, base in zip(dimensions, base_dimensions):
+            if dimension.name != base.name or dimension.weights != base.weights:
+                return False
+        capacities = _capacity_matrix(problem)
+        pairs = tuple(
+            f
+            for f in range(model.num_fpgas - 1)
+            if np.array_equal(capacities[:, f], capacities[:, f + 1])
+        )
+        if self.relaxation.symmetry_breaking and model.num_fpgas > 1:
+            if pairs != model.sym_pairs:
+                return False
+            # The symmetry rows are built from the most contended dimension,
+            # which depends on the capacities and may flip along a sweep.
+            point_view = AllocationRelaxation(
+                problem=problem,
+                weights=problem.weights,
+                symmetry_breaking=self.relaxation.symmetry_breaking,
+            )
+            ours = self.relaxation._symmetry_dimension()
+            theirs = point_view._symmetry_dimension()
+            if (ours is None) != (theirs is None):
+                return False
+            if ours is not None and (
+                ours.name != theirs.name or ours.weights != theirs.weights
+            ):
+                return False
+        return True
+
+    def solve_point(
+        self, problem: AllocationProblem, bounds: VariableBounds
+    ) -> tuple[RelaxationResult, int]:
+        """Solve one point's root relaxation on the shared model.
+
+        Returns the relaxation result and the number of LPs it took (also
+        accumulated into the shared ``lp_batched_solves`` counter).  The
+        caller is responsible for having checked :meth:`compatible`.
+        """
+        model = self.relaxation._model
+        capacities = _capacity_matrix(problem).reshape(-1)
+        model.goal_b[model.num_k : model.num_k + model.num_cap] = capacities
+        model.feas_b[2 * model.num_k : 2 * model.num_k + model.num_cap] = capacities
+        # The minimum-feasible-II memo is keyed on bound boxes only; two
+        # points with identical boxes but different capacities must not share
+        # entries.
+        self.relaxation._ii_cache.clear()
+        counters = self.relaxation._counters
+        before = counters["lp_solves"]
+        result = self.relaxation.solve(bounds)
+        used = counters["lp_solves"] - before
+        counters["lp_batched_solves"] += used
+        return result, used

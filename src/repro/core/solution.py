@@ -7,7 +7,9 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Mapping, Sequence
 
-from ..platform.resources import ResourceVector, sum_resources
+import numpy as np
+
+from ..platform.resources import RESOURCE_KINDS, ResourceVector, sum_resources
 from .objective import global_spreading, kernel_spreading
 from .problem import AllocationProblem
 
@@ -60,6 +62,55 @@ def _wire_safe(value: Any) -> Any:
     if isinstance(value, list):
         return [_wire_safe(item) for item in value]
     return value
+
+
+@dataclass(frozen=True)
+class _FeasibilityKit:
+    """Array view of the per-kernel demands and per-FPGA limits of a problem.
+
+    The exact solvers call :meth:`AllocationSolution.is_feasible` once per
+    candidate in their inner loop; evaluating it through per-kernel
+    :class:`ResourceVector` arithmetic costs hundreds of object constructions
+    per call.  This kit flattens the same numbers into four arrays once per
+    problem (memoized on the frozen instance, like
+    :func:`repro.core.arrays.problem_arrays`) so the check is three matrix
+    comparisons.  :meth:`AllocationSolution.violations` remains the scalar
+    reference path -- it produces the human-readable messages and pins the
+    semantics the vectorized check must agree with.
+    """
+
+    names: tuple[str, ...]
+    resource_matrix: np.ndarray  # (K, 4) per-CU demand per resource kind
+    bandwidth: np.ndarray  # (K,) per-CU DRAM bandwidth demand
+    resource_limits: np.ndarray  # (F, 4) per-FPGA capacity per kind
+    bandwidth_limits: np.ndarray  # (F,) per-FPGA bandwidth capacity
+
+
+def _feasibility_kit(problem: AllocationProblem) -> _FeasibilityKit:
+    kit = getattr(problem, "_cached_feasibility_kit", None)
+    if kit is None:
+        names = problem.kernel_names
+        platform = problem.platform
+        kit = _FeasibilityKit(
+            names=names,
+            resource_matrix=np.array(
+                [[problem.resource_of(name)[kind] for kind in RESOURCE_KINDS] for name in names],
+                dtype=np.float64,
+            ).reshape(len(names), len(RESOURCE_KINDS)),
+            bandwidth=np.array(
+                [problem.bandwidth_of(name) for name in names], dtype=np.float64
+            ),
+            resource_limits=np.array(
+                [
+                    [limit[kind] for kind in RESOURCE_KINDS]
+                    for limit in platform.fpga_resource_limits()
+                ],
+                dtype=np.float64,
+            ),
+            bandwidth_limits=np.array(platform.fpga_bandwidth_limits(), dtype=np.float64),
+        )
+        object.__setattr__(problem, "_cached_feasibility_kit", kit)
+    return kit
 
 
 @dataclass(frozen=True)
@@ -230,8 +281,37 @@ class AllocationSolution:
         return problems
 
     def is_feasible(self, tolerance: float = CAPACITY_TOLERANCE) -> bool:
-        """True if the allocation respects every constraint of the problem."""
-        return not self.violations(tolerance=tolerance)
+        """True if the allocation respects every constraint of the problem.
+
+        Vectorized equivalent of ``not self.violations(tolerance=...)`` (the
+        scalar loop stays authoritative for the messages); this is the form
+        the exact solvers call once per candidate.
+        """
+        kit = _feasibility_kit(self.problem)
+        counts = self.counts_matrix()
+        if counts.size == 0:
+            return True
+        if counts.sum(axis=1).min() < 1.0:
+            return False  # some kernel has no CUs (constraint 8)
+        usage = counts.T @ kit.resource_matrix  # (F, kinds)
+        if np.any(usage > kit.resource_limits + tolerance):
+            return False  # constraint 9
+        bandwidth = counts.T @ kit.bandwidth  # (F,)
+        return not np.any(bandwidth > kit.bandwidth_limits + tolerance)  # constraint 10
+
+    def counts_matrix(self) -> np.ndarray:
+        """The CU counts as a dense ``(kernels, FPGAs)`` float matrix."""
+        return np.array(
+            [self.counts[name] for name in self.problem.kernel_names], dtype=np.float64
+        ).reshape(len(self.problem.kernel_names), self.problem.num_fpgas)
+
+    def max_usage_per_fpga(self) -> np.ndarray:
+        """Binding (max-component) resource usage of every FPGA, shape (F,)."""
+        kit = _feasibility_kit(self.problem)
+        counts = self.counts_matrix()
+        if counts.size == 0:
+            return np.zeros(self.problem.num_fpgas)
+        return (counts.T @ kit.resource_matrix).max(axis=1)
 
     # ------------------------------------------------------------------ #
     # Presentation

@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from ..core.exact import ExactSettings
+from ..core.exact import ExactSettings, seed_sweep_relaxations
 from ..core.heuristic import HeuristicSettings
 from ..core.problem import AllocationProblem
 from ..core.solution import SolveOutcome
@@ -74,17 +74,39 @@ def resource_constraint_sweep(
     heuristic_settings: HeuristicSettings | None = None,
     exact_settings: ExactSettings | None = None,
     executor: SweepExecutor | None = None,
+    preserve_skew: bool = False,
 ) -> list[SweepPoint]:
     """Solve the problem at every resource constraint with every method.
 
     Infeasible points are kept in the result (their outcome reports the
     status); the reporting layer decides whether to plot or skip them.
+    ``preserve_skew`` sweeps a heterogeneous platform without flattening its
+    per-class capacity ratios (each constraint names the reference class's
+    cap; the other classes scale proportionally), so the Figure 3-5 sweeps
+    run unchanged over heterogeneous presets.
+
+    When ``"minlp+g"`` is among the methods, the root LP relaxations of all
+    sweep points are batch-solved up front on one shared model skeleton
+    (:func:`~repro.core.exact.seed_sweep_relaxations`): the points differ
+    only in their capacity right-hand sides, so one persistent LP instance
+    is patched and re-solved per point instead of rebuilding the model each
+    time.  The LPs spent this way surface as the ``lp_batched_solves``
+    counter on the corresponding outcomes.
     """
     executor = executor or DEFAULT_EXECUTOR
     method_list = list(methods)
+    constrained_problems = [
+        problem.with_resource_constraint(constraint, preserve_skew=preserve_skew)
+        for constraint in constraints
+    ]
+    if "minlp+g" in method_list:
+        batched_counts = seed_sweep_relaxations(
+            constrained_problems, exact_settings or ExactSettings()
+        )
+    else:
+        batched_counts = [None] * len(constrained_problems)
     tasks = []
-    for constraint in constraints:
-        constrained = problem.with_resource_constraint(constraint)
+    for index, constrained in enumerate(constrained_problems):
         for method in method_list:
             tasks.append(
                 SolveTask(
@@ -92,14 +114,21 @@ def resource_constraint_sweep(
                     method=method,
                     heuristic_settings=heuristic_settings,
                     exact_settings=exact_settings,
-                    tag=(constraint, method),
+                    tag=(constraints[index], method, index),
                 )
             )
     outcomes = executor.map(run_solve_task, tasks)
-    return [
-        SweepPoint(resource_constraint=task.tag[0], method=task.tag[1], outcome=outcome)
-        for task, outcome in zip(tasks, outcomes)
-    ]
+    points = []
+    for task, outcome in zip(tasks, outcomes):
+        constraint, method, index = task.tag
+        if method == "minlp+g" and batched_counts[index] is not None:
+            outcome.counters["lp_batched_solves"] = (
+                outcome.counters.get("lp_batched_solves", 0) + batched_counts[index]
+            )
+        points.append(
+            SweepPoint(resource_constraint=constraint, method=method, outcome=outcome)
+        )
+    return points
 
 
 def _run_t_sweep_chunk(task: "TSweepTask") -> list[tuple[float, SweepPoint]]:

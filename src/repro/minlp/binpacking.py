@@ -41,12 +41,17 @@ componentwise-smaller one provably failed.
 from __future__ import annotations
 
 import math
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
+
+from . import _packcore
+
+_ENV_STRATEGY = "REPRO_PACKER_STRATEGY"
 
 
 @dataclass(frozen=True)
@@ -72,10 +77,19 @@ class PackingResult:
     assignment: Mapping[str, tuple[int, ...]]  # kernel name -> CUs per bin
     exact: bool  # True if infeasibility (when reported) is proven
     nodes: int = 0  # exact-search nodes expended (0: screens/heuristic answered)
+    completion_nodes: int = 0  # bin-completion engine nodes (0: not consulted)
 
     @classmethod
-    def infeasible(cls, exact: bool, nodes: int = 0) -> "PackingResult":
-        return cls(feasible=False, assignment={}, exact=exact, nodes=nodes)
+    def infeasible(
+        cls, exact: bool, nodes: int = 0, completion_nodes: int = 0
+    ) -> "PackingResult":
+        return cls(
+            feasible=False,
+            assignment={},
+            exact=exact,
+            nodes=nodes,
+            completion_nodes=completion_nodes,
+        )
 
 
 class PackingMemo:
@@ -282,11 +296,17 @@ class VectorBinPacker:
         placement: str = "consolidate",
         memo: PackingMemo | None = None,
         bin_capacities: "Sequence[Sequence[float]] | None" = None,
+        strategy: str | None = None,
     ):
         if num_bins < 1:
             raise ValueError("num_bins must be >= 1")
         if placement not in ("consolidate", "balance"):
             raise ValueError("placement must be 'consolidate' or 'balance'")
+        if strategy is None:
+            strategy = os.environ.get(_ENV_STRATEGY, "completion")
+        strategy = strategy.strip().lower() or "completion"
+        if strategy not in ("completion", "branching"):
+            raise ValueError("strategy must be 'completion' or 'branching'")
         if (capacity is None) == (bin_capacities is None):
             raise ValueError("pass exactly one of capacity or bin_capacities")
         if bin_capacities is not None:
@@ -321,9 +341,16 @@ class VectorBinPacker:
         #: "balance" fills the emptiest bin first, mimicking the spread-out
         #: allocations that a pure II-minimising MINLP solver typically emits.
         self.placement = placement
+        #: "completion" (default) proves feasibility with the bin-completion
+        #: engine and extracts the canonical assignment through the branching
+        #: search pruned by completion-based infeasibility proofs; "branching"
+        #: is the historical item-at-a-time search kept as parity reference.
+        self.strategy = strategy
         self.memo = memo
         #: Exact-search nodes expended by the last :meth:`pack` call.
         self.last_nodes = 0
+        #: Bin-completion engine nodes expended by the last :meth:`pack` call.
+        self.last_completion_nodes = 0
         #: Memo traffic of THIS packer instance.  Shared memos also keep
         #: global ``hits``/``misses``, but those interleave across concurrent
         #: solves; per-solve accounting must read the packer-local counters.
@@ -340,6 +367,7 @@ class VectorBinPacker:
             self.placement,
             self.max_backtrack_nodes,
             self.tolerance,
+            self.strategy,
         )
         if not self.uniform:
             key = key + (self.bin_capacities,)
@@ -358,6 +386,7 @@ class VectorBinPacker:
                 )
 
         self.last_nodes = 0
+        self.last_completion_nodes = 0
         if self.memo is not None:
             cached = self.memo.get(items)
             if cached is not None:
@@ -549,6 +578,161 @@ class VectorBinPacker:
     # Exact search
     # ------------------------------------------------------------------ #
     def _exact_search(self, items: Sequence[PackingItemType]) -> PackingResult:
+        if self.strategy == "completion":
+            return self._exact_search_completion(items)
+        return self._exact_search_branching(items)
+
+    def _search_order(
+        self, items: Sequence[PackingItemType]
+    ) -> list[PackingItemType]:
+        """Item types in the canonical decreasing-size search order."""
+        return sorted(
+            (item for item in items if item.count > 0),
+            key=lambda item: (max(item.size), item.count),
+            reverse=True,
+        )
+
+    def _exact_search_completion(
+        self, items: Sequence[PackingItemType]
+    ) -> PackingResult:
+        """Bin-completion strategy: prove feasibility near the root, then
+        extract the branching search's canonical assignment under pruning.
+
+        The completion engine (:mod:`repro.minlp._packcore`) decides
+        feasibility by closing bins one at a time with maximal completions.
+        A proven-infeasible verdict returns immediately.  A feasible verdict
+        re-runs the branching search with a completion-based oracle that
+        discards provably dead subtrees before they are entered -- pruning
+        solution-free subtrees never changes which assignment the branching
+        search reaches first, so the emitted packing is bit-identical to the
+        reference strategy at a fraction of the nodes.  An undecided verdict
+        (engine node budget exhausted) falls back to the plain branching
+        search, preserving its budget-exhaustion contract.
+        """
+        order = self._search_order(items)
+        if not order:
+            return self._exact_search_branching(items)
+        dims = len(self.capacity)
+        sizes = np.array([item.size for item in order], dtype=float).reshape(
+            len(order), dims
+        )
+        counts = np.array([item.count for item in order], dtype=np.int64)
+        bin_caps = np.array(self.bin_capacities, dtype=float).reshape(
+            self.num_bins, dims
+        )
+        budget = self.max_backtrack_nodes
+        tolerance = self.tolerance
+
+        # Two bins: feasibility is a box query over sub-multiset load vectors
+        # (whatever bin 0 receives, bin 1 gets the rest), decided exactly by
+        # the meet-in-the-middle tables -- no search, no budget, and the same
+        # tables answer every residual oracle query below.
+        two_bin = (
+            _packcore.two_bin_tables(sizes, counts) if self.num_bins == 2 else None
+        )
+        # The filtered half-tables and residual demand depend only on the
+        # residual count vector; the oracle probes each one under many load
+        # states, so both are cached per (kernel index, remaining copies).
+        filtered_cache: dict[tuple[int, int], tuple] = {}
+
+        def decide(residual_counts: np.ndarray, residual_caps: np.ndarray) -> int:
+            """Exact verdict for a residual instance via the two-bin tables."""
+            residual_demand = residual_counts @ sizes
+            lower = residual_demand - (residual_caps[1] + tolerance)
+            upper = residual_caps[0] + tolerance
+            return _packcore.two_bin_feasible(two_bin, residual_counts, lower, upper)
+
+        def decide_cached(
+            kernel_index: int,
+            remaining: int,
+            residual_counts: np.ndarray,
+            residual_caps: np.ndarray,
+        ) -> int:
+            state = (kernel_index, remaining)
+            entry = filtered_cache.get(state)
+            if entry is None:
+                entry = (
+                    _packcore.two_bin_filter(two_bin, residual_counts),
+                    residual_counts @ sizes,
+                )
+                filtered_cache[state] = entry
+            (sums_a, sums_b), residual_demand = entry
+            lower = residual_demand - (residual_caps[1] + tolerance)
+            upper = residual_caps[0] + tolerance
+            return _packcore.two_bin_box_feasible(sums_a, sums_b, lower, upper)
+
+        if two_bin is not None:
+            verdict = decide(counts, bin_caps)
+            engine_nodes = 0
+        else:
+            # The root proof gets a slice of the node budget: an undecided
+            # root falls back to the branching search with the FULL budget,
+            # so the worst case stays bounded by roughly the historical cost
+            # instead of doubling it on instances both searches find hard.
+            root_budget = max(1, budget // 4)
+            verdict, engine_nodes = _packcore.completion_feasible(
+                sizes, counts, bin_caps, tolerance, root_budget
+            )
+        self.last_completion_nodes = engine_nodes
+        if verdict == _packcore.INFEASIBLE:
+            self.last_nodes = 0
+            return PackingResult.infeasible(
+                exact=True, nodes=0, completion_nodes=engine_nodes
+            )
+        if verdict == _packcore.UNDECIDED:
+            return self._exact_search_branching(items)
+
+        # Feasible: extract the canonical assignment.  The oracle relaxes the
+        # mid-item bin restriction (CUs of the in-flight item may land in any
+        # bin), so "infeasible" answers remain sound prunes while "feasible"
+        # answers merely decline to prune.
+        oracle_memo: dict[tuple, bool] = {}
+
+        def oracle(
+            kernel_index: int, remaining: int, loads: np.ndarray
+        ) -> bool:
+            key = (kernel_index, remaining, loads.tobytes())
+            cached = oracle_memo.get(key)
+            if cached is not None:
+                return cached
+            residual_counts = counts.copy()
+            residual_counts[:kernel_index] = 0
+            residual_counts[kernel_index] = remaining
+            residual_caps = np.maximum(bin_caps - loads, 0.0)
+            # Most residual states along the canonical path pack greedily;
+            # a found witness answers without the exact machinery.
+            if _packcore.greedy_feasible(
+                sizes, residual_counts, residual_caps, tolerance
+            ):
+                oracle_memo[key] = True
+                return True
+            if two_bin is not None:
+                answer = (
+                    decide_cached(kernel_index, remaining, residual_counts, residual_caps)
+                    == _packcore.FEASIBLE
+                )
+                oracle_memo[key] = answer
+                return answer
+            spent = self.last_completion_nodes
+            if spent >= 2 * budget:
+                return True  # oracle budget drained; stop consulting
+            sub_verdict, sub_nodes = _packcore.completion_feasible(
+                sizes,
+                residual_counts,
+                residual_caps,
+                tolerance,
+                min(budget, 2 * budget - spent),
+            )
+            self.last_completion_nodes = spent + sub_nodes
+            answer = sub_verdict != _packcore.INFEASIBLE
+            oracle_memo[key] = answer
+            return answer
+
+        return self._exact_search_branching(items, oracle=oracle)
+
+    def _exact_search_branching(
+        self, items: Sequence[PackingItemType], oracle=None
+    ) -> PackingResult:
         """Depth-first search over per-kernel distributions with pruning.
 
         Item types are processed in decreasing size order; for each type the
@@ -556,12 +740,12 @@ class VectorBinPacker:
         left to right with the symmetry and slack pruning described in the
         module docstring.  The node budget bounds worst-case effort; if it is
         exhausted the result is reported as not proven exact.
+
+        ``oracle(kernel_index, remaining, loads)`` (optional) may veto a
+        recursion by returning ``False`` when the state is provably
+        infeasible; it must never veto a state that has a completion.
         """
-        order = sorted(
-            (item for item in items if item.count > 0),
-            key=lambda item: (max(item.size), item.count),
-            reverse=True,
-        )
+        order = self._search_order(items)
         num_items = len(order)
         dims = len(self.capacity)
         num_bins = self.num_bins
@@ -649,7 +833,10 @@ class VectorBinPacker:
                 # Aggregate-slack pruning: everything still unplaced must fit
                 # into the total remaining slack (O(dims) via the suffix sums).
                 demand = suffix[kernel_index + 1] + (remaining - count) * size
-                if np.all(demand <= total_capacity - total_load + slack_tolerance):
+                if np.all(demand <= total_capacity - total_load + slack_tolerance) and (
+                    oracle is None
+                    or oracle(kernel_index, remaining - count, loads)
+                ):
                     if distribute(
                         kernel_index, bin_index + 1, remaining - count, count, load_before
                     ):
@@ -668,5 +855,10 @@ class VectorBinPacker:
                 assignment={name: tuple(values) for name, values in assignment.items()},
                 exact=True,
                 nodes=nodes,
+                completion_nodes=self.last_completion_nodes,
             )
-        return PackingResult.infeasible(exact=not exhausted, nodes=nodes)
+        return PackingResult.infeasible(
+            exact=not exhausted,
+            nodes=nodes,
+            completion_nodes=self.last_completion_nodes,
+        )

@@ -24,6 +24,7 @@ def cache_stats_table(stats: Mapping[str, Any], title: str = "Result cache") -> 
         "evictions",
         "disk_evictions",
         "ttl_evictions",
+        "rebalances",
         "lookups",
     ):
         if counter in stats:
@@ -58,6 +59,7 @@ def jobs_table(stats: Mapping[str, Any], title: str = "Async jobs") -> TextTable
 #: feasibility/relaxation memo tiers).
 SOLVER_COUNTERS = (
     "lp_solves",
+    "lp_batched_solves",
     "feasibility_lps",
     "probe_lps",
     "node_solves",
@@ -68,6 +70,7 @@ SOLVER_COUNTERS = (
     "relaxation_cache_misses",
     "packs",
     "packer_search_nodes",
+    "packer_completion_nodes",
     "packer_exact_searches",
     "packing_memo_hits",
     "packing_memo_misses",

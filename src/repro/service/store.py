@@ -103,6 +103,7 @@ class CacheStats:
     evictions: int = 0
     disk_evictions: int = 0
     ttl_evictions: int = 0
+    rebalances: int = 0
 
     @property
     def lookups(self) -> int:
@@ -122,6 +123,7 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_evictions": self.disk_evictions,
             "ttl_evictions": self.ttl_evictions,
+            "rebalances": self.rebalances,
             "lookups": self.lookups,
             "hit_rate": self.hit_rate,
         }
@@ -135,6 +137,7 @@ class CacheStats:
             evictions=self.evictions,
             disk_evictions=self.disk_evictions,
             ttl_evictions=self.ttl_evictions,
+            rebalances=self.rebalances,
         )
 
     def add(self, other: "CacheStats") -> "CacheStats":
@@ -146,6 +149,7 @@ class CacheStats:
         self.evictions += other.evictions
         self.disk_evictions += other.disk_evictions
         self.ttl_evictions += other.ttl_evictions
+        self.rebalances += other.rebalances
         return self
 
 
@@ -227,14 +231,20 @@ class MemoryTier:
             len(payload.encode("utf-8")),
         )
         self._bytes += self._entries[fingerprint][2]
+        return self._evict_over_caps(now)
+
+    def _evict_over_caps(self, now: float) -> int:
+        """Evict LRU-head entries until the caps hold; returns cap evictions.
+
+        The most recently touched entry always survives: a just-written entry
+        sits at the tail, so an acknowledged put outlives its own eviction
+        pass even when it alone exceeds the byte cap.
+        """
         evicted = 0
         while len(self._entries) > 1 and (
             len(self._entries) > self.capacity
             or (self.max_bytes is not None and self._bytes > self.max_bytes)
         ):
-            # Evict from the LRU head; the just-written entry sits at the
-            # tail, so an acknowledged put always survives its own eviction
-            # pass even when it alone exceeds the byte cap.
             oldest, (_, oldest_stored_at, _) = next(iter(self._entries.items()))
             self._drop(oldest)
             if self._expired(oldest_stored_at, now):
@@ -243,6 +253,14 @@ class MemoryTier:
                 evicted += 1
         self.evictions += evicted
         return evicted
+
+    def set_caps(self, capacity: int, max_bytes: int | None) -> int:
+        """Re-cap the tier in place (load-aware rebalancing); evicts if shrunk."""
+        if capacity < 1:
+            raise ValueError("memory tier capacity must be >= 1")
+        self.capacity = capacity
+        self.max_bytes = max_bytes
+        return self._evict_over_caps(self._clock())
 
 
 class SqliteTier:
@@ -363,6 +381,23 @@ class SqliteTier:
         self.evictions += evicted
         return evicted
 
+    def set_caps(self, max_entries: int | None, max_bytes: int | None) -> int:
+        """Re-cap the tier in place (load-aware rebalancing); evicts if shrunk.
+
+        The newest row is protected, mirroring the put-path guarantee that an
+        acknowledged write is never evicted by the pass it triggered.
+        """
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        newest = self._connection.execute(
+            "SELECT fingerprint FROM results ORDER BY created_unix DESC, fingerprint DESC LIMIT 1"
+        ).fetchone()
+        if newest is None:
+            return 0
+        evicted = self._evict_over_caps(protect=newest[0], now=self._clock())
+        self._connection.commit()
+        return evicted
+
     def close(self) -> None:
         self._connection.close()
 
@@ -455,6 +490,26 @@ class ResultStore:
             if self._disk is not None:
                 self._disk.put(fingerprint, payload)
 
+    def apply_limits(self, limits: StoreLimits) -> None:
+        """Re-cap both tiers in place (load-aware shard rebalancing).
+
+        Shrinking a cap evicts oldest-first immediately, so the store honours
+        its new budget as soon as the call returns; growing a cap simply
+        stops future evictions.  The TTL is not changed -- expiry bounds
+        staleness, not capacity, so rebalancing must not touch it.
+        """
+        with self._lock:
+            self.limits = StoreLimits(
+                memory_entries=limits.memory_entries,
+                memory_bytes=limits.memory_bytes,
+                disk_entries=limits.disk_entries,
+                disk_bytes=limits.disk_bytes,
+                ttl_seconds=self.limits.ttl_seconds,
+            )
+            self._memory.set_caps(limits.memory_entries, limits.memory_bytes)
+            if self._disk is not None:
+                self._disk.set_caps(limits.disk_entries, limits.disk_bytes)
+
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
     # ------------------------------------------------------------------ #
@@ -515,6 +570,28 @@ class ResultStore:
         self.close()
 
 
+def split_cap_by_weight(cap: int | None, weights: list[int]) -> list[int | None]:
+    """Split an integer cap across shards proportionally to demand weights.
+
+    Largest-remainder rounding keeps the total at ``cap`` exactly, except
+    that every shard is floored at one entry/byte (matching the
+    :meth:`StoreLimits.per_shard` contract of at most ``cap + shards``
+    fleet-wide).  Zero total weight degrades to an even split.
+    """
+    if cap is None:
+        return [None] * len(weights)
+    total = sum(weights)
+    if total <= 0:
+        return [max(1, -(-cap // len(weights)))] * len(weights)
+    raw = [cap * weight / total for weight in weights]
+    shares = [int(value) for value in raw]
+    remainder = cap - sum(shares)
+    by_fraction = sorted(range(len(raw)), key=lambda i: raw[i] - shares[i], reverse=True)
+    for index in by_fraction[:remainder]:
+        shares[index] += 1
+    return [max(1, share) for share in shares]
+
+
 def shard_of(fingerprint: str, num_shards: int) -> int:
     """Deterministic shard index of a fingerprint.
 
@@ -540,8 +617,21 @@ class ShardedResultStore:
     restart with the same ``num_shards`` finds every entry again.  Each shard
     owns its lock, LRU front and SQLite file (``shard-<i>/results.sqlite``
     under ``cache_dir``); concurrent operations on different shards never
-    contend.  Store-level caps are split across the shards via
+    contend.  Store-level caps start evenly split across the shards via
     :meth:`StoreLimits.per_shard`.
+
+    Load-aware rebalancing
+    ----------------------
+    Fingerprints hash uniformly, but real workloads do not: a sweep replay
+    can hammer a handful of shards while the rest sit idle, and an even cap
+    split then makes the hot shards thrash (evict entries the next request
+    needs) while cold shards hoard unused budget.  :meth:`rebalance`
+    re-splits the store-level caps by *observed* per-shard pressure --
+    current occupancy plus the evictions suffered since the last rebalance
+    -- so hot shards grow at the expense of cold ones while the fleet-wide
+    total stays within the configured caps.  Pass ``rebalance_interval=N``
+    to trigger it automatically every ``N`` puts; each pass increments the
+    ``rebalances`` counter surfaced through ``stats()`` and ``/stats``.
     """
 
     def __init__(
@@ -551,9 +641,12 @@ class ShardedResultStore:
         memory_capacity: int = 4096,
         limits: StoreLimits | None = None,
         clock: Callable[[], float] = time.time,
+        rebalance_interval: int | None = None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if rebalance_interval is not None and rebalance_interval < 1:
+            raise ValueError("rebalance_interval must be >= 1 (or None to disable)")
         self.limits = limits if limits is not None else StoreLimits(memory_entries=memory_capacity)
         self.num_shards = num_shards
         shard_limits = self.limits.per_shard(num_shards)
@@ -565,6 +658,12 @@ class ShardedResultStore:
             )
             for index in range(num_shards)
         ]
+        self.rebalances = 0
+        self._rebalance_interval = rebalance_interval
+        self._rebalance_lock = threading.Lock()
+        self._puts_since_rebalance = 0
+        self._evictions_at_rebalance = [0] * num_shards
+        self._disk_evictions_at_rebalance = [0] * num_shards
 
     def shard_index(self, fingerprint: str) -> int:
         return shard_of(fingerprint, self.num_shards)
@@ -580,6 +679,69 @@ class ShardedResultStore:
 
     def put(self, fingerprint: str, payload: str) -> None:
         self.shard(fingerprint).put(fingerprint, payload)
+        if self._rebalance_interval is not None:
+            with self._rebalance_lock:
+                self._puts_since_rebalance += 1
+                due = self._puts_since_rebalance >= self._rebalance_interval
+                if due:
+                    self._puts_since_rebalance = 0
+            if due:
+                self.rebalance()
+
+    # ------------------------------------------------------------------ #
+    # Load-aware cap rebalancing
+    # ------------------------------------------------------------------ #
+    def rebalance(self) -> list[StoreLimits]:
+        """Re-split the store caps by observed per-shard pressure.
+
+        A shard's pressure is its current occupancy plus the cap evictions it
+        suffered since the last rebalance (entries that *wanted* to be there
+        but were pushed out -- the thrashing signal).  Memory and disk tiers
+        are weighted independently; every shard keeps at least one entry of
+        budget, so a cold shard can always warm back up and earn budget at
+        the next pass.  Returns the limits applied to each shard.
+        """
+        with self._rebalance_lock:
+            stats = [shard.stats() for shard in self._shards]
+            sizes = [shard.sizes() for shard in self._shards]
+            memory_weights = []
+            disk_weights = []
+            for index, shard_stats in enumerate(stats):
+                evicted = shard_stats.evictions - self._evictions_at_rebalance[index]
+                disk_evicted = (
+                    shard_stats.disk_evictions
+                    - self._disk_evictions_at_rebalance[index]
+                )
+                # "+ 1" keeps an idle shard's weight positive so a burst of
+                # traffic toward it is never starved down to a zero share.
+                memory_weights.append(sizes[index].get("memory", 0) + max(0, evicted) + 1)
+                disk_weights.append(sizes[index].get("disk", 0) + max(0, disk_evicted) + 1)
+                self._evictions_at_rebalance[index] = shard_stats.evictions
+                self._disk_evictions_at_rebalance[index] = shard_stats.disk_evictions
+            # Byte caps follow the same pressure weights as entry caps: the
+            # shards store payloads of one service, so entry skew and byte
+            # skew track each other closely.
+            memory_entries = split_cap_by_weight(self.limits.memory_entries, memory_weights)
+            memory_bytes = split_cap_by_weight(self.limits.memory_bytes, memory_weights)
+            disk_entries = split_cap_by_weight(self.limits.disk_entries, disk_weights)
+            disk_bytes = split_cap_by_weight(self.limits.disk_bytes, disk_weights)
+            applied = []
+            for index, shard in enumerate(self._shards):
+                shard_limits = StoreLimits(
+                    memory_entries=memory_entries[index],
+                    memory_bytes=memory_bytes[index],
+                    disk_entries=disk_entries[index],
+                    disk_bytes=disk_bytes[index],
+                    ttl_seconds=self.limits.ttl_seconds,
+                )
+                shard.apply_limits(shard_limits)
+                applied.append(shard_limits)
+            self.rebalances += 1
+            return applied
+
+    def shard_limits(self) -> list[StoreLimits]:
+        """The cap split currently in force (one entry per shard)."""
+        return [shard.limits for shard in self._shards]
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
@@ -589,6 +751,7 @@ class ShardedResultStore:
         total = CacheStats()
         for shard in self._shards:
             total.add(shard.stats())
+        total.rebalances = self.rebalances
         return total
 
     def per_shard_stats(self) -> list[CacheStats]:

@@ -1,6 +1,9 @@
 """Tests for the greedy allocator (Algorithm 1) and its ablation baseline."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.allocator import (
     AllocatorSettings,
@@ -176,3 +179,102 @@ class TestFirstFitBaseline:
         greedy_solution = solution_of(problem, greedy)
         ffd_solution = solution_of(problem, ffd)
         assert greedy_solution.spreading <= ffd_solution.spreading + 1e-9
+
+
+def reference_ffd(problem, totals):
+    """Per-item first-fit-decreasing: the pre-vectorization reference.
+
+    Places every CU one at a time into the first FPGA with room, coverage
+    pass first -- the semantics the batched NumPy version must reproduce
+    byte-for-byte.
+    """
+    from repro.core.allocator import _TOL
+
+    arrays = problem.arrays()
+    unit = np.ascontiguousarray(arrays.weights.T)
+    slack = np.ascontiguousarray(arrays.fpga_capacity.T).copy()
+    counts = np.zeros((arrays.num_kernels, problem.num_fpgas), dtype=np.int64)
+    remaining = np.asarray([int(totals[name]) for name in arrays.names], dtype=np.int64)
+    resource_columns = [
+        d for d in range(arrays.num_dimensions) if d != arrays.bandwidth_row
+    ]
+    if resource_columns:
+        footprint = unit[:, resource_columns].max(axis=1)
+    else:
+        footprint = np.zeros(arrays.num_kernels)
+    order = sorted(range(arrays.num_kernels), key=lambda k: footprint[k], reverse=True)
+
+    def place_one(kernel):
+        fits = np.all(unit[kernel] <= slack + _TOL, axis=1)
+        hosts = np.nonzero(fits)[0]
+        if hosts.size == 0:
+            return False
+        fpga = int(hosts[0])
+        slack[fpga] -= unit[kernel]
+        counts[kernel, fpga] += 1
+        remaining[kernel] -= 1
+        return True
+
+    for kernel in order:
+        if remaining[kernel] > 0:
+            place_one(kernel)
+    for kernel in order:
+        while remaining[kernel] > 0 and place_one(kernel):
+            pass
+    return counts, remaining
+
+
+@st.composite
+def ffd_problems(draw):
+    # Demands on a 1/8 grid: exactly representable in binary, so the
+    # reference's repeated subtraction and the batched floor division see
+    # the same arithmetic and parity is genuinely byte-identical.
+    grid = st.integers(min_value=0, max_value=160).map(lambda n: n / 8.0)
+    num_kernels = draw(st.integers(min_value=1, max_value=5))
+    kernels = []
+    for index in range(num_kernels):
+        bram = draw(grid)
+        dsp = draw(grid)
+        bandwidth = draw(grid)
+        if bram == 0.0 and dsp == 0.0:
+            bram = 0.125  # a CU must demand something on at least one kind
+        kernels.append(
+            Kernel(
+                f"k{index}",
+                ResourceVector(bram=bram, dsp=dsp),
+                bandwidth=bandwidth,
+                wcet_ms=1.0,
+            )
+        )
+    num_fpgas = draw(st.integers(min_value=1, max_value=4))
+    limit = draw(st.sampled_from([40.0, 62.5, 70.0, 87.5, 100.0]))
+    problem = AllocationProblem(
+        pipeline=Pipeline(name="ffd-prop", kernels=kernels),
+        platform=aws_f1(num_fpgas=num_fpgas, resource_limit_percent=limit),
+    )
+    totals = {
+        kernel.name: draw(st.integers(min_value=1, max_value=6)) for kernel in kernels
+    }
+    return problem, totals
+
+
+class TestFFDBatchParity:
+    @settings(max_examples=150, deadline=None)
+    @given(ffd_problems())
+    def test_batched_ffd_matches_per_item_reference(self, case):
+        problem, totals = case
+        result = first_fit_decreasing_allocate(problem, totals)
+        reference_counts, reference_remaining = reference_ffd(problem, totals)
+        arrays = problem.arrays()
+        for index, name in enumerate(arrays.names):
+            assert tuple(result.counts[name]) == tuple(reference_counts[index]), name
+        assert result.success == (not reference_remaining.any())
+
+    def test_batched_ffd_matches_reference_on_case_study(self, alex16_problem):
+        problem = alex16_problem.with_resource_constraint(70.0)
+        totals = {name: 2 for name in problem.kernel_names}
+        result = first_fit_decreasing_allocate(problem, totals)
+        reference_counts, _ = reference_ffd(problem, totals)
+        arrays = problem.arrays()
+        for index, name in enumerate(arrays.names):
+            assert tuple(result.counts[name]) == tuple(reference_counts[index])

@@ -44,9 +44,13 @@ def _alex16_on_4_fpgas(resource_percent: float) -> AllocationProblem:
 
 
 @pytest.fixture(autouse=True)
-def _cold_packing_memos():
+def _cold_packing_memos(monkeypatch):
     # The seed path triggers on budget-exhausted probes; shared memos from
-    # other tests could answer them first and mask the scenario.
+    # other tests could answer them first and mask the scenario.  The
+    # scenario itself is specific to the *branching* packer: the default
+    # bin-completion strategy proves these probes within the same budget and
+    # never consults the seed (see test_completion_strategy_needs_no_seed).
+    monkeypatch.setenv("REPRO_PACKER_STRATEGY", "branching")
     shared_packing_memos_clear()
     yield
     shared_packing_memos_clear()
@@ -85,6 +89,22 @@ def test_seed_gated_by_settings_reproduces_old_overestimate():
     assert unseeded.counters["packer_seed_packs"] == 0
     assert seeded.objective < unseeded.objective  # the seed strictly improves
     assert unseeded.objective == pytest.approx(0.6325, rel=1e-9)
+
+
+def test_completion_strategy_needs_no_seed(monkeypatch):
+    """The default bin-completion strategy proves the probes the branching
+    search exhausted its budget on, without ever consulting the heuristic
+    seed -- and lands on a strictly better (verified feasible) optimum than
+    the seeded branching search: the seed only repairs probes the heuristic's
+    counts dominate, while the completion engine proves the rest outright."""
+    monkeypatch.setenv("REPRO_PACKER_STRATEGY", "completion")
+    shared_packing_memos_clear()
+    outcome = solve_exact_min_ii(_alex16_on_4_fpgas(70.0), FAST_BUDGET)
+    assert outcome.succeeded
+    assert outcome.solution is not None and outcome.solution.is_feasible()
+    assert outcome.details["optimal_ii"] == pytest.approx(0.5871428571428572, rel=1e-12)
+    assert outcome.details["optimal_ii"] < CORRECTED_II[70.0]
+    assert outcome.counters["packer_seed_packs"] == 0
 
 
 def test_seed_does_not_touch_proven_probes(tiny_problem):

@@ -56,6 +56,29 @@ class TestSweeps:
         points = resource_constraint_sweep(tiny_problem, [80], methods=("gp+a", "minlp"))
         assert {p.method for p in points} == {"gp+a", "minlp"}
 
+    def test_sweep_preserve_skew_keeps_class_ratio(self, alex16_problem):
+        from repro.core.problem import AllocationProblem
+        from repro.reporting.experiments import skew_platform
+
+        hetero = AllocationProblem(
+            pipeline=alex16_problem.pipeline,
+            platform=skew_platform(20.0, base_constraint=70.0),
+            weights=alex16_problem.weights,
+        )
+        points = resource_constraint_sweep(
+            hetero, [56, 70], methods=("gp+a",), preserve_skew=True
+        )
+        # Re-derive the constrained platforms directly: each sweep point must
+        # keep the 50/70 derated-to-reference ratio instead of flattening it.
+        for constraint in (56.0, 70.0):
+            constrained = hetero.with_resource_constraint(constraint, preserve_skew=True)
+            reference, derated = constrained.platform.classes
+            assert reference.resource_limit.max_component() == pytest.approx(constraint)
+            assert derated.resource_limit.max_component() == pytest.approx(
+                constraint * 50.0 / 70.0
+            )
+        assert all(point.feasible for point in points)
+
     def test_t_parameter_sweep_shape(self, alex16_problem):
         results = t_parameter_sweep(alex16_problem, constraints=[70, 80], t_values=(0.0, 10.0))
         assert set(results) == {0.0, 10.0}

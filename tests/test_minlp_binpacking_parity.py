@@ -219,7 +219,14 @@ class TestNodeBudgetExhaustion:
         result = packer.pack(items)
         assert not result.feasible
         assert result.exact
-        assert 0 < result.nodes <= packer.max_backtrack_nodes
+        # The default completion strategy proves this at the root (the
+        # two-bin decider), without expanding a single branching node.
+        assert result.nodes == 0
+        branching = VectorBinPacker(num_bins=2, capacity=[10.0], strategy="branching")
+        reference = branching.pack(items)
+        assert not reference.feasible
+        assert reference.exact
+        assert 0 < reference.nodes <= branching.max_backtrack_nodes
 
 
 class TestPackingMemo:

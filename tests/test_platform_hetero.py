@@ -124,6 +124,25 @@ class TestSweeps:
         )
         assert not derated.is_homogeneous  # class structure survives
 
+    def test_with_resource_limit_preserve_skew_scales_classes(self):
+        # 70/35 reference/derated ratio: capping the reference at 50 must
+        # derate the second class to 25, not flatten both to 50.
+        scaled = two_class_platform().with_resource_limit(50.0, preserve_skew=True)
+        assert scaled.classes[0].resource_limit == ResourceVector.full(50.0)
+        assert scaled.classes[1].resource_limit == ResourceVector.full(25.0)
+        assert scaled.resource_limit == ResourceVector.full(50.0)
+        assert not scaled.is_homogeneous
+
+    def test_preserve_skew_is_identity_at_reference_cap(self):
+        platform = two_class_platform()
+        assert platform.with_resource_limit(70.0, preserve_skew=True) == platform
+
+    def test_preserve_skew_on_homogeneous_matches_default(self):
+        platform = aws_f1(num_fpgas=2, resource_limit_percent=70.0)
+        assert platform.with_resource_limit(55.0, preserve_skew=True) == (
+            platform.with_resource_limit(55.0)
+        )
+
     def test_with_bandwidth_limit_applies_to_every_class(self):
         capped = two_class_platform().with_bandwidth_limit(25.0)
         assert capped.fpga_bandwidth_limits() == (25.0,) * 5

@@ -1,0 +1,128 @@
+"""Load-aware cap rebalancing of the sharded result store.
+
+An even cap split assumes uniform traffic; a skewed replay makes the hot
+shards thrash while cold shards hoard budget.  These tests pin the
+rebalancing contract: caps re-split proportionally to observed pressure
+(occupancy + evictions since the last pass), fleet-wide totals stay within
+the configured caps plus the one-entry-per-shard floor, acknowledged writes
+stay readable, and a hot shard demonstrably stops evicting once it owns the
+budget its traffic demands.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.store import (
+    ShardedResultStore,
+    StoreLimits,
+    shard_of,
+    split_cap_by_weight,
+)
+
+
+def fingerprints_for_shard(store: ShardedResultStore, shard: int, count: int) -> list[str]:
+    """Distinct fingerprints that all hash to one shard."""
+    found = []
+    index = 0
+    while len(found) < count:
+        candidate = f"{index:08x}-key"
+        if shard_of(candidate, store.num_shards) == shard:
+            found.append(candidate)
+        index += 1
+    return found
+
+
+class TestSplitCapByWeight:
+    def test_proportional_split_preserves_total(self):
+        shares = split_cap_by_weight(100, [3, 1, 1, 0])
+        assert sum(shares) == pytest.approx(100, abs=len(shares))
+        assert shares[0] > shares[1] >= shares[3] >= 1
+
+    def test_zero_weights_degrade_to_even_split(self):
+        assert split_cap_by_weight(8, [0, 0]) == [4, 4]
+
+    def test_none_cap_stays_unbounded(self):
+        assert split_cap_by_weight(None, [1, 2, 3]) == [None, None, None]
+
+    def test_every_shard_keeps_at_least_one(self):
+        shares = split_cap_by_weight(4, [1000, 1, 1, 1, 1, 1, 1, 1])
+        assert all(share >= 1 for share in shares)
+        # The floor may push the total slightly over the cap, never beyond
+        # one entry per shard (the StoreLimits.per_shard contract).
+        assert sum(shares) <= 4 + 8
+
+
+class TestRebalance:
+    def test_hot_shard_grows_and_cold_shards_shrink(self):
+        store = ShardedResultStore(num_shards=4, limits=StoreLimits(memory_entries=40))
+        hot = fingerprints_for_shard(store, 0, 60)
+        for key in hot:
+            store.put(key, "payload")
+        before = store.shard_limits()
+        assert before[0].memory_entries == 10  # even split: 40 / 4
+        evictions_before = store.per_shard_stats()[0].evictions
+        assert evictions_before > 0  # the hot shard was thrashing
+        store.rebalance()
+        after = store.shard_limits()
+        assert after[0].memory_entries > before[0].memory_entries
+        assert sum(limits.memory_entries for limits in after) <= 40 + store.num_shards
+        assert all(limits.memory_entries >= 1 for limits in after)
+
+    def test_rebalanced_hot_shard_stops_thrashing(self):
+        limits = StoreLimits(memory_entries=40)
+        skewed = ShardedResultStore(num_shards=4, limits=limits)
+        hot = fingerprints_for_shard(skewed, 0, 35)
+        for key in hot:
+            skewed.put(key, "payload")
+        skewed.rebalance()
+        # The hot shard now owns (almost) the whole budget: replaying the
+        # same keys must hit without a single further cap eviction.
+        evictions_after_rebalance = skewed.per_shard_stats()[0].evictions
+        for key in hot:
+            skewed.put(key, "payload")
+        assert skewed.per_shard_stats()[0].evictions == evictions_after_rebalance
+        assert all(skewed.get(key).hit for key in hot)
+
+    def test_acknowledged_puts_survive_a_shrinking_pass(self):
+        store = ShardedResultStore(num_shards=2, limits=StoreLimits(memory_entries=16))
+        hot = fingerprints_for_shard(store, 0, 12)
+        cold = fingerprints_for_shard(store, 1, 2)
+        for key in hot + cold:
+            store.put(key, "payload")
+        store.rebalance()  # shard 1 shrinks well below its even share
+        assert all(store.get(key).hit for key in cold)
+
+    def test_automatic_rebalance_every_n_puts(self):
+        store = ShardedResultStore(
+            num_shards=2,
+            limits=StoreLimits(memory_entries=8),
+            rebalance_interval=5,
+        )
+        for key in fingerprints_for_shard(store, 0, 11):
+            store.put(key, "payload")
+        assert store.rebalances == 2
+        assert store.stats().rebalances == 2
+
+    def test_disk_tier_caps_rebalance_too(self, tmp_path):
+        limits = StoreLimits(memory_entries=64, disk_entries=20)
+        store = ShardedResultStore(cache_dir=tmp_path, num_shards=4, limits=limits)
+        try:
+            for key in fingerprints_for_shard(store, 2, 30):
+                store.put(key, "payload")
+            store.rebalance()
+            after = store.shard_limits()
+            assert after[2].disk_entries > limits.per_shard(4).disk_entries
+            assert sum(l.disk_entries for l in after) <= 20 + store.num_shards
+        finally:
+            store.close()
+
+    def test_rebalance_preserves_ttl(self):
+        limits = StoreLimits(memory_entries=8, ttl_seconds=123.0)
+        store = ShardedResultStore(num_shards=2, limits=limits)
+        store.rebalance()
+        assert all(l.ttl_seconds == 123.0 for l in store.shard_limits())
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            ShardedResultStore(num_shards=2, rebalance_interval=0)
