@@ -27,6 +27,7 @@ import sys
 import time
 
 from repro import aws_f1, alexnet_fx16, AllocationProblem
+from repro.obs.metrics import validate_prometheus_text
 from repro.reporting.service import batch_report_table, cache_stats_table
 from repro.service import ServiceClient, ServiceError, SolveRequest
 
@@ -56,18 +57,20 @@ def wait_for_health(client: ServiceClient, timeout_seconds: float = 30.0) -> Non
             time.sleep(0.2)
 
 
-def spawn_server(port: int, shards: int = 1, workers: int = 1) -> subprocess.Popen:
+def spawn_server(
+    port: int, shards: int = 1, workers: int = 1, trace: bool = False
+) -> subprocess.Popen:
     environment = dict(os.environ)
     source_root = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
     existing = environment.get("PYTHONPATH", "")
     environment["PYTHONPATH"] = source_root + (os.pathsep + existing if existing else "")
-    return subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve", "--port", str(port),
-            "--shards", str(shards), "--workers", str(workers),
-        ],
-        env=environment,
-    )
+    command = [
+        sys.executable, "-m", "repro", "serve", "--port", str(port),
+        "--shards", str(shards), "--workers", str(workers), "--quiet",
+    ]
+    if trace:
+        command.append("--trace")
+    return subprocess.Popen(command, env=environment)
 
 
 def main() -> int:
@@ -82,6 +85,8 @@ def main() -> int:
                         help="drive /solve_batch synchronously or through the job queue")
     parser.add_argument("--shards", type=int, default=1, help="result-store shards (with --spawn)")
     parser.add_argument("--workers", type=int, default=1, help="async job workers (with --spawn)")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable solve tracing on the spawned server and check /trace")
     parser.add_argument("--check", action="store_true", help="fail unless dedupe/cache stats hold")
     args = parser.parse_args()
     if args.requests < args.unique:
@@ -92,7 +97,9 @@ def main() -> int:
     process: subprocess.Popen | None = None
     try:
         if args.spawn:
-            process = spawn_server(args.port, shards=args.shards, workers=args.workers)
+            process = spawn_server(
+                args.port, shards=args.shards, workers=args.workers, trace=args.trace
+            )
             args.url = f"http://127.0.0.1:{args.port}"
         client = ServiceClient(args.url)
         wait_for_health(client)
@@ -134,8 +141,31 @@ def main() -> int:
         stats = client.stats()
         print(cache_stats_table(stats["cache"]).render())
 
+        # Scrape /metrics and validate the Prometheus exposition format.
+        metrics_text = client.metrics()
+        metrics_problems = validate_prometheus_text(metrics_text)
+        solve_hist_populated = "repro_cache_hit_latency_seconds_bucket" in metrics_text
+        print(f"\n/metrics: {len(metrics_text.splitlines())} lines, "
+              f"{len(metrics_problems)} format problems")
+
+        trace_document = None
+        if args.trace:
+            fingerprint = client.solve(requests[0].problem, method=requests[0].method)[
+                "fingerprint"
+            ]
+            trace_document = client.trace(fingerprint)
+            print(f"/trace/{fingerprint[:12]}...: "
+                  f"root '{trace_document['root']['name']}', "
+                  f"{trace_document['duration_seconds'] * 1000:.3f} ms")
+
         if args.check:
             failures = []
+            if metrics_problems:
+                failures.append(f"/metrics format problems: {metrics_problems[:3]}")
+            if not solve_hist_populated:
+                failures.append("latency histograms absent from /metrics after replay")
+            if args.trace and trace_document is None:
+                failures.append("tracing requested but no trace came back")
             if submit_seconds is not None:
                 # Over HTTP the submit cost is dominated by parsing the N
                 # problem documents in the request body; the < 5 ms bound on

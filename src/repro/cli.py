@@ -10,6 +10,9 @@ Three sub-commands cover the common workflows::
     repro-fpga experiment hetero-skew        # heterogeneous class-skew sweep
     repro-fpga serve --port 8000 --jobs 4 --cache-dir ~/.cache/repro-fpga
     repro-fpga serve --shards 8 --workers 4 --cache-cap 268435456 --cache-ttl 86400
+    repro-fpga serve --trace --quiet          # record solve traces, no access log
+    repro-fpga trace --output traces.jsonl    # traced runtime table + span breakdown
+    repro-fpga trace --gate                   # assert traced wall vs the perf gate
 
 ``--platform-spec`` points at a JSON platform document (written by
 ``repro.workloads.serialization.save_platform``); a document with a
@@ -150,6 +153,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seconds before a cached result expires (omit for no expiry)",
     )
+    serve_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a span trace per solve (served at /trace/<fingerprint>; "
+        "also enabled by REPRO_TRACE=1)",
+    )
+    serve_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="silence the structured JSON access log on stderr",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="solve the runtime-table rows under tracing and print span breakdowns",
+    )
+    trace_parser.add_argument(
+        "--resource",
+        type=float,
+        default=70.0,
+        help="per-FPGA resource constraint in percent",
+    )
+    trace_parser.add_argument(
+        "--max-nodes",
+        type=int,
+        default=8,
+        help="branch-and-bound node limit for the exact rows",
+    )
+    trace_parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the recorded traces as JSON lines to this path",
+    )
+    trace_parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="also run the benchmark-shaped runtime table traced (warm) and "
+        "assert its wall clock against the newest BENCH_<rev>.json at 1.3x",
+    )
 
     return parser
 
@@ -288,18 +331,116 @@ def _run_serve(args: argparse.Namespace) -> int:
         store = ShardedResultStore(
             cache_dir=args.cache_dir, num_shards=args.shards, limits=limits
         )
-    service = AllocationService(store=store, executor=executor, job_workers=args.workers)
+    service = AllocationService(
+        store=store,
+        executor=executor,
+        job_workers=args.workers,
+        tracing=True if args.trace else None,
+    )
     tier = f"memory+disk ({args.cache_dir})" if args.cache_dir else "memory-only"
     print(
         f"result cache: {tier}; shards: {args.shards}; batch workers: {jobs}; "
-        f"async job workers: {args.workers}",
+        f"async job workers: {args.workers}; tracing: "
+        f"{'on' if service.tracing else 'off'}",
         flush=True,
     )
     try:
-        run_server(service, host=args.host, port=args.port)
+        run_server(service, host=args.host, port=args.port, quiet=args.quiet)
     finally:
         print(service_stats_table(service.stats()).render())
     return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: traced runtime-table rows + span-breakdown tables."""
+    from .core.exact import ExactSettings as _ExactSettings
+    from .obs.trace import write_traces_jsonl
+    from .reporting.trace import (
+        span_breakdown_table,
+        traced_runtime_rows,
+        traced_runtime_table,
+    )
+
+    rows = traced_runtime_rows(
+        resource_constraint=args.resource,
+        exact_settings=_ExactSettings(
+            max_nodes=args.max_nodes, time_limit_seconds=120.0
+        ),
+    )
+    for row in rows:
+        title = f"{row['case']} / {row['method']} ({row['wall_seconds']:.3f} s)"
+        print(span_breakdown_table(row["trace"], title=title).render())
+        print()
+    print(traced_runtime_table(rows).render())
+    if args.output is not None:
+        write_traces_jsonl([row["trace"] for row in rows], str(args.output))
+        print(f"wrote {args.output}")
+
+    # Acceptance bar: every row's top-level phases cover >= 90% of its wall.
+    exit_code = 0
+    uncovered = [row for row in rows if row["trace"].coverage() < 0.9]
+    for row in uncovered:
+        print(
+            f"FAIL: {row['case']}/{row['method']} phases cover only "
+            f"{100.0 * row['trace'].coverage():.1f}% of the wall clock",
+            file=sys.stderr,
+        )
+        exit_code = 1
+
+    if args.gate:
+        exit_code = max(exit_code, _run_trace_gate())
+    return exit_code
+
+
+def _run_trace_gate() -> int:
+    """Assert the traced, benchmark-shaped runtime table against the newest
+    ``BENCH_<rev>.json`` snapshot at the perf gate's 1.3x threshold.
+
+    Mirrors the benchmark's conditions: same kwargs (``max_nodes=3``) and a
+    warm process (one untraced warm-up call), so the comparison isolates
+    tracing overhead rather than cold-start costs.
+    """
+    import json
+    import time as _time
+
+    from .core.exact import ExactSettings as _ExactSettings
+    from .obs.trace import start_trace
+    from .reporting.experiments import runtime_table
+
+    snapshots = sorted(
+        Path("benchmarks/results").glob("BENCH_*.json"),
+        key=lambda path: json.loads(path.read_text()).get("unix_time", 0.0),
+    )
+    if not snapshots:
+        print("trace gate: no benchmarks/results/BENCH_*.json snapshot found", file=sys.stderr)
+        return 1
+    snapshot_path = snapshots[-1]
+    snapshot = json.loads(snapshot_path.read_text())
+    key = "benchmarks/test_runtime_comparison.py::test_runtime_table"
+    entry = snapshot.get("benchmarks", {}).get(key)
+    if entry is None:
+        print(f"trace gate: {snapshot_path} has no {key} entry", file=sys.stderr)
+        return 1
+    budget = 1.3 * float(entry["mean"])
+
+    kwargs = dict(
+        cases=("alex-16", "alex-32", "vgg-16"),
+        methods=("gp+a", "minlp", "minlp+g"),
+        resource_constraint=70.0,
+        repetitions=1,
+        exact_settings=_ExactSettings(max_nodes=3, time_limit_seconds=120.0),
+    )
+    runtime_table(**kwargs)  # warm-up, untraced (the benchmark runs warm)
+    with start_trace("runtime_table"):
+        start = _time.perf_counter()
+        runtime_table(**kwargs)
+        elapsed = _time.perf_counter() - start
+    verdict = "OK" if elapsed <= budget else "FAIL"
+    print(
+        f"trace gate [{verdict}]: traced runtime table {elapsed * 1e3:.1f} ms vs "
+        f"1.3x snapshot budget {budget * 1e3:.1f} ms ({snapshot_path.name})"
+    )
+    return 0 if elapsed <= budget else 1
 
 
 def _emit_figure(figure: FigureData, output: Path | None) -> None:
@@ -319,6 +460,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_experiment(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "trace":
+        return _run_trace(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2
 

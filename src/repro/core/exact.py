@@ -42,6 +42,7 @@ from ..minlp.branch_and_bound import (
 )
 from ..minlp.errors import InfeasibleProblemError
 from ..minlp.secant import spreading_of_kernel
+from ..obs.trace import span
 from .gp_step import solve_gp_step
 from .heuristic import HeuristicSettings, solve_gp_a
 from .problem import AllocationProblem
@@ -156,7 +157,6 @@ def solve_exact_min_ii(
 ) -> SolveOutcome:
     """Exact minimum-II allocation (the beta = 0 "MINLP" reference)."""
     start = time.perf_counter()
-    candidates = candidate_ii_values(problem)
     try:
         lower_bound = solve_gp_step(problem).ii_hat
     except Exception as error:
@@ -168,10 +168,14 @@ def solve_exact_min_ii(
             details={"reason": f"relaxed problem infeasible: {error}"},
         )
 
-    # Restrict to candidates that are not below the continuous lower bound.
-    candidates = [ii for ii in candidates if ii >= lower_bound - 1e-9]
-    if not candidates:
-        candidates = [lower_bound]
+    with span("candidate_iis"):
+        # All candidate II values, restricted to those not below the
+        # continuous lower bound.
+        candidates = [
+            ii for ii in candidate_ii_values(problem) if ii >= lower_bound - 1e-9
+        ]
+        if not candidates:
+            candidates = [lower_bound]
 
     packer = _packer_for(problem, settings)
     packs = 0
@@ -256,48 +260,52 @@ def solve_exact_min_ii(
 
     feasible_index: int | None = None
     feasible_packing = None
-    low, high = 0, len(candidates) - 1
-    # Check the largest candidate first: if even that fails, it is infeasible.
-    packing = pack(candidates[high])
-    if not packing.feasible:
-        return SolveOutcome(
-            method="minlp",
-            status=SolveStatus.INFEASIBLE,
-            solution=None,
-            runtime_seconds=time.perf_counter() - start,
-            details={"reason": "even one CU per kernel cannot be packed"},
-            counters=counters(),
-        )
-    feasible_index, feasible_packing = high, packing
+    with span("pack_search"):
+        low, high = 0, len(candidates) - 1
+        # Check the largest candidate first: if even that fails, it is
+        # infeasible.
+        packing = pack(candidates[high])
+        if not packing.feasible:
+            return SolveOutcome(
+                method="minlp",
+                status=SolveStatus.INFEASIBLE,
+                solution=None,
+                runtime_seconds=time.perf_counter() - start,
+                details={"reason": "even one CU per kernel cannot be packed"},
+                counters=counters(),
+            )
+        feasible_index, feasible_packing = high, packing
 
-    while low < high:
-        mid = (low + high) // 2
-        packing = pack(candidates[mid])
-        if packing.feasible:
-            feasible_index, feasible_packing = mid, packing
-            high = mid
-        else:
-            low = mid + 1
+        while low < high:
+            mid = (low + high) // 2
+            packing = pack(candidates[mid])
+            if packing.feasible:
+                feasible_index, feasible_packing = mid, packing
+                high = mid
+            else:
+                low = mid + 1
 
     assert feasible_index is not None and feasible_packing is not None
-    counts = {
-        name: tuple(feasible_packing.assignment[name]) for name in problem.kernel_names
-    }
-    solution = AllocationSolution(problem=problem, counts=counts)
-    runtime = time.perf_counter() - start
-    return SolveOutcome(
-        method="minlp",
-        status=SolveStatus.OPTIMAL,
-        solution=solution,
-        runtime_seconds=runtime,
-        lower_bound=problem.weights.alpha * max(lower_bound, 0.0),
-        nodes_explored=len(candidates),
-        details={
-            "optimal_ii": solution.initiation_interval,
-            "candidates_considered": len(candidates),
-        },
-        counters=counters(),
-    )
+    with span("finalize"):
+        counts = {
+            name: tuple(feasible_packing.assignment[name]) for name in problem.kernel_names
+        }
+        solution = AllocationSolution(problem=problem, counts=counts)
+        runtime = time.perf_counter() - start
+        outcome = SolveOutcome(
+            method="minlp",
+            status=SolveStatus.OPTIMAL,
+            solution=solution,
+            runtime_seconds=runtime,
+            lower_bound=problem.weights.alpha * max(lower_bound, 0.0),
+            nodes_explored=len(candidates),
+            details={
+                "optimal_ii": solution.initiation_interval,
+                "candidates_considered": len(candidates),
+            },
+            counters=counters(),
+        )
+    return outcome
 
 
 # --------------------------------------------------------------------------- #
@@ -419,7 +427,8 @@ def solve_exact_weighted(
         return solve_exact_min_ii(problem, settings)
 
     try:
-        bounds = weighted_root_bounds(problem)
+        with span("root_bounds"):
+            bounds = weighted_root_bounds(problem)
     except Exception as error:  # infeasible relaxation
         return SolveOutcome(
             method="minlp+g",
@@ -468,9 +477,10 @@ def solve_exact_weighted(
     incumbent: dict[str, int] | None = None
     heuristic_outcome: SolveOutcome | None = None
     if settings.seed_with_heuristic:
-        heuristic_outcome = solve_gp_a(problem, HeuristicSettings())
-        if heuristic_outcome.succeeded and heuristic_outcome.solution is not None:
-            incumbent = _solution_to_candidate(heuristic_outcome.solution, canonical=settings.symmetry_breaking)
+        with span("heuristic_seed"):
+            heuristic_outcome = solve_gp_a(problem, HeuristicSettings())
+            if heuristic_outcome.succeeded and heuristic_outcome.solution is not None:
+                incumbent = _solution_to_candidate(heuristic_outcome.solution, canonical=settings.symmetry_breaking)
 
     solver = BranchAndBoundSolver(
         relaxation_solver=relaxation.solve,
@@ -489,7 +499,8 @@ def solve_exact_weighted(
         counters_provider=relaxation.counters,
     )
     try:
-        result = solver.solve(bounds, initial_incumbent=incumbent)
+        with span("bb_search"):
+            result = solver.solve(bounds, initial_incumbent=incumbent)
     except InfeasibleProblemError:
         return SolveOutcome(
             method="minlp+g",
@@ -512,31 +523,33 @@ def solve_exact_weighted(
             counters={**result.counters, "bb_nodes": result.nodes_explored},
         )
 
-    counts = _candidate_to_counts(problem, result.solution)
-    assert counts is not None
-    solution = AllocationSolution(problem=problem, counts=counts)
-    status = SolveStatus.OPTIMAL if result.status is BBStatus.OPTIMAL else SolveStatus.FEASIBLE
-    return SolveOutcome(
-        method="minlp+g",
-        status=status,
-        solution=solution,
-        runtime_seconds=runtime,
-        lower_bound=result.lower_bound,
-        nodes_explored=result.nodes_explored,
-        details={
-            "gap": result.gap,
-            "seeded": incumbent is not None,
-            "heuristic_objective": heuristic_outcome.objective if heuristic_outcome else math.nan,
-            "relaxation_cache_hits": result.relaxation_cache_hits,
-            "relaxation_cache_misses": result.relaxation_cache_misses,
-        },
-        counters={
-            **result.counters,
-            "bb_nodes": result.nodes_explored,
-            "relaxation_cache_hits": result.relaxation_cache_hits,
-            "relaxation_cache_misses": result.relaxation_cache_misses,
-        },
-    )
+    with span("finalize"):
+        counts = _candidate_to_counts(problem, result.solution)
+        assert counts is not None
+        solution = AllocationSolution(problem=problem, counts=counts)
+        status = SolveStatus.OPTIMAL if result.status is BBStatus.OPTIMAL else SolveStatus.FEASIBLE
+        outcome = SolveOutcome(
+            method="minlp+g",
+            status=status,
+            solution=solution,
+            runtime_seconds=runtime,
+            lower_bound=result.lower_bound,
+            nodes_explored=result.nodes_explored,
+            details={
+                "gap": result.gap,
+                "seeded": incumbent is not None,
+                "heuristic_objective": heuristic_outcome.objective if heuristic_outcome else math.nan,
+                "relaxation_cache_hits": result.relaxation_cache_hits,
+                "relaxation_cache_misses": result.relaxation_cache_misses,
+            },
+            counters={
+                **result.counters,
+                "bb_nodes": result.nodes_explored,
+                "relaxation_cache_hits": result.relaxation_cache_hits,
+                "relaxation_cache_misses": result.relaxation_cache_misses,
+            },
+        )
+    return outcome
 
 
 # --------------------------------------------------------------------------- #

@@ -31,6 +31,7 @@ import numpy as np
 from ..gp import GPModel, Monomial, Variable, solve as solve_gp
 from ..gp.errors import InfeasibleError
 from ..gp.minmax import CapacityConstraint, MinMaxLatencyProblem, VectorizedMinMaxProblem
+from ..obs.trace import span
 from .problem import AllocationProblem
 
 #: Name of the initiation-interval variable in the posynomial model.
@@ -185,22 +186,27 @@ def solve_gp_step(problem: AllocationProblem, backend: str = "bisection") -> GPS
         If even one CU per kernel exceeds the aggregated platform capacity.
     """
     global _memo_hits, _memo_misses
-    key = _memo_key(problem, backend)
-    if key is not None:
-        with _memo_lock:
-            cached = _memo.get(key)
-            if cached is not None:
-                _memo.move_to_end(key)
-                _memo_hits += 1
-                return cached
-            _memo_misses += 1
-    result = _solve_gp_step_uncached(problem, backend)
-    if key is not None:
-        with _memo_lock:
-            if len(_memo) >= _MEMO_MAX_ENTRIES:
-                _memo.popitem(last=False)
-            _memo[key] = result
-    return result
+    with span("gp_step") as trace_span:
+        key = _memo_key(problem, backend)
+        if key is not None:
+            with _memo_lock:
+                cached = _memo.get(key)
+                if cached is not None:
+                    _memo.move_to_end(key)
+                    _memo_hits += 1
+                    if trace_span is not None:
+                        trace_span.attributes["cached"] = True
+                    return cached
+                _memo_misses += 1
+        result = _solve_gp_step_uncached(problem, backend)
+        if key is not None:
+            with _memo_lock:
+                if len(_memo) >= _MEMO_MAX_ENTRIES:
+                    _memo.popitem(last=False)
+                _memo[key] = result
+        if trace_span is not None:
+            trace_span.attributes["backend"] = backend
+        return result
 
 
 def _solve_gp_step_uncached(problem: AllocationProblem, backend: str) -> GPStepResult:

@@ -15,6 +15,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..gp.errors import InfeasibleError
+from ..obs.trace import span
 from .allocator import AllocatorResult, AllocatorSettings, GreedyAllocator
 from .discretize import DiscretizationError, discretize_counts, round_counts
 from .gp_step import solve_gp_step
@@ -125,15 +126,16 @@ def solve_gp_a(
     details["counts_hat"] = dict(gp_result.counts_hat)
 
     try:
-        if settings.use_bb_discretization:
-            discretization = discretize_counts(
-                problem,
-                gp_result.counts_hat,
-                max_nodes=settings.discretization_max_nodes,
-                time_limit_seconds=settings.discretization_time_limit,
-            )
-        else:
-            discretization = round_counts(problem, gp_result.counts_hat)
+        with span("discretize"):
+            if settings.use_bb_discretization:
+                discretization = discretize_counts(
+                    problem,
+                    gp_result.counts_hat,
+                    max_nodes=settings.discretization_max_nodes,
+                    time_limit_seconds=settings.discretization_time_limit,
+                )
+            else:
+                discretization = round_counts(problem, gp_result.counts_hat)
     except DiscretizationError as error:
         return SolveOutcome(
             method="gp+a",
@@ -147,9 +149,10 @@ def solve_gp_a(
     details["discretization_nodes"] = discretization.nodes_explored
     details["ii_after_discretization"] = discretization.ii
 
-    allocation = _allocate_memoized(
-        problem, settings.allocator_settings(), dict(discretization.counts)
-    )
+    with span("allocate"):
+        allocation = _allocate_memoized(
+            problem, settings.allocator_settings(), dict(discretization.counts)
+        )
     details["allocator_iterations"] = allocation.iterations
     details["constraint_relaxation"] = allocation.constraint_relaxation
 
@@ -172,13 +175,15 @@ def solve_gp_a(
                 details={"reason": "a kernel could not receive any CU", **details},
             )
 
-    solution = AllocationSolution(problem=problem, counts=dict(allocation.counts))
-    runtime = time.perf_counter() - start
-    return SolveOutcome(
-        method="gp+a",
-        status=SolveStatus.FEASIBLE,
-        solution=solution,
-        runtime_seconds=runtime,
-        lower_bound=problem.weights.alpha * gp_result.ii_hat,
-        details=details,
-    )
+    with span("finalize"):
+        solution = AllocationSolution(problem=problem, counts=dict(allocation.counts))
+        runtime = time.perf_counter() - start
+        outcome = SolveOutcome(
+            method="gp+a",
+            status=SolveStatus.FEASIBLE,
+            solution=solution,
+            runtime_seconds=runtime,
+            lower_bound=problem.weights.alpha * gp_result.ii_hat,
+            details=details,
+        )
+    return outcome

@@ -50,6 +50,7 @@ from scipy import optimize
 
 from ..minlp.bounds import VariableBounds
 from ..minlp.branch_and_bound import RelaxationResult
+from ..obs.trace import span
 from .objective import ObjectiveWeights
 from .problem import AllocationProblem
 
@@ -471,51 +472,53 @@ class AllocationRelaxation:
         ``parent`` (the enclosing node's relaxation, passed by the
         branch-and-bound engine) warm-starts the scalar II search.
         """
-        model = self._model
-        counters = self._counters
-        counters["node_solves"] += 1
-        lower = np.array([bounds.lower(name) for name in model.var_names], dtype=float)
-        upper = np.array([bounds.upper(name) for name in model.var_names], dtype=float)
+        with span("relaxation"):
+            model = self._model
+            counters = self._counters
+            counters["node_solves"] += 1
+            lower = np.array([bounds.lower(name) for name in model.var_names], dtype=float)
+            upper = np.array([bounds.upper(name) for name in model.var_names], dtype=float)
 
-        ii_min, feasible_point = self._min_feasible_ii(lower, upper)
-        if ii_min is None:
-            return RelaxationResult.infeasible()
-        ii_high = model.ii_high
+            ii_min, feasible_point = self._min_feasible_ii(lower, upper)
+            if ii_min is None:
+                return RelaxationResult.infeasible()
+            ii_high = model.ii_high
 
-        if not self.weights.spreading_enabled:
-            # Pure II objective: phi is irrelevant and the feasibility LP's
-            # point already satisfies coverage at ii_min -- zero further LPs.
+            if not self.weights.spreading_enabled:
+                # Pure II objective: phi is irrelevant and the feasibility
+                # LP's point already satisfies coverage at ii_min -- zero
+                # further LPs.
+                return RelaxationResult(
+                    feasible=True,
+                    objective=self.weights.alpha * ii_min - BOUND_SAFETY,
+                    solution=self._to_mapping(feasible_point),
+                    metadata={"best_ii": ii_min},
+                )
+
+            self._patch_box(lower, upper)
+            evaluations: dict[float, tuple[np.ndarray, float, float]] = {}
+
+            def probe(ii: float) -> "tuple[float, float] | None":
+                solved = self._solve_goal_lp(ii)
+                if solved is None:
+                    return None
+                values, phi, derivative = solved
+                evaluations[ii] = (values, phi, derivative)
+                return self.weights.goal(ii, phi), derivative
+
+            self._bracket_minimum(probe, ii_min, ii_high, parent)
+            if not evaluations:
+                return RelaxationResult.infeasible()
+            best_ii = min(
+                evaluations, key=lambda ii: self.weights.goal(ii, evaluations[ii][1])
+            )
+            values, phi, _ = evaluations[best_ii]
             return RelaxationResult(
                 feasible=True,
-                objective=self.weights.alpha * ii_min - BOUND_SAFETY,
-                solution=self._to_mapping(feasible_point),
-                metadata={"best_ii": ii_min},
+                objective=self.weights.goal(best_ii, phi) - BOUND_SAFETY,
+                solution=self._to_mapping(values),
+                metadata={"best_ii": best_ii},
             )
-
-        self._patch_box(lower, upper)
-        evaluations: dict[float, tuple[np.ndarray, float, float]] = {}
-
-        def probe(ii: float) -> "tuple[float, float] | None":
-            solved = self._solve_goal_lp(ii)
-            if solved is None:
-                return None
-            values, phi, derivative = solved
-            evaluations[ii] = (values, phi, derivative)
-            return self.weights.goal(ii, phi), derivative
-
-        self._bracket_minimum(probe, ii_min, ii_high, parent)
-        if not evaluations:
-            return RelaxationResult.infeasible()
-        best_ii = min(
-            evaluations, key=lambda ii: self.weights.goal(ii, evaluations[ii][1])
-        )
-        values, phi, _ = evaluations[best_ii]
-        return RelaxationResult(
-            feasible=True,
-            objective=self.weights.goal(best_ii, phi) - BOUND_SAFETY,
-            solution=self._to_mapping(values),
-            metadata={"best_ii": best_ii},
-        )
 
     # ------------------------------------------------------------------ #
     # Minimum feasible II (one LP, memoized per bound box)
@@ -846,17 +849,18 @@ class SweepRelaxationBatch:
         accumulated into the shared ``lp_batched_solves`` counter).  The
         caller is responsible for having checked :meth:`compatible`.
         """
-        model = self.relaxation._model
-        capacities = _capacity_matrix(problem).reshape(-1)
-        model.goal_b[model.num_k : model.num_k + model.num_cap] = capacities
-        model.feas_b[2 * model.num_k : 2 * model.num_k + model.num_cap] = capacities
-        # The minimum-feasible-II memo is keyed on bound boxes only; two
-        # points with identical boxes but different capacities must not share
-        # entries.
-        self.relaxation._ii_cache.clear()
-        counters = self.relaxation._counters
-        before = counters["lp_solves"]
-        result = self.relaxation.solve(bounds)
-        used = counters["lp_solves"] - before
-        counters["lp_batched_solves"] += used
-        return result, used
+        with span("sweep_root_lp"):
+            model = self.relaxation._model
+            capacities = _capacity_matrix(problem).reshape(-1)
+            model.goal_b[model.num_k : model.num_k + model.num_cap] = capacities
+            model.feas_b[2 * model.num_k : 2 * model.num_k + model.num_cap] = capacities
+            # The minimum-feasible-II memo is keyed on bound boxes only; two
+            # points with identical boxes but different capacities must not
+            # share entries.
+            self.relaxation._ii_cache.clear()
+            counters = self.relaxation._counters
+            before = counters["lp_solves"]
+            result = self.relaxation.solve(bounds)
+            used = counters["lp_solves"] - before
+            counters["lp_batched_solves"] += used
+            return result, used

@@ -24,6 +24,7 @@ from ..core.exact import ExactSettings, seed_sweep_relaxations
 from ..core.heuristic import HeuristicSettings
 from ..core.problem import AllocationProblem
 from ..core.solution import SolveOutcome
+from ..obs.trace import span
 from .executor import DEFAULT_EXECUTOR, SolveTask, SweepExecutor, run_solve_task
 
 
@@ -100,9 +101,10 @@ def resource_constraint_sweep(
         for constraint in constraints
     ]
     if "minlp+g" in method_list:
-        batched_counts = seed_sweep_relaxations(
-            constrained_problems, exact_settings or ExactSettings()
-        )
+        with span("sweep_seed"):
+            batched_counts = seed_sweep_relaxations(
+                constrained_problems, exact_settings or ExactSettings()
+            )
     else:
         batched_counts = [None] * len(constrained_problems)
     tasks = []
@@ -117,7 +119,8 @@ def resource_constraint_sweep(
                     tag=(constraints[index], method, index),
                 )
             )
-    outcomes = executor.map(run_solve_task, tasks)
+    with span("sweep_solve"):
+        outcomes = executor.map(run_solve_task, tasks)
     points = []
     for task, outcome in zip(tasks, outcomes):
         constraint, method, index = task.tag

@@ -49,6 +49,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..obs.trace import span
 from . import _packcore
 
 _ENV_STRATEGY = "REPRO_PACKER_STRATEGY"
@@ -387,22 +388,31 @@ class VectorBinPacker:
 
         self.last_nodes = 0
         self.last_completion_nodes = 0
-        if self.memo is not None:
-            cached = self.memo.get(items)
-            if cached is not None:
-                self.memo_hits += 1
-                return cached
-            dominated = self.memo.get_dominated(items)
-            if dominated is not None:
-                self.memo_dominance_hits += 1
-                # Promote to an exact entry so identical re-probes hit directly.
-                self.memo.put(items, dominated)
-                return dominated
-            self.memo_misses += 1
-        result = self._pack_uncached(items)
-        if self.memo is not None:
-            self.memo.put(items, result)
-        return result
+        with span("bin_pack") as trace_span:
+            if self.memo is not None:
+                cached = self.memo.get(items)
+                if cached is not None:
+                    self.memo_hits += 1
+                    if trace_span is not None:
+                        trace_span.attributes["cached"] = True
+                    return cached
+                dominated = self.memo.get_dominated(items)
+                if dominated is not None:
+                    self.memo_dominance_hits += 1
+                    # Promote to an exact entry so identical re-probes hit
+                    # directly.
+                    self.memo.put(items, dominated)
+                    if trace_span is not None:
+                        trace_span.attributes["cached"] = True
+                    return dominated
+                self.memo_misses += 1
+            result = self._pack_uncached(items)
+            if self.memo is not None:
+                self.memo.put(items, result)
+            if trace_span is not None:
+                trace_span.attributes["nodes"] = self.last_nodes
+                trace_span.attributes["completion_nodes"] = self.last_completion_nodes
+            return result
 
     def _pack_uncached(self, items: Sequence[PackingItemType]) -> PackingResult:
         if not self._aggregate_feasible(items):

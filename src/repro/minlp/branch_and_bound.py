@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Iterable, Mapping
 
+from ..obs.trace import span
 from .bounds import VariableBounds
 from .errors import InfeasibleProblemError
 
@@ -373,71 +374,73 @@ class BranchAndBoundSolver:
             if time.perf_counter() - start > settings.time_limit_seconds:
                 break
 
-            node = heapq.heappop(heap)
-            global_lower = node.bound if not heap else min(node.bound, heap[0].bound)
-            if node.bound >= best_objective - settings.gap_tolerance * max(1.0, abs(best_objective)):
-                # Everything remaining is at least as bad as the incumbent.
-                global_lower = max(global_lower, node.bound)
-                break
-            nodes_explored += 1
+            with span("bb_node"):
+                node = heapq.heappop(heap)
+                global_lower = node.bound if not heap else min(node.bound, heap[0].bound)
+                if node.bound >= best_objective - settings.gap_tolerance * max(1.0, abs(best_objective)):
+                    # Everything remaining is at least as bad as the incumbent.
+                    global_lower = max(global_lower, node.bound)
+                    break
+                nodes_explored += 1
 
-            fractional = self._fractional_variables(node.relaxation.solution, node.bounds)
-            if not fractional:
-                # Integral relaxation: candidate incumbent.
-                candidate = {
-                    name: int(round(node.relaxation.solution.get(name, node.bounds.lower(name))))
-                    for name in node.bounds
-                }
-                value = self._evaluate(candidate)
-                if value is not None and value < best_objective:
-                    best_objective = value
-                    best_solution = candidate
-                continue
-
-            # Try rounding heuristics to tighten the incumbent early.
-            if self._round is not None:
-                for proposal in self._round(node.relaxation.solution, node.bounds):
-                    candidate = {name: int(proposal[name]) for name in proposal}
+                fractional = self._fractional_variables(node.relaxation.solution, node.bounds)
+                if not fractional:
+                    # Integral relaxation: candidate incumbent.
+                    candidate = {
+                        name: int(round(node.relaxation.solution.get(name, node.bounds.lower(name))))
+                        for name in node.bounds
+                    }
                     value = self._evaluate(candidate)
                     if value is not None and value < best_objective:
                         best_objective = value
                         best_solution = candidate
-
-            branch_name, branch_value = self._select_branching(fractional)
-            floor_value = int(math.floor(branch_value))
-            children = []
-            lower, upper = node.bounds[branch_name]
-            if floor_value >= lower:
-                children.append(node.bounds.with_upper(branch_name, floor_value))
-            if floor_value + 1 <= upper:
-                children.append(node.bounds.with_lower(branch_name, floor_value + 1))
-
-            solved_children = []
-            for child_bounds in children:
-                relaxation = self._solve_relaxation(child_bounds, node.relaxation)
-                if not relaxation.feasible:
                     continue
-                if relaxation.objective >= best_objective - settings.gap_tolerance * max(
-                    1.0, abs(best_objective)
-                ):
-                    continue
-                solved_children.append((child_bounds, relaxation))
-            if settings.child_order == "bound":
-                # Lower-bound-guided ordering: the better-bounded child gets
-                # the smaller sequence number, so it wins heap ties against
-                # its sibling (and any other equal-bound frontier node).
-                solved_children.sort(key=lambda entry: entry[1].objective)
-            for child_bounds, relaxation in solved_children:
-                heapq.heappush(
-                    heap,
-                    _Node(
-                        bound=relaxation.objective,
-                        sequence=next(counter),
-                        bounds=child_bounds,
-                        relaxation=relaxation,
-                        depth=node.depth + 1,
-                    ),
-                )
+
+                # Try rounding heuristics to tighten the incumbent early.
+                if self._round is not None:
+                    for proposal in self._round(node.relaxation.solution, node.bounds):
+                        candidate = {name: int(proposal[name]) for name in proposal}
+                        value = self._evaluate(candidate)
+                        if value is not None and value < best_objective:
+                            best_objective = value
+                            best_solution = candidate
+
+                branch_name, branch_value = self._select_branching(fractional)
+                floor_value = int(math.floor(branch_value))
+                children = []
+                lower, upper = node.bounds[branch_name]
+                if floor_value >= lower:
+                    children.append(node.bounds.with_upper(branch_name, floor_value))
+                if floor_value + 1 <= upper:
+                    children.append(node.bounds.with_lower(branch_name, floor_value + 1))
+
+                solved_children = []
+                for child_bounds in children:
+                    relaxation = self._solve_relaxation(child_bounds, node.relaxation)
+                    if not relaxation.feasible:
+                        continue
+                    if relaxation.objective >= best_objective - settings.gap_tolerance * max(
+                        1.0, abs(best_objective)
+                    ):
+                        continue
+                    solved_children.append((child_bounds, relaxation))
+                if settings.child_order == "bound":
+                    # Lower-bound-guided ordering: the better-bounded child
+                    # gets the smaller sequence number, so it wins heap ties
+                    # against its sibling (and any other equal-bound frontier
+                    # node).
+                    solved_children.sort(key=lambda entry: entry[1].objective)
+                for child_bounds, relaxation in solved_children:
+                    heapq.heappush(
+                        heap,
+                        _Node(
+                            bound=relaxation.objective,
+                            sequence=next(counter),
+                            bounds=child_bounds,
+                            relaxation=relaxation,
+                            depth=node.depth + 1,
+                        ),
+                    )
 
         runtime = time.perf_counter() - start
         if heap:

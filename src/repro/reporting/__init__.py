@@ -22,6 +22,7 @@ from .service import (
     solver_stats_table,
 )
 from .tables import TextTable, format_cell, percentage
+from .trace import span_breakdown_table, traced_runtime_rows, traced_runtime_table
 
 __all__ = [
     "CASE_STUDIES",
@@ -42,6 +43,9 @@ __all__ = [
     "format_cell",
     "percentage",
     "runtime_table",
+    "span_breakdown_table",
+    "traced_runtime_rows",
+    "traced_runtime_table",
     "table2",
     "table3",
     "table4",

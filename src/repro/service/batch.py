@@ -23,6 +23,7 @@ from ..core.problem import AllocationProblem
 from ..core.solution import SolveOutcome, SolveStatus
 from ..core.solvers import METHODS
 from ..explore.executor import DEFAULT_EXECUTOR, SolveTask, SweepExecutor, run_solve_task
+from ..obs.trace import span
 from ..workloads.serialization import SerializationError, problem_from_dict
 from .canonical import canonical_fpga_order
 from .canonical import fingerprint as compute_fingerprint
@@ -234,50 +235,53 @@ def solve_batch(
     request_list = list(requests)
 
     report = BatchReport(total=len(request_list))
-    fingerprints = [request.fingerprint() for request in request_list]
-    report.fingerprints = fingerprints
+    with span("batch_fingerprint"):
+        fingerprints = [request.fingerprint() for request in request_list]
+        report.fingerprints = fingerprints
 
-    # First occurrence of every fingerprint defines the canonical request.
-    first_of: dict[str, SolveRequest] = {}
-    for request, print_ in zip(request_list, fingerprints):
-        first_of.setdefault(print_, request)
-    report.unique = len(first_of)
-    report.duplicates = report.total - report.unique
+        # First occurrence of every fingerprint defines the canonical request.
+        first_of: dict[str, SolveRequest] = {}
+        for request, print_ in zip(request_list, fingerprints):
+            first_of.setdefault(print_, request)
+        report.unique = len(first_of)
+        report.duplicates = report.total - report.unique
 
     # Tier lookups for the unique fingerprints.
     outcomes_by_print: dict[str, SolveOutcome] = {}
     missing: list[tuple[str, SolveRequest]] = []
-    for print_, request in first_of.items():
-        lookup = store.get(print_)
-        if lookup.hit:
-            assert lookup.payload is not None
-            outcomes_by_print[print_] = decode_outcome(
-                lookup.payload, request.problem, fingerprint=print_
-            )
-            if lookup.tier == "memory":
-                report.memory_hits += 1
+    with span("batch_lookup"):
+        for print_, request in first_of.items():
+            lookup = store.get(print_)
+            if lookup.hit:
+                assert lookup.payload is not None
+                outcomes_by_print[print_] = decode_outcome(
+                    lookup.payload, request.problem, fingerprint=print_
+                )
+                if lookup.tier == "memory":
+                    report.memory_hits += 1
+                else:
+                    report.disk_hits += 1
             else:
-                report.disk_hits += 1
-        else:
-            missing.append((print_, request))
+                missing.append((print_, request))
 
     # Solve the remainder, grouped so memo-sharing requests are contiguous
     # (the executor chunks tasks in order; one worker keeps a group's GP and
     # discretisation caches warm).
     if missing:
-        keyed = sorted(
-            ((request.group_key(), print_, request) for print_, request in missing),
-            key=lambda item: item[0],
-        )
-        report.groups = len({key for key, _, _ in keyed})
-        tasks = [request.task() for _, _, request in keyed]
-        solved = executor.map(run_solve_task, tasks)
-        report.solves = len(solved)
-        for (_, print_, request), outcome in zip(keyed, solved):
-            outcomes_by_print[print_] = outcome
-            report.add_solver_counters(outcome.counters)
-            if outcome.status is not SolveStatus.ERROR:
-                store.put(print_, encode_outcome(outcome, request.problem))
+        with span("batch_solve"):
+            keyed = sorted(
+                ((request.group_key(), print_, request) for print_, request in missing),
+                key=lambda item: item[0],
+            )
+            report.groups = len({key for key, _, _ in keyed})
+            tasks = [request.task() for _, _, request in keyed]
+            solved = executor.map(run_solve_task, tasks)
+            report.solves = len(solved)
+            for (_, print_, request), outcome in zip(keyed, solved):
+                outcomes_by_print[print_] = outcome
+                report.add_solver_counters(outcome.counters)
+                if outcome.status is not SolveStatus.ERROR:
+                    store.put(print_, encode_outcome(outcome, request.problem))
 
     report.runtime_seconds = time.perf_counter() - start
     # Duplicate requests share one outcome object -- unless their platform

@@ -74,6 +74,17 @@ class ServiceClient:
             raise ServiceError(str(document["error"]))
         return document
 
+    def _request_text(self, path: str) -> str:
+        """GET a non-JSON endpoint (the Prometheus ``/metrics`` text)."""
+        url = f"{self.base_url}{path}"
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout_seconds) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ServiceError(f"{path}: {error}") from error
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot reach {url}: {error.reason}") from error
+
     # ------------------------------------------------------------------ #
     # Endpoints
     # ------------------------------------------------------------------ #
@@ -182,3 +193,11 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         """GET /stats."""
         return self._request("/stats")
+
+    def metrics(self) -> str:
+        """GET /metrics; the raw Prometheus text exposition."""
+        return self._request_text("/metrics")
+
+    def trace(self, fingerprint: str) -> dict[str, Any]:
+        """GET /trace/<fingerprint>; the retained span tree of one solve."""
+        return self._request(f"/trace/{fingerprint}")

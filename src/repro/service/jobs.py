@@ -57,6 +57,20 @@ class Job:
     #: block on completion instead of polling.
     finished_event: threading.Event = field(default_factory=threading.Event, repr=False)
 
+    @property
+    def wait_seconds(self) -> float | None:
+        """Queue wait: submission to the moment a worker picked the job up."""
+        if self.started_unix is None:
+            return None
+        return max(0.0, self.started_unix - self.created_unix)
+
+    @property
+    def run_seconds(self) -> float | None:
+        """Worker time: pickup to the terminal state (done/failed)."""
+        if self.started_unix is None or self.finished_unix is None:
+            return None
+        return max(0.0, self.finished_unix - self.started_unix)
+
     def as_dict(self, include_outcomes: bool = True) -> dict[str, Any]:
         document: dict[str, Any] = {
             "job_id": self.id,
@@ -65,6 +79,8 @@ class Job:
             "created_unix": self.created_unix,
             "started_unix": self.started_unix,
             "finished_unix": self.finished_unix,
+            "wait_seconds": self.wait_seconds,
+            "run_seconds": self.run_seconds,
         }
         if self.error is not None:
             document["error"] = self.error
@@ -93,6 +109,11 @@ class JobQueue:
     max_retained:
         Completed (done/failed) jobs kept for polling; the oldest finished
         jobs are pruned first once the bound is exceeded.
+    on_finished:
+        Optional observer called (outside the queue lock) with each job that
+        reaches a terminal state; the service hooks its wait/run latency
+        histograms here.  Observer errors are swallowed -- telemetry must
+        never fail a job.
     """
 
     def __init__(
@@ -101,6 +122,7 @@ class JobQueue:
         workers: int = 1,
         max_retained: int = 256,
         clock: Callable[[], float] = time.time,
+        on_finished: "Callable[[Job], None] | None" = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -110,6 +132,7 @@ class JobQueue:
         self.workers = workers
         self.max_retained = max_retained
         self._clock = clock
+        self._on_finished = on_finished
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         #: Finished job ids in completion order (the pruning queue).
@@ -122,6 +145,9 @@ class JobQueue:
         self.completed = 0
         self.failed = 0
         self.pruned = 0
+        #: Accumulated queue-wait and worker-run time over finished jobs.
+        self.wait_seconds_total = 0.0
+        self.run_seconds_total = 0.0
 
     # ------------------------------------------------------------------ #
     # Submission / polling
@@ -203,6 +229,9 @@ class JobQueue:
                 "failed": self.failed,
                 "pruned": self.pruned,
                 "retained": len(self._jobs),
+                "queue_depth": by_status["queued"],
+                "wait_seconds_total": self.wait_seconds_total,
+                "run_seconds_total": self.run_seconds_total,
                 **by_status,
             }
 
@@ -257,6 +286,8 @@ class JobQueue:
                 job.finished_unix = self._clock()
                 job.requests = []
                 self.completed += 1
+                self.wait_seconds_total += job.wait_seconds or 0.0
+                self.run_seconds_total += job.run_seconds or 0.0
                 self._finished_order.append(job.id)
                 job.finished_event.set()
                 self._prune_locked()
@@ -267,9 +298,20 @@ class JobQueue:
                 job.finished_unix = self._clock()
                 job.requests = []
                 self.failed += 1
+                self.wait_seconds_total += job.wait_seconds or 0.0
+                self.run_seconds_total += job.run_seconds or 0.0
                 self._finished_order.append(job.id)
                 job.finished_event.set()
                 self._prune_locked()
+        self._notify_finished(job)
+
+    def _notify_finished(self, job: Job) -> None:
+        if self._on_finished is None:
+            return
+        try:
+            self._on_finished(job)
+        except Exception:  # pragma: no cover - observers must not kill workers
+            pass
 
     def _prune_locked(self) -> None:
         while len(self._jobs) > self.max_retained and self._finished_order:

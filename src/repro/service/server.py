@@ -14,6 +14,8 @@ usable directly from Python (tests, notebooks, the batch API) -- and
 ``GET /jobs/<id>``        one async job (outcomes included once ``done``)
 ``GET /health``           liveness + uptime
 ``GET /stats``            cache/job/service counters, solver work counters
+``GET /metrics``          Prometheus text exposition (counters/gauges/histograms)
+``GET /trace/<print>``    span tree of the last traced solve of a fingerprint
 ========================  ==========================================================
 
 The server is a ``ThreadingHTTPServer``: requests are handled concurrently
@@ -29,6 +31,7 @@ persistent pool via ``repro serve --jobs N``); async batches drain through a
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -38,6 +41,8 @@ from .. import __version__
 from ..core.solution import SolveOutcome, SolveStatus
 from ..core.solvers import solve
 from ..explore.executor import SweepExecutor
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceStore, start_trace, tracing_enabled
 from ..workloads.serialization import SerializationError
 from .batch import (
     BatchReport,
@@ -70,6 +75,14 @@ class AllocationService:
         start lazily on the first async submission).
     job_retention:
         Completed async jobs kept for polling before the oldest are pruned.
+    tracing:
+        Record a phase-span tree for every ``solve_request`` (served over
+        ``GET /trace/<fingerprint>``).  ``None`` defers to the
+        ``REPRO_TRACE`` environment flag; tracing is off by default because
+        the span recorder, while cheap, is not free on the sub-millisecond
+        warm-hit path.
+    trace_retention:
+        Traces kept (LRU by fingerprint) when tracing is on.
     """
 
     def __init__(
@@ -78,12 +91,19 @@ class AllocationService:
         executor: SweepExecutor | None = None,
         job_workers: int = 1,
         job_retention: int = 256,
+        tracing: bool | None = None,
+        trace_retention: int = 256,
     ):
         self.store = store if store is not None else ResultStore()
         self.executor = executor or SweepExecutor()
         self.jobs = JobQueue(
-            runner=self.solve_batch, workers=job_workers, max_retained=job_retention
+            runner=self.solve_batch,
+            workers=job_workers,
+            max_retained=job_retention,
+            on_finished=self._observe_job,
         )
+        self.tracing = tracing_enabled() if tracing is None else bool(tracing)
+        self.traces = TraceStore(capacity=trace_retention)
         self.started_unix = time.time()
         self._lock = threading.Lock()
         self._requests = 0
@@ -93,10 +113,85 @@ class AllocationService:
         #: nodes, memo hits, ...) over every non-cached solve this service
         #: performed; cache hits add nothing, mirroring the actual work done.
         self._solver_counters: dict[str, int] = {}
+        # The registry is per-service (not module-global) so tests and
+        # embedded services never collide on metric names.
+        self.metrics = MetricsRegistry()
+        metrics = self.metrics
+        self._requests_total = metrics.counter(
+            "repro_requests_total", "Solve requests answered (any cache tier)."
+        )
+        self._solves_total = metrics.counter(
+            "repro_solves_total", "Requests that reached the solver (cache misses)."
+        )
+        self._cache_hits_total = metrics.counter(
+            "repro_cache_hits_total",
+            "Requests answered from a cache tier.",
+            label_names=("tier",),
+        )
+        self._batches_total = metrics.counter(
+            "repro_batches_total", "Batch submissions answered (sync and async)."
+        )
+        self._http_requests_total = metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method and status code.",
+            label_names=("method", "status"),
+        )
+        self._solve_latency = metrics.histogram(
+            "repro_solve_latency_seconds",
+            "End-to-end latency of solver-tier requests.",
+            label_names=("method",),
+        )
+        self._cache_hit_latency = metrics.histogram(
+            "repro_cache_hit_latency_seconds",
+            "End-to-end latency of cache-tier requests.",
+            label_names=("tier",),
+        )
+        self._batch_latency = metrics.histogram(
+            "repro_batch_latency_seconds", "Wall clock of one solve_batch call."
+        )
+        self._job_wait = metrics.histogram(
+            "repro_job_wait_seconds", "Async job queue wait (submit to pickup)."
+        )
+        self._job_run = metrics.histogram(
+            "repro_job_run_seconds", "Async job run time (pickup to terminal state)."
+        )
+        self._uptime_gauge = metrics.gauge(
+            "repro_uptime_seconds", "Seconds since the service started."
+        )
+        self._queue_depth_gauge = metrics.gauge(
+            "repro_job_queue_depth", "Async jobs waiting for a worker."
+        )
+        self._jobs_running_gauge = metrics.gauge(
+            "repro_jobs_running", "Async jobs currently executing."
+        )
+        self._job_workers_gauge = metrics.gauge(
+            "repro_job_workers", "Async job worker threads."
+        )
+        self._cache_entries_gauge = metrics.gauge(
+            "repro_cache_entries",
+            "Result-store entries per cache tier.",
+            label_names=("tier",),
+        )
+        self._cache_shard_entries_gauge = metrics.gauge(
+            "repro_cache_shard_entries",
+            "Result-store entries per shard and tier (skew observability).",
+            label_names=("shard", "tier"),
+        )
 
     def _accumulate_solver_counters(self, counters: Mapping[str, Any]) -> None:
         with self._lock:
             accumulate_counters(self._solver_counters, counters)
+
+    def _observe_job(self, job: Any) -> None:
+        """JobQueue ``on_finished`` observer: wait/run latency histograms."""
+        if job.wait_seconds is not None:
+            self._job_wait.observe(job.wait_seconds)
+        if job.run_seconds is not None:
+            self._job_run.observe(job.run_seconds)
+
+    def observe_http(self, method: str, status: int) -> None:
+        """Count one served HTTP request (called by the request handler)."""
+        self._http_requests_total.labels(method=method, status=str(status)).inc()
 
     # ------------------------------------------------------------------ #
     # Solving
@@ -107,9 +202,37 @@ class AllocationService:
         Returns the outcome plus a metadata dict: the request fingerprint,
         which tier answered (``"memory"``/``"disk"``/``"solver"``) and the
         service-side latency in milliseconds.
+
+        With tracing on, the request runs under a ``"solve"`` span tree
+        (phases recorded by the core solvers) retained in :attr:`traces`
+        under the request fingerprint.
         """
         start = time.perf_counter()
         fingerprint = request.fingerprint()
+        if self.tracing:
+            with start_trace(
+                "solve", method=request.method, fingerprint=fingerprint
+            ) as trace:
+                outcome, source = self._answer(request, fingerprint)
+            self.traces.put(fingerprint, trace.as_dict())
+        else:
+            outcome, source = self._answer(request, fingerprint)
+        latency_seconds = time.perf_counter() - start
+        self._requests_total.inc()
+        if source == "solver":
+            self._solve_latency.labels(method=request.method).observe(latency_seconds)
+        else:
+            self._cache_hits_total.labels(tier=source).inc()
+            self._cache_hit_latency.labels(tier=source).observe(latency_seconds)
+        meta = {
+            "fingerprint": fingerprint,
+            "cache": source,
+            "latency_ms": latency_seconds * 1000.0,
+        }
+        return outcome, meta
+
+    def _answer(self, request: SolveRequest, fingerprint: str) -> tuple[SolveOutcome, str]:
+        """Cache tiers first, solver on miss; returns (outcome, tier)."""
         lookup = self.store.get(fingerprint)
         if lookup.hit:
             assert lookup.payload is not None
@@ -126,16 +249,12 @@ class AllocationService:
                 self.store.put(fingerprint, encode_outcome(outcome, request.problem))
             source = "solver"
             self._accumulate_solver_counters(outcome.counters)
+            self._solves_total.inc()
             with self._lock:
                 self._solves += 1
         with self._lock:
             self._requests += 1
-        meta = {
-            "fingerprint": fingerprint,
-            "cache": source,
-            "latency_ms": (time.perf_counter() - start) * 1000.0,
-        }
-        return outcome, meta
+        return outcome, source
 
     def solve_batch(self, requests: list[SolveRequest]) -> tuple[list[SolveOutcome], BatchReport]:
         """Answer a batch via :func:`repro.service.batch.solve_batch`."""
@@ -145,6 +264,8 @@ class AllocationService:
             self._requests += report.total
             self._batches += 1
             self._solves += report.solves
+        self._batches_total.inc()
+        self._batch_latency.observe(report.runtime_seconds)
         return outcomes, report
 
     def submit_batch(self, requests: list[SolveRequest]) -> dict[str, Any]:
@@ -167,7 +288,9 @@ class AllocationService:
                 "requests": self._requests,
                 "batches": self._batches,
                 "solves": self._solves,
+                "started_unix": self.started_unix,
                 "uptime_seconds": time.time() - self.started_unix,
+                "tracing": self.tracing,
                 "version": __version__,
             }
         with self._lock:
@@ -187,6 +310,33 @@ class AllocationService:
             stats["cache_bytes"] = payload_bytes()
         return stats
 
+    def trace(self, fingerprint: str) -> dict[str, Any] | None:
+        """The retained span tree of one fingerprint, or ``None``."""
+        return self.traces.get(fingerprint)
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of every instrument.
+
+        Gauges are sampled here (scrape time) from the live stats rather
+        than maintained on the hot path -- queue depth, cache entry and
+        shard-skew counts are cheap to read and only dashboards need them.
+        """
+        job_stats = self.jobs.stats()
+        self._uptime_gauge.set(time.time() - self.started_unix)
+        self._queue_depth_gauge.set(job_stats["queue_depth"])
+        self._jobs_running_gauge.set(job_stats["running"])
+        self._job_workers_gauge.set(job_stats["workers"])
+        for tier, count in self.store.sizes().items():
+            self._cache_entries_gauge.labels(tier=tier).set(count)
+        per_shard = getattr(self.store, "per_shard_sizes", None)
+        if callable(per_shard):
+            for index, sizes in enumerate(per_shard()):
+                for tier, count in sizes.items():
+                    self._cache_shard_entries_gauge.labels(
+                        shard=str(index), tier=tier
+                    ).set(count)
+        return self.metrics.render_prometheus()
+
     def close(self) -> None:
         self.jobs.close()
         self.store.close()
@@ -199,26 +349,37 @@ class AllocationService:
 # HTTP layer
 # --------------------------------------------------------------------------- #
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
-    """Routes the four service endpoints onto an :class:`AllocationService`."""
+    """Routes the service endpoints onto an :class:`AllocationService`.
+
+    Every request is counted in ``repro_http_requests_total`` and, unless
+    the server runs quiet, logged as one structured JSON line on stderr
+    (method, path, status, latency; the request fingerprint when the route
+    produced one) -- replacing the stdlib's free-text access log.
+    """
 
     server: "AllocationHTTPServer"
     protocol_version = "HTTP/1.1"
-    #: Silence per-request stderr logging (flip for debugging).
-    quiet = True
 
     # ------------------------------------------------------------------ #
     # Plumbing
     # ------------------------------------------------------------------ #
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        if not self.quiet:  # pragma: no cover - debug aid
-            super().log_message(format, *args)
+        # The stdlib access log is replaced by _dispatch's JSON line.
+        pass
 
     def _send_json(self, payload: Mapping[str, Any], status: int = 200) -> None:
         # allow_nan=False guarantees strict RFC 8259 JSON on the wire; the
         # outcome documents already encode non-finite floats as null.
         body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        self._send_body(body, status, "application/json")
+
+    def _send_text(self, text: str, status: int = 200, content_type: str = "text/plain") -> None:
+        self._send_body(text.encode("utf-8"), status, content_type)
+
+    def _send_body(self, body: bytes, status: int, content_type: str) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -238,7 +399,36 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     # Routes
     # ------------------------------------------------------------------ #
+    def _dispatch(self, handler: Any) -> None:
+        """Run one route under the request counter + structured access log."""
+        start = time.perf_counter()
+        self._status = 0
+        self._log_fingerprint: str | None = None
+        try:
+            handler()
+        finally:
+            latency_ms = (time.perf_counter() - start) * 1000.0
+            service = self.server.service
+            service.observe_http(self.command, self._status)
+            if not self.server.quiet:
+                record: dict[str, Any] = {
+                    "time_unix": round(time.time(), 3),
+                    "method": self.command,
+                    "path": self.path,
+                    "status": self._status,
+                    "latency_ms": round(latency_ms, 3),
+                }
+                if self._log_fingerprint is not None:
+                    record["fingerprint"] = self._log_fingerprint
+                print(json.dumps(record), file=sys.stderr, flush=True)
+
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch(self._handle_post)
+
+    def _handle_get(self) -> None:
         service = self.server.service
         if self.path == "/health":
             self._send_json(
@@ -246,6 +436,19 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             )
         elif self.path == "/stats":
             self._send_json(service.stats())
+        elif self.path == "/metrics":
+            self._send_text(
+                service.metrics_text(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif self.path.startswith("/trace/"):
+            fingerprint = self.path[len("/trace/"):]
+            document = service.trace(fingerprint)
+            if document is None:
+                self._send_error_json(f"no trace for {fingerprint!r}", status=404)
+            else:
+                self._log_fingerprint = fingerprint
+                self._send_json(document)
         elif self.path == "/jobs":
             self._send_json({"jobs": service.list_jobs()})
         elif self.path.startswith("/jobs/"):
@@ -258,13 +461,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         else:
             self._send_error_json(f"unknown endpoint {self.path!r}", status=404)
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+    def _handle_post(self) -> None:
         service = self.server.service
         try:
             payload = self._read_json_body()
             if self.path == "/solve":
                 request = request_from_dict(payload)
                 outcome, meta = service.solve_request(request)
+                self._log_fingerprint = meta["fingerprint"]
                 self._send_json({**meta, "outcome": outcome.to_dict()})
             elif self.path == "/solve_batch":
                 if not isinstance(payload, Mapping) or "requests" not in payload:
@@ -298,13 +502,23 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
 
 class AllocationHTTPServer(ThreadingHTTPServer):
-    """Threading HTTP server that owns an :class:`AllocationService`."""
+    """Threading HTTP server that owns an :class:`AllocationService`.
+
+    ``quiet`` silences the per-request structured JSON access log
+    (requests are still counted in ``repro_http_requests_total``).
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: AllocationService):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: AllocationService,
+        quiet: bool = True,
+    ):
         super().__init__(address, _ServiceRequestHandler)
         self.service = service
+        self.quiet = quiet
 
     @property
     def url(self) -> str:
@@ -313,22 +527,24 @@ class AllocationHTTPServer(ThreadingHTTPServer):
 
 
 def start_server(
-    service: AllocationService, host: str = "127.0.0.1", port: int = 0
+    service: AllocationService, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
 ) -> tuple[AllocationHTTPServer, threading.Thread]:
     """Start a server on a background thread (``port=0`` picks a free port).
 
     The caller owns shutdown: ``server.shutdown(); server.server_close();
     service.close()``.
     """
-    server = AllocationHTTPServer((host, port), service)
+    server = AllocationHTTPServer((host, port), service, quiet=quiet)
     thread = threading.Thread(target=server.serve_forever, name="repro-serve", daemon=True)
     thread.start()
     return server, thread
 
 
-def run_server(service: AllocationService, host: str = "127.0.0.1", port: int = 8000) -> None:
+def run_server(
+    service: AllocationService, host: str = "127.0.0.1", port: int = 8000, quiet: bool = False
+) -> None:
     """Serve until interrupted (the blocking entry point behind ``repro serve``)."""
-    server = AllocationHTTPServer((host, port), service)
+    server = AllocationHTTPServer((host, port), service, quiet=quiet)
     print(f"allocation service listening on {server.url}", flush=True)
     try:
         server.serve_forever()

@@ -757,6 +757,10 @@ class ShardedResultStore:
     def per_shard_stats(self) -> list[CacheStats]:
         return [shard.stats() for shard in self._shards]
 
+    def per_shard_sizes(self) -> list[dict[str, int]]:
+        """Entry counts per tier for each shard (shard-skew observability)."""
+        return [shard.sizes() for shard in self._shards]
+
     def sizes(self) -> dict[str, int]:
         totals: dict[str, int] = {}
         for shard in self._shards:

@@ -1,0 +1,222 @@
+"""Metrics registry: instrument semantics, Prometheus rendering, and the
+exposition-format validator (on both good and broken input)."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+    validate_prometheus_text,
+)
+
+
+class TestLogBuckets:
+    def test_default_span_covers_microseconds_to_minutes(self):
+        bounds = log_buckets()
+        assert bounds[0] == pytest.approx(1e-5)
+        assert bounds[-1] > 60.0
+        assert all(b > a for a, b in zip(bounds, bounds[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_buckets(start=0.0)
+        with pytest.raises(ValueError):
+            log_buckets(factor=1.0)
+        with pytest.raises(ValueError):
+            log_buckets(count=0)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g", "help")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == pytest.approx(12.0)
+
+    def test_labelled_children_are_independent(self):
+        counter = MetricsRegistry().counter("c_total", "help", label_names=("tier",))
+        counter.labels(tier="memory").inc()
+        counter.labels(tier="memory").inc()
+        counter.labels(tier="disk").inc()
+        assert counter.labels(tier="memory").value == 2
+        assert counter.labels(tier="disk").value == 1
+
+    def test_label_mismatch_rejected(self):
+        counter = MetricsRegistry().counter("c_total", "help", label_names=("tier",))
+        with pytest.raises(ValueError):
+            counter.labels(wrong="x")
+        with pytest.raises(ValueError):
+            counter.inc()  # labelled family has no default child
+
+    def test_histogram_buckets_and_sum(self):
+        histogram = MetricsRegistry().histogram("h_seconds", "help", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(56.05)
+
+    def test_histogram_bounds_validated(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h1", "help", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h2", "help", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h3", "help", buckets=(2.0, 1.0))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("0bad", "help")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "help", label_names=("bad-label",))
+
+    def test_concurrent_increments_all_land(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        histogram = MetricsRegistry().histogram("h_seconds", "help")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+                histogram.observe(0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+        assert histogram.count == 8000
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        second = registry.counter("c_total", "help")
+        assert first is second
+        assert registry.get("c_total") is first
+
+    def test_kind_or_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name", "help")
+        with pytest.raises(ValueError):
+            registry.gauge("name", "help")
+        registry.counter("labelled", "help", label_names=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("labelled", "help", label_names=("b",))
+
+    def test_instances_are_isolated(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("c_total", "help").inc()
+        assert second.get("c_total") is None
+
+
+class TestRendering:
+    def test_full_exposition_validates(self):
+        registry = MetricsRegistry()
+        registry.counter("r_total", "Requests.", label_names=("method",)).labels(
+            method="gp+a"
+        ).inc(3)
+        registry.gauge("depth", "Queue depth.").set(2)
+        histogram = registry.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        text = registry.render_prometheus()
+        assert validate_prometheus_text(text) == []
+        assert "# HELP r_total Requests." in text
+        assert "# TYPE r_total counter" in text
+        assert 'r_total{method="gp+a"} 3' in text
+        assert "depth 2" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_count 3" in text
+
+    def test_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", "help", buckets=(1.0, 2.0, 3.0))
+        for value in (0.5, 1.5, 2.5):
+            histogram.observe(value)
+        lines = registry.render_prometheus().splitlines()
+        counts = [
+            int(line.rsplit(" ", 1)[1]) for line in lines if "h_seconds_bucket" in line
+        ]
+        assert counts == [1, 2, 3, 3]
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help", label_names=("path",)).labels(
+            path='a"b\\c\nd'
+        ).inc()
+        text = registry.render_prometheus()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert validate_prometheus_text(text) == []
+
+
+class TestValidator:
+    def test_flags_type_before_help(self):
+        text = "# TYPE x counter\n# HELP x help\nx 1\n"
+        assert any("precedes" in problem for problem in validate_prometheus_text(text))
+
+    def test_flags_unknown_type(self):
+        text = "# HELP x help\n# TYPE x widget\nx 1\n"
+        assert any("unknown metric type" in p for p in validate_prometheus_text(text))
+
+    def test_flags_sample_without_type(self):
+        assert any(
+            "no TYPE" in problem for problem in validate_prometheus_text("orphan 1\n")
+        )
+
+    def test_flags_non_cumulative_buckets(self):
+        text = (
+            "# HELP h help\n# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\nh_bucket{le="+Inf"} 5\n'
+            "h_sum 1.0\nh_count 5\n"
+        )
+        assert any("cumulative" in p for p in validate_prometheus_text(text))
+
+    def test_flags_missing_inf_bucket(self):
+        text = (
+            "# HELP h help\n# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\nh_sum 0.5\nh_count 1\n'
+        )
+        assert any("+Inf" in problem for problem in validate_prometheus_text(text))
+
+    def test_flags_count_bucket_disagreement(self):
+        text = (
+            "# HELP h help\n# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\nh_bucket{le="+Inf"} 2\nh_sum 0.5\nh_count 7\n'
+        )
+        assert any("_count disagrees" in p for p in validate_prometheus_text(text))
+
+    def test_accepts_labelled_histograms_per_series(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "h_seconds", "help", buckets=(1.0,), label_names=("method",)
+        )
+        histogram.labels(method="a").observe(0.5)
+        histogram.labels(method="b").observe(2.0)
+        assert validate_prometheus_text(registry.render_prometheus()) == []
+
+    def test_inf_value_parses(self):
+        assert math.isinf(float("inf"))
+        text = "# HELP g help\n# TYPE g gauge\ng +Inf\n"
+        assert validate_prometheus_text(text) == []

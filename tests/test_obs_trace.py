@@ -1,0 +1,205 @@
+"""Tracing subsystem: span nesting, no-op cost path, serialization, and the
+runtime-table coverage guarantee (per-phase durations ~ the row's wall)."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    SolveTrace,
+    TraceStore,
+    current_trace,
+    span,
+    start_trace,
+    traces_to_jsonl,
+    tracing_enabled,
+    write_traces_jsonl,
+)
+
+
+class TestSpanRecording:
+    def test_span_outside_trace_is_shared_noop(self):
+        assert current_trace() is None
+        first = span("anything")
+        second = span("anything_else", attr=1)
+        assert first is NULL_SPAN
+        assert second is NULL_SPAN
+        with first as yielded:
+            assert yielded is None
+
+    def test_nested_spans_build_a_tree(self):
+        with start_trace("solve", method="minlp") as trace:
+            with span("outer"):
+                with span("inner_a"):
+                    pass
+                with span("inner_b"):
+                    pass
+            with span("sibling"):
+                pass
+        root = trace.root
+        assert [child.name for child in root.children] == ["outer", "sibling"]
+        assert [child.name for child in root.children[0].children] == ["inner_a", "inner_b"]
+        assert trace.attributes["method"] == "minlp"
+        assert trace.duration_seconds > 0.0
+        for child in root.children:
+            assert 0.0 <= child.start_seconds <= trace.duration_seconds
+            assert child.duration_seconds >= 0.0
+
+    def test_span_attributes_settable_on_yielded_span(self):
+        with start_trace("solve") as trace:
+            with span("phase") as phase:
+                phase.attributes["cached"] = True
+        assert trace.root.children[0].attributes == {"cached": True}
+
+    def test_exception_closes_span_and_records_error(self):
+        with pytest.raises(RuntimeError):
+            with start_trace("solve") as trace:
+                with span("boom"):
+                    raise RuntimeError("nope")
+        child = trace.root.children[0]
+        assert child.attributes["error"] == "RuntimeError"
+        assert child.duration_seconds >= 0.0
+        # The stack unwound: the trace finished cleanly at the root.
+        assert trace.root.duration_seconds > 0.0
+
+    def test_trace_is_reset_after_block(self):
+        with start_trace("solve"):
+            assert current_trace() is not None
+        assert current_trace() is None
+        assert span("after") is NULL_SPAN
+
+    def test_nested_traces_shadow(self):
+        with start_trace("outer") as outer:
+            with start_trace("inner") as inner:
+                assert current_trace() is inner
+            assert current_trace() is outer
+
+    def test_breakdown_and_coverage(self):
+        with start_trace("solve") as trace:
+            with span("a"):
+                pass
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        phases = trace.breakdown()
+        assert set(phases) == {"a", "b"}
+        assert phases["a"]["count"] == 2
+        assert phases["b"]["count"] == 1
+        assert 0.0 < trace.coverage() <= 1.0
+
+
+class TestSerialization:
+    def _sample(self) -> SolveTrace:
+        with start_trace("solve", method="gp+a") as trace:
+            with span("gp_step") as gp:
+                gp.attributes["backend"] = "native"
+            with span("allocate"):
+                pass
+        return trace
+
+    def test_dict_roundtrip(self):
+        trace = self._sample()
+        payload = trace.as_dict()
+        rebuilt = SolveTrace.from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt.name == trace.name
+        assert rebuilt.as_dict() == payload
+        assert [c.name for c in rebuilt.root.children] == ["gp_step", "allocate"]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        traces = [self._sample(), self._sample()]
+        text = traces_to_jsonl(traces)
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        for line, trace in zip(lines, traces):
+            assert json.loads(line) == json.loads(json.dumps(trace.as_dict()))
+        path = tmp_path / "traces.jsonl"
+        write_traces_jsonl(traces, str(path))
+        assert path.read_text() == text
+
+    def test_jsonl_accepts_dict_documents(self):
+        payload = self._sample().as_dict()
+        assert json.loads(traces_to_jsonl([payload]).strip()) == json.loads(
+            json.dumps(payload)
+        )
+
+
+class TestTraceStore:
+    def test_lru_eviction(self):
+        store = TraceStore(capacity=2)
+        for key in ("a", "b", "c"):
+            with start_trace(key) as trace:
+                pass
+            store.put(key, trace)
+        assert store.keys() == ["b", "c"]
+        assert store.get("a") is None
+
+    def test_get_refreshes_recency(self):
+        store = TraceStore(capacity=2)
+        for key in ("a", "b"):
+            with start_trace(key) as trace:
+                pass
+            store.put(key, trace)
+        assert store.get("a") is not None
+        with start_trace("c") as trace:
+            pass
+        store.put("c", trace)
+        assert store.get("a") is not None  # refreshed, so "b" was evicted
+        assert store.get("b") is None
+
+    def test_put_accepts_trace_or_dict(self):
+        store = TraceStore()
+        with start_trace("x") as trace:
+            pass
+        store.put("as_object", trace)
+        store.put("as_dict", trace.as_dict())
+        assert store.get("as_object") == store.get("as_dict")
+        assert len(store) == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+
+class TestEnvFlag:
+    def test_tracing_enabled_reads_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert not tracing_enabled()
+        for value in ("0", "false", "no", "off", ""):
+            monkeypatch.setenv("REPRO_TRACE", value)
+            assert not tracing_enabled()
+        for value in ("1", "true", "on", "yes"):
+            monkeypatch.setenv("REPRO_TRACE", value)
+            assert tracing_enabled()
+
+
+class TestRuntimeTableCoverage:
+    def test_every_runtime_row_covered_within_ten_percent(self):
+        """Acceptance bar: per-phase durations sum to >= 90% of each
+        runtime-table row's wall clock (solved cold, as ``repro trace`` does)."""
+        from repro.reporting.trace import traced_runtime_rows
+
+        rows = traced_runtime_rows()
+        assert len(rows) == 9
+        for row in rows:
+            trace = row["trace"]
+            assert trace.root.children, f"{row['case']}/{row['method']}: no phase spans"
+            coverage = trace.coverage()
+            assert coverage >= 0.9, (
+                f"{row['case']}/{row['method']}: phases cover {coverage:.1%} "
+                f"of {row['wall_seconds']:.4f} s"
+            )
+
+    def test_breakdown_tables_render(self):
+        from repro.reporting.trace import (
+            span_breakdown_table,
+            traced_runtime_rows,
+            traced_runtime_table,
+        )
+
+        rows = traced_runtime_rows(cases=("alex-16",), methods=("gp+a",))
+        per_row = span_breakdown_table(rows[0]["trace"]).render()
+        assert "gp_step" in per_row or "discretize" in per_row
+        summary = traced_runtime_table(rows).render()
+        assert "alex-16" in summary and "gp+a" in summary
