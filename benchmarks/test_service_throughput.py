@@ -162,6 +162,39 @@ def test_async_warm_replay_throughput(benchmark):
         assert benchmark.stats["mean"] < 2 * PR2_WARM_REPLAY_SECONDS
 
 
+def test_async_warm_replay_with_wal(benchmark, tmp_path):
+    """The durability tax: the same warm async replay with the WAL on.
+
+    Every submit serialises the 1000 request documents (~1.3 MB frame,
+    problem documents shared across duplicates), CRC-frames them and pays
+    one group-commit fsync before the ack.  The non-durable pinned gate row
+    above must stay untouched; this row tracks the absolute WAL cost so a
+    regression in framing or fsync batching shows up in the snapshot.
+    Measured ~60-110 ms on the container -- the bound below is headroom,
+    not a target."""
+    problems = _problems(BATCH_UNIQUE)
+    requests = [SolveRequest(problem=problems[index % BATCH_UNIQUE]) for index in range(BATCH_TOTAL)]
+    service = AllocationService(
+        store=ShardedResultStore(num_shards=4), job_workers=2, wal=tmp_path / "wal"
+    )
+    warmup = service.submit_batch(requests)
+    service.jobs.wait(warmup["job_id"], timeout_seconds=300.0)
+
+    def replay():
+        submitted = service.submit_batch(requests)
+        return service.jobs.wait(submitted["job_id"], timeout_seconds=300.0)
+
+    finished = benchmark(replay)
+    assert finished["report"]["solves"] == 0
+    assert finished["report"]["memory_hits"] == BATCH_UNIQUE
+    wal_stats = service.jobs.wal.stats()
+    assert wal_stats["appends"] >= 2  # every replayed submit was journaled
+    assert wal_stats["fsyncs"] >= 1
+    service.close()
+    if benchmark.stats is not None:
+        assert benchmark.stats["mean"] < 0.25
+
+
 def test_async_submit_latency_warm_queue(benchmark):
     """Steady-state submit latency: one lock + one queue put, microseconds."""
     problems = _problems(BATCH_UNIQUE)

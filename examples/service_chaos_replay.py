@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Scripted kill -9 chaos replay for CI (the durability smoke check).
+
+The script stages the full crash story against real server subprocesses:
+
+1. a reference server on fresh directories answers the whole batch
+   uninterrupted,
+2. a WAL-enabled server receives the same batch asynchronously and is killed
+   with ``SIGKILL`` mid-stream (a ``REPRO_FAULTS`` latency plan stretches the
+   stream so the kill reliably lands inside it),
+3. a restart on the same directories must replay the acknowledged job to
+   completion -- byte-identical outcome documents, zero lost work,
+4. an overload burst against a depth-1 queue must produce 429 + Retry-After
+   responses that the client's capped exponential backoff drains,
+5. the final ``/metrics`` scrape must be format-valid and show the WAL replay
+   and admission-rejection counters.
+
+With ``--check`` every one of those becomes a hard failure::
+
+    PYTHONPATH=src python examples/service_chaos_replay.py \
+        --requests 1000 --unique 64 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.obs.metrics import validate_prometheus_text
+from repro.service import RetryPolicy, ServiceClient, ServiceError
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from service_load_generator import build_requests  # noqa: E402
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _comparable(document: dict) -> str:
+    trimmed = dict(document)
+    trimmed.pop("runtime_seconds", None)
+    return json.dumps(trimmed, sort_keys=True)
+
+
+def spawn_server(
+    port: int,
+    wal_dir: str | None = None,
+    cache_dir: str | None = None,
+    max_queue_depth: int | None = None,
+    faults: str | None = None,
+) -> subprocess.Popen:
+    environment = dict(os.environ)
+    source_root = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    existing = environment.get("PYTHONPATH", "")
+    environment["PYTHONPATH"] = source_root + (os.pathsep + existing if existing else "")
+    environment.pop("REPRO_FAULTS", None)
+    if faults:
+        environment["REPRO_FAULTS"] = faults
+    command = [
+        sys.executable, "-m", "repro", "serve", "--port", str(port),
+        "--workers", "1", "--quiet",
+    ]
+    if wal_dir is not None:
+        command += ["--wal-dir", wal_dir]
+    if cache_dir is not None:
+        command += ["--cache-dir", cache_dir]
+    if max_queue_depth is not None:
+        command += ["--max-queue-depth", str(max_queue_depth)]
+    return subprocess.Popen(command, env=environment)
+
+
+def wait_for_health(port: int, timeout_seconds: float = 60.0) -> ServiceClient:
+    client = ServiceClient(
+        f"http://127.0.0.1:{port}",
+        timeout_seconds=60.0,
+        retry_policy=RetryPolicy(retries=10, backoff_base_seconds=0.1),
+    )
+    deadline = time.monotonic() + timeout_seconds
+    while True:
+        try:
+            client.health()
+            return client
+        except ServiceError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.2)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=1000, help="requests in the batch")
+    parser.add_argument("--unique", type=int, default=64, help="distinct problems in the batch")
+    parser.add_argument("--seed", type=int, default=7, help="shuffle seed")
+    parser.add_argument("--check", action="store_true", help="fail unless every guarantee holds")
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    requests = build_requests(args.requests, args.unique, args.seed)
+    server: subprocess.Popen | None = None
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        wal_dir = os.path.join(scratch, "wal")
+        cache_dir = os.path.join(scratch, "cache")
+
+        try:
+            # -- 1. Uninterrupted reference run on fresh directories. -------
+            port = _free_port()
+            server = spawn_server(port)
+            client = wait_for_health(port)
+            started = time.perf_counter()
+            outcomes, report = client.solve_batch_outcomes(requests)
+            reference = [_comparable(outcome.to_dict()) for outcome in outcomes]
+            print(f"reference: {args.requests} requests -> {report['solves']} solves "
+                  f"in {time.perf_counter() - started:.2f} s")
+            server.kill()
+            server.wait(timeout=30)
+
+            # -- 2. Durable server, async submit, kill -9 mid-batch. -------
+            # Every cache write sleeps 25 ms so the solve stream is long
+            # enough for the kill to land inside it.
+            port = _free_port()
+            server = spawn_server(
+                port, wal_dir=wal_dir, cache_dir=cache_dir,
+                faults="store.put:latency:ms=25",
+            )
+            client = wait_for_health(port)
+            submitted = client.solve_batch_async(requests)
+            job_id = submitted["job_id"]
+            print(f"acked async job {job_id} ({args.requests} requests)")
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                stats = client.stats()
+                if stats["jobs"]["running"] >= 1:
+                    break
+                time.sleep(0.01)
+            # The put-latency plan stretches the solve stream to at least
+            # 25 ms x unique; killing a fraction of that into the run lands
+            # reliably inside the batch.
+            time.sleep(min(0.5, 0.005 * args.unique))
+            stats = client.stats()
+            if stats["jobs"]["completed"] != 0:
+                failures.append("batch finished before the kill; nothing was interrupted")
+            os.kill(server.pid, signal.SIGKILL)
+            server.wait(timeout=30)
+            print("kill -9 delivered mid-batch "
+                  f"(job running: {stats['jobs']['running']}, completed: "
+                  f"{stats['jobs']['completed']})")
+
+            # -- 3. Restart on the same directories: replay to completion. --
+            # The restarted server also carries a per-job latency fault and a
+            # depth-1 queue so the overload burst below reliably sees 429s.
+            server = spawn_server(
+                port, wal_dir=wal_dir, cache_dir=cache_dir, max_queue_depth=1,
+                faults="jobs.run.start:latency:ms=150",
+            )
+            client = wait_for_health(port)
+            finished = client.wait_for_job(job_id, timeout_seconds=600.0)
+            if finished["status"] != "done":
+                failures.append(f"replayed job ended '{finished['status']}'")
+            elif finished.get("recovered") is not True:
+                failures.append("finished job does not carry the recovered flag")
+            else:
+                replayed = [_comparable(doc) for doc in finished["outcomes"]]
+                mismatches = sum(1 for a, b in zip(replayed, reference) if a != b)
+                if len(replayed) != len(reference) or mismatches:
+                    failures.append(f"{mismatches} of {len(reference)} replayed outcome "
+                                    "documents differ from the reference run")
+                else:
+                    print(f"replayed job done: {len(replayed)} outcome documents "
+                          "byte-identical to the reference")
+
+            # -- 4. Overload burst: 429 + Retry-After drained by backoff. --
+            burst_client = ServiceClient(
+                f"http://127.0.0.1:{port}",
+                retry_policy=RetryPolicy(
+                    retries=12, backoff_base_seconds=0.05, retry_after_cap_seconds=0.5
+                ),
+            )
+            burst_jobs = [
+                burst_client.solve_batch_async(requests[:4])["job_id"] for _ in range(6)
+            ]
+            for burst_id in burst_jobs:
+                burst_client.wait_for_job(burst_id, timeout_seconds=120.0)
+            retry = burst_client.retry_stats
+            print(f"overload burst: {len(burst_jobs)} jobs through a depth-1 queue, "
+                  f"{retry['rejected_429']:.0f} x 429, {retry['retries']:.0f} retries, "
+                  f"{retry['backoff_seconds']:.2f} s backed off")
+            if retry["rejected_429"] < 1:
+                failures.append("overload burst never saw a 429")
+            if retry["retries"] < 1:
+                failures.append("client never retried")
+
+            # -- 5. Zero lost work + a valid, populated /metrics scrape. ---
+            _, warm_report = client.solve_batch_outcomes(requests)
+            if warm_report["solves"] != 0:
+                failures.append(f"warm re-submit repeated {warm_report['solves']} solves")
+            stats = client.stats()
+            metrics_text = client.metrics()
+            metrics_problems = validate_prometheus_text(metrics_text)
+            if metrics_problems:
+                failures.append(f"/metrics format problems: {metrics_problems[:3]}")
+            for needle in ("repro_wal_replays", "repro_wal_appends",
+                           "repro_admission_rejected_total"):
+                if needle not in metrics_text:
+                    failures.append(f"{needle} absent from /metrics")
+            if stats["wal"]["replays"] < 1:
+                failures.append("stats report no WAL replay after the restart")
+            if stats["admission"]["rejected_429"] < 1:
+                failures.append("server-side 429 counter is zero")
+            print(f"final stats: wal_replays={stats['wal']['replays']}, "
+                  f"recovered={stats['jobs']['recovered']}, "
+                  f"rejected_total={stats['admission']['rejected_total']}, "
+                  f"warm re-submit solves={warm_report['solves']}")
+        finally:
+            if server is not None and server.poll() is None:
+                server.kill()
+                server.wait(timeout=30)
+
+    if failures:
+        print("\nCHAOS CHECK FAILED:\n  " + "\n  ".join(failures))
+        return 1 if args.check else 0
+    print("\nCHAOS CHECK PASSED: acked batch survived kill -9, backpressure drained, "
+          "metrics visible")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

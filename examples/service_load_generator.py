@@ -141,6 +141,12 @@ def main() -> int:
         stats = client.stats()
         print(cache_stats_table(stats["cache"]).render())
 
+        retry = client.retry_stats
+        print(f"\nclient retries: {retry['retries']:.0f} over {retry['attempts']:.0f} attempts "
+              f"(429: {retry['rejected_429']:.0f}, 503: {retry['rejected_503']:.0f}, "
+              f"connection errors: {retry['connection_errors']:.0f}, "
+              f"backoff {retry['backoff_seconds']:.2f} s)")
+
         # Scrape /metrics and validate the Prometheus exposition format.
         metrics_text = client.metrics()
         metrics_problems = validate_prometheus_text(metrics_text)

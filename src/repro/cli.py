@@ -154,6 +154,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds before a cached result expires (omit for no expiry)",
     )
     serve_parser.add_argument(
+        "--wal-dir",
+        type=Path,
+        default=None,
+        help="directory for the job write-ahead log: async submissions are fsynced "
+        "before the ack and replayed after a crash (omit to disable durability)",
+    )
+    serve_parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="async jobs admitted to the queue before submissions get 429 + "
+        "Retry-After (omit for unbounded)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight-solves",
+        type=int,
+        default=None,
+        help="concurrent synchronous solve calls before requests are shed with "
+        "503 (omit for unbounded)",
+    )
+    serve_parser.add_argument(
         "--trace",
         action="store_true",
         help="record a span trace per solve (served at /trace/<fingerprint>; "
@@ -336,14 +357,24 @@ def _run_serve(args: argparse.Namespace) -> int:
         executor=executor,
         job_workers=args.workers,
         tracing=True if args.trace else None,
+        wal=args.wal_dir,
+        max_queue_depth=args.max_queue_depth,
+        max_inflight_solves=args.max_inflight_solves,
     )
     tier = f"memory+disk ({args.cache_dir})" if args.cache_dir else "memory-only"
+    durability = f"wal ({args.wal_dir})" if args.wal_dir else "none"
     print(
         f"result cache: {tier}; shards: {args.shards}; batch workers: {jobs}; "
         f"async job workers: {args.workers}; tracing: "
-        f"{'on' if service.tracing else 'off'}",
+        f"{'on' if service.tracing else 'off'}; durability: {durability}",
         flush=True,
     )
+    if service.recovered_jobs:
+        print(
+            f"wal recovery: re-enqueued {service.recovered_jobs} unfinished "
+            f"job(s) from {args.wal_dir}",
+            flush=True,
+        )
     try:
         run_server(service, host=args.host, port=args.port, quiet=args.quiet)
     finally:

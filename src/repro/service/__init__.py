@@ -9,15 +9,34 @@ cache-backed engine:
   result tiers, single-store or sharded by fingerprint prefix;
 * :mod:`repro.service.batch` -- deduped, memo-grouped batch solving;
 * :mod:`repro.service.jobs` -- the async batch job queue and worker pool;
+* :mod:`repro.service.wal` -- the per-shard write-ahead job journal that
+  makes async acks durable across ``kill -9``;
+* :mod:`repro.service.faults` -- seeded fault injection (crashes, IO
+  errors, latency) at named sites, for the durability test harness;
 * :mod:`repro.service.server` -- the resident service and its HTTP JSON API;
-* :mod:`repro.service.client` -- a small stdlib client (sync + async polls).
+* :mod:`repro.service.client` -- a small stdlib client (sync + async polls)
+  with capped-exponential retry/backoff on 429/503.
 """
 
-from .batch import BatchReport, SolveRequest, request_from_dict, solve_batch
+from .batch import BatchReport, SolveRequest, request_from_dict, request_to_dict, solve_batch
 from .canonical import canonical_json, canonical_request, fingerprint, group_key
-from .client import ServiceClient, ServiceError, request_to_dict
-from .jobs import Job, JobQueue
-from .server import AllocationHTTPServer, AllocationService, run_server, start_server
+from .client import RetryPolicy, ServiceClient, ServiceError
+from .faults import (
+    FaultInjector,
+    FaultPlanError,
+    FaultSpec,
+    InjectedIOError,
+    parse_fault_plan,
+    set_injector,
+)
+from .jobs import Job, JobQueue, QueueFullError
+from .server import (
+    AllocationHTTPServer,
+    AllocationService,
+    BackpressureError,
+    run_server,
+    start_server,
+)
 from .store import (
     CacheStats,
     MemoryTier,
@@ -28,16 +47,25 @@ from .store import (
     StoreLookup,
     shard_of,
 )
+from .wal import JobWal, WalError, WalSegment, decode_records, encode_record
 
 __all__ = [
     "AllocationHTTPServer",
     "AllocationService",
+    "BackpressureError",
     "BatchReport",
     "CacheStats",
+    "FaultInjector",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedIOError",
     "Job",
     "JobQueue",
+    "JobWal",
     "MemoryTier",
+    "QueueFullError",
     "ResultStore",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ShardedResultStore",
@@ -45,13 +73,19 @@ __all__ = [
     "SqliteTier",
     "StoreLimits",
     "StoreLookup",
+    "WalError",
+    "WalSegment",
     "canonical_json",
     "canonical_request",
+    "decode_records",
+    "encode_record",
     "fingerprint",
     "group_key",
+    "parse_fault_plan",
     "request_from_dict",
     "request_to_dict",
     "run_server",
+    "set_injector",
     "shard_of",
     "solve_batch",
     "start_server",

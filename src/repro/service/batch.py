@@ -14,7 +14,7 @@ import json
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping, Sequence
 
 from ..core.exact import ExactSettings
@@ -24,7 +24,7 @@ from ..core.solution import SolveOutcome, SolveStatus
 from ..core.solvers import METHODS
 from ..explore.executor import DEFAULT_EXECUTOR, SolveTask, SweepExecutor, run_solve_task
 from ..obs.trace import span
-from ..workloads.serialization import SerializationError, problem_from_dict
+from ..workloads.serialization import SerializationError, problem_from_dict, problem_to_dict
 from .canonical import canonical_fpga_order
 from .canonical import fingerprint as compute_fingerprint
 from .canonical import group_key as compute_group_key
@@ -156,6 +156,43 @@ def _settings_from_dict(cls: type, payload: Mapping[str, Any] | None, label: str
         return cls(**payload)
     except (TypeError, ValueError) as error:
         raise SerializationError(f"invalid {label}: {error}") from error
+
+
+def request_to_dict(request: SolveRequest) -> dict[str, Any]:
+    """Serialise a :class:`SolveRequest` into the service wire format (the
+    inverse of :func:`request_from_dict`; also the WAL journal format)."""
+    payload: dict[str, Any] = {
+        "problem": problem_to_dict(request.problem),
+        "method": request.method,
+    }
+    if request.heuristic_settings is not None:
+        payload["heuristic_settings"] = asdict(request.heuristic_settings)
+    if request.exact_settings is not None:
+        payload["exact_settings"] = asdict(request.exact_settings)
+    return payload
+
+
+def requests_to_documents(requests: Sequence[SolveRequest]) -> list[dict[str, Any]]:
+    """Serialise a request list for the WAL journal, sharing the problem
+    document across duplicates (batches are duplicate-heavy by design, and
+    the problem is by far the largest part of the payload)."""
+    problem_memo: dict[int, dict[str, Any]] = {}
+    documents: list[dict[str, Any]] = []
+    for request in requests:
+        problem_document = problem_memo.get(id(request.problem))
+        if problem_document is None:
+            problem_document = problem_to_dict(request.problem)
+            problem_memo[id(request.problem)] = problem_document
+        payload: dict[str, Any] = {
+            "problem": problem_document,
+            "method": request.method,
+        }
+        if request.heuristic_settings is not None:
+            payload["heuristic_settings"] = asdict(request.heuristic_settings)
+        if request.exact_settings is not None:
+            payload["exact_settings"] = asdict(request.exact_settings)
+        documents.append(payload)
+    return documents
 
 
 def request_from_dict(payload: Mapping[str, Any]) -> SolveRequest:

@@ -1,0 +1,254 @@
+"""Deterministic fault injection for the durability test harness.
+
+Crash safety cannot be proven by reading the code: the WAL, the job queue
+and the result store only earn their guarantees when crashes, IO errors and
+latency spikes are actually *driven through them* at the worst moments.
+This module gives every dangerous moment a name (a **site**) and lets a
+test -- or the ``REPRO_FAULTS`` environment variable, for subprocess
+harnesses -- attach a seeded fault plan to those names.
+
+Sites instrumented across the service layer::
+
+    wal.append            before a record is framed and written
+    wal.fsync             before the group-commit fsync
+    wal.compact           before a segment rewrite
+    jobs.submit.journal   before the submit record is journaled (a crash
+                          here loses nothing: the job was never acked)
+    jobs.submit.ack       after the journal fsync, before the ack returns
+                          (a crash here MUST be recovered on restart)
+    jobs.run.start        a worker picked the job up
+    jobs.run.complete     before the completion marker is journaled
+    store.get             a result-store lookup
+    store.put             a result-store write
+
+Fault kinds:
+
+* ``crash``    -- ``os._exit(137)``: a hard kill, no cleanup, no atexit
+  (the in-process equivalent of ``kill -9``; only meaningful in spawned
+  subprocesses);
+* ``io_error`` -- raise :class:`InjectedIOError` (an ``OSError``);
+* ``latency``  -- sleep ``ms`` milliseconds (default 10).
+
+``REPRO_FAULTS`` grammar -- semicolon-separated specs, each
+``site:kind[:key=value]*``::
+
+    REPRO_FAULTS="jobs.run.complete:crash:nth=3"
+    REPRO_FAULTS="wal.fsync:io_error:every=5;store.put:latency:ms=20:p=0.25:seed=7"
+
+Trigger keys (all optional; with none the fault fires on every hit):
+
+* ``nth=N``    fire exactly once, on the N-th hit of the site (1-based);
+* ``every=N``  fire on every N-th hit;
+* ``p=F``      fire with probability ``F`` per hit, drawn from a dedicated
+  ``random.Random(seed)`` so a plan replays identically run over run;
+* ``seed=N``   the seed for ``p`` (default 0);
+* ``times=K``  stop firing after ``K`` fires;
+* ``ms=N``     latency duration in milliseconds (``latency`` only).
+
+The hot path pays one module-attribute read when no plan is active
+(:func:`inject` checks a single global), so instrumented sites are free in
+production.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Environment variable holding the fault plan of a spawned process.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: The recognised fault kinds.
+FAULT_KINDS = ("crash", "io_error", "latency")
+
+
+class FaultPlanError(ValueError):
+    """Raised for an unparseable ``REPRO_FAULTS`` plan."""
+
+
+class InjectedIOError(OSError):
+    """The error raised by an ``io_error`` fault (an OSError subclass, so
+    production ``except OSError`` paths treat it like the real thing)."""
+
+
+@dataclass
+class FaultSpec:
+    """One parsed fault: where it strikes, what it does, when it triggers."""
+
+    site: str
+    kind: str
+    nth: int | None = None
+    every: int | None = None
+    p: float | None = None
+    seed: int = 0
+    times: int | None = None
+    ms: float = 10.0
+
+    # Mutable trigger state (per spec, guarded by the injector lock).
+    hits: int = field(default=0, compare=False)
+    fires: int = field(default=0, compare=False)
+    _rng: random.Random | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(f"unknown fault kind {self.kind!r}; options: {FAULT_KINDS}")
+        if self.nth is not None and self.nth < 1:
+            raise FaultPlanError("nth must be >= 1")
+        if self.every is not None and self.every < 1:
+            raise FaultPlanError("every must be >= 1")
+        if self.p is not None and not 0.0 <= self.p <= 1.0:
+            raise FaultPlanError("p must be in [0, 1]")
+        if self.times is not None and self.times < 1:
+            raise FaultPlanError("times must be >= 1")
+        if self.p is not None:
+            self._rng = random.Random(self.seed)
+
+    def should_fire(self) -> bool:
+        """Record one hit and decide (deterministically) whether to fire."""
+        self.hits += 1
+        if self.times is not None and self.fires >= self.times:
+            return False
+        if self.nth is not None:
+            fire = self.hits == self.nth
+        elif self.every is not None:
+            fire = self.hits % self.every == 0
+        elif self._rng is not None:
+            fire = self._rng.random() < (self.p or 0.0)
+        else:
+            fire = True
+        if fire:
+            self.fires += 1
+        return fire
+
+
+def parse_fault_plan(text: str) -> list[FaultSpec]:
+    """Parse the ``REPRO_FAULTS`` grammar into a list of :class:`FaultSpec`."""
+    specs: list[FaultSpec] = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) < 2:
+            raise FaultPlanError(f"fault spec {chunk!r} needs at least site:kind")
+        site, kind = parts[0].strip(), parts[1].strip()
+        if not site:
+            raise FaultPlanError(f"fault spec {chunk!r} has an empty site")
+        kwargs: dict[str, Any] = {}
+        for option in parts[2:]:
+            if "=" not in option:
+                raise FaultPlanError(f"fault option {option!r} is not key=value")
+            key, _, value = option.partition("=")
+            key = key.strip()
+            if key in ("nth", "every", "seed", "times"):
+                kwargs[key] = int(value)
+            elif key in ("p", "ms"):
+                kwargs[key] = float(value)
+            else:
+                raise FaultPlanError(f"unknown fault option {key!r} in {chunk!r}")
+        specs.append(FaultSpec(site=site, kind=kind, **kwargs))
+    return specs
+
+
+class FaultInjector:
+    """Evaluates a fault plan at instrumented sites (thread-safe).
+
+    The injector is deliberately boring: :meth:`fire` is the only verb, and
+    everything it does is decided by the parsed plan.  ``hits()`` and
+    ``fired()`` expose per-site counters so tests can assert a fault really
+    struck where (and as often as) the plan said it would.
+    """
+
+    def __init__(self, specs: list[FaultSpec] | str):
+        if isinstance(specs, str):
+            specs = parse_fault_plan(specs)
+        self._specs = list(specs)
+        self._lock = threading.Lock()
+        self._by_site: dict[str, list[FaultSpec]] = {}
+        for spec in self._specs:
+            self._by_site.setdefault(spec.site, []).append(spec)
+
+    def fire(self, site: str) -> None:
+        """Evaluate every spec attached to ``site`` (latency faults sleep
+        outside the lock; crash faults never return)."""
+        specs = self._by_site.get(site)
+        if not specs:
+            return
+        sleep_ms = 0.0
+        error: InjectedIOError | None = None
+        crash = False
+        with self._lock:
+            for spec in specs:
+                if not spec.should_fire():
+                    continue
+                if spec.kind == "latency":
+                    sleep_ms += spec.ms
+                elif spec.kind == "io_error":
+                    error = InjectedIOError(f"injected IO error at {site}")
+                else:
+                    crash = True
+        if sleep_ms > 0.0:
+            time.sleep(sleep_ms / 1000.0)
+        if crash:
+            # The in-process kill -9: no cleanup handlers, no flushing --
+            # exactly what a power cut or OOM kill leaves behind.
+            os._exit(137)
+        if error is not None:
+            raise error
+
+    def hits(self) -> dict[str, int]:
+        with self._lock:
+            totals: dict[str, int] = {}
+            for spec in self._specs:
+                totals[spec.site] = totals.get(spec.site, 0) + spec.hits
+            return totals
+
+    def fired(self) -> dict[str, int]:
+        with self._lock:
+            totals: dict[str, int] = {}
+            for spec in self._specs:
+                totals[spec.site] = totals.get(spec.site, 0) + spec.fires
+            return totals
+
+
+#: The active injector.  ``None`` means no plan: the instrumented sites pay
+#: one global read and return.  Set explicitly by tests (:func:`set_injector`)
+#: or loaded from ``REPRO_FAULTS`` at import of the service layer.
+_ACTIVE: FaultInjector | None = None
+
+
+def set_injector(injector: FaultInjector | None) -> None:
+    """Install (or clear) the process-wide fault injector."""
+    global _ACTIVE
+    _ACTIVE = injector
+
+
+def active_injector() -> FaultInjector | None:
+    return _ACTIVE
+
+
+def load_from_env() -> FaultInjector | None:
+    """Install an injector from ``REPRO_FAULTS`` (no-op when unset/empty).
+
+    Called once by the service layer at import; safe to call again (tests
+    monkeypatching the environment re-invoke it).
+    """
+    plan = os.environ.get(FAULTS_ENV, "").strip()
+    set_injector(FaultInjector(plan) if plan else None)
+    return _ACTIVE
+
+
+def inject(site: str) -> None:
+    """Evaluate the active fault plan at ``site`` (free when no plan)."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(site)
+
+
+# Subprocess harnesses (`repro serve` under REPRO_FAULTS) get their plan
+# armed the moment the service layer imports; in-process tests install
+# injectors explicitly via set_injector().
+load_from_env()

@@ -20,6 +20,19 @@ oldest finished jobs are dropped first, queued/running jobs never).  Jobs
 live in memory only -- they are coordination state, not results; every
 solved outcome is also written to the result store under its fingerprint,
 so nothing is lost when a finished job is eventually pruned.
+
+Durability & backpressure (PR 8)
+--------------------------------
+With a :class:`~repro.service.wal.JobWal` attached, every submission is
+journaled -- full request documents, fsynced -- *before* the ack returns,
+and start/complete markers follow as the job moves; :meth:`JobQueue.recover`
+re-enqueues every journaled-but-unfinished job after a restart (with its
+original job id, so clients polling across a crash find their job again).
+``max_queue_depth`` bounds admission: a submit past the bound raises
+:class:`QueueFullError` instead of accepting work the queue cannot finish
+-- the HTTP layer turns that into ``429`` + ``Retry-After``.  Recovery
+bypasses the bound: a replayed job was already acknowledged, and an ack is
+a promise.
 """
 
 from __future__ import annotations
@@ -30,10 +43,27 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from .batch import BatchReport, SolveRequest
+from .batch import BatchReport, SolveRequest, request_from_dict, requests_to_documents
+from .faults import inject
+from .wal import JobWal
 
 #: The four job states, in lifecycle order.
 JOB_STATUSES = ("queued", "running", "done", "failed")
+
+
+class QueueFullError(RuntimeError):
+    """A submission was refused because the queue is at ``max_queue_depth``.
+
+    Carries the observed depth and bound so the HTTP layer can derive a
+    ``Retry-After`` from how much work is actually ahead of the caller.
+    """
+
+    def __init__(self, depth: int, max_depth: int):
+        super().__init__(
+            f"job queue is full ({depth} queued >= bound {max_depth}); retry later"
+        )
+        self.depth = depth
+        self.max_depth = max_depth
 
 
 @dataclass
@@ -53,6 +83,10 @@ class Job:
     outcomes: list[dict[str, Any]] | None = None
     #: The pending request list; dropped once the job has run.
     requests: list[SolveRequest] = field(default_factory=list, repr=False)
+    #: Numeric id sequence (the WAL segment key); parallel to ``id``.
+    sequence: int = 0
+    #: True when the job was re-enqueued from the WAL after a restart.
+    recovered: bool = False
     #: Set when the job reaches a terminal state (done/failed); lets waiters
     #: block on completion instead of polling.
     finished_event: threading.Event = field(default_factory=threading.Event, repr=False)
@@ -82,6 +116,8 @@ class Job:
             "wait_seconds": self.wait_seconds,
             "run_seconds": self.run_seconds,
         }
+        if self.recovered:
+            document["recovered"] = True
         if self.error is not None:
             document["error"] = self.error
         if self.report is not None:
@@ -114,6 +150,19 @@ class JobQueue:
         reaches a terminal state; the service hooks its wait/run latency
         histograms here.  Observer errors are swallowed -- telemetry must
         never fail a job.
+    wal:
+        Optional :class:`~repro.service.wal.JobWal`.  When present, a
+        submission is journaled (request documents, fsynced) before the ack
+        and :meth:`recover` can re-enqueue unfinished jobs after a restart.
+    max_queue_depth:
+        Admission bound on *queued* (not running) jobs; a submit at the
+        bound raises :class:`QueueFullError`.  ``None`` keeps the historic
+        unbounded behaviour.
+    start_workers:
+        Test/chaos hook: ``False`` journals and registers submissions
+        without ever starting worker threads -- the in-process equivalent
+        of crashing right after the ack, used by the crash-recovery
+        differential harness.
     """
 
     def __init__(
@@ -123,14 +172,22 @@ class JobQueue:
         max_retained: int = 256,
         clock: Callable[[], float] = time.time,
         on_finished: "Callable[[Job], None] | None" = None,
+        wal: JobWal | None = None,
+        max_queue_depth: int | None = None,
+        start_workers: bool = True,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_retained < 1:
             raise ValueError("max_retained must be >= 1")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None for unbounded)")
         self._runner = runner
         self.workers = workers
         self.max_retained = max_retained
+        self.wal = wal
+        self.max_queue_depth = max_queue_depth
+        self._start_workers = start_workers
         self._clock = clock
         self._on_finished = on_finished
         self._lock = threading.Lock()
@@ -140,11 +197,17 @@ class JobQueue:
         self._queue: "queue.Queue[str | None]" = queue.Queue()
         self._threads: list[threading.Thread] = []
         self._next_id = 0
+        #: Submissions past admission but not yet registered (their WAL
+        #: append is in flight); counted against ``max_queue_depth`` so a
+        #: burst cannot overshoot the bound through the journaling window.
+        self._pending_submits = 0
         self._closed = False
         self.submitted = 0
         self.completed = 0
         self.failed = 0
         self.pruned = 0
+        self.recovered = 0
+        self.rejected = 0
         #: Accumulated queue-wait and worker-run time over finished jobs.
         self.wait_seconds_total = 0.0
         self.run_seconds_total = 0.0
@@ -152,12 +215,31 @@ class JobQueue:
     # ------------------------------------------------------------------ #
     # Submission / polling
     # ------------------------------------------------------------------ #
-    def submit(self, requests: Sequence[SolveRequest]) -> dict[str, Any]:
+    def queue_depth(self) -> int:
+        """Jobs currently waiting for a worker (queued, not running)."""
+        with self._lock:
+            return self._queued_depth_locked()
+
+    def _queued_depth_locked(self) -> int:
+        return (
+            sum(1 for job in self._jobs.values() if job.status == "queued")
+            + self._pending_submits
+        )
+
+    def submit(
+        self,
+        requests: Sequence[SolveRequest],
+        documents: "Sequence[dict[str, Any]] | None" = None,
+    ) -> dict[str, Any]:
         """Enqueue a batch; returns the job document (status ``queued``).
 
-        The hot path is one lock acquisition and a queue put -- no
-        fingerprinting, no serialisation -- so the submit latency stays in
-        the tens of microseconds regardless of batch size.
+        Without a WAL the hot path is one lock acquisition and a queue put
+        -- no fingerprinting, no serialisation -- so the submit latency
+        stays in the tens of microseconds regardless of batch size.  With a
+        WAL the submission is journaled and fsynced before this returns:
+        the ack means the job survives ``kill -9``.  ``documents`` lets the
+        HTTP layer hand over the already-parsed wire documents so the
+        journal does not re-serialise every problem.
         """
         request_list = list(requests)
         if not request_list:
@@ -165,13 +247,36 @@ class JobQueue:
         with self._lock:
             if self._closed:
                 raise RuntimeError("job queue is closed")
+            if self.max_queue_depth is not None:
+                depth = self._queued_depth_locked()
+                if depth >= self.max_queue_depth:
+                    self.rejected += 1
+                    raise QueueFullError(depth=depth, max_depth=self.max_queue_depth)
             self._next_id += 1
-            job = Job(
-                id=f"job-{self._next_id:08d}",
-                total=len(request_list),
-                created_unix=self._clock(),
-                requests=request_list,
-            )
+            sequence = self._next_id
+            self._pending_submits += 1
+        job = Job(
+            id=f"job-{sequence:08d}",
+            total=len(request_list),
+            created_unix=self._clock(),
+            requests=request_list,
+            sequence=sequence,
+        )
+        try:
+            if self.wal is not None:
+                inject("jobs.submit.journal")
+                if documents is None:
+                    documents = requests_to_documents(request_list)
+                self.wal.journal_submit(
+                    job.id, sequence, job.created_unix, list(documents)
+                )
+                inject("jobs.submit.ack")
+        except BaseException:
+            with self._lock:
+                self._pending_submits -= 1
+            raise
+        with self._lock:
+            self._pending_submits -= 1
             self._jobs[job.id] = job
             self.submitted += 1
             self._ensure_workers_locked()
@@ -181,6 +286,60 @@ class JobQueue:
             # workers would exit and the job would never run).
             self._queue.put(job.id)
         return document
+
+    # ------------------------------------------------------------------ #
+    # Crash recovery
+    # ------------------------------------------------------------------ #
+    def recover(self) -> int:
+        """Re-enqueue every journaled-but-unfinished job from the WAL.
+
+        Jobs come back with their original ids (clients polling across the
+        restart find them again) and run through the same runner as fresh
+        submissions -- the deduping batch path answers already-solved
+        fingerprints from the result store, so replay is idempotent.  The
+        id counter resumes past every journaled sequence, and recovery
+        ignores ``max_queue_depth``: these jobs were already acknowledged.
+        Returns the number of jobs re-enqueued.
+        """
+        if self.wal is None:
+            return 0
+        records, max_sequence = self.wal.replay()
+        # Reserve the journaled id range *before* re-enqueuing anything: a
+        # submission racing this replay must never be issued a sequence that
+        # collides with a job about to be recovered.
+        with self._lock:
+            self._next_id = max(self._next_id, max_sequence)
+        recovered = 0
+        for record in records:
+            try:
+                requests = [
+                    request_from_dict(document) for document in record["requests"]
+                ]
+            except Exception:
+                # A journaled document that no longer parses (schema drift
+                # across versions) must not wedge recovery of the rest.
+                continue
+            sequence = int(record.get("seq", 0))
+            job = Job(
+                id=str(record["job_id"]),
+                total=len(requests),
+                created_unix=float(record.get("created_unix", self._clock())),
+                requests=requests,
+                sequence=sequence,
+                recovered=True,
+            )
+            with self._lock:
+                if self._closed:
+                    break
+                if job.id in self._jobs:  # already recovered (double call)
+                    continue
+                self._jobs[job.id] = job
+                self.submitted += 1
+                self.recovered += 1
+                self._ensure_workers_locked()
+                self._queue.put(job.id)
+            recovered += 1
+        return recovered
 
     def get(self, job_id: str, include_outcomes: bool = True) -> dict[str, Any] | None:
         """Current document of one job, or ``None`` for unknown ids."""
@@ -228,8 +387,11 @@ class JobQueue:
                 "completed": self.completed,
                 "failed": self.failed,
                 "pruned": self.pruned,
+                "recovered": self.recovered,
+                "rejected": self.rejected,
+                "max_queue_depth": self.max_queue_depth,
                 "retained": len(self._jobs),
-                "queue_depth": by_status["queued"],
+                "queue_depth": by_status["queued"] + self._pending_submits,
                 "wait_seconds_total": self.wait_seconds_total,
                 "run_seconds_total": self.run_seconds_total,
                 **by_status,
@@ -239,6 +401,8 @@ class JobQueue:
     # Worker pool
     # ------------------------------------------------------------------ #
     def _ensure_workers_locked(self) -> None:
+        if not self._start_workers:
+            return
         while len(self._threads) < self.workers:
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -265,6 +429,15 @@ class JobQueue:
             job.status = "running"
             job.started_unix = self._clock()
             requests = job.requests
+        # The start marker is buffered, not fsynced: losing it just means a
+        # restart replays the batch, and replay is idempotent (the result
+        # store answers every already-solved fingerprint).
+        inject("jobs.run.start")
+        if self.wal is not None:
+            try:
+                self.wal.journal_start(job.id, job.sequence)
+            except OSError:
+                pass  # journaling is best-effort past the ack
         try:
             outcomes, report = self._runner(requests)
             # Duplicate requests share one outcome object; serialise each
@@ -303,7 +476,23 @@ class JobQueue:
                 self._finished_order.append(job.id)
                 job.finished_event.set()
                 self._prune_locked()
+        self._journal_complete(job)
         self._notify_finished(job)
+
+    def _journal_complete(self, job: Job) -> None:
+        """Journal the terminal state (buffered; may trigger compaction).
+
+        A crash between completion and this marker re-runs the job on
+        recovery -- wasteful but correct, since every outcome was already
+        written to the result store and the replay dedupes against it.
+        """
+        inject("jobs.run.complete")
+        if self.wal is None:
+            return
+        try:
+            self.wal.journal_complete(job.id, job.sequence, job.status)
+        except OSError:
+            pass  # journaling is best-effort past the ack
 
     def _notify_finished(self, job: Job) -> None:
         if self._on_finished is None:

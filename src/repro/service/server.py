@@ -26,16 +26,27 @@ through the shared :class:`~repro.explore.executor.SweepExecutor` (use a
 persistent pool via ``repro serve --jobs N``); async batches drain through a
 :class:`~repro.service.jobs.JobQueue` worker pool (``repro serve
 --workers N``).
+
+Durability & backpressure (PR 8): with ``wal`` set the service journals
+every async submission to a :class:`~repro.service.wal.JobWal` before the
+``202`` ack and replays unfinished jobs through the normal deduping batch
+path at startup, so an acknowledged job survives ``kill -9``.  Overload is
+refused, not absorbed: a full job queue answers ``429`` and an exhausted
+sync-solve pool answers ``503``, both with a ``Retry-After`` header derived
+from the actual backlog (see :class:`BackpressureError`).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
+import math
 import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Mapping
+from pathlib import Path
+from typing import Any, Iterator, Mapping
 
 from .. import __version__
 from ..core.solution import SolveOutcome, SolveStatus
@@ -53,8 +64,24 @@ from .batch import (
     request_from_dict,
     solve_batch,
 )
-from .jobs import JobQueue
+from .jobs import JobQueue, QueueFullError
 from .store import ResultStore, ShardedResultStore
+from .wal import JobWal
+
+
+class BackpressureError(RuntimeError):
+    """The service refused work it could not absorb (HTTP 429/503).
+
+    ``status`` is 429 for a full async job queue and 503 for an exhausted
+    sync-solve pool; ``retry_after_seconds`` is derived from the observed
+    backlog (queue depth x average job run time), so a well-behaved client
+    backing off by it returns roughly when capacity exists.
+    """
+
+    def __init__(self, status: int, retry_after_seconds: float, message: str):
+        super().__init__(message)
+        self.status = status
+        self.retry_after_seconds = retry_after_seconds
 
 
 class AllocationService:
@@ -83,6 +110,27 @@ class AllocationService:
         warm-hit path.
     trace_retention:
         Traces kept (LRU by fingerprint) when tracing is on.
+    wal:
+        Durability journal for async jobs: a :class:`~repro.service.wal.
+        JobWal`, or a directory path to build one in.  When set, every
+        ``mode=async`` submission is fsynced to the journal before its
+        ``202`` ack and unfinished jobs are replayed at construction (see
+        ``recover``); :attr:`recovered_jobs` reports how many came back.
+    max_queue_depth:
+        Async admission bound; a submit past it raises
+        :class:`BackpressureError` with status 429 (``None`` = unbounded).
+    max_inflight_solves:
+        Concurrent *synchronous* solve calls admitted (HTTP ``/solve`` and
+        sync ``/solve_batch``); past the bound the request is shed with a
+        503 instead of queueing invisibly on the GIL (``None`` = unbounded).
+        Async jobs are exempt -- their concurrency is the worker pool.
+    recover:
+        Replay unfinished WAL entries at construction (default).  Chaos
+        harnesses pass ``False`` to inspect the journal before replay.
+    start_job_workers:
+        Test/chaos hook forwarded to the job queue: ``False`` accepts and
+        journals submissions without running them (an in-process crash
+        right after the ack).
     """
 
     def __init__(
@@ -93,14 +141,32 @@ class AllocationService:
         job_retention: int = 256,
         tracing: bool | None = None,
         trace_retention: int = 256,
+        wal: "JobWal | str | Path | None" = None,
+        max_queue_depth: int | None = None,
+        max_inflight_solves: int | None = None,
+        recover: bool = True,
+        start_job_workers: bool = True,
     ):
         self.store = store if store is not None else ResultStore()
         self.executor = executor or SweepExecutor()
+        if wal is not None and not isinstance(wal, JobWal):
+            wal = JobWal(wal)
+        self.wal = wal
+        self.max_inflight_solves = max_inflight_solves
+        self._sync_slots = (
+            threading.Semaphore(max_inflight_solves)
+            if max_inflight_solves is not None
+            else None
+        )
+        self._rejected: dict[str, int] = {"429": 0, "503": 0}
         self.jobs = JobQueue(
             runner=self.solve_batch,
             workers=job_workers,
             max_retained=job_retention,
             on_finished=self._observe_job,
+            wal=self.wal,
+            max_queue_depth=max_queue_depth,
+            start_workers=start_job_workers,
         )
         self.tracing = tracing_enabled() if tracing is None else bool(tracing)
         self.traces = TraceStore(capacity=trace_retention)
@@ -177,6 +243,66 @@ class AllocationService:
             "Result-store entries per shard and tier (skew observability).",
             label_names=("shard", "tier"),
         )
+        self._admission_rejected_total = metrics.counter(
+            "repro_admission_rejected_total",
+            "Requests refused for backpressure, by HTTP status code.",
+            label_names=("code",),
+        )
+        self._wal_appends_gauge = metrics.gauge(
+            "repro_wal_appends", "WAL records appended since startup."
+        )
+        self._wal_replays_gauge = metrics.gauge(
+            "repro_wal_replays", "WAL replay passes performed (startup recovery)."
+        )
+        self._wal_compactions_gauge = metrics.gauge(
+            "repro_wal_compactions", "WAL segment compactions performed."
+        )
+        self._wal_live_jobs_gauge = metrics.gauge(
+            "repro_wal_live_jobs", "Journaled jobs not yet marked complete."
+        )
+        # Recovery runs last: the replayed jobs drain through solve_batch,
+        # which touches the instruments built above.
+        self.recovered_jobs = 0
+        if recover and self.wal is not None:
+            self.recovered_jobs = self.jobs.recover()
+
+    # ------------------------------------------------------------------ #
+    # Backpressure
+    # ------------------------------------------------------------------ #
+    def _retry_after_seconds(self, depth: int) -> float:
+        """Backlog-derived retry hint: depth x observed mean job run time,
+        clamped to [1, 30] seconds."""
+        job_stats = self.jobs.stats()
+        finished = job_stats["completed"] + job_stats["failed"]
+        mean_run = (job_stats["run_seconds_total"] / finished) if finished else 1.0
+        return max(1.0, min(30.0, depth * max(mean_run, 0.05)))
+
+    def _reject(self, status: int, retry_after: float, message: str) -> BackpressureError:
+        code = str(status)
+        self._admission_rejected_total.labels(code=code).inc()
+        with self._lock:
+            self._rejected[code] = self._rejected.get(code, 0) + 1
+        return BackpressureError(status, retry_after, message)
+
+    @contextlib.contextmanager
+    def sync_admission(self) -> Iterator[None]:
+        """Admission gate for synchronous solve calls (HTTP ``/solve`` and
+        sync ``/solve_batch``); sheds with a 503 when the pool is exhausted.
+        """
+        if self._sync_slots is None:
+            yield
+            return
+        if not self._sync_slots.acquire(blocking=False):
+            raise self._reject(
+                503,
+                self._retry_after_seconds(1),
+                f"sync solve pool exhausted ({self.max_inflight_solves} in flight);"
+                " retry later or submit with mode=async",
+            )
+        try:
+            yield
+        finally:
+            self._sync_slots.release()
 
     def _accumulate_solver_counters(self, counters: Mapping[str, Any]) -> None:
         with self._lock:
@@ -268,9 +394,24 @@ class AllocationService:
         self._batch_latency.observe(report.runtime_seconds)
         return outcomes, report
 
-    def submit_batch(self, requests: list[SolveRequest]) -> dict[str, Any]:
-        """Enqueue an async batch; returns the queued job document."""
-        return self.jobs.submit(requests)
+    def submit_batch(
+        self,
+        requests: list[SolveRequest],
+        documents: "list[dict[str, Any]] | None" = None,
+    ) -> dict[str, Any]:
+        """Enqueue an async batch; returns the queued job document.
+
+        With a WAL attached the returned ack is durable (the submission is
+        fsynced first).  A full queue raises :class:`BackpressureError`
+        (429) with a backlog-derived retry hint; ``documents`` forwards the
+        already-parsed wire documents so the journal skips re-serialising.
+        """
+        try:
+            return self.jobs.submit(requests, documents=documents)
+        except QueueFullError as error:
+            raise self._reject(
+                429, self._retry_after_seconds(error.depth), str(error)
+            ) from error
 
     def job(self, job_id: str, include_outcomes: bool = True) -> dict[str, Any] | None:
         return self.jobs.get(job_id, include_outcomes=include_outcomes)
@@ -295,12 +436,26 @@ class AllocationService:
             }
         with self._lock:
             solver = dict(self._solver_counters)
+        with self._lock:
+            admission: dict[str, Any] = {
+                "max_queue_depth": self.jobs.max_queue_depth,
+                "max_inflight_solves": self.max_inflight_solves,
+                "rejected_429": self._rejected.get("429", 0),
+                "rejected_503": self._rejected.get("503", 0),
+            }
+        admission["rejected_total"] = admission["rejected_429"] + admission["rejected_503"]
+        wal_stats: dict[str, Any] = {"enabled": self.wal is not None}
+        if self.wal is not None:
+            wal_stats.update(self.wal.stats())
+            wal_stats["recovered_jobs"] = self.recovered_jobs
         stats: dict[str, Any] = {
             "service": service,
             "cache": self.store.stats().as_dict(),
             "cache_sizes": self.store.sizes(),
             "jobs": self.jobs.stats(),
             "solver": solver,
+            "admission": admission,
+            "wal": wal_stats,
         }
         shards = getattr(self.store, "num_shards", None)
         if shards is not None:
@@ -335,10 +490,18 @@ class AllocationService:
                     self._cache_shard_entries_gauge.labels(
                         shard=str(index), tier=tier
                     ).set(count)
+        if self.wal is not None:
+            wal_stats = self.wal.stats()
+            self._wal_appends_gauge.set(wal_stats["appends"])
+            self._wal_replays_gauge.set(wal_stats["replays"])
+            self._wal_compactions_gauge.set(wal_stats["compactions"])
+            self._wal_live_jobs_gauge.set(wal_stats["live_jobs"])
         return self.metrics.render_prometheus()
 
     def close(self) -> None:
         self.jobs.close()
+        if self.wal is not None:
+            self.wal.close()
         self.store.close()
         close_pool = getattr(self.executor, "close", None)
         if callable(close_pool):
@@ -367,22 +530,47 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         # The stdlib access log is replaced by _dispatch's JSON line.
         pass
 
-    def _send_json(self, payload: Mapping[str, Any], status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Mapping[str, Any],
+        status: int = 200,
+        extra_headers: Mapping[str, str] | None = None,
+    ) -> None:
         # allow_nan=False guarantees strict RFC 8259 JSON on the wire; the
         # outcome documents already encode non-finite floats as null.
         body = json.dumps(payload, allow_nan=False).encode("utf-8")
-        self._send_body(body, status, "application/json")
+        self._send_body(body, status, "application/json", extra_headers=extra_headers)
 
     def _send_text(self, text: str, status: int = 200, content_type: str = "text/plain") -> None:
         self._send_body(text.encode("utf-8"), status, content_type)
 
-    def _send_body(self, body: bytes, status: int, content_type: str) -> None:
+    def _send_body(
+        self,
+        body: bytes,
+        status: int,
+        content_type: str,
+        extra_headers: Mapping[str, str] | None = None,
+    ) -> None:
         self._status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if extra_headers:
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_backpressure(self, error: BackpressureError) -> None:
+        """429/503 + ``Retry-After`` (integral seconds, rounded up)."""
+        self._send_json(
+            {
+                "error": str(error),
+                "retry_after_seconds": error.retry_after_seconds,
+            },
+            status=error.status,
+            extra_headers={"Retry-After": str(math.ceil(error.retry_after_seconds))},
+        )
 
     def _send_error_json(self, message: str, status: int = 400) -> None:
         self._send_json({"error": message}, status=status)
@@ -467,7 +655,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             payload = self._read_json_body()
             if self.path == "/solve":
                 request = request_from_dict(payload)
-                outcome, meta = service.solve_request(request)
+                with service.sync_admission():
+                    outcome, meta = service.solve_request(request)
                 self._log_fingerprint = meta["fingerprint"]
                 self._send_json({**meta, "outcome": outcome.to_dict()})
             elif self.path == "/solve_batch":
@@ -481,9 +670,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     raise SerializationError("'requests' must be a non-empty list")
                 requests = [request_from_dict(document) for document in documents]
                 if mode == "async":
-                    self._send_json(service.submit_batch(requests), status=202)
+                    # Forward the wire documents: the WAL journals exactly
+                    # what the client sent, no re-serialisation.
+                    self._send_json(
+                        service.submit_batch(requests, documents=documents), status=202
+                    )
                     return
-                outcomes, report = service.solve_batch(requests)
+                with service.sync_admission():
+                    outcomes, report = service.solve_batch(requests)
                 self._send_json(
                     {
                         "report": report.as_dict(),
@@ -493,6 +687,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send_error_json(f"unknown endpoint {self.path!r}", status=404)
+        except BackpressureError as error:
+            self._send_backpressure(error)
         except SerializationError as error:
             self._send_error_json(str(error), status=400)
         except ValueError as error:

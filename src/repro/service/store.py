@@ -30,6 +30,14 @@ it becomes an incident.
 
 All operations are thread-safe: the HTTP server handles requests on a
 thread pool and shares one store with the async job workers.
+
+Durability hardening (PR 8): every SQLite connection runs with
+``journal_mode=WAL``, ``synchronous=NORMAL`` and a 5 s ``busy_timeout``
+(concurrent shard writers stop failing fast on lock contention), and a
+corrupt database file -- at open *or* mid-operation -- is **quarantined**:
+renamed to ``results.sqlite.corrupt-<n>`` next to a fresh empty file, the
+``quarantines`` counter incremented, and the store continues cold.  Losing
+a cache shard costs recomputation, never availability.
 """
 
 from __future__ import annotations
@@ -42,6 +50,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
+
+from .faults import inject
 
 #: File name of the SQLite tier inside a cache directory.
 SQLITE_FILENAME = "results.sqlite"
@@ -104,6 +114,7 @@ class CacheStats:
     disk_evictions: int = 0
     ttl_evictions: int = 0
     rebalances: int = 0
+    quarantines: int = 0
 
     @property
     def lookups(self) -> int:
@@ -124,6 +135,7 @@ class CacheStats:
             "disk_evictions": self.disk_evictions,
             "ttl_evictions": self.ttl_evictions,
             "rebalances": self.rebalances,
+            "quarantines": self.quarantines,
             "lookups": self.lookups,
             "hit_rate": self.hit_rate,
         }
@@ -138,6 +150,7 @@ class CacheStats:
             disk_evictions=self.disk_evictions,
             ttl_evictions=self.ttl_evictions,
             rebalances=self.rebalances,
+            quarantines=self.quarantines,
         )
 
     def add(self, other: "CacheStats") -> "CacheStats":
@@ -150,6 +163,7 @@ class CacheStats:
         self.disk_evictions += other.disk_evictions
         self.ttl_evictions += other.ttl_evictions
         self.rebalances += other.rebalances
+        self.quarantines += other.quarantines
         return self
 
 
@@ -272,6 +286,14 @@ class SqliteTier:
     was already answered.  Entry/byte caps evict the oldest rows first
     (``created_unix`` order), and expired rows are dropped lazily on access;
     both are counted on the tier (``evictions`` / ``ttl_evictions``).
+
+    Connections run with ``journal_mode=WAL`` (readers never block the
+    writer), ``synchronous=NORMAL`` (durable past an application crash; the
+    cache is rebuildable, so the power-cut window is acceptable) and a 5 s
+    ``busy_timeout``.  A corrupt database file -- detected at open or when
+    any statement raises ``sqlite3.DatabaseError`` -- is quarantined
+    (renamed to ``<name>.corrupt-<n>``) and replaced with a fresh empty
+    tier; the operation that tripped it degrades to a cache miss.
     """
 
     def __init__(
@@ -290,19 +312,63 @@ class SqliteTier:
         self._clock = clock
         self.evictions = 0
         self.ttl_evictions = 0
-        self._connection = sqlite3.connect(str(self.path), check_same_thread=False)
-        self._connection.execute(
-            "CREATE TABLE IF NOT EXISTS results ("
-            " fingerprint TEXT PRIMARY KEY,"
-            " payload TEXT NOT NULL,"
-            " created_unix REAL NOT NULL)"
-        )
-        self._connection.commit()
-        row = self._connection.execute(
-            "SELECT COUNT(*), COALESCE(SUM(LENGTH(CAST(payload AS BLOB))), 0) FROM results"
-        ).fetchone()
+        self.quarantines = 0
+        self._entries = 0
+        self._bytes = 0
+        try:
+            self._connection = self._open()
+        except sqlite3.DatabaseError:
+            self._quarantine_files()
+            self._connection = self._open()
+
+    def _open(self) -> sqlite3.Connection:
+        """Connect, apply the hardening pragmas, ensure the schema, count."""
+        connection = sqlite3.connect(str(self.path), check_same_thread=False)
+        try:
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            connection.execute("PRAGMA busy_timeout=5000")
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                " fingerprint TEXT PRIMARY KEY,"
+                " payload TEXT NOT NULL,"
+                " created_unix REAL NOT NULL)"
+            )
+            connection.commit()
+            row = connection.execute(
+                "SELECT COUNT(*), COALESCE(SUM(LENGTH(CAST(payload AS BLOB))), 0) FROM results"
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            connection.close()
+            raise
         self._entries = int(row[0])
         self._bytes = int(row[1])
+        return connection
+
+    def _quarantine_files(self) -> None:
+        """Move the corrupt database (and its WAL/SHM siblings) aside."""
+        self.quarantines += 1
+        suffix = 0
+        while True:
+            target = self.path.with_name(f"{self.path.name}.corrupt-{suffix}")
+            if not target.exists():
+                break
+            suffix += 1
+        if self.path.exists():
+            self.path.replace(target)
+        for sibling in ("-wal", "-shm"):
+            companion = self.path.with_name(self.path.name + sibling)
+            if companion.exists():
+                companion.replace(target.with_name(target.name + sibling))
+
+    def _recover_from_corruption(self) -> None:
+        """Quarantine the live database and reopen cold (mid-operation)."""
+        try:
+            self._connection.close()
+        except sqlite3.Error:
+            pass
+        self._quarantine_files()
+        self._connection = self._open()
 
     def __len__(self) -> int:
         return self._entries
@@ -319,7 +385,18 @@ class SqliteTier:
         self._bytes -= payload_bytes
 
     def get_entry(self, fingerprint: str) -> tuple[str, float] | None:
-        """Payload plus its original write time (``None`` on miss/expiry)."""
+        """Payload plus its original write time (``None`` on miss/expiry).
+
+        Corruption surfaces as a miss: the tier quarantines itself, reopens
+        cold and lets the caller recompute -- never an exception upward.
+        """
+        try:
+            return self._get_entry(fingerprint)
+        except sqlite3.DatabaseError:
+            self._recover_from_corruption()
+            return None
+
+    def _get_entry(self, fingerprint: str) -> tuple[str, float] | None:
         row = self._connection.execute(
             "SELECT payload, created_unix FROM results WHERE fingerprint = ?",
             (fingerprint,),
@@ -339,7 +416,19 @@ class SqliteTier:
         return None if entry is None else entry[0]
 
     def put(self, fingerprint: str, payload: str) -> int:
-        """Write a payload; returns the number of cap evictions it caused."""
+        """Write a payload; returns the number of cap evictions it caused.
+
+        A corrupt database quarantines itself and the write is retried once
+        against the fresh file, so the entry an acknowledged solve produced
+        still lands on disk.
+        """
+        try:
+            return self._put(fingerprint, payload)
+        except sqlite3.DatabaseError:
+            self._recover_from_corruption()
+            return self._put(fingerprint, payload)
+
+    def _put(self, fingerprint: str, payload: str) -> int:
         now = self._clock()
         previous = self._connection.execute(
             "SELECT LENGTH(CAST(payload AS BLOB)) FROM results WHERE fingerprint = ?",
@@ -457,7 +546,7 @@ class ResultStore:
             else None
         )
         self._disk_size_at_close: int | None = None
-        self._disk_counters_at_close = (0, 0)
+        self._disk_counters_at_close = (0, 0, 0)
         self._stats = CacheStats()
 
     # ------------------------------------------------------------------ #
@@ -465,6 +554,7 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     def get(self, fingerprint: str) -> StoreLookup:
         """Look a fingerprint up, promoting disk hits into the memory tier."""
+        inject("store.get")
         with self._lock:
             payload = self._memory.get(fingerprint)
             if payload is not None:
@@ -484,6 +574,7 @@ class ResultStore:
 
     def put(self, fingerprint: str, payload: str) -> None:
         """Write a payload into every tier."""
+        inject("store.put")
         with self._lock:
             self._stats.puts += 1
             self._memory.put(fingerprint, payload)
@@ -517,12 +608,15 @@ class ResultStore:
         """Snapshot of the cumulative counters (safe to mutate)."""
         with self._lock:
             snapshot = self._stats.snapshot()
-            disk_evictions, disk_ttl = self._disk_counters_at_close
+            disk_evictions, disk_ttl, disk_quarantines = self._disk_counters_at_close
             if self._disk is not None:
-                disk_evictions, disk_ttl = self._disk.evictions, self._disk.ttl_evictions
+                disk_evictions = self._disk.evictions
+                disk_ttl = self._disk.ttl_evictions
+                disk_quarantines = self._disk.quarantines
             snapshot.evictions = self._memory.evictions
             snapshot.disk_evictions = disk_evictions
             snapshot.ttl_evictions = self._memory.ttl_evictions + disk_ttl
+            snapshot.quarantines = disk_quarantines
             return snapshot
 
     def sizes(self) -> dict[str, int]:
@@ -559,6 +653,7 @@ class ResultStore:
                 self._disk_counters_at_close = (
                     self._disk.evictions,
                     self._disk.ttl_evictions,
+                    self._disk.quarantines,
                 )
                 self._disk.close()
                 self._disk = None

@@ -70,6 +70,8 @@ STATS_SCHEMA = {
         "completed": int,
         "failed": int,
         "pruned": int,
+        "recovered": int,
+        "rejected": int,
         "retained": int,
         "queue_depth": int,
         "wait_seconds_total": float,
@@ -83,8 +85,17 @@ STATS_SCHEMA = {
         "disk_hits": int,
         "misses": int,
         "puts": int,
+        "quarantines": int,
         "lookups": int,
         "hit_rate": float,
+    },
+    "admission": {
+        "rejected_429": int,
+        "rejected_503": int,
+        "rejected_total": int,
+    },
+    "wal": {
+        "enabled": bool,
     },
 }
 
@@ -93,7 +104,15 @@ class TestStatsSchema:
     def test_sections_present(self, traced_service):
         client, _ = traced_service
         stats = client.stats()
-        for section in ("service", "cache", "cache_sizes", "jobs", "solver"):
+        for section in (
+            "service",
+            "cache",
+            "cache_sizes",
+            "jobs",
+            "solver",
+            "admission",
+            "wal",
+        ):
             assert section in stats, f"/stats lost its {section!r} section"
 
     def test_pinned_keys_and_types(self, traced_service, tiny_problem_at):

@@ -1,0 +1,209 @@
+"""Fault-plan grammar, deterministic triggers, and the instrumented sites.
+
+The fault injector only proves anything if its own behaviour is exact: a
+plan must fire where, when, and as often as it says -- run after run.  The
+``crash`` kind is exercised via subprocesses in ``test_service_chaos.py``;
+here everything stays in-process (io_error and latency kinds, trigger
+arithmetic, and the wiring of each named site).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ResultStore
+from repro.service.faults import (
+    FaultInjector,
+    FaultPlanError,
+    FaultSpec,
+    InjectedIOError,
+    active_injector,
+    inject,
+    load_from_env,
+    parse_fault_plan,
+    set_injector,
+)
+from repro.service.wal import JobWal
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    """Never leak an armed fault plan into other tests."""
+    set_injector(None)
+    yield
+    set_injector(None)
+
+
+class TestPlanGrammar:
+    def test_single_spec(self):
+        (spec,) = parse_fault_plan("wal.fsync:io_error:nth=3")
+        assert spec.site == "wal.fsync"
+        assert spec.kind == "io_error"
+        assert spec.nth == 3
+
+    def test_multiple_specs_and_all_options(self):
+        specs = parse_fault_plan(
+            "store.put:latency:ms=20:p=0.25:seed=7;jobs.run.complete:crash:every=5:times=2"
+        )
+        assert len(specs) == 2
+        assert specs[0].ms == 20.0 and specs[0].p == 0.25 and specs[0].seed == 7
+        assert specs[1].every == 5 and specs[1].times == 2
+
+    def test_empty_chunks_skipped(self):
+        assert parse_fault_plan(";; wal.append:io_error ;") == [
+            FaultSpec(site="wal.append", kind="io_error")
+        ]
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            "no-kind-here",
+            "site:unknown_kind",
+            "site:io_error:nth",
+            "site:io_error:bogus=1",
+            "site:io_error:nth=0",
+            "site:latency:p=1.5",
+            ":io_error",
+        ],
+    )
+    def test_bad_plans_rejected(self, plan):
+        with pytest.raises(FaultPlanError):
+            parse_fault_plan(plan)
+
+
+class TestTriggers:
+    def _fires(self, spec: FaultSpec, hits: int) -> list[bool]:
+        return [spec.should_fire() for _ in range(hits)]
+
+    def test_nth_fires_exactly_once(self):
+        spec = FaultSpec(site="s", kind="io_error", nth=3)
+        assert self._fires(spec, 6) == [False, False, True, False, False, False]
+
+    def test_every_fires_periodically(self):
+        spec = FaultSpec(site="s", kind="io_error", every=2)
+        assert self._fires(spec, 6) == [False, True, False, True, False, True]
+
+    def test_times_caps_total_fires(self):
+        spec = FaultSpec(site="s", kind="io_error", every=1, times=2)
+        assert self._fires(spec, 5) == [True, True, False, False, False]
+
+    def test_probability_is_seed_deterministic(self):
+        first = self._fires(FaultSpec(site="s", kind="io_error", p=0.5, seed=42), 32)
+        second = self._fires(FaultSpec(site="s", kind="io_error", p=0.5, seed=42), 32)
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_no_trigger_means_always(self):
+        spec = FaultSpec(site="s", kind="io_error")
+        assert self._fires(spec, 3) == [True, True, True]
+
+
+class TestInjector:
+    def test_io_error_raised_at_matching_site_only(self):
+        injector = FaultInjector("a.site:io_error:nth=2")
+        set_injector(injector)
+        inject("other.site")  # no specs here: free
+        inject("a.site")  # hit 1: no fire
+        with pytest.raises(InjectedIOError):
+            inject("a.site")  # hit 2: fire
+        inject("a.site")  # nth is one-shot
+        assert injector.hits() == {"a.site": 3}
+        assert injector.fired() == {"a.site": 1}
+
+    def test_latency_sleeps_without_raising(self):
+        set_injector(FaultInjector("a.site:latency:ms=1"))
+        inject("a.site")  # must simply return after ~1 ms
+
+    def test_no_injector_is_free(self):
+        assert active_injector() is None
+        inject("any.site")  # no-op
+
+    def test_load_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "wal.append:io_error:nth=1")
+        injector = load_from_env()
+        assert injector is not None
+        with pytest.raises(InjectedIOError):
+            inject("wal.append")
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        assert load_from_env() is None
+
+    def test_bad_env_plan_raises_at_load(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "not-a-plan")
+        with pytest.raises(FaultPlanError):
+            load_from_env()
+
+
+class TestInstrumentedSites:
+    """Each named site really sits on its production code path."""
+
+    def test_wal_append_site(self, tmp_path):
+        set_injector(FaultInjector("wal.append:io_error:nth=1"))
+        wal = JobWal(tmp_path, segments=1)
+        with pytest.raises(InjectedIOError):
+            wal.journal_submit("job-1", 1, 0.0, [{}])
+        set_injector(None)
+        wal.journal_submit("job-1", 1, 0.0, [{}])  # the path itself is fine
+        assert wal.stats()["live_jobs"] == 1
+        wal.close()
+
+    def test_wal_fsync_site_fires_only_on_durable_appends(self, tmp_path):
+        injector = FaultInjector("wal.fsync:latency:ms=0.1")
+        set_injector(injector)
+        wal = JobWal(tmp_path, segments=1)
+        wal.journal_start("job-1", 1)  # buffered: no fsync
+        assert injector.hits().get("wal.fsync", 0) == 0
+        wal.journal_submit("job-1", 1, 0.0, [{}])  # durable: fsync
+        assert injector.hits()["wal.fsync"] == 1
+        wal.close()
+
+    def test_wal_compact_site(self, tmp_path):
+        injector = FaultInjector("wal.compact:latency:ms=0.1")
+        set_injector(injector)
+        wal = JobWal(tmp_path, segments=1)
+        wal.compact()
+        assert injector.hits()["wal.compact"] == 1
+        wal.close()
+
+    def test_store_sites(self, tmp_path):
+        injector = FaultInjector("store.get:io_error:nth=1;store.put:io_error:nth=1")
+        set_injector(injector)
+        store = ResultStore(cache_dir=tmp_path)
+        with pytest.raises(InjectedIOError):
+            store.get("print")
+        with pytest.raises(InjectedIOError):
+            store.put("print", "{}")
+        # One-shot faults spent: the store works again.
+        store.put("print", "{}")
+        assert store.get("print").hit
+        store.close()
+
+    def test_jobs_submit_sites_keep_depth_accounting(self, tmp_path):
+        """An io_error mid-journal refuses the submit and releases its
+        admission reservation -- the queue never leaks depth."""
+        from repro.service.jobs import JobQueue
+
+        set_injector(FaultInjector("jobs.submit.journal:io_error:nth=1"))
+        queue = JobQueue(
+            runner=lambda requests: ([], _report()),
+            wal=JobWal(tmp_path, segments=1),
+            max_queue_depth=2,
+            start_workers=False,
+        )
+        with pytest.raises(InjectedIOError):
+            queue.submit([object()], documents=[{}])
+        assert queue.queue_depth() == 0  # the reservation was released
+        document = queue.submit([object()], documents=[{}])  # fault spent: accepted
+        assert document["status"] == "queued"
+        assert queue.queue_depth() == 1
+        queue.wal.close()
+
+
+def _report():
+    class _Fake:
+        fingerprints: list = []
+        solver_counters: dict = {}
+
+        def as_dict(self):
+            return {"total": 0}
+
+    return _Fake()

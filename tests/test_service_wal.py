@@ -1,0 +1,234 @@
+"""WAL framing, truncation, group commit, compaction and replay.
+
+The record format is load-bearing crash-safety machinery: a torn tail must
+shorten recovery, never poison it, and a compaction must be atomic.  These
+tests drive the framing and the segment/journal layers directly -- the
+service-level crash recovery differential lives in
+``test_service_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.wal import (
+    JobWal,
+    WalError,
+    WalSegment,
+    decode_records,
+    encode_record,
+    iter_wal_files,
+)
+
+
+def _submit(wal: JobWal, sequence: int, documents=None) -> str:
+    job_id = f"job-{sequence:08d}"
+    wal.journal_submit(job_id, sequence, 1000.0 + sequence, documents or [{"n": sequence}])
+    return job_id
+
+
+class TestFraming:
+    def test_roundtrip_single_record(self):
+        payload = {"type": "submit", "job_id": "job-1", "seq": 1, "requests": [{"a": 1}]}
+        records, valid = decode_records(encode_record(payload))
+        assert records == [payload]
+        assert valid == len(encode_record(payload))
+
+    def test_roundtrip_many_records(self):
+        frames = b"".join(encode_record({"seq": index}) for index in range(25))
+        records, valid = decode_records(frames)
+        assert [record["seq"] for record in records] == list(range(25))
+        assert valid == len(frames)
+
+    def test_torn_tail_stops_at_last_intact_record(self):
+        good = encode_record({"seq": 1}) + encode_record({"seq": 2})
+        torn = good + encode_record({"seq": 3})[:-4]  # crash landed mid-write
+        records, valid = decode_records(torn)
+        assert [record["seq"] for record in records] == [1, 2]
+        assert valid == len(good)
+
+    def test_corrupt_crc_stops_scan(self):
+        good = encode_record({"seq": 1})
+        bad = bytearray(encode_record({"seq": 2}))
+        bad[-1] ^= 0xFF  # flip a payload byte: CRC mismatch
+        records, valid = decode_records(good + bytes(bad) + encode_record({"seq": 3}))
+        assert [record["seq"] for record in records] == [1]
+        assert valid == len(good)
+
+    def test_truncated_header_is_ignored(self):
+        good = encode_record({"seq": 1})
+        records, valid = decode_records(good + b"\x05\x00")
+        assert len(records) == 1
+        assert valid == len(good)
+
+    def test_empty_input(self):
+        assert decode_records(b"") == ([], 0)
+
+
+class TestWalSegment:
+    def test_append_and_reopen(self, tmp_path):
+        path = tmp_path / "wal-00.log"
+        segment = WalSegment(path)
+        segment.append({"type": "submit", "job_id": "a", "seq": 1}, durable=True)
+        segment.append({"type": "complete", "job_id": "a", "seq": 1}, durable=False)
+        segment.close()
+        reopened = WalSegment(path)
+        assert [record["type"] for record in reopened.records()] == ["submit", "complete"]
+        assert reopened.truncated_bytes == 0
+        reopened.close()
+
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        path = tmp_path / "wal-00.log"
+        segment = WalSegment(path)
+        segment.append({"type": "submit", "job_id": "a", "seq": 1}, durable=True)
+        segment.close()
+        intact = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(encode_record({"type": "submit", "job_id": "b", "seq": 2})[:-3])
+        reopened = WalSegment(path)
+        assert [record["job_id"] for record in reopened.records()] == ["a"]
+        assert reopened.truncated_bytes > 0
+        assert path.stat().st_size == intact
+        # The truncated file accepts new appends cleanly.
+        reopened.append({"type": "submit", "job_id": "c", "seq": 3}, durable=True)
+        reopened.close()
+        final = WalSegment(path)
+        assert [record["job_id"] for record in final.records()] == ["a", "c"]
+        final.close()
+
+    def test_live_submissions_excludes_completed(self, tmp_path):
+        segment = WalSegment(tmp_path / "wal-00.log")
+        segment.append({"type": "submit", "job_id": "a", "seq": 1}, durable=True)
+        segment.append({"type": "submit", "job_id": "b", "seq": 2}, durable=True)
+        segment.append({"type": "start", "job_id": "a", "seq": 1}, durable=False)
+        segment.append({"type": "complete", "job_id": "a", "seq": 1}, durable=False)
+        assert [record["job_id"] for record in segment.live_submissions()] == ["b"]
+        segment.close()
+
+    def test_compaction_drops_finished_jobs_atomically(self, tmp_path):
+        path = tmp_path / "wal-00.log"
+        segment = WalSegment(path)
+        for sequence in range(6):
+            segment.append(
+                {"type": "submit", "job_id": f"j{sequence}", "seq": sequence},
+                durable=True,
+            )
+        for sequence in range(4):
+            segment.append(
+                {"type": "complete", "job_id": f"j{sequence}", "seq": sequence},
+                durable=False,
+            )
+        size_before = path.stat().st_size
+        dropped = segment.compact()
+        assert dropped == 8  # 4 submits + 4 completes
+        assert path.stat().st_size < size_before
+        assert [record["job_id"] for record in segment.records()] == ["j4", "j5"]
+        assert segment.compactions == 1
+        segment.close()
+        # A reopen sees exactly the survivors: the rewrite was atomic.
+        reopened = WalSegment(path)
+        assert [record["job_id"] for record in reopened.records()] == ["j4", "j5"]
+        reopened.close()
+
+    def test_group_commit_coalesces_concurrent_fsyncs(self, tmp_path):
+        segment = WalSegment(tmp_path / "wal-00.log")
+        writers = 16
+        barrier = threading.Barrier(writers)
+
+        def write(index: int) -> None:
+            barrier.wait()
+            segment.append({"type": "submit", "job_id": f"j{index}", "seq": index}, durable=True)
+
+        threads = [threading.Thread(target=write, args=(index,)) for index in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert segment.appends == writers
+        assert segment.fsyncs + segment.fsyncs_coalesced >= writers
+        # Every record is durable regardless of whose fsync covered it.
+        segment.close()
+        reopened = WalSegment(segment.path)
+        assert len(reopened.records()) == writers
+        reopened.close()
+
+
+class TestJobWal:
+    def test_replay_returns_unfinished_in_sequence_order(self, tmp_path):
+        wal = JobWal(tmp_path, segments=3)
+        for sequence in range(1, 8):
+            _submit(wal, sequence)
+        for sequence in (2, 5):
+            wal.journal_complete(f"job-{sequence:08d}", sequence, "done")
+        live, max_sequence = wal.replay()
+        assert [record["seq"] for record in live] == [1, 3, 4, 6, 7]
+        assert max_sequence == 7
+        assert wal.live_jobs() == [f"job-{sequence:08d}" for sequence in (1, 3, 4, 6, 7)]
+        wal.close()
+
+    def test_replay_survives_reopen(self, tmp_path):
+        wal = JobWal(tmp_path, segments=2)
+        _submit(wal, 1, documents=[{"problem": "x"}])
+        _submit(wal, 2)
+        wal.journal_complete("job-00000002", 2, "done")
+        wal.close()
+        reopened = JobWal(tmp_path, segments=2)
+        live, max_sequence = reopened.replay()
+        assert [record["job_id"] for record in live] == ["job-00000001"]
+        assert live[0]["requests"] == [{"problem": "x"}]
+        assert max_sequence == 2
+        reopened.close()
+
+    def test_max_sequence_covers_finished_jobs(self, tmp_path):
+        """A restarted queue must never reissue the id of a finished job."""
+        wal = JobWal(tmp_path, segments=1)
+        _submit(wal, 1)
+        _submit(wal, 2)
+        wal.journal_complete("job-00000001", 1, "done")
+        wal.journal_complete("job-00000002", 2, "done")
+        live, max_sequence = wal.replay()
+        assert live == []
+        assert max_sequence == 2
+        wal.close()
+
+    def test_compaction_triggers_at_interval(self, tmp_path):
+        wal = JobWal(tmp_path, segments=1, compact_interval=3)
+        for sequence in range(1, 7):
+            _submit(wal, sequence)
+            wal.journal_complete(f"job-{sequence:08d}", sequence, "done")
+        stats = wal.stats()
+        assert stats["compactions"] == 2
+        assert stats["live_jobs"] == 0
+        wal.close()
+
+    def test_stats_counters(self, tmp_path):
+        wal = JobWal(tmp_path, segments=2)
+        _submit(wal, 1)
+        wal.journal_start("job-00000001", 1)
+        stats = wal.stats()
+        assert stats["segments"] == 2
+        assert stats["appends"] == 2
+        assert stats["fsyncs"] >= 1  # the submit was durable
+        assert stats["live_jobs"] == 1
+        wal.replay()
+        assert wal.stats()["replays"] == 1
+        wal.close()
+
+    def test_iter_wal_files(self, tmp_path):
+        wal = JobWal(tmp_path, segments=3)
+        _submit(wal, 1)
+        wal.close()
+        files = list(iter_wal_files(tmp_path))
+        assert [path.name for path in files] == [
+            "wal-00.log",
+            "wal-01.log",
+            "wal-02.log",
+        ]
+
+    def test_invalid_configuration_rejected(self, tmp_path):
+        with pytest.raises(WalError):
+            JobWal(tmp_path, segments=0)
+        with pytest.raises(WalError):
+            JobWal(tmp_path, compact_interval=0)
