@@ -35,14 +35,16 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 SNAPSHOT_STATS = ("min", "mean", "median", "stddev", "rounds")
 
 #: Headline rows pinned by the CI perf gate (``gate`` subcommand): the
-#: runtime table, the exact-path wall clock, the paper's heuristic budget
-#: and the warm service replay.  Everything else is tracked but not gated --
-#: micro-benchmarks are too noisy on shared runners for a hard ratio check.
+#: runtime table, the exact-path wall clock, the paper's heuristic budget,
+#: the warm service replay and the warm replay through the worker pool.
+#: Everything else is tracked but not gated -- micro-benchmarks are too
+#: noisy on shared runners for a hard ratio check.
 PINNED_BENCHMARKS = (
     "benchmarks/test_runtime_comparison.py::test_runtime_table",
     "benchmarks/test_runtime_comparison.py::test_exact_path_wall_clock_budget",
     "benchmarks/test_runtime_comparison.py::test_gp_a_runtime_within_paper_budget",
     "benchmarks/test_service_throughput.py::test_async_warm_replay_throughput",
+    "benchmarks/test_service_pool_throughput.py::test_pool_warm_async_replay_throughput",
 )
 
 #: Maximum tolerated new/old mean-runtime ratio on a pinned row.

@@ -15,11 +15,22 @@ ephemeral port with ``--spawn`` (the mode CI uses)::
 
     PYTHONPATH=src python examples/service_load_generator.py \
         --spawn --requests 100 --unique 12 --check
+
+``--worker-processes N`` spawns the multi-process topology (one shard-group
+worker per process behind the consistent-hashing router) instead of the
+single-process server, and ``--client-processes M`` drives the warm replay
+from ``M`` independent OS processes, reporting per-process and aggregate
+request rates::
+
+    PYTHONPATH=src python examples/service_load_generator.py \
+        --spawn --worker-processes 4 --client-processes 4 \
+        --requests 200 --unique 16 --check
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
 import os
 import random
 import subprocess
@@ -58,7 +69,12 @@ def wait_for_health(client: ServiceClient, timeout_seconds: float = 30.0) -> Non
 
 
 def spawn_server(
-    port: int, shards: int = 1, workers: int = 1, trace: bool = False
+    port: int,
+    shards: int = 1,
+    workers: int = 1,
+    trace: bool = False,
+    worker_processes: int = 1,
+    data_dir: str | None = None,
 ) -> subprocess.Popen:
     environment = dict(os.environ)
     source_root = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
@@ -68,9 +84,42 @@ def spawn_server(
         sys.executable, "-m", "repro", "serve", "--port", str(port),
         "--shards", str(shards), "--workers", str(workers), "--quiet",
     ]
+    if worker_processes > 1:
+        command += ["--worker-processes", str(worker_processes)]
+        if data_dir is not None:
+            command += ["--data-dir", data_dir]
     if trace:
         command.append("--trace")
     return subprocess.Popen(command, env=environment)
+
+
+def warm_replay_worker(job: "tuple[str, int, int, int, int]") -> dict:
+    """One closed-loop client process: replay the warm stream over /solve.
+
+    Runs in a child process (module-level so the spawn context can pickle
+    it); rebuilds its request stream from the shared seed so every client
+    hammers the same keyspace.
+    """
+    url, count, unique, seed, process_index = job
+    client = ServiceClient(url)
+    requests = build_requests(count, unique, seed)
+    latencies: list[float] = []
+    solver_answers = 0
+    start = time.perf_counter()
+    for request in requests:
+        response = client.solve(request.problem, method=request.method)
+        latencies.append(response["latency_ms"])
+        solver_answers += response["cache"] == "solver"
+    elapsed = time.perf_counter() - start
+    latencies.sort()
+    return {
+        "process": process_index,
+        "requests": len(requests),
+        "seconds": elapsed,
+        "p50_ms": latencies[len(latencies) // 2],
+        "p99_ms": latencies[int(len(latencies) * 0.99) - 1],
+        "solver_answers": solver_answers,
+    }
 
 
 def main() -> int:
@@ -87,6 +136,13 @@ def main() -> int:
     parser.add_argument("--workers", type=int, default=1, help="async job workers (with --spawn)")
     parser.add_argument("--trace", action="store_true",
                         help="enable solve tracing on the spawned server and check /trace")
+    parser.add_argument("--worker-processes", type=int, default=1,
+                        help="shard-group worker processes (with --spawn): > 1 "
+                             "serves through the pool + router topology")
+    parser.add_argument("--data-dir", default=None,
+                        help="per-group data directory root (with --worker-processes > 1)")
+    parser.add_argument("--client-processes", type=int, default=1,
+                        help="drive the warm replay from this many OS processes")
     parser.add_argument("--check", action="store_true", help="fail unless dedupe/cache stats hold")
     args = parser.parse_args()
     if args.requests < args.unique:
@@ -98,7 +154,12 @@ def main() -> int:
     try:
         if args.spawn:
             process = spawn_server(
-                args.port, shards=args.shards, workers=args.workers, trace=args.trace
+                args.port,
+                shards=args.shards,
+                workers=args.workers,
+                trace=args.trace,
+                worker_processes=args.worker_processes,
+                data_dir=args.data_dir,
             )
             args.url = f"http://127.0.0.1:{args.port}"
         client = ServiceClient(args.url)
@@ -126,17 +187,37 @@ def main() -> int:
         print(f"batch wall time: {batch_seconds:.3f} s "
               f"({args.requests / batch_seconds:.0f} requests/s)\n")
 
-        warm_latencies = []
-        warm_solver_answers = 0
-        for request in requests:
-            response = client.solve(request.problem, method=request.method)
-            warm_latencies.append(response["latency_ms"])
-            warm_solver_answers += response["cache"] == "solver"
-        warm_latencies.sort()
-        p50 = warm_latencies[len(warm_latencies) // 2]
-        p99 = warm_latencies[int(len(warm_latencies) * 0.99) - 1]
-        print(f"warm /solve replay: p50 {p50:.3f} ms, p99 {p99:.3f} ms, "
-              f"{warm_solver_answers} solver answers\n")
+        if args.client_processes > 1:
+            jobs = [
+                (args.url, args.requests, args.unique, args.seed, index)
+                for index in range(args.client_processes)
+            ]
+            context = multiprocessing.get_context("spawn")
+            replay_start = time.perf_counter()
+            with context.Pool(args.client_processes) as clients:
+                results = clients.map(warm_replay_worker, jobs)
+            replay_wall = time.perf_counter() - replay_start
+            warm_solver_answers = sum(row["solver_answers"] for row in results)
+            for row in sorted(results, key=lambda r: r["process"]):
+                print(f"client {row['process']}: {row['requests']} requests in "
+                      f"{row['seconds']:.3f} s ({row['requests'] / row['seconds']:.0f} req/s, "
+                      f"p50 {row['p50_ms']:.3f} ms, p99 {row['p99_ms']:.3f} ms)")
+            total_requests = sum(row["requests"] for row in results)
+            print(f"aggregate: {total_requests} requests over {args.client_processes} "
+                  f"client processes in {replay_wall:.3f} s "
+                  f"({total_requests / replay_wall:.0f} req/s)\n")
+        else:
+            warm_latencies = []
+            warm_solver_answers = 0
+            for request in requests:
+                response = client.solve(request.problem, method=request.method)
+                warm_latencies.append(response["latency_ms"])
+                warm_solver_answers += response["cache"] == "solver"
+            warm_latencies.sort()
+            p50 = warm_latencies[len(warm_latencies) // 2]
+            p99 = warm_latencies[int(len(warm_latencies) * 0.99) - 1]
+            print(f"warm /solve replay: p50 {p50:.3f} ms, p99 {p99:.3f} ms, "
+                  f"{warm_solver_answers} solver answers\n")
 
         stats = client.stats()
         print(cache_stats_table(stats["cache"]).render())
@@ -153,6 +234,18 @@ def main() -> int:
         solve_hist_populated = "repro_cache_hit_latency_seconds_bucket" in metrics_text
         print(f"\n/metrics: {len(metrics_text.splitlines())} lines, "
               f"{len(metrics_problems)} format problems")
+        missing_worker_labels = []
+        if args.worker_processes > 1:
+            missing_worker_labels = [
+                f'worker="g{group}"'
+                for group in range(args.worker_processes)
+                if f'worker="g{group}"' not in metrics_text
+            ]
+            if f'worker="router"' not in metrics_text:
+                missing_worker_labels.append('worker="router"')
+            label_note = ("all present" if not missing_worker_labels
+                          else f"missing {missing_worker_labels}")
+            print(f"per-worker metric labels: {label_note}")
 
         trace_document = None
         if args.trace:
@@ -170,6 +263,8 @@ def main() -> int:
                 failures.append(f"/metrics format problems: {metrics_problems[:3]}")
             if not solve_hist_populated:
                 failures.append("latency histograms absent from /metrics after replay")
+            if missing_worker_labels:
+                failures.append(f"/metrics lacks per-worker labels: {missing_worker_labels}")
             if args.trace and trace_document is None:
                 failures.append("tracing requested but no trace came back")
             if submit_seconds is not None:

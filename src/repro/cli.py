@@ -175,6 +175,23 @@ def build_parser() -> argparse.ArgumentParser:
         "503 (omit for unbounded)",
     )
     serve_parser.add_argument(
+        "--worker-processes",
+        type=int,
+        default=1,
+        help="shard-group worker processes behind a routing front-end "
+        "(1 = the classic single-process server; N > 1 spawns N workers, "
+        "each owning its group's cache + WAL under --data-dir, routed by "
+        "consistent hashing)",
+    )
+    serve_parser.add_argument(
+        "--data-dir",
+        type=Path,
+        default=None,
+        help="root directory of the per-group cache/WAL tree used with "
+        "--worker-processes > 1 (a temporary directory is used if omitted; "
+        "pass a persistent path to survive restarts)",
+    )
+    serve_parser.add_argument(
         "--trace",
         action="store_true",
         help="record a span trace per solve (served at /trace/<fingerprint>; "
@@ -328,6 +345,11 @@ def _run_serve(args: argparse.Namespace) -> int:
         run_server,
     )
 
+    if args.worker_processes < 1:
+        print("--worker-processes must be >= 1", file=sys.stderr)
+        return 2
+    if args.worker_processes > 1:
+        return _run_serve_pool(args)
     jobs = available_workers() if args.jobs == 0 else args.jobs
     if jobs <= 1:
         executor = SweepExecutor(ExecutorSettings(parallel=False))
@@ -379,6 +401,72 @@ def _run_serve(args: argparse.Namespace) -> int:
         run_server(service, host=args.host, port=args.port, quiet=args.quiet)
     finally:
         print(service_stats_table(service.stats()).render())
+    return 0
+
+
+def _run_serve_pool(args: argparse.Namespace) -> int:
+    """``repro serve --worker-processes N``: the pool + router topology."""
+    import json as _json
+    import tempfile
+
+    from .service import RouterService, WorkerPool, WorkerSpec, run_router
+
+    if args.cache_dir is not None or args.wal_dir is not None:
+        print(
+            "--cache-dir/--wal-dir apply to the single-process server; with "
+            "--worker-processes > 1 each group owns cache/ and wal/ under "
+            "--data-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards < 1 or args.workers < 1:
+        print("--shards and --workers must be >= 1", file=sys.stderr)
+        return 2
+    data_dir = args.data_dir
+    if data_dir is None:
+        data_dir = Path(tempfile.mkdtemp(prefix="repro-pool-"))
+        print(
+            f"warning: no --data-dir given; group caches/WALs live in the "
+            f"temporary directory {data_dir} and do not survive restarts",
+            file=sys.stderr,
+        )
+    spec = WorkerSpec(
+        group=0,
+        data_dir="",
+        host=args.host,
+        shards=args.shards,
+        job_workers=args.workers,
+        memory_capacity=args.memory_capacity,
+        cache_cap=args.cache_cap,
+        cache_ttl=args.cache_ttl,
+        max_queue_depth=args.max_queue_depth,
+        max_inflight_solves=args.max_inflight_solves,
+        tracing=True if args.trace else None,
+        quiet=True,
+    )
+
+    def on_event(event: str, group: int) -> None:
+        print(
+            _json.dumps({"event": f"worker_{event}", "group": group}),
+            file=sys.stderr,
+            flush=True,
+        )
+
+    pool = WorkerPool(
+        args.worker_processes,
+        data_dir,
+        spec=spec,
+        on_event=None if args.quiet else on_event,
+    )
+    pool.start()
+    router = RouterService(pool)
+    print(
+        f"worker pool: {args.worker_processes} shard-group processes under "
+        f"{data_dir}; per-worker shards: {args.shards}; async job workers: "
+        f"{args.workers}; durability: per-group wal",
+        flush=True,
+    )
+    run_router(router, host=args.host, port=args.port, quiet=args.quiet)
     return 0
 
 

@@ -15,7 +15,13 @@ cache-backed engine:
   errors, latency) at named sites, for the durability test harness;
 * :mod:`repro.service.server` -- the resident service and its HTTP JSON API;
 * :mod:`repro.service.client` -- a small stdlib client (sync + async polls)
-  with capped-exponential retry/backoff on 429/503.
+  with capped-exponential retry/backoff on 429/503;
+* :mod:`repro.service.hashing` -- the consistent hash ring mapping request
+  fingerprints onto shard groups (minimal remap on resize);
+* :mod:`repro.service.pool` -- the shard-group worker *processes*: spawn,
+  heartbeat, graceful drain, crash restart + WAL replay;
+* :mod:`repro.service.router` -- the front-end that routes the whole HTTP
+  surface across the pool and aggregates /stats and /metrics.
 """
 
 from .batch import BatchReport, SolveRequest, request_from_dict, request_to_dict, solve_batch
@@ -29,7 +35,17 @@ from .faults import (
     parse_fault_plan,
     set_injector,
 )
+from .hashing import DEFAULT_REPLICAS, HashRing, ring, ring_of
 from .jobs import Job, JobQueue, QueueFullError
+from .pool import WorkerPool, WorkerSpec, build_worker_service, group_dir, worker_main
+from .router import (
+    RouterHTTPServer,
+    RouterService,
+    WorkerUnavailableError,
+    merge_prometheus,
+    run_router,
+    start_router,
+)
 from .server import (
     AllocationHTTPServer,
     AllocationService,
@@ -55,9 +71,11 @@ __all__ = [
     "BackpressureError",
     "BatchReport",
     "CacheStats",
+    "DEFAULT_REPLICAS",
     "FaultInjector",
     "FaultPlanError",
     "FaultSpec",
+    "HashRing",
     "InjectedIOError",
     "Job",
     "JobQueue",
@@ -66,6 +84,8 @@ __all__ = [
     "QueueFullError",
     "ResultStore",
     "RetryPolicy",
+    "RouterHTTPServer",
+    "RouterService",
     "ServiceClient",
     "ServiceError",
     "ShardedResultStore",
@@ -75,18 +95,29 @@ __all__ = [
     "StoreLookup",
     "WalError",
     "WalSegment",
+    "WorkerPool",
+    "WorkerSpec",
+    "WorkerUnavailableError",
+    "build_worker_service",
     "canonical_json",
     "canonical_request",
     "decode_records",
     "encode_record",
     "fingerprint",
+    "group_dir",
     "group_key",
+    "merge_prometheus",
     "parse_fault_plan",
     "request_from_dict",
     "request_to_dict",
+    "ring",
+    "ring_of",
+    "run_router",
     "run_server",
     "set_injector",
     "shard_of",
     "solve_batch",
+    "start_router",
     "start_server",
+    "worker_main",
 ]

@@ -381,7 +381,10 @@ class JobQueue:
             by_status = {status: 0 for status in JOB_STATUSES}
             for job in self._jobs.values():
                 by_status[job.status] += 1
+            # by_status first: its "failed" key (retained failed jobs) must
+            # not shadow the cumulative failure counter below.
             return {
+                **by_status,
                 "workers": self.workers,
                 "submitted": self.submitted,
                 "completed": self.completed,
@@ -394,7 +397,6 @@ class JobQueue:
                 "queue_depth": by_status["queued"] + self._pending_submits,
                 "wait_seconds_total": self.wait_seconds_total,
                 "run_seconds_total": self.run_seconds_total,
-                **by_status,
             }
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,1186 @@
+"""The routing front-end of the multi-process serving topology.
+
+One :class:`RouterService` sits in front of a :class:`~repro.service.pool.
+WorkerPool` and speaks the exact HTTP surface of a single-process
+allocation server -- ``/solve``, ``/solve_batch`` (sync and async),
+``/jobs``, ``/health``, ``/stats``, ``/metrics``, ``/trace`` -- so every
+existing client works unchanged.  What it adds:
+
+* **ownership routing** -- each request document's canonical fingerprint
+  is mapped onto a shard group by the consistent hash ring of
+  :mod:`repro.service.hashing`; ``/solve`` forwards the raw body bytes to
+  the owning worker (no re-serialisation), batches are split by ring
+  ownership, fanned out concurrently, and the per-worker responses merged
+  back **in request order**;
+* **composite async jobs** -- an async batch becomes one router job id
+  (``rjob-...``) backed by one worker job per owning group; polling the
+  router id polls the parts and merges status/report/outcomes, so a
+  client cannot tell it is talking to N processes;
+* **fleet observability** -- ``/stats`` sums every counter section across
+  workers (and nests the per-worker documents), ``/metrics`` merges the
+  workers' Prometheus expositions into one valid exposition with a
+  ``worker`` label on every sample;
+* **unavailability as backpressure** -- a request whose owning worker is
+  down (crashed and not yet replayed/restarted) is answered ``503`` +
+  ``Retry-After``, counted in the same admission counters the
+  single-process server uses, so clients ride through a worker crash with
+  their existing retry policy;
+* **online resize** -- ``POST /admin/resize`` starts workers for new
+  groups and swaps the ring only once they are healthy; surviving groups
+  keep their warm stores, and only the ~1/(N+1) of keys the ring moves go
+  cold (the hashing module's minimal-movement guarantee).
+
+Fingerprinting a request requires parsing the problem document, which is
+the expensive part of the submit path; the router memoizes ``raw document
+JSON -> fingerprint`` in a bounded LRU so duplicate-heavy traffic (the
+warm-replay regime this topology exists for) parses each distinct request
+once and routes every repeat with a dictionary hit.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import sys
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from .. import __version__
+from ..obs.metrics import MetricsRegistry
+from ..workloads.serialization import SerializationError
+from .batch import request_from_dict
+from .hashing import DEFAULT_REPLICAS, HashRing, ring
+from .pool import WorkerPool
+from .server import BackpressureError, install_shutdown_signals
+from .store import CacheStats
+
+#: Retry hint handed to clients whose owning worker is down: the pool's
+#: restart-and-replay cycle is sub-second for small WALs, so the floor.
+WORKER_DOWN_RETRY_AFTER_SECONDS = 1.0
+
+#: Report fields summed across per-worker batch reports (``runtime_seconds``
+#: is a max -- the parts ran concurrently -- and ``solver_counters`` is a
+#: dict merge).
+_REPORT_SUM_FIELDS = (
+    "total",
+    "unique",
+    "duplicates",
+    "memory_hits",
+    "disk_hits",
+    "solves",
+    "groups",
+)
+
+
+class WorkerUnavailableError(RuntimeError):
+    """The owning worker of a request is down or unreachable."""
+
+    def __init__(self, group: int):
+        super().__init__(
+            f"shard group {group} is unavailable (worker down or restarting); "
+            "retry later"
+        )
+        self.group = group
+
+
+class _FingerprintMemo:
+    """Bounded LRU of raw request-document JSON -> canonical fingerprint."""
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def fingerprint_of(self, document: Mapping[str, Any]) -> str:
+        key = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        fingerprint = request_from_dict(document).fingerprint()
+        with self._lock:
+            self._entries[key] = fingerprint
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return fingerprint
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus merging
+# --------------------------------------------------------------------------- #
+def inject_label(sample_line: str, name: str, value: str) -> str:
+    """Add one label to a Prometheus sample line (prepended to existing)."""
+    brace = sample_line.find("{")
+    space = sample_line.find(" ")
+    if brace != -1 and (space == -1 or brace < space):
+        return f'{sample_line[: brace + 1]}{name}="{value}",{sample_line[brace + 1 :]}'
+    return f'{sample_line[:space]}{{{name}="{value}"}}{sample_line[space:]}'
+
+
+def merge_prometheus(expositions: "Iterable[tuple[str, str]]") -> str:
+    """Merge ``(worker_label, exposition_text)`` pairs into one exposition.
+
+    Every family's ``HELP``/``TYPE`` header is emitted exactly once (first
+    writer wins) with all of its samples contiguous below it -- the shape
+    :func:`repro.obs.metrics.validate_prometheus_text` enforces -- and each
+    sample gains a ``worker="<label>"`` label identifying its process.
+    """
+    order: list[str] = []
+    families: dict[str, dict[str, Any]] = {}
+
+    def family(name: str) -> dict[str, Any]:
+        entry = families.get(name)
+        if entry is None:
+            entry = {"help": None, "type": None, "samples": []}
+            families[name] = entry
+            order.append(name)
+        return entry
+
+    for label, text in expositions:
+        current: str | None = None
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                name = line.split(" ", 3)[2]
+                entry = family(name)
+                if entry["help"] is None:
+                    entry["help"] = line
+                current = name
+            elif line.startswith("# TYPE "):
+                name = line.split(" ", 3)[2]
+                entry = family(name)
+                if entry["type"] is None:
+                    entry["type"] = line
+                current = name
+            elif line.startswith("#"):
+                continue
+            else:
+                # Expositions emit samples inside their family block, so the
+                # running header names the family even for suffixed samples
+                # (histogram _bucket/_sum/_count).
+                sample_name = line.split("{", 1)[0].split(" ", 1)[0]
+                owner = (
+                    current
+                    if current is not None and sample_name.startswith(current)
+                    else sample_name
+                )
+                family(owner)["samples"].append(inject_label(line, "worker", label))
+    lines: list[str] = []
+    for name in order:
+        entry = families[name]
+        if entry["help"] is not None:
+            lines.append(entry["help"])
+        if entry["type"] is not None:
+            lines.append(entry["type"])
+        lines.extend(entry["samples"])
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# --------------------------------------------------------------------------- #
+# Composite async jobs
+# --------------------------------------------------------------------------- #
+class RouterJobPart:
+    """One group's slice of a composite job.
+
+    Keeps the slice's request *documents* as well as its worker job id: a
+    worker that crashed **after** finishing the part (and so never replays
+    it from its WAL) answers 404 for the old id once restarted, and the
+    router re-submits the slice from these documents -- the deduping batch
+    path answers it from the result store, so the retry costs lookups, not
+    solves.
+    """
+
+    __slots__ = ("group", "job_id", "indices", "documents")
+
+    def __init__(
+        self,
+        group: int,
+        job_id: str,
+        indices: "list[int]",
+        documents: "list[Mapping[str, Any]]",
+    ):
+        self.group = group
+        self.job_id = job_id
+        self.indices = indices
+        self.documents = documents
+
+
+class RouterJob:
+    """One async batch split across workers: the id mapping + index plan."""
+
+    __slots__ = ("id", "created_unix", "total", "parts", "lock")
+
+    def __init__(
+        self,
+        job_id: str,
+        created_unix: float,
+        total: int,
+        parts: "list[RouterJobPart]",
+    ):
+        self.id = job_id
+        self.created_unix = created_unix
+        self.total = total
+        self.parts = parts
+        #: Serialises part re-submission so concurrent polls of the same
+        #: composite job cannot double-resubmit a lost part.
+        self.lock = threading.Lock()
+
+
+class RouterService:
+    """Route the allocation-service HTTP surface across a worker pool.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`~repro.service.pool.WorkerPool` to route over.  The
+        router owns it by default (``close()`` drains the workers); pass
+        ``own_pool=False`` when the caller manages the pool's lifetime.
+    replicas:
+        Virtual nodes per group on the hash ring.
+    job_retention:
+        Composite async jobs retained for polling (oldest pruned first;
+        the underlying worker jobs are durable regardless).
+    fingerprint_memo:
+        Entries in the document->fingerprint routing memo.
+    proxy_timeout_seconds:
+        Per-request timeout on the router->worker hop.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        replicas: int = DEFAULT_REPLICAS,
+        job_retention: int = 256,
+        fingerprint_memo: int = 4096,
+        proxy_timeout_seconds: float = 120.0,
+        own_pool: bool = True,
+    ):
+        self.pool = pool
+        self.own_pool = own_pool
+        self.replicas = replicas
+        self.proxy_timeout_seconds = proxy_timeout_seconds
+        self.started_unix = time.time()
+        self._ring = ring(pool.num_groups, replicas)
+        self._ring_lock = threading.Lock()
+        self._resize_lock = threading.Lock()
+        self._memo = _FingerprintMemo(capacity=fingerprint_memo)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._batches = 0
+        self._resizes = 0
+        self._rejected: dict[str, int] = {"429": 0, "503": 0}
+        self._part_resubmits = 0
+        self._jobs: "OrderedDict[str, RouterJob]" = OrderedDict()
+        self._next_job = 0
+        self.job_retention = job_retention
+        self._fanout = ThreadPoolExecutor(
+            max_workers=16, thread_name_prefix="repro-router-fanout"
+        )
+        self.metrics = MetricsRegistry()
+        self._http_requests_total = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by method and status code.",
+            label_names=("method", "status"),
+        )
+        self._admission_rejected_total = self.metrics.counter(
+            "repro_admission_rejected_total",
+            "Requests refused for backpressure, by HTTP status code.",
+            label_names=("code",),
+        )
+        self._proxied_total = self.metrics.counter(
+            "repro_router_proxied_total",
+            "Requests proxied to workers, by shard group.",
+            label_names=("group",),
+        )
+        self._routing_memo_hits = self.metrics.counter(
+            "repro_router_fingerprint_memo_hits_total",
+            "Routing fingerprints answered from the document memo.",
+        )
+        self._counter_part_resubmits = self.metrics.counter(
+            "repro_router_part_resubmits_total",
+            "Composite-job parts re-submitted after a worker lost the job id.",
+        )
+        self._groups_gauge = self.metrics.gauge(
+            "repro_router_groups", "Shard groups on the hash ring."
+        )
+        self._healthy_gauge = self.metrics.gauge(
+            "repro_router_healthy_groups", "Shard groups with a live worker."
+        )
+
+    # ------------------------------------------------------------------ #
+    # Ring / routing
+    # ------------------------------------------------------------------ #
+    @property
+    def ring(self) -> HashRing:
+        with self._ring_lock:
+            return self._ring
+
+    def group_of(self, fingerprint: str) -> int:
+        return self.ring.group_of(fingerprint)
+
+    def fingerprint_of(self, document: Mapping[str, Any]) -> str:
+        before = self._memo.hits
+        fingerprint = self._memo.fingerprint_of(document)
+        if self._memo.hits > before:
+            self._routing_memo_hits.inc()
+        return fingerprint
+
+    def resize(self, num_groups: int) -> dict[str, Any]:
+        """Grow the pool to ``num_groups`` shard groups, online.
+
+        Each new worker is spawned and *healthy* before the ring advances
+        to include it, so no request is ever routed at a group that is not
+        serving; shrinking is not supported (it would orphan owned keys).
+        """
+        with self._resize_lock:
+            current = self.ring.num_groups
+            if num_groups < current:
+                raise ValueError(
+                    f"cannot shrink from {current} to {num_groups} groups"
+                )
+            added = []
+            while self.ring.num_groups < num_groups:
+                group = self.pool.add_group()
+                added.append(group)
+                with self._ring_lock:
+                    self._ring = self._ring.with_num_groups(self._ring.num_groups + 1)
+                with self._lock:
+                    self._resizes += 1
+            return {"num_groups": self.ring.num_groups, "added_groups": added}
+
+    # ------------------------------------------------------------------ #
+    # Worker transport (keep-alive, per thread)
+    # ------------------------------------------------------------------ #
+    def _connections(self) -> dict[str, http.client.HTTPConnection]:
+        conns = getattr(self._local, "conns", None)
+        if conns is None:
+            conns = {}
+            self._local.conns = conns
+        return conns
+
+    def _proxy(
+        self,
+        group: int,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One router->worker HTTP round trip; raises
+        :class:`WorkerUnavailableError` when the group has no live worker.
+
+        A stale keep-alive connection (the worker restarted between our
+        requests) is retried once on a fresh socket before giving up.
+        """
+        url = self.pool.url_of(group)
+        if url is None:
+            raise WorkerUnavailableError(group)
+        netloc = url[len("http://") :]
+        conns = self._connections()
+        last_error: Exception | None = None
+        for attempt in range(2):
+            conn = conns.get(netloc)
+            if conn is None:
+                host, _, port = netloc.rpartition(":")
+                conn = http.client.HTTPConnection(
+                    host, int(port), timeout=self.proxy_timeout_seconds
+                )
+                conns[netloc] = conn
+            try:
+                headers = {"Content-Type": "application/json"} if body else {}
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                self._proxied_total.labels(group=str(group)).inc()
+                return response.status, dict(response.getheaders()), data
+            except (http.client.HTTPException, ConnectionError, OSError) as error:
+                last_error = error
+                conn.close()
+                conns.pop(netloc, None)
+        raise WorkerUnavailableError(group) from last_error
+
+    def _proxy_json(
+        self, group: int, method: str, path: str, payload: Any = None
+    ) -> tuple[int, dict[str, str], Any]:
+        body = (
+            json.dumps(payload, allow_nan=False).encode("utf-8")
+            if payload is not None
+            else None
+        )
+        status, headers, data = self._proxy(group, method, path, body=body)
+        try:
+            document = json.loads(data.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            document = {"error": f"worker {group} returned a non-JSON body"}
+        return status, headers, document
+
+    def _reject(self, status: int, message: str) -> BackpressureError:
+        code = str(status)
+        self._admission_rejected_total.labels(code=code).inc()
+        with self._lock:
+            self._rejected[code] = self._rejected.get(code, 0) + 1
+        return BackpressureError(status, WORKER_DOWN_RETRY_AFTER_SECONDS, message)
+
+    def _propagate_backpressure(
+        self, status: int, headers: Mapping[str, str], document: Any
+    ) -> BackpressureError:
+        """Re-raise a worker's own 429/503 with its Retry-After intact."""
+        code = str(status)
+        self._admission_rejected_total.labels(code=code).inc()
+        with self._lock:
+            self._rejected[code] = self._rejected.get(code, 0) + 1
+        retry_after = WORKER_DOWN_RETRY_AFTER_SECONDS
+        if isinstance(document, Mapping):
+            try:
+                retry_after = float(document.get("retry_after_seconds", retry_after))
+            except (TypeError, ValueError):
+                pass
+        message = (
+            str(document.get("error"))
+            if isinstance(document, Mapping) and "error" in document
+            else f"worker refused with {status}"
+        )
+        return BackpressureError(status, retry_after, message)
+
+    # ------------------------------------------------------------------ #
+    # /solve
+    # ------------------------------------------------------------------ #
+    def solve_raw(self, body: bytes) -> tuple[int, dict[str, str], bytes]:
+        """Route one ``/solve`` body to its owner, forwarding the raw bytes.
+
+        The response bytes come back verbatim too, so a client talking to
+        the router receives byte-identical ``/solve`` answers to one
+        talking straight at a worker.
+        """
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise SerializationError(f"request body is not valid JSON: {error}") from error
+        fingerprint = self.fingerprint_of(document)
+        group = self.group_of(fingerprint)
+        with self._lock:
+            self._requests += 1
+        status, headers, data = self._proxy(group, "POST", "/solve", body=body)
+        return status, headers, data
+
+    # ------------------------------------------------------------------ #
+    # /solve_batch
+    # ------------------------------------------------------------------ #
+    def _split_batch(
+        self, documents: Sequence[Mapping[str, Any]]
+    ) -> "dict[int, list[int]]":
+        fingerprints = [self.fingerprint_of(document) for document in documents]
+        return self.ring.partition(fingerprints)
+
+    def _fan_out(
+        self, calls: "list[tuple[int, Callable[[], Any]]]"
+    ) -> "list[tuple[int, Any]]":
+        """Run per-group calls concurrently; single-group batches inline."""
+        if len(calls) == 1:
+            group, call = calls[0]
+            return [(group, call())]
+        futures = [(group, self._fanout.submit(call)) for group, call in calls]
+        results = []
+        first_error: BaseException | None = None
+        for group, future in futures:
+            try:
+                results.append((group, future.result()))
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def _merge_reports(
+        self, parts: "Iterable[tuple[list[int], Mapping[str, Any]]]", total: int
+    ) -> tuple[dict[str, Any], list[Any], list[Any]]:
+        """Merge per-worker batch responses into request order.
+
+        ``parts`` pairs each group's original request indices with its
+        response document (``report``/``fingerprints``/``outcomes``).
+        ``unique`` sums correctly because each fingerprint is owned by
+        exactly one group; ``runtime_seconds`` is the max because the
+        parts ran concurrently.
+        """
+        report: dict[str, Any] = {field: 0 for field in _REPORT_SUM_FIELDS}
+        report["runtime_seconds"] = 0.0
+        counters: dict[str, int] = {}
+        fingerprints: list[Any] = [None] * total
+        outcomes: list[Any] = [None] * total
+        for indices, document in parts:
+            part_report = document["report"]
+            for field in _REPORT_SUM_FIELDS:
+                report[field] += part_report.get(field, 0)
+            report["runtime_seconds"] = max(
+                report["runtime_seconds"], part_report.get("runtime_seconds", 0.0)
+            )
+            for name, value in part_report.get("solver_counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+            part_prints = document.get("fingerprints") or []
+            part_outcomes = document.get("outcomes") or []
+            for position, index in enumerate(indices):
+                if position < len(part_prints):
+                    fingerprints[index] = part_prints[position]
+                if position < len(part_outcomes):
+                    outcomes[index] = part_outcomes[position]
+        report["solver_counters"] = counters
+        return report, fingerprints, outcomes
+
+    def solve_batch_documents(
+        self, documents: Sequence[Mapping[str, Any]]
+    ) -> dict[str, Any]:
+        """Split a sync batch by ownership, fan out, merge in request order."""
+        owned = self._split_batch(documents)
+        with self._lock:
+            self._requests += len(documents)
+            self._batches += 1
+
+        def call_for(group: int, indices: "list[int]") -> Callable[[], Any]:
+            payload = {"requests": [documents[index] for index in indices]}
+
+            def call() -> Any:
+                status, headers, document = self._proxy_json(
+                    group, "POST", "/solve_batch", payload
+                )
+                if status in (429, 503):
+                    raise self._propagate_backpressure(status, headers, document)
+                if status != 200:
+                    message = (
+                        document.get("error", f"status {status}")
+                        if isinstance(document, Mapping)
+                        else f"status {status}"
+                    )
+                    raise SerializationError(str(message))
+                return document
+
+            return call
+
+        calls = [(group, call_for(group, indices)) for group, indices in sorted(owned.items())]
+        responses = dict(self._fan_out(calls))
+        report, fingerprints, outcomes = self._merge_reports(
+            [(owned[group], responses[group]) for group in sorted(owned)],
+            total=len(documents),
+        )
+        return {"report": report, "fingerprints": fingerprints, "outcomes": outcomes}
+
+    def submit_batch_documents(
+        self, documents: Sequence[Mapping[str, Any]]
+    ) -> dict[str, Any]:
+        """Split an async batch, submit one worker job per owning group, and
+        register the composite router job.  The 202 is returned only once
+        *every* part is acknowledged (each worker fsynced its sub-batch), so
+        the router's ack inherits the workers' durability."""
+        owned = self._split_batch(documents)
+        with self._lock:
+            self._requests += len(documents)
+            self._batches += 1
+
+        def call_for(group: int, indices: "list[int]") -> Callable[[], Any]:
+            payload = {
+                "mode": "async",
+                "requests": [documents[index] for index in indices],
+            }
+
+            def call() -> Any:
+                status, headers, document = self._proxy_json(
+                    group, "POST", "/solve_batch", payload
+                )
+                if status in (429, 503):
+                    raise self._propagate_backpressure(status, headers, document)
+                if status != 202 or not isinstance(document, Mapping):
+                    message = (
+                        document.get("error", f"status {status}")
+                        if isinstance(document, Mapping)
+                        else f"status {status}"
+                    )
+                    raise SerializationError(str(message))
+                return document
+
+            return call
+
+        calls = [(group, call_for(group, indices)) for group, indices in sorted(owned.items())]
+        responses = dict(self._fan_out(calls))
+        created = time.time()
+        parts = [
+            RouterJobPart(
+                group=group,
+                job_id=str(responses[group]["job_id"]),
+                indices=owned[group],
+                documents=[dict(documents[index]) for index in owned[group]],
+            )
+            for group in sorted(owned)
+        ]
+        with self._lock:
+            self._next_job += 1
+            job = RouterJob(
+                job_id=f"rjob-{self._next_job:08d}",
+                created_unix=created,
+                total=len(documents),
+                parts=parts,
+            )
+            self._jobs[job.id] = job
+            while len(self._jobs) > self.job_retention:
+                self._jobs.popitem(last=False)
+        return {
+            "job_id": job.id,
+            "status": "queued",
+            "total": job.total,
+            "created_unix": job.created_unix,
+            "started_unix": None,
+            "finished_unix": None,
+            "wait_seconds": None,
+            "run_seconds": None,
+            "parts": [
+                {"group": part.group, "job_id": part.job_id, "count": len(part.indices)}
+                for part in parts
+            ],
+        }
+
+    # ------------------------------------------------------------------ #
+    # Composite job polling
+    # ------------------------------------------------------------------ #
+    def job(self, job_id: str, include_outcomes: bool = True) -> dict[str, Any] | None:
+        """Merged document of one composite job, or ``None`` for unknown ids.
+
+        Polls each part's owning worker; an unreachable owner raises
+        :class:`WorkerUnavailableError` (the HTTP layer's 503 +
+        ``Retry-After``), because a partial answer about a job's status
+        would be a lie -- the part on the dead worker is journaled and
+        will finish after replay.
+
+        A worker that answers 404 for a part is one that crashed after
+        finishing it (the WAL only replays *unfinished* jobs, and the job
+        document itself lived in the dead process) or pruned it from
+        retention.  Either way the slice is re-submitted from the part's
+        retained request documents; deduping against the worker's result
+        store makes the retry answer from cache rather than re-solving.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        parts: "list[tuple[list[int], dict[str, Any]]]" = []
+        for part in job.parts:
+            status, _, document = self._proxy_json(
+                part.group, "GET", f"/jobs/{part.job_id}"
+            )
+            if status == 404:
+                document = self._resubmit_part(job, part)
+                parts.append((part.indices, dict(document)))
+                continue
+            if status != 200 or not isinstance(document, Mapping):
+                raise WorkerUnavailableError(part.group)
+            parts.append((part.indices, dict(document)))
+        return self._merge_job(job, parts, include_outcomes=include_outcomes)
+
+    def _resubmit_part(self, job: RouterJob, part: RouterJobPart) -> dict[str, Any]:
+        """Re-submit one lost part and return a pollable part document.
+
+        Serialised per composite job so concurrent polls cannot fork the
+        part into two worker jobs.  The winner swaps ``part.job_id`` to the
+        new worker job; losers re-read the (possibly already finished) new
+        id instead of submitting again.
+        """
+        with job.lock:
+            status, _, document = self._proxy_json(
+                part.group, "GET", f"/jobs/{part.job_id}"
+            )
+            if status == 200 and isinstance(document, Mapping):
+                return dict(document)
+            if status != 404:
+                raise WorkerUnavailableError(part.group)
+            payload = {"mode": "async", "requests": part.documents}
+            status, headers, document = self._proxy_json(
+                part.group, "POST", "/solve_batch", payload
+            )
+            if status in (429, 503):
+                raise self._propagate_backpressure(status, headers, document)
+            if status != 202 or not isinstance(document, Mapping):
+                raise WorkerUnavailableError(part.group)
+            part.job_id = str(document["job_id"])
+            with self._lock:
+                self._part_resubmits += 1
+            self._counter_part_resubmits.inc()
+            return dict(document)
+
+    def _merge_job(
+        self,
+        job: RouterJob,
+        parts: "list[tuple[list[int], dict[str, Any]]]",
+        include_outcomes: bool,
+    ) -> dict[str, Any]:
+        statuses = [document["status"] for _, document in parts]
+        if any(status == "failed" for status in statuses):
+            status = "failed"
+        elif all(status == "done" for status in statuses):
+            status = "done"
+        elif any(status in ("running", "done") for status in statuses):
+            status = "running"
+        else:
+            status = "queued"
+        started = [
+            document.get("started_unix")
+            for _, document in parts
+            if document.get("started_unix") is not None
+        ]
+        finished = [
+            document.get("finished_unix")
+            for _, document in parts
+            if document.get("finished_unix") is not None
+        ]
+        started_unix = min(started) if started else None
+        terminal = status in ("done", "failed")
+        finished_unix = max(finished) if terminal and len(finished) == len(parts) else None
+        document: dict[str, Any] = {
+            "job_id": job.id,
+            "status": status,
+            "total": job.total,
+            "created_unix": job.created_unix,
+            "started_unix": started_unix,
+            "finished_unix": finished_unix,
+            "wait_seconds": (
+                max(0.0, started_unix - job.created_unix)
+                if started_unix is not None
+                else None
+            ),
+            "run_seconds": (
+                max(0.0, finished_unix - started_unix)
+                if started_unix is not None and finished_unix is not None
+                else None
+            ),
+        }
+        if any(part.get("recovered") for _, part in parts):
+            document["recovered"] = True
+        errors = [part["error"] for _, part in parts if part.get("error")]
+        if errors:
+            document["error"] = "; ".join(str(error) for error in errors)
+        if status == "done":
+            report, fingerprints, outcomes = self._merge_reports(
+                [
+                    (indices, part)
+                    for indices, part in parts
+                ],
+                total=job.total,
+            )
+            document["report"] = report
+            document["fingerprints"] = fingerprints
+            if include_outcomes:
+                document["outcomes"] = outcomes
+        return document
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        """Merged summaries of the retained composite jobs, oldest first.
+
+        A job with an unreachable part is reported with status
+        ``"unavailable"`` rather than failing the whole listing.
+        """
+        with self._lock:
+            jobs = list(self._jobs.values())
+        summaries = []
+        for job in jobs:
+            try:
+                summary = self.job(job.id, include_outcomes=False)
+            except WorkerUnavailableError:
+                summary = {
+                    "job_id": job.id,
+                    "status": "unavailable",
+                    "total": job.total,
+                    "created_unix": job.created_unix,
+                }
+            if summary is not None:
+                summary.pop("fingerprints", None)
+                summaries.append(summary)
+        return summaries
+
+    # ------------------------------------------------------------------ #
+    # /trace
+    # ------------------------------------------------------------------ #
+    def trace(self, fingerprint: str) -> tuple[int, Any]:
+        """Proxy ``/trace/<fingerprint>`` to the owning worker."""
+        group = self.group_of(fingerprint)
+        status, _, document = self._proxy_json(group, "GET", f"/trace/{fingerprint}")
+        return status, document
+
+    # ------------------------------------------------------------------ #
+    # Aggregated observability
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict[str, Any]:
+        status_rows = self.pool.worker_status()
+        healthy = sum(1 for row in status_rows if row["healthy"])
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_unix,
+            "groups": len(status_rows),
+            "healthy_groups": healthy,
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Fleet stats: every worker's counters summed + nested per worker.
+
+        Unreachable workers are skipped (listed in ``unreachable_groups``)
+        so a crashed group never takes ``/stats`` down with it.
+        """
+        per_worker: dict[str, Any] = {}
+        unreachable: list[int] = []
+        for group in self.pool.groups():
+            try:
+                status, _, document = self._proxy_json(group, "GET", "/stats")
+            except WorkerUnavailableError:
+                unreachable.append(group)
+                continue
+            if status != 200 or not isinstance(document, Mapping):
+                unreachable.append(group)
+                continue
+            per_worker[str(group)] = dict(document)
+
+        service_totals = {"requests": 0, "batches": 0, "solves": 0}
+        cache_totals = CacheStats()
+        cache_sizes: dict[str, int] = {}
+        jobs_totals: dict[str, Any] = {}
+        solver_totals: dict[str, int] = {}
+        admission_totals = {"rejected_429": 0, "rejected_503": 0}
+        wal_totals: dict[str, Any] = {"enabled": False}
+        for document in per_worker.values():
+            for key in service_totals:
+                service_totals[key] += document.get("service", {}).get(key, 0)
+            cache_totals.add(CacheStats(**{
+                key: document.get("cache", {}).get(key, 0)
+                for key in (
+                    "memory_hits", "disk_hits", "misses", "puts", "evictions",
+                    "disk_evictions", "ttl_evictions", "rebalances", "quarantines",
+                )
+            }))
+            for tier, count in document.get("cache_sizes", {}).items():
+                cache_sizes[tier] = cache_sizes.get(tier, 0) + count
+            for key, value in document.get("jobs", {}).items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                jobs_totals[key] = jobs_totals.get(key, 0) + value
+            for key, value in document.get("solver", {}).items():
+                solver_totals[key] = solver_totals.get(key, 0) + value
+            admission = document.get("admission", {})
+            for key in admission_totals:
+                admission_totals[key] += admission.get(key, 0)
+            wal = document.get("wal", {})
+            if wal.get("enabled"):
+                wal_totals["enabled"] = True
+                for key, value in wal.items():
+                    if isinstance(value, bool) or not isinstance(value, (int, float)):
+                        continue
+                    wal_totals[key] = wal_totals.get(key, 0) + value
+        with self._lock:
+            router = {
+                "requests": self._requests,
+                "batches": self._batches,
+                "jobs": len(self._jobs),
+                "part_resubmits": self._part_resubmits,
+                "resizes": self._resizes,
+                "num_groups": self.ring.num_groups,
+                "fingerprint_memo_hits": self._memo.hits,
+                "fingerprint_memo_misses": self._memo.misses,
+                "started_unix": self.started_unix,
+                "uptime_seconds": time.time() - self.started_unix,
+                "version": __version__,
+            }
+            admission_totals["rejected_429"] += self._rejected.get("429", 0)
+            admission_totals["rejected_503"] += self._rejected.get("503", 0)
+        admission_totals["rejected_total"] = (
+            admission_totals["rejected_429"] + admission_totals["rejected_503"]
+        )
+        return {
+            "router": router,
+            "pool": self.pool.worker_status(),
+            "unreachable_groups": unreachable,
+            "service": service_totals,
+            "cache": cache_totals.as_dict(),
+            "cache_sizes": cache_sizes,
+            "jobs": jobs_totals,
+            "solver": solver_totals,
+            "admission": admission_totals,
+            "wal": wal_totals,
+            "workers": per_worker,
+        }
+
+    def metrics_text(self) -> str:
+        """One merged Prometheus exposition: every worker + the router,
+        each sample labelled with its ``worker``."""
+        status_rows = self.pool.worker_status()
+        self._groups_gauge.set(len(status_rows))
+        self._healthy_gauge.set(sum(1 for row in status_rows if row["healthy"]))
+        expositions: list[tuple[str, str]] = []
+        for group in self.pool.groups():
+            try:
+                status, _, data = self._proxy(group, "GET", "/metrics")
+            except WorkerUnavailableError:
+                continue
+            if status == 200:
+                expositions.append((f"g{group}", data.decode("utf-8")))
+        expositions.append(("router", self.metrics.render_prometheus()))
+        return merge_prometheus(expositions)
+
+    def observe_http(self, method: str, status: int) -> None:
+        self._http_requests_total.labels(method=method, status=str(status)).inc()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        self._fanout.shutdown(wait=False)
+        if self.own_pool:
+            self.pool.close()
+
+
+# --------------------------------------------------------------------------- #
+# HTTP layer
+# --------------------------------------------------------------------------- #
+class _RouterRequestHandler(BaseHTTPRequestHandler):
+    """The router's HTTP surface -- same routes and wire shapes as the
+    single-process :class:`~repro.service.server._ServiceRequestHandler`,
+    plus ``POST /admin/resize``."""
+
+    server: "RouterHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    # -- plumbing (mirrors the service handler) ------------------------- #
+    def _send_json(
+        self,
+        payload: Mapping[str, Any],
+        status: int = 200,
+        extra_headers: Mapping[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        self._send_body(body, status, "application/json", extra_headers=extra_headers)
+
+    def _send_body(
+        self,
+        body: bytes,
+        status: int,
+        content_type: str,
+        extra_headers: Mapping[str, str] | None = None,
+    ) -> None:
+        self._status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if extra_headers:
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_backpressure(self, error: BackpressureError) -> None:
+        self._send_json(
+            {
+                "error": str(error),
+                "retry_after_seconds": error.retry_after_seconds,
+            },
+            status=error.status,
+            extra_headers={"Retry-After": str(math.ceil(error.retry_after_seconds))},
+        )
+
+    def _send_error_json(self, message: str, status: int = 400) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise SerializationError("request body is empty")
+        return self.rfile.read(length)
+
+    def _dispatch(self, handler: Any) -> None:
+        start = time.perf_counter()
+        self._status = 0
+        try:
+            handler()
+        finally:
+            latency_ms = (time.perf_counter() - start) * 1000.0
+            router = self.server.router
+            router.observe_http(self.command, self._status)
+            if not self.server.quiet:
+                record = {
+                    "time_unix": round(time.time(), 3),
+                    "role": "router",
+                    "method": self.command,
+                    "path": self.path,
+                    "status": self._status,
+                    "latency_ms": round(latency_ms, 3),
+                }
+                print(json.dumps(record), file=sys.stderr, flush=True)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch(self._handle_post)
+
+    def _handle_get(self) -> None:
+        router = self.server.router
+        try:
+            if self.path == "/health":
+                self._send_json(router.health())
+            elif self.path == "/stats":
+                self._send_json(router.stats())
+            elif self.path == "/metrics":
+                self._send_body(
+                    router.metrics_text().encode("utf-8"),
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif self.path.startswith("/trace/"):
+                fingerprint = self.path[len("/trace/") :]
+                status, document = router.trace(fingerprint)
+                self._send_json(document, status=status)
+            elif self.path == "/jobs":
+                self._send_json({"jobs": router.list_jobs()})
+            elif self.path.startswith("/jobs/"):
+                job_id = self.path[len("/jobs/") :]
+                document = router.job(job_id)
+                if document is None:
+                    self._send_error_json(f"unknown job {job_id!r}", status=404)
+                else:
+                    self._send_json(document)
+            else:
+                self._send_error_json(f"unknown endpoint {self.path!r}", status=404)
+        except WorkerUnavailableError as error:
+            self._send_backpressure(router._reject(503, str(error)))
+        except BackpressureError as error:
+            self._send_backpressure(error)
+
+    def _handle_post(self) -> None:
+        router = self.server.router
+        try:
+            if self.path == "/solve":
+                body = self._read_body()
+                status, headers, data = router.solve_raw(body)
+                content_type = headers.get("Content-Type", "application/json")
+                retry_after = headers.get("Retry-After")
+                extra = {"Retry-After": retry_after} if retry_after else None
+                self._status = status
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                if extra:
+                    for name, value in extra.items():
+                        self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(data)
+            elif self.path == "/solve_batch":
+                body = self._read_body()
+                try:
+                    payload = json.loads(body.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                    raise SerializationError(
+                        f"request body is not valid JSON: {error}"
+                    ) from error
+                if not isinstance(payload, Mapping) or "requests" not in payload:
+                    raise SerializationError("a batch document needs a 'requests' list")
+                mode = str(payload.get("mode", "sync"))
+                if mode not in ("sync", "async"):
+                    raise SerializationError(
+                        f"unknown batch mode {mode!r}; options: sync, async"
+                    )
+                documents = payload["requests"]
+                if not isinstance(documents, list) or not documents:
+                    raise SerializationError("'requests' must be a non-empty list")
+                if mode == "async":
+                    self._send_json(router.submit_batch_documents(documents), status=202)
+                else:
+                    self._send_json(router.solve_batch_documents(documents))
+            elif self.path == "/admin/resize":
+                body = self._read_body()
+                try:
+                    payload = json.loads(body.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                    raise SerializationError(
+                        f"request body is not valid JSON: {error}"
+                    ) from error
+                if not isinstance(payload, Mapping) or "num_groups" not in payload:
+                    raise SerializationError("resize needs {'num_groups': N}")
+                try:
+                    self._send_json(router.resize(int(payload["num_groups"])))
+                except ValueError as error:
+                    self._send_error_json(str(error), status=400)
+            else:
+                self._send_error_json(f"unknown endpoint {self.path!r}", status=404)
+        except WorkerUnavailableError as error:
+            self._send_backpressure(router._reject(503, str(error)))
+        except BackpressureError as error:
+            self._send_backpressure(error)
+        except SerializationError as error:
+            self._send_error_json(str(error), status=400)
+        except ValueError as error:
+            self._send_error_json(str(error), status=400)
+        except Exception as error:  # pragma: no cover - last-resort 500
+            self._send_error_json(f"internal error: {error}", status=500)
+
+
+class RouterHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server that owns a :class:`RouterService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        router: RouterService,
+        quiet: bool = True,
+    ):
+        super().__init__(address, _RouterRequestHandler)
+        self.router = router
+        self.quiet = quiet
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+
+def start_router(
+    router: RouterService, host: str = "127.0.0.1", port: int = 0, quiet: bool = True
+) -> tuple[RouterHTTPServer, threading.Thread]:
+    """Start the router HTTP front-end on a background thread."""
+    server = RouterHTTPServer((host, port), router, quiet=quiet)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-router", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def run_router(
+    router: RouterService, host: str = "127.0.0.1", port: int = 8000, quiet: bool = False
+) -> None:
+    """Serve the router until SIGTERM/SIGINT, then drain the whole pool.
+
+    The shutdown order is front-to-back: stop accepting at the router,
+    then SIGTERM every worker (each drains its queue and final-fsyncs its
+    WAL) -- so a clean shutdown of the pool topology leaves no torn WAL
+    tail in any group directory.
+    """
+    server = RouterHTTPServer((host, port), router, quiet=quiet)
+    restore = install_shutdown_signals(server)
+    print(f"allocation router listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        restore()
+        server.server_close()
+        router.close()

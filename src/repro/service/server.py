@@ -41,12 +41,13 @@ from __future__ import annotations
 import contextlib
 import json
 import math
+import signal
 import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 from .. import __version__
 from ..core.solution import SolveOutcome, SolveStatus
@@ -271,10 +272,20 @@ class AllocationService:
     # ------------------------------------------------------------------ #
     def _retry_after_seconds(self, depth: int) -> float:
         """Backlog-derived retry hint: depth x observed mean job run time,
-        clamped to [1, 30] seconds."""
+        clamped to [1, 30] seconds.
+
+        Before any job has finished there is no observed mean to scale by;
+        the hint is the 1 s floor, not ``depth`` seconds of a fabricated
+        1 s/job guess -- a cold queue must not tell its first overflowing
+        client to stay away for half a minute.
+        """
         job_stats = self.jobs.stats()
         finished = job_stats["completed"] + job_stats["failed"]
-        mean_run = (job_stats["run_seconds_total"] / finished) if finished else 1.0
+        if not finished:
+            return 1.0
+        mean_run = job_stats["run_seconds_total"] / finished
+        if not math.isfinite(mean_run) or mean_run <= 0.0:
+            return 1.0
         return max(1.0, min(30.0, depth * max(mean_run, 0.05)))
 
     def _reject(self, status: int, retry_after: float, message: str) -> BackpressureError:
@@ -736,16 +747,49 @@ def start_server(
     return server, thread
 
 
+def install_shutdown_signals(server: "ThreadingHTTPServer") -> "Callable[[], None]":
+    """Route SIGTERM/SIGINT into a graceful ``server.shutdown()``.
+
+    ``shutdown()`` must run off the signal-handling (main) thread: it blocks
+    until ``serve_forever`` -- running *on* the main thread -- notices the
+    stop flag, so calling it inline would deadlock.  Returns a restorer that
+    puts the previous handlers back (used by embedded/test callers).
+    """
+    previous = {}
+
+    def _handle(signum: int, frame: Any) -> None:
+        threading.Thread(
+            target=server.shutdown, name="repro-serve-shutdown", daemon=True
+        ).start()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _handle)
+
+    def _restore() -> None:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    return _restore
+
+
 def run_server(
     service: AllocationService, host: str = "127.0.0.1", port: int = 8000, quiet: bool = False
 ) -> None:
-    """Serve until interrupted (the blocking entry point behind ``repro serve``)."""
+    """Serve until interrupted (the blocking entry point behind ``repro serve``).
+
+    SIGTERM and SIGINT both drain gracefully: the accept loop stops, then
+    ``service.close()`` joins the job workers (pending jobs finish),
+    final-fsyncs and closes every WAL segment, and closes the store -- so a
+    clean shutdown never leaves a torn WAL tail or an abandoned job.
+    """
     server = AllocationHTTPServer((host, port), service, quiet=quiet)
+    restore = install_shutdown_signals(server)
     print(f"allocation service listening on {server.url}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     finally:
+        restore()
         server.server_close()
         service.close()

@@ -236,9 +236,20 @@ class WalSegment:
             return dropped
 
     def close(self) -> None:
+        """Flush, final-fsync and close the segment.
+
+        The final fsync makes *buffered* lifecycle markers (start/complete)
+        durable too, so a graceful shutdown leaves a log that replays to
+        exactly the in-memory queue state -- no spurious re-runs on the
+        next start, and never a torn tail.
+        """
         with self._sync_lock, self._write_lock:
             if not self._file.closed:
                 self._file.flush()
+                if self._appended_offset > self._synced_offset:
+                    os.fsync(self._file.fileno())
+                    self._synced_offset = self._appended_offset
+                    self.fsyncs += 1
                 self._file.close()
 
 

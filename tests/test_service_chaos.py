@@ -330,3 +330,109 @@ class TestAckBoundary:
             assert stats["jobs"]["completed"] == 1
         finally:
             _stop(server)
+
+
+# --------------------------------------------------------------------------- #
+# Multi-process pool: a shard-group worker killed -9 behind the router
+# --------------------------------------------------------------------------- #
+
+
+def _serve_pool(
+    port: int, data_dir: Path, worker_processes: int = 2, faults: str | None = None
+) -> subprocess.Popen:
+    env = {**os.environ, "PYTHONPATH": REPO_SRC}
+    env.pop("REPRO_FAULTS", None)
+    if faults:
+        # Workers inherit the plan: the service layer arms REPRO_FAULTS at
+        # import in every spawned process.
+        env["REPRO_FAULTS"] = faults
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            str(port),
+            "--quiet",
+            "--workers",
+            "1",
+            "--worker-processes",
+            str(worker_processes),
+            "--data-dir",
+            str(data_dir),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class TestPoolWorkerKillNine:
+    def test_sigkill_one_worker_mid_stream_loses_no_acked_job(self, tmp_path):
+        """SIGKILL a shard-group worker process (not the front-end) while
+        acknowledged async batches are in flight.  The pool must restart it,
+        every acked composite job must converge to ``done`` with outcome
+        documents byte-identical to the single-process reference, and a
+        final synchronous replay of the whole stream must re-solve nothing.
+        """
+        reference = _reference_documents()
+        port = _free_port()
+        # Each job sleeps 200 ms at pickup so the kill lands mid-stream.
+        server = _serve_pool(
+            port, tmp_path, faults="jobs.run.start:latency:ms=200"
+        )
+        try:
+            client = _wait_health(port)
+            acked: list[tuple[str, list[int]]] = []
+            part_groups: set[int] = set()
+            for batch in BATCHES:
+                document = client.solve_batch_async([POOL[index] for index in batch])
+                assert document["status"] == "queued"
+                assert document["job_id"].startswith("rjob-")
+                part_groups.update(part["group"] for part in document["parts"])
+                acked.append((document["job_id"], batch))
+
+            stats = client.stats()
+            rows = {row["group"]: row for row in stats["pool"]}
+            assert sorted(rows) == [0, 1]
+            # Kill a worker that owns part of the stream, from the outside.
+            victim = sorted(part_groups)[0]
+            os.kill(rows[victim]["pid"], signal.SIGKILL)
+
+            for job_id, batch in acked:
+                document = client.wait_for_job(job_id, timeout_seconds=120.0)
+                assert document["status"] == "done", document
+                assert [_comparable(doc) for doc in document["outcomes"]] == [
+                    reference[index] for index in batch
+                ]
+
+            # The monitor restarts the victim within a heartbeat or two.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                rows = {row["group"]: row for row in client.stats()["pool"]}
+                if rows[victim]["healthy"] and rows[victim]["restarts"] >= 1:
+                    break
+                time.sleep(0.1)
+            assert rows[victim]["healthy"] is True
+            assert rows[victim]["restarts"] >= 1
+
+            # Zero lost, zero repeated: the full stream re-submitted
+            # synchronously is answered entirely from the group stores.
+            flat = [POOL[index] for batch in BATCHES for index in batch]
+            response = client.solve_batch(flat)
+            assert response["report"]["solves"] == 0
+            assert [_comparable(doc) for doc in response["outcomes"]] == [
+                reference[index] for batch in BATCHES for index in batch
+            ]
+
+            # The merged exposition still validates and carries per-worker
+            # labels for both groups plus the router itself.
+            metrics = client.metrics()
+            assert 'worker="g0"' in metrics
+            assert 'worker="g1"' in metrics
+            assert 'worker="router"' in metrics
+        finally:
+            _stop(server)

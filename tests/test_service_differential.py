@@ -362,3 +362,81 @@ def test_differential_pool_has_nontrivial_coverage():
     assert shapes == {True, False}
     fingerprints = [request.fingerprint() for request in POOL]
     assert len(set(fingerprints)) < len(fingerprints)
+
+
+# --------------------------------------------------------------------------- #
+# Multi-process configurations: the pool + router topology joins the matrix
+# --------------------------------------------------------------------------- #
+
+
+def test_multi_process_pool_is_configuration_invariant(tmp_path):
+    """{1-proc sync, N-proc sync, N-proc async, N-proc async with one worker
+    SIGKILLed and restarted mid-stream} yield byte-identical outcome
+    documents for a fixed duplicate-heavy stream.
+
+    Worker scheduling across processes is racy by design, so (like the
+    in-process multi-worker test) this compares solution documents, not
+    counters.
+    """
+    from repro.service import RetryPolicy, ServiceClient, WorkerPool, WorkerSpec
+    from repro.service.router import RouterService, start_router
+
+    stream = [0, 1, 2, 0, 3, len(POOL) - 2, len(POOL) - 1, 4, 2, 1]
+    requests = [POOL[index] for index in stream]
+
+    # 1-proc sync reference (in-process, cold memos).
+    _clear_solver_memos()
+    service = AllocationService(store=ResultStore(), job_workers=1)
+    try:
+        outcomes, _ = service.solve_batch(requests)
+        reference = [_comparable(outcome.to_dict()) for outcome in outcomes]
+    finally:
+        service.close()
+
+    def pool_topology(root):
+        spec = WorkerSpec(group=0, data_dir=str(root))
+        pool = WorkerPool(3, str(root), spec=spec, heartbeat_seconds=0.2)
+        pool.start()
+        router = RouterService(pool)
+        server, thread = start_router(router, "127.0.0.1", 0)
+        client = ServiceClient(
+            f"http://127.0.0.1:{server.server_address[1]}",
+            timeout_seconds=60.0,
+            retry_policy=RetryPolicy(retries=10, backoff_base_seconds=0.1),
+        )
+        return pool, router, server, thread, client
+
+    # N-proc sync.
+    pool, router, server, thread, client = pool_topology(tmp_path / "sync")
+    try:
+        response = client.solve_batch(requests)
+        assert [_comparable(doc) for doc in response["outcomes"]] == reference
+    finally:
+        server.shutdown(); thread.join(timeout=30.0); server.server_close()
+        router.close()
+
+    # N-proc async.
+    pool, router, server, thread, client = pool_topology(tmp_path / "async")
+    try:
+        ack = client.solve_batch_async(requests)
+        document = client.wait_for_job(ack["job_id"], timeout_seconds=120.0)
+        assert document["status"] == "done"
+        assert [_comparable(doc) for doc in document["outcomes"]] == reference
+    finally:
+        server.shutdown(); thread.join(timeout=30.0); server.server_close()
+        router.close()
+
+    # N-proc async with one part-owning worker SIGKILLed mid-job.
+    pool, router, server, thread, client = pool_topology(tmp_path / "chaos")
+    try:
+        ack = client.solve_batch_async(requests)
+        victim = ack["parts"][0]["group"]
+        pool.kill(victim)
+        document = client.wait_for_job(ack["job_id"], timeout_seconds=120.0)
+        assert document["status"] == "done"
+        assert [_comparable(doc) for doc in document["outcomes"]] == reference
+        status = {row["group"]: row for row in pool.worker_status()}
+        assert status[victim]["restarts"] >= 1
+    finally:
+        server.shutdown(); thread.join(timeout=30.0); server.server_close()
+        router.close()

@@ -13,11 +13,17 @@ after the ack leaves behind.  Real subprocess kills live in
 from __future__ import annotations
 
 import json
+import os as _os
 import random
+import signal as _signal
 import sqlite3
+import subprocess as _subprocess
+import sys as _sys
 import threading
+import time as _time
 import urllib.error
 import urllib.request
+from pathlib import Path
 
 import pytest
 
@@ -38,7 +44,7 @@ from repro.service import (
     start_server,
 )
 from repro.service.store import SQLITE_FILENAME, SqliteTier
-from repro.service.wal import JobWal
+from repro.service.wal import JobWal, decode_records
 from repro.workloads.kernel import Kernel
 from repro.workloads.pipeline import Pipeline
 from repro.platform.resources import ResourceVector
@@ -258,6 +264,26 @@ class TestBackpressure:
         stats = service.stats()
         assert stats["admission"]["rejected_429"] == 1
         assert stats["jobs"]["rejected"] == 1
+
+    def test_retry_after_floor_when_no_job_has_finished(self):
+        """A cold queue has no observed mean run time to scale by: the hint
+        must be the 1 s floor, not ``depth`` seconds of a fabricated
+        1 s/job guess -- a deep backlog on a fresh server must not tell its
+        first overflowing client to stay away for half a minute."""
+        service = AllocationService(max_queue_depth=64, start_job_workers=False)
+        assert service._retry_after_seconds(1) == 1.0
+        assert service._retry_after_seconds(50) == 1.0
+        # Once jobs have finished, the hint scales with the backlog but
+        # stays inside the [1, 30] clamp.
+        warm = AllocationService(max_queue_depth=64)
+        try:
+            submitted = warm.submit_batch([POOL[0]])
+            warm.jobs.wait(submitted["job_id"], timeout_seconds=60.0)
+            for depth in (1, 10, 1000):
+                hint = warm._retry_after_seconds(depth)
+                assert 1.0 <= hint <= 30.0
+        finally:
+            warm.close()
 
     def test_http_429_carries_retry_after_header(self):
         service = AllocationService(max_queue_depth=1, start_job_workers=False)
@@ -479,3 +505,76 @@ def _problem_doc() -> dict:
     from repro.workloads.serialization import problem_to_dict
 
     return problem_to_dict(POOL[0].problem)
+
+
+# --------------------------------------------------------------------------- #
+# Graceful shutdown: SIGTERM/SIGINT drain, close the WAL, leave no torn tail
+# --------------------------------------------------------------------------- #
+
+
+class TestGracefulShutdown:
+    @pytest.mark.parametrize("signum", [_signal.SIGTERM, _signal.SIGINT])
+    def test_signal_drains_and_leaves_no_torn_wal_tail(self, tmp_path, signum):
+        """A signalled server exits cleanly: the WAL's buffered records are
+        flushed and final-fsynced on close, so every segment on disk decodes
+        to its full length -- no torn tail for the next recovery to skip."""
+        import socket as _socket
+
+        with _socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        env = {**_os.environ, "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")}
+        env.pop("REPRO_FAULTS", None)
+        server = _subprocess.Popen(
+            [
+                _sys.executable, "-m", "repro", "serve",
+                "--host", "127.0.0.1", "--port", str(port), "--quiet",
+                "--workers", "1",
+                "--wal-dir", str(tmp_path / "wal"),
+                "--cache-dir", str(tmp_path / "cache"),
+            ],
+            env=env,
+            stdout=_subprocess.DEVNULL,
+            stderr=_subprocess.DEVNULL,
+        )
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{port}",
+                retry_policy=RetryPolicy(retries=10, backoff_base_seconds=0.1),
+            )
+            deadline = _time.monotonic() + 30.0
+            while True:
+                try:
+                    client.health()
+                    break
+                except ServiceError:
+                    if _time.monotonic() > deadline:
+                        raise
+                    _time.sleep(0.1)
+            for batch in (POOL[:2], POOL[2:]):
+                submitted = client.solve_batch_async(batch)
+                client.wait_for_job(submitted["job_id"], timeout_seconds=60.0)
+
+            _os.kill(server.pid, signum)
+            assert server.wait(timeout=30.0) == 0
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait(timeout=30.0)
+
+        segments = sorted((tmp_path / "wal").glob("wal-*.log"))
+        assert segments, "the server wrote no WAL segments"
+        for segment in segments:
+            data = segment.read_bytes()
+            records, valid = decode_records(data)
+            assert valid == len(data), f"torn tail in {segment.name}"
+        # The buffered completion markers (never fsynced in normal
+        # operation) made it to disk: the close path flushed them, so a
+        # restart on this directory would replay nothing.
+        finished = {r["job_id"] for segment in segments
+                    for r in decode_records(segment.read_bytes())[0]
+                    if r.get("type") == "complete"}
+        journaled = {r["job_id"] for segment in segments
+                     for r in decode_records(segment.read_bytes())[0]
+                     if r.get("type") == "submit"}
+        assert journaled <= finished
