@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Multi-tenant arrival/departure scenario against a live `repro serve`.
+
+Drives the fleet endpoints end to end (the CI ``fleet-smoke`` check):
+
+1. ``POST /fleet/allocate`` -- a synthetic multi-tenant fleet, both modes;
+2. a warm repeat of the same allocation (must answer from the cache);
+3. ``POST /fleet/tenants`` -- tenants arrive one at a time, the fleet is
+   re-carved after each arrival;
+4. ``DELETE /fleet/tenants/<id>`` -- every tenant departs again, down to
+   an empty fleet.
+
+With ``--check`` the script asserts what the service must guarantee:
+
+* both modes succeed and the exact objective is never worse than the
+  heuristic's;
+* the repeated allocation is a cache hit under the same fingerprint;
+* re-carves after arrivals reuse the solve memo (memo hits > 0);
+* ``/stats`` counts every arrival/departure and ends at zero tenants;
+* the ``/metrics`` exposition validates and carries the fleet gauges.
+
+Point it at a running server with ``--url``, or let it spawn one on
+``--port`` with ``--spawn`` (the mode CI uses)::
+
+    PYTHONPATH=src python examples/fleet_scenario.py \
+        --spawn --port 8975 --tenants 4 --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+
+from repro.fleet import fleet_to_dict, tenant_to_dict
+from repro.obs.metrics import validate_prometheus_text
+from repro.service import ServiceClient, ServiceError
+from repro.workloads.tenants import arrival_sequence, synthetic_fleet
+
+
+def wait_for_health(client: ServiceClient, timeout_seconds: float = 30.0) -> None:
+    deadline = time.time() + timeout_seconds
+    while True:
+        try:
+            client.health()
+            return
+        except ServiceError:
+            if time.time() > deadline:
+                raise
+            time.sleep(0.2)
+
+
+def spawn_server(port: int) -> subprocess.Popen:
+    environment = dict(os.environ)
+    source_root = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    existing = environment.get("PYTHONPATH", "")
+    environment["PYTHONPATH"] = source_root + (os.pathsep + existing if existing else "")
+    command = [
+        sys.executable, "-m", "repro", "serve", "--port", str(port), "--quiet",
+    ]
+    return subprocess.Popen(command, env=environment)
+
+
+def run_scenario(client: ServiceClient, num_tenants: int, seed: int, check: bool) -> None:
+    tenants = arrival_sequence(num_tenants=num_tenants, seed=seed)
+    initial = synthetic_fleet(num_tenants=2, class_counts=(2, 2), seed=seed)
+    fleet_document = fleet_to_dict(initial)
+
+    # 1. Cold allocation, both modes.
+    heuristic = client.fleet_allocate(fleet_document, mode="heuristic")
+    exact = client.fleet_allocate(fleet_document, mode="exact")
+    print(
+        f"cold allocate: heuristic obj={heuristic['allocation']['objective']:.4f} "
+        f"({heuristic['cache']}), exact obj={exact['allocation']['objective']:.4f} "
+        f"({exact['cache']})"
+    )
+    if check:
+        assert heuristic["cache"] == "solver"
+        assert heuristic["allocation"]["objective"] is not None
+        assert exact["allocation"]["objective"] is not None
+        assert (
+            exact["allocation"]["objective"]
+            <= heuristic["allocation"]["objective"] + 1e-9
+        ), "exact must never be worse than the heuristic"
+
+    # 2. Warm repeat: same fleet, same mode -> cache hit, same payload.
+    warm = client.fleet_allocate(fleet_document, mode="heuristic")
+    print(f"warm allocate: cache={warm['cache']} latency={warm['latency_ms']:.2f} ms")
+    if check:
+        assert warm["cache"] in ("memory", "disk"), warm["cache"]
+        assert warm["fingerprint"] == heuristic["fingerprint"]
+        assert warm["allocation"] == heuristic["allocation"]
+
+    # 3. Arrivals: tenants 2..N join one at a time.
+    for tenant in tenants[2:]:
+        response = client.fleet_arrival(tenant_to_dict(tenant))
+        objective = response["allocation"]["objective"]
+        shown = "inf" if objective is None else f"{objective:.4f}"
+        print(
+            f"arrival {tenant.id}: {len(response['tenants'])} tenants, "
+            f"obj={shown} ({response['cache']})"
+        )
+        if check:
+            assert tenant.id in response["tenants"]
+
+    stats = client.stats()["fleet"]
+    print(
+        f"after arrivals: tenants={stats['tenants']} solves={stats['tenant_solves']} "
+        f"memo_hits={stats['memo_hits']}"
+    )
+    if check:
+        assert stats["tenants"] == num_tenants
+        assert stats["arrivals"] == num_tenants - 2
+        if num_tenants > 2:
+            assert stats["memo_hits"] > 0, "re-carves must reuse the solve memo"
+
+    # 4. Metrics: the exposition validates and carries the fleet family.
+    metrics_text = client.metrics()
+    if check:
+        errors = validate_prometheus_text(metrics_text)
+        assert errors == [], errors
+        assert f"repro_fleet_tenants {num_tenants}" in metrics_text
+        assert 'repro_fleet_events_total{event="arrival"}' in metrics_text
+
+    # 5. Departures, all the way to an empty fleet.
+    for tenant in tenants:
+        response = client.fleet_departure(tenant.id)
+        remaining = response["tenants"]
+        print(f"departure {tenant.id}: {len(remaining)} tenants remain")
+        if check and remaining:
+            assert response["allocation"] is not None
+
+    final = client.stats()["fleet"]
+    print(
+        f"final: tenants={final['tenants']} arrivals={final['arrivals']} "
+        f"departures={final['departures']} allocations={final['allocations']}"
+    )
+    if check:
+        assert final["tenants"] == 0
+        assert final["departures"] == num_tenants
+        # The unknown tenant is a clean 404, not a 500.
+        try:
+            client.fleet_departure("ghost")
+        except ServiceError as error:
+            assert error.status == 404, error.status
+        else:
+            raise AssertionError("departing an unknown tenant must 404")
+    print("fleet scenario OK")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--url", default=None, help="base URL of a running server")
+    parser.add_argument("--spawn", action="store_true", help="spawn a server")
+    parser.add_argument("--port", type=int, default=8975)
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--check", action="store_true", help="assert the guarantees")
+    args = parser.parse_args()
+
+    if args.tenants < 2:
+        parser.error("--tenants must be >= 2 (the scenario starts from 2)")
+
+    process: subprocess.Popen | None = None
+    url = args.url or f"http://127.0.0.1:{args.port}"
+    if args.spawn:
+        process = spawn_server(args.port)
+    client = ServiceClient(url)
+    try:
+        wait_for_health(client)
+        run_scenario(client, args.tenants, args.seed, args.check)
+        return 0
+    finally:
+        if process is not None:
+            process.terminate()
+            process.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from .core import (
     solve_gp_a,
     solve_gp_step,
 )
+from .fleet import FleetOutcome, FleetState, Tenant, allocate_fleet
 from .platform import FPGADevice, MultiFPGAPlatform, ResourceVector, XCVU9P, aws_f1
 from .workloads import Kernel, Pipeline, alexnet_fp32, alexnet_fx16, vgg16_fx16
 
@@ -40,6 +41,8 @@ __all__ = [
     "AllocationSolution",
     "ExactSettings",
     "FPGADevice",
+    "FleetOutcome",
+    "FleetState",
     "HeuristicSettings",
     "Kernel",
     "MultiFPGAPlatform",
@@ -50,8 +53,10 @@ __all__ = [
     "SolveStatus",
     "XCVU9P",
     "__version__",
+    "Tenant",
     "alexnet_fp32",
     "alexnet_fx16",
+    "allocate_fleet",
     "aws_f1",
     "default_weights",
     "solve",

@@ -11,6 +11,8 @@ Three sub-commands cover the common workflows::
     repro-fpga serve --port 8000 --jobs 4 --cache-dir ~/.cache/repro-fpga
     repro-fpga serve --shards 8 --workers 4 --cache-cap 268435456 --cache-ttl 86400
     repro-fpga serve --trace --quiet          # record solve traces, no access log
+    repro-fpga fleet --tenants 3 --classes 2,2   # multi-tenant fleet allocation
+    repro-fpga fleet --spec fleet.json --mode exact
     repro-fpga trace --output traces.jsonl    # traced runtime table + span breakdown
     repro-fpga trace --gate                   # assert traced wall vs the perf gate
 
@@ -201,6 +203,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="silence the structured JSON access log on stderr",
+    )
+
+    fleet_parser = subparsers.add_parser(
+        "fleet",
+        help="allocate a multi-tenant fleet (shared device pool, weighted min-max fairness)",
+    )
+    fleet_parser.add_argument(
+        "--spec",
+        type=Path,
+        default=None,
+        help="JSON fleet document (see repro.fleet.state.fleet_to_dict); "
+        "omit to use a generated synthetic fleet",
+    )
+    fleet_parser.add_argument(
+        "--tenants", type=int, default=3, help="synthetic fleet: number of tenants"
+    )
+    fleet_parser.add_argument(
+        "--classes",
+        default="2,2",
+        help="synthetic fleet: comma-separated device count per class (e.g. 2,2)",
+    )
+    fleet_parser.add_argument(
+        "--kernels", type=int, default=2, help="synthetic fleet: kernels per tenant app"
+    )
+    fleet_parser.add_argument(
+        "--seed", type=int, default=0, help="synthetic fleet: generator seed"
+    )
+    fleet_parser.add_argument(
+        "--mode",
+        choices=("heuristic", "exact", "both"),
+        default="both",
+        help="allocation mode; 'both' also prints the quality comparison",
     )
 
     trace_parser = subparsers.add_parser(
@@ -470,6 +504,60 @@ def _run_serve_pool(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fleet(args: argparse.Namespace) -> int:
+    """``repro fleet``: allocate a multi-tenant fleet and print the tables."""
+    import json as _json
+
+    from .fleet import FleetSolveMemo, allocate_fleet, fleet_from_dict
+    from .reporting.fleet import (
+        fairness_table,
+        fleet_allocation_table,
+        fleet_comparison_table,
+    )
+    from .workloads.serialization import SerializationError
+    from .workloads.tenants import synthetic_fleet
+
+    if args.spec is not None:
+        try:
+            fleet = fleet_from_dict(_json.loads(args.spec.read_text()))
+        except (OSError, ValueError, SerializationError) as error:
+            print(f"cannot load fleet spec {args.spec}: {error}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            class_counts = tuple(int(part) for part in args.classes.split(","))
+        except ValueError:
+            print(f"--classes must be comma-separated integers, got {args.classes!r}", file=sys.stderr)
+            return 2
+        fleet = synthetic_fleet(
+            num_tenants=args.tenants,
+            class_counts=class_counts,
+            kernels_per_tenant=args.kernels,
+            seed=args.seed,
+        )
+    if not fleet.tenants:
+        print("the fleet has no tenants to allocate", file=sys.stderr)
+        return 2
+    print(fleet.describe())
+    print()
+    memo = FleetSolveMemo()  # shared: the exact search reuses heuristic solves
+    modes = ("heuristic", "exact") if args.mode == "both" else (args.mode,)
+    outcomes = {}
+    for mode in modes:
+        outcome = allocate_fleet(fleet, mode=mode, memo=memo)
+        outcomes[mode] = outcome
+        print(fleet_allocation_table(outcome).render())
+        print(fairness_table(outcome, title=f"Fairness ({mode})").render())
+        print()
+    if args.mode == "both":
+        print(fleet_comparison_table(outcomes["heuristic"], outcomes["exact"]).render())
+    final = outcomes[modes[-1]]
+    if not final.succeeded:
+        print("no feasible fleet allocation found", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_trace(args: argparse.Namespace) -> int:
     """``repro trace``: traced runtime-table rows + span-breakdown tables."""
     from .core.exact import ExactSettings as _ExactSettings
@@ -579,6 +667,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_experiment(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "fleet":
+        return _run_fleet(args)
     if args.command == "trace":
         return _run_trace(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

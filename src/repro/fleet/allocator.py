@@ -1,0 +1,638 @@
+"""Fleet allocators: joint exact search and partition-then-allocate heuristic.
+
+Both allocators carve the fleet's device-class pool into disjoint per-tenant
+shares and solve each tenant's application on its share with the *existing*
+per-app machinery (:func:`repro.core.solvers.solve`); they differ in how the
+carve is chosen:
+
+* :func:`allocate_heuristic` apportions each class's devices by weighted
+  demand (largest-remainder rounding), solves every tenant with the gp+a
+  heuristic, then runs a residual-redistribution pass: while moving one
+  device from a slack tenant to the worst-off tenant improves the fleet
+  objective, move it.  Cost: a handful of per-app heuristic solves -- this
+  is the production path.
+
+* :func:`allocate_exact` searches *all* partitions of the pool
+  (depth-first over per-tenant class-count vectors, the last tenant taking
+  the remainder), solving each tenant share with the per-app exact solver
+  and pruning with two lower bounds: the running max of already-assigned
+  tenants, and the GP-relaxation bound ``weight * alpha * II_hat`` of every
+  unassigned tenant granted all remaining devices (the GP step's relaxed II
+  is a valid lower bound on the integer objective because ``beta * phi >= 0``
+  and the aggregated relaxation is monotone in capacity).  The search is
+  **seeded with the heuristic's allocation as incumbent**, so the exact
+  result is never worse than the heuristic -- a guarantee the per-app gp+a
+  solver alone cannot give, because its objective is not monotone in
+  platform size.
+
+The fleet objective is the weighted min-max of
+:mod:`repro.fleet.state`: ``max_t weight_t * (alpha_t II_t + beta_t phi_t)``,
+``inf`` when any tenant's share is infeasible (or empty).
+
+A fleet with exactly **one tenant** bypasses the carve entirely: the tenant
+receives the whole pool and the per-app solver runs on a problem equal to
+the standalone one, so the outcome document is byte-identical to the
+existing per-app path (the differential suite pins this).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Iterator, Mapping
+
+from ..core.gp_step import solve_gp_step
+from ..core.solution import SolveOutcome, SolveStatus
+from ..core.solvers import METHODS, solve
+from ..gp.errors import InfeasibleError
+from .state import ClassShare, FleetState, Tenant
+
+#: Fleet allocation modes served by :func:`allocate_fleet`.
+FLEET_MODES: tuple[str, ...] = ("heuristic", "exact")
+
+#: Objective slack below which a redistribution move does not count as an
+#: improvement (guards against float-noise ping-pong between shares).
+_IMPROVEMENT_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class FleetSettings:
+    """Knobs of the fleet allocators.
+
+    ``heuristic_method`` / ``exact_method`` name the per-tenant solver of
+    each mode; ``redistribution_rounds`` bounds the heuristic's residual
+    pass (each round moves at most one device); ``max_nodes`` is a safety
+    valve on the exact partition search -- when exceeded the search stops
+    and the incumbent (never worse than the heuristic) is returned with
+    ``details["search_truncated"] = True``.
+    """
+
+    heuristic_method: str = "gp+a"
+    exact_method: str = "minlp+g"
+    redistribution_rounds: int = 16
+    max_nodes: int = 20_000
+
+    def __post_init__(self) -> None:
+        for name in ("heuristic_method", "exact_method"):
+            method = getattr(self, name)
+            if method not in METHODS:
+                raise ValueError(f"unknown {name} {method!r}; options: {METHODS}")
+        if self.redistribution_rounds < 0:
+            raise ValueError("redistribution_rounds must be >= 0")
+        if self.max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1")
+
+
+class FleetSolveMemo:
+    """Memo of per-``(tenant, share, method)`` solves.
+
+    Shared between the heuristic carve, the redistribution pass and the
+    exact partition search -- and, in the service, across successive
+    arrivals/departures, which is what makes incremental re-carving cheap:
+    a tenant whose share did not change is answered from the memo, not
+    re-solved.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, ClassShare, str], SolveOutcome] = {}
+        self.solves = 0
+        self.hits = 0
+
+    def solve(
+        self, fleet: FleetState, tenant: Tenant, share: ClassShare, method: str
+    ) -> SolveOutcome:
+        key = (tenant.id, tuple(share), method)
+        outcome = self._entries.get(key)
+        if outcome is not None:
+            self.hits += 1
+            return outcome
+        problem = fleet.problem_for(tenant.id, share)
+        if problem is None:
+            outcome = _zero_share_outcome(method)
+        else:
+            outcome = solve(problem, method=method)
+        self._entries[key] = outcome
+        self.solves += 1
+        return outcome
+
+    def forget_tenant(self, tenant_id: str) -> None:
+        """Drop every memoised solve of one tenant (app or weights changed)."""
+        for key in [key for key in self._entries if key[0] == tenant_id]:
+            del self._entries[key]
+
+
+def _zero_share_outcome(method: str) -> SolveOutcome:
+    return SolveOutcome(
+        method=method,
+        status=SolveStatus.INFEASIBLE,
+        solution=None,
+        runtime_seconds=0.0,
+        details={"reason": "no devices allocated to this tenant"},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TenantAllocation:
+    """One tenant's slice of a fleet allocation."""
+
+    tenant_id: str
+    weight: float
+    share: ClassShare
+    outcome: SolveOutcome
+
+    @property
+    def devices(self) -> int:
+        return sum(self.share)
+
+    @property
+    def weighted_objective(self) -> float:
+        """``weight * (alpha II + beta phi)``; ``inf`` when infeasible."""
+        return self.weight * self.outcome.objective
+
+
+@dataclass(frozen=True)
+class FleetOutcome:
+    """Result of one fleet allocation (either mode)."""
+
+    mode: str
+    fleet_name: str
+    allocations: tuple[TenantAllocation, ...]
+    objective: float
+    lower_bound: float
+    runtime_seconds: float
+    nodes_explored: int = 0
+    tenant_solves: int = 0
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return math.isfinite(self.objective)
+
+    def allocation(self, tenant_id: str) -> TenantAllocation:
+        for allocation in self.allocations:
+            if allocation.tenant_id == tenant_id:
+                return allocation
+        raise KeyError(f"no allocation for tenant {tenant_id!r}")
+
+    def shares(self) -> dict[str, ClassShare]:
+        return {a.tenant_id: a.share for a in self.allocations}
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible document (the /fleet wire + cache format)."""
+        return {
+            "mode": self.mode,
+            "fleet": self.fleet_name,
+            "objective": _wire_number(self.objective),
+            "lower_bound": _wire_number(self.lower_bound),
+            "runtime_seconds": self.runtime_seconds,
+            "nodes_explored": self.nodes_explored,
+            "tenant_solves": self.tenant_solves,
+            "details": dict(self.details),
+            "tenants": [
+                {
+                    "id": a.tenant_id,
+                    "weight": a.weight,
+                    "share": list(a.share),
+                    "weighted_objective": _wire_number(a.weighted_objective),
+                    "outcome": a.outcome.to_dict(),
+                }
+                for a in self.allocations
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any], fleet: FleetState) -> "FleetOutcome":
+        """Rebuild an outcome, rebinding solutions to the fleet's problems."""
+        allocations = []
+        for entry in payload["tenants"]:
+            share = tuple(int(count) for count in entry["share"])
+            problem = fleet.problem_for(str(entry["id"]), share)
+            outcome = SolveOutcome.from_dict(entry["outcome"], problem=problem)
+            allocations.append(
+                TenantAllocation(
+                    tenant_id=str(entry["id"]),
+                    weight=float(entry["weight"]),
+                    share=share,
+                    outcome=outcome,
+                )
+            )
+        return cls(
+            mode=str(payload["mode"]),
+            fleet_name=str(payload.get("fleet", fleet.name)),
+            allocations=tuple(allocations),
+            objective=_unwire_number(payload.get("objective")),
+            lower_bound=_unwire_number(payload.get("lower_bound")),
+            runtime_seconds=float(payload.get("runtime_seconds", 0.0)),
+            nodes_explored=int(payload.get("nodes_explored", 0)),
+            tenant_solves=int(payload.get("tenant_solves", 0)),
+            details=dict(payload.get("details", {})),
+        )
+
+
+def _wire_number(value: float) -> float | None:
+    return None if not math.isfinite(value) else float(value)
+
+
+def _unwire_number(value: Any) -> float:
+    return math.inf if value is None else float(value)
+
+
+# --------------------------------------------------------------------------- #
+# Demand carving
+# --------------------------------------------------------------------------- #
+def demand_weight(tenant: Tenant) -> float:
+    """The carve weight of one tenant: priority times aggregate work.
+
+    With balanced CU counts the initiation interval of a tenant scales
+    roughly as (sum_k cost_k * wcet_k) / capacity, so equalising the
+    *weighted* II suggests devices proportional to
+    ``weight * sum_k cost_k * wcet_k`` where ``cost_k`` is the binding
+    per-CU percentage of kernel ``k``.  The carve only seeds the
+    heuristic; the redistribution pass (and the exact search) correct it.
+    """
+    work = 0.0
+    for kernel in tenant.pipeline:
+        cost = max(kernel.resources.max_component(), kernel.bandwidth)
+        work += max(cost, 1e-9) * kernel.wcet_ms
+    return tenant.weight * work
+
+
+def _apportion(total: int, weights: list[float]) -> list[int]:
+    """Largest-remainder apportionment of ``total`` units by weight."""
+    mass = sum(weights)
+    if mass <= 0:
+        weights = [1.0] * len(weights)
+        mass = float(len(weights))
+    quotas = [total * weight / mass for weight in weights]
+    shares = [int(quota) for quota in quotas]
+    leftover = total - sum(shares)
+    by_fraction = sorted(
+        range(len(quotas)), key=lambda i: (shares[i] - quotas[i], i)
+    )
+    for index in by_fraction[:leftover]:
+        shares[index] += 1
+    return shares
+
+
+def carve_shares(fleet: FleetState) -> dict[str, ClassShare]:
+    """Initial weighted-demand carve of the pool (per class, independently)."""
+    weights = [demand_weight(tenant) for tenant in fleet.tenants]
+    per_class = [
+        _apportion(device_class.count, weights) for device_class in fleet.classes
+    ]
+    return {
+        tenant.id: tuple(per_class[c][t] for c in range(len(fleet.classes)))
+        for t, tenant in enumerate(fleet.tenants)
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Quality ordering
+# --------------------------------------------------------------------------- #
+def _quality(weighted_objectives: list[float]) -> tuple[int, float]:
+    """Lexicographic quality of an allocation: infeasible count, then the
+    worst *feasible* weighted objective.  Ordering by this tuple lets the
+    redistribution pass make progress even while more than one tenant is
+    still infeasible (the plain max would sit at ``inf`` and see no
+    improvement from fixing tenants one at a time)."""
+    infeasible = sum(1 for value in weighted_objectives if math.isinf(value))
+    finite = [value for value in weighted_objectives if math.isfinite(value)]
+    return (infeasible, max(finite) if finite else 0.0)
+
+
+def _fleet_objective(weighted_objectives: list[float]) -> float:
+    return max(weighted_objectives) if weighted_objectives else math.inf
+
+
+def _gp_bound(fleet: FleetState, tenant: Tenant, share: ClassShare) -> float:
+    """Lower bound on ``weight * objective`` of one tenant on one share.
+
+    ``alpha * II_hat`` of the aggregated GP relaxation never exceeds the
+    integer objective (``beta * phi >= 0``); an infeasible relaxation means
+    the share cannot host the app at all.  ``solve_gp_step`` memoises per
+    problem, so repeated bounds are cheap.
+    """
+    problem = fleet.problem_for(tenant.id, share)
+    if problem is None:
+        return math.inf
+    try:
+        result = solve_gp_step(problem)
+    except InfeasibleError:
+        return math.inf
+    return tenant.weight * tenant.weights.alpha * result.ii_hat
+
+
+def _fleet_lower_bound(fleet: FleetState) -> float:
+    """Valid lower bound on the fleet objective over *all* partitions.
+
+    Any tenant's share is a subset of the pool, and the aggregated GP
+    relaxation is monotone in capacity, so each tenant's objective is at
+    least its GP bound on the *whole* pool -- hence the fleet min-max is at
+    least the max of those bounds.
+    """
+    full = fleet.class_counts
+    return max(
+        (_gp_bound(fleet, tenant, full) for tenant in fleet.tenants),
+        default=math.inf,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Heuristic: carve + per-app gp+a + residual redistribution
+# --------------------------------------------------------------------------- #
+def allocate_heuristic(
+    fleet: FleetState,
+    settings: FleetSettings | None = None,
+    memo: FleetSolveMemo | None = None,
+) -> FleetOutcome:
+    """Partition-then-allocate heuristic (the production path)."""
+    settings = settings or FleetSettings()
+    memo = memo if memo is not None else FleetSolveMemo()
+    if not fleet.tenants:
+        raise ValueError("cannot allocate a fleet with no tenants")
+    start = time.perf_counter()
+    solves_before = memo.solves
+    method = settings.heuristic_method
+
+    if len(fleet.tenants) == 1:
+        # Single tenant: the whole pool, solved exactly like the per-app
+        # path (byte-identical outcome documents; the differential pins it).
+        tenant = fleet.tenants[0]
+        share = fleet.class_counts
+        outcome = memo.solve(fleet, tenant, share, method)
+        return _finish(
+            fleet,
+            mode="heuristic",
+            shares={tenant.id: share},
+            outcomes={tenant.id: outcome},
+            start=start,
+            tenant_solves=memo.solves - solves_before,
+            details={"single_tenant_fast_path": True},
+        )
+
+    shares = carve_shares(fleet)
+    outcomes = {
+        tenant.id: memo.solve(fleet, tenant, shares[tenant.id], method)
+        for tenant in fleet.tenants
+    }
+    moves = 0
+    for _ in range(settings.redistribution_rounds):
+        move = _best_move(fleet, shares, outcomes, memo, method)
+        if move is None:
+            break
+        donor_id, receiver_id, class_index = move
+        shares[donor_id] = _adjust(shares[donor_id], class_index, -1)
+        shares[receiver_id] = _adjust(shares[receiver_id], class_index, +1)
+        outcomes[donor_id] = memo.solve(
+            fleet, fleet.tenant(donor_id), shares[donor_id], method
+        )
+        outcomes[receiver_id] = memo.solve(
+            fleet, fleet.tenant(receiver_id), shares[receiver_id], method
+        )
+        moves += 1
+    return _finish(
+        fleet,
+        mode="heuristic",
+        shares=shares,
+        outcomes=outcomes,
+        start=start,
+        tenant_solves=memo.solves - solves_before,
+        details={"redistribution_moves": moves},
+    )
+
+
+def _adjust(share: ClassShare, class_index: int, delta: int) -> ClassShare:
+    updated = list(share)
+    updated[class_index] += delta
+    return tuple(updated)
+
+
+def _weighted(fleet: FleetState, outcomes: Mapping[str, SolveOutcome]) -> list[float]:
+    return [
+        tenant.weight * outcomes[tenant.id].objective for tenant in fleet.tenants
+    ]
+
+
+def _best_move(
+    fleet: FleetState,
+    shares: dict[str, ClassShare],
+    outcomes: dict[str, SolveOutcome],
+    memo: FleetSolveMemo,
+    method: str,
+) -> tuple[str, str, int] | None:
+    """The single device move that most improves the allocation, if any.
+
+    Candidates move one device of one class from any donor to the current
+    worst-off tenant.  Returns ``(donor_id, receiver_id, class_index)`` or
+    ``None`` when no move improves the lexicographic quality.
+    """
+    current = _weighted(fleet, outcomes)
+    receiver_index = max(range(len(current)), key=lambda i: (current[i], -i))
+    receiver = fleet.tenants[receiver_index]
+    best: tuple[str, str, int] | None = None
+    best_quality = _quality(current)
+    for donor in fleet.tenants:
+        if donor.id == receiver.id:
+            continue
+        for class_index in range(len(fleet.classes)):
+            if shares[donor.id][class_index] < 1:
+                continue
+            donor_share = _adjust(shares[donor.id], class_index, -1)
+            receiver_share = _adjust(shares[receiver.id], class_index, +1)
+            donor_outcome = memo.solve(fleet, donor, donor_share, method)
+            receiver_outcome = memo.solve(fleet, receiver, receiver_share, method)
+            candidate = list(current)
+            candidate[fleet.tenants.index(donor)] = (
+                donor.weight * donor_outcome.objective
+            )
+            candidate[receiver_index] = receiver.weight * receiver_outcome.objective
+            quality = _quality(candidate)
+            if quality[0] < best_quality[0] or (
+                quality[0] == best_quality[0]
+                and quality[1] < best_quality[1] - _IMPROVEMENT_EPS
+            ):
+                best_quality = quality
+                best = (donor.id, receiver.id, class_index)
+    return best
+
+
+def _finish(
+    fleet: FleetState,
+    mode: str,
+    shares: Mapping[str, ClassShare],
+    outcomes: Mapping[str, SolveOutcome],
+    start: float,
+    tenant_solves: int,
+    details: Mapping[str, Any],
+    nodes_explored: int = 0,
+    lower_bound: float | None = None,
+) -> FleetOutcome:
+    allocations = tuple(
+        TenantAllocation(
+            tenant_id=tenant.id,
+            weight=tenant.weight,
+            share=tuple(shares[tenant.id]),
+            outcome=outcomes[tenant.id],
+        )
+        for tenant in fleet.tenants
+    )
+    weighted = [allocation.weighted_objective for allocation in allocations]
+    return FleetOutcome(
+        mode=mode,
+        fleet_name=fleet.name,
+        allocations=allocations,
+        objective=_fleet_objective(weighted),
+        lower_bound=(
+            lower_bound if lower_bound is not None else _fleet_lower_bound(fleet)
+        ),
+        runtime_seconds=time.perf_counter() - start,
+        nodes_explored=nodes_explored,
+        tenant_solves=tenant_solves,
+        details=dict(details),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Exact: heuristic-seeded partition search
+# --------------------------------------------------------------------------- #
+def allocate_exact(
+    fleet: FleetState,
+    settings: FleetSettings | None = None,
+    memo: FleetSolveMemo | None = None,
+) -> FleetOutcome:
+    """Exhaustive partition search, never worse than the heuristic."""
+    settings = settings or FleetSettings()
+    memo = memo if memo is not None else FleetSolveMemo()
+    if not fleet.tenants:
+        raise ValueError("cannot allocate a fleet with no tenants")
+    start = time.perf_counter()
+    solves_before = memo.solves
+    method = settings.exact_method
+
+    if len(fleet.tenants) == 1:
+        tenant = fleet.tenants[0]
+        share = fleet.class_counts
+        outcome = memo.solve(fleet, tenant, share, method)
+        return _finish(
+            fleet,
+            mode="exact",
+            shares={tenant.id: share},
+            outcomes={tenant.id: outcome},
+            start=start,
+            tenant_solves=memo.solves - solves_before,
+            details={"single_tenant_fast_path": True, "optimal": True},
+        )
+
+    # Seed the incumbent with the heuristic allocation: gp+a is not monotone
+    # in platform size, so without the seed a truncated search could return
+    # something worse than the heuristic.  With it, "exact never worse than
+    # heuristic" holds unconditionally.
+    seed = allocate_heuristic(fleet, settings=settings, memo=memo)
+    incumbent_shares = seed.shares()
+    incumbent_outcomes = {a.tenant_id: a.outcome for a in seed.allocations}
+    incumbent_objective = seed.objective
+
+    tenants = fleet.tenants
+    nodes = 0
+    truncated = False
+    assigned_shares: dict[str, ClassShare] = {}
+    assigned_outcomes: dict[str, SolveOutcome] = {}
+
+    def remaining_bound(remaining: ClassShare, depth: int) -> float:
+        """Optimistic bound of the unassigned tenants: each could at best
+        receive *all* remaining devices."""
+        return max(
+            (
+                _gp_bound(fleet, tenants[index], remaining)
+                for index in range(depth, len(tenants))
+            ),
+            default=-math.inf,
+        )
+
+    def search(depth: int, remaining: ClassShare, partial_max: float) -> None:
+        nonlocal nodes, truncated, incumbent_shares, incumbent_outcomes
+        nonlocal incumbent_objective
+        if truncated:
+            return
+        if partial_max >= incumbent_objective:
+            return
+        if remaining_bound(remaining, depth) >= incumbent_objective:
+            return
+        tenant = tenants[depth]
+        last = depth == len(tenants) - 1
+        for share in _enumerate_shares(remaining, last):
+            nodes += 1
+            if nodes > settings.max_nodes:
+                truncated = True
+                return
+            outcome = memo.solve(fleet, tenant, share, method)
+            weighted = tenant.weight * outcome.objective
+            branch_max = max(partial_max, weighted)
+            if branch_max >= incumbent_objective:
+                continue
+            assigned_shares[tenant.id] = share
+            assigned_outcomes[tenant.id] = outcome
+            if last:
+                incumbent_shares = dict(assigned_shares)
+                incumbent_outcomes = dict(assigned_outcomes)
+                incumbent_objective = branch_max
+            else:
+                left = tuple(
+                    have - taken for have, taken in zip(remaining, share)
+                )
+                search(depth + 1, left, branch_max)
+            del assigned_shares[tenant.id]
+            del assigned_outcomes[tenant.id]
+            if truncated:
+                return
+
+    search(0, fleet.class_counts, -math.inf)
+    return _finish(
+        fleet,
+        mode="exact",
+        shares=incumbent_shares,
+        outcomes=incumbent_outcomes,
+        start=start,
+        tenant_solves=memo.solves - solves_before,
+        nodes_explored=nodes,
+        details={
+            "optimal": not truncated,
+            "search_truncated": truncated,
+            "seed_objective": _wire_number(seed.objective),
+        },
+    )
+
+
+def _enumerate_shares(remaining: ClassShare, last: bool) -> Iterator[ClassShare]:
+    """Class-count vectors one tenant can take from the remaining pool.
+
+    The last tenant takes the whole remainder (partitions are exhaustive,
+    devices are never deliberately idled -- idle capacity can only lower
+    no tenant's objective, so an optimal partition exists among these).
+    """
+    if last:
+        yield remaining
+        return
+    yield from product(*(range(count + 1) for count in remaining))
+
+
+# --------------------------------------------------------------------------- #
+# Front door
+# --------------------------------------------------------------------------- #
+def allocate_fleet(
+    fleet: FleetState,
+    mode: str = "heuristic",
+    settings: FleetSettings | None = None,
+    memo: FleetSolveMemo | None = None,
+) -> FleetOutcome:
+    """Allocate the fleet with the named mode (``"heuristic"`` / ``"exact"``)."""
+    if mode not in FLEET_MODES:
+        raise ValueError(f"unknown fleet mode {mode!r}; options: {FLEET_MODES}")
+    if mode == "heuristic":
+        return allocate_heuristic(fleet, settings=settings, memo=memo)
+    return allocate_exact(fleet, settings=settings, memo=memo)

@@ -1,0 +1,269 @@
+"""Fleet state: many tenants' applications sharing one pool of device classes.
+
+The paper allocates one multi-kernel application onto one platform; a
+production fleet (ROADMAP item 2) serves *N tenants* whose applications
+compete for a single shared pool of FPGAs, grouped into device classes
+exactly as in :mod:`repro.platform.multi_fpga`.  This module holds the
+declarative side of that problem:
+
+* :class:`Tenant` -- one application (a characterised pipeline), its
+  per-app objective weights, and a fleet-level *priority weight* used by
+  the fairness objective (see below);
+* :class:`FleetState` -- an immutable snapshot of the fleet: the tenants
+  plus the shared pool of device classes.  Tenant arrival and departure
+  are value operations (:meth:`FleetState.with_tenant` /
+  :meth:`FleetState.without_tenant`), so the service can hold the current
+  state behind a lock and re-allocate from snapshots.
+
+The fairness objective
+----------------------
+A fleet allocation carves the device-class pool into disjoint per-tenant
+shares and solves each tenant's application on its share with the per-app
+machinery.  Its quality is the **weighted min-max objective**
+
+    ``max_t  weight_t * g_t``,   ``g_t = alpha_t * II_t + beta_t * phi_t``
+
+i.e. the worst weighted per-tenant goal value.  A tenant with a larger
+``weight`` (a tighter SLA) contributes more per unit of objective, so the
+optimiser gives it more devices until its weighted goal stops dominating.
+``weight`` is relative: doubling every tenant's weight changes nothing.
+
+Capacity units follow the platform model: every class's caps -- and every
+kernel's per-CU costs -- are expressed in percent of the fleet's reference
+device (the device of the first class), so a tenant sub-platform built
+from any subset of classes stays in consistent units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Sequence
+
+from ..core.objective import ObjectiveWeights
+from ..core.problem import AllocationProblem
+from ..platform.multi_fpga import DeviceClass, MultiFPGAPlatform
+from ..workloads.pipeline import Pipeline
+from ..workloads.serialization import (
+    FORMAT_VERSION,
+    SerializationError,
+    device_class_from_dict,
+    device_class_to_dict,
+    pipeline_from_dict,
+    pipeline_to_dict,
+)
+
+#: A per-tenant device share: how many devices of each fleet class the
+#: tenant owns, indexed positionally like ``FleetState.classes``.
+ClassShare = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant: an application, its objective weights, and a priority.
+
+    Parameters
+    ----------
+    id:
+        Stable tenant identifier (the arrival/departure API keys on it).
+    pipeline:
+        The tenant's multi-kernel application.
+    weight:
+        Fleet-level priority/SLA weight (> 0).  The fleet allocator
+        minimises the maximum of ``weight * per-tenant objective``, so a
+        heavier tenant is driven to a proportionally better goal value.
+    weights:
+        The tenant's own ``alpha``/``beta`` objective weights, exactly as
+        in the per-app :class:`~repro.core.problem.AllocationProblem`.
+    """
+
+    id: str
+    pipeline: Pipeline
+    weight: float = 1.0
+    weights: ObjectiveWeights = ObjectiveWeights()
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("a tenant needs a non-empty id")
+        if not self.weight > 0:
+            raise ValueError(f"tenant weight must be positive, got {self.weight}")
+
+    def problem_on(self, platform: MultiFPGAPlatform) -> AllocationProblem:
+        """The tenant's per-app allocation problem on a given platform."""
+        return AllocationProblem(
+            pipeline=self.pipeline, platform=platform, weights=self.weights
+        )
+
+
+@dataclass(frozen=True)
+class FleetState:
+    """An immutable snapshot of the fleet: tenants + shared device pool."""
+
+    tenants: tuple[Tenant, ...]
+    classes: tuple[DeviceClass, ...]
+    name: str = "fleet"
+
+    def __post_init__(self) -> None:
+        tenants = tuple(self.tenants)
+        classes = tuple(self.classes)
+        if not classes:
+            raise ValueError("a fleet needs at least one device class")
+        seen: set[str] = set()
+        for tenant in tenants:
+            if tenant.id in seen:
+                raise ValueError(f"duplicate tenant id {tenant.id!r}")
+            seen.add(tenant.id)
+        object.__setattr__(self, "tenants", tenants)
+        object.__setattr__(self, "classes", classes)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def tenant_ids(self) -> tuple[str, ...]:
+        return tuple(tenant.id for tenant in self.tenants)
+
+    def tenant(self, tenant_id: str) -> Tenant:
+        for tenant in self.tenants:
+            if tenant.id == tenant_id:
+                return tenant
+        raise KeyError(f"no tenant {tenant_id!r} in fleet {self.name!r}")
+
+    @property
+    def class_counts(self) -> ClassShare:
+        """Device count of every class (the full pool, positionally)."""
+        return tuple(device_class.count for device_class in self.classes)
+
+    @property
+    def total_devices(self) -> int:
+        return sum(self.class_counts)
+
+    def full_platform(self) -> MultiFPGAPlatform:
+        """The whole pool as one platform (what a lone tenant would get)."""
+        return MultiFPGAPlatform.from_classes(self.classes, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    # Arrival / departure (value operations)
+    # ------------------------------------------------------------------ #
+    def with_tenant(self, tenant: Tenant) -> "FleetState":
+        """A new fleet with one more tenant (arrival)."""
+        if any(existing.id == tenant.id for existing in self.tenants):
+            raise ValueError(f"tenant {tenant.id!r} is already in the fleet")
+        return replace(self, tenants=self.tenants + (tenant,))
+
+    def without_tenant(self, tenant_id: str) -> "FleetState":
+        """A new fleet without the named tenant (departure)."""
+        remaining = tuple(tenant for tenant in self.tenants if tenant.id != tenant_id)
+        if len(remaining) == len(self.tenants):
+            raise KeyError(f"no tenant {tenant_id!r} in fleet {self.name!r}")
+        return replace(self, tenants=remaining)
+
+    # ------------------------------------------------------------------ #
+    # Share -> platform / problem
+    # ------------------------------------------------------------------ #
+    def platform_for_share(self, share: Sequence[int]) -> MultiFPGAPlatform | None:
+        """The sub-platform a device share describes, ``None`` if empty.
+
+        ``share[c]`` devices of class ``c``; classes with zero devices are
+        dropped.  A share covering the whole pool reproduces
+        :meth:`full_platform` exactly (the single-tenant identity path
+        rests on this).
+        """
+        share = tuple(int(count) for count in share)
+        if len(share) != len(self.classes):
+            raise ValueError(
+                f"share has {len(share)} entries for {len(self.classes)} classes"
+            )
+        if any(count < 0 for count in share):
+            raise ValueError(f"share counts must be >= 0, got {share}")
+        if any(
+            count > device_class.count
+            for count, device_class in zip(share, self.classes)
+        ):
+            raise ValueError(f"share {share} exceeds the pool {self.class_counts}")
+        carved = tuple(
+            replace(device_class, count=count)
+            for device_class, count in zip(self.classes, share)
+            if count > 0
+        )
+        if not carved:
+            return None
+        return MultiFPGAPlatform.from_classes(carved, name=self.name)
+
+    def problem_for(self, tenant_id: str, share: Sequence[int]) -> AllocationProblem | None:
+        """One tenant's per-app problem on its share (``None`` if empty)."""
+        platform = self.platform_for_share(share)
+        if platform is None:
+            return None
+        return self.tenant(tenant_id).problem_on(platform)
+
+    def describe(self) -> str:
+        pool = " + ".join(device_class.describe() for device_class in self.classes)
+        tenants = ", ".join(
+            f"{tenant.id}(w={tenant.weight:g})" for tenant in self.tenants
+        )
+        return f"{self.name}: [{pool}] serving [{tenants or 'no tenants'}]"
+
+
+# --------------------------------------------------------------------------- #
+# Wire format (the /fleet endpoints and the CLI speak this)
+# --------------------------------------------------------------------------- #
+def tenant_to_dict(tenant: Tenant) -> dict[str, Any]:
+    return {
+        "id": tenant.id,
+        "weight": tenant.weight,
+        "pipeline": pipeline_to_dict(tenant.pipeline),
+        "weights": {"alpha": tenant.weights.alpha, "beta": tenant.weights.beta},
+    }
+
+
+def tenant_from_dict(payload: Mapping[str, Any]) -> Tenant:
+    if "pipeline" not in payload:
+        raise SerializationError("a tenant document needs a 'pipeline' section")
+    weights_payload = payload.get("weights", {})
+    if not isinstance(weights_payload, Mapping):
+        raise SerializationError("'weights' must be a mapping")
+    try:
+        return Tenant(
+            id=str(payload["id"]),
+            pipeline=pipeline_from_dict(payload["pipeline"]),
+            weight=float(payload.get("weight", 1.0)),
+            weights=ObjectiveWeights(
+                alpha=float(weights_payload.get("alpha", 1.0)),
+                beta=float(weights_payload.get("beta", 0.0)),
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        if isinstance(error, SerializationError):
+            raise
+        raise SerializationError(f"invalid tenant record: {error}") from error
+
+
+def fleet_to_dict(fleet: FleetState) -> dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": fleet.name,
+        "tenants": [tenant_to_dict(tenant) for tenant in fleet.tenants],
+        "classes": [device_class_to_dict(device_class) for device_class in fleet.classes],
+    }
+
+
+def fleet_from_dict(payload: Mapping[str, Any]) -> FleetState:
+    version = payload.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise SerializationError(f"unsupported format_version {version!r}")
+    classes_payload = payload.get("classes")
+    if not isinstance(classes_payload, list) or not classes_payload:
+        raise SerializationError("a fleet document needs a non-empty 'classes' list")
+    tenants_payload = payload.get("tenants", [])
+    if not isinstance(tenants_payload, list):
+        raise SerializationError("'tenants' must be a list")
+    try:
+        return FleetState(
+            tenants=tuple(tenant_from_dict(entry) for entry in tenants_payload),
+            classes=tuple(device_class_from_dict(entry) for entry in classes_payload),
+            name=str(payload.get("name", "fleet")),
+        )
+    except ValueError as error:
+        if isinstance(error, SerializationError):
+            raise
+        raise SerializationError(f"invalid fleet record: {error}") from error

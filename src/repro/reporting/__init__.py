@@ -14,6 +14,13 @@ from .experiments import (
     table3,
     table4,
 )
+from .fleet import (
+    fairness_summary,
+    fairness_table,
+    fleet_allocation_table,
+    fleet_comparison_table,
+    fleet_stats_table,
+)
 from .series import FigureData, Series
 from .service import (
     batch_report_table,
@@ -35,11 +42,16 @@ __all__ = [
     "service_stats_table",
     "solver_stats_table",
     "case_study",
+    "fairness_summary",
+    "fairness_table",
     "figure2",
     "figure3",
     "figure4",
     "figure5",
     "figure6",
+    "fleet_allocation_table",
+    "fleet_comparison_table",
+    "fleet_stats_table",
     "format_cell",
     "percentage",
     "runtime_table",

@@ -1,0 +1,137 @@
+"""Reporting for multi-tenant fleet allocations.
+
+Renders :class:`~repro.fleet.allocator.FleetOutcome` objects in the same
+plain-text table format as the paper's experiment drivers: a per-tenant
+allocation table (shares, objectives, weighted objectives), a fairness
+summary (worst/best weighted objective and Jain's index), and a
+heuristic-vs-exact quality comparison used by the ``repro fleet`` CLI and
+the ``fleet-smoke`` CI job.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from .tables import TextTable
+
+
+def _fmt(value: float) -> str:
+    return "inf" if math.isinf(value) else f"{value:.4f}"
+
+
+def fleet_allocation_table(outcome: Any, title: str | None = None) -> TextTable:
+    """Per-tenant table of one :class:`FleetOutcome`."""
+    table = TextTable(
+        headers=["tenant", "weight", "share", "devices", "objective", "weighted"],
+        title=title or f"Fleet allocation ({outcome.mode})",
+    )
+    for allocation in outcome.allocations:
+        table.add_row(
+            allocation.tenant_id,
+            f"{allocation.weight:g}",
+            "+".join(str(count) for count in allocation.share),
+            allocation.devices,
+            _fmt(allocation.outcome.objective),
+            _fmt(allocation.weighted_objective),
+        )
+    table.add_row(
+        "fleet",
+        "",
+        "",
+        sum(allocation.devices for allocation in outcome.allocations),
+        "",
+        _fmt(outcome.objective),
+    )
+    return table
+
+
+def fairness_summary(outcome: Any) -> dict[str, float]:
+    """Fairness statistics of one allocation's weighted objectives.
+
+    ``jain`` is Jain's fairness index over the *inverse* weighted
+    objectives (higher objective = worse service, so the index is computed
+    on per-tenant "goodness" ``1/weighted``): 1.0 means perfectly even
+    weighted service, ``1/n`` means one tenant gets everything.
+    Infeasible tenants drive ``worst`` to ``inf`` and ``jain`` to 0.0.
+    """
+    weighted = [allocation.weighted_objective for allocation in outcome.allocations]
+    worst = max(weighted) if weighted else math.inf
+    best = min(weighted) if weighted else math.inf
+    if not weighted or any(math.isinf(value) or value <= 0.0 for value in weighted):
+        jain = 0.0
+    else:
+        goodness = [1.0 / value for value in weighted]
+        jain = sum(goodness) ** 2 / (len(goodness) * sum(g * g for g in goodness))
+    return {
+        "worst_weighted": worst,
+        "best_weighted": best,
+        "spread": worst / best if best > 0 and math.isfinite(worst) else math.inf,
+        "jain": jain,
+    }
+
+
+def fairness_table(outcome: Any, title: str = "Fairness") -> TextTable:
+    table = TextTable(headers=["metric", "value"], title=title)
+    summary = fairness_summary(outcome)
+    table.add_row("worst weighted objective", _fmt(summary["worst_weighted"]))
+    table.add_row("best weighted objective", _fmt(summary["best_weighted"]))
+    table.add_row("spread (worst/best)", _fmt(summary["spread"]))
+    table.add_row("jain index", f"{summary['jain']:.3f}")
+    return table
+
+
+def fleet_comparison_table(
+    heuristic: Any, exact: Any, title: str = "Heuristic vs exact"
+) -> TextTable:
+    """Quality/effort comparison of the two allocation modes on one fleet.
+
+    The gap row reports ``heuristic / exact`` on the fleet objective (1.00
+    = the heuristic found an optimal partition); the bound row reports the
+    exact objective against the GP fleet lower bound.
+    """
+    table = TextTable(
+        headers=["metric", "heuristic", "exact"],
+        title=title,
+    )
+    table.add_row(
+        "fleet objective", _fmt(heuristic.objective), _fmt(exact.objective)
+    )
+    table.add_row(
+        "lower bound", _fmt(heuristic.lower_bound), _fmt(exact.lower_bound)
+    )
+    table.add_row(
+        "runtime [s]",
+        f"{heuristic.runtime_seconds:.3f}",
+        f"{exact.runtime_seconds:.3f}",
+    )
+    table.add_row("tenant solves", heuristic.tenant_solves, exact.tenant_solves)
+    table.add_row("nodes explored", heuristic.nodes_explored, exact.nodes_explored)
+    if (
+        math.isfinite(heuristic.objective)
+        and math.isfinite(exact.objective)
+        and exact.objective > 0.0
+    ):
+        table.add_row(
+            "gap (heuristic/exact)", f"{heuristic.objective / exact.objective:.3f}", ""
+        )
+    return table
+
+
+def fleet_stats_table(stats: Mapping[str, Any], title: str = "Fleet") -> TextTable:
+    """Render the service's ``/stats['fleet']`` section."""
+    table = TextTable(headers=["counter", "value"], title=title)
+    for counter in (
+        "tenants",
+        "devices",
+        "allocations",
+        "heuristic_allocations",
+        "exact_allocations",
+        "arrivals",
+        "departures",
+        "tenant_solves",
+        "memo_hits",
+    ):
+        if counter in stats:
+            table.add_row(counter, int(stats[counter]))
+    return table

@@ -262,6 +262,70 @@ def fingerprint(
     return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
 
 
+# --------------------------------------------------------------------------- #
+# Fleet fingerprints
+# --------------------------------------------------------------------------- #
+def canonical_fleet(fleet) -> dict[str, Any]:
+    """Canonical document of one :class:`~repro.fleet.state.FleetState`.
+
+    Unlike the per-app platform document, the class list is
+    **order-preserving**: fleet allocations carry per-tenant shares that
+    index device classes *positionally*, so collapsing permuted-class
+    fleets onto one fingerprint would serve share vectors bound to the
+    wrong classes.  Tenant order is preserved for the same reason -- the
+    carve breaks ties by tenant position, so permuted-tenant fleets may
+    legitimately allocate differently.  Within a tenant, kernels sort by
+    name exactly as in :func:`canonical_problem`.
+    """
+    classes = [
+        {
+            "count": device_class.count,
+            "resource_limit": {
+                kind: device_class.resource_limit[kind] for kind in RESOURCE_KINDS
+            },
+            "bandwidth_limit": device_class.bandwidth_limit,
+        }
+        for device_class in fleet.classes
+    ]
+    tenants = []
+    for tenant in fleet.tenants:
+        kernels = [
+            {
+                "name": kernel.name,
+                "resources": {kind: kernel.resources[kind] for kind in RESOURCE_KINDS},
+                "bandwidth": kernel.bandwidth,
+                "wcet_ms": kernel.wcet_ms,
+                "max_cus": kernel.max_cus,
+            }
+            for kernel in sorted(tenant.pipeline, key=lambda k: k.name)
+        ]
+        tenants.append(
+            {
+                "id": tenant.id,
+                "weight": tenant.weight,
+                "weights": {"alpha": tenant.weights.alpha, "beta": tenant.weights.beta},
+                "kernels": kernels,
+            }
+        )
+    return {"classes": classes, "tenants": tenants}
+
+
+def fleet_fingerprint(fleet, mode: str = "heuristic") -> str:
+    """SHA-256 content fingerprint of one fleet allocation request.
+
+    The fingerprint keys the same result store / WAL / router machinery as
+    per-app fingerprints; ``kind: "fleet"`` keeps the two namespaces from
+    ever colliding.
+    """
+    document = {
+        "version": CANONICAL_VERSION,
+        "kind": "fleet",
+        "mode": mode,
+        "fleet": canonical_fleet(fleet),
+    }
+    return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()
+
+
 def group_key(
     problem: AllocationProblem,
     method: str = "gp+a",

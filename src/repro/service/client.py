@@ -181,13 +181,21 @@ class ServiceClient:
                 self._sleep(delay)
                 attempt += 1
 
-    def _request(self, path: str, payload: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    def _request(
+        self,
+        path: str,
+        payload: Mapping[str, Any] | None = None,
+        method: str | None = None,
+    ) -> dict[str, Any]:
         url = f"{self.base_url}{path}"
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
 
         def attempt_once() -> dict[str, Any]:
             request = urllib.request.Request(
-                url, data=data, headers={"Content-Type": "application/json"} if data else {}
+                url,
+                data=data,
+                headers={"Content-Type": "application/json"} if data else {},
+                method=method,
             )
             try:
                 with urllib.request.urlopen(request, timeout=self.timeout_seconds) as response:
@@ -343,6 +351,30 @@ class ServiceClient:
             for document, request in zip(response["outcomes"], requests)
         ]
         return outcomes, response["report"]
+
+    # ------------------------------------------------------------------ #
+    # Fleet endpoints
+    # ------------------------------------------------------------------ #
+    def fleet_allocate(
+        self, fleet_document: Mapping[str, Any], mode: str = "heuristic"
+    ) -> dict[str, Any]:
+        """POST /fleet/allocate; ``fleet_document`` is a ``fleet_to_dict``
+        wire document.  Returns the raw response (allocation + metadata)."""
+        return self._request(
+            "/fleet/allocate", {"fleet": dict(fleet_document), "mode": mode}
+        )
+
+    def fleet_arrival(
+        self, tenant_document: Mapping[str, Any], mode: str = "heuristic"
+    ) -> dict[str, Any]:
+        """POST /fleet/tenants (tenant arrival + fleet re-carve)."""
+        return self._request(
+            "/fleet/tenants", {"tenant": dict(tenant_document), "mode": mode}
+        )
+
+    def fleet_departure(self, tenant_id: str) -> dict[str, Any]:
+        """DELETE /fleet/tenants/<id> (departure + re-carve of the rest)."""
+        return self._request(f"/fleet/tenants/{tenant_id}", method="DELETE")
 
     def health(self) -> dict[str, Any]:
         """GET /health."""

@@ -40,6 +40,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -192,8 +193,10 @@ class JobQueue:
         self._on_finished = on_finished
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
-        #: Finished job ids in completion order (the pruning queue).
-        self._finished_order: list[str] = []
+        #: Finished job ids in completion order (the pruning queue).  A
+        #: deque: retention pressure drains from the head, and a list's
+        #: ``pop(0)`` is O(n) per drop -- O(n^2) across a long backlog.
+        self._finished_order: deque[str] = deque()
         self._queue: "queue.Queue[str | None]" = queue.Queue()
         self._threads: list[threading.Thread] = []
         self._next_id = 0
@@ -506,7 +509,7 @@ class JobQueue:
 
     def _prune_locked(self) -> None:
         while len(self._jobs) > self.max_retained and self._finished_order:
-            oldest = self._finished_order.pop(0)
+            oldest = self._finished_order.popleft()
             if self._jobs.pop(oldest, None) is not None:
                 self.pruned += 1
 

@@ -16,6 +16,13 @@ usable directly from Python (tests, notebooks, the batch API) -- and
 ``GET /stats``            cache/job/service counters, solver work counters
 ``GET /metrics``          Prometheus text exposition (counters/gauges/histograms)
 ``GET /trace/<print>``    span tree of the last traced solve of a fingerprint
+``POST /fleet/allocate``  ``{"fleet": ..., "mode": "heuristic"|"exact"}`` --
+                          multi-tenant fleet allocation, cached by fleet
+                          fingerprint
+``POST /fleet/tenants``   ``{"tenant": ...}`` -- tenant arrival; re-carves the
+                          current fleet (unchanged shares answer from the
+                          solve memo)
+``DELETE /fleet/tenants/<id>``  tenant departure; re-carves the remainder
 ========================  ==========================================================
 
 The server is a ``ThreadingHTTPServer``: requests are handled concurrently
@@ -53,6 +60,15 @@ from .. import __version__
 from ..core.solution import SolveOutcome, SolveStatus
 from ..core.solvers import solve
 from ..explore.executor import SweepExecutor
+from ..fleet import (
+    FleetManager,
+    FleetOutcome,
+    FleetState,
+    Tenant,
+    fleet_from_dict,
+    tenant_from_dict,
+)
+from .canonical import fleet_fingerprint
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import TraceStore, start_trace, tracing_enabled
 from ..workloads.serialization import SerializationError
@@ -169,6 +185,7 @@ class AllocationService:
             max_queue_depth=max_queue_depth,
             start_workers=start_job_workers,
         )
+        self.fleet = FleetManager()
         self.tracing = tracing_enabled() if tracing is None else bool(tracing)
         self.traces = TraceStore(capacity=trace_retention)
         self.started_unix = time.time()
@@ -243,6 +260,22 @@ class AllocationService:
             "repro_cache_shard_entries",
             "Result-store entries per shard and tier (skew observability).",
             label_names=("shard", "tier"),
+        )
+        self._fleet_allocations_total = metrics.counter(
+            "repro_fleet_allocations_total",
+            "Fleet allocations served (cache hits included), by mode.",
+            label_names=("mode",),
+        )
+        self._fleet_events_total = metrics.counter(
+            "repro_fleet_events_total",
+            "Tenant arrivals and departures.",
+            label_names=("event",),
+        )
+        self._fleet_tenants_gauge = metrics.gauge(
+            "repro_fleet_tenants", "Tenants in the current fleet."
+        )
+        self._fleet_devices_gauge = metrics.gauge(
+            "repro_fleet_devices", "Devices in the current fleet's pool."
         )
         self._admission_rejected_total = metrics.counter(
             "repro_admission_rejected_total",
@@ -424,6 +457,75 @@ class AllocationService:
                 429, self._retry_after_seconds(error.depth), str(error)
             ) from error
 
+    # ------------------------------------------------------------------ #
+    # Fleet allocation
+    # ------------------------------------------------------------------ #
+    def fleet_allocate(
+        self, fleet: FleetState, mode: str = "heuristic"
+    ) -> tuple[FleetOutcome, dict[str, Any]]:
+        """Allocate a fleet, consulting the result store first.
+
+        Fleet outcomes ride the same store/WAL/router plumbing as per-app
+        outcomes: the key is :func:`~repro.service.canonical.
+        fleet_fingerprint` (namespaced so the two can never collide), the
+        payload the ``FleetOutcome.to_dict`` JSON.  Returns the outcome plus
+        the usual metadata dict (fingerprint, answering tier, latency).
+        """
+        start = time.perf_counter()
+        fingerprint = fleet_fingerprint(fleet, mode)
+        lookup = self.store.get(fingerprint)
+        if lookup.hit:
+            assert lookup.payload is not None
+            outcome = FleetOutcome.from_dict(json.loads(lookup.payload), fleet)
+            self.fleet.adopt(fleet, outcome, mode)
+            source = lookup.tier
+            self._cache_hits_total.labels(tier=source).inc()
+        else:
+            outcome = self.fleet.allocate(fleet, mode=mode)
+            self.store.put(
+                fingerprint, json.dumps(outcome.to_dict(), allow_nan=False)
+            )
+            source = "solver"
+        self._fleet_allocations_total.labels(mode=mode).inc()
+        latency_seconds = time.perf_counter() - start
+        meta = {
+            "fingerprint": fingerprint,
+            "cache": source,
+            "latency_ms": latency_seconds * 1000.0,
+        }
+        return outcome, meta
+
+    def fleet_arrival(
+        self, tenant: Tenant, mode: str = "heuristic"
+    ) -> tuple[FleetOutcome, dict[str, Any]]:
+        """Admit a tenant into the current fleet and re-allocate.
+
+        The re-carve is incremental in cost: the manager's persistent solve
+        memo answers every ``(tenant, share)`` pair that did not move, so
+        only tenants whose shares actually changed pay solver time.
+        """
+        fleet = self.fleet.add_tenant(tenant)
+        self._fleet_events_total.labels(event="arrival").inc()
+        outcome, meta = self.fleet_allocate(fleet, mode=mode)
+        meta["tenants"] = list(fleet.tenant_ids)
+        return outcome, meta
+
+    def fleet_departure(
+        self, tenant_id: str, mode: str = "heuristic"
+    ) -> tuple["FleetOutcome | None", dict[str, Any]]:
+        """Remove a tenant from the current fleet and re-allocate the rest.
+
+        An empty fleet (the last tenant left) skips allocation and returns
+        ``(None, meta)``.
+        """
+        fleet = self.fleet.remove_tenant(tenant_id)
+        self._fleet_events_total.labels(event="departure").inc()
+        if not fleet.tenants:
+            return None, {"tenants": []}
+        outcome, meta = self.fleet_allocate(fleet, mode=mode)
+        meta["tenants"] = list(fleet.tenant_ids)
+        return outcome, meta
+
     def job(self, job_id: str, include_outcomes: bool = True) -> dict[str, Any] | None:
         return self.jobs.get(job_id, include_outcomes=include_outcomes)
 
@@ -433,8 +535,20 @@ class AllocationService:
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
     # ------------------------------------------------------------------ #
+    def _sweep_expired_entries(self) -> None:
+        """Drop expired-but-untouched cache entries before sampling sizes.
+
+        Expiry is lazy on access, so without this sweep the size gauges
+        overreport warm capacity by every entry that expired and was never
+        queried again.  Swept entries count into ``ttl_evictions``.
+        """
+        sweep = getattr(self.store, "sweep_expired", None)
+        if callable(sweep):
+            sweep()
+
     def stats(self) -> dict[str, Any]:
         """Service counters + cache/job tier counters, JSON-compatible."""
+        self._sweep_expired_entries()
         with self._lock:
             service = {
                 "requests": self._requests,
@@ -467,6 +581,7 @@ class AllocationService:
             "solver": solver,
             "admission": admission,
             "wal": wal_stats,
+            "fleet": self.fleet.stats(),
         }
         shards = getattr(self.store, "num_shards", None)
         if shards is not None:
@@ -487,6 +602,7 @@ class AllocationService:
         than maintained on the hot path -- queue depth, cache entry and
         shard-skew counts are cheap to read and only dashboards need them.
         """
+        self._sweep_expired_entries()
         job_stats = self.jobs.stats()
         self._uptime_gauge.set(time.time() - self.started_unix)
         self._queue_depth_gauge.set(job_stats["queue_depth"])
@@ -501,6 +617,9 @@ class AllocationService:
                     self._cache_shard_entries_gauge.labels(
                         shard=str(index), tier=tier
                     ).set(count)
+        fleet_stats = self.fleet.stats()
+        self._fleet_tenants_gauge.set(fleet_stats["tenants"])
+        self._fleet_devices_gauge.set(fleet_stats["devices"])
         if self.wal is not None:
             wal_stats = self.wal.stats()
             self._wal_appends_gauge.set(wal_stats["appends"])
@@ -627,6 +746,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         self._dispatch(self._handle_post)
 
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch(self._handle_delete)
+
     def _handle_get(self) -> None:
         service = self.server.service
         if self.path == "/health":
@@ -696,6 +818,30 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                         "outcomes": [outcome.to_dict() for outcome in outcomes],
                     }
                 )
+            elif self.path == "/fleet/allocate":
+                if not isinstance(payload, Mapping) or "fleet" not in payload:
+                    raise SerializationError(
+                        "a fleet allocation document needs a 'fleet' section"
+                    )
+                fleet = fleet_from_dict(payload["fleet"])
+                if not fleet.tenants:
+                    raise SerializationError("the fleet has no tenants to allocate")
+                mode = str(payload.get("mode", "heuristic"))
+                with service.sync_admission():
+                    outcome, meta = service.fleet_allocate(fleet, mode=mode)
+                self._log_fingerprint = meta["fingerprint"]
+                self._send_json({**meta, "allocation": outcome.to_dict()})
+            elif self.path == "/fleet/tenants":
+                if not isinstance(payload, Mapping) or "tenant" not in payload:
+                    raise SerializationError(
+                        "a tenant arrival document needs a 'tenant' section"
+                    )
+                tenant = tenant_from_dict(payload["tenant"])
+                mode = str(payload.get("mode", "heuristic"))
+                with service.sync_admission():
+                    outcome, meta = service.fleet_arrival(tenant, mode=mode)
+                self._log_fingerprint = meta["fingerprint"]
+                self._send_json({**meta, "allocation": outcome.to_dict()}, status=201)
             else:
                 self._send_error_json(f"unknown endpoint {self.path!r}", status=404)
         except BackpressureError as error:
@@ -704,8 +850,34 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_error_json(str(error), status=400)
         except ValueError as error:
             self._send_error_json(str(error), status=400)
+        except RuntimeError as error:
+            # "no fleet configured": the request is well-formed but conflicts
+            # with the service's current state.
+            self._send_error_json(str(error), status=409)
         except Exception as error:  # pragma: no cover - last-resort 500
             self._send_error_json(f"internal error: {error}", status=500)
+
+    def _handle_delete(self) -> None:
+        service = self.server.service
+        if not self.path.startswith("/fleet/tenants/"):
+            self._send_error_json(f"unknown endpoint {self.path!r}", status=404)
+            return
+        tenant_id = self.path[len("/fleet/tenants/"):]
+        try:
+            with service.sync_admission():
+                outcome, meta = service.fleet_departure(tenant_id)
+        except BackpressureError as error:
+            self._send_backpressure(error)
+        except KeyError as error:
+            self._send_error_json(str(error).strip("'\""), status=404)
+        except RuntimeError as error:
+            self._send_error_json(str(error), status=409)
+        else:
+            document: dict[str, Any] = {**meta}
+            document["allocation"] = None if outcome is None else outcome.to_dict()
+            if meta.get("fingerprint"):
+                self._log_fingerprint = meta["fingerprint"]
+            self._send_json(document)
 
 
 class AllocationHTTPServer(ThreadingHTTPServer):

@@ -175,7 +175,16 @@ class MemoryTier:
     is lazy -- an expired entry is dropped when it is next touched (or when
     it reaches the LRU head during an eviction pass) -- which is exactly
     right for deterministic solver results: the TTL exists to bound staleness
-    across *schema* changes, not to free memory on a deadline.
+    across *schema* changes, not to free memory on a deadline.  Telemetry
+    that must not overreport warm capacity calls :meth:`sweep_expired` at
+    collection time.
+
+    TTL arithmetic uses ``time.monotonic()`` by default: the tier dies with
+    the process, so its timestamps never need to survive a restart, and a
+    wall-clock step (NTP correction, container suspend/resume) must neither
+    mass-expire a warm cache nor immortalise entries.  The disk tier keeps
+    wall-clock times for restart semantics; the owning store converts at the
+    promotion boundary.
     """
 
     def __init__(
@@ -183,7 +192,7 @@ class MemoryTier:
         capacity: int = 4096,
         max_bytes: int | None = None,
         ttl_seconds: float | None = None,
-        clock: Callable[[], float] = time.time,
+        clock: Callable[[], float] = time.monotonic,
     ):
         if capacity < 1:
             raise ValueError("memory tier capacity must be >= 1")
@@ -275,6 +284,27 @@ class MemoryTier:
         self.capacity = capacity
         self.max_bytes = max_bytes
         return self._evict_over_caps(self._clock())
+
+    def sweep_expired(self) -> int:
+        """Drop every expired entry now (telemetry-time sweep); returns count.
+
+        Lazy expiry only fires on access, so entries that expire and are
+        never touched again would keep inflating the size gauges forever.
+        Stats/scrape collection calls this so capacity telemetry reports
+        live entries only; each drop counts as a ``ttl_eviction``.
+        """
+        if self.ttl_seconds is None:
+            return 0
+        now = self._clock()
+        expired = [
+            fingerprint
+            for fingerprint, (_, stored_at, _) in self._entries.items()
+            if self._expired(stored_at, now)
+        ]
+        for fingerprint in expired:
+            self._drop(fingerprint)
+        self.ttl_evictions += len(expired)
+        return len(expired)
 
 
 class SqliteTier:
@@ -470,6 +500,41 @@ class SqliteTier:
         self.evictions += evicted
         return evicted
 
+    def sweep_expired(self) -> int:
+        """Drop every expired row now (telemetry-time sweep); returns count.
+
+        Rows that expire and are never queried again would otherwise keep
+        inflating the disk-size gauges forever (expiry is lazy on access).
+        Each dropped row counts as a ``ttl_eviction``; corruption degrades
+        to a no-op sweep after quarantining, as everywhere else.
+        """
+        if self.ttl_seconds is None:
+            return 0
+        try:
+            return self._sweep_expired()
+        except sqlite3.DatabaseError:
+            self._recover_from_corruption()
+            return 0
+
+    def _sweep_expired(self) -> int:
+        cutoff = self._clock() - self.ttl_seconds
+        row = self._connection.execute(
+            "SELECT COUNT(*), COALESCE(SUM(LENGTH(CAST(payload AS BLOB))), 0)"
+            " FROM results WHERE created_unix < ?",
+            (cutoff,),
+        ).fetchone()
+        count = int(row[0])
+        if count == 0:
+            return 0
+        self._connection.execute(
+            "DELETE FROM results WHERE created_unix < ?", (cutoff,)
+        )
+        self._connection.commit()
+        self._entries -= count
+        self._bytes -= int(row[1])
+        self.ttl_evictions += count
+        return count
+
     def set_caps(self, max_entries: int | None, max_bytes: int | None) -> int:
         """Re-cap the tier in place (load-aware rebalancing); evicts if shrunk.
 
@@ -525,14 +590,24 @@ class ResultStore:
         memory_capacity: int = 4096,
         limits: StoreLimits | None = None,
         clock: Callable[[], float] = time.time,
+        monotonic_clock: Callable[[], float] | None = None,
     ):
         self.limits = limits if limits is not None else StoreLimits(memory_entries=memory_capacity)
         self._lock = threading.Lock()
+        # The wall clock stamps the SQLite tier (its timestamps must survive
+        # restarts); the memory tier ages on a monotonic clock so a wall-clock
+        # step can neither mass-expire a warm cache nor immortalise entries.
+        # A test that injects one fake ``clock`` drives both tiers unless it
+        # also injects ``monotonic_clock``.
+        self._wall_clock = clock
+        if monotonic_clock is None:
+            monotonic_clock = time.monotonic if clock is time.time else clock
+        self._monotonic_clock = monotonic_clock
         self._memory = MemoryTier(
             capacity=self.limits.memory_entries,
             max_bytes=self.limits.memory_bytes,
             ttl_seconds=self.limits.ttl_seconds,
-            clock=clock,
+            clock=monotonic_clock,
         )
         self._disk = (
             SqliteTier(
@@ -565,9 +640,14 @@ class ResultStore:
                 if entry is not None:
                     payload, created_unix = entry
                     self._stats.disk_hits += 1
-                    # Promote with the original write time so the promotion
-                    # does not restart the entry's TTL clock.
-                    self._memory.put(fingerprint, payload, stored_at=created_unix)
+                    # Promote with the entry's original *age* re-expressed on
+                    # the memory tier's monotonic clock: promotion must not
+                    # restart the TTL, and the disk tier's wall-clock write
+                    # time is not comparable to a monotonic reading directly.
+                    age = max(0.0, self._wall_clock() - created_unix)
+                    self._memory.put(
+                        fingerprint, payload, stored_at=self._monotonic_clock() - age
+                    )
                     return StoreLookup(payload=payload, tier="disk")
             self._stats.misses += 1
             return StoreLookup(payload=None, tier=None)
@@ -600,6 +680,19 @@ class ResultStore:
             self._memory.set_caps(limits.memory_entries, limits.memory_bytes)
             if self._disk is not None:
                 self._disk.set_caps(limits.disk_entries, limits.disk_bytes)
+
+    def sweep_expired(self) -> int:
+        """Drop expired entries in both tiers now; returns the total dropped.
+
+        Called at stats/scrape collection time so the size gauges report
+        live entries only -- lazy expiry alone lets never-touched-again
+        entries inflate them indefinitely.  Every drop is a ``ttl_eviction``.
+        """
+        with self._lock:
+            swept = self._memory.sweep_expired()
+            if self._disk is not None:
+                swept += self._disk.sweep_expired()
+            return swept
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
@@ -736,6 +829,7 @@ class ShardedResultStore:
         memory_capacity: int = 4096,
         limits: StoreLimits | None = None,
         clock: Callable[[], float] = time.time,
+        monotonic_clock: Callable[[], float] | None = None,
         rebalance_interval: int | None = None,
     ):
         if num_shards < 1:
@@ -750,6 +844,7 @@ class ShardedResultStore:
                 cache_dir=(Path(cache_dir) / f"shard-{index:02d}") if cache_dir else None,
                 limits=shard_limits,
                 clock=clock,
+                monotonic_clock=monotonic_clock,
             )
             for index in range(num_shards)
         ]
@@ -837,6 +932,10 @@ class ShardedResultStore:
     def shard_limits(self) -> list[StoreLimits]:
         """The cap split currently in force (one entry per shard)."""
         return [shard.limits for shard in self._shards]
+
+    def sweep_expired(self) -> int:
+        """Drop expired entries in every shard now; returns the total dropped."""
+        return sum(shard.sweep_expired() for shard in self._shards)
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle

@@ -21,6 +21,7 @@ from .cnn_layers import (
 from .kernel import Kernel
 from .pipeline import Pipeline
 from .synthetic import SyntheticSpec, cnn_like_pipeline, random_pipeline, scaled_pipeline
+from .tenants import arrival_sequence, fleet_classes, synthetic_fleet, synthetic_tenant
 from .vgg import VGG16_EXPECTED_SUM, VGG16_TABLE, vgg16_fx16
 
 __all__ = [
@@ -41,9 +42,13 @@ __all__ = [
     "alexnet_fp32",
     "alexnet_fx16",
     "alexnet_layers",
+    "arrival_sequence",
     "cnn_like_pipeline",
+    "fleet_classes",
     "random_pipeline",
     "scaled_pipeline",
+    "synthetic_fleet",
+    "synthetic_tenant",
     "total_macs",
     "vgg16_fx16",
     "vgg16_layers",

@@ -1,0 +1,120 @@
+"""Multi-tenant fleet workload generators.
+
+Deterministic builders of :class:`~repro.fleet.state.FleetState` instances
+for the fleet differential suite, the ``repro fleet`` CLI demo and the
+``fleet-smoke`` CI scenario.  Each tenant gets a small synthetic pipeline
+(:func:`repro.workloads.synthetic.random_pipeline` under a per-tenant
+seed) and a priority weight drawn from a small deterministic cycle, so the
+weighted min-max objective has something to trade off.
+
+The fleet classes are imported lazily inside the builders:
+``repro.fleet.state`` imports this package's serialisation layer, so a
+module-level import here would be a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..platform.presets import XCVU9P
+from ..platform.resources import ResourceVector
+from .synthetic import SyntheticSpec, random_pipeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..fleet.state import FleetState, Tenant
+
+#: Priority weights cycled over the generated tenants: one heavy tenant
+#: (tight SLA), one light, the rest at par.
+_WEIGHT_CYCLE = (2.0, 1.0, 0.5)
+
+
+def synthetic_tenant(
+    tenant_id: str,
+    num_kernels: int = 2,
+    weight: float = 1.0,
+    seed: int = 0,
+) -> "Tenant":
+    """One tenant with a small random pipeline (same id+seed, same tenant)."""
+    from ..fleet.state import Tenant
+
+    spec = SyntheticSpec(
+        num_kernels=num_kernels,
+        min_wcet_ms=1.0,
+        max_wcet_ms=8.0,
+        min_resource=15.0,
+        max_resource=45.0,
+        min_bandwidth=5.0,
+        max_bandwidth=20.0,
+    )
+    pipeline = random_pipeline(spec, seed=seed).renamed(f"app-{tenant_id}")
+    return Tenant(id=tenant_id, pipeline=pipeline, weight=weight)
+
+
+def fleet_classes(
+    counts: Sequence[int] = (2, 2),
+    derate_percent: float = 20.0,
+) -> tuple:
+    """A pool of device classes: a full-capacity class plus derated ones.
+
+    ``counts[0]`` devices at 100% capacity; every further class loses
+    ``derate_percent`` more resource/bandwidth headroom than the one
+    before, modelling mixed-generation hardware.
+    """
+    from ..platform.multi_fpga import DeviceClass
+
+    classes = []
+    for index, count in enumerate(counts):
+        cap = max(10.0, 100.0 - derate_percent * index)
+        classes.append(
+            DeviceClass(
+                device=XCVU9P,
+                count=count,
+                resource_limit=ResourceVector.full(cap),
+                bandwidth_limit=cap,
+            )
+        )
+    return tuple(classes)
+
+
+def synthetic_fleet(
+    num_tenants: int = 3,
+    class_counts: Sequence[int] = (2, 2),
+    kernels_per_tenant: int = 2,
+    seed: int = 0,
+    name: str = "synthetic-fleet",
+) -> "FleetState":
+    """A deterministic multi-tenant fleet (same arguments, same fleet)."""
+    from ..fleet.state import FleetState
+
+    if num_tenants < 1:
+        raise ValueError("num_tenants must be >= 1")
+    tenants = tuple(
+        synthetic_tenant(
+            tenant_id=f"tenant-{index}",
+            num_kernels=kernels_per_tenant,
+            weight=_WEIGHT_CYCLE[index % len(_WEIGHT_CYCLE)],
+            seed=seed * 1000 + index,
+        )
+        for index in range(num_tenants)
+    )
+    return FleetState(
+        tenants=tenants, classes=fleet_classes(class_counts), name=name
+    )
+
+
+def arrival_sequence(
+    num_tenants: int = 3,
+    kernels_per_tenant: int = 2,
+    seed: int = 0,
+) -> "list[Tenant]":
+    """The tenants of :func:`synthetic_fleet` as an arrival order, for
+    driving the service's ``POST /fleet/tenants`` path in scenarios."""
+    return [
+        synthetic_tenant(
+            tenant_id=f"tenant-{index}",
+            num_kernels=kernels_per_tenant,
+            weight=_WEIGHT_CYCLE[index % len(_WEIGHT_CYCLE)],
+            seed=seed * 1000 + index,
+        )
+        for index in range(num_tenants)
+    ]

@@ -1,0 +1,334 @@
+"""Fleet allocators: identity, differential and carve/redistribution behaviour.
+
+The load-bearing guarantees pinned here:
+
+* a single-tenant fleet is **byte-identical** to the per-app path in both
+  modes (modulo runtime and memo-warmth counters);
+* the exact allocator is never worse than the heuristic, and both respect
+  the GP fleet lower bound -- asserted on fixed fleets *and* as a
+  Hypothesis property over random small fleets (<= 3 tenants, <= 4 device
+  classes);
+* every allocation's shares partition the pool exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.core.solution import SolveStatus
+from repro.core.solvers import solve
+from repro.fleet import (
+    FleetOutcome,
+    FleetSettings,
+    FleetSolveMemo,
+    FleetState,
+    Tenant,
+    allocate_exact,
+    allocate_fleet,
+    allocate_heuristic,
+    carve_shares,
+    demand_weight,
+)
+from repro.fleet.allocator import _apportion
+from repro.platform.resources import ResourceVector
+from repro.workloads.kernel import Kernel
+from repro.workloads.pipeline import Pipeline
+from repro.workloads.tenants import fleet_classes, synthetic_fleet
+
+EPS = 1e-9
+
+
+def _comparable(document):
+    """An outcome document with runtime and memo-warmth noise stripped."""
+    document = dict(document)
+    document.pop("runtime_seconds", None)
+    document.pop("counters", None)
+    return document
+
+
+def _tiny_app(name: str, load: float = 20.0, wcet: float = 5.0) -> Pipeline:
+    return Pipeline(
+        name=name,
+        kernels=[
+            Kernel(
+                f"{name}-k",
+                ResourceVector(bram=load, dsp=load),
+                bandwidth=load / 2.0,
+                wcet_ms=wcet,
+            )
+        ],
+    )
+
+
+def _assert_partitions_pool(outcome: FleetOutcome, fleet: FleetState) -> None:
+    shares = outcome.shares()
+    assert set(shares) == set(fleet.tenant_ids)
+    for class_index, count in enumerate(fleet.class_counts):
+        assert sum(share[class_index] for share in shares.values()) == count
+
+
+class TestSingleTenantIdentity:
+    @pytest.mark.parametrize("mode,method", [("heuristic", "gp+a"), ("exact", "minlp+g")])
+    def test_byte_identical_to_per_app_path(self, tiny_pipeline, mode, method):
+        fleet = FleetState(
+            tenants=(Tenant(id="solo", pipeline=tiny_pipeline),),
+            classes=fleet_classes((2,)),
+        )
+        outcome = allocate_fleet(fleet, mode=mode)
+        assert outcome.details["single_tenant_fast_path"] is True
+        standalone = solve(
+            fleet.tenants[0].problem_on(fleet.full_platform()), method=method
+        )
+        fleet_doc = _comparable(outcome.allocations[0].outcome.to_dict())
+        per_app_doc = _comparable(standalone.to_dict())
+        assert fleet_doc == per_app_doc
+        assert outcome.objective == pytest.approx(standalone.objective)
+        assert outcome.allocations[0].share == fleet.class_counts
+
+    def test_modes_agree_on_single_tenant_fleet_objective(self, tiny_pipeline):
+        fleet = FleetState(
+            tenants=(Tenant(id="solo", pipeline=tiny_pipeline),),
+            classes=fleet_classes((2,)),
+        )
+        heuristic = allocate_fleet(fleet, mode="heuristic")
+        exact = allocate_fleet(fleet, mode="exact")
+        assert exact.objective <= heuristic.objective + EPS
+
+
+class TestCarve:
+    def test_apportion_conserves_total(self):
+        assert sum(_apportion(7, [3.0, 1.0, 1.0])) == 7
+        assert _apportion(4, [1.0, 1.0]) == [2, 2]
+
+    def test_apportion_zero_mass_falls_back_to_uniform(self):
+        assert _apportion(4, [0.0, 0.0]) == [2, 2]
+
+    def test_apportion_is_deterministic_under_ties(self):
+        assert _apportion(3, [1.0, 1.0]) == _apportion(3, [1.0, 1.0])
+        assert sum(_apportion(3, [1.0, 1.0])) == 3
+
+    def test_demand_weight_scales_with_priority(self, tiny_pipeline):
+        light = Tenant(id="l", pipeline=tiny_pipeline, weight=1.0)
+        heavy = Tenant(id="h", pipeline=tiny_pipeline, weight=3.0)
+        assert demand_weight(heavy) == pytest.approx(3.0 * demand_weight(light))
+
+    def test_carve_shares_partition_every_class(self):
+        fleet = synthetic_fleet(num_tenants=3, class_counts=(3, 2), seed=1)
+        shares = carve_shares(fleet)
+        for class_index, count in enumerate(fleet.class_counts):
+            assert sum(share[class_index] for share in shares.values()) == count
+        assert shares == carve_shares(fleet)  # deterministic
+
+
+class TestHeuristic:
+    def test_rejects_empty_fleet(self):
+        fleet = FleetState(tenants=(), classes=fleet_classes((1,)))
+        with pytest.raises(ValueError, match="no tenants"):
+            allocate_heuristic(fleet)
+
+    def test_two_tenants_get_a_feasible_split(self):
+        fleet = FleetState(
+            tenants=(
+                Tenant(id="t-a", pipeline=_tiny_app("a"), weight=2.0),
+                Tenant(id="t-b", pipeline=_tiny_app("b"), weight=1.0),
+            ),
+            classes=fleet_classes((2, 2)),
+        )
+        outcome = allocate_heuristic(fleet)
+        assert outcome.succeeded
+        _assert_partitions_pool(outcome, fleet)
+        assert outcome.objective >= outcome.lower_bound - EPS
+        assert outcome.objective == pytest.approx(
+            max(a.weighted_objective for a in outcome.allocations)
+        )
+
+    def test_redistribution_rescues_a_starved_tenant(self):
+        # The demand carve hands every device to the heavyweight tenant;
+        # the residual pass must move one back so both become feasible.
+        fleet = FleetState(
+            tenants=(
+                Tenant(id="whale", pipeline=_tiny_app("whale", wcet=50.0), weight=50.0),
+                Tenant(id="minnow", pipeline=_tiny_app("minnow", wcet=1.0), weight=1.0),
+            ),
+            classes=fleet_classes((3,)),
+        )
+        assert carve_shares(fleet)["minnow"] == (0,)  # the carve starves it
+        outcome = allocate_heuristic(fleet)
+        assert outcome.succeeded
+        assert outcome.allocation("minnow").devices >= 1
+        assert outcome.details["redistribution_moves"] >= 1
+
+    def test_more_tenants_than_devices_is_infeasible(self):
+        fleet = FleetState(
+            tenants=(
+                Tenant(id="t-a", pipeline=_tiny_app("a")),
+                Tenant(id="t-b", pipeline=_tiny_app("b")),
+                Tenant(id="t-c", pipeline=_tiny_app("c")),
+            ),
+            classes=fleet_classes((1,)),
+        )
+        outcome = allocate_heuristic(fleet)
+        assert not outcome.succeeded
+        assert math.isinf(outcome.objective)
+        starved = [
+            a for a in outcome.allocations if a.devices == 0
+        ]
+        assert starved
+        for allocation in starved:
+            assert allocation.outcome.status is SolveStatus.INFEASIBLE
+            assert "no devices" in allocation.outcome.details["reason"]
+
+    def test_memo_answers_repeat_allocations_without_solves(self):
+        fleet = synthetic_fleet(num_tenants=2, class_counts=(2, 1), seed=3)
+        memo = FleetSolveMemo()
+        first = allocate_heuristic(fleet, memo=memo)
+        assert first.tenant_solves > 0
+        second = allocate_heuristic(fleet, memo=memo)
+        assert second.tenant_solves == 0
+        assert memo.hits > 0
+        assert second.shares() == first.shares()
+        assert second.objective == pytest.approx(first.objective)
+
+
+class TestExact:
+    def test_never_worse_than_heuristic_and_bounded(self):
+        for seed in (0, 1, 2):
+            fleet = synthetic_fleet(num_tenants=2, class_counts=(2, 1), seed=seed)
+            memo = FleetSolveMemo()
+            heuristic = allocate_heuristic(fleet, memo=memo)
+            exact = allocate_exact(fleet, memo=memo)
+            assert exact.objective <= heuristic.objective + EPS
+            if math.isfinite(exact.objective):
+                assert exact.objective >= exact.lower_bound - EPS
+            assert exact.details["optimal"] is True
+            assert exact.nodes_explored > 0
+            _assert_partitions_pool(exact, fleet)
+
+    def test_truncation_falls_back_to_the_heuristic_incumbent(self):
+        fleet = synthetic_fleet(num_tenants=3, class_counts=(2, 2), seed=5)
+        settings = FleetSettings(max_nodes=1)
+        heuristic = allocate_heuristic(fleet, settings=settings)
+        exact = allocate_exact(fleet, settings=settings)
+        assert exact.details["search_truncated"] is True
+        assert exact.details["optimal"] is False
+        # Even a fully truncated search returns the heuristic incumbent.
+        assert exact.objective <= heuristic.objective + EPS
+        _assert_partitions_pool(exact, fleet)
+
+    def test_unknown_mode_is_rejected(self):
+        fleet = synthetic_fleet(num_tenants=1, class_counts=(1,), seed=0)
+        with pytest.raises(ValueError, match="unknown fleet mode"):
+            allocate_fleet(fleet, mode="magic")
+
+
+class TestSettings:
+    def test_rejects_unknown_methods_and_bad_bounds(self):
+        with pytest.raises(ValueError, match="unknown heuristic_method"):
+            FleetSettings(heuristic_method="nope")
+        with pytest.raises(ValueError, match="unknown exact_method"):
+            FleetSettings(exact_method="nope")
+        with pytest.raises(ValueError, match="redistribution_rounds"):
+            FleetSettings(redistribution_rounds=-1)
+        with pytest.raises(ValueError, match="max_nodes"):
+            FleetSettings(max_nodes=0)
+
+
+class TestOutcomeWire:
+    def test_round_trip_is_lossless(self):
+        fleet = synthetic_fleet(num_tenants=2, class_counts=(2, 1), seed=2)
+        outcome = allocate_fleet(fleet, mode="heuristic")
+        document = json.loads(json.dumps(outcome.to_dict(), allow_nan=False))
+        rebuilt = FleetOutcome.from_dict(document, fleet)
+        assert rebuilt.to_dict() == document
+        assert rebuilt.objective == pytest.approx(outcome.objective)
+        assert rebuilt.shares() == outcome.shares()
+
+    def test_infeasible_objective_wires_as_null(self):
+        fleet = FleetState(
+            tenants=(
+                Tenant(id="t-a", pipeline=_tiny_app("a")),
+                Tenant(id="t-b", pipeline=_tiny_app("b")),
+            ),
+            classes=fleet_classes((1,)),
+        )
+        outcome = allocate_heuristic(fleet)
+        document = outcome.to_dict()
+        assert document["objective"] is None
+        json.dumps(document, allow_nan=False)  # strictly JSON-serialisable
+        rebuilt = FleetOutcome.from_dict(document, fleet)
+        assert math.isinf(rebuilt.objective)
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis differential suite (the PR's acceptance property)
+# --------------------------------------------------------------------------- #
+@st.composite
+def small_fleets(draw):
+    """Random fleets small enough for the exact search: <= 3 tenants,
+    <= 4 device classes (counts 1..2), 1-2 kernels per tenant."""
+    num_tenants = draw(st.integers(min_value=1, max_value=3))
+    num_classes = draw(st.integers(min_value=1, max_value=4))
+    counts = tuple(
+        draw(st.integers(min_value=1, max_value=2)) for _ in range(num_classes)
+    )
+    tenants = []
+    for index in range(num_tenants):
+        num_kernels = draw(st.integers(min_value=1, max_value=2))
+        kernels = [
+            Kernel(
+                name=f"t{index}k{k}",
+                resources=ResourceVector(
+                    bram=draw(st.floats(min_value=5.0, max_value=40.0)),
+                    dsp=draw(st.floats(min_value=5.0, max_value=40.0)),
+                ),
+                bandwidth=draw(st.floats(min_value=1.0, max_value=15.0)),
+                wcet_ms=draw(st.floats(min_value=0.5, max_value=10.0)),
+            )
+            for k in range(num_kernels)
+        ]
+        tenants.append(
+            Tenant(
+                id=f"t-{index}",
+                pipeline=Pipeline(name=f"app-{index}", kernels=kernels),
+                weight=draw(st.sampled_from([0.5, 1.0, 2.0])),
+            )
+        )
+    return FleetState(
+        tenants=tuple(tenants),
+        classes=fleet_classes(counts),
+        name="hyp-fleet",
+    )
+
+
+@given(fleet=small_fleets())
+@hyp_settings(max_examples=15, deadline=None)
+def test_fleet_differential(fleet):
+    memo = FleetSolveMemo()
+    heuristic = allocate_heuristic(fleet, memo=memo)
+    exact = allocate_exact(fleet, memo=memo)
+
+    # Exact is never worse than the heuristic (incumbent seeding).
+    assert exact.objective <= heuristic.objective + EPS
+    # Both respect the GP fleet lower bound.
+    if math.isfinite(heuristic.objective):
+        assert heuristic.objective >= heuristic.lower_bound - EPS
+    if math.isfinite(exact.objective):
+        assert exact.objective >= exact.lower_bound - EPS
+    # Shares partition the pool exactly in both modes.
+    _assert_partitions_pool(heuristic, fleet)
+    _assert_partitions_pool(exact, fleet)
+    # The fleet objective is the weighted min-max it claims to be.
+    for outcome in (heuristic, exact):
+        assert outcome.objective == max(
+            a.weighted_objective for a in outcome.allocations
+        )
+
+    # Single-tenant fleets ride the per-app identity path in both modes.
+    if len(fleet.tenants) == 1:
+        assert heuristic.details.get("single_tenant_fast_path") is True
+        assert exact.details.get("single_tenant_fast_path") is True
+        assert heuristic.allocations[0].share == fleet.class_counts

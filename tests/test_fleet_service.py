@@ -1,0 +1,240 @@
+"""Fleet endpoints and the FleetManager: HTTP flows, caching, telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetManager, FleetState, Tenant, fleet_to_dict, tenant_to_dict
+from repro.service import AllocationService, ResultStore, ServiceClient, ServiceError, start_server
+from repro.service.canonical import fleet_fingerprint
+from repro.workloads.tenants import arrival_sequence, fleet_classes, synthetic_fleet
+
+
+@pytest.fixture
+def running_service(tmp_path):
+    service = AllocationService(store=ResultStore(cache_dir=tmp_path))
+    server, _ = start_server(service, port=0)
+    try:
+        yield ServiceClient(server.url), service, server
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+@pytest.fixture
+def fleet_document():
+    return fleet_to_dict(synthetic_fleet(num_tenants=2, class_counts=(2, 1), seed=4))
+
+
+def _comparable(document):
+    document = dict(document)
+    document.pop("runtime_seconds", None)
+    return document
+
+
+class TestFleetAllocateEndpoint:
+    def test_cold_then_warm_cache_tiers(self, running_service, fleet_document):
+        client, _, _ = running_service
+        cold = client.fleet_allocate(fleet_document)
+        assert cold["cache"] == "solver"
+        assert cold["allocation"]["mode"] == "heuristic"
+        assert cold["allocation"]["objective"] is not None
+        warm = client.fleet_allocate(fleet_document)
+        assert warm["cache"] == "memory"
+        assert warm["fingerprint"] == cold["fingerprint"]
+        # The warm hit replays the stored payload byte-for-byte.
+        assert warm["allocation"] == cold["allocation"]
+
+    def test_modes_are_cached_under_distinct_fingerprints(
+        self, running_service, fleet_document
+    ):
+        client, _, _ = running_service
+        heuristic = client.fleet_allocate(fleet_document, mode="heuristic")
+        exact = client.fleet_allocate(fleet_document, mode="exact")
+        assert heuristic["fingerprint"] != exact["fingerprint"]
+        assert exact["allocation"]["mode"] == "exact"
+        assert (
+            exact["allocation"]["objective"]
+            <= heuristic["allocation"]["objective"] + 1e-9
+        )
+
+    def test_fleet_and_per_app_fingerprints_never_collide(self, fleet_document):
+        from repro.fleet import fleet_from_dict
+
+        fleet = fleet_from_dict(fleet_document)
+        assert fleet_fingerprint(fleet, "heuristic") != fleet_fingerprint(fleet, "exact")
+
+    def test_missing_fleet_section_is_400(self, running_service):
+        client, _, _ = running_service
+        with pytest.raises(ServiceError, match="'fleet' section"):
+            client._request("/fleet/allocate", {"mode": "heuristic"})
+
+    def test_empty_fleet_is_400(self, running_service, fleet_document):
+        client, _, _ = running_service
+        empty = dict(fleet_document, tenants=[])
+        with pytest.raises(ServiceError, match="no tenants"):
+            client.fleet_allocate(empty)
+
+    def test_unknown_mode_is_400(self, running_service, fleet_document):
+        client, _, _ = running_service
+        with pytest.raises(ServiceError, match="unknown fleet mode"):
+            client.fleet_allocate(fleet_document, mode="magic")
+
+
+class TestArrivalDeparture:
+    def test_arrival_recarves_and_departure_unwinds(self, running_service, fleet_document):
+        client, _, _ = running_service
+        client.fleet_allocate(fleet_document)
+
+        newcomer = tenant_to_dict(arrival_sequence(num_tenants=3, seed=4)[2])
+        arrived = client.fleet_arrival(newcomer)
+        assert arrived["tenants"] == ["tenant-0", "tenant-1", "tenant-2"]
+        assert arrived["allocation"]["mode"] == "heuristic"
+        shares = {t["id"]: t["share"] for t in arrived["allocation"]["tenants"]}
+        assert set(shares) == {"tenant-0", "tenant-1", "tenant-2"}
+
+        departed = client.fleet_departure("tenant-2")
+        assert departed["tenants"] == ["tenant-0", "tenant-1"]
+        assert departed["allocation"] is not None
+        # Back to the original fleet: the re-carve is answered from cache.
+        assert departed["cache"] in ("memory", "disk")
+
+    def test_last_departure_leaves_an_empty_fleet(self, running_service, fleet_document):
+        client, service, _ = running_service
+        client.fleet_allocate(fleet_document)
+        client.fleet_departure("tenant-0")
+        final = client.fleet_departure("tenant-1")
+        assert final["tenants"] == []
+        assert final["allocation"] is None
+        assert service.fleet.stats()["tenants"] == 0
+
+    def test_unknown_tenant_departure_is_404(self, running_service, fleet_document):
+        client, _, _ = running_service
+        client.fleet_allocate(fleet_document)
+        with pytest.raises(ServiceError, match="no tenant"):
+            client.fleet_departure("tenant-99")
+
+    def test_arrival_without_a_fleet_is_409(self, running_service):
+        client, _, _ = running_service
+        newcomer = tenant_to_dict(arrival_sequence(num_tenants=1)[0])
+        with pytest.raises(ServiceError, match="no fleet configured"):
+            client.fleet_arrival(newcomer)
+
+    def test_missing_tenant_section_is_400(self, running_service, fleet_document):
+        client, _, _ = running_service
+        client.fleet_allocate(fleet_document)
+        with pytest.raises(ServiceError, match="'tenant' section"):
+            client._request("/fleet/tenants", {"mode": "heuristic"})
+
+    def test_duplicate_arrival_is_400(self, running_service, fleet_document):
+        client, _, _ = running_service
+        client.fleet_allocate(fleet_document)
+        returning = tenant_to_dict(arrival_sequence(num_tenants=1, seed=4)[0])
+        with pytest.raises(ServiceError, match="already in the fleet"):
+            client.fleet_arrival(returning)
+
+
+class TestFleetTelemetry:
+    def test_stats_section_counts_traffic(self, running_service, fleet_document):
+        client, _, _ = running_service
+        client.fleet_allocate(fleet_document)
+        client.fleet_allocate(fleet_document)  # warm: adopted, still counted
+        newcomer = tenant_to_dict(arrival_sequence(num_tenants=3, seed=4)[2])
+        client.fleet_arrival(newcomer)
+        client.fleet_departure("tenant-2")
+
+        fleet_stats = client.stats()["fleet"]
+        assert fleet_stats["tenants"] == 2
+        assert fleet_stats["devices"] == 3
+        assert fleet_stats["allocations"] == 4
+        assert fleet_stats["heuristic_allocations"] == 4
+        assert fleet_stats["arrivals"] == 1
+        assert fleet_stats["departures"] == 1
+        assert fleet_stats["tenant_solves"] > 0
+        assert fleet_stats["last_mode"] == "heuristic"
+        assert fleet_stats["last_objective"] is not None
+
+    def test_metrics_expose_fleet_gauges_and_counters(
+        self, running_service, fleet_document
+    ):
+        client, _, _ = running_service
+        client.fleet_allocate(fleet_document)
+        newcomer = tenant_to_dict(arrival_sequence(num_tenants=3, seed=4)[2])
+        client.fleet_arrival(newcomer)
+        text = client.metrics()
+        assert "repro_fleet_tenants 3" in text
+        assert "repro_fleet_devices 3" in text
+        assert 'repro_fleet_allocations_total{mode="heuristic"} 2' in text
+        assert 'repro_fleet_events_total{event="arrival"} 1' in text
+
+
+class TestFleetManager:
+    def test_requires_a_fleet_before_tenant_ops(self):
+        manager = FleetManager()
+        with pytest.raises(RuntimeError, match="no fleet configured"):
+            manager.add_tenant(arrival_sequence(num_tenants=1)[0])
+        with pytest.raises(RuntimeError, match="no fleet configured"):
+            manager.remove_tenant("anyone")
+        with pytest.raises(RuntimeError, match="no fleet to allocate"):
+            manager.allocate()
+
+    def test_arrival_departure_reuses_the_memo(self):
+        fleet = synthetic_fleet(num_tenants=2, class_counts=(2, 1), seed=6)
+        manager = FleetManager()
+        first = manager.allocate(fleet)
+        assert first.succeeded
+
+        newcomer = arrival_sequence(num_tenants=3, seed=6)[2]
+        grown = manager.add_tenant(newcomer)
+        second = manager.allocate(grown)
+        stats = manager.stats()
+        assert stats["tenants"] == 3
+        assert stats["arrivals"] == 1
+        # Incremental re-carve: unchanged (tenant, share) pairs hit the memo.
+        assert stats["memo_hits"] > 0
+
+        shrunk = manager.remove_tenant(newcomer.id)
+        third = manager.allocate(shrunk)
+        assert third.shares() == first.shares()
+        # The original tenants' solves are all answered from the memo.
+        assert third.tenant_solves == 0
+
+    def test_departed_tenant_memo_entries_are_forgotten(self):
+        fleet = synthetic_fleet(num_tenants=2, class_counts=(2, 1), seed=7)
+        manager = FleetManager()
+        manager.allocate(fleet)
+        manager.remove_tenant("tenant-1")
+        # A re-arrival under the same id but a DIFFERENT app must re-solve,
+        # not answer from the departed tenant's memoised outcomes.
+        from repro.workloads.tenants import synthetic_tenant
+
+        replacement = synthetic_tenant("tenant-1", num_kernels=2, seed=999)
+        regrown = manager.add_tenant(replacement)
+        outcome = manager.allocate(regrown)
+        assert outcome.tenant_solves > 0  # the replacement app was re-solved
+        assert outcome.allocation("tenant-1").outcome.succeeded
+        assert manager.stats()["departures"] == 1
+
+    def test_set_fleet_resets_the_memo(self):
+        manager = FleetManager()
+        fleet_a = synthetic_fleet(num_tenants=2, class_counts=(2, 1), seed=8)
+        manager.allocate(fleet_a)
+        solves_before = manager.stats()["tenant_solves"]
+        assert solves_before > 0
+        manager.set_fleet(fleet_a)
+        outcome = manager.allocate(mode="heuristic")
+        assert outcome.tenant_solves > 0  # memo was reset, everything re-solved
+        assert manager.stats()["last_mode"] == "heuristic"
+
+    def test_pool_change_invalidates_every_share(self):
+        manager = FleetManager()
+        manager.allocate(synthetic_fleet(num_tenants=2, class_counts=(2, 1), seed=9))
+        bigger = FleetState(
+            tenants=manager.fleet.tenants,
+            classes=fleet_classes((3, 1)),
+            name="bigger",
+        )
+        outcome = manager.allocate(bigger)
+        assert outcome.tenant_solves > 0
+        assert manager.stats()["devices"] == 4

@@ -1,0 +1,178 @@
+"""Fleet state model: tenants, value operations, shares and the wire format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.objective import ObjectiveWeights
+from repro.fleet import (
+    FleetState,
+    Tenant,
+    fleet_from_dict,
+    fleet_to_dict,
+    tenant_from_dict,
+    tenant_to_dict,
+)
+from repro.workloads.serialization import SerializationError
+from repro.workloads.tenants import fleet_classes, synthetic_tenant
+
+
+@pytest.fixture
+def two_tenants(tiny_pipeline):
+    return (
+        Tenant(id="t-a", pipeline=tiny_pipeline, weight=2.0),
+        Tenant(id="t-b", pipeline=tiny_pipeline.renamed("tiny-b"), weight=1.0),
+    )
+
+
+@pytest.fixture
+def fleet(two_tenants):
+    return FleetState(tenants=two_tenants, classes=fleet_classes((2, 1)))
+
+
+class TestTenant:
+    def test_requires_non_empty_id(self, tiny_pipeline):
+        with pytest.raises(ValueError, match="non-empty id"):
+            Tenant(id="", pipeline=tiny_pipeline)
+
+    def test_requires_positive_weight(self, tiny_pipeline):
+        with pytest.raises(ValueError, match="weight must be positive"):
+            Tenant(id="t", pipeline=tiny_pipeline, weight=0.0)
+        with pytest.raises(ValueError, match="weight must be positive"):
+            Tenant(id="t", pipeline=tiny_pipeline, weight=-1.0)
+
+    def test_problem_on_carries_weights(self, tiny_pipeline):
+        tenant = Tenant(
+            id="t",
+            pipeline=tiny_pipeline,
+            weights=ObjectiveWeights(alpha=1.0, beta=0.5),
+        )
+        problem = tenant.problem_on(
+            FleetState(tenants=(tenant,), classes=fleet_classes((2,))).full_platform()
+        )
+        assert problem.pipeline is tiny_pipeline
+        assert problem.weights.beta == 0.5
+
+
+class TestFleetState:
+    def test_requires_at_least_one_class(self, two_tenants):
+        with pytest.raises(ValueError, match="at least one device class"):
+            FleetState(tenants=two_tenants, classes=())
+
+    def test_rejects_duplicate_tenant_ids(self, tiny_pipeline):
+        tenant = Tenant(id="dup", pipeline=tiny_pipeline)
+        clone = Tenant(id="dup", pipeline=tiny_pipeline.renamed("other"))
+        with pytest.raises(ValueError, match="duplicate tenant id"):
+            FleetState(tenants=(tenant, clone), classes=fleet_classes((1,)))
+
+    def test_accessors(self, fleet):
+        assert fleet.tenant_ids == ("t-a", "t-b")
+        assert fleet.class_counts == (2, 1)
+        assert fleet.total_devices == 3
+        assert fleet.tenant("t-b").weight == 1.0
+        with pytest.raises(KeyError, match="t-zzz"):
+            fleet.tenant("t-zzz")
+        assert "t-a(w=2)" in fleet.describe()
+
+    def test_with_tenant_is_a_value_operation(self, fleet, tiny_pipeline):
+        newcomer = Tenant(id="t-c", pipeline=tiny_pipeline.renamed("tiny-c"))
+        grown = fleet.with_tenant(newcomer)
+        assert grown.tenant_ids == ("t-a", "t-b", "t-c")
+        assert fleet.tenant_ids == ("t-a", "t-b")  # original untouched
+        with pytest.raises(ValueError, match="already in the fleet"):
+            grown.with_tenant(newcomer)
+
+    def test_without_tenant_is_a_value_operation(self, fleet):
+        shrunk = fleet.without_tenant("t-a")
+        assert shrunk.tenant_ids == ("t-b",)
+        assert fleet.tenant_ids == ("t-a", "t-b")
+        with pytest.raises(KeyError, match="t-a"):
+            shrunk.without_tenant("t-a")
+
+
+class TestPlatformForShare:
+    def test_full_share_reproduces_full_platform(self, fleet):
+        carved = fleet.platform_for_share(fleet.class_counts)
+        assert carved == fleet.full_platform()
+
+    def test_all_zero_share_is_none(self, fleet):
+        assert fleet.platform_for_share((0, 0)) is None
+        assert fleet.problem_for("t-a", (0, 0)) is None
+
+    def test_zero_count_classes_are_dropped(self, fleet):
+        platform = fleet.platform_for_share((2, 0))
+        assert platform is not None
+        assert platform.num_fpgas == 2
+
+    def test_share_validation(self, fleet):
+        with pytest.raises(ValueError, match="entries for"):
+            fleet.platform_for_share((1,))
+        with pytest.raises(ValueError, match=">= 0"):
+            fleet.platform_for_share((-1, 1))
+        with pytest.raises(ValueError, match="exceeds the pool"):
+            fleet.platform_for_share((3, 1))
+
+    def test_problem_for_binds_the_tenant(self, fleet):
+        problem = fleet.problem_for("t-b", (1, 1))
+        assert problem.pipeline.name == "tiny-b"
+        assert problem.platform.num_fpgas == 2
+
+
+class TestWireFormat:
+    def test_tenant_round_trip(self, two_tenants):
+        tenant = two_tenants[0]
+        document = json.loads(json.dumps(tenant_to_dict(tenant)))
+        rebuilt = tenant_from_dict(document)
+        assert rebuilt.id == tenant.id
+        assert rebuilt.weight == tenant.weight
+        assert rebuilt.weights == tenant.weights
+        assert [k.name for k in rebuilt.pipeline] == [k.name for k in tenant.pipeline]
+
+    def test_fleet_round_trip(self, fleet):
+        document = json.loads(json.dumps(fleet_to_dict(fleet)))
+        rebuilt = fleet_from_dict(document)
+        assert rebuilt.name == fleet.name
+        assert rebuilt.tenant_ids == fleet.tenant_ids
+        assert rebuilt.class_counts == fleet.class_counts
+        assert rebuilt.classes == fleet.classes
+        # The round-tripped fleet produces the same wire document again.
+        assert fleet_to_dict(rebuilt) == document
+
+    def test_synthetic_tenant_round_trip(self):
+        tenant = synthetic_tenant("gen", num_kernels=2, weight=0.5, seed=7)
+        rebuilt = tenant_from_dict(tenant_to_dict(tenant))
+        assert tenant_to_dict(rebuilt) == tenant_to_dict(tenant)
+
+    def test_tenant_requires_pipeline_section(self):
+        with pytest.raises(SerializationError, match="'pipeline' section"):
+            tenant_from_dict({"id": "t"})
+
+    def test_tenant_rejects_bad_weights_section(self, two_tenants):
+        document = tenant_to_dict(two_tenants[0])
+        document["weights"] = "not-a-mapping"
+        with pytest.raises(SerializationError, match="'weights' must be a mapping"):
+            tenant_from_dict(document)
+
+    def test_tenant_rejects_invalid_weight(self, two_tenants):
+        document = tenant_to_dict(two_tenants[0])
+        document["weight"] = -2.0
+        with pytest.raises(SerializationError, match="invalid tenant record"):
+            tenant_from_dict(document)
+
+    def test_fleet_rejects_bad_version_and_missing_classes(self, fleet):
+        document = fleet_to_dict(fleet)
+        stale = dict(document, format_version="0.0")
+        with pytest.raises(SerializationError, match="format_version"):
+            fleet_from_dict(stale)
+        with pytest.raises(SerializationError, match="'classes' list"):
+            fleet_from_dict({k: v for k, v in document.items() if k != "classes"})
+        with pytest.raises(SerializationError, match="'tenants' must be a list"):
+            fleet_from_dict(dict(document, tenants={"oops": 1}))
+
+    def test_fleet_rejects_duplicate_ids_as_serialization_error(self, fleet):
+        document = fleet_to_dict(fleet)
+        document["tenants"].append(document["tenants"][0])
+        with pytest.raises(SerializationError, match="invalid fleet record"):
+            fleet_from_dict(document)

@@ -26,6 +26,7 @@ from repro.service import (
     start_server,
 )
 from repro.service.jobs import JobQueue
+from repro.service.store import ResultStore, StoreLimits
 
 
 @pytest.fixture
@@ -97,6 +98,17 @@ STATS_SCHEMA = {
     "wal": {
         "enabled": bool,
     },
+    "fleet": {
+        "tenants": int,
+        "devices": int,
+        "allocations": int,
+        "heuristic_allocations": int,
+        "exact_allocations": int,
+        "arrivals": int,
+        "departures": int,
+        "tenant_solves": int,
+        "memo_hits": int,
+    },
 }
 
 
@@ -112,6 +124,7 @@ class TestStatsSchema:
             "solver",
             "admission",
             "wal",
+            "fleet",
         ):
             assert section in stats, f"/stats lost its {section!r} section"
 
@@ -149,6 +162,28 @@ class TestStatsSchema:
         sizes = client.stats()["cache_sizes"]
         assert sizes["memory"] >= 1
         assert all(isinstance(count, int) for count in sizes.values())
+
+
+class TestExpiredEntryGauges:
+    def test_stats_and_metrics_exclude_expired_entries(self):
+        """Regression: expiry is lazy on access, so entries that expired and
+        were never queried again kept counting in the cache-size gauges --
+        every scrape overreported warm capacity.  Stats/scrape collection
+        now sweeps expired entries first and books them as TTL evictions."""
+        now = [1000.0]
+        store = ResultStore(limits=StoreLimits(ttl_seconds=10.0), clock=lambda: now[0])
+        service = AllocationService(store=store, start_job_workers=False)
+        try:
+            store.put("aaaa0000", "{}")
+            store.put("bbbb0000", "{}")
+            assert service.stats()["cache_sizes"]["memory"] == 2
+            now[0] += 11.0  # both entries expire; nothing touches them again
+            stats = service.stats()
+            assert stats["cache_sizes"]["memory"] == 0
+            assert stats["cache"]["ttl_evictions"] == 2
+            assert 'repro_cache_entries{tier="memory"} 0' in service.metrics_text()
+        finally:
+            service.close()
 
 
 class TestMetricsEndpoint:

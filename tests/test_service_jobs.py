@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 
 import pytest
 
@@ -99,6 +100,44 @@ class TestRetention:
             assert stats["pruned"] == 2
             assert jobs.get(ids[0]) is None and jobs.get(ids[1]) is None
             assert jobs.get(ids[-1])["status"] == "done"
+
+    def test_finished_order_drains_from_the_head_in_constant_time(self):
+        """Regression: the pruning queue was a list drained with ``pop(0)``
+        -- O(n) per drop, O(n^2) across a retention backlog.  A deque makes
+        head drains O(1); pruning behaviour is pinned by the tests around
+        this one."""
+        with JobQueue(runner=_ok_runner) as jobs:
+            assert isinstance(jobs._finished_order, deque)
+
+    def test_retention_never_drops_queued_or_running_jobs(self):
+        """Retention pressure may only prune *finished* jobs: a queued or
+        running job must stay pollable no matter how small ``max_retained``
+        is."""
+        release = threading.Event()
+
+        def gated_runner(requests):
+            release.wait(timeout=10.0)
+            return _ok_runner(requests)
+
+        with JobQueue(runner=gated_runner, workers=1, max_retained=1) as jobs:
+            ids = [jobs.submit([f"r{i}"])["job_id"] for i in range(5)]
+            # One job is running (blocked), four are queued; none finished,
+            # so none may be pruned despite max_retained=1.
+            documents = [jobs.get(job_id) for job_id in ids]
+            assert all(document is not None for document in documents)
+            assert all(
+                document["status"] in ("queued", "running") for document in documents
+            )
+            assert jobs.stats()["pruned"] == 0
+            release.set()
+            for job_id in ids:
+                try:
+                    jobs.wait(job_id, timeout_seconds=10.0)
+                except KeyError:
+                    pass  # pruned after finishing; fine for the older ids
+            stats = jobs.stats()
+            assert stats["retained"] == 1
+            assert stats["pruned"] == 4
 
     def test_listing_is_summaries_in_submission_order(self):
         with JobQueue(runner=_ok_runner, workers=1) as jobs:

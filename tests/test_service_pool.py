@@ -329,6 +329,39 @@ class TestOnlineResize:
         finally:
             _stop_topology(router, server, thread)
 
+    def test_resize_races_inflight_composite_job(self, tmp_path):
+        """A resize landing while a composite async job is in flight must
+        not corrupt it: the job's parts were split on the old ring and keep
+        their owners, so the job converges byte-identical to the reference,
+        and a replay afterwards re-solves exactly the keys the ring moved
+        (the in-flight solves landed in the old owners' stores)."""
+        pool, router, server, thread, client = _start_topology(tmp_path, num_groups=2)
+        try:
+            ack = client.solve_batch_async(POOL_REQUESTS)
+            assert ack["status"] == "queued"
+
+            result = router.resize(3)  # while the job is still being solved
+            assert result["num_groups"] == 3
+            assert client.health()["groups"] == 3
+
+            document = client.wait_for_job(ack["job_id"], timeout_seconds=120.0)
+            assert document["status"] == "done"
+            assert document["report"]["total"] == len(POOL_REQUESTS)
+            assert [_comparable(doc) for doc in document["outcomes"]] == REFERENCE
+
+            # The job's answers are owned by the OLD ring's groups; only the
+            # keys the resize moved go cold on replay, and they all belong
+            # to the new group.
+            fingerprints = document["fingerprints"]
+            moved = ring(2).moved_keys(ring(3), fingerprints)
+            replay = client.solve_batch(POOL_REQUESTS)
+            assert replay["report"]["solves"] == len(moved)
+            assert all(ring(3).group_of(f) == 2 for f in moved)
+            assert [_comparable(doc) for doc in replay["outcomes"]] == REFERENCE
+            assert client.solve_batch(POOL_REQUESTS)["report"]["solves"] == 0
+        finally:
+            _stop_topology(router, server, thread)
+
     def test_resize_rejects_shrink(self, tmp_path):
         pool, router, server, thread, client = _start_topology(tmp_path, num_groups=2)
         try:

@@ -3,8 +3,15 @@
 from __future__ import annotations
 
 import threading
+import time
 
-from repro.service.store import MemoryTier, ResultStore, SqliteTier
+from repro.service.store import (
+    MemoryTier,
+    ResultStore,
+    ShardedResultStore,
+    SqliteTier,
+    StoreLimits,
+)
 
 
 class TestMemoryTier:
@@ -108,6 +115,85 @@ class TestResultStore:
         assert store.stats().puts == 200
         store.close()
 
+    def test_memory_tier_ages_on_a_monotonic_clock(self):
+        """The in-process tier must not expire on wall-clock arithmetic: an
+        NTP step or a container suspend would mass-expire a warm cache (or
+        immortalise it, stepping backwards)."""
+        assert MemoryTier()._clock is time.monotonic
+
+    def test_wall_clock_steps_do_not_disturb_memory_ttl(self):
+        """Regression: TTL expiry used the wall clock.  A backwards step must
+        not immortalise entries, a forwards step must not mass-expire them;
+        only monotonic elapsed time may age the memory tier."""
+        wall = [1000.0]
+        mono = [50.0]
+        store = ResultStore(
+            limits=StoreLimits(ttl_seconds=10.0),
+            clock=lambda: wall[0],
+            monotonic_clock=lambda: mono[0],
+        )
+        store.put("steady", "payload")
+        wall[0] -= 3600.0  # NTP correction steps the wall clock backwards
+        mono[0] += 5.0
+        assert store.get("steady").tier == "memory"  # not immortalised: still ages
+        wall[0] += 7200.0  # ...and a forwards step must not mass-expire
+        mono[0] += 1.0  # 6 s of real elapsed time, well inside the TTL
+        assert store.get("steady").tier == "memory"
+        mono[0] += 5.0  # 11 s of real elapsed time: expired on schedule
+        assert not store.get("steady").hit
+        assert store.stats().ttl_evictions == 1
+
+    def test_promotion_converts_disk_wall_age_to_monotonic(self, tmp_path):
+        """A disk hit promoted into memory carries its original *age* across
+        the wall->monotonic clock boundary: the promoted copy still expires
+        at write-time + TTL, even though the tiers read different clocks."""
+        wall = [1000.0]
+        mono = [0.0]
+        store = ResultStore(
+            cache_dir=tmp_path,
+            limits=StoreLimits(memory_entries=1, ttl_seconds=10.0),
+            clock=lambda: wall[0],
+            monotonic_clock=lambda: mono[0],
+        )
+        store.put("old", "payload")
+        store.put("newer", "payload2")  # evicts "old" from memory; disk keeps it
+        wall[0] += 8.0
+        mono[0] += 8.0
+        assert store.get("old").tier == "disk"  # promoted carrying 8 s of age
+        wall[0] += 4.0
+        mono[0] += 4.0  # 12 s after the write, 4 s after the promotion
+        assert not store.get("old").hit, "promotion restarted the TTL clock"
+        assert store.stats().ttl_evictions >= 2  # promoted copy + disk row
+
+    def test_sweep_expired_clears_untouched_entries_from_sizes(self, tmp_path):
+        """Regression: lazy expiry only fires on access, so entries that
+        expire and are never queried again kept inflating ``sizes()`` (the
+        /stats and /metrics gauges) forever.  The telemetry-time sweep drops
+        them from both tiers and counts them as TTL evictions."""
+        now = [1000.0]
+        store = ResultStore(
+            cache_dir=tmp_path,
+            limits=StoreLimits(ttl_seconds=10.0),
+            clock=lambda: now[0],
+        )
+        store.put("a", "1")
+        store.put("b", "2")
+        now[0] += 11.0
+        store.put("c", "3")  # written after the step: must survive the sweep
+        assert store.sweep_expired() == 4  # "a" and "b", once per tier
+        assert store.sizes() == {"memory": 1, "disk": 1}
+        assert store.get("c").hit
+        assert store.stats().ttl_evictions == 4
+        assert store.sweep_expired() == 0  # idempotent once clean
+        store.close()
+
+    def test_sweep_expired_without_ttl_is_a_no_op(self, tmp_path):
+        store = ResultStore(cache_dir=tmp_path)
+        store.put("k", "payload")
+        assert store.sweep_expired() == 0
+        assert store.sizes() == {"memory": 1, "disk": 1}
+        store.close()
+
     def test_operations_stay_safe_after_close(self, tmp_path):
         # The CLI renders a final stats table after the service is closed;
         # a closed store must keep answering (degraded to memory-only).
@@ -119,3 +205,22 @@ class TestResultStore:
         assert store.stats().puts == 1
         assert store.get("k").tier == "memory"  # memory tier still serves
         store.put("late", "x")  # no crash; memory-only from here on
+
+
+class TestShardedSweep:
+    def test_sweep_expired_sums_over_shards(self, tmp_path):
+        now = [1000.0]
+        store = ShardedResultStore(
+            cache_dir=tmp_path,
+            num_shards=4,
+            limits=StoreLimits(ttl_seconds=10.0),
+            clock=lambda: now[0],
+        )
+        keys = [f"{index:08x}" for index in range(16)]  # hex: spreads by prefix
+        for key in keys:
+            store.put(key, "payload")
+        now[0] += 11.0
+        assert store.sweep_expired() == 2 * len(keys)  # once per tier per entry
+        assert store.sizes() == {"memory": 0, "disk": 0}
+        assert store.stats().ttl_evictions == 2 * len(keys)
+        store.close()
